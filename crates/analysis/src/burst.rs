@@ -1,0 +1,137 @@
+//! Analytical average burst length (Appendix E; Fig. 4).
+//!
+//! At the (P4) optimum π*, the average number of packets per channel
+//! capture is
+//!
+//! ```text
+//! B_g = Σ_{w∈W'} π*_w  /  Σ_{w∈W'} π*_w e^{−c_w/σ}        (34)
+//! B_a = e^{1/σ}                                           (35)
+//! ```
+//!
+//! with `W' = {w : ν_w = 1, c_w ≥ 1}`. The groupput burst length grows
+//! dramatically as σ falls (e.g. 85 packets at σ = 0.25, N = 10 —
+//! 4·10⁵ at σ = 0.1, Section VII-D), which is why small-σ simulations
+//! stop converging in reasonable time.
+
+use econcast_core::{NodeParams, ThroughputMode};
+use econcast_statespace::HomogeneousP4;
+
+/// One point of the Fig. 4 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstPoint {
+    /// Temperature σ.
+    pub sigma: f64,
+    /// Average burst length `B` (packets per capture).
+    pub burst_length: f64,
+    /// The achievable throughput `T^σ` at the same optimum (useful for
+    /// annotating the tradeoff).
+    pub throughput: f64,
+}
+
+/// The anyput burst length, eq. (35): `B_a = e^{1/σ}` regardless of
+/// `N`, ρ, L, X.
+pub fn anyput_burst_length(sigma: f64) -> f64 {
+    assert!(sigma > 0.0 && sigma.is_finite());
+    (1.0 / sigma).exp()
+}
+
+/// Computes the groupput burst curve `σ ↦ B_g` for a homogeneous
+/// network by solving (P4) at each σ and applying (34).
+pub fn groupput_burst_curve(n: usize, params: NodeParams, sigmas: &[f64]) -> Vec<BurstPoint> {
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            let sol = HomogeneousP4::new(n, params, sigma, ThroughputMode::Groupput).solve();
+            BurstPoint {
+                sigma,
+                burst_length: sol
+                    .summary
+                    .average_burst_length()
+                    .expect("burst states always have mass for n ≥ 2"),
+                throughput: sol.throughput,
+            }
+        })
+        .collect()
+}
+
+/// The anyput burst curve (trivially (35), provided for symmetric
+/// plotting code).
+pub fn anyput_burst_curve(sigmas: &[f64]) -> Vec<BurstPoint> {
+    sigmas
+        .iter()
+        .map(|&sigma| BurstPoint {
+            sigma,
+            burst_length: anyput_burst_length(sigma),
+            throughput: f64::NAN, // not meaningful without network parameters
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> NodeParams {
+        NodeParams::from_microwatts(10.0, 500.0, 500.0)
+    }
+
+    #[test]
+    fn anyput_burst_is_exponential_in_inverse_sigma() {
+        assert!((anyput_burst_length(1.0) - std::f64::consts::E).abs() < 1e-12);
+        assert!((anyput_burst_length(0.5) - (2.0f64).exp()).abs() < 1e-12);
+        assert!((anyput_burst_length(0.25) - (4.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groupput_burst_grows_as_sigma_falls() {
+        let curve = groupput_burst_curve(5, params(), &[0.75, 0.5, 0.375, 0.25]);
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].burst_length > pair[0].burst_length,
+                "burst not increasing: {pair:?}"
+            );
+            assert!(
+                pair[1].throughput > pair[0].throughput,
+                "throughput not increasing as σ falls: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_exceeds_anyput_counterpart_for_multiple_listeners() {
+        // With several listeners the groupput capture rate e^{−c/σ}
+        // shrinks below e^{−1/σ}, so B_g ≥ B_a at the same σ.
+        let bg = groupput_burst_curve(10, params(), &[0.25])[0].burst_length;
+        let ba = anyput_burst_length(0.25);
+        assert!(bg > ba, "B_g {bg} ≤ B_a {ba}");
+    }
+
+    #[test]
+    fn paper_magnitude_sigma_025_n10() {
+        // Section VII-D quotes ~85 packets for σ = 0.25, N = 10; our
+        // substrate should land in the same decade.
+        let bg = groupput_burst_curve(10, params(), &[0.25])[0].burst_length;
+        assert!(
+            (30.0..300.0).contains(&bg),
+            "B_g at σ=0.25, N=10 is {bg}, expected order of 85"
+        );
+    }
+
+    #[test]
+    fn burst_length_at_least_one() {
+        for sigma in [0.25, 0.5, 1.0, 2.0] {
+            let b = groupput_burst_curve(3, params(), &[sigma])[0].burst_length;
+            assert!(b >= 1.0, "σ={sigma}: burst {b} < 1");
+        }
+    }
+
+    #[test]
+    fn anyput_curve_matches_pointwise_function() {
+        let sigmas = [0.2, 0.4, 0.8];
+        let curve = anyput_burst_curve(&sigmas);
+        for (p, &s) in curve.iter().zip(&sigmas) {
+            assert_eq!(p.sigma, s);
+            assert!((p.burst_length - anyput_burst_length(s)).abs() < 1e-12);
+        }
+    }
+}

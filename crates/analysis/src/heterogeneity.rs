@@ -1,0 +1,146 @@
+//! The Fig. 2 heterogeneous-network sampler.
+//!
+//! For a heterogeneity level `h` (the paper sweeps
+//! `h ∈ {10, 50, 100, 150, 200, 250}`):
+//!
+//! * each node's `L_i` and `X_i` are drawn independently and uniformly
+//!   from `[510 − h, 490 + h]` µW (mean 500 µW for every `h`);
+//! * each node's budget is `ρ_i = e^{h'}` µW with
+//!   `h' ~ U[−log(h/100), log h]`, i.e. log-uniform between `100/h` µW
+//!   and `h` µW (median 10 µW).
+//!
+//! `h = 10` degenerates to the homogeneous network (`L_i = X_i =
+//! 500 µW`, `ρ_i = 10 µW`).
+
+use econcast_core::NodeParams;
+use rand::Rng;
+
+/// The heterogeneity levels swept in Fig. 2.
+pub const PAPER_H_VALUES: [f64; 6] = [10.0, 50.0, 100.0, 150.0, 200.0, 250.0];
+
+/// Sampler of heterogeneous networks at a fixed level `h`.
+#[derive(Debug, Clone, Copy)]
+pub struct HeterogeneitySampler {
+    /// Heterogeneity level `h ≥ 10`.
+    pub h: f64,
+}
+
+impl HeterogeneitySampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `h < 10` (below the paper's homogeneous floor the
+    /// power interval `[510−h, 490+h]` would be empty).
+    pub fn new(h: f64) -> Self {
+        assert!(
+            h >= 10.0 && h.is_finite(),
+            "heterogeneity level must be ≥ 10, got {h}"
+        );
+        HeterogeneitySampler { h }
+    }
+
+    /// Draws one node's parameters.
+    pub fn sample_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeParams {
+        let h = self.h;
+        let lo = 510.0 - h;
+        let hi = 490.0 + h;
+        let listen_uw = lo + (hi - lo) * rng.gen::<f64>();
+        let transmit_uw = lo + (hi - lo) * rng.gen::<f64>();
+        // h' ~ U[−log(h/100), log h]; ρ = e^{h'} µW.
+        let lo_log = -(h / 100.0).ln();
+        let hi_log = h.ln();
+        let h_prime = lo_log + (hi_log - lo_log) * rng.gen::<f64>();
+        let budget_uw = h_prime.exp();
+        NodeParams::from_microwatts(budget_uw, listen_uw, transmit_uw)
+    }
+
+    /// Draws a network of `n` nodes.
+    pub fn sample_network<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<NodeParams> {
+        (0..n).map(|_| self.sample_node(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn h10_is_homogeneous() {
+        let s = HeterogeneitySampler::new(10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let p = s.sample_node(&mut rng);
+            // L, X pinned at 500 µW; ρ log-uniform on [10, 10] = 10 µW.
+            assert!((p.listen_w - 500e-6).abs() < 1e-9);
+            assert!((p.transmit_w - 500e-6).abs() < 1e-9);
+            assert!((p.budget_w - 10e-6).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_respect_ranges() {
+        for &h in &PAPER_H_VALUES[1..] {
+            let s = HeterogeneitySampler::new(h);
+            let mut rng = StdRng::seed_from_u64(2);
+            for _ in 0..200 {
+                let p = s.sample_node(&mut rng);
+                let (lo, hi) = ((510.0 - h) * 1e-6, (490.0 + h) * 1e-6);
+                assert!((lo..=hi).contains(&p.listen_w), "h={h} L={}", p.listen_w);
+                assert!((lo..=hi).contains(&p.transmit_w));
+                let (blo, bhi) = (100.0 / h * 1e-6, h * 1e-6);
+                assert!(
+                    (blo * 0.999..=bhi * 1.001).contains(&p.budget_w),
+                    "h={h} ρ={}",
+                    p.budget_w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_means_are_centered_at_500uw() {
+        let s = HeterogeneitySampler::new(250.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean_l: f64 = (0..n).map(|_| s.sample_node(&mut rng).listen_w).sum::<f64>() / n as f64;
+        assert!(
+            (mean_l - 500e-6).abs() < 5e-6,
+            "mean L = {mean_l}, expected ≈ 500 µW"
+        );
+    }
+
+    #[test]
+    fn budget_median_near_10uw() {
+        let s = HeterogeneitySampler::new(100.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut budgets: Vec<f64> = (0..10_001).map(|_| s.sample_node(&mut rng).budget_w).collect();
+        budgets.sort_by(|a, b| a.partial_cmp(b).expect("budgets are positive"));
+        let median = budgets[budgets.len() / 2];
+        // Log-uniform on [1, 100] µW has median 10 µW.
+        assert!(
+            (median - 10e-6).abs() < 2e-6,
+            "median budget {median}, expected ≈ 10 µW"
+        );
+    }
+
+    #[test]
+    fn larger_h_spreads_budgets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut spread = |h: f64| {
+            let s = HeterogeneitySampler::new(h);
+            let xs: Vec<f64> = (0..2000).map(|_| s.sample_node(&mut rng).budget_w.ln()).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(spread(250.0) > spread(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 10")]
+    fn too_small_h_rejected() {
+        HeterogeneitySampler::new(5.0);
+    }
+}

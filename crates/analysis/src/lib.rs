@@ -1,0 +1,20 @@
+//! # econcast-analysis — burstiness, heterogeneity, and statistics
+//!
+//! Analysis-side machinery for the paper's evaluation (Section VII):
+//!
+//! * [`burst`] — the analytical average burst length of EconCast-C,
+//!   eqs. (34)–(35) from Appendix E, as plotted in Fig. 4;
+//! * [`heterogeneity`] — the heterogeneous-network sampler behind
+//!   Fig. 2: for a heterogeneity level `h`, listen/transmit powers are
+//!   drawn uniformly from `[510 − h, 490 + h] µW` and the budget is
+//!   log-uniform between `100/h` and `h` µW;
+//! * [`stats`] — means, confidence intervals, and CDFs used when
+//!   aggregating over 1000 network samples per figure point.
+
+pub mod burst;
+pub mod heterogeneity;
+pub mod stats;
+
+pub use burst::{anyput_burst_length, groupput_burst_curve, BurstPoint};
+pub use heterogeneity::{HeterogeneitySampler, PAPER_H_VALUES};
+pub use stats::{mean_and_ci95, Cdf};

@@ -1,0 +1,159 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Sample mean and 95% confidence half-width (normal approximation,
+/// appropriate for the paper's 1000-sample averages in Fig. 2).
+/// Returns `(mean, half_width)`; the half-width is 0 for fewer than two
+/// samples.
+pub fn mean_and_ci95(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (f64::NAN, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    (mean, 1.96 * se)
+}
+
+/// An empirical CDF built from samples, supporting quantile and
+/// evaluation queries (used for the Fig. 5 latency plots).
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF. NaN samples are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn new(samples: &[f64]) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not be NaN"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after the assert"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Nearest-rank quantile, `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(!self.sorted.is_empty(), "quantile of an empty CDF");
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The `(value, probability)` step points for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len().max(1) as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_ci_basics() {
+        let (m, ci) = mean_and_ci95(&[2.0, 4.0, 6.0, 8.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!(ci > 0.0);
+        let (m1, ci1) = mean_and_ci95(&[3.0]);
+        assert_eq!(m1, 3.0);
+        assert_eq!(ci1, 0.0);
+        let (m0, _) = mean_and_ci95(&[]);
+        assert!(m0.is_nan());
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_count() {
+        let few: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let many: Vec<f64> = (0..1000).map(|i| (i % 5) as f64).collect();
+        let (_, ci_few) = mean_and_ci95(&few);
+        let (_, ci_many) = mean_and_ci95(&many);
+        assert!(ci_many < ci_few);
+    }
+
+    #[test]
+    fn cdf_eval_and_quantile() {
+        let c = Cdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.0), 0.0);
+        assert_eq!(c.eval(2.0), 0.5);
+        assert_eq!(c.eval(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert!((c.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let c = Cdf::new(&[5.0, 1.0, 3.0]);
+        let pts = c.points();
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((pts.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_samples_rejected() {
+        Cdf::new(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        /// eval ∘ quantile is consistent: P(X ≤ q_p) ≥ p.
+        #[test]
+        fn prop_quantile_eval_consistency(
+            mut xs in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            q in 0.01f64..1.0,
+        ) {
+            let c = Cdf::new(&xs);
+            let v = c.quantile(q);
+            prop_assert!(c.eval(v) >= q - 1e-12);
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            prop_assert!(v >= xs[0] && v <= xs[xs.len() - 1]);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Panda (reference 14 of the paper): sleep → carrier-sense/listen → receive-or-transmit.
+//!
+//! Protocol structure (from the Panda paper's description): each node
+//! repeats a cycle of
+//!
+//! 1. **sleep** for an exponential time with rate `λ`;
+//! 2. **listen** (carrier sense) for up to a window `ω`;
+//!    * if a transmission starts while listening, receive it fully and
+//!      go back to sleep;
+//!    * if the node wakes *into* an ongoing packet it cannot decode it
+//!      (the preamble is gone) — it waits out the packet, pays the
+//!      listen energy, and sleeps;
+//! 3. if the window expires with an idle channel, **transmit** one
+//!    packet (heard by every currently listening node) and sleep.
+//!
+//! Panda's own evaluation derives the optimal `λ` analytically; that
+//! derivation is not in the EconCast text, so this module reproduces it
+//! operationally: a faithful discrete-event Monte-Carlo of the cycle
+//! above plus a bisection on `λ` that drives measured average power to
+//! the budget `ρ` (consumption is monotone in the wake rate). This is
+//! the documented substitution discussed in `DESIGN.md`.
+//!
+//! Time unit: one packet, as everywhere in this workspace.
+
+use econcast_core::NodeParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Packet airtime (the global time unit).
+const PACKET: f64 = 1.0;
+
+/// Configuration of a Panda run on a homogeneous clique.
+#[derive(Debug, Clone, Copy)]
+pub struct PandaConfig {
+    /// Number of nodes (Panda requires homogeneity and known `N`).
+    pub n: usize,
+    /// Per-node power parameters.
+    pub params: NodeParams,
+    /// Listen window `ω` in packet-times.
+    pub listen_window: f64,
+    /// Simulated duration per evaluation (packet-times).
+    pub sim_duration: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Measured outcome of a Panda simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct PandaResult {
+    /// Receiver-packets per packet-time (Definition 1's groupput).
+    pub groupput: f64,
+    /// Packets with ≥ 1 receiver per packet-time.
+    pub anyput: f64,
+    /// The wake rate `λ` used.
+    pub wake_rate: f64,
+    /// Mean per-node power consumption (same unit as the params).
+    pub avg_power: f64,
+}
+
+/// Per-node simulation state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum St {
+    /// Asleep until the stored wake time.
+    Sleep,
+    /// Carrier-sensing; the stored time is the transmit deadline.
+    Sense,
+    /// Waiting out an undecodable packet (woke mid-air).
+    Blocked,
+    /// Receiving a decodable packet until its end.
+    Receive,
+    /// Transmitting until the stored time.
+    Transmit,
+}
+
+impl PandaConfig {
+    /// Sensible defaults for quick evaluations: `ω` of one packet and a
+    /// duration long enough for stable estimates at paper-scale duty
+    /// cycles.
+    pub fn new(n: usize, params: NodeParams) -> Self {
+        assert!(n >= 2, "panda needs at least two nodes");
+        PandaConfig {
+            n,
+            params,
+            listen_window: 1.0,
+            sim_duration: 2_000_000.0,
+            seed: 0xECC0,
+        }
+    }
+
+    /// Simulates the protocol at an explicit wake rate `λ`.
+    pub fn simulate(&self, wake_rate: f64) -> PandaResult {
+        assert!(wake_rate > 0.0 && wake_rate.is_finite());
+        let n = self.n;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let exp = |rng: &mut StdRng| -> f64 {
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            -u.ln() / wake_rate
+        };
+
+        let mut state = vec![St::Sleep; n];
+        // Next decision time per node.
+        let mut at: Vec<f64> = (0..n).map(|_| exp(&mut rng)).collect();
+        let mut energy = vec![0.0f64; n];
+        // Ongoing transmission: (transmitter, end_time).
+        let mut on_air: Option<(usize, f64)> = None;
+
+        let mut receptions = 0u64;
+        let mut delivered = 0u64;
+        let (l, x) = (self.params.listen_w, self.params.transmit_w);
+        let t_end = self.sim_duration;
+
+        loop {
+            // Next node event.
+            let (i, t) = at
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are never NaN"))
+                .expect("n >= 2");
+            if t > t_end {
+                break;
+            }
+            match state[i] {
+                St::Sleep => {
+                    // Wake up at t.
+                    match on_air {
+                        Some((_, end)) => {
+                            // Mid-packet: undecodable; wait it out.
+                            state[i] = St::Blocked;
+                            energy[i] += (end - t) * l;
+                            at[i] = end;
+                        }
+                        None => {
+                            state[i] = St::Sense;
+                            at[i] = t + self.listen_window;
+                        }
+                    }
+                }
+                St::Sense => {
+                    // Window expired on an idle channel: transmit.
+                    debug_assert!(on_air.is_none(), "deadline inside a packet");
+                    energy[i] += self.listen_window * l;
+                    let end = t + PACKET;
+                    state[i] = St::Transmit;
+                    at[i] = end;
+                    energy[i] += PACKET * x;
+                    on_air = Some((i, end));
+                    // Every sensing node becomes a receiver.
+                    let mut hearers = 0u64;
+                    for j in 0..n {
+                        if j != i && state[j] == St::Sense {
+                            // They sensed from their wake until t, then
+                            // receive until `end`.
+                            let sensed_since = at[j] - self.listen_window;
+                            energy[j] += (t - sensed_since) * l + PACKET * l;
+                            state[j] = St::Receive;
+                            at[j] = end;
+                            hearers += 1;
+                        }
+                    }
+                    receptions += hearers;
+                    if hearers > 0 {
+                        delivered += 1;
+                    }
+                }
+                St::Transmit => {
+                    // Packet done; sleep.
+                    on_air = None;
+                    state[i] = St::Sleep;
+                    at[i] = t + exp(&mut rng);
+                }
+                St::Receive | St::Blocked => {
+                    // Finished hearing the packet (energy already
+                    // charged); sleep.
+                    state[i] = St::Sleep;
+                    at[i] = t + exp(&mut rng);
+                }
+            }
+        }
+
+        let avg_power = energy.iter().sum::<f64>() / (n as f64 * t_end);
+        PandaResult {
+            groupput: receptions as f64 * PACKET / t_end,
+            anyput: delivered as f64 * PACKET / t_end,
+            wake_rate,
+            avg_power,
+        }
+    }
+
+    /// Finds the wake rate whose measured consumption meets the budget
+    /// (relative tolerance 2%) and returns the corresponding result —
+    /// the operational analogue of Panda's parameter optimization.
+    pub fn calibrated(&self) -> PandaResult {
+        let rho = self.params.budget_w;
+        // Bracket: power is monotone increasing in λ.
+        let mut lo = 1e-9;
+        let mut hi = 1.0;
+        let mut r_hi = self.simulate(hi);
+        let mut guard = 0;
+        while r_hi.avg_power < rho {
+            hi *= 4.0;
+            r_hi = self.simulate(hi);
+            guard += 1;
+            assert!(guard < 20, "budget unreachable: node is always awake");
+        }
+        let mut best = r_hi;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            let r = self.simulate(mid);
+            if r.avg_power > rho {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            best = r;
+            if (r.avg_power - rho).abs() / rho < 0.02 {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params() -> NodeParams {
+        NodeParams::from_microwatts(10.0, 500.0, 500.0)
+    }
+
+    fn quick(n: usize) -> PandaConfig {
+        let mut c = PandaConfig::new(n, paper_params());
+        c.sim_duration = 400_000.0;
+        c
+    }
+
+    #[test]
+    fn power_scales_with_wake_rate() {
+        let c = quick(5);
+        let slow = c.simulate(1e-4);
+        let fast = c.simulate(1e-2);
+        assert!(fast.avg_power > slow.avg_power);
+    }
+
+    #[test]
+    fn calibration_meets_budget() {
+        let c = quick(5);
+        let r = c.calibrated();
+        let rho = paper_params().budget_w;
+        assert!(
+            (r.avg_power - rho).abs() / rho < 0.05,
+            "calibrated power {} vs budget {rho}",
+            r.avg_power
+        );
+        assert!(r.groupput > 0.0);
+    }
+
+    #[test]
+    fn panda_well_below_oracle_at_symmetric_powers() {
+        // The paper's headline: at X ≈ L EconCast outperforms Panda by
+        // 6–17×; equivalently Panda sits far below the oracle.
+        let p = paper_params();
+        let r = quick(5).calibrated();
+        let beta = p.budget_w / (p.transmit_w + 4.0 * p.listen_w);
+        let t_star = 20.0 * beta; // 0.08
+        assert!(
+            r.groupput < 0.25 * t_star,
+            "panda groupput {} not ≪ oracle {t_star}",
+            r.groupput
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = quick(4);
+        let a = c.simulate(1e-3);
+        let b = c.simulate(1e-3);
+        assert_eq!(a.groupput, b.groupput);
+        assert_eq!(a.avg_power, b.avg_power);
+    }
+
+    #[test]
+    fn anyput_never_exceeds_groupput_or_one() {
+        let r = quick(5).simulate(5e-3);
+        assert!(r.anyput <= r.groupput + 1e-12);
+        assert!(r.anyput <= 1.0);
+    }
+
+    #[test]
+    fn more_nodes_more_groupput_per_transmission() {
+        // With more sensing nodes per transmission, groupput grows.
+        let small = quick(3).calibrated();
+        let large = quick(8).calibrated();
+        assert!(large.groupput > small.groupput);
+    }
+}

@@ -1,0 +1,157 @@
+//! Searchlight (reference 19 of the paper): deterministic slotted anchor+probe discovery.
+//!
+//! Model: time is slotted (50 ms slots in the paper's comparison,
+//! footnote 7). Each node is active in 2 of every `t` slots — a fixed
+//! *anchor* slot and a *probe* slot that sweeps the offsets
+//! `1..⌈t/2⌉`; striped probing guarantees two nodes' active slots
+//! overlap within `(t/2)²` slots in the worst case. The power budget
+//! sets the duty cycle: `2/t · P_slot ≤ ρ` where `P_slot` is the awake
+//! power (listening with short beacons at the slot edges).
+//!
+//! Throughput bound: Searchlight optimizes worst-case pairwise
+//! *latency*, not throughput; the paper derives an upper bound on its
+//! throughput by multiplying the pairwise rate by `N − 1` ("assuming
+//! all other N−1 nodes will be receiving when one node transmits" —
+//! generous to Searchlight) and notes that the inverse of average
+//! latency plays the role of the pairwise rate.
+
+use econcast_core::NodeParams;
+
+/// Searchlight schedule model for a homogeneous network.
+#[derive(Debug, Clone, Copy)]
+pub struct Searchlight {
+    /// Number of nodes.
+    pub n: usize,
+    /// Node power parameters.
+    pub params: NodeParams,
+    /// Slot length in packet-time units (50 ms slots / 1 ms packets =
+    /// 50 in the paper's comparison).
+    pub slot_packets: f64,
+    /// Beacon (packet) length in packet-time units (= 1 by definition).
+    pub beacon_packets: f64,
+}
+
+impl Searchlight {
+    /// The paper's comparison configuration: 50 ms slots, 1 ms beacons
+    /// (footnote 7), expressed in packet-time units.
+    pub fn paper_setup(n: usize, params: NodeParams) -> Self {
+        assert!(n >= 2);
+        Searchlight {
+            n,
+            params,
+            slot_packets: 50.0,
+            beacon_packets: 1.0,
+        }
+    }
+
+    /// Awake power of an active slot: listening for the slot with two
+    /// beacons transmitted at its edges.
+    fn slot_power(&self) -> f64 {
+        let p = &self.params;
+        let beacon_frac = (2.0 * self.beacon_packets / self.slot_packets).min(1.0);
+        p.listen_w * (1.0 - beacon_frac) + p.transmit_w * beacon_frac
+    }
+
+    /// The schedule period `t` in slots implied by the power budget:
+    /// the largest even `t` with duty cycle `2/t` affordable. The
+    /// 2%-duty-cycle example of Fig. 5 (ρ = 10 µW, L = X = 500 µW)
+    /// yields `t = 100`.
+    pub fn period_slots(&self) -> usize {
+        let duty = self.params.budget_w / self.slot_power();
+        assert!(
+            duty > 0.0,
+            "budget cannot sustain any duty cycle at these powers"
+        );
+        // The epsilon absorbs floating-point noise so an exact 2% duty
+        // cycle yields t = 100, not 101.
+        let t = ((2.0 / duty) - 1e-9).ceil() as usize;
+        let t = t.max(2);
+        t + (t % 2) // round up to even
+    }
+
+    /// Worst-case pairwise discovery latency in packet-time units:
+    /// `(t/2)²` slots for striped probing. With the paper's parameters
+    /// this is 2500 slots = 125 s, the bound drawn in Fig. 5(a).
+    pub fn worst_case_latency(&self) -> f64 {
+        let half = self.period_slots() as f64 / 2.0;
+        half * half * self.slot_packets
+    }
+
+    /// Average pairwise discovery latency (uniform random phase →
+    /// half the worst case), packet-time units.
+    pub fn average_latency(&self) -> f64 {
+        0.5 * self.worst_case_latency()
+    }
+
+    /// Upper bound on groupput (receiver-packets per packet-time): the
+    /// pairwise encounter rate delivering a full slot of payload,
+    /// multiplied by `N − 1` exactly as the paper's comparison does.
+    pub fn groupput_upper_bound(&self) -> f64 {
+        (self.n as f64 - 1.0) * self.slot_packets / self.average_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params() -> NodeParams {
+        NodeParams::from_microwatts(10.0, 500.0, 500.0)
+    }
+
+    #[test]
+    fn paper_period_is_100_slots() {
+        let s = Searchlight::paper_setup(5, paper_params());
+        // Duty cycle = ρ / P_slot = 10/500 = 2% → t = 100.
+        assert_eq!(s.period_slots(), 100);
+    }
+
+    #[test]
+    fn paper_worst_case_is_125_seconds() {
+        // (t/2)² slots = 2500 slots × 50 ms = 125 s; in packet-times
+        // (1 ms) that is 125 000 — the Fig. 5(a) vertical line.
+        let s = Searchlight::paper_setup(5, paper_params());
+        assert!((s.worst_case_latency() - 125_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn richer_budget_shortens_period_and_latency() {
+        let poor = Searchlight::paper_setup(5, paper_params());
+        let rich = Searchlight::paper_setup(5, NodeParams::from_microwatts(50.0, 500.0, 500.0));
+        assert!(rich.period_slots() < poor.period_slots());
+        assert!(rich.worst_case_latency() < poor.worst_case_latency());
+    }
+
+    #[test]
+    fn throughput_bound_scales_with_n() {
+        let s5 = Searchlight::paper_setup(5, paper_params());
+        let s10 = Searchlight::paper_setup(10, paper_params());
+        let ratio = s10.groupput_upper_bound() / s5.groupput_upper_bound();
+        assert!((ratio - 9.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn searchlight_below_oracle() {
+        let p = paper_params();
+        let s = Searchlight::paper_setup(5, p);
+        let beta = p.budget_w / (p.transmit_w + 4.0 * p.listen_w);
+        let t_star = 20.0 * beta; // 0.08
+        assert!(
+            s.groupput_upper_bound() < t_star,
+            "bound {} not below oracle {}",
+            s.groupput_upper_bound(),
+            t_star
+        );
+    }
+
+    #[test]
+    fn slot_power_mixes_beacons() {
+        let mut s = Searchlight::paper_setup(5, NodeParams::from_microwatts(10.0, 400.0, 900.0));
+        // 2 beacons of 1 packet in a 50-packet slot → 4% at X.
+        let expected = 400e-6 * 0.96 + 900e-6 * 0.04;
+        assert!((s.slot_power() - expected).abs() < 1e-12);
+        // Degenerate tiny slots clamp the beacon fraction.
+        s.slot_packets = 1.0;
+        assert!((s.slot_power() - 900e-6).abs() < 1e-12);
+    }
+}

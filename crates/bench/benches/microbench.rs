@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the computational kernels.
+//!
+//! These cover the pieces whose cost governs experiment wall-clock:
+//! the simplex oracle LPs, state-space enumeration, Gibbs summaries
+//! (the inner loop of the (P4) solver), the homogeneous fast path, and
+//! the simulator event loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode, Topology};
+use econcast_oracle::{non_clique_groupput_bounds, oracle_anyput, oracle_groupput};
+use econcast_sim::{SimConfig, Simulator};
+use econcast_statespace::{
+    gibbs::{summarize, GibbsParams},
+    HomogeneousP4, StateSpace,
+};
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let nodes10 = vec![params(); 10];
+    c.bench_function("oracle_groupput_p2_n10", |b| {
+        b.iter(|| oracle_groupput(black_box(&nodes10)))
+    });
+    c.bench_function("oracle_anyput_p3_n10", |b| {
+        b.iter(|| oracle_anyput(black_box(&nodes10)))
+    });
+    let grid = Topology::square_grid(7);
+    let nodes49 = vec![params(); 49];
+    c.bench_function("non_clique_bounds_grid7x7", |b| {
+        b.iter(|| non_clique_groupput_bounds(black_box(&nodes49), black_box(&grid)))
+    });
+}
+
+fn bench_statespace(c: &mut Criterion) {
+    c.bench_function("statespace_enumerate_n10", |b| {
+        b.iter(|| StateSpace::new(10).iter().count())
+    });
+    let nodes = vec![params(); 10];
+    let eta = vec![3000.0; 10];
+    c.bench_function("gibbs_summary_n10", |b| {
+        b.iter(|| {
+            summarize(&GibbsParams {
+                nodes: black_box(&nodes),
+                eta: black_box(&eta),
+                sigma: 0.5,
+                mode: ThroughputMode::Groupput,
+            })
+        })
+    });
+    c.bench_function("homogeneous_p4_bisection_n50", |b| {
+        b.iter(|| {
+            HomogeneousP4::new(50, params(), 0.5, ThroughputMode::Groupput)
+                .solve()
+                .throughput
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulator_clique5_50k_packets", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::ideal_clique(
+                5,
+                params(),
+                ProtocolConfig::capture_groupput(0.5),
+                50_000.0,
+                42,
+            );
+            Simulator::new(cfg).expect("valid").run().groupput
+        })
+    });
+    c.bench_function("simulator_grid5x5_20k_packets", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::ideal_clique(
+                25,
+                params(),
+                ProtocolConfig::capture_groupput(0.5),
+                20_000.0,
+                42,
+            );
+            cfg.topology = Topology::square_grid(5);
+            Simulator::new(cfg).expect("valid").run().groupput
+        })
+    });
+}
+
+criterion_group!(benches, bench_oracles, bench_statespace, bench_simulator);
+criterion_main!(benches);

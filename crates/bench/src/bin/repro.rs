@@ -1,0 +1,65 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all [--quick]          run every experiment in paper order
+//! repro <id> [--quick]         run one experiment (table2, fig2, …)
+//! repro list                   list experiment ids
+//! ```
+//!
+//! Output goes to stdout; pipe it into `EXPERIMENTS.md` blocks or a
+//! plotting script as needed. `--quick` trades fidelity for speed
+//! (~10× fewer samples / shorter simulations).
+
+use econcast_bench::experiments::registry;
+use econcast_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    let reg = registry();
+    match target.as_deref() {
+        None | Some("help") => {
+            eprintln!("usage: repro <all|list|EXPERIMENT> [--quick]");
+            eprintln!("experiments:");
+            for (id, desc, _) in &reg {
+                eprintln!("  {id:<8} {desc}");
+            }
+            std::process::exit(2);
+        }
+        Some("list") => {
+            for (id, desc, _) in &reg {
+                println!("{id:<8} {desc}");
+            }
+        }
+        Some("all") => {
+            for (id, desc, runner) in &reg {
+                banner(id, desc);
+                let t0 = Instant::now();
+                print!("{}", runner(scale));
+                eprintln!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+            }
+        }
+        Some(id) => match reg.iter().find(|(rid, _, _)| *rid == id) {
+            Some((id, desc, runner)) => {
+                banner(id, desc);
+                let t0 = Instant::now();
+                print!("{}", runner(scale));
+                eprintln!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; try `repro list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn banner(id: &str, desc: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("== {id}: {desc}");
+    println!("{}", "=".repeat(72));
+}

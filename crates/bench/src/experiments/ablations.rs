@@ -1,0 +1,141 @@
+//! Ablation studies for the design choices `DESIGN.md` calls out.
+//!
+//! These go beyond the paper's figures, quantifying each mechanism's
+//! contribution on the reference network (`N = 5`, `ρ = 10 µW`,
+//! `L = X = 500 µW`, σ = 0.5 unless stated):
+//!
+//! 1. **σ frontier** — throughput vs. burstiness vs. latency across σ:
+//!    the Section V-F tradeoff on one axis.
+//! 2. **Controller (δ, τ)** — how the multiplier schedule trades
+//!    power-tracking accuracy against adaptation speed.
+//! 3. **Estimator quality** — EconCast's sensitivity to `ĉ` errors
+//!    (Section V-C claims graceful degradation).
+//! 4. **Ping-interval tax** — what the Section VIII-C overhead costs,
+//!    isolating one cause of the testbed's 57–77% band.
+
+use crate::Scale;
+use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast_sim::config::{EstimatorKind, ScheduleSpec};
+use econcast_sim::{SimConfig, Simulator};
+use econcast_statespace::HomogeneousP4;
+
+const N: usize = 5;
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+fn base_cfg(sigma: f64, t_end: f64, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::ideal_clique(
+        N,
+        params(),
+        ProtocolConfig::capture_groupput(sigma),
+        t_end,
+        seed,
+    );
+    cfg.eta0 = HomogeneousP4::new(N, params(), sigma, ThroughputMode::Groupput)
+        .solve()
+        .eta;
+    cfg.warmup = t_end * 0.1;
+    cfg
+}
+
+/// Runs the ablation suite.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    let t_long = scale.duration(3_000_000.0);
+
+    // 1. σ frontier.
+    out.push_str("[ablation 1] σ frontier: throughput vs burstiness vs latency\n");
+    out.push_str("  σ      T^σ      sim T̃     burst    mean latency(s)\n");
+    for sigma in [0.75, 0.5, 0.375, 0.3] {
+        let p4 = HomogeneousP4::new(N, params(), sigma, ThroughputMode::Groupput).solve();
+        let r = Simulator::new(base_cfg(sigma, t_long, 0xAB1)).expect("valid").run();
+        let lat = r.latency_summary().map(|l| l.mean * 1e-3).unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "  {sigma:<5}  {:.5}  {:.5}  {:>7.1}  {:>10.2}\n",
+            p4.throughput,
+            r.groupput,
+            r.mean_burst_length().unwrap_or(f64::NAN),
+            lat,
+        ));
+    }
+
+    // 2. Controller schedule.
+    out.push_str("\n[ablation 2] multiplier schedule (δ-step, τ): power tracking accuracy\n");
+    out.push_str("  step   tau    sim T̃     worst |P−ρ|/ρ\n");
+    for (step, tau) in [(0.1, 100.0), (0.05, 200.0), (0.02, 500.0), (0.01, 1000.0)] {
+        let mut cfg = base_cfg(0.5, t_long, 0xAB2);
+        cfg.schedule = ScheduleSpec::Normalized { step, tau };
+        let r = Simulator::new(cfg).expect("valid").run();
+        let worst = r
+            .nodes
+            .iter()
+            .map(|n| {
+                ((n.average_power(r.elapsed) - params().budget_w) / params().budget_w).abs()
+            })
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "  {step:<5}  {tau:<5}  {:.5}  {:>12.3}%\n",
+            r.groupput,
+            100.0 * worst
+        ));
+    }
+
+    // 3. Estimator quality.
+    out.push_str("\n[ablation 3] listener-estimate quality (miss rate → throughput)\n");
+    out.push_str("  miss%   sim T̃     vs perfect\n");
+    let perfect = Simulator::new(base_cfg(0.5, t_long, 0xAB3)).expect("valid").run();
+    for miss in [0.0, 0.25, 0.5, 0.75] {
+        let mut cfg = base_cfg(0.5, t_long, 0xAB3);
+        cfg.estimator = EstimatorKind::Noisy {
+            gain: 1.0 - miss,
+            bias: 0.0,
+            cap: f64::INFINITY,
+        };
+        let r = Simulator::new(cfg).expect("valid").run();
+        out.push_str(&format!(
+            "  {:>4.0}%   {:.5}  {:>9.1}%\n",
+            100.0 * miss,
+            r.groupput,
+            100.0 * r.groupput / perfect.groupput
+        ));
+    }
+
+    // 4. Ping-interval tax.
+    out.push_str("\n[ablation 4] ping-interval length (fraction of a packet) → throughput\n");
+    out.push_str("  interval   sim T̃     vs none\n");
+    for interval in [0.0, 0.1, 0.2, 0.4] {
+        let mut cfg = base_cfg(0.5, t_long, 0xAB4);
+        cfg.ping_interval = interval;
+        let r = Simulator::new(cfg).expect("valid").run();
+        out.push_str(&format!(
+            "  {interval:<8}   {:.5}  {:>7.1}%\n",
+            r.groupput,
+            100.0 * r.groupput / perfect.groupput
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_tax_monotone() {
+        // More ping interval, less throughput (the core of ablation 4).
+        let short = {
+            let mut cfg = base_cfg(0.5, 1_200_000.0, 5);
+            cfg.ping_interval = 0.1;
+            Simulator::new(cfg).expect("valid").run().groupput
+        };
+        let long = {
+            let mut cfg = base_cfg(0.5, 1_200_000.0, 5);
+            cfg.ping_interval = 0.4;
+            Simulator::new(cfg).expect("valid").run().groupput
+        };
+        assert!(long < short, "ping tax not monotone: {long} vs {short}");
+    }
+}

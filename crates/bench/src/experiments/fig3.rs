@@ -1,0 +1,156 @@
+//! Fig. 3: throughput ratio vs the power-consumption ratio `X/L`,
+//! with the prior-art comparison.
+//!
+//! Homogeneous cliques, `N = 5`, `ρ = 10 µW`, `L + X = 1 mW`,
+//! `X/L ∈ {1/9, 1/4, 3/7, 2/3, 1, 3/2, 7/3, 4, 9}`,
+//! `σ ∈ {0.1, 0.25, 0.5}`. Paper findings: `T^σ/T*` peaks at
+//! `X/L ≈ 1` and improves as σ falls; at `L = X = 500 µW` EconCast
+//! beats Panda by 6× (σ = 0.5) and 17× (σ = 0.25); Birthday and
+//! Searchlight sit similarly far below the oracle.
+
+use crate::Scale;
+use econcast_baselines::{BirthdayProtocol, PandaConfig, Searchlight};
+use econcast_core::{NodeParams, ThroughputMode};
+use econcast_statespace::HomogeneousP4;
+
+const N: usize = 5;
+const RHO_UW: f64 = 10.0;
+const TOTAL_UW: f64 = 1000.0;
+
+/// The `X/L` grid of the figure, as (numerator, denominator) pairs.
+const RATIOS: [(f64, f64); 9] = [
+    (1.0, 9.0),
+    (1.0, 4.0),
+    (3.0, 7.0),
+    (2.0, 3.0),
+    (1.0, 1.0),
+    (3.0, 2.0),
+    (7.0, 3.0),
+    (4.0, 1.0),
+    (9.0, 1.0),
+];
+
+fn params_for(ratio: f64) -> NodeParams {
+    // X/L = ratio with L + X = 1 mW.
+    let listen = TOTAL_UW / (1.0 + ratio);
+    let transmit = TOTAL_UW - listen;
+    NodeParams::from_microwatts(RHO_UW, listen, transmit)
+}
+
+/// Oracle groupput (closed form, constrained regime).
+fn oracle(params: &NodeParams, mode: ThroughputMode) -> f64 {
+    let nf = N as f64;
+    match mode {
+        ThroughputMode::Groupput => {
+            let beta = params.budget_w / (params.transmit_w + (nf - 1.0) * params.listen_w);
+            nf * (nf - 1.0) * beta
+        }
+        ThroughputMode::Anyput => {
+            (nf * params.budget_w / (params.transmit_w + params.listen_w)).min(1.0)
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig. 3 — T^σ/T* vs X/L (N = {N}, ρ = 10 µW, L + X = 1 mW)\n"
+    ));
+    out.push_str("paper: peak at X/L ≈ 1; EconCast/Panda = 6x (σ=0.5), 17x (σ=0.25) at X=L\n\n");
+
+    for (label, mode) in [
+        ("groupput", ThroughputMode::Groupput),
+        ("anyput", ThroughputMode::Anyput),
+    ] {
+        out.push_str(&format!("[{label}]   X/L:"));
+        for (a, b) in RATIOS {
+            out.push_str(&format!(" {:>7.3}", a / b));
+        }
+        out.push('\n');
+        for sigma in [0.1, 0.25, 0.5] {
+            out.push_str(&format!("  σ={sigma:<5}  :"));
+            for (a, b) in RATIOS {
+                let p = params_for(a / b);
+                let t = HomogeneousP4::new(N, p, sigma, mode).solve().throughput;
+                out.push_str(&format!(" {:>7.4}", t / oracle(&p, mode)));
+            }
+            out.push('\n');
+        }
+        if mode == ThroughputMode::Groupput {
+            // Baseline rows (the paper plots them on the groupput panel).
+            out.push_str("  birthday :");
+            for (a, b) in RATIOS {
+                let p = params_for(a / b);
+                let (t, _, _) = BirthdayProtocol::new(N, p).optimal_groupput();
+                out.push_str(&format!(" {:>7.4}", t / oracle(&p, ThroughputMode::Groupput)));
+            }
+            out.push('\n');
+            out.push_str("  searchlt :");
+            for (a, b) in RATIOS {
+                let p = params_for(a / b);
+                let t = Searchlight::paper_setup(N, p).groupput_upper_bound();
+                out.push_str(&format!(" {:>7.4}", t / oracle(&p, ThroughputMode::Groupput)));
+            }
+            out.push('\n');
+            out.push_str("  panda    :");
+            for (a, b) in RATIOS {
+                let p = params_for(a / b);
+                let mut cfg = PandaConfig::new(N, p);
+                cfg.sim_duration = scale.duration(2_000_000.0);
+                let t = cfg.calibrated().groupput;
+                out.push_str(&format!(" {:>7.4}", t / oracle(&p, ThroughputMode::Groupput)));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
+    // Headline speedup at X = L.
+    let p = params_for(1.0);
+    let t_half = HomogeneousP4::new(N, p, 0.5, ThroughputMode::Groupput)
+        .solve()
+        .throughput;
+    let t_quarter = HomogeneousP4::new(N, p, 0.25, ThroughputMode::Groupput)
+        .solve()
+        .throughput;
+    let mut panda = PandaConfig::new(N, p);
+    panda.sim_duration = scale.duration(2_000_000.0);
+    let t_panda = panda.calibrated().groupput;
+    out.push_str(&format!(
+        "headline at X=L: EconCast/Panda = {:.1}x (σ=0.5), {:.1}x (σ=0.25)  [paper: 6x, 17x]\n",
+        t_half / t_panda,
+        t_quarter / t_panda
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_peaks_near_symmetric_powers() {
+        let sigma = 0.5;
+        let at = |r: f64| {
+            let p = params_for(r);
+            HomogeneousP4::new(N, p, sigma, ThroughputMode::Groupput)
+                .solve()
+                .throughput
+                / oracle(&p, ThroughputMode::Groupput)
+        };
+        let peak = at(1.0);
+        assert!(peak > at(1.0 / 9.0), "X/L=1 should beat X/L=1/9");
+        assert!(peak > at(9.0), "X/L=1 should beat X/L=9");
+    }
+
+    #[test]
+    fn econcast_beats_birthday_at_symmetric_powers() {
+        let p = params_for(1.0);
+        let t = HomogeneousP4::new(N, p, 0.25, ThroughputMode::Groupput)
+            .solve()
+            .throughput;
+        let (tb, _, _) = BirthdayProtocol::new(N, p).optimal_groupput();
+        assert!(t > 3.0 * tb, "EconCast {t} not ≫ Birthday {tb}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 5: communication latency — CDF, mean, and 99th percentile,
+//! with Searchlight's worst-case bound for reference.
+//!
+//! Homogeneous cliques, `N ∈ {5, 10}`, `σ ∈ {0.25, 0.5}`,
+//! `ρ = 10 µW`, `L = X = 500 µW`. Latency is the gap between
+//! consecutive received bursts containing at least one sleep period.
+//! Paper findings: latency grows as σ falls; larger `N` lowers
+//! latency; anyput's p99 beats groupput's at σ = 0.25; the p99
+//! groupput latency stays within 120 s, under Searchlight's 125 s
+//! worst case.
+
+use crate::Scale;
+use econcast_baselines::Searchlight;
+use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast_sim::{SimConfig, Simulator};
+use econcast_statespace::HomogeneousP4;
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+/// Converts packet-times (1 ms packets) to seconds.
+fn to_seconds(packets: f64) -> f64 {
+    packets * 1e-3
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 5 — latency CDF/mean/p99 (ρ = 10 µW, L = X = 500 µW; 1 ms packets)\n");
+    out.push_str("paper: p99 groupput within 120 s for all settings; Searchlight worst case 125 s\n\n");
+
+    for (label, mode) in [
+        ("groupput", ThroughputMode::Groupput),
+        ("anyput", ThroughputMode::Anyput),
+    ] {
+        out.push_str(&format!("[{label}]\n"));
+        for n in [5usize, 10] {
+            for sigma in [0.25, 0.5] {
+                let t_end = scale.duration(if sigma < 0.4 { 8_000_000.0 } else { 3_000_000.0 });
+                let protocol = match mode {
+                    ThroughputMode::Groupput => ProtocolConfig::capture_groupput(sigma),
+                    ThroughputMode::Anyput => ProtocolConfig::capture_anyput(sigma),
+                };
+                let mut cfg = SimConfig::ideal_clique(n, params(), protocol, t_end, 0xF15);
+                cfg.eta0 = HomogeneousP4::new(n, params(), sigma, mode).solve().eta;
+                cfg.warmup = t_end * 0.1;
+                let report = Simulator::new(cfg).expect("valid config").run();
+                match report.latency_summary() {
+                    Some(s) => out.push_str(&format!(
+                        "  N={n:<3} σ={sigma:<5} samples={:<6} mean={:>7.2}s  p50={:>7.2}s  p99={:>7.2}s  max={:>7.2}s\n",
+                        s.count,
+                        to_seconds(s.mean),
+                        to_seconds(s.p50),
+                        to_seconds(s.p99),
+                        to_seconds(s.max),
+                    )),
+                    None => out.push_str(&format!(
+                        "  N={n:<3} σ={sigma:<5} no latency samples (run too short)\n"
+                    )),
+                }
+            }
+        }
+        out.push('\n');
+    }
+
+    let sl = Searchlight::paper_setup(2, params());
+    out.push_str(&format!(
+        "Searchlight pairwise worst case: {:.1} s (paper: 125 s)\n",
+        to_seconds(sl.worst_case_latency())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_nodes_lower_latency() {
+        let latency = |n: usize| {
+            let mut cfg = SimConfig::ideal_clique(
+                n,
+                params(),
+                ProtocolConfig::capture_groupput(0.5),
+                1_500_000.0,
+                3,
+            );
+            cfg.eta0 = HomogeneousP4::new(n, params(), 0.5, ThroughputMode::Groupput)
+                .solve()
+                .eta;
+            cfg.warmup = 100_000.0;
+            Simulator::new(cfg)
+                .expect("valid")
+                .run()
+                .latency_summary()
+                .expect("samples")
+                .mean
+        };
+        let l5 = latency(5);
+        let l10 = latency(10);
+        assert!(
+            l10 < l5,
+            "N=10 mean latency {l10} not below N=5's {l5}"
+        );
+    }
+}

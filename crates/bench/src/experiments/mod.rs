@@ -1,0 +1,71 @@
+//! One module per paper artifact. See each module's docs for the
+//! exact workload and the paper values it is compared against.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::Scale;
+
+/// All experiments in paper order: `(id, description, runner)`.
+pub fn registry() -> Vec<(&'static str, &'static str, fn(Scale) -> String)> {
+    vec![
+        (
+            "table2",
+            "Table II — heterogeneous 4-node example (optimal schedules)",
+            table2::run,
+        ),
+        (
+            "fig2",
+            "Fig. 2 — throughput ratio vs heterogeneity h (groupput & anyput)",
+            fig2::run,
+        ),
+        (
+            "fig3",
+            "Fig. 3 — throughput ratio vs X/L + Panda/Birthday/Searchlight",
+            fig3::run,
+        ),
+        (
+            "fig4",
+            "Fig. 4 — average burst length vs sigma (analytic + simulation)",
+            fig4::run,
+        ),
+        (
+            "fig5",
+            "Fig. 5 — latency CDF / mean / p99 + Searchlight worst case",
+            fig5::run,
+        ),
+        (
+            "fig6",
+            "Fig. 6 — grid-topology groupput: oracle bound + simulation",
+            fig6::run,
+        ),
+        (
+            "fig7",
+            "Fig. 7 — emulated testbed throughput ratios & battery variance",
+            fig7::run,
+        ),
+        (
+            "table3",
+            "Table III — emulated EconCast-C vs Panda",
+            table3::run,
+        ),
+        (
+            "table4",
+            "Table IV — distribution of pings received per packet",
+            table4::run,
+        ),
+        (
+            "ablations",
+            "Ablations — σ frontier, controller schedule, estimator quality, ping tax",
+            ablations::run,
+        ),
+    ]
+}

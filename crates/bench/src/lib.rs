@@ -1,0 +1,49 @@
+//! # econcast-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Sections VII–VIII). Each experiment lives in its own module under
+//! [`experiments`], exposes a `run(scale) -> String` function that
+//! returns the formatted rows/series the paper reports, and is wired
+//! into the `repro` binary:
+//!
+//! ```text
+//! cargo run -p econcast-bench --release --bin repro -- all
+//! cargo run -p econcast-bench --release --bin repro -- fig3 --quick
+//! ```
+//!
+//! `--quick` shrinks sample counts and simulated durations by roughly
+//! an order of magnitude for smoke runs; the default scale matches the
+//! fidelity targets recorded in `EXPERIMENTS.md`.
+//!
+//! Criterion micro-benchmarks for the computational kernels (simplex,
+//! state-space enumeration, Gibbs summaries, the simulator event loop)
+//! live in `benches/microbench.rs`.
+
+pub mod experiments;
+
+/// Experiment fidelity scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-fidelity sample counts and durations.
+    Full,
+    /// ~10× cheaper smoke runs for CI.
+    Quick,
+}
+
+impl Scale {
+    /// Multiplies a full-scale count down for quick runs.
+    pub fn samples(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 10).max(3),
+        }
+    }
+
+    /// Multiplies a full-scale duration down for quick runs.
+    pub fn duration(&self, full: f64) -> f64 {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => full / 10.0,
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The per-node energy storage `b(t)` (Section III-A).
+//!
+//! Energy arrives at the (possibly time-varying) budget rate `ρ` and
+//! drains at the power of the current state. Two storage semantics are
+//! provided:
+//!
+//! * **Ledger** — the idealized "virtual battery" used both in the
+//!   paper's simulations (Section VII-A) and on its testbed
+//!   (Section VIII-A): an unbounded signed accumulator whose *drift*
+//!   drives the multiplier update (17). It may go negative; only the
+//!   change over an interval matters.
+//! * **Bounded** — a physical store (capacitor or battery) with a
+//!   capacity and an empty level; useful for studying protocol behaviour
+//!   under hard energy causality, and used by `econcast-hw`'s capacitor
+//!   experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage semantics for [`EnergyStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// Unbounded signed accumulator (the paper's virtual battery).
+    Ledger,
+    /// Physical store clamped to `[0, capacity_j]` joules.
+    Bounded {
+        /// Maximum stored energy (J).
+        capacity_j: f64,
+    },
+}
+
+/// A node's energy store with piecewise-constant harvest and drain
+/// rates. Time is advanced explicitly with [`EnergyStore::advance`];
+/// the store does not own a clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyStore {
+    level_j: f64,
+    kind: StorageKind,
+    /// Energy harvested per unit time (W when time is in seconds; any
+    /// consistent unit works since only ratios matter).
+    harvest_rate: f64,
+    /// Current drain (state power), same unit as `harvest_rate`.
+    drain_rate: f64,
+    /// Lifetime totals for audits.
+    total_harvested: f64,
+    total_consumed: f64,
+    /// Energy that could not be stored because the store was full
+    /// (only non-zero for bounded stores).
+    total_spilled: f64,
+}
+
+impl EnergyStore {
+    /// Creates an unbounded ledger store starting at `level_j` with the
+    /// given harvest rate.
+    pub fn ledger(level_j: f64, harvest_rate: f64) -> Self {
+        assert!(harvest_rate >= 0.0 && harvest_rate.is_finite());
+        EnergyStore {
+            level_j,
+            kind: StorageKind::Ledger,
+            harvest_rate,
+            drain_rate: 0.0,
+            total_harvested: 0.0,
+            total_consumed: 0.0,
+            total_spilled: 0.0,
+        }
+    }
+
+    /// Creates a bounded store with the given capacity, starting level,
+    /// and harvest rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level_j ∉ [0, capacity_j]` or the capacity is not
+    /// positive.
+    pub fn bounded(level_j: f64, capacity_j: f64, harvest_rate: f64) -> Self {
+        assert!(capacity_j > 0.0 && capacity_j.is_finite());
+        assert!(
+            (0.0..=capacity_j).contains(&level_j),
+            "initial level {level_j} outside [0, {capacity_j}]"
+        );
+        assert!(harvest_rate >= 0.0 && harvest_rate.is_finite());
+        EnergyStore {
+            level_j,
+            kind: StorageKind::Bounded { capacity_j },
+            harvest_rate,
+            drain_rate: 0.0,
+            total_harvested: 0.0,
+            total_consumed: 0.0,
+            total_spilled: 0.0,
+        }
+    }
+
+    /// Current stored energy `b(t)` (J; may be negative for ledgers).
+    #[inline]
+    pub fn level(&self) -> f64 {
+        self.level_j
+    }
+
+    /// The configured harvest rate.
+    pub fn harvest_rate(&self) -> f64 {
+        self.harvest_rate
+    }
+
+    /// Changes the harvest rate (time-varying budgets, Section III-A).
+    pub fn set_harvest_rate(&mut self, rate: f64) {
+        assert!(rate >= 0.0 && rate.is_finite());
+        self.harvest_rate = rate;
+    }
+
+    /// Sets the drain to the power of the node's new state.
+    pub fn set_drain_rate(&mut self, rate: f64) {
+        assert!(rate >= 0.0 && rate.is_finite());
+        self.drain_rate = rate;
+    }
+
+    /// Current drain rate.
+    pub fn drain_rate(&self) -> f64 {
+        self.drain_rate
+    }
+
+    /// Advances time by `dt`, integrating harvest minus drain.
+    ///
+    /// For bounded stores the level saturates at the capacity (excess
+    /// harvest is spilled and recorded) and at zero (the *caller* is
+    /// responsible for not scheduling work an empty store cannot pay
+    /// for; any shortfall is clamped and the consumed total only counts
+    /// energy actually delivered).
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "time cannot go backwards");
+        let harvested = self.harvest_rate * dt;
+        let wanted = self.drain_rate * dt;
+        self.total_harvested += harvested;
+        match self.kind {
+            StorageKind::Ledger => {
+                self.level_j += harvested - wanted;
+                self.total_consumed += wanted;
+            }
+            StorageKind::Bounded { capacity_j } => {
+                let mut level = self.level_j + harvested;
+                // Drain what is actually available.
+                let delivered = wanted.min(level.max(0.0));
+                self.total_consumed += delivered;
+                level -= delivered;
+                if level > capacity_j {
+                    self.total_spilled += level - capacity_j;
+                    level = capacity_j;
+                }
+                self.level_j = level.max(0.0);
+            }
+        }
+    }
+
+    /// True when a bounded store has no energy left (ledgers never
+    /// deplete — they go negative instead).
+    pub fn is_depleted(&self) -> bool {
+        match self.kind {
+            StorageKind::Ledger => false,
+            StorageKind::Bounded { .. } => self.level_j <= 0.0,
+        }
+    }
+
+    /// Lifetime harvested energy (J).
+    pub fn total_harvested(&self) -> f64 {
+        self.total_harvested
+    }
+
+    /// Lifetime consumed energy (J) actually delivered to the radio.
+    pub fn total_consumed(&self) -> f64 {
+        self.total_consumed
+    }
+
+    /// Lifetime energy lost to a full bounded store (J).
+    pub fn total_spilled(&self) -> f64 {
+        self.total_spilled
+    }
+
+    /// Average consumption rate over `elapsed` time units — the quantity
+    /// audited against the budget in Section VIII-B.
+    pub fn average_consumption(&self, elapsed: f64) -> f64 {
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.total_consumed / elapsed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_integrates_signed_drift() {
+        let mut s = EnergyStore::ledger(0.0, 10e-6);
+        s.set_drain_rate(500e-6); // listening
+        s.advance(1.0);
+        // Net −490 µJ.
+        assert!((s.level() + 490e-6).abs() < 1e-12);
+        s.set_drain_rate(0.0); // sleeping
+        s.advance(49.0);
+        // Harvested 49·10 µJ back: level = −490µ + 490µ = 0.
+        assert!(s.level().abs() < 1e-10);
+        assert!((s.total_harvested() - 500e-6).abs() < 1e-12);
+        assert!((s.total_consumed() - 500e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_energy_conservation_invariant() {
+        let mut s = EnergyStore::ledger(2.5, 3.0);
+        let start = s.level();
+        for (dt, drain) in [(0.5, 1.0), (1.5, 7.0), (2.0, 0.0), (0.25, 3.0)] {
+            s.set_drain_rate(drain);
+            s.advance(dt);
+        }
+        let expected = start + s.total_harvested() - s.total_consumed();
+        assert!((s.level() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_store_saturates_and_spills() {
+        let mut s = EnergyStore::bounded(0.9, 1.0, 1.0);
+        s.advance(0.5); // would reach 1.4 → clamps to 1.0, spills 0.4
+        assert_eq!(s.level(), 1.0);
+        assert!((s.total_spilled() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_store_depletes_and_reports() {
+        let mut s = EnergyStore::bounded(0.1, 1.0, 0.0);
+        s.set_drain_rate(1.0);
+        s.advance(0.5); // wants 0.5 J, only 0.1 available
+        assert!(s.is_depleted());
+        assert_eq!(s.level(), 0.0);
+        assert!((s.total_consumed() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_never_reports_depletion() {
+        let mut s = EnergyStore::ledger(0.0, 0.0);
+        s.set_drain_rate(1.0);
+        s.advance(10.0);
+        assert!(s.level() < 0.0);
+        assert!(!s.is_depleted());
+    }
+
+    #[test]
+    fn average_consumption_audit() {
+        let mut s = EnergyStore::ledger(0.0, 10e-6);
+        s.set_drain_rate(500e-6);
+        s.advance(2.0); // consumed 1 mJ over 2 s
+        assert!((s.average_consumption(100.0) - 10e-6).abs() < 1e-12);
+        assert_eq!(s.average_consumption(0.0), 0.0);
+    }
+
+    #[test]
+    fn time_varying_harvest_rate() {
+        let mut s = EnergyStore::ledger(0.0, 1.0);
+        s.advance(1.0);
+        s.set_harvest_rate(3.0);
+        s.advance(1.0);
+        assert!((s.level() - 4.0).abs() < 1e-12);
+        assert!((s.harvest_rate() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bounded_initial_level_validated() {
+        EnergyStore::bounded(2.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Listener estimation `ĉ(t)` / `γ̂(t)` (Section V-C).
+//!
+//! EconCast's rates need to know how many other nodes are currently
+//! listening (groupput) or whether any node is (anyput). In theory the
+//! protocol is analyzed with perfect knowledge (Theorem 1); in practice
+//! the count is estimated from low-cost informationless *pings*. This
+//! module defines the estimation interface plus two reference
+//! implementations:
+//!
+//! * [`PerfectEstimator`] — returns the true count (the idealized
+//!   setting of the numerical evaluation, Section VII-A);
+//! * [`NoisyEstimator`] — deterministic bias/truncation models to study
+//!   the paper's claim that "the estimates do not need to be accurate
+//!   for EconCast to function, although poor estimates are expected to
+//!   reduce throughput".
+//!
+//! The realistic ping-collision estimator lives in `econcast-hw`, next
+//! to the radio model it depends on; it implements the same trait.
+
+/// The outcome of a listener estimation round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListenerEstimate {
+    /// Estimated number of concurrent listeners `ĉ(t)`.
+    pub count: f64,
+}
+
+impl ListenerEstimate {
+    /// The anyput indicator `γ̂(t) = 1{ĉ ≥ 1}`.
+    pub fn any(self) -> bool {
+        self.count >= 1.0
+    }
+}
+
+/// Strategy for deriving `ĉ(t)` from ground truth. Implementations may
+/// be stateful (e.g. exponentially smoothed ping counters).
+pub trait ListenerEstimator {
+    /// Produces an estimate given the *true* number of current
+    /// listeners. Realistic estimators degrade this ground truth to
+    /// model ping loss or collision; ideal ones return it unchanged.
+    fn estimate(&mut self, true_listeners: usize) -> ListenerEstimate;
+}
+
+/// Perfect knowledge of the listener count: `ĉ(t) = c(t)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectEstimator;
+
+impl ListenerEstimator for PerfectEstimator {
+    fn estimate(&mut self, true_listeners: usize) -> ListenerEstimate {
+        ListenerEstimate {
+            count: true_listeners as f64,
+        }
+    }
+}
+
+/// A deterministic degradation model: the true count is scaled by
+/// `gain`, shifted by `bias`, and clamped at `cap` and zero. Useful for
+/// sensitivity studies of estimation error.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisyEstimator {
+    /// Multiplicative detection gain (e.g. 0.8 ⇒ 20% of pings missed).
+    pub gain: f64,
+    /// Additive bias in listeners.
+    pub bias: f64,
+    /// Upper cap on reported listeners (a receiver can only decode so
+    /// many pings per interval); `f64::INFINITY` disables the cap.
+    pub cap: f64,
+}
+
+impl NoisyEstimator {
+    /// An estimator that misses a fraction `miss ∈ [0, 1]` of
+    /// listeners.
+    pub fn with_miss_rate(miss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&miss));
+        NoisyEstimator {
+            gain: 1.0 - miss,
+            bias: 0.0,
+            cap: f64::INFINITY,
+        }
+    }
+}
+
+impl ListenerEstimator for NoisyEstimator {
+    fn estimate(&mut self, true_listeners: usize) -> ListenerEstimate {
+        let raw = self.gain * true_listeners as f64 + self.bias;
+        ListenerEstimate {
+            count: raw.clamp(0.0, self.cap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimator_is_identity() {
+        let mut e = PerfectEstimator;
+        for c in 0..10 {
+            assert_eq!(e.estimate(c).count, c as f64);
+        }
+    }
+
+    #[test]
+    fn any_indicator_threshold() {
+        assert!(!ListenerEstimate { count: 0.0 }.any());
+        assert!(!ListenerEstimate { count: 0.99 }.any());
+        assert!(ListenerEstimate { count: 1.0 }.any());
+        assert!(ListenerEstimate { count: 4.0 }.any());
+    }
+
+    #[test]
+    fn noisy_estimator_scales_and_clamps() {
+        let mut e = NoisyEstimator {
+            gain: 0.5,
+            bias: 0.0,
+            cap: 2.0,
+        };
+        assert_eq!(e.estimate(2).count, 1.0);
+        assert_eq!(e.estimate(10).count, 2.0); // capped
+        let mut under = NoisyEstimator {
+            gain: 1.0,
+            bias: -3.0,
+            cap: f64::INFINITY,
+        };
+        assert_eq!(under.estimate(1).count, 0.0); // clamped at zero
+    }
+
+    #[test]
+    fn miss_rate_constructor() {
+        let mut e = NoisyEstimator::with_miss_rate(0.25);
+        assert!((e.estimate(4).count - 3.0).abs() < 1e-12);
+        let mut all = NoisyEstimator::with_miss_rate(0.0);
+        assert_eq!(all.estimate(7).count, 7.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_miss_rate_rejected() {
+        NoisyEstimator::with_miss_rate(1.5);
+    }
+}

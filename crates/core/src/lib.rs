@@ -1,0 +1,44 @@
+//! # econcast-core — node model and EconCast protocol engine
+//!
+//! This crate holds the paper-faithful building blocks shared by every
+//! other crate in the workspace:
+//!
+//! * [`NodeParams`] — the per-node power triple `(ρ_i, L_i, X_i)` of
+//!   Section III-A (budget, listen and transmit power consumption);
+//! * [`NodeState`] — the sleep / listen / transmit state machine of
+//!   Fig. 1, with the legality of transitions encoded in the type;
+//! * [`ThroughputMode`] — groupput vs. anyput (Definitions 1 and 2);
+//! * [`rates`] — the EconCast transition rates of eq. (18a)–(18f) for
+//!   both the capture (`EconCast-C`) and non-capture (`EconCast-NC`)
+//!   variants;
+//! * [`Multiplier`] — the Lagrange multiplier `η` and its noisy
+//!   gradient update from energy-storage drift, eq. (17), together with
+//!   the step-size/interval schedules of Theorem 1 and Section V-F;
+//! * [`EnergyStore`] — the energy ledger `b(t)` (harvest at `ρ`, drain
+//!   at `L`/`X`), in both idealized (unbounded "virtual battery") and
+//!   physical (capacity-clamped capacitor) flavours;
+//! * [`ListenerEstimator`] — the `ĉ(t)` / `γ̂(t)` estimation interface
+//!   of Section V-C, with perfect and noisy implementations (the
+//!   ping-collision estimator lives in `econcast-hw` where the radio
+//!   model is);
+//! * [`Topology`] — clique and general-graph connectivity shared by the
+//!   oracle solvers and the simulator.
+//!
+//! Everything here is deterministic and allocation-light; the
+//! stochastic machinery (timers, event queues) lives in `econcast-sim`.
+
+pub mod energy;
+pub mod estimator;
+pub mod multiplier;
+pub mod node;
+pub mod rates;
+pub mod state;
+pub mod topology;
+
+pub use energy::EnergyStore;
+pub use estimator::{ListenerEstimate, ListenerEstimator, NoisyEstimator, PerfectEstimator};
+pub use multiplier::{Multiplier, StepSchedule};
+pub use node::{NodeId, NodeParams};
+pub use rates::{ProtocolConfig, TransitionRates, Variant};
+pub use state::{NodeState, ThroughputMode};
+pub use topology::Topology;

@@ -1,0 +1,296 @@
+//! The Lagrange multiplier `η` and its noisy-gradient update, eq. (17).
+//!
+//! Each node maintains one scalar multiplier. At the end of the `k`-th
+//! interval (length `τ_k`) it observes the change of its energy storage
+//! level and updates
+//!
+//! ```text
+//! η[k] = ( η[k−1] − δ_k/τ_k · (b[k] − b[k−1]) )⁺            (17)
+//! ```
+//!
+//! `(b[k] − b[k−1])/τ_k` is an unbiased estimate of `ρ − (αL + βX)`,
+//! the dual gradient (22): if the node under-spends its budget the
+//! battery drifts up and `η` falls (be more active); if it over-spends
+//! `η` rises (sleep more). Theorem 1 requires the diminishing schedule
+//! `δ_k = 1/((k+1) log(k+1))`, `τ_k = k`; Section V-F notes that in
+//! practice constant `δ` and `τ` work and trade convergence speed
+//! against oscillation.
+
+use serde::{Deserialize, Serialize};
+
+/// Step-size / interval-length schedule for the multiplier update.
+///
+/// Note on units: `δ` multiplies raw energy deltas (joules when time is
+/// in seconds and power in watts), so its useful magnitude depends on
+/// the power scale — the paper's "δ ∈ (0, 1)" presumes energy measured
+/// in units where the per-interval drift is O(1). Use
+/// [`StepSchedule::normalized_constant`] to pick `δ` from a
+/// dimensionless step fraction instead of guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StepSchedule {
+    /// Constant `δ` and `τ` — the practical choice of Section V-F
+    /// ("small constant δ and large constant τ").
+    Constant {
+        /// Step size `δ > 0` (units: 1/(energy·time) such that
+        /// `δ/τ·Δb` moves `η` usefully; see the type-level note).
+        delta: f64,
+        /// Interval length `τ > 0` (packet-times).
+        tau: f64,
+    },
+    /// The provably convergent schedule from Theorem 1:
+    /// `δ_k = 1/((k+1)·log(k+1))`, `τ_k = k`.
+    Theorem1,
+}
+
+impl StepSchedule {
+    /// Builds a constant schedule whose worst-case per-update movement
+    /// of the *dimensionless* multiplier `η·max(L,X)/σ` is `step_frac`.
+    ///
+    /// Derivation: one update moves `η` by `δ·|ρ − cons| ≤ δ·C̄` with
+    /// `C̄ = max(L, X)`, i.e. moves `η·C̄/σ` by at most `δ·C̄²/σ`;
+    /// solving for `δ` gives `δ = step_frac·σ/C̄²`.
+    pub fn normalized_constant(
+        step_frac: f64,
+        tau: f64,
+        sigma: f64,
+        listen_w: f64,
+        transmit_w: f64,
+    ) -> Self {
+        assert!(step_frac > 0.0 && step_frac.is_finite());
+        assert!(sigma > 0.0 && sigma.is_finite());
+        let cbar = listen_w.max(transmit_w);
+        assert!(cbar > 0.0);
+        StepSchedule::Constant {
+            delta: step_frac * sigma / (cbar * cbar),
+            tau,
+        }
+    }
+}
+
+impl StepSchedule {
+    /// Step size `δ_k` for interval `k` (1-based).
+    pub fn delta(&self, k: u64) -> f64 {
+        match self {
+            StepSchedule::Constant { delta, .. } => *delta,
+            StepSchedule::Theorem1 => {
+                let kf = k as f64;
+                1.0 / ((kf + 1.0) * (kf + 1.0).ln())
+            }
+        }
+    }
+
+    /// Interval length `τ_k` for interval `k` (1-based), in packet-times.
+    pub fn tau(&self, k: u64) -> f64 {
+        match self {
+            StepSchedule::Constant { tau, .. } => *tau,
+            StepSchedule::Theorem1 => k as f64,
+        }
+    }
+}
+
+/// One node's Lagrange multiplier state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Multiplier {
+    eta: f64,
+    schedule: StepSchedule,
+    /// Interval counter `k` (the next update closes interval `k`).
+    k: u64,
+}
+
+impl Multiplier {
+    /// Creates a multiplier starting at `η[0] = eta0 ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta0` is negative/non-finite or a constant schedule
+    /// has `δ ∉ (0,1)` or `τ ≤ 0`.
+    pub fn new(eta0: f64, schedule: StepSchedule) -> Self {
+        assert!(
+            eta0 >= 0.0 && eta0.is_finite(),
+            "initial multiplier must be non-negative and finite"
+        );
+        if let StepSchedule::Constant { delta, tau } = schedule {
+            assert!(
+                delta > 0.0 && delta.is_finite(),
+                "step size delta must be positive and finite, got {delta}"
+            );
+            assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
+        }
+        Multiplier {
+            eta: eta0,
+            schedule,
+            k: 1,
+        }
+    }
+
+    /// The current multiplier value `η[k]`, frozen within an interval.
+    #[inline]
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// Number of completed update intervals.
+    pub fn intervals_completed(&self) -> u64 {
+        self.k - 1
+    }
+
+    /// Length `τ_k` of the *current* interval, so the caller knows when
+    /// to next call [`Multiplier::update`].
+    pub fn current_interval_length(&self) -> f64 {
+        self.schedule.tau(self.k)
+    }
+
+    /// Closes interval `k` with the observed energy-storage drift
+    /// `b[k] − b[k−1]` (joules, may be negative) and applies eq. (17).
+    /// Returns the new `η[k]`.
+    pub fn update(&mut self, battery_delta: f64) -> f64 {
+        let delta_k = self.schedule.delta(self.k);
+        let tau_k = self.schedule.tau(self.k);
+        self.eta = (self.eta - delta_k / tau_k * battery_delta).max(0.0);
+        self.k += 1;
+        self.eta
+    }
+
+    /// Equivalent update expressed with the *gradient estimate*
+    /// `ĝ = ρ − power_consumed/τ = (b[k]−b[k−1])/τ_k` directly, matching
+    /// the centralized form (23): `η ← (η − δ_k · ĝ)⁺`.
+    pub fn update_with_gradient(&mut self, gradient_estimate: f64) -> f64 {
+        let delta_k = self.schedule.delta(self.k);
+        self.eta = (self.eta - delta_k * gradient_estimate).max(0.0);
+        self.k += 1;
+        self.eta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overspending_raises_eta_underspending_lowers_it() {
+        let mut m = Multiplier::new(
+            1.0,
+            StepSchedule::Constant {
+                delta: 0.1,
+                tau: 10.0,
+            },
+        );
+        // Battery fell by 5 J over the interval (over-spending): η rises
+        // by δ/τ·5 = 0.05.
+        let eta = m.update(-5.0);
+        assert!((eta - 1.05).abs() < 1e-12);
+        // Battery rose by 5 J (under-spending): η falls back.
+        let eta = m.update(5.0);
+        assert!((eta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_is_clamped_at_zero() {
+        let mut m = Multiplier::new(
+            0.01,
+            StepSchedule::Constant {
+                delta: 0.5,
+                tau: 1.0,
+            },
+        );
+        let eta = m.update(100.0); // huge surplus
+        assert_eq!(eta, 0.0);
+        // And it can rise again from zero.
+        let eta = m.update(-1.0);
+        assert!(eta > 0.0);
+    }
+
+    #[test]
+    fn theorem1_schedule_values() {
+        let s = StepSchedule::Theorem1;
+        // δ_k = 1/((k+1) ln(k+1)), τ_k = k.
+        assert!((s.delta(1) - 1.0 / (2.0 * 2.0f64.ln())).abs() < 1e-12);
+        assert!((s.delta(9) - 1.0 / (10.0 * 10.0f64.ln())).abs() < 1e-12);
+        assert_eq!(s.tau(1), 1.0);
+        assert_eq!(s.tau(7), 7.0);
+        // The step sizes diminish.
+        assert!(s.delta(2) < s.delta(1));
+        assert!(s.delta(100) < s.delta(10));
+    }
+
+    #[test]
+    fn theorem1_interval_grows_as_updates_accrue() {
+        let mut m = Multiplier::new(0.0, StepSchedule::Theorem1);
+        assert_eq!(m.current_interval_length(), 1.0);
+        m.update(0.0);
+        assert_eq!(m.current_interval_length(), 2.0);
+        m.update(0.0);
+        assert_eq!(m.current_interval_length(), 3.0);
+        assert_eq!(m.intervals_completed(), 2);
+    }
+
+    #[test]
+    fn gradient_form_matches_battery_form() {
+        let sched = StepSchedule::Constant {
+            delta: 0.2,
+            tau: 4.0,
+        };
+        let mut a = Multiplier::new(2.0, sched);
+        let mut b = Multiplier::new(2.0, sched);
+        // Battery delta of −3 J over τ=4 ⇔ gradient estimate −0.75.
+        let ea = a.update(-3.0);
+        let eb = b.update_with_gradient(-0.75);
+        assert!((ea - eb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_drift_leaves_eta_unchanged() {
+        let mut m = Multiplier::new(
+            1.5,
+            StepSchedule::Constant {
+                delta: 0.1,
+                tau: 1.0,
+            },
+        );
+        assert_eq!(m.update(0.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "step size delta")]
+    fn delta_out_of_range_rejected() {
+        Multiplier::new(
+            0.0,
+            StepSchedule::Constant {
+                delta: 0.0,
+                tau: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    fn normalized_constant_scales_with_power() {
+        // δ = step·σ/C̄²: one update with the worst-case drift |Δb| =
+        // C̄·τ moves the dimensionless multiplier ηC̄/σ by exactly step.
+        let (sigma, l, x) = (0.5, 500e-6, 400e-6);
+        let sched = StepSchedule::normalized_constant(0.05, 100.0, sigma, l, x);
+        let StepSchedule::Constant { delta, tau } = sched else {
+            panic!("expected constant schedule");
+        };
+        let cbar: f64 = l.max(x);
+        let mut m = Multiplier::new(0.0, sched);
+        m.update(-cbar * tau); // node drew C̄ the whole interval, ρ≈0
+        let dimensionless = m.eta() * cbar / sigma;
+        assert!(
+            (dimensionless - 0.05).abs() < 1e-12,
+            "normalized step {dimensionless}"
+        );
+        assert!((delta - 0.05 * sigma / (cbar * cbar)).abs() < 1e-9 * delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial multiplier")]
+    fn negative_eta0_rejected() {
+        Multiplier::new(
+            -0.1,
+            StepSchedule::Constant {
+                delta: 0.1,
+                tau: 1.0,
+            },
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-node identity and power parameters (paper Section III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the network. Nodes are dense `0..N`, so a plain
+/// newtype over `usize` keeps everything array-indexable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The power triple `(ρ_i, L_i, X_i)` of a node: its power budget and
+/// its listen/transmit power consumption levels, all in watts.
+///
+/// Sleep power is zero by convention; the paper's footnote 2 notes that
+/// a non-zero sleep draw can be folded in by reducing `ρ` or raising
+/// `L` and `X`, and [`NodeParams::fold_sleep_power`] implements exactly
+/// that.
+///
+/// Only the *ratios* `L/ρ` and `X/ρ` matter to the protocol and the
+/// oracle (Section VII-A), so any consistent unit works; the
+/// constructors below take watts to match the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// Power budget `ρ_i` (W): harvesting rate or lifetime-derived cap.
+    pub budget_w: f64,
+    /// Listen/receive power consumption `L_i` (W).
+    pub listen_w: f64,
+    /// Transmit power consumption `X_i` (W).
+    pub transmit_w: f64,
+}
+
+impl NodeParams {
+    /// Creates a parameter set, validating positivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-positive or non-finite — these are
+    /// construction-time programming errors, not runtime conditions.
+    pub fn new(budget_w: f64, listen_w: f64, transmit_w: f64) -> Self {
+        assert!(
+            budget_w > 0.0 && budget_w.is_finite(),
+            "power budget must be positive and finite, got {budget_w}"
+        );
+        assert!(
+            listen_w > 0.0 && listen_w.is_finite(),
+            "listen power must be positive and finite, got {listen_w}"
+        );
+        assert!(
+            transmit_w > 0.0 && transmit_w.is_finite(),
+            "transmit power must be positive and finite, got {transmit_w}"
+        );
+        NodeParams {
+            budget_w,
+            listen_w,
+            transmit_w,
+        }
+    }
+
+    /// Convenience constructor with all values in microwatts, the unit
+    /// of the paper's numerical evaluation (Section VII).
+    pub fn from_microwatts(budget_uw: f64, listen_uw: f64, transmit_uw: f64) -> Self {
+        Self::new(budget_uw * 1e-6, listen_uw * 1e-6, transmit_uw * 1e-6)
+    }
+
+    /// Convenience constructor with all values in milliwatts, the unit
+    /// of the testbed experiments (Section VIII).
+    pub fn from_milliwatts(budget_mw: f64, listen_mw: f64, transmit_mw: f64) -> Self {
+        Self::new(budget_mw * 1e-3, listen_mw * 1e-3, transmit_mw * 1e-3)
+    }
+
+    /// Accounts for a non-zero sleep power draw `s` (W) per the paper's
+    /// footnote 2: the effective budget shrinks by `s` and both awake
+    /// powers are measured relative to sleep.
+    ///
+    /// Returns `None` when the sleep draw alone exceeds the budget (the
+    /// node cannot sustain even permanent sleep).
+    pub fn fold_sleep_power(&self, sleep_w: f64) -> Option<Self> {
+        assert!(sleep_w >= 0.0 && sleep_w.is_finite());
+        let budget = self.budget_w - sleep_w;
+        if budget <= 0.0 {
+            return None;
+        }
+        Some(NodeParams {
+            budget_w: budget,
+            listen_w: self.listen_w - sleep_w,
+            transmit_w: self.transmit_w - sleep_w,
+        })
+    }
+
+    /// `X_i / L_i`, the power-consumption ratio swept in Fig. 3.
+    pub fn consumption_ratio(&self) -> f64 {
+        self.transmit_w / self.listen_w
+    }
+
+    /// True when the node is "sufficiently energy-constrained" in the
+    /// paper's sense: a node that spent its whole budget listening would
+    /// still be awake less than `threshold` of the time (the regime
+    /// where constraint (9) dominates (10)).
+    pub fn is_severely_constrained(&self, threshold: f64) -> bool {
+        self.budget_w / self.listen_w.min(self.transmit_w) < threshold
+    }
+
+    /// Average power consumed by a node that listens an `alpha` fraction
+    /// and transmits a `beta` fraction of the time (the LHS of
+    /// constraint (9)).
+    pub fn average_power(&self, alpha: f64, beta: f64) -> f64 {
+        alpha * self.listen_w + beta * self.transmit_w
+    }
+
+    /// Whether `(alpha, beta)` satisfies the power constraint (9) and
+    /// the time constraint (10) within tolerance `tol`.
+    pub fn admits(&self, alpha: f64, beta: f64, tol: f64) -> bool {
+        alpha >= -tol
+            && beta >= -tol
+            && alpha + beta <= 1.0 + tol
+            && self.average_power(alpha, beta) <= self.budget_w + tol
+    }
+}
+
+/// Builds a homogeneous network: `n` identical nodes (Section VII-A's
+/// `ρ_i = ρ, L_i = L, X_i = X` setting).
+pub fn homogeneous(n: usize, params: NodeParams) -> Vec<NodeParams> {
+    vec![params; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        let a = NodeParams::new(10e-6, 500e-6, 500e-6);
+        let b = NodeParams::from_microwatts(10.0, 500.0, 500.0);
+        assert!((a.budget_w - b.budget_w).abs() < 1e-18);
+        assert!((a.listen_w - b.listen_w).abs() < 1e-18);
+        assert!((a.transmit_w - b.transmit_w).abs() < 1e-18);
+        let c = NodeParams::new(1e-3, 67.08e-3, 56.29e-3);
+        let d = NodeParams::from_milliwatts(1.0, 67.08, 56.29);
+        assert!((c.budget_w - d.budget_w).abs() < 1e-15);
+        assert!((c.listen_w - d.listen_w).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "power budget must be positive")]
+    fn zero_budget_rejected() {
+        NodeParams::new(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "listen power must be positive")]
+    fn nan_listen_rejected() {
+        NodeParams::new(1.0, f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn sleep_power_folding() {
+        let p = NodeParams::from_microwatts(10.0, 500.0, 600.0);
+        let folded = p.fold_sleep_power(1e-6).unwrap();
+        assert!((folded.budget_w - 9e-6).abs() < 1e-12);
+        assert!((folded.listen_w - 499e-6).abs() < 1e-12);
+        assert!((folded.transmit_w - 599e-6).abs() < 1e-12);
+        // Sleep draw at/above the budget makes the node unsustainable.
+        assert!(p.fold_sleep_power(10e-6).is_none());
+        assert!(p.fold_sleep_power(11e-6).is_none());
+    }
+
+    #[test]
+    fn severity_classification() {
+        // ρ = 10 µW, L = X = 500 µW → awake at most 2% of the time.
+        let p = NodeParams::from_microwatts(10.0, 500.0, 500.0);
+        assert!(p.is_severely_constrained(0.1));
+        // A node that can afford to be awake always is not constrained.
+        let q = NodeParams::from_microwatts(1000.0, 500.0, 500.0);
+        assert!(!q.is_severely_constrained(1.0));
+    }
+
+    #[test]
+    fn admits_checks_both_constraints() {
+        let p = NodeParams::from_microwatts(10.0, 500.0, 500.0);
+        assert!(p.admits(0.01, 0.01, 1e-12)); // exactly on the power budget
+        assert!(!p.admits(0.011, 0.01, 1e-12)); // power violated
+        let rich = NodeParams::new(10.0, 1.0, 1.0);
+        assert!(!rich.admits(0.7, 0.6, 1e-12)); // time budget violated
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let p = NodeParams::from_microwatts(10.0, 500.0, 500.0);
+        let net = homogeneous(5, p);
+        assert_eq!(net.len(), 5);
+        assert!(net.iter().all(|q| *q == p));
+    }
+
+    #[test]
+    fn display_of_node_id() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+}

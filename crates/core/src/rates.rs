@@ -1,0 +1,270 @@
+//! The EconCast transition rates, eq. (18a)–(18f) of Section V-E.
+//!
+//! For groupput maximization at any time `t` in the `k`-th interval:
+//!
+//! ```text
+//! λ_sl(t) = A(t) · exp(−η[k]·L / σ)                       (18a)
+//! λ_ls(t) = A(t)                                          (18b)
+//! λ_lx(t) = A(t) · exp(η[k]·(L − X)/σ)                    (18c, EconCast-C)
+//! λ_lx(t) = A(t) · exp(η[k]·(L − X)/σ + ĉ(t)/σ)           (18d, EconCast-NC)
+//! λ_xl(t) = exp(−ĉ(t)/σ)                                  (18e, EconCast-C)
+//! λ_xl(t) = 1                                             (18f, EconCast-NC)
+//! ```
+//!
+//! For anyput maximization `ĉ(t)` is replaced by `γ̂(t)`. `A(t)` is the
+//! carrier-sense indicator (1 when the channel is free) and σ is the
+//! temperature parameter traded between throughput and burstiness
+//! (Section V-F).
+
+use crate::state::ThroughputMode;
+use serde::{Deserialize, Serialize};
+
+/// Which of the two protocol variants of Section V-D is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// `EconCast-C`: the transmitter may *capture* the channel for
+    /// several back-to-back packets, listening for pings after each one
+    /// and continuing with probability `1 − λ_xl = 1 − e^{−ĉ/σ}`.
+    Capture,
+    /// `EconCast-NC`: the channel is released after every packet
+    /// (`λ_xl = 1`); listeners continuously ping and the listener count
+    /// instead boosts the listen→transmit rate (18d).
+    NonCapture,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::Capture => write!(f, "EconCast-C"),
+            Variant::NonCapture => write!(f, "EconCast-NC"),
+        }
+    }
+}
+
+/// Static protocol configuration shared by all nodes: the temperature
+/// `σ`, the protocol variant, and the throughput objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Temperature `σ > 0`. Smaller values push throughput toward the
+    /// oracle but increase burstiness exponentially (Fig. 4).
+    pub sigma: f64,
+    /// Capture vs. non-capture variant.
+    pub variant: Variant,
+    /// Groupput vs. anyput objective.
+    pub mode: ThroughputMode,
+}
+
+impl ProtocolConfig {
+    /// Creates a configuration, validating `σ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite `σ`.
+    pub fn new(sigma: f64, variant: Variant, mode: ThroughputMode) -> Self {
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "sigma must be positive and finite, got {sigma}"
+        );
+        ProtocolConfig {
+            sigma,
+            variant,
+            mode,
+        }
+    }
+
+    /// Capture-variant groupput config — the combination implemented on
+    /// the paper's testbed (Section VIII).
+    pub fn capture_groupput(sigma: f64) -> Self {
+        Self::new(sigma, Variant::Capture, ThroughputMode::Groupput)
+    }
+
+    /// Capture-variant anyput config.
+    pub fn capture_anyput(sigma: f64) -> Self {
+        Self::new(sigma, Variant::Capture, ThroughputMode::Anyput)
+    }
+}
+
+/// The four transition rates of Fig. 1, evaluated for one node at one
+/// instant. Rates are in events per packet-time (the CTMC's natural
+/// unit; `λ_ls = 1` when the channel is free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionRates {
+    /// `λ_sl` — sleep → listen.
+    pub sleep_to_listen: f64,
+    /// `λ_ls` — listen → sleep.
+    pub listen_to_sleep: f64,
+    /// `λ_lx` — listen → transmit.
+    pub listen_to_transmit: f64,
+    /// `λ_xl` — transmit → listen (end of capture).
+    pub transmit_to_listen: f64,
+}
+
+impl TransitionRates {
+    /// Evaluates eq. (18a)–(18f).
+    ///
+    /// * `cfg` — protocol configuration (σ, variant, mode);
+    /// * `eta` — the node's current Lagrange multiplier `η[k] ≥ 0`;
+    /// * `listen_w`, `transmit_w` — the node's `L` and `X` (W);
+    /// * `carrier_free` — the carrier-sense indicator `A(t)`;
+    /// * `listener_estimate` — `ĉ(t)` (groupput) from which `γ̂(t)` is
+    ///   derived in anyput mode.
+    pub fn evaluate(
+        cfg: &ProtocolConfig,
+        eta: f64,
+        listen_w: f64,
+        transmit_w: f64,
+        carrier_free: bool,
+        listener_estimate: f64,
+    ) -> Self {
+        debug_assert!(eta >= 0.0, "Lagrange multiplier must be non-negative");
+        let a = if carrier_free { 1.0 } else { 0.0 };
+        let sigma = cfg.sigma;
+        // The listener signal: ĉ for groupput, γ̂ for anyput.
+        let signal = cfg.mode.listener_signal(listener_estimate);
+
+        let sleep_to_listen = a * (-eta * listen_w / sigma).exp();
+        let listen_to_sleep = a;
+        let (listen_to_transmit, transmit_to_listen) = match cfg.variant {
+            Variant::Capture => (
+                a * (eta * (listen_w - transmit_w) / sigma).exp(),
+                (-signal / sigma).exp(),
+            ),
+            Variant::NonCapture => (
+                a * ((eta * (listen_w - transmit_w) + signal) / sigma).exp(),
+                1.0,
+            ),
+        };
+        TransitionRates {
+            sleep_to_listen,
+            listen_to_sleep,
+            listen_to_transmit,
+            transmit_to_listen,
+        }
+    }
+
+    /// The probability that a capture-mode transmitter sends another
+    /// back-to-back packet after finishing one: `1 − λ_xl` when
+    /// `λ_xl ≤ 1` (Section V-B establishes the equivalence between the
+    /// exponential transmit dwell and this geometric packet count).
+    pub fn continue_transmission_probability(&self) -> f64 {
+        (1.0 - self.transmit_to_listen).max(0.0)
+    }
+
+    /// Total rate of leaving the listen state (used to sample the dwell
+    /// time in the listen state as `Exp(λ_ls + λ_lx)`).
+    pub fn listen_exit_rate(&self) -> f64 {
+        self.listen_to_sleep + self.listen_to_transmit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ThroughputMode;
+
+    const L: f64 = 500e-6;
+    const X: f64 = 500e-6;
+
+    fn cfg_c() -> ProtocolConfig {
+        ProtocolConfig::capture_groupput(0.5)
+    }
+
+    #[test]
+    fn busy_channel_freezes_sleep_and_listen_exits() {
+        let r = TransitionRates::evaluate(&cfg_c(), 1.0, L, X, false, 2.0);
+        assert_eq!(r.sleep_to_listen, 0.0);
+        assert_eq!(r.listen_to_sleep, 0.0);
+        assert_eq!(r.listen_to_transmit, 0.0);
+        // λ_xl does not carry the A(t) factor: the transmitter itself is
+        // the one occupying the channel.
+        assert!(r.transmit_to_listen > 0.0);
+    }
+
+    #[test]
+    fn free_channel_listen_to_sleep_is_unit_rate() {
+        let r = TransitionRates::evaluate(&cfg_c(), 0.7, L, X, true, 0.0);
+        assert_eq!(r.listen_to_sleep, 1.0);
+    }
+
+    #[test]
+    fn eq_18a_sleep_rate_decreases_with_eta() {
+        let lo = TransitionRates::evaluate(&cfg_c(), 0.0, L, X, true, 0.0);
+        let hi = TransitionRates::evaluate(&cfg_c(), 100.0, L, X, true, 0.0);
+        assert_eq!(lo.sleep_to_listen, 1.0); // exp(0)
+        assert!(hi.sleep_to_listen < lo.sleep_to_listen);
+        // Exact value: exp(−η L / σ).
+        let expected = (-100.0 * L / 0.5).exp();
+        assert!((hi.sleep_to_listen - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq_18c_symmetric_powers_cancel_eta() {
+        // With L = X the exponent η(L−X)/σ vanishes: λ_lx = A(t).
+        let r = TransitionRates::evaluate(&cfg_c(), 42.0, L, X, true, 3.0);
+        assert!((r.listen_to_transmit - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq_18e_capture_release_rate() {
+        // λ_xl = exp(−ĉ/σ): with ĉ=1, σ=0.5 → e^{-2} ≈ 0.1353, so the
+        // transmitter continues with probability ≈ 0.8647 — the exact
+        // number quoted in Section VIII-D.
+        let r = TransitionRates::evaluate(&cfg_c(), 0.0, L, X, true, 1.0);
+        assert!((r.transmit_to_listen - (-2.0f64).exp()).abs() < 1e-12);
+        assert!((r.continue_transmission_probability() - 0.8647).abs() < 1e-4);
+        // And with σ = 0.25 → continue ≈ 0.9817 (same section).
+        let cfg = ProtocolConfig::capture_groupput(0.25);
+        let r = TransitionRates::evaluate(&cfg, 0.0, L, X, true, 1.0);
+        assert!((r.continue_transmission_probability() - 0.9817).abs() < 1e-4);
+    }
+
+    #[test]
+    fn eq_18d_noncapture_listen_boost() {
+        let cfg = ProtocolConfig::new(0.5, Variant::NonCapture, ThroughputMode::Groupput);
+        let base = TransitionRates::evaluate(&cfg, 0.0, L, X, true, 0.0);
+        let boosted = TransitionRates::evaluate(&cfg, 0.0, L, X, true, 2.0);
+        assert!((base.listen_to_transmit - 1.0).abs() < 1e-15);
+        assert!((boosted.listen_to_transmit - (2.0f64 / 0.5).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_18f_noncapture_always_releases() {
+        let cfg = ProtocolConfig::new(0.5, Variant::NonCapture, ThroughputMode::Groupput);
+        let r = TransitionRates::evaluate(&cfg, 3.0, L, X, true, 5.0);
+        assert_eq!(r.transmit_to_listen, 1.0);
+        assert_eq!(r.continue_transmission_probability(), 0.0);
+    }
+
+    #[test]
+    fn anyput_mode_uses_gamma_indicator() {
+        let cfg = ProtocolConfig::capture_anyput(0.5);
+        // 3 listeners and 1 listener give the same rates in anyput mode…
+        let three = TransitionRates::evaluate(&cfg, 0.0, L, X, true, 3.0);
+        let one = TransitionRates::evaluate(&cfg, 0.0, L, X, true, 1.0);
+        assert_eq!(three.transmit_to_listen, one.transmit_to_listen);
+        // …but zero listeners release at rate 1.
+        let zero = TransitionRates::evaluate(&cfg, 0.0, L, X, true, 0.0);
+        assert_eq!(zero.transmit_to_listen, 1.0);
+    }
+
+    #[test]
+    fn asymmetric_powers_steer_listen_to_transmit() {
+        // X > L discourages entering transmit as η grows.
+        let r_cheap_tx = TransitionRates::evaluate(&cfg_c(), 2.0, 600e-6, 400e-6, true, 0.0);
+        let r_dear_tx = TransitionRates::evaluate(&cfg_c(), 2.0, 400e-6, 600e-6, true, 0.0);
+        assert!(r_cheap_tx.listen_to_transmit > 1.0);
+        assert!(r_dear_tx.listen_to_transmit < 1.0);
+    }
+
+    #[test]
+    fn listen_exit_rate_is_sum() {
+        let r = TransitionRates::evaluate(&cfg_c(), 0.0, L, X, true, 0.0);
+        assert!((r.listen_exit_rate() - (r.listen_to_sleep + r.listen_to_transmit)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_rejected() {
+        ProtocolConfig::new(0.0, Variant::Capture, ThroughputMode::Groupput);
+    }
+}

@@ -1,0 +1,211 @@
+//! Node states (Fig. 1) and the two throughput objectives
+//! (Definitions 1–3).
+
+use serde::{Deserialize, Serialize};
+
+/// The three node states of Section III-A. A node must pass through
+/// [`NodeState::Listen`] to move between sleep and transmit (Fig. 1);
+/// [`NodeState::can_transition_to`] encodes that topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Sleeping: zero power draw, radio off.
+    Sleep,
+    /// Listening/receiving: draws `L_i`; the two are treated
+    /// synonymously because their power consumption is similar
+    /// (paper footnote 1).
+    Listen,
+    /// Transmitting: draws `X_i`; at most one node per neighborhood may
+    /// be in this state in a collision-free schedule.
+    Transmit,
+}
+
+impl NodeState {
+    /// Whether the protocol state machine of Fig. 1 has a direct edge
+    /// from `self` to `to`. Self-loops are not transitions.
+    pub fn can_transition_to(self, to: NodeState) -> bool {
+        use NodeState::*;
+        matches!(
+            (self, to),
+            (Sleep, Listen) | (Listen, Sleep) | (Listen, Transmit) | (Transmit, Listen)
+        )
+    }
+
+    /// True when the node's radio is powered (listen or transmit).
+    pub fn is_awake(self) -> bool {
+        !matches!(self, NodeState::Sleep)
+    }
+
+    /// Power drawn in this state given the node's parameters (W).
+    pub fn power_draw(self, params: &crate::NodeParams) -> f64 {
+        match self {
+            NodeState::Sleep => 0.0,
+            NodeState::Listen => params.listen_w,
+            NodeState::Transmit => params.transmit_w,
+        }
+    }
+
+    /// Short single-letter label used in logs and debug dumps, matching
+    /// the paper's `s`/`l`/`x` notation.
+    pub fn letter(self) -> char {
+        match self {
+            NodeState::Sleep => 's',
+            NodeState::Listen => 'l',
+            NodeState::Transmit => 'x',
+        }
+    }
+}
+
+impl std::fmt::Display for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NodeState::Sleep => "sleep",
+            NodeState::Listen => "listen",
+            NodeState::Transmit => "transmit",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Which broadcast-throughput objective the protocol maximizes
+/// (Section I and Definitions 1–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThroughputMode {
+    /// Groupput `T_g`: every delivered bit counted once per receiver —
+    /// the neighbor-discovery / data-flooding objective.
+    Groupput,
+    /// Anyput `T_a`: a transmitted bit counts once if at least one
+    /// receiver got it — the gossip / delay-tolerant objective.
+    Anyput,
+}
+
+impl ThroughputMode {
+    /// The per-state throughput `T_w` of Definition 3: with exactly one
+    /// transmitter (`nu = true`) and `c` listeners, a state earns `c`
+    /// under groupput and `1{c ≥ 1}` under anyput.
+    pub fn state_throughput(self, nu: bool, listeners: usize) -> f64 {
+        if !nu {
+            return 0.0;
+        }
+        match self {
+            ThroughputMode::Groupput => listeners as f64,
+            ThroughputMode::Anyput => {
+                if listeners >= 1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The "listener pressure" each mode feeds into the transition
+    /// rates (18c)–(18e): the estimated listener count `ĉ` for
+    /// groupput, the indicator `γ̂ = 1{ĉ ≥ 1}` for anyput.
+    pub fn listener_signal(self, estimated_listeners: f64) -> f64 {
+        match self {
+            ThroughputMode::Groupput => estimated_listeners.max(0.0),
+            ThroughputMode::Anyput => {
+                if estimated_listeners >= 1.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Oracle throughput with *no* energy constraint (Section III-C):
+    /// `N − 1` for groupput (one node always transmits, the rest
+    /// listen), `1` for anyput.
+    pub fn unconstrained_oracle(self, n: usize) -> f64 {
+        match self {
+            ThroughputMode::Groupput => (n as f64 - 1.0).max(0.0),
+            ThroughputMode::Anyput => {
+                if n >= 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ThroughputMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThroughputMode::Groupput => write!(f, "groupput"),
+            ThroughputMode::Anyput => write!(f, "anyput"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeParams;
+
+    #[test]
+    fn state_machine_edges_match_fig1() {
+        use NodeState::*;
+        assert!(Sleep.can_transition_to(Listen));
+        assert!(Listen.can_transition_to(Sleep));
+        assert!(Listen.can_transition_to(Transmit));
+        assert!(Transmit.can_transition_to(Listen));
+        // Direct sleep↔transmit edges do not exist.
+        assert!(!Sleep.can_transition_to(Transmit));
+        assert!(!Transmit.can_transition_to(Sleep));
+        // No self loops.
+        assert!(!Sleep.can_transition_to(Sleep));
+        assert!(!Listen.can_transition_to(Listen));
+        assert!(!Transmit.can_transition_to(Transmit));
+    }
+
+    #[test]
+    fn awake_and_power_draw() {
+        let p = NodeParams::from_microwatts(10.0, 500.0, 600.0);
+        assert!(!NodeState::Sleep.is_awake());
+        assert!(NodeState::Listen.is_awake());
+        assert!(NodeState::Transmit.is_awake());
+        assert_eq!(NodeState::Sleep.power_draw(&p), 0.0);
+        assert!((NodeState::Listen.power_draw(&p) - 500e-6).abs() < 1e-15);
+        assert!((NodeState::Transmit.power_draw(&p) - 600e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn state_throughput_definition3() {
+        // No transmitter → zero regardless of listeners.
+        assert_eq!(ThroughputMode::Groupput.state_throughput(false, 4), 0.0);
+        assert_eq!(ThroughputMode::Anyput.state_throughput(false, 4), 0.0);
+        // One transmitter, c listeners.
+        assert_eq!(ThroughputMode::Groupput.state_throughput(true, 3), 3.0);
+        assert_eq!(ThroughputMode::Anyput.state_throughput(true, 3), 1.0);
+        assert_eq!(ThroughputMode::Anyput.state_throughput(true, 0), 0.0);
+        assert_eq!(ThroughputMode::Groupput.state_throughput(true, 0), 0.0);
+    }
+
+    #[test]
+    fn listener_signal_per_mode() {
+        assert_eq!(ThroughputMode::Groupput.listener_signal(2.7), 2.7);
+        assert_eq!(ThroughputMode::Groupput.listener_signal(-1.0), 0.0);
+        assert_eq!(ThroughputMode::Anyput.listener_signal(2.7), 1.0);
+        assert_eq!(ThroughputMode::Anyput.listener_signal(0.5), 0.0);
+    }
+
+    #[test]
+    fn unconstrained_oracle_caps() {
+        assert_eq!(ThroughputMode::Groupput.unconstrained_oracle(5), 4.0);
+        assert_eq!(ThroughputMode::Anyput.unconstrained_oracle(5), 1.0);
+        assert_eq!(ThroughputMode::Groupput.unconstrained_oracle(1), 0.0);
+        assert_eq!(ThroughputMode::Anyput.unconstrained_oracle(1), 0.0);
+    }
+
+    #[test]
+    fn letters_and_display() {
+        assert_eq!(NodeState::Sleep.letter(), 's');
+        assert_eq!(NodeState::Listen.letter(), 'l');
+        assert_eq!(NodeState::Transmit.letter(), 'x');
+        assert_eq!(NodeState::Transmit.to_string(), "transmit");
+        assert_eq!(ThroughputMode::Anyput.to_string(), "anyput");
+    }
+}

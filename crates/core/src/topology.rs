@@ -1,0 +1,288 @@
+//! Network connectivity: cliques (the paper's analytical setting) and
+//! general graphs (Section IV-C / VII-E), including the grid topologies
+//! used in Fig. 6.
+
+use serde::{Deserialize, Serialize};
+
+/// Who can hear whom. Symmetric, no self-loops.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every node hears every other node (Section III-C's analytical
+    /// assumption).
+    Clique {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Arbitrary symmetric connectivity via adjacency lists.
+    Graph {
+        /// `adjacency[i]` lists the neighbors of node `i`, sorted
+        /// ascending.
+        adjacency: Vec<Vec<usize>>,
+    },
+}
+
+impl Topology {
+    /// Creates a clique of `n` nodes.
+    pub fn clique(n: usize) -> Self {
+        Topology::Clique { n }
+    }
+
+    /// Creates a graph from an undirected edge list over `n` nodes,
+    /// symmetrizing and deduplicating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a != b, "self-loop {a}-{b}");
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for n={n}");
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Topology::Graph { adjacency }
+    }
+
+    /// The `rows × cols` grid of Section VII-E (Fig. 6): nodes are
+    /// connected to their 4-neighborhood, so each node has at most four
+    /// neighbors. Node `(r, c)` has index `r * cols + c`.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((i, i + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((i, i + cols));
+                }
+            }
+        }
+        Topology::from_edges(rows * cols, &edges)
+    }
+
+    /// A square `k × k` grid, the exact shape used in Fig. 6 ("N = 25
+    /// represents a 5 × 5 grid").
+    pub fn square_grid(k: usize) -> Self {
+        Topology::grid(k, k)
+    }
+
+    /// A line (path) of `n` nodes — the simplest non-clique.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    /// A ring of `n ≥ 3` nodes.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        Topology::from_edges(n, &edges)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            Topology::Clique { n } => *n,
+            Topology::Graph { adjacency } => adjacency.len(),
+        }
+    }
+
+    /// True when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when nodes `a` and `b` are within communication range.
+    pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        match self {
+            Topology::Clique { n } => a < *n && b < *n,
+            Topology::Graph { adjacency } => adjacency
+                .get(a)
+                .is_some_and(|l| l.binary_search(&b).is_ok()),
+        }
+    }
+
+    /// Neighbors of node `i` as a fresh vector (callers that iterate
+    /// hot paths should use [`Topology::for_each_neighbor`]).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        match self {
+            Topology::Clique { n } => (0..*n).filter(|&j| j != i).collect(),
+            Topology::Graph { adjacency } => adjacency[i].clone(),
+        }
+    }
+
+    /// Calls `f` for every neighbor of `i` without allocating.
+    pub fn for_each_neighbor<F: FnMut(usize)>(&self, i: usize, mut f: F) {
+        match self {
+            Topology::Clique { n } => {
+                for j in 0..*n {
+                    if j != i {
+                        f(j);
+                    }
+                }
+            }
+            Topology::Graph { adjacency } => {
+                for &j in &adjacency[i] {
+                    f(j);
+                }
+            }
+        }
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        match self {
+            Topology::Clique { n } => n.saturating_sub(1),
+            Topology::Graph { adjacency } => adjacency[i].len(),
+        }
+    }
+
+    /// True when this topology is (structurally) a clique — either the
+    /// `Clique` variant or a complete graph.
+    pub fn is_clique(&self) -> bool {
+        match self {
+            Topology::Clique { .. } => true,
+            Topology::Graph { adjacency } => {
+                let n = adjacency.len();
+                adjacency.iter().all(|l| l.len() == n - 1)
+            }
+        }
+    }
+
+    /// True when the topology is connected (singleton and empty count
+    /// as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            self.for_each_neighbor(i, |j| {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            });
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_connectivity() {
+        let t = Topology::clique(4);
+        assert_eq!(t.len(), 4);
+        assert!(t.is_clique());
+        assert!(t.is_connected());
+        for a in 0..4 {
+            assert!(!t.are_neighbors(a, a));
+            assert_eq!(t.degree(a), 3);
+            for b in 0..4 {
+                if a != b {
+                    assert!(t.are_neighbors(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_has_four_neighborhood() {
+        // 3×3 grid: center node 4 has 4 neighbors, corners have 2.
+        let t = Topology::square_grid(3);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.degree(4), 4);
+        assert_eq!(t.degree(0), 2);
+        assert_eq!(t.degree(8), 2);
+        assert_eq!(t.degree(1), 3); // edge midpoint
+        assert!(t.are_neighbors(4, 1));
+        assert!(t.are_neighbors(4, 3));
+        assert!(t.are_neighbors(4, 5));
+        assert!(t.are_neighbors(4, 7));
+        assert!(!t.are_neighbors(0, 4)); // diagonal
+        assert!(!t.is_clique());
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_max_degree_is_four_for_all_fig6_sizes() {
+        for k in [2usize, 3, 4, 5, 6, 7, 8, 9, 10] {
+            let t = Topology::square_grid(k);
+            assert_eq!(t.len(), k * k);
+            assert!((0..t.len()).all(|i| t.degree(i) <= 4));
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn line_and_ring() {
+        let line = Topology::line(4);
+        assert_eq!(line.degree(0), 1);
+        assert_eq!(line.degree(1), 2);
+        assert!(!line.are_neighbors(0, 3));
+        let ring = Topology::ring(4);
+        assert_eq!(ring.degree(0), 2);
+        assert!(ring.are_neighbors(0, 3));
+        assert!(ring.is_connected());
+    }
+
+    #[test]
+    fn complete_graph_detected_as_clique() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert!(t.is_clique());
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let t = Topology::from_edges(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.neighbors(0), vec![1]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn neighbor_iteration_matches_neighbors() {
+        let t = Topology::square_grid(3);
+        for i in 0..t.len() {
+            let mut collected = Vec::new();
+            t.for_each_neighbor(i, |j| collected.push(j));
+            assert_eq!(collected, t.neighbors(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        Topology::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edges_rejected() {
+        Topology::from_edges(2, &[(0, 2)]);
+    }
+}

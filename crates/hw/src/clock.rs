@@ -1,0 +1,91 @@
+//! The drifting low-power sleep clock.
+//!
+//! During sleep the MSP430 keeps time with its VLO (very-low-power
+//! oscillator), whose frequency varies by several percent with
+//! temperature and supply voltage — the paper lists this drift among
+//! the reasons experimental throughput falls short of the achievable
+//! value (Section VIII-D). A node with a fast clock wakes early; a
+//! slow one oversleeps.
+
+use rand::Rng;
+
+/// A per-node sleep-clock model: real elapsed time = nominal × factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepClock {
+    /// Multiplicative drift factor (1.0 = perfect).
+    pub factor: f64,
+}
+
+impl SleepClock {
+    /// A perfect clock.
+    pub fn perfect() -> Self {
+        SleepClock { factor: 1.0 }
+    }
+
+    /// A clock with a fixed drift in parts-per-million (positive =
+    /// slow: sleeps stretch).
+    pub fn from_ppm(ppm: f64) -> Self {
+        SleepClock {
+            factor: 1.0 + ppm * 1e-6,
+        }
+    }
+
+    /// Samples a clock uniformly within ±`spread_fraction` — e.g.
+    /// `0.04` for the ±4% VLO-class tolerance.
+    pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, spread_fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&spread_fraction));
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        SleepClock {
+            factor: 1.0 + u * spread_fraction,
+        }
+    }
+
+    /// Converts a nominal sleep duration into the real elapsed time.
+    pub fn stretch(&self, nominal: f64) -> f64 {
+        nominal * self.factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = SleepClock::perfect();
+        assert_eq!(c.stretch(123.4), 123.4);
+        assert_eq!(c.factor, 1.0);
+    }
+
+    #[test]
+    fn ppm_conversion() {
+        let slow = SleepClock::from_ppm(200.0);
+        assert!((slow.factor - 1.0002).abs() < 1e-12);
+        let fast = SleepClock::from_ppm(-500.0);
+        assert!((fast.factor - 0.9995).abs() < 1e-12);
+        assert!(fast.stretch(1000.0) < 1000.0);
+        assert!(slow.stretch(1000.0) > 1000.0);
+    }
+
+    #[test]
+    fn sampled_clocks_stay_in_band() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let c = SleepClock::sample_uniform(&mut rng, 0.04);
+            assert!((0.96..=1.04).contains(&c.factor), "factor {}", c.factor);
+        }
+    }
+
+    #[test]
+    fn sampled_clocks_spread_out() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let fs: Vec<f64> = (0..500)
+            .map(|_| SleepClock::sample_uniform(&mut rng, 0.04).factor)
+            .collect();
+        let min = fs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = fs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.05, "spread {}..{} too tight", min, max);
+    }
+}

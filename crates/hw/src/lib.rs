@@ -1,0 +1,37 @@
+//! # econcast-hw — emulation of the eZ430-RF2500-SEH testbed
+//!
+//! Section VIII evaluates EconCast-C on Texas Instruments
+//! eZ430-RF2500-SEH nodes: an MSP430 MCU with a CC2500 2.4 GHz
+//! transceiver, a solar energy harvester, and a 1 mF storage capacitor.
+//! That hardware is obviously not available to a software
+//! reproduction, so this crate implements the closest synthetic
+//! equivalent of each component (the substitution catalogue lives in
+//! `DESIGN.md`):
+//!
+//! * [`radio`] — the CC2500 power/timing model: L = 67.08 mW listening,
+//!   X = 56.29 mW transmitting at −16 dBm, 250 kbps, 40 ms data
+//!   packets, 0.4 ms pings, 8 ms ping intervals (Sections VIII-A/C);
+//! * [`capacitor`] — capacitor-discharge energy accounting, eqs.
+//!   (25)–(26), including the 5 F measurement rig and the stable
+//!   3.0–3.6 V working range with its 135/27-minute lifetimes;
+//! * [`harvester`] — the SEH-01 solar panel as a pluggable power
+//!   profile (constant, on/off lighting, or scaled);
+//! * [`clock`] — the drifting low-power sleep oscillator (VLO-class
+//!   accuracy) that stretches or shrinks sleep intervals;
+//! * [`testbed`] — the experiment runner: wires the hardware models
+//!   into `econcast-sim` (ping-collision estimation, awake-power
+//!   overhead, per-node clock drift) and reports the Fig. 7 ratios
+//!   ("Ideal" vs. "Relaxed"), the battery-variance band, and the
+//!   Table IV ping distribution.
+
+pub mod capacitor;
+pub mod clock;
+pub mod harvester;
+pub mod radio;
+pub mod testbed;
+
+pub use capacitor::{Capacitor, DischargeMeasurement};
+pub use clock::SleepClock;
+pub use harvester::SolarHarvester;
+pub use radio::Cc2500;
+pub use testbed::{TestbedConfig, TestbedRun};

@@ -1,0 +1,122 @@
+//! The CC2500 transceiver model (Section VIII-A/C).
+
+use econcast_core::NodeParams;
+use econcast_proto::Frame;
+
+/// Power/timing constants of the CC2500 as measured by the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cc2500 {
+    /// Listen/receive power (W): 67.08 mW measured.
+    pub listen_w: f64,
+    /// Transmit power (W): 56.29 mW at −16 dBm.
+    pub transmit_w: f64,
+    /// Radio bitrate (bits/s): 250 kbps.
+    pub bitrate_bps: f64,
+    /// Data packet airtime (s): 40 ms in the experiments.
+    pub packet_s: f64,
+    /// Ping airtime (s): 0.4 ms, "the shortest packet that can be sent
+    /// by a node".
+    pub ping_s: f64,
+    /// Post-packet ping interval (s): 8 ms.
+    pub ping_interval_s: f64,
+}
+
+impl Default for Cc2500 {
+    fn default() -> Self {
+        Cc2500 {
+            listen_w: 67.08e-3,
+            transmit_w: 56.29e-3,
+            bitrate_bps: 250_000.0,
+            packet_s: 40e-3,
+            ping_s: 0.4e-3,
+            ping_interval_s: 8e-3,
+        }
+    }
+}
+
+impl Cc2500 {
+    /// Node power parameters for a target budget (W) on this radio.
+    pub fn node_params(&self, budget_w: f64) -> NodeParams {
+        NodeParams::new(budget_w, self.listen_w, self.transmit_w)
+    }
+
+    /// Ping interval expressed in packet-time units (8 ms / 40 ms =
+    /// 0.2), as `econcast-sim` expects.
+    pub fn ping_interval_packets(&self) -> f64 {
+        self.ping_interval_s / self.packet_s
+    }
+
+    /// Ping length in packet-time units (0.4 ms / 40 ms = 0.01).
+    pub fn ping_len_packets(&self) -> f64 {
+        self.ping_s / self.packet_s
+    }
+
+    /// Converts packet-time units to seconds for this radio.
+    pub fn packets_to_seconds(&self, packets: f64) -> f64 {
+        packets * self.packet_s
+    }
+
+    /// Converts seconds to packet-time units.
+    pub fn seconds_to_packets(&self, seconds: f64) -> f64 {
+        seconds / self.packet_s
+    }
+
+    /// Payload capacity of one 40 ms data packet at the radio bitrate,
+    /// in bytes.
+    pub fn packet_capacity_bytes(&self) -> usize {
+        (self.packet_s * self.bitrate_bps / 8.0) as usize
+    }
+
+    /// Whether a frame fits in one data packet slot.
+    pub fn frame_fits(&self, frame: &Frame) -> bool {
+        frame.encoded_len() <= self.packet_capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_proto::{DataFrame, PingFrame, ReceptionReport};
+
+    #[test]
+    fn paper_constants() {
+        let r = Cc2500::default();
+        assert!((r.listen_w - 67.08e-3).abs() < 1e-9);
+        assert!((r.transmit_w - 56.29e-3).abs() < 1e-9);
+        // Listening costs more than transmitting at −16 dBm — the
+        // inversion the paper highlights (X/L < 1).
+        assert!(r.transmit_w < r.listen_w);
+        let p = r.node_params(1e-3);
+        assert!((p.consumption_ratio() - 56.29 / 67.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_time_conversions() {
+        let r = Cc2500::default();
+        assert!((r.ping_interval_packets() - 0.2).abs() < 1e-12);
+        assert!((r.ping_len_packets() - 0.01).abs() < 1e-12);
+        assert!((r.packets_to_seconds(100.0) - 4.0).abs() < 1e-12);
+        assert!((r.seconds_to_packets(4.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_fits_realistic_frames() {
+        let r = Cc2500::default();
+        // 40 ms at 250 kbps = 1250 bytes.
+        assert_eq!(r.packet_capacity_bytes(), 1250);
+        let data = Frame::Data(DataFrame {
+            source: 1,
+            seq: 9,
+            report: vec![ReceptionReport { peer: 0, count: 5 }; 9],
+        });
+        assert!(r.frame_fits(&data));
+        assert!(r.frame_fits(&Frame::Ping(PingFrame { node_id: 3 })));
+        // An absurd report does not fit.
+        let big = Frame::Data(DataFrame {
+            source: 1,
+            seq: 9,
+            report: vec![ReceptionReport { peer: 0, count: 5 }; 250],
+        });
+        assert!(!r.frame_fits(&big));
+    }
+}

@@ -1,0 +1,277 @@
+//! The emulated Section VIII experiment runner.
+//!
+//! Builds an `econcast-sim` configuration from the hardware models in
+//! this crate — CC2500 power/timing, ping-collision estimation, sleep
+//! clock drift, regulator overhead — runs EconCast-C, and reports the
+//! quantities of Fig. 7 and Tables III–IV:
+//!
+//! * the experimental throughput normalized to the achievable `T^σ`
+//!   computed with the **target budget ρ** ("Ideal") and with the
+//!   **measured consumption P** ("Relaxed");
+//! * the virtual-battery power band (mean/min/max of protocol-visible
+//!   consumption over the budget);
+//! * the distribution of decoded pings per packet (Table IV).
+//!
+//! One departure from the physical experiments, documented here and in
+//! `DESIGN.md`: the paper runs each configuration for up to 24 hours,
+//! much of which is spent letting the multipliers converge. The
+//! emulation warm-starts the multipliers at the (P4) optimum (which the
+//! nodes could equally have persisted in flash) and still simulates
+//! hours of channel time for the measurement window.
+
+use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast_sim::config::{EstimatorKind, ScheduleSpec, SimConfig};
+use econcast_sim::{SimReport, Simulator};
+use econcast_statespace::HomogeneousP4;
+use rand::SeedableRng;
+
+use crate::clock::SleepClock;
+use crate::radio::Cc2500;
+
+/// Configuration of one emulated testbed experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedConfig {
+    /// Number of protocol nodes (5 or 10 in the paper; the observer
+    /// node is passive and needs no emulation beyond the metrics the
+    /// report already carries).
+    pub n: usize,
+    /// Target power budget ρ (W): 1 mW or 5 mW in the paper.
+    pub budget_w: f64,
+    /// Temperature σ: 0.25 or 0.5 in the paper.
+    pub sigma: f64,
+    /// Radio model.
+    pub radio: Cc2500,
+    /// Wall-clock duration to emulate (s).
+    pub duration_s: f64,
+    /// Sleep-clock tolerance (± fraction); 0.04 models a VLO-class
+    /// oscillator.
+    pub clock_spread: f64,
+    /// Always-on regulator/MCU overhead (W), invisible to the virtual
+    /// battery. `None` picks the Section VIII-B calibration:
+    /// `max(0.11 mW, 4% of ρ)`, which reproduces the measured 11%
+    /// (ρ = 1 mW) and 4% (ρ = 5 mW) excesses.
+    pub overhead_w: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TestbedConfig {
+    /// The paper's experiment grid point `(N, ρ, σ)` with 4 emulated
+    /// hours (a compromise between the paper's "up to 24 hours" and CI
+    /// runtime; throughput estimates stabilize well before this).
+    pub fn paper_setup(n: usize, budget_mw: f64, sigma: f64) -> Self {
+        TestbedConfig {
+            n,
+            budget_w: budget_mw * 1e-3,
+            sigma,
+            radio: Cc2500::default(),
+            duration_s: 4.0 * 3600.0,
+            clock_spread: 0.04,
+            overhead_w: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The calibrated overhead (see `overhead_w`).
+    pub fn effective_overhead_w(&self) -> f64 {
+        self.overhead_w
+            .unwrap_or_else(|| (0.11e-3f64).max(0.04 * self.budget_w))
+    }
+
+    /// Node parameters on this radio at the target budget.
+    pub fn node_params(&self) -> NodeParams {
+        self.radio.node_params(self.budget_w)
+    }
+
+    /// Runs the emulated experiment.
+    pub fn run(&self) -> TestbedRun {
+        assert!(self.n >= 2, "need at least two protocol nodes");
+        let params = self.node_params();
+        let p4 = HomogeneousP4::new(self.n, params, self.sigma, ThroughputMode::Groupput).solve();
+
+        let t_end = self.radio.seconds_to_packets(self.duration_s);
+        let mut drift_rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ 0xD21F7);
+        let drift: Vec<f64> = (0..self.n)
+            .map(|_| SleepClock::sample_uniform(&mut drift_rng, self.clock_spread).factor)
+            .collect();
+
+        let cfg = SimConfig {
+            topology: econcast_core::Topology::clique(self.n),
+            nodes: vec![params; self.n],
+            protocol: ProtocolConfig::capture_groupput(self.sigma),
+            schedule: ScheduleSpec::Normalized {
+                step: 0.05,
+                tau: 200.0,
+            },
+            eta0: p4.eta,
+            ping_interval: self.radio.ping_interval_packets(),
+            estimator: EstimatorKind::PingCollision {
+                ping_len: self.radio.ping_len_packets(),
+            },
+            clock_drift: Some(drift),
+            overhead_w: self.effective_overhead_w(),
+            t_end,
+            warmup: t_end * 0.1,
+            seed: self.seed,
+            record_deliveries: false,
+            harvest: None,
+        };
+        let report = Simulator::new(cfg).expect("testbed config is valid").run();
+
+        // Measured physical consumption (capacitor-rig equivalent).
+        let measured_p: Vec<f64> = report
+            .nodes
+            .iter()
+            .map(|n| n.average_power(report.elapsed))
+            .collect();
+        let mean_p = measured_p.iter().sum::<f64>() / measured_p.len() as f64;
+
+        // Achievable throughput at the relaxed (measured) budget.
+        let relaxed_params = NodeParams::new(mean_p, params.listen_w, params.transmit_w);
+        let p4_relaxed =
+            HomogeneousP4::new(self.n, relaxed_params, self.sigma, ThroughputMode::Groupput)
+                .solve();
+
+        // Virtual-battery band: protocol-visible power over the budget.
+        let ratios: Vec<f64> = report
+            .nodes
+            .iter()
+            .map(|n| n.average_protocol_power(report.elapsed) / self.budget_w)
+            .collect();
+        let battery_mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let battery_min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let battery_max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        let ping_distribution = report.ping_distribution();
+        TestbedRun {
+            throughput: report.groupput,
+            achievable_ideal: p4.throughput,
+            achievable_relaxed: p4_relaxed.throughput,
+            measured_power_w: mean_p,
+            battery_ratio_mean: battery_mean,
+            battery_ratio_min: battery_min,
+            battery_ratio_max: battery_max,
+            ping_distribution,
+            report,
+        }
+    }
+}
+
+/// Outcome of one emulated testbed experiment.
+#[derive(Debug, Clone)]
+pub struct TestbedRun {
+    /// Measured groupput (packet-time units, comparable to `T^σ`).
+    pub throughput: f64,
+    /// `T^σ` at the target budget ρ — the "Ideal" denominator.
+    pub achievable_ideal: f64,
+    /// `T^σ` at the measured consumption P — the "Relaxed"
+    /// denominator.
+    pub achievable_relaxed: f64,
+    /// Mean measured physical power (W).
+    pub measured_power_w: f64,
+    /// Mean of per-node virtual-battery power over budget.
+    pub battery_ratio_mean: f64,
+    /// Minimum of the same ratio.
+    pub battery_ratio_min: f64,
+    /// Maximum of the same ratio.
+    pub battery_ratio_max: f64,
+    /// Fraction of packets followed by `k` decoded pings (Table IV).
+    pub ping_distribution: Vec<f64>,
+    /// The raw simulation report.
+    pub report: SimReport,
+}
+
+impl TestbedRun {
+    /// `T̃^σ / T^σ(ρ)` — the Fig. 7 "Ideal" ratio.
+    pub fn ratio_ideal(&self) -> f64 {
+        self.throughput / self.achievable_ideal
+    }
+
+    /// `T̃^σ / T^σ(P)` — the Fig. 7 "Relaxed" ratio.
+    pub fn ratio_relaxed(&self) -> f64 {
+        self.throughput / self.achievable_relaxed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize, budget_mw: f64, sigma: f64) -> TestbedConfig {
+        let mut c = TestbedConfig::paper_setup(n, budget_mw, sigma);
+        c.duration_s = 1800.0; // half an hour is plenty for smoke tests
+        c
+    }
+
+    #[test]
+    fn overhead_calibration_matches_section_viii_b() {
+        let one = TestbedConfig::paper_setup(5, 1.0, 0.5);
+        assert!((one.effective_overhead_w() - 0.11e-3).abs() < 1e-12);
+        let five = TestbedConfig::paper_setup(5, 5.0, 0.5);
+        assert!((five.effective_overhead_w() - 0.2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_power_exceeds_budget_by_overhead() {
+        let cfg = quick(5, 1.0, 0.5);
+        let run = cfg.run();
+        let excess = run.measured_power_w / cfg.budget_w;
+        assert!(
+            (1.05..1.25).contains(&excess),
+            "measured/target = {excess}, expected ≈ 1.11"
+        );
+    }
+
+    #[test]
+    fn throughput_ratio_in_plausible_band() {
+        // The paper reports 57–77% of T^σ(ρ); the emulation should land
+        // in the same neighbourhood (we accept a wider 45–95% band for
+        // the half-hour smoke run).
+        let run = quick(5, 1.0, 0.5).run();
+        let r = run.ratio_ideal();
+        assert!(
+            (0.45..0.95).contains(&r),
+            "ideal ratio {r} outside the plausible band"
+        );
+        // Relaxed ratio uses a larger denominator, so it is smaller.
+        assert!(run.ratio_relaxed() < run.ratio_ideal());
+    }
+
+    #[test]
+    fn battery_band_near_one() {
+        let run = quick(5, 1.0, 0.5).run();
+        assert!(
+            (run.battery_ratio_mean - 1.0).abs() < 0.1,
+            "virtual battery mean ratio {}",
+            run.battery_ratio_mean
+        );
+        assert!(run.battery_ratio_min <= run.battery_ratio_mean);
+        assert!(run.battery_ratio_max >= run.battery_ratio_mean);
+    }
+
+    #[test]
+    fn ping_distribution_is_a_distribution() {
+        let run = quick(5, 5.0, 0.25).run();
+        let d = &run.ping_distribution;
+        assert!(!d.is_empty(), "no ping statistics collected");
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // At most N−1 = 4 listeners can ping.
+        assert!(d.len() <= 5);
+    }
+
+    #[test]
+    fn higher_budget_more_pings() {
+        // Table IV: at ρ = 5 mW the transmitter hears ≥1 ping after
+        // ~41% of packets; at 1 mW only ~11%. Verify the ordering.
+        let lo = quick(5, 1.0, 0.25).run();
+        let hi = quick(5, 5.0, 0.25).run();
+        let p_zero = |d: &[f64]| d.first().copied().unwrap_or(1.0);
+        assert!(
+            p_zero(&hi.ping_distribution) < p_zero(&lo.ping_distribution),
+            "5 mW should see fewer zero-ping packets: {} vs {}",
+            p_zero(&hi.ping_distribution),
+            p_zero(&lo.ping_distribution)
+        );
+    }
+}

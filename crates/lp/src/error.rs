@@ -1,0 +1,47 @@
+//! Error type for LP construction and solving.
+
+use std::fmt;
+
+/// Everything that can go wrong while building or solving a linear
+/// program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system admits no feasible point (phase 1 of the
+    /// simplex terminated with a positive artificial objective).
+    Infeasible,
+    /// The objective is unbounded above over the feasible region (a
+    /// pivot column with no positive entries was found in phase 2).
+    Unbounded,
+    /// A constraint row has a different number of coefficients than the
+    /// problem has variables.
+    DimensionMismatch {
+        /// Number of variables declared by the objective.
+        expected: usize,
+        /// Number of coefficients supplied in the offending row.
+        got: usize,
+    },
+    /// A coefficient or right-hand side was NaN or infinite.
+    NotFinite,
+    /// The solver exceeded its iteration budget. With Bland's rule this
+    /// indicates a bug or a pathologically large problem, not cycling.
+    IterationLimit(usize),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::DimensionMismatch { expected, got } => write!(
+                f,
+                "constraint has {got} coefficients but the problem has {expected} variables"
+            ),
+            LpError::NotFinite => write!(f, "coefficient or bound is NaN or infinite"),
+            LpError::IterationLimit(n) => {
+                write!(f, "simplex exceeded the iteration limit of {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

@@ -1,0 +1,214 @@
+//! Problem description types: objective, constraints, and solutions.
+
+use crate::error::LpError;
+use crate::simplex;
+
+/// The sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// One linear constraint `coeffs · x  (≤ | = | ≥)  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Row coefficients, one per variable.
+    pub coeffs: Vec<f64>,
+    /// Constraint sense.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Evaluates the left-hand side at `x`.
+    pub fn lhs_at(&self, x: &[f64]) -> f64 {
+        self.coeffs.iter().zip(x).map(|(a, v)| a * v).sum()
+    }
+
+    /// Returns `true` if the constraint holds at `x` within tolerance
+    /// `tol` (absolute, on the constraint residual).
+    pub fn satisfied_at(&self, x: &[f64], tol: f64) -> bool {
+        let lhs = self.lhs_at(x);
+        match self.relation {
+            Relation::Le => lhs <= self.rhs + tol,
+            Relation::Eq => (lhs - self.rhs).abs() <= tol,
+            Relation::Ge => lhs >= self.rhs - tol,
+        }
+    }
+}
+
+/// A linear program in the form
+///
+/// ```text
+/// maximize    c · x
+/// subject to  A x (≤ | = | ≥) b     (row-wise senses)
+///             x ≥ 0
+/// ```
+///
+/// Minimization problems are expressed by negating the objective
+/// ([`Problem::minimize`] does this for you and flips the sign of the
+/// reported optimum back).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+    /// `true` when built via [`Problem::minimize`]; the reported
+    /// objective is negated back on solve.
+    minimizing: bool,
+}
+
+/// An optimal solution returned by [`Problem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal objective value (in the caller's orientation: a maximum
+    /// for [`Problem::maximize`], a minimum for [`Problem::minimize`]).
+    pub objective: f64,
+    /// Optimal primal point, one entry per variable.
+    pub x: Vec<f64>,
+}
+
+impl Problem {
+    /// Creates a maximization problem with the given objective
+    /// coefficients; the number of variables is `objective.len()`.
+    pub fn maximize(objective: &[f64]) -> Self {
+        Problem {
+            objective: objective.to_vec(),
+            constraints: Vec::new(),
+            minimizing: false,
+        }
+    }
+
+    /// Creates a minimization problem. Internally the solver always
+    /// maximizes; the objective is negated here and the optimum negated
+    /// back in [`Problem::solve`].
+    pub fn minimize(objective: &[f64]) -> Self {
+        Problem {
+            objective: objective.iter().map(|c| -c).collect(),
+            constraints: Vec::new(),
+            minimizing: true,
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients in the *maximization* orientation used
+    /// internally (negated if the problem was built with `minimize`).
+    pub(crate) fn objective_internal(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds the constraint `coeffs · x (≤|=|≥) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; dimension and finiteness problems are reported by
+    /// [`Problem::solve`] so that builders can stay infallible.
+    pub fn constrain(&mut self, coeffs: &[f64], relation: Relation, rhs: f64) -> &mut Self {
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            relation,
+            rhs,
+        });
+        self
+    }
+
+    /// Convenience: adds a sparse constraint given `(index, coeff)`
+    /// pairs; unspecified coefficients are zero.
+    pub fn constrain_sparse(
+        &mut self,
+        terms: &[(usize, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> &mut Self {
+        let mut coeffs = vec![0.0; self.num_vars()];
+        for &(i, c) in terms {
+            if i < coeffs.len() {
+                coeffs[i] += c;
+            } else {
+                // Record the out-of-range index by growing the row so
+                // that validation in `solve` reports DimensionMismatch
+                // instead of silently dropping the term.
+                coeffs.resize(i + 1, 0.0);
+                coeffs[i] += c;
+            }
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+        self
+    }
+
+    /// Validates dimensions and finiteness of all rows.
+    fn validate(&self) -> Result<(), LpError> {
+        let n = self.num_vars();
+        if self.objective.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NotFinite);
+        }
+        for c in &self.constraints {
+            if c.coeffs.len() != n {
+                return Err(LpError::DimensionMismatch {
+                    expected: n,
+                    got: c.coeffs.len(),
+                });
+            }
+            if !c.rhs.is_finite() || c.coeffs.iter().any(|a| !a.is_finite()) {
+                return Err(LpError::NotFinite);
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    ///
+    /// Returns the optimum, [`LpError::Infeasible`] when no point
+    /// satisfies all constraints, or [`LpError::Unbounded`] when the
+    /// objective can grow without limit.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.validate()?;
+        let mut sol = simplex::solve(self)?;
+        if self.minimizing {
+            sol.objective = -sol.objective;
+        }
+        Ok(sol)
+    }
+
+    /// Checks that `x` satisfies every constraint and non-negativity
+    /// within `tol`. Useful for tests and for cross-validating solver
+    /// output.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.len() == self.num_vars()
+            && x.iter().all(|&v| v >= -tol)
+            && self.constraints.iter().all(|c| c.satisfied_at(x, tol))
+    }
+
+    /// Evaluates the objective (in the caller's orientation) at `x`.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        let v: f64 = self.objective.iter().zip(x).map(|(c, v)| c * v).sum();
+        if self.minimizing {
+            -v
+        } else {
+            v
+        }
+    }
+}

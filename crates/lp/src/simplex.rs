@@ -1,0 +1,234 @@
+//! Two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! Layout of the working tableau (one extra column for the RHS):
+//!
+//! ```text
+//! rows 0..m        constraint rows (RHS normalized non-negative)
+//! row  m           user objective row   (reduced costs, maximization)
+//! row  m+1         phase-1 objective row (minimize Σ artificials)
+//! cols 0..n        structural variables
+//! cols n..n+s      slack / surplus variables
+//! cols n+s..n+s+a  artificial variables
+//! col  last        right-hand side
+//! ```
+//!
+//! Keeping both objective rows inside the tableau means every pivot
+//! updates them for free, so switching from phase 1 to phase 2 is just a
+//! matter of which row drives the entering-column choice.
+
+use crate::error::LpError;
+use crate::problem::{Problem, Relation, Solution};
+use crate::tableau::Tableau;
+
+/// Tolerance used for reduced-cost signs, the ratio test, and the
+/// phase-1 feasibility check. The oracle LPs are well scaled (powers in
+/// watts, fractions of time in `[0, 1]`), so a fixed tolerance is fine.
+const EPS: f64 = 1e-9;
+
+/// Marker for "no basic variable assigned" while building the basis.
+const NO_VAR: usize = usize::MAX;
+
+pub(crate) fn solve(problem: &Problem) -> Result<Solution, LpError> {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+
+    // --- Count auxiliary columns. -------------------------------------
+    // Every row gets one slack/surplus except Eq rows; Ge and Eq rows
+    // get one artificial each. A Le row with negative RHS is normalized
+    // into a Ge row first (and vice versa), so classify after
+    // normalization.
+    #[derive(Clone, Copy, PartialEq)]
+    enum RowKind {
+        Le,
+        Ge,
+        Eq,
+    }
+    let mut kinds = Vec::with_capacity(m);
+    let mut rhs = Vec::with_capacity(m);
+    let mut sign = Vec::with_capacity(m);
+    for c in problem.constraints() {
+        let (k, s, b) = if c.rhs < 0.0 {
+            // Multiply the row by -1 so the RHS becomes non-negative.
+            let flipped = match c.relation {
+                Relation::Le => RowKind::Ge,
+                Relation::Ge => RowKind::Le,
+                Relation::Eq => RowKind::Eq,
+            };
+            (flipped, -1.0, -c.rhs)
+        } else {
+            let k = match c.relation {
+                Relation::Le => RowKind::Le,
+                Relation::Ge => RowKind::Ge,
+                Relation::Eq => RowKind::Eq,
+            };
+            (k, 1.0, c.rhs)
+        };
+        kinds.push(k);
+        sign.push(s);
+        rhs.push(b);
+    }
+    let num_slack = kinds.iter().filter(|k| **k != RowKind::Eq).count();
+    let num_art = kinds.iter().filter(|k| **k != RowKind::Le).count();
+    let cols = n + num_slack + num_art + 1;
+    let rhs_col = cols - 1;
+    let art_start = n + num_slack;
+
+    let mut t = Tableau::zeros(m + 2, cols);
+    let obj_row = m;
+    let w_row = m + 1;
+
+    // --- Fill constraint rows and the basis. ---------------------------
+    let mut basis = vec![NO_VAR; m];
+    let mut next_slack = n;
+    let mut next_art = art_start;
+    for (r, c) in problem.constraints().iter().enumerate() {
+        for (j, &a) in c.coeffs.iter().enumerate() {
+            t.set(r, j, sign[r] * a);
+        }
+        t.set(r, rhs_col, rhs[r]);
+        match kinds[r] {
+            RowKind::Le => {
+                t.set(r, next_slack, 1.0);
+                basis[r] = next_slack;
+                next_slack += 1;
+            }
+            RowKind::Ge => {
+                t.set(r, next_slack, -1.0); // surplus
+                next_slack += 1;
+                t.set(r, next_art, 1.0);
+                basis[r] = next_art;
+                next_art += 1;
+            }
+            RowKind::Eq => {
+                t.set(r, next_art, 1.0);
+                basis[r] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    // --- Objective rows. ------------------------------------------------
+    // User objective (maximization): z - c·x = 0  →  row = [-c | 0].
+    for (j, &cj) in problem.objective_internal().iter().enumerate() {
+        t.set(obj_row, j, -cj);
+    }
+    // Phase-1 objective: maximize -Σ artificials → w-row starts with +1
+    // on artificial columns, then subtract each artificial-basic row so
+    // basic columns have zero reduced cost.
+    if num_art > 0 {
+        for j in art_start..art_start + num_art {
+            t.set(w_row, j, 1.0);
+        }
+        for r in 0..m {
+            if basis[r] >= art_start {
+                for j in 0..cols {
+                    let v = t.get(w_row, j) - t.get(r, j);
+                    t.set(w_row, j, v);
+                }
+            }
+        }
+    }
+
+    let iter_limit = 10_000 + 200 * (m + cols);
+
+    // --- Phase 1. --------------------------------------------------------
+    if num_art > 0 {
+        run_phase(&mut t, &mut basis, w_row, art_start, true, iter_limit)?;
+        // Σ artificials = -(w-row rhs); feasible iff ≈ 0.
+        let w_val = t.get(w_row, rhs_col);
+        if w_val < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial that is still basic (at level 0) out of
+        // the basis where possible so phase 2 never pivots on one.
+        for r in 0..m {
+            if basis[r] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| t.get(r, j).abs() > EPS) {
+                    t.pivot(r, j);
+                    basis[r] = j;
+                }
+                // If no structural/slack entry is nonzero the row is
+                // redundant; it stays with its artificial basic at 0 and
+                // can never affect the optimum.
+            }
+        }
+    }
+
+    // --- Phase 2. ----------------------------------------------------------
+    run_phase(&mut t, &mut basis, obj_row, art_start, false, iter_limit)?;
+
+    // --- Extract the solution. ----------------------------------------------
+    let mut x = vec![0.0; n];
+    for (r, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t.get(r, rhs_col);
+        }
+    }
+    // Clean tiny negative noise from degenerate pivots.
+    for v in &mut x {
+        if *v < 0.0 && *v > -1e-7 {
+            *v = 0.0;
+        }
+    }
+    let objective = problem
+        .objective_internal()
+        .iter()
+        .zip(&x)
+        .map(|(c, v)| c * v)
+        .sum();
+    Ok(Solution { objective, x })
+}
+
+/// Runs simplex pivots driven by `price_row` until optimality.
+///
+/// `allow_artificial` decides whether columns `≥ art_start` may enter
+/// the basis (true only in phase 1, where they are already basic and the
+/// question is moot, but kept explicit for clarity).
+fn run_phase(
+    t: &mut Tableau,
+    basis: &mut [usize],
+    price_row: usize,
+    art_start: usize,
+    allow_artificial: bool,
+    iter_limit: usize,
+) -> Result<(), LpError> {
+    let m = basis.len();
+    let cols = t.cols();
+    let rhs_col = cols - 1;
+    let col_limit = if allow_artificial { rhs_col } else { art_start };
+
+    for _ in 0..iter_limit {
+        // Bland's rule: entering column = smallest index with a
+        // strictly negative reduced cost.
+        let entering = (0..col_limit).find(|&j| t.get(price_row, j) < -EPS);
+        let Some(j) = entering else {
+            return Ok(()); // optimal for this phase
+        };
+
+        // Ratio test; ties broken by the smallest basic-variable index
+        // (the second half of Bland's rule).
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let a = t.get(r, j);
+            if a > EPS {
+                let ratio = t.get(r, rhs_col) / a;
+                match leave {
+                    None => leave = Some((r, ratio)),
+                    Some((br, best)) => {
+                        if ratio < best - EPS
+                            || (ratio < best + EPS && basis[r] < basis[br])
+                        {
+                            leave = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, _)) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        t.pivot(r, j);
+        basis[r] = j;
+    }
+    Err(LpError::IterationLimit(iter_limit))
+}

@@ -1,0 +1,151 @@
+//! Dense simplex tableau with elementary row operations.
+//!
+//! The tableau stores the constraint matrix in row-major order with the
+//! right-hand side as the last column. Objective rows are kept by the
+//! driver in [`crate::simplex`]; this module only provides the storage
+//! and the pivot operation, keeping the numerics in one place.
+
+/// A dense row-major matrix used as the simplex working storage.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tableau {
+    /// Creates a zero-filled tableau with `rows × cols` entries.
+    pub(crate) fn zeros(rows: usize, cols: usize) -> Self {
+        Tableau {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub(crate) fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow a row as a slice (used by tests and kept for debugging
+    /// dumps; the solver itself goes through `get`/`set`).
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Performs the Gauss–Jordan pivot on `(pivot_row, pivot_col)`:
+    /// scales the pivot row so the pivot entry becomes 1, then
+    /// eliminates the pivot column from every other row.
+    ///
+    /// The caller guarantees the pivot entry is bounded away from zero;
+    /// the `debug_assert` documents the contract.
+    pub(crate) fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let p = self.get(pivot_row, pivot_col);
+        debug_assert!(p.abs() > 1e-12, "pivot on a (near-)zero element");
+        let inv = 1.0 / p;
+        // Scale the pivot row.
+        {
+            let start = pivot_row * self.cols;
+            for v in &mut self.data[start..start + self.cols] {
+                *v *= inv;
+            }
+            // Clamp the pivot entry to exactly 1 to stop error accumulating.
+            self.data[start + pivot_col] = 1.0;
+        }
+        // Eliminate the pivot column from all other rows.
+        for r in 0..self.rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = self.get(r, pivot_col);
+            if factor == 0.0 {
+                continue;
+            }
+            let (pr_start, r_start) = (pivot_row * self.cols, r * self.cols);
+            for c in 0..self.cols {
+                let delta = factor * self.data[pr_start + c];
+                self.data[r_start + c] -= delta;
+            }
+            // The eliminated entry is exactly zero by construction.
+            self.data[r_start + pivot_col] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let t = Tableau::zeros(3, 4);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(t.get(r, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = Tableau::zeros(2, 2);
+        t.set(0, 1, 3.5);
+        t.set(1, 0, -2.0);
+        assert_eq!(t.get(0, 1), 3.5);
+        assert_eq!(t.get(1, 0), -2.0);
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn pivot_normalizes_row_and_clears_column() {
+        // Rows: [2 4 | 6], [1 1 | 2]; pivot on (0,0).
+        let mut t = Tableau::zeros(2, 3);
+        t.set(0, 0, 2.0);
+        t.set(0, 1, 4.0);
+        t.set(0, 2, 6.0);
+        t.set(1, 0, 1.0);
+        t.set(1, 1, 1.0);
+        t.set(1, 2, 2.0);
+        t.pivot(0, 0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.row(1), &[0.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn pivot_is_involution_like_on_identity_column() {
+        // Pivoting twice on the same unit column leaves rows unchanged.
+        let mut t = Tableau::zeros(2, 3);
+        t.set(0, 0, 1.0);
+        t.set(0, 2, 5.0);
+        t.set(1, 1, 1.0);
+        t.set(1, 2, 7.0);
+        let before = t.clone();
+        t.pivot(0, 0);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!((t.get(r, c) - before.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Unit and property tests for the simplex solver.
+
+use crate::{LpError, Problem, Relation};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-7;
+
+#[test]
+fn textbook_two_variable_max() {
+    // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6
+    let mut p = Problem::maximize(&[3.0, 2.0]);
+    p.constrain(&[1.0, 1.0], Relation::Le, 4.0);
+    p.constrain(&[1.0, 3.0], Relation::Le, 6.0);
+    let s = p.solve().unwrap();
+    assert!((s.objective - 12.0).abs() < TOL);
+    assert!((s.x[0] - 4.0).abs() < TOL);
+    assert!(s.x[1].abs() < TOL);
+}
+
+#[test]
+fn minimization_orientation_is_restored() {
+    // min x + y s.t. x + 2y >= 4, 3x + y >= 6 → optimum at (1.6, 1.2), value 2.8
+    let mut p = Problem::minimize(&[1.0, 1.0]);
+    p.constrain(&[1.0, 2.0], Relation::Ge, 4.0);
+    p.constrain(&[3.0, 1.0], Relation::Ge, 6.0);
+    let s = p.solve().unwrap();
+    assert!((s.objective - 2.8).abs() < TOL, "got {}", s.objective);
+    assert!((s.x[0] - 1.6).abs() < TOL);
+    assert!((s.x[1] - 1.2).abs() < TOL);
+}
+
+#[test]
+fn equality_constraints_are_honored() {
+    // max x + y s.t. x + y = 3, x <= 2
+    let mut p = Problem::maximize(&[1.0, 1.0]);
+    p.constrain(&[1.0, 1.0], Relation::Eq, 3.0);
+    p.constrain(&[1.0, 0.0], Relation::Le, 2.0);
+    let s = p.solve().unwrap();
+    assert!((s.objective - 3.0).abs() < TOL);
+    assert!((s.x[0] + s.x[1] - 3.0).abs() < TOL);
+}
+
+#[test]
+fn infeasible_system_is_detected() {
+    // x <= 1 and x >= 2 cannot both hold.
+    let mut p = Problem::maximize(&[1.0]);
+    p.constrain(&[1.0], Relation::Le, 1.0);
+    p.constrain(&[1.0], Relation::Ge, 2.0);
+    assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+}
+
+#[test]
+fn unbounded_objective_is_detected() {
+    // max x with only x >= 0 (no upper bound).
+    let mut p = Problem::maximize(&[1.0, 0.0]);
+    p.constrain(&[0.0, 1.0], Relation::Le, 5.0);
+    assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+}
+
+#[test]
+fn negative_rhs_rows_are_normalized() {
+    // -x - y <= -2  ⇔  x + y >= 2; min x + y → 2.
+    let mut p = Problem::minimize(&[1.0, 1.0]);
+    p.constrain(&[-1.0, -1.0], Relation::Le, -2.0);
+    let s = p.solve().unwrap();
+    assert!((s.objective - 2.0).abs() < TOL);
+}
+
+#[test]
+fn degenerate_problem_terminates() {
+    // Classic degeneracy: multiple constraints tight at the optimum.
+    let mut p = Problem::maximize(&[1.0, 1.0]);
+    p.constrain(&[1.0, 0.0], Relation::Le, 1.0);
+    p.constrain(&[0.0, 1.0], Relation::Le, 1.0);
+    p.constrain(&[1.0, 1.0], Relation::Le, 2.0);
+    p.constrain(&[2.0, 1.0], Relation::Le, 3.0);
+    let s = p.solve().unwrap();
+    assert!((s.objective - 2.0).abs() < TOL);
+}
+
+#[test]
+fn redundant_equality_rows_are_tolerated() {
+    // The same equality twice produces a redundant artificial row that
+    // stays basic at zero after phase 1.
+    let mut p = Problem::maximize(&[1.0, 2.0]);
+    p.constrain(&[1.0, 1.0], Relation::Eq, 2.0);
+    p.constrain(&[2.0, 2.0], Relation::Eq, 4.0);
+    let s = p.solve().unwrap();
+    assert!((s.objective - 4.0).abs() < TOL);
+    assert!(s.x[0].abs() < TOL);
+    assert!((s.x[1] - 2.0).abs() < TOL);
+}
+
+#[test]
+fn dimension_mismatch_is_reported() {
+    let mut p = Problem::maximize(&[1.0, 1.0]);
+    p.constrain(&[1.0], Relation::Le, 1.0);
+    assert_eq!(
+        p.solve().unwrap_err(),
+        LpError::DimensionMismatch {
+            expected: 2,
+            got: 1
+        }
+    );
+}
+
+#[test]
+fn non_finite_input_is_reported() {
+    let mut p = Problem::maximize(&[1.0]);
+    p.constrain(&[f64::NAN], Relation::Le, 1.0);
+    assert_eq!(p.solve().unwrap_err(), LpError::NotFinite);
+}
+
+#[test]
+fn sparse_constraint_builder_matches_dense() {
+    let mut a = Problem::maximize(&[1.0, 2.0, 3.0]);
+    a.constrain(&[0.0, 1.0, 1.0], Relation::Le, 2.0);
+    let mut b = Problem::maximize(&[1.0, 2.0, 3.0]);
+    b.constrain_sparse(&[(1, 1.0), (2, 1.0)], Relation::Le, 2.0);
+    // Both unbounded in x0; bound it to compare optima.
+    a.constrain(&[1.0, 0.0, 0.0], Relation::Le, 1.0);
+    b.constrain_sparse(&[(0, 1.0)], Relation::Le, 1.0);
+    let (sa, sb) = (a.solve().unwrap(), b.solve().unwrap());
+    assert!((sa.objective - sb.objective).abs() < TOL);
+}
+
+#[test]
+fn sparse_out_of_range_index_is_reported() {
+    let mut p = Problem::maximize(&[1.0]);
+    p.constrain_sparse(&[(3, 1.0)], Relation::Le, 1.0);
+    assert!(matches!(
+        p.solve().unwrap_err(),
+        LpError::DimensionMismatch { .. }
+    ));
+}
+
+#[test]
+fn zero_constraint_problem_with_zero_objective() {
+    // Degenerate but legal: no constraints, zero objective → optimum 0 at origin.
+    let p = Problem::maximize(&[0.0, 0.0]);
+    let s = p.solve().unwrap();
+    assert_eq!(s.objective, 0.0);
+    assert_eq!(s.x, vec![0.0, 0.0]);
+}
+
+#[test]
+fn econcast_shaped_homogeneous_lp_matches_closed_form() {
+    // (P2) for a homogeneous network: max Σα_i s.t.
+    //   α_i L + β_i X ≤ ρ, α_i + β_i ≤ 1, Σβ_i ≤ 1, α_i ≤ Σ_{j≠i} β_j.
+    // Closed form: β* = ρ/(X+(N−1)L), α* = (N−1)β*, T* = Nα*.
+    let (n, rho, l, x) = (5usize, 10e-6, 500e-6, 500e-6);
+    let nv = 2 * n; // α_0..α_4, β_0..β_4
+    let mut obj = vec![0.0; nv];
+    for i in 0..n {
+        obj[i] = 1.0;
+    }
+    let mut p = Problem::maximize(&obj);
+    for i in 0..n {
+        p.constrain_sparse(&[(i, l), (n + i, x)], Relation::Le, rho);
+        p.constrain_sparse(&[(i, 1.0), (n + i, 1.0)], Relation::Le, 1.0);
+        let mut row: Vec<(usize, f64)> = vec![(i, 1.0)];
+        for j in 0..n {
+            if j != i {
+                row.push((n + j, -1.0));
+            }
+        }
+        p.constrain_sparse(&row, Relation::Le, 0.0);
+    }
+    let all_beta: Vec<(usize, f64)> = (0..n).map(|j| (n + j, 1.0)).collect();
+    p.constrain_sparse(&all_beta, Relation::Le, 1.0);
+    let s = p.solve().unwrap();
+    let beta_star = rho / (x + (n as f64 - 1.0) * l);
+    let t_star = n as f64 * (n as f64 - 1.0) * beta_star;
+    assert!(
+        (s.objective - t_star).abs() < 1e-9,
+        "LP {} vs closed form {}",
+        s.objective,
+        t_star
+    );
+}
+
+proptest! {
+    /// Any reported optimum must be a feasible point.
+    #[test]
+    fn prop_solution_is_feasible(
+        n in 1usize..5,
+        m in 1usize..6,
+        seed_coeffs in proptest::collection::vec(-5.0f64..5.0, 0..30),
+        seed_rhs in proptest::collection::vec(0.1f64..10.0, 0..6),
+        obj in proptest::collection::vec(-3.0f64..3.0, 1..5),
+    ) {
+        let mut objective = obj;
+        objective.resize(n, 0.5);
+        let mut p = Problem::maximize(&objective);
+        // Box constraints keep everything bounded and feasible.
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            p.constrain(&row, Relation::Le, 10.0);
+        }
+        for k in 0..m {
+            let mut row = vec![0.0; n];
+            for (i, r) in row.iter_mut().enumerate() {
+                *r = seed_coeffs.get(k * n + i).copied().unwrap_or(1.0).abs();
+            }
+            let rhs = seed_rhs.get(k).copied().unwrap_or(5.0);
+            p.constrain(&row, Relation::Le, rhs);
+        }
+        let s = p.solve().unwrap();
+        prop_assert!(p.is_feasible(&s.x, 1e-6));
+        prop_assert!((p.objective_at(&s.x) - s.objective).abs() < 1e-6);
+    }
+
+    /// The optimum dominates a spread of random feasible points
+    /// (scaled-down corners of the feasible box).
+    #[test]
+    fn prop_optimum_dominates_random_feasible_points(
+        n in 1usize..4,
+        obj in proptest::collection::vec(0.0f64..3.0, 1..4),
+        scale in 0.0f64..1.0,
+    ) {
+        let mut objective = obj;
+        objective.resize(n, 1.0);
+        let mut p = Problem::maximize(&objective);
+        let mut row_all = vec![1.0; n];
+        p.constrain(&row_all, Relation::Le, 4.0);
+        for i in 0..n {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            p.constrain(&row, Relation::Le, 2.0);
+        }
+        let s = p.solve().unwrap();
+        // Candidate: x_i = scale * 4/n (inside the simplex and the box for scale<=... ).
+        let cand = vec![(scale * 4.0 / n as f64).min(2.0); n];
+        row_all.iter_mut().for_each(|v| *v = 1.0);
+        if p.is_feasible(&cand, 0.0) {
+            prop_assert!(p.objective_at(&cand) <= s.objective + 1e-6);
+        }
+    }
+
+    /// Strong duality check on inequality-form problems: construct the
+    /// dual explicitly and verify the optima coincide.
+    #[test]
+    fn prop_strong_duality(
+        n in 1usize..4,
+        m in 1usize..4,
+        a_seed in proptest::collection::vec(0.1f64..4.0, 1..16),
+        b_seed in proptest::collection::vec(0.5f64..8.0, 1..4),
+        c_seed in proptest::collection::vec(0.1f64..3.0, 1..4),
+    ) {
+        // Primal: max c·x s.t. A x <= b, x >= 0 with A > 0 (bounded, feasible).
+        let at = |r: usize, c: usize| a_seed[(r * n + c) % a_seed.len()];
+        let b = |r: usize| b_seed[r % b_seed.len()];
+        let c = |j: usize| c_seed[j % c_seed.len()];
+
+        let mut primal = Problem::maximize(&(0..n).map(c).collect::<Vec<_>>());
+        for r in 0..m {
+            let row: Vec<f64> = (0..n).map(|j| at(r, j)).collect();
+            primal.constrain(&row, Relation::Le, b(r));
+        }
+        let ps = primal.solve().unwrap();
+
+        // Dual: min b·y s.t. Aᵀ y >= c, y >= 0.
+        let mut dual = Problem::minimize(&(0..m).map(b).collect::<Vec<_>>());
+        for j in 0..n {
+            let row: Vec<f64> = (0..m).map(|r| at(r, j)).collect();
+            dual.constrain(&row, Relation::Ge, c(j));
+        }
+        let ds = dual.solve().unwrap();
+        prop_assert!(
+            (ps.objective - ds.objective).abs() < 1e-6 * (1.0 + ps.objective.abs()),
+            "primal {} dual {}", ps.objective, ds.objective
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Oracle anyput in a clique — the LP (P3) of Section IV-B.
+//!
+//! ```text
+//! T*_a = max_{α,β,χ} Σ_i β_i
+//! s.t.  α_i L_i + β_i X_i ≤ ρ_i      (9)
+//!       α_i + β_i ≤ 1                (10)
+//!       Σ_i β_i ≤ 1                  (11)
+//!       β_i ≤ Σ_{j≠i} χ_{i,j}        (14) every transmission has a listener
+//!       α_j = Σ_{i≠j} χ_{i,j}        (15) listens cover assigned receptions
+//! ```
+//!
+//! `χ_{i,j}` is the fraction of time node `j` receives from node `i`.
+
+use crate::solution::OracleSolution;
+use econcast_core::NodeParams;
+use econcast_lp::{Problem, Relation};
+
+/// Variable layout for (P3): `α` at `0..n`, `β` at `n..2n`, then the
+/// `χ_{i,j}` (`i ≠ j`) packed row-major with the diagonal skipped.
+fn chi_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i != j && i < n && j < n);
+    let col = if j < i { j } else { j - 1 };
+    2 * n + i * (n - 1) + col
+}
+
+/// Solves (P3) exactly. The LP has `2N + N(N−1)` variables.
+///
+/// # Panics
+///
+/// Panics when `nodes` is empty.
+pub fn oracle_anyput(nodes: &[NodeParams]) -> OracleSolution {
+    let n = nodes.len();
+    assert!(n >= 1, "need at least one node");
+    let num_vars = 2 * n + n * (n.saturating_sub(1));
+    let mut obj = vec![0.0; num_vars];
+    for o in obj.iter_mut().skip(n).take(n) {
+        *o = 1.0;
+    }
+    let mut p = Problem::maximize(&obj);
+    for (i, node) in nodes.iter().enumerate() {
+        // (9)
+        p.constrain_sparse(
+            &[(i, node.listen_w), (n + i, node.transmit_w)],
+            Relation::Le,
+            node.budget_w,
+        );
+        // (10)
+        p.constrain_sparse(&[(i, 1.0), (n + i, 1.0)], Relation::Le, 1.0);
+        if n >= 2 {
+            // (14): β_i − Σ_{j≠i} χ_{i,j} ≤ 0
+            let mut row: Vec<(usize, f64)> = vec![(n + i, 1.0)];
+            for j in 0..n {
+                if j != i {
+                    row.push((chi_index(n, i, j), -1.0));
+                }
+            }
+            p.constrain_sparse(&row, Relation::Le, 0.0);
+            // (15): α_i − Σ_{j≠i} χ_{j,i} = 0
+            let mut row: Vec<(usize, f64)> = vec![(i, 1.0)];
+            for j in 0..n {
+                if j != i {
+                    row.push((chi_index(n, j, i), -1.0));
+                }
+            }
+            p.constrain_sparse(&row, Relation::Eq, 0.0);
+        } else {
+            // A single node can never deliver to anyone: β_0 = 0.
+            p.constrain_sparse(&[(n + i, 1.0)], Relation::Le, 0.0);
+        }
+    }
+    // (11)
+    let all_beta: Vec<(usize, f64)> = (0..n).map(|j| (n + j, 1.0)).collect();
+    p.constrain_sparse(&all_beta, Relation::Le, 1.0);
+
+    let sol = p
+        .solve()
+        .expect("(P3) is always feasible: the all-sleep schedule satisfies every constraint");
+    OracleSolution {
+        throughput: sol.objective,
+        alpha: sol.x[..n].to_vec(),
+        beta: sol.x[n..2 * n].to_vec(),
+    }
+}
+
+/// The closed-form homogeneous solution (Section IV-B):
+///
+/// ```text
+/// β* = α* = ρ / (X + L),   T*_a = N·β*
+/// ```
+///
+/// valid while severely energy-constrained; returns `None` when the
+/// schedule would violate (10)/(11) (fall back to [`oracle_anyput`]).
+pub fn oracle_anyput_homogeneous(n: usize, params: &NodeParams) -> Option<OracleSolution> {
+    assert!(n >= 2, "anyput needs at least two nodes");
+    let nf = n as f64;
+    let beta = params.budget_w / (params.transmit_w + params.listen_w);
+    let alpha = beta;
+    if alpha + beta > 1.0 || nf * beta > 1.0 {
+        return None;
+    }
+    Some(OracleSolution {
+        throughput: nf * beta,
+        alpha: vec![alpha; n],
+        beta: vec![beta; n],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn uw(budget: f64, l: f64, x: f64) -> NodeParams {
+        NodeParams::from_microwatts(budget, l, x)
+    }
+
+    #[test]
+    fn chi_indexing_is_a_bijection() {
+        let n = 5;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let idx = chi_index(n, i, j);
+                    assert!(idx >= 2 * n && idx < 2 * n + n * (n - 1));
+                    assert!(seen.insert(idx), "duplicate index for ({i},{j})");
+                }
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn homogeneous_lp_matches_closed_form() {
+        for n in [2usize, 3, 5, 8] {
+            let p = uw(10.0, 500.0, 500.0);
+            let nodes = vec![p; n];
+            let lp = oracle_anyput(&nodes);
+            let cf = oracle_anyput_homogeneous(n, &p).expect("constrained regime");
+            assert!(
+                (lp.throughput - cf.throughput).abs() < 1e-9,
+                "n={n}: LP {} vs closed form {}",
+                lp.throughput,
+                cf.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn anyput_capped_at_one() {
+        // Rich network: anyput saturates at 1 (someone always
+        // transmitting to someone).
+        let nodes = vec![NodeParams::new(10.0, 1.0, 1.0); 4];
+        let sol = oracle_anyput(&nodes);
+        assert!((sol.throughput - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anyput_supports_more_transmission_than_groupput() {
+        // Anyput needs only one listener per transmission, so the total
+        // transmit time Σβ under (P3), N·ρ/(X+L), exceeds groupput's
+        // N·ρ/(X+(N−1)L). (Per-node values are not unique at the LP
+        // vertex, so compare totals.)
+        let p = uw(10.0, 500.0, 500.0);
+        let nodes = vec![p; 5];
+        let any = oracle_anyput(&nodes);
+        let grp = crate::groupput::oracle_groupput(&nodes);
+        let any_total: f64 = any.beta.iter().sum();
+        let grp_total: f64 = grp.beta.iter().sum();
+        assert!(
+            any_total > grp_total + 1e-9,
+            "anyput Σβ {any_total} vs groupput Σβ {grp_total}"
+        );
+        // Exact totals from the closed forms.
+        assert!((any_total - 5.0 * 10e-6 / 1000e-6).abs() < 1e-9);
+        assert!((grp_total - 5.0 * 10e-6 / 2500e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_node_anyput_is_zero() {
+        let sol = oracle_anyput(&[uw(10.0, 500.0, 500.0)]);
+        assert_eq!(sol.throughput, 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_solution_is_feasible() {
+        let nodes = vec![
+            uw(5.0, 400.0, 600.0),
+            uw(10.0, 500.0, 500.0),
+            uw(50.0, 600.0, 400.0),
+        ];
+        let sol = oracle_anyput(&nodes);
+        assert!(sol.is_feasible(&nodes, 1e-8));
+        // (14)+(15) imply Σβ ≤ Σα at the aggregate level.
+        let sum_a: f64 = sol.alpha.iter().sum();
+        let sum_b: f64 = sol.beta.iter().sum();
+        assert!(sum_b <= sum_a + 1e-8);
+    }
+
+    proptest! {
+        /// Anyput is bounded by 1 and by the groupput-style budget cap,
+        /// and the LP stays feasible on random networks.
+        #[test]
+        fn prop_anyput_bounds(
+            n in 2usize..6,
+            budgets in proptest::collection::vec(1.0f64..100.0, 2..6),
+        ) {
+            let nodes: Vec<NodeParams> = (0..n)
+                .map(|i| uw(budgets[i % budgets.len()], 500.0, 500.0))
+                .collect();
+            let sol = oracle_anyput(&nodes);
+            prop_assert!(sol.is_feasible(&nodes, 1e-7));
+            prop_assert!(sol.throughput <= 1.0 + 1e-9);
+            prop_assert!(sol.throughput >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Oracle groupput in a clique — the LP (P2) of Section IV-A.
+//!
+//! ```text
+//! T*_g = max_{α,β} Σ_i α_i
+//! s.t.  α_i L_i + β_i X_i ≤ ρ_i        (9)  power budget
+//!       α_i + β_i ≤ 1                  (10) one state at a time
+//!       Σ_i β_i ≤ 1                    (11) one transmitter at a time
+//!       α_i ≤ Σ_{j≠i} β_j              (12) listen only during a transmission
+//! ```
+//!
+//! In a clique every listen during the (single) active transmission is
+//! a reception, so the groupput equals `Σ_i α_i` — the LP objective.
+
+use crate::solution::OracleSolution;
+use econcast_core::NodeParams;
+use econcast_lp::{Problem, Relation};
+
+/// Solves (P2) exactly. Variables are laid out `[α_0..α_{N−1},
+/// β_0..β_{N−1}]`; the LP has `2N` variables and `3N + 1` constraints,
+/// exactly as stated in Section IV-A.
+///
+/// # Panics
+///
+/// Panics when `nodes` is empty. The LP is always feasible (all-sleep
+/// is a solution), so solving cannot fail for valid parameters.
+pub fn oracle_groupput(nodes: &[NodeParams]) -> OracleSolution {
+    let n = nodes.len();
+    assert!(n >= 1, "need at least one node");
+    let mut obj = vec![0.0; 2 * n];
+    for o in obj.iter_mut().take(n) {
+        *o = 1.0;
+    }
+    let mut p = Problem::maximize(&obj);
+    for (i, node) in nodes.iter().enumerate() {
+        // (9)
+        p.constrain_sparse(
+            &[(i, node.listen_w), (n + i, node.transmit_w)],
+            Relation::Le,
+            node.budget_w,
+        );
+        // (10)
+        p.constrain_sparse(&[(i, 1.0), (n + i, 1.0)], Relation::Le, 1.0);
+        // (12): α_i − Σ_{j≠i} β_j ≤ 0
+        let mut row: Vec<(usize, f64)> = vec![(i, 1.0)];
+        for j in 0..n {
+            if j != i {
+                row.push((n + j, -1.0));
+            }
+        }
+        p.constrain_sparse(&row, Relation::Le, 0.0);
+    }
+    // (11)
+    let all_beta: Vec<(usize, f64)> = (0..n).map(|j| (n + j, 1.0)).collect();
+    p.constrain_sparse(&all_beta, Relation::Le, 1.0);
+
+    let sol = p
+        .solve()
+        .expect("(P2) is always feasible: the all-sleep schedule satisfies every constraint");
+    OracleSolution {
+        throughput: sol.objective,
+        alpha: sol.x[..n].to_vec(),
+        beta: sol.x[n..].to_vec(),
+    }
+}
+
+/// The closed-form homogeneous solution (Section IV-A / Appendix B),
+/// valid when nodes are sufficiently energy-constrained (constraint (9)
+/// dominates (10) and (11)):
+///
+/// ```text
+/// β* = ρ / (X + (N−1)·L),   α* = (N−1)·β*,   T*_g = N·α*
+/// ```
+///
+/// Returns `None` when the closed form's regime does not apply (the
+/// resulting schedule would violate (10) or (11)); callers should fall
+/// back to [`oracle_groupput`] then.
+pub fn oracle_groupput_homogeneous(n: usize, params: &NodeParams) -> Option<OracleSolution> {
+    assert!(n >= 2, "groupput needs at least two nodes");
+    let nf = n as f64;
+    let beta = params.budget_w / (params.transmit_w + (nf - 1.0) * params.listen_w);
+    let alpha = (nf - 1.0) * beta;
+    // Regime check: (10) per node and (11) across nodes.
+    if alpha + beta > 1.0 || nf * beta > 1.0 {
+        return None;
+    }
+    Some(OracleSolution {
+        throughput: nf * alpha,
+        alpha: vec![alpha; n],
+        beta: vec![beta; n],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn uw(budget: f64, l: f64, x: f64) -> NodeParams {
+        NodeParams::from_microwatts(budget, l, x)
+    }
+
+    #[test]
+    fn homogeneous_lp_matches_closed_form() {
+        for n in [2usize, 3, 5, 10] {
+            let p = uw(10.0, 500.0, 500.0);
+            let nodes = vec![p; n];
+            let lp = oracle_groupput(&nodes);
+            let cf = oracle_groupput_homogeneous(n, &p).expect("severely constrained regime");
+            assert!(
+                (lp.throughput - cf.throughput).abs() < 1e-9,
+                "n={n}: LP {} vs closed form {}",
+                lp.throughput,
+                cf.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_detects_out_of_regime() {
+        // A barely-constrained network: β* would exceed what (11)
+        // allows.
+        let p = NodeParams::new(10.0, 1.0, 1.0); // budget 10 W ≫ powers
+        assert!(oracle_groupput_homogeneous(5, &p).is_none());
+    }
+
+    #[test]
+    fn unconstrained_limit_is_n_minus_1() {
+        // With huge budgets the LP caps at the structural optimum N−1
+        // (one node always transmits, the rest always listen).
+        let nodes = vec![NodeParams::new(100.0, 1.0, 1.0); 4];
+        let sol = oracle_groupput(&nodes);
+        assert!((sol.throughput - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lp_solution_is_feasible() {
+        let nodes = vec![
+            uw(5.0, 400.0, 600.0),
+            uw(10.0, 500.0, 500.0),
+            uw(50.0, 600.0, 400.0),
+            uw(100.0, 550.0, 450.0),
+        ];
+        let sol = oracle_groupput(&nodes);
+        assert!(sol.is_feasible(&nodes, 1e-9));
+        // (12): each α_i covered by other nodes' β.
+        let total_beta: f64 = sol.beta.iter().sum();
+        for i in 0..4 {
+            assert!(sol.alpha[i] <= total_beta - sol.beta[i] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn table2_shape_transmit_share_grows_with_budget() {
+        // The Table II example: L = X = 1 mW, budgets 5/10/50/100 µW.
+        // Qualitative shape: richer nodes spend a larger share of their
+        // awake time transmitting, and awake time is ρ/L.
+        let nodes = vec![
+            NodeParams::from_milliwatts(0.005, 1.0, 1.0),
+            NodeParams::from_milliwatts(0.01, 1.0, 1.0),
+            NodeParams::from_milliwatts(0.05, 1.0, 1.0),
+            NodeParams::from_milliwatts(0.1, 1.0, 1.0),
+        ];
+        let sol = oracle_groupput(&nodes);
+        // The optimal value is unique even though the optimal schedule
+        // is not: T*_g = Σ_i min(r_i, B*) − B* with r_i = ρ_i/L and any
+        // B* ∈ [0.05, 0.1] — which evaluates to Σ r_i − max_i r_i.
+        let budgets_over_l: Vec<f64> = nodes.iter().map(|p| p.budget_w / p.listen_w).collect();
+        let expected: f64 =
+            budgets_over_l.iter().sum::<f64>() - budgets_over_l.iter().cloned().fold(0.0, f64::max);
+        assert!((sol.throughput - expected).abs() < 1e-9);
+        // No node exceeds its power-limited awake fraction ρ/L, and the
+        // three poorer nodes are fully awake in any optimal vertex.
+        for (i, node) in nodes.iter().enumerate() {
+            assert!(sol.awake_fraction(i) <= node.budget_w / node.listen_w + 1e-9);
+        }
+        for i in 0..3 {
+            assert!(
+                (sol.awake_fraction(i) - budgets_over_l[i]).abs() < 1e-9,
+                "poor node {i} should exhaust its budget, awake {}",
+                sol.awake_fraction(i)
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_has_zero_groupput() {
+        let sol = oracle_groupput(&[uw(10.0, 500.0, 500.0)]);
+        assert_eq!(sol.throughput, 0.0);
+    }
+
+    proptest! {
+        /// LP feasibility and the analytical cap T*_g ≤ N−1 hold for
+        /// random heterogeneous networks.
+        #[test]
+        fn prop_feasible_and_capped(
+            n in 2usize..7,
+            budgets in proptest::collection::vec(1.0f64..200.0, 2..7),
+            powers in proptest::collection::vec(300.0f64..800.0, 4..14),
+        ) {
+            let nodes: Vec<NodeParams> = (0..n).map(|i| {
+                let b = budgets[i % budgets.len()];
+                let l = powers[(2 * i) % powers.len()];
+                let x = powers[(2 * i + 1) % powers.len()];
+                uw(b, l, x)
+            }).collect();
+            let sol = oracle_groupput(&nodes);
+            prop_assert!(sol.is_feasible(&nodes, 1e-7));
+            prop_assert!(sol.throughput <= (n as f64) - 1.0 + 1e-9);
+            prop_assert!(sol.throughput >= -1e-12);
+        }
+
+        /// Oracle groupput is monotone in the budget: richer networks
+        /// can only do better.
+        #[test]
+        fn prop_monotone_in_budget(
+            n in 2usize..6,
+            budget in 1.0f64..50.0,
+            extra in 1.0f64..50.0,
+        ) {
+            let poor = vec![uw(budget, 500.0, 500.0); n];
+            let rich = vec![uw(budget + extra, 500.0, 500.0); n];
+            let tp = oracle_groupput(&poor).throughput;
+            let tr = oracle_groupput(&rich).throughput;
+            prop_assert!(tr >= tp - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # econcast-oracle — oracle throughput computations (Section IV)
+//!
+//! The *oracle throughput* `T*` is the optimum of the scheduling LP
+//! (P1), achievable only by an omniscient centralized scheduler. The
+//! paper reduces (P1) to two LPs with linearly many variables:
+//!
+//! * **(P2)** — oracle groupput in a clique: maximize `Σ α_i` subject
+//!   to the power constraints (9), the single-state constraint (10),
+//!   the single-transmitter constraint (11), and the "listen only when
+//!   someone transmits" constraint (12). See [`groupput`].
+//! * **(P3)** — oracle anyput: maximize `Σ β_i` with the reception-
+//!   share variables `χ_{i,j}` and constraints (14)–(15) ensuring every
+//!   transmission has at least one listener. See [`anyput`].
+//! * **Non-cliques** (Section IV-C): upper and lower bounds on the
+//!   maximum groupput obtained from neighborhood-restricted variants of
+//!   (P2); the Fig. 6 grids make the two coincide, giving the exact
+//!   `T*_nc`. See [`non_clique`].
+//!
+//! Closed-form solutions for homogeneous networks (Appendix B) are
+//! provided alongside and are cross-checked against the LP solver in
+//! tests.
+
+pub mod anyput;
+pub mod groupput;
+pub mod non_clique;
+mod solution;
+
+pub use anyput::{oracle_anyput, oracle_anyput_homogeneous};
+pub use groupput::{oracle_groupput, oracle_groupput_homogeneous};
+pub use non_clique::{non_clique_anyput_bounds, non_clique_groupput_bounds, NonCliqueBounds};
+pub use solution::OracleSolution;

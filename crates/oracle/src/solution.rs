@@ -1,0 +1,81 @@
+//! Shared result type for the oracle solvers.
+
+use econcast_core::NodeParams;
+
+/// An optimal oracle schedule: the fractions of time each node listens
+/// (`α_i`) and transmits (`β_i`), plus the optimal throughput.
+///
+/// Lemma 1 shows any rational such solution can be realized by a
+/// periodic slotted schedule after a one-time energy-accumulation
+/// interval, so these fractions are genuinely *achievable*, not just an
+/// upper bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleSolution {
+    /// The oracle throughput `T*` (per-packet-time units, as in the
+    /// paper: groupput ≤ N−1, anyput ≤ 1).
+    pub throughput: f64,
+    /// Listen-time fraction per node.
+    pub alpha: Vec<f64>,
+    /// Transmit-time fraction per node.
+    pub beta: Vec<f64>,
+}
+
+impl OracleSolution {
+    /// Fraction of time node `i` is awake: `α_i + β_i`.
+    pub fn awake_fraction(&self, i: usize) -> f64 {
+        self.alpha[i] + self.beta[i]
+    }
+
+    /// Fraction of its awake time node `i` spends transmitting —
+    /// the `100·β*/(α*+β*)%` row of Table II. `None` when the node
+    /// never wakes.
+    pub fn transmit_share_when_awake(&self, i: usize) -> Option<f64> {
+        let awake = self.awake_fraction(i);
+        (awake > 0.0).then(|| self.beta[i] / awake)
+    }
+
+    /// Verifies the solution against the node parameters: power budget
+    /// (9), time budget (10), and the single-transmitter bound (11).
+    pub fn is_feasible(&self, nodes: &[NodeParams], tol: f64) -> bool {
+        let per_node = nodes
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.admits(self.alpha[i], self.beta[i], tol));
+        let total_beta: f64 = self.beta.iter().sum();
+        per_node && total_beta <= 1.0 + tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let s = OracleSolution {
+            throughput: 0.3,
+            alpha: vec![0.1, 0.0],
+            beta: vec![0.1, 0.0],
+        };
+        assert!((s.awake_fraction(0) - 0.2).abs() < 1e-12);
+        assert!((s.transmit_share_when_awake(0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(s.transmit_share_when_awake(1), None);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let nodes = vec![NodeParams::from_microwatts(10.0, 500.0, 500.0); 2];
+        let good = OracleSolution {
+            throughput: 0.0,
+            alpha: vec![0.01, 0.01],
+            beta: vec![0.01, 0.01],
+        };
+        assert!(good.is_feasible(&nodes, 1e-9));
+        let over_power = OracleSolution {
+            throughput: 0.0,
+            alpha: vec![0.05, 0.0],
+            beta: vec![0.0, 0.0],
+        };
+        assert!(!over_power.is_feasible(&nodes, 1e-9));
+    }
+}

@@ -1,0 +1,170 @@
+//! Length-prefixed stream codec.
+//!
+//! The paper's observer node (Section VIII-D) forwards every received
+//! packet to a PC over a USB serial link for storage and
+//! post-processing. Serial links deliver byte streams, not frames, so
+//! the emulated observer uses this codec: each frame is prefixed with a
+//! `u16` length, and the decoder is incremental — feed it arbitrary
+//! chunks, pull out complete frames as they become available.
+
+use crate::error::DecodeError;
+use crate::frame::Frame;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Incremental encoder/decoder for a stream of length-prefixed frames.
+#[derive(Debug, Default)]
+pub struct StreamCodec {
+    buffer: BytesMut,
+}
+
+impl StreamCodec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes one frame with its length prefix into `out`.
+    pub fn encode(frame: &Frame, out: &mut BytesMut) {
+        let len = frame.encoded_len();
+        assert!(len <= u16::MAX as usize, "frame too large for u16 prefix");
+        out.put_u16(len as u16);
+        frame.encode_into(out);
+    }
+
+    /// Appends received bytes to the internal reassembly buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Attempts to decode the next complete frame. Returns `Ok(None)`
+    /// when more bytes are needed; errors are fatal for the stream
+    /// (framing is lost), matching serial-link semantics.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        if self.buffer.len() < 2 {
+            return Ok(None);
+        }
+        let len = u16::from_be_bytes([self.buffer[0], self.buffer[1]]) as usize;
+        if self.buffer.len() < 2 + len {
+            return Ok(None);
+        }
+        self.buffer.advance(2);
+        let frame_bytes = self.buffer.split_to(len);
+        let (frame, used) = Frame::decode(&frame_bytes)?;
+        if used != len {
+            return Err(DecodeError::MalformedLength);
+        }
+        Ok(Some(frame))
+    }
+
+    /// Drains all currently decodable frames.
+    pub fn drain(&mut self) -> Result<Vec<Frame>, DecodeError> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{DataFrame, PingFrame, ReceptionReport};
+    use proptest::prelude::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Ping(PingFrame { node_id: 1 }),
+            Frame::Preamble,
+            Frame::Data(DataFrame {
+                source: 2,
+                seq: 42,
+                report: vec![ReceptionReport { peer: 1, count: 3 }],
+            }),
+        ]
+    }
+
+    #[test]
+    fn whole_stream_roundtrip() {
+        let mut wire = BytesMut::new();
+        for f in sample_frames() {
+            StreamCodec::encode(&f, &mut wire);
+        }
+        let mut codec = StreamCodec::new();
+        codec.feed(&wire);
+        let decoded = codec.drain().unwrap();
+        assert_eq!(decoded, sample_frames());
+        assert_eq!(codec.pending(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        let mut wire = BytesMut::new();
+        for f in sample_frames() {
+            StreamCodec::encode(&f, &mut wire);
+        }
+        let mut codec = StreamCodec::new();
+        let mut decoded = Vec::new();
+        for &b in wire.iter() {
+            codec.feed(&[b]);
+            while let Some(f) = codec.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded, sample_frames());
+    }
+
+    #[test]
+    fn incomplete_frame_waits() {
+        let mut wire = BytesMut::new();
+        StreamCodec::encode(&Frame::Ping(PingFrame { node_id: 5 }), &mut wire);
+        let mut codec = StreamCodec::new();
+        codec.feed(&wire[..3]); // length + 1 byte
+        assert_eq!(codec.next_frame().unwrap(), None);
+        codec.feed(&wire[3..]);
+        assert_eq!(
+            codec.next_frame().unwrap(),
+            Some(Frame::Ping(PingFrame { node_id: 5 }))
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_is_fatal() {
+        let mut wire = BytesMut::new();
+        StreamCodec::encode(&Frame::Ping(PingFrame { node_id: 5 }), &mut wire);
+        wire[3] ^= 0xFF; // corrupt inside the frame body
+        let mut codec = StreamCodec::new();
+        codec.feed(&wire);
+        assert!(codec.next_frame().is_err());
+    }
+
+    proptest! {
+        /// Random chunking never changes the decoded sequence.
+        #[test]
+        fn prop_chunked_roundtrip(
+            ids in proptest::collection::vec(any::<u16>(), 1..20),
+            chunk in 1usize..16,
+        ) {
+            let frames: Vec<Frame> =
+                ids.iter().map(|&id| Frame::Ping(PingFrame { node_id: id })).collect();
+            let mut wire = BytesMut::new();
+            for f in &frames {
+                StreamCodec::encode(f, &mut wire);
+            }
+            let mut codec = StreamCodec::new();
+            let mut decoded = Vec::new();
+            for piece in wire.chunks(chunk) {
+                codec.feed(piece);
+                while let Some(f) = codec.next_frame().unwrap() {
+                    decoded.push(f);
+                }
+            }
+            prop_assert_eq!(decoded, frames);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! CRC-16/CCITT-FALSE, the checksum used by the CC2500's packet engine
+//! (polynomial 0x1021, init 0xFFFF, no reflection, no final XOR).
+//!
+//! Implemented bitwise from the polynomial definition; the frames here
+//! are tens of bytes, so a lookup table would be over-engineering.
+
+/// Computes CRC-16/CCITT-FALSE over `data`.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Convenience: checks that `data`'s trailing two bytes are the CRC of
+/// the preceding bytes. Returns the payload slice on success.
+pub fn verify_trailing_crc(data: &[u8]) -> Option<&[u8]> {
+    if data.len() < 2 {
+        return None;
+    }
+    let (payload, tail) = data.split_at(data.len() - 2);
+    let expected = u16::from_be_bytes([tail[0], tail[1]]);
+    (crc16_ccitt(payload) == expected).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_check_value() {
+        // The CRC-16/CCITT-FALSE check value for "123456789" is 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn empty_input_is_initial_value() {
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn verify_roundtrip_and_rejection() {
+        let payload = b"econcast";
+        let mut framed = payload.to_vec();
+        framed.extend_from_slice(&crc16_ccitt(payload).to_be_bytes());
+        assert_eq!(verify_trailing_crc(&framed), Some(&payload[..]));
+        // Flip one bit anywhere → rejected.
+        framed[3] ^= 0x10;
+        assert_eq!(verify_trailing_crc(&framed), None);
+        // Too short → rejected.
+        assert_eq!(verify_trailing_crc(&[0x12]), None);
+    }
+
+    proptest! {
+        /// Any single-bit flip in payload or CRC is detected (CRC-16
+        /// detects all single-bit errors by construction).
+        #[test]
+        fn prop_single_bit_flips_detected(
+            payload in proptest::collection::vec(any::<u8>(), 1..64),
+            flip_bit in 0usize..512,
+        ) {
+            let mut framed = payload.clone();
+            framed.extend_from_slice(&crc16_ccitt(&payload).to_be_bytes());
+            let bit = flip_bit % (framed.len() * 8);
+            framed[bit / 8] ^= 1 << (bit % 8);
+            prop_assert_eq!(verify_trailing_crc(&framed), None);
+        }
+
+        /// Round-trip always verifies.
+        #[test]
+        fn prop_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let mut framed = payload.clone();
+            framed.extend_from_slice(&crc16_ccitt(&payload).to_be_bytes());
+            prop_assert_eq!(verify_trailing_crc(&framed), Some(&payload[..]));
+        }
+    }
+}

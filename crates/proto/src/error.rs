@@ -1,0 +1,36 @@
+//! Decoding errors.
+
+use std::fmt;
+
+/// Why a byte buffer failed to decode into a [`crate::Frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the header requires.
+    Truncated {
+        /// Bytes needed (lower bound).
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The leading type octet is not a known frame type.
+    UnknownFrameType(u8),
+    /// The trailing CRC-16 did not match.
+    BadChecksum,
+    /// A length/count field is inconsistent with the buffer size.
+    MalformedLength,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "truncated frame: need {needed} bytes, have {available}")
+            }
+            DecodeError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            DecodeError::BadChecksum => write!(f, "frame checksum mismatch"),
+            DecodeError::MalformedLength => write!(f, "length field inconsistent with buffer"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

@@ -1,0 +1,323 @@
+//! Frame definitions and their binary encoding.
+//!
+//! Wire layout (big-endian, CRC-16/CCITT-FALSE over everything before
+//! the CRC):
+//!
+//! ```text
+//! Ping:     [0x01][node_id u16][crc u16]                       (5 bytes)
+//! Preamble: [0x02][crc u16]                                    (3 bytes)
+//! Data:     [0x03][source u16][seq u32][n u8]
+//!           { [peer u16][count u32] } × n  [crc u16]           (10 + 6n)
+//! ```
+
+use crate::crc::crc16_ccitt;
+use crate::error::DecodeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TYPE_PING: u8 = 0x01;
+const TYPE_PREAMBLE: u8 = 0x02;
+const TYPE_DATA: u8 = 0x03;
+
+/// A recipient's ping (Section VIII-C): the minimal frame a node can
+/// send — 0.4 ms on the CC2500 at 250 kbps. Informationless at the
+/// protocol level; the node id exists only so testbed traces can be
+/// attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PingFrame {
+    /// Sender of the ping.
+    pub node_id: u16,
+}
+
+/// One entry of a data packet's reception report: how many packets the
+/// source has received from `peer` so far (the payload the paper's
+/// observer node logs for post-processing, Section VIII-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceptionReport {
+    /// The peer the count refers to.
+    pub peer: u16,
+    /// Packets received from that peer.
+    pub count: u32,
+}
+
+/// A data packet: node id, sequence number, reception report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    /// Transmitting node.
+    pub source: u16,
+    /// Per-source sequence number.
+    pub seq: u32,
+    /// Reception counts for each peer (at most 255 entries).
+    pub report: Vec<ReceptionReport>,
+}
+
+/// Any EconCast frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Listener ping.
+    Ping(PingFrame),
+    /// Carrier-sense preamble marker.
+    Preamble,
+    /// Data packet.
+    Data(DataFrame),
+}
+
+impl Frame {
+    /// Encodes the frame (including CRC) into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes into an existing buffer (appends).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        match self {
+            Frame::Ping(p) => {
+                buf.put_u8(TYPE_PING);
+                buf.put_u16(p.node_id);
+            }
+            Frame::Preamble => {
+                buf.put_u8(TYPE_PREAMBLE);
+            }
+            Frame::Data(d) => {
+                assert!(
+                    d.report.len() <= u8::MAX as usize,
+                    "reception report capped at 255 entries"
+                );
+                buf.put_u8(TYPE_DATA);
+                buf.put_u16(d.source);
+                buf.put_u32(d.seq);
+                buf.put_u8(d.report.len() as u8);
+                for r in &d.report {
+                    buf.put_u16(r.peer);
+                    buf.put_u32(r.count);
+                }
+            }
+        }
+        let crc = crc16_ccitt(&buf[start..]);
+        buf.put_u16(crc);
+    }
+
+    /// The exact encoded size in bytes, CRC included.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Frame::Ping(_) => 1 + 2 + 2,
+            Frame::Preamble => 1 + 2,
+            Frame::Data(d) => 1 + 2 + 4 + 1 + 6 * d.report.len() + 2,
+        }
+    }
+
+    /// Decodes one frame from the start of `data`, returning the frame
+    /// and the number of bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(Frame, usize), DecodeError> {
+        if data.is_empty() {
+            return Err(DecodeError::Truncated {
+                needed: 3,
+                available: 0,
+            });
+        }
+        let total_len = match data[0] {
+            TYPE_PING => 5,
+            TYPE_PREAMBLE => 3,
+            TYPE_DATA => {
+                if data.len() < 8 {
+                    return Err(DecodeError::Truncated {
+                        needed: 10,
+                        available: data.len(),
+                    });
+                }
+                let n = data[7] as usize;
+                10 + 6 * n
+            }
+            t => return Err(DecodeError::UnknownFrameType(t)),
+        };
+        if data.len() < total_len {
+            return Err(DecodeError::Truncated {
+                needed: total_len,
+                available: data.len(),
+            });
+        }
+        let frame_bytes = &data[..total_len];
+        let (payload, tail) = frame_bytes.split_at(total_len - 2);
+        let expected = u16::from_be_bytes([tail[0], tail[1]]);
+        if crc16_ccitt(payload) != expected {
+            return Err(DecodeError::BadChecksum);
+        }
+
+        let mut cur = &payload[1..]; // skip the type octet
+        let frame = match data[0] {
+            TYPE_PING => Frame::Ping(PingFrame {
+                node_id: cur.get_u16(),
+            }),
+            TYPE_PREAMBLE => Frame::Preamble,
+            TYPE_DATA => {
+                let source = cur.get_u16();
+                let seq = cur.get_u32();
+                let n = cur.get_u8() as usize;
+                if cur.remaining() != 6 * n {
+                    return Err(DecodeError::MalformedLength);
+                }
+                let mut report = Vec::with_capacity(n);
+                for _ in 0..n {
+                    report.push(ReceptionReport {
+                        peer: cur.get_u16(),
+                        count: cur.get_u32(),
+                    });
+                }
+                Frame::Data(DataFrame {
+                    source,
+                    seq,
+                    report,
+                })
+            }
+            _ => unreachable!("validated above"),
+        };
+        Ok((frame, total_len))
+    }
+
+    /// Airtime of this frame at `bitrate` bits per second — e.g. a
+    /// 5-byte ping at the CC2500's 250 kbps takes 0.16 ms of payload
+    /// time (the paper's 0.4 ms figure includes preamble/sync/turnaround
+    /// overhead, which the radio model in `econcast-hw` adds).
+    pub fn airtime_s(&self, bitrate_bps: f64) -> f64 {
+        (self.encoded_len() * 8) as f64 / bitrate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ping_roundtrip_and_size() {
+        let f = Frame::Ping(PingFrame { node_id: 7 });
+        let b = f.encode();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.len(), f.encoded_len());
+        let (decoded, used) = Frame::decode(&b).unwrap();
+        assert_eq!(decoded, f);
+        assert_eq!(used, 5);
+    }
+
+    #[test]
+    fn preamble_roundtrip() {
+        let f = Frame::Preamble;
+        let b = f.encode();
+        assert_eq!(b.len(), 3);
+        assert_eq!(Frame::decode(&b).unwrap().0, f);
+    }
+
+    #[test]
+    fn data_roundtrip_with_report() {
+        let f = Frame::Data(DataFrame {
+            source: 3,
+            seq: 123_456,
+            report: vec![
+                ReceptionReport { peer: 0, count: 10 },
+                ReceptionReport { peer: 1, count: 0 },
+                ReceptionReport {
+                    peer: 4,
+                    count: 9999,
+                },
+            ],
+        });
+        let b = f.encode();
+        assert_eq!(b.len(), 10 + 18);
+        let (decoded, used) = Frame::decode(&b).unwrap();
+        assert_eq!(decoded, f);
+        assert_eq!(used, b.len());
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let mut b = Frame::Ping(PingFrame { node_id: 9 }).encode().to_vec();
+        b[1] ^= 0xFF;
+        assert_eq!(Frame::decode(&b), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert_eq!(
+            Frame::decode(&[0x7F, 0, 0]),
+            Err(DecodeError::UnknownFrameType(0x7F))
+        );
+    }
+
+    #[test]
+    fn truncation_reports_needed_bytes() {
+        let b = Frame::Data(DataFrame {
+            source: 1,
+            seq: 2,
+            report: vec![ReceptionReport { peer: 0, count: 1 }],
+        })
+        .encode();
+        match Frame::decode(&b[..12]) {
+            Err(DecodeError::Truncated { needed, available }) => {
+                assert_eq!(needed, 16);
+                assert_eq!(available, 12);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert!(matches!(
+            Frame::decode(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        // A frame followed by more data: decode consumes exactly one
+        // frame and reports its length.
+        let mut buf = Frame::Preamble.encode().to_vec();
+        buf.extend_from_slice(&Frame::Ping(PingFrame { node_id: 2 }).encode());
+        let (f1, used) = Frame::decode(&buf).unwrap();
+        assert_eq!(f1, Frame::Preamble);
+        let (f2, _) = Frame::decode(&buf[used..]).unwrap();
+        assert_eq!(f2, Frame::Ping(PingFrame { node_id: 2 }));
+    }
+
+    #[test]
+    fn airtime_scales_with_size() {
+        let ping = Frame::Ping(PingFrame { node_id: 0 });
+        // 5 bytes at 250 kbps = 0.16 ms.
+        assert!((ping.airtime_s(250_000.0) - 0.16e-3).abs() < 1e-12);
+        let data = Frame::Data(DataFrame {
+            source: 0,
+            seq: 0,
+            report: vec![ReceptionReport { peer: 1, count: 1 }; 10],
+        });
+        assert!(data.airtime_s(250_000.0) > ping.airtime_s(250_000.0));
+    }
+
+    proptest! {
+        /// Arbitrary data frames round-trip exactly.
+        #[test]
+        fn prop_data_roundtrip(
+            source in any::<u16>(),
+            seq in any::<u32>(),
+            report in proptest::collection::vec((any::<u16>(), any::<u32>()), 0..50),
+        ) {
+            let f = Frame::Data(DataFrame {
+                source,
+                seq,
+                report: report
+                    .into_iter()
+                    .map(|(peer, count)| ReceptionReport { peer, count })
+                    .collect(),
+            });
+            let b = f.encode();
+            prop_assert_eq!(b.len(), f.encoded_len());
+            let (decoded, used) = Frame::decode(&b).unwrap();
+            prop_assert_eq!(decoded, f);
+            prop_assert_eq!(used, b.len());
+        }
+
+        /// Random garbage never panics the decoder.
+        #[test]
+        fn prop_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Frame::decode(&bytes);
+        }
+    }
+}

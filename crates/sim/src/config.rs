@@ -1,0 +1,286 @@
+//! Simulation configuration.
+
+use econcast_core::{NodeParams, ProtocolConfig, StepSchedule, Topology};
+use serde::{Deserialize, Serialize};
+
+/// How the transmitter's listener estimate `ĉ(t)` is derived from the
+/// ground truth at each packet boundary (Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// `ĉ = c` exactly — the idealized assumption of the numerical
+    /// evaluation (Section VII-A).
+    Perfect,
+    /// Deterministic degradation: `ĉ = clamp(gain·c + bias, 0, cap)`.
+    Noisy {
+        /// Multiplicative detection gain.
+        gain: f64,
+        /// Additive bias.
+        bias: f64,
+        /// Report cap (`f64::INFINITY` to disable).
+        cap: f64,
+    },
+    /// Ping-collision model (Section VIII-C): each of the `c`
+    /// recipients sends one ping of length `ping_len` at a uniform
+    /// random offset inside the configured ping interval; overlapping
+    /// pings are lost, and `ĉ` is the number of pings decoded. Only
+    /// meaningful with `ping_interval > 0`.
+    PingCollision {
+        /// Ping airtime, same unit as the packet time.
+        ping_len: f64,
+    },
+}
+
+/// A time-varying harvest profile with constant mean (the Section
+/// III-A extension: "the analysis can be easily extended to the case
+/// with time-varying power budget with the same constant mean").
+///
+/// All nodes share the phase — modeling office lighting: during the
+/// on-phase (`duty` fraction of each period) every node harvests
+/// `ρ_i/duty`; during the off-phase nothing arrives. The long-run mean
+/// equals the configured budget `ρ_i` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HarvestSpec {
+    /// Full on+off cycle length (packet-time units).
+    pub period: f64,
+    /// Fraction of the period with power available, in `(0, 1]`.
+    pub duty: f64,
+}
+
+/// How each node's multiplier step schedule is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleSpec {
+    /// Every node uses this exact schedule. The caller owns the
+    /// unit-consistency of `δ` (see `StepSchedule`'s type-level note).
+    Shared(StepSchedule),
+    /// Per-node constant schedules derived from a dimensionless step
+    /// fraction: node `i` gets `δ_i = step·σ/max(L_i, X_i)²`
+    /// ([`StepSchedule::normalized_constant`]), which makes one knob
+    /// work across heterogeneous power levels.
+    Normalized {
+        /// Worst-case per-update movement of the dimensionless
+        /// multiplier (0.02–0.1 is a good range: smaller = steadier,
+        /// slower — the Section V-F tradeoff).
+        step: f64,
+        /// Update interval `τ` (packet-times).
+        tau: f64,
+    },
+}
+
+impl ScheduleSpec {
+    /// Resolves the schedule for one node.
+    pub fn for_node(&self, sigma: f64, params: &NodeParams) -> StepSchedule {
+        match *self {
+            ScheduleSpec::Shared(s) => s,
+            ScheduleSpec::Normalized { step, tau } => StepSchedule::normalized_constant(
+                step,
+                tau,
+                sigma,
+                params.listen_w,
+                params.transmit_w,
+            ),
+        }
+    }
+}
+
+/// Full description of one simulation run. Everything is serializable
+/// so experiment records are self-describing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Connectivity. Cliques reproduce Section VII-A–D, grids VII-E.
+    pub topology: Topology,
+    /// Per-node power parameters; length must equal `topology.len()`.
+    pub nodes: Vec<NodeParams>,
+    /// Protocol: σ, capture/non-capture, groupput/anyput.
+    pub protocol: ProtocolConfig,
+    /// Multiplier step schedule (constant δ/τ in practice,
+    /// Section V-F).
+    pub schedule: ScheduleSpec,
+    /// Initial multiplier value `η[0]` for every node. Seeding near the
+    /// converged value shortens warm-up; 0 is always safe.
+    pub eta0: f64,
+    /// Post-packet ping interval duration (packet-time units);
+    /// 0 disables the interval (idealized simulations).
+    pub ping_interval: f64,
+    /// Listener estimator at packet boundaries.
+    pub estimator: EstimatorKind,
+    /// Per-node sleep-clock drift factors (sampled sleep dwells are
+    /// multiplied by these); `None` = no drift. Length must match the
+    /// node count when present.
+    pub clock_drift: Option<Vec<f64>>,
+    /// Extra constant power drawn at all times — the regulator
+    /// quiescent and MCU standby overhead Section VIII-B measures as a
+    /// 4–11% excess over the target budget. Invisible to the protocol's
+    /// virtual battery; counted only by the physical meter. Watts.
+    pub overhead_w: f64,
+    /// Simulated duration (packet-time units), metrics window included.
+    pub t_end: f64,
+    /// Metrics are discarded before this time (multiplier warm-up).
+    pub warmup: f64,
+    /// RNG seed; identical configs with identical seeds reproduce runs
+    /// bit-for-bit.
+    pub seed: u64,
+    /// Record every successful packet delivery in the report's
+    /// `deliveries` log (time, source, receiver set). Off by default —
+    /// long runs would allocate heavily.
+    pub record_deliveries: bool,
+    /// Optional on/off harvest modulation with the same mean as the
+    /// constant budget (`None` = the paper's constant-ρ setting).
+    pub harvest: Option<HarvestSpec>,
+}
+
+impl SimConfig {
+    /// A ready-to-run idealized clique configuration matching the
+    /// Section VII-A setup: perfect estimates, no ping interval, no
+    /// drift or overhead, constant δ/τ schedule.
+    pub fn ideal_clique(
+        n: usize,
+        params: NodeParams,
+        protocol: ProtocolConfig,
+        t_end: f64,
+        seed: u64,
+    ) -> Self {
+        SimConfig {
+            topology: Topology::clique(n),
+            nodes: vec![params; n],
+            protocol,
+            schedule: ScheduleSpec::Normalized {
+                step: 0.05,
+                tau: 200.0,
+            },
+            eta0: 0.0,
+            ping_interval: 0.0,
+            estimator: EstimatorKind::Perfect,
+            clock_drift: None,
+            overhead_w: 0.0,
+            t_end,
+            warmup: (t_end * 0.2).min(50_000.0),
+            seed,
+            record_deliveries: false,
+            harvest: None,
+        }
+    }
+
+    /// Validates cross-field consistency; called by the engine.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.topology.len();
+        if n == 0 {
+            return Err("topology has no nodes".into());
+        }
+        if self.nodes.len() != n {
+            return Err(format!(
+                "{} node parameter sets for {} topology nodes",
+                self.nodes.len(),
+                n
+            ));
+        }
+        if let Some(d) = &self.clock_drift {
+            if d.len() != n {
+                return Err(format!("{} drift factors for {n} nodes", d.len()));
+            }
+            if d.iter().any(|&f| f <= 0.0 || !f.is_finite()) {
+                return Err("drift factors must be positive and finite".into());
+            }
+        }
+        if self.ping_interval < 0.0 || !self.ping_interval.is_finite() {
+            return Err("ping interval must be non-negative and finite".into());
+        }
+        if let EstimatorKind::PingCollision { ping_len } = self.estimator {
+            if self.ping_interval <= 0.0 {
+                return Err("PingCollision estimator requires ping_interval > 0".into());
+            }
+            if ping_len <= 0.0 || ping_len > self.ping_interval {
+                return Err("ping_len must lie in (0, ping_interval]".into());
+            }
+        }
+        if self.overhead_w < 0.0 {
+            return Err("overhead power cannot be negative".into());
+        }
+        if !(self.t_end > 0.0) {
+            return Err("t_end must be positive".into());
+        }
+        if !(0.0..self.t_end).contains(&self.warmup) {
+            return Err("warmup must lie in [0, t_end)".into());
+        }
+        if self.eta0 < 0.0 {
+            return Err("eta0 must be non-negative".into());
+        }
+        if let Some(h) = self.harvest {
+            if !(h.period > 0.0 && h.period.is_finite()) {
+                return Err("harvest period must be positive and finite".into());
+            }
+            if !(h.duty > 0.0 && h.duty <= 1.0) {
+                return Err("harvest duty must lie in (0, 1]".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::ProtocolConfig;
+
+    fn base() -> SimConfig {
+        SimConfig::ideal_clique(
+            5,
+            NodeParams::from_microwatts(10.0, 500.0, 500.0),
+            ProtocolConfig::capture_groupput(0.5),
+            10_000.0,
+            1,
+        )
+    }
+
+    #[test]
+    fn ideal_clique_validates() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn mismatched_nodes_rejected() {
+        let mut c = base();
+        c.nodes.pop();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn drift_vector_length_checked() {
+        let mut c = base();
+        c.clock_drift = Some(vec![1.0; 3]);
+        assert!(c.validate().is_err());
+        c.clock_drift = Some(vec![1.0; 5]);
+        assert!(c.validate().is_ok());
+        c.clock_drift = Some(vec![1.0, 1.0, 1.0, 1.0, -0.5]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ping_collision_requires_interval() {
+        let mut c = base();
+        c.estimator = EstimatorKind::PingCollision { ping_len: 0.01 };
+        assert!(c.validate().is_err());
+        c.ping_interval = 0.2;
+        assert!(c.validate().is_ok());
+        c.estimator = EstimatorKind::PingCollision { ping_len: 0.5 };
+        assert!(c.validate().is_err()); // ping longer than interval
+    }
+
+    #[test]
+    fn warmup_bounds_checked() {
+        let mut c = base();
+        c.warmup = c.t_end;
+        assert!(c.validate().is_err());
+        c.warmup = 0.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let c = base();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.topology.len(), 5);
+        assert_eq!(back.seed, c.seed);
+        assert!(back.validate().is_ok());
+    }
+}

@@ -1,0 +1,186 @@
+//! The event queue: a time-ordered heap of scheduled events with
+//! lazy invalidation.
+//!
+//! Transition rates change whenever the channel state or a multiplier
+//! changes, so previously sampled exponential timers must be discarded.
+//! Rather than removing heap entries (O(n)), every spontaneous event is
+//! stamped with the owning node's *generation* at scheduling time; the
+//! engine bumps a node's generation to invalidate all of its pending
+//! timers and simply drops stale entries as they surface.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use econcast_core::NodeState;
+
+/// What a scheduled event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A spontaneous state transition of `node` into `to` (one of
+    /// s→l, l→s, l→x). Valid only if the node's generation still
+    /// matches `gen`.
+    Transition {
+        /// Owning node.
+        node: usize,
+        /// Generation stamp for lazy invalidation.
+        gen: u64,
+        /// Target state.
+        to: NodeState,
+    },
+    /// End of one unit packet transmitted by `node`.
+    PacketEnd {
+        /// Transmitting node.
+        node: usize,
+        /// Generation stamp.
+        gen: u64,
+    },
+    /// End of the post-packet ping interval of `node` (EconCast-C with
+    /// the realism knob enabled).
+    PingIntervalEnd {
+        /// Transmitting node.
+        node: usize,
+        /// Generation stamp.
+        gen: u64,
+    },
+    /// Periodic multiplier update (17) for `node`; never invalidated.
+    EtaUpdate {
+        /// Owning node.
+        node: usize,
+    },
+    /// Global harvest-phase edge for time-varying budgets; `on` is the
+    /// phase being *entered*. Never invalidated.
+    HarvestSwitch {
+        /// Whether power is available from this instant.
+        on: bool,
+    },
+}
+
+/// Heap entry ordered by time (earliest first), ties broken by
+/// insertion sequence for determinism.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `time`. Infinite times (from
+    /// zero-rate exponentials) are silently dropped — the transition
+    /// never fires.
+    pub fn schedule(&mut self, time: f64, event: Event) {
+        debug_assert!(!time.is_nan());
+        if time.is_finite() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Scheduled { time, seq, event });
+        }
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending entries (including stale ones awaiting lazy
+    /// invalidation).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(node: usize) -> Event {
+        Event::EtaUpdate { node }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, ev(3));
+        q.schedule(1.0, ev(1));
+        q.schedule(2.0, ev(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ev(10));
+        q.schedule(1.0, ev(20));
+        q.schedule(1.0, ev(30));
+        let nodes: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::EtaUpdate { node } => node,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(nodes, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn infinite_times_are_dropped() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::INFINITY, ev(1));
+        assert!(q.is_empty());
+        q.schedule(0.5, ev(2));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ev(5));
+        q.schedule(1.0, ev(1));
+        assert_eq!(q.pop().unwrap().0, 1.0);
+        q.schedule(2.0, ev(2));
+        assert_eq!(q.pop().unwrap().0, 2.0);
+        assert_eq!(q.pop().unwrap().0, 5.0);
+        assert!(q.pop().is_none());
+    }
+}

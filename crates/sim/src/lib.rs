@@ -1,0 +1,38 @@
+//! # econcast-sim — a continuous-time discrete-event simulator
+//!
+//! Simulates networks of nodes running EconCast (Section V) in
+//! continuous time, reproducing the evaluation setup of Section VII:
+//!
+//! * nodes transition between sleep, listen and transmit with the
+//!   exponential rates (18a)–(18f), re-drawn whenever the rates change
+//!   (exact under the exponential's memorylessness);
+//! * carrier sensing is perfect with zero propagation delay
+//!   (Section III-C): a node's channel is busy when any *neighbor*
+//!   transmits; busy channels freeze sleep→listen and listen-exit
+//!   transitions, so listeners receive whole transmissions;
+//! * transmissions are back-to-back unit packets continued with
+//!   probability `1 − λ_xl` (the equivalence noted in Section V-B);
+//! * each node adapts its Lagrange multiplier from the drift of its
+//!   energy ledger, eq. (17), with a constant power input at its budget
+//!   rate (Section VII-A);
+//! * non-clique topologies allow overlapping transmissions; packets
+//!   that overlap at a receiver are lost and "none of the transmissions
+//!   will be counted as throughput" (Section VII-E);
+//! * optional realism knobs used by the testbed emulation
+//!   (`econcast-hw`): a post-packet ping interval, noisy listener
+//!   estimates, per-node sleep-clock drift, and a constant awake-power
+//!   overhead.
+//!
+//! Time unit: one data-packet transmission (1 ms in the paper's
+//! simulations). Throughput is therefore directly comparable to the
+//! oracle values of `econcast-oracle` (groupput ≤ N−1, anyput ≤ 1).
+
+pub mod config;
+pub mod engine;
+pub mod events;
+pub mod metrics;
+pub mod rng;
+
+pub use config::{EstimatorKind, SimConfig};
+pub use engine::Simulator;
+pub use metrics::{LatencySummary, NodeStats, SimReport};

@@ -1,0 +1,312 @@
+//! Measurement collection: throughput, burstiness, latency, and the
+//! per-node power audit of Section VIII-B.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node accumulated statistics over the measurement window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Time spent in each state (packet-time units).
+    pub time_sleep: f64,
+    /// Listen time (includes receiving and ping intervals).
+    pub time_listen: f64,
+    /// Transmit time.
+    pub time_transmit: f64,
+    /// Physical energy consumed, *including* the unmodeled awake
+    /// overhead (`overhead_w`) — what a capacitor-discharge measurement
+    /// like Section VIII-B's eq. (25)–(26) would report.
+    pub energy_consumed: f64,
+    /// Energy the protocol's own model accounts for (sleep/listen/
+    /// transmit at the programmed `L`/`X`) — what the node's *virtual
+    /// battery* sees and what drives the multiplier update (17).
+    pub protocol_energy_consumed: f64,
+    /// Unit packets sent.
+    pub packets_sent: u64,
+    /// Unit packets successfully received.
+    pub packets_received: u64,
+    /// Completed receive bursts (count, total packets) — a burst is the
+    /// run of packets received before exiting the listen state
+    /// (Section VII-D).
+    pub bursts: u64,
+    /// Total packets across completed bursts.
+    pub burst_packets: u64,
+    /// Latency samples: gaps between consecutive received bursts that
+    /// contain at least one sleep period (Section VII-D).
+    pub latency_samples: Vec<f64>,
+    /// Final multiplier value at the end of the run.
+    pub final_eta: f64,
+}
+
+impl NodeStats {
+    /// Average received-burst length in packets.
+    pub fn mean_burst_length(&self) -> Option<f64> {
+        (self.bursts > 0).then(|| self.burst_packets as f64 / self.bursts as f64)
+    }
+
+    /// Average physical power over `elapsed` time (same power unit as
+    /// config), overhead included.
+    pub fn average_power(&self, elapsed: f64) -> f64 {
+        if elapsed > 0.0 {
+            self.energy_consumed / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Average protocol-visible (virtual battery) power — the quantity
+    /// Fig. 7's "Battery Variance" normalizes against the budget.
+    pub fn average_protocol_power(&self, elapsed: f64) -> f64 {
+        if elapsed > 0.0 {
+            self.protocol_energy_consumed / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of time awake.
+    pub fn awake_fraction(&self, elapsed: f64) -> f64 {
+        if elapsed > 0.0 {
+            (self.time_listen + self.time_transmit) / elapsed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Summary statistics over a latency sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from raw samples. Returns `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(LatencySummary {
+            count: sorted.len(),
+            mean,
+            p50: percentile(&sorted, 0.50),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Nearest-rank percentile over a pre-sorted ascending slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One successful packet delivery (recorded only when
+/// `SimConfig::record_deliveries` is set).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Packet end time.
+    pub time: f64,
+    /// Transmitting node.
+    pub source: usize,
+    /// Bitmask of nodes that received the packet.
+    pub receivers: u64,
+}
+
+impl Delivery {
+    /// Iterates over receiver indices.
+    pub fn receiver_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.receivers;
+        (0..64).filter(move |i| mask & (1 << i) != 0)
+    }
+}
+
+/// The full outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Measurement-window length (t_end − warmup).
+    pub elapsed: f64,
+    /// Groupput: receiver-packets delivered per unit time (Def. 1).
+    pub groupput: f64,
+    /// Anyput: packets with ≥1 receiver per unit time (Def. 2).
+    pub anyput: f64,
+    /// Unit packets transmitted in the window.
+    pub packets_transmitted: u64,
+    /// Packets that reached at least one receiver.
+    pub packets_delivered: u64,
+    /// Packets lost to overlapping transmissions at every prospective
+    /// receiver (non-clique only; always 0 in cliques).
+    pub packets_collided: u64,
+    /// Histogram of decoded ping counts after each packet transmission
+    /// (`ping_histogram[k]` = packets followed by `k` decoded pings) —
+    /// the raw data of Table IV. Populated only when a ping interval is
+    /// configured.
+    pub ping_histogram: Vec<u64>,
+    /// Per-node statistics.
+    pub nodes: Vec<NodeStats>,
+    /// Optional delivery log (empty unless requested).
+    pub deliveries: Vec<Delivery>,
+}
+
+impl SimReport {
+    /// Network-wide mean received-burst length.
+    pub fn mean_burst_length(&self) -> Option<f64> {
+        let (bursts, packets) = self
+            .nodes
+            .iter()
+            .fold((0u64, 0u64), |(b, p), n| (b + n.bursts, p + n.burst_packets));
+        (bursts > 0).then(|| packets as f64 / bursts as f64)
+    }
+
+    /// Pooled latency summary across all nodes.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        let all: Vec<f64> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.latency_samples.iter().copied())
+            .collect();
+        LatencySummary::from_samples(&all)
+    }
+
+    /// Pooled latency CDF: sorted samples paired with cumulative
+    /// probability, for plotting Fig. 5.
+    pub fn latency_cdf(&self) -> Vec<(f64, f64)> {
+        let mut all: Vec<f64> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.latency_samples.iter().copied())
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let n = all.len().max(1) as f64;
+        all.iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// The Table IV distribution: fraction of packet transmissions
+    /// followed by `k` decoded pings, `k = 0..`. Empty when no ping
+    /// interval was configured.
+    pub fn ping_distribution(&self) -> Vec<f64> {
+        let total: u64 = self.ping_histogram.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.ping_histogram
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Worst relative power-budget overshoot across nodes:
+    /// `max_i (avg_power_i − ρ_i)/ρ_i` (can be negative when everyone
+    /// under-spends).
+    pub fn max_budget_overshoot(&self, budgets: &[f64]) -> f64 {
+        self.nodes
+            .iter()
+            .zip(budgets)
+            .map(|(n, &rho)| (n.average_power(self.elapsed) - rho) / rho)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.5), 5.0);
+        assert_eq!(percentile(&v, 0.99), 10.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn latency_summary_from_samples() {
+        let s = LatencySummary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(LatencySummary::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn node_stats_derived_values() {
+        let mut n = NodeStats::default();
+        n.bursts = 4;
+        n.burst_packets = 10;
+        n.energy_consumed = 50.0;
+        n.time_listen = 3.0;
+        n.time_transmit = 1.0;
+        assert_eq!(n.mean_burst_length(), Some(2.5));
+        assert_eq!(n.average_power(100.0), 0.5);
+        assert_eq!(n.awake_fraction(100.0), 0.04);
+        assert_eq!(NodeStats::default().mean_burst_length(), None);
+    }
+
+    #[test]
+    fn report_pooling() {
+        let mut a = NodeStats::default();
+        a.bursts = 1;
+        a.burst_packets = 4;
+        a.latency_samples = vec![10.0];
+        let mut b = NodeStats::default();
+        b.bursts = 3;
+        b.burst_packets = 4;
+        b.latency_samples = vec![20.0, 30.0];
+        let r = SimReport {
+            elapsed: 100.0,
+            groupput: 0.0,
+            anyput: 0.0,
+            packets_transmitted: 0,
+            packets_delivered: 0,
+            packets_collided: 0,
+            ping_histogram: vec![],
+            nodes: vec![a, b],
+            deliveries: vec![],
+        };
+        assert_eq!(r.mean_burst_length(), Some(2.0));
+        let lat = r.latency_summary().unwrap();
+        assert_eq!(lat.count, 3);
+        assert!((lat.mean - 20.0).abs() < 1e-12);
+        let cdf = r.latency_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_overshoot() {
+        let mut n = NodeStats::default();
+        n.energy_consumed = 110.0; // avg power 1.1 over elapsed 100
+        let r = SimReport {
+            elapsed: 100.0,
+            groupput: 0.0,
+            anyput: 0.0,
+            packets_transmitted: 0,
+            packets_delivered: 0,
+            packets_collided: 0,
+            ping_histogram: vec![],
+            nodes: vec![n],
+            deliveries: vec![],
+        };
+        assert!((r.max_budget_overshoot(&[1.0]) - 0.1).abs() < 1e-12);
+    }
+}

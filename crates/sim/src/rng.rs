@@ -1,0 +1,99 @@
+//! Random-number helpers: seeded RNG construction and exponential
+//! sampling (implemented from the inverse CDF; `rand` ships no
+//! distributions without `rand_distr`, which is not in the approved
+//! dependency list).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the deterministic RNG used throughout a simulation run.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws `Exp(rate)` via inversion: `−ln(U)/rate` with `U ∈ (0, 1]`.
+///
+/// Returns `f64::INFINITY` for `rate ≤ 0` — a zero rate means the
+/// transition never fires, which callers use for frozen/disabled
+/// transitions.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    // gen_range over (0,1]: avoid ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>(); // gen() ∈ [0,1) ⇒ u ∈ (0,1]
+    -u.ln() / rate
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = seeded(7);
+        let rate = 2.5;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "empirical mean {mean} vs {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn exponential_is_always_positive() {
+        let mut rng = seeded(3);
+        for _ in 0..10_000 {
+            let x = exponential(&mut rng, 10.0);
+            assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = seeded(1);
+        assert_eq!(exponential(&mut rng, 0.0), f64::INFINITY);
+        assert_eq!(exponential(&mut rng, -1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn coin_extremes() {
+        let mut rng = seeded(9);
+        assert!(!coin(&mut rng, 0.0));
+        assert!(coin(&mut rng, 1.0));
+        assert!(!coin(&mut rng, -0.5));
+        assert!(coin(&mut rng, 1.5));
+    }
+
+    #[test]
+    fn coin_frequency_tracks_probability() {
+        let mut rng = seeded(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| coin(&mut rng, 0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "frequency {freq}");
+    }
+}

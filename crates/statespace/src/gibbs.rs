@@ -1,0 +1,437 @@
+//! The product-form stationary distribution of Lemma 2, eq. (19):
+//!
+//! ```text
+//! π^η_w = (1/Z_η) · exp[ (T_w − Σ_{i: w_i=l} η_i L_i − Σ_{i: w_i=x} η_i X_i) / σ ]
+//! ```
+//!
+//! All computations run in the log domain with a streaming
+//! log-sum-exp, because at the paper's small temperatures
+//! (σ = 0.1 ⇒ exponents of ±90 for N = 10) naive exponentiation
+//! over- or underflows.
+
+use crate::space::StateSpace;
+use crate::state::NetworkState;
+use econcast_core::{NodeParams, ThroughputMode};
+
+/// Inputs for evaluating the Gibbs distribution (19).
+#[derive(Debug, Clone, Copy)]
+pub struct GibbsParams<'a> {
+    /// Per-node power parameters `(ρ_i, L_i, X_i)`.
+    pub nodes: &'a [NodeParams],
+    /// Lagrange multipliers `η_i ≥ 0`, one per node.
+    pub eta: &'a [f64],
+    /// Temperature `σ > 0`.
+    pub sigma: f64,
+    /// Throughput objective defining `T_w`.
+    pub mode: ThroughputMode,
+}
+
+impl<'a> GibbsParams<'a> {
+    /// Validates the shape of the inputs.
+    fn check(&self) {
+        assert_eq!(
+            self.nodes.len(),
+            self.eta.len(),
+            "one multiplier per node required"
+        );
+        assert!(self.sigma > 0.0 && self.sigma.is_finite());
+        assert!(self.eta.iter().all(|&e| e >= 0.0 && e.is_finite()));
+    }
+
+    /// The log-weight (exponent of (19) before normalization) of one
+    /// state.
+    pub fn log_weight(&self, w: &NetworkState) -> f64 {
+        let mut cost = 0.0;
+        for i in w.listeners() {
+            cost += self.eta[i] * self.nodes[i].listen_w;
+        }
+        if let Some(t) = w.transmitter() {
+            cost += self.eta[t] * self.nodes[t].transmit_w;
+        }
+        (w.throughput(self.mode) - cost) / self.sigma
+    }
+}
+
+/// Aggregates of the Gibbs distribution needed by Algorithm 1 and the
+/// burstiness analysis, computed in two streaming passes over `W`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GibbsSummary {
+    /// `log Z_η` — the log partition function.
+    pub log_partition: f64,
+    /// `α_i = Σ_{w ∈ W_i^l} π_w` — listen-time fractions (eq. (24)).
+    pub alpha: Vec<f64>,
+    /// `β_i = Σ_{w ∈ W_i^x} π_w` — transmit-time fractions (eq. (24)).
+    pub beta: Vec<f64>,
+    /// `E_π[T_w]` — the expected throughput, i.e. the protocol's
+    /// long-run `T^σ` at these multipliers.
+    pub expected_throughput: f64,
+    /// Shannon entropy `−Σ π log π` (nats) — the regularizer of (P4).
+    pub entropy: f64,
+    /// `Σ_{w ∈ W'} π_w` where `W' = {ν_w = 1, c_w ≥ 1}` — the
+    /// numerator of the burst-length formula (34).
+    pub burst_mass: f64,
+    /// `Σ_{w ∈ W'} π_w · λ_xl(w)` — the denominator of (34), where the
+    /// capture-release rate is `e^{−c_w/σ}` in groupput mode and
+    /// `e^{−γ_w/σ}` in anyput mode (so that `B_a = e^{1/σ}` exactly,
+    /// eq. (35)).
+    pub burst_exit_mass: f64,
+}
+
+impl GibbsSummary {
+    /// The average burst length of EconCast-C, eq. (34) (and its anyput
+    /// specialization (35)): `B = burst_mass / burst_exit_mass`.
+    /// Returns `None` when no burst state has mass (e.g. a single-node
+    /// network).
+    pub fn average_burst_length(&self) -> Option<f64> {
+        if self.burst_exit_mass > 0.0 {
+            Some(self.burst_mass / self.burst_exit_mass)
+        } else {
+            None
+        }
+    }
+
+    /// The (P4) objective at this distribution:
+    /// `E[T_w] + σ·H(π)` — throughput plus the entropy bonus.
+    pub fn p4_objective(&self, sigma: f64) -> f64 {
+        self.expected_throughput + sigma * self.entropy
+    }
+}
+
+/// Evaluates the Gibbs distribution summary by exact enumeration of
+/// `W` (two passes: max exponent, then normalized accumulation).
+pub fn summarize(params: &GibbsParams<'_>) -> GibbsSummary {
+    params.check();
+    let n = params.nodes.len();
+    let space = StateSpace::new(n);
+
+    // Pass 1: the maximum exponent for a stable log-sum-exp.
+    let mut max_lw = f64::NEG_INFINITY;
+    for w in space.iter() {
+        max_lw = max_lw.max(params.log_weight(&w));
+    }
+    debug_assert!(max_lw.is_finite());
+
+    // Pass 2: accumulate unnormalized (shifted) masses.
+    let mut z = 0.0;
+    let mut alpha_acc = vec![0.0; n];
+    let mut beta_acc = vec![0.0; n];
+    let mut tw_acc = 0.0;
+    let mut exponent_acc = 0.0; // Σ u_w · lw_w for the entropy
+    let mut burst_acc = 0.0;
+    let mut burst_exit_acc = 0.0;
+    for w in space.iter() {
+        let lw = params.log_weight(&w);
+        let u = (lw - max_lw).exp();
+        z += u;
+        for i in w.listeners() {
+            alpha_acc[i] += u;
+        }
+        if let Some(t) = w.transmitter() {
+            beta_acc[t] += u;
+        }
+        tw_acc += u * w.throughput(params.mode);
+        exponent_acc += u * lw;
+        if w.is_burst_state() {
+            burst_acc += u;
+            let signal = params.mode.listener_signal(w.listener_count() as f64);
+            burst_exit_acc += u * (-signal / params.sigma).exp();
+        }
+    }
+
+    let log_partition = max_lw + z.ln();
+    let inv_z = 1.0 / z;
+    // H(π) = log Z − E[log weight]  (since log π_w = lw_w − log Z).
+    let entropy = log_partition - exponent_acc * inv_z;
+    GibbsSummary {
+        log_partition,
+        alpha: alpha_acc.iter().map(|a| a * inv_z).collect(),
+        beta: beta_acc.iter().map(|b| b * inv_z).collect(),
+        expected_throughput: tw_acc * inv_z,
+        entropy,
+        burst_mass: burst_acc * inv_z,
+        burst_exit_mass: burst_exit_acc * inv_z,
+    }
+}
+
+/// The full probability vector aligned with [`StateSpace::iter`] order.
+/// Only sensible for small `n`; used by tests and the detailed-balance
+/// checks.
+pub fn distribution(params: &GibbsParams<'_>) -> Vec<(NetworkState, f64)> {
+    params.check();
+    let space = StateSpace::new(params.nodes.len());
+    let mut max_lw = f64::NEG_INFINITY;
+    for w in space.iter() {
+        max_lw = max_lw.max(params.log_weight(&w));
+    }
+    let mut out: Vec<(NetworkState, f64)> = space
+        .iter()
+        .map(|w| {
+            let u = (params.log_weight(&w) - max_lw).exp();
+            (w, u)
+        })
+        .collect();
+    let z: f64 = out.iter().map(|(_, u)| u).sum();
+    for (_, u) in &mut out {
+        *u /= z;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::rates::{ProtocolConfig, TransitionRates, Variant};
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+    use proptest::prelude::*;
+
+    fn homogeneous(n: usize) -> Vec<NodeParams> {
+        vec![NodeParams::from_microwatts(10.0, 500.0, 500.0); n]
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_matches_summary() {
+        let nodes = homogeneous(5);
+        let eta = vec![1000.0; 5];
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.5,
+            mode: Groupput,
+        };
+        let dist = distribution(&p);
+        let total: f64 = dist.iter().map(|(_, pr)| pr).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+
+        let s = summarize(&p);
+        // Cross-check α_0 against the explicit distribution.
+        let alpha0: f64 = dist
+            .iter()
+            .filter(|(w, _)| w.is_listening(0))
+            .map(|(_, pr)| pr)
+            .sum();
+        assert!((s.alpha[0] - alpha0).abs() < 1e-12);
+        let beta0: f64 = dist
+            .iter()
+            .filter(|(w, _)| w.transmitter() == Some(0))
+            .map(|(_, pr)| pr)
+            .sum();
+        assert!((s.beta[0] - beta0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_eta_favors_max_throughput_states() {
+        // With η = 0 the weight is exp(T_w/σ): the most likely states
+        // are those with one transmitter and all others listening.
+        let nodes = homogeneous(4);
+        let eta = vec![0.0; 4];
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.25,
+            mode: Groupput,
+        };
+        let dist = distribution(&p);
+        let (best, _) = dist
+            .iter()
+            .fold((NetworkState::all_sleep(), -1.0), |acc, (w, pr)| {
+                if *pr > acc.1 {
+                    (*w, *pr)
+                } else {
+                    acc
+                }
+            });
+        assert!(best.nu());
+        assert_eq!(best.listener_count(), 3);
+    }
+
+    #[test]
+    fn large_eta_favors_all_sleep() {
+        let nodes = homogeneous(4);
+        let eta = vec![1e9; 4];
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.5,
+            mode: Groupput,
+        };
+        let s = summarize(&p);
+        // Everyone asleep nearly all the time.
+        assert!(s.alpha.iter().all(|&a| a < 1e-6));
+        assert!(s.beta.iter().all(|&b| b < 1e-6));
+        assert!(s.expected_throughput < 1e-6);
+    }
+
+    #[test]
+    fn log_domain_survives_tiny_sigma() {
+        let nodes = homogeneous(8);
+        let eta = vec![5000.0; 8];
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.05,
+            mode: Groupput,
+        };
+        let s = summarize(&p);
+        assert!(s.log_partition.is_finite());
+        assert!(s.expected_throughput.is_finite());
+        assert!(s.entropy.is_finite());
+        assert!(s.alpha.iter().all(|a| a.is_finite() && *a >= 0.0));
+    }
+
+    #[test]
+    fn anyput_throughput_never_exceeds_one() {
+        let nodes = homogeneous(6);
+        let eta = vec![100.0; 6];
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.5,
+            mode: Anyput,
+        };
+        let s = summarize(&p);
+        assert!(s.expected_throughput <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_nonnegative_and_bounded_by_log_cardinality() {
+        let nodes = homogeneous(5);
+        let eta = vec![2000.0; 5];
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.5,
+            mode: Groupput,
+        };
+        let s = summarize(&p);
+        let log_w = (StateSpace::new(5).len() as f64).ln();
+        assert!(s.entropy >= -1e-9);
+        assert!(s.entropy <= log_w + 1e-9);
+    }
+
+    #[test]
+    fn detailed_balance_of_rates_18_under_pi_19() {
+        // Lemma 2 (Appendix C): π_w · r(w,w') = π_w' · r(w',w) for the
+        // four transition cases, for the capture variant with perfect
+        // estimates, A(t)=1, σ folded in. We verify numerically on a
+        // heterogeneous 4-node network.
+        let nodes = vec![
+            NodeParams::from_microwatts(5.0, 400.0, 600.0),
+            NodeParams::from_microwatts(10.0, 500.0, 500.0),
+            NodeParams::from_microwatts(50.0, 600.0, 400.0),
+            NodeParams::from_microwatts(100.0, 550.0, 450.0),
+        ];
+        let eta = vec![800.0, 1200.0, 300.0, 150.0];
+        let sigma = 0.5;
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma,
+            mode: Groupput,
+        };
+        let cfg = ProtocolConfig::new(sigma, Variant::Capture, ThroughputMode::Groupput);
+        let dist: std::collections::HashMap<NetworkState, f64> =
+            distribution(&p).into_iter().collect();
+
+        let rate = |w: &NetworkState, i: usize, to: econcast_core::NodeState| {
+            // Evaluate node i's rate out of its state in w; A(t)=1
+            // whenever no one transmits or i itself transmits.
+            let listeners = w.listener_count();
+            let carrier_free = !w.nu();
+            let r = TransitionRates::evaluate(
+                &cfg,
+                eta[i],
+                nodes[i].listen_w,
+                nodes[i].transmit_w,
+                carrier_free,
+                // The transmitter estimates the listeners it serves;
+                // a listener entering transmit sees current listeners
+                // minus itself.
+                if w.transmitter() == Some(i) {
+                    listeners as f64
+                } else {
+                    listeners as f64 - 1.0
+                },
+            );
+            match to {
+                econcast_core::NodeState::Listen if w.node_state(i) == econcast_core::NodeState::Sleep => r.sleep_to_listen,
+                econcast_core::NodeState::Sleep => r.listen_to_sleep,
+                econcast_core::NodeState::Transmit => r.listen_to_transmit,
+                econcast_core::NodeState::Listen => r.transmit_to_listen,
+            }
+        };
+
+        use econcast_core::NodeState::*;
+        let mut checked = 0usize;
+        for (w, pw) in &dist {
+            for i in 0..nodes.len() {
+                match w.node_state(i) {
+                    Sleep if !w.nu() => {
+                        // s→l and back.
+                        let w2 = NetworkState::new(w.transmitter(), w.listener_mask() | (1 << i));
+                        let fwd = pw * rate(w, i, Listen);
+                        let bwd = dist[&w2] * rate(&w2, i, Sleep);
+                        assert!(
+                            (fwd - bwd).abs() <= 1e-9 * fwd.max(bwd).max(1e-300),
+                            "s↔l balance broken at {w:?} node {i}: {fwd} vs {bwd}"
+                        );
+                        checked += 1;
+                    }
+                    Listen if !w.nu() => {
+                        // l→x and back.
+                        let w2 = NetworkState::new(Some(i), w.listener_mask() & !(1 << i));
+                        let fwd = pw * rate(w, i, Transmit);
+                        let bwd = dist[&w2] * rate(&w2, i, Listen);
+                        assert!(
+                            (fwd - bwd).abs() <= 1e-9 * fwd.max(bwd).max(1e-300),
+                            "l↔x balance broken at {w:?} node {i}: {fwd} vs {bwd}"
+                        );
+                        checked += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Every transmitter-free state contributes one reversible pair
+        // per node: 2^4 states × 4 nodes = 64 checks.
+        assert_eq!(checked, 64, "expected to exercise every reversible pair");
+    }
+
+    proptest! {
+        /// α and β are valid time fractions and α_i + β_i ≤ 1.
+        #[test]
+        fn prop_marginals_are_fractions(
+            n in 2usize..7,
+            eta_scale in 0.0f64..5000.0,
+            sigma in 0.1f64..1.0,
+        ) {
+            let nodes = homogeneous(n);
+            let eta = vec![eta_scale; n];
+            let p = GibbsParams { nodes: &nodes, eta: &eta, sigma, mode: Groupput };
+            let s = summarize(&p);
+            for i in 0..n {
+                prop_assert!(s.alpha[i] >= -1e-12 && s.alpha[i] <= 1.0 + 1e-12);
+                prop_assert!(s.beta[i] >= -1e-12 && s.beta[i] <= 1.0 + 1e-12);
+                prop_assert!(s.alpha[i] + s.beta[i] <= 1.0 + 1e-9);
+            }
+            // Σβ_i ≤ 1: at most one transmitter at a time.
+            let total_beta: f64 = s.beta.iter().sum();
+            prop_assert!(total_beta <= 1.0 + 1e-9);
+        }
+
+        /// Expected throughput is bounded by the unconstrained oracle.
+        #[test]
+        fn prop_throughput_bounds(
+            n in 2usize..7,
+            eta_scale in 0.0f64..3000.0,
+        ) {
+            let nodes = homogeneous(n);
+            let eta = vec![eta_scale; n];
+            for mode in [Groupput, Anyput] {
+                let p = GibbsParams { nodes: &nodes, eta: &eta, sigma: 0.5, mode };
+                let s = summarize(&p);
+                prop_assert!(s.expected_throughput <= mode.unconstrained_oracle(n) + 1e-9);
+                prop_assert!(s.expected_throughput >= -1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Combinatorial fast path for homogeneous networks.
+//!
+//! When all nodes share `(ρ, L, X)` and a common multiplier `η`, the
+//! Gibbs weight (19) depends on a state only through the pair
+//! `(transmitter present?, listener count m)`. Aggregating the
+//! `(N + 2)·2^{N−1}` states into `2N + 1` groups —
+//!
+//! * no transmitter, `m ∈ 0..=N` listeners: `C(N, m)` states each with
+//!   log-weight `−m·ηL/σ`;
+//! * one transmitter, `m ∈ 0..=N−1` listeners: `N·C(N−1, m)` states
+//!   with log-weight `(T(m) − m·ηL − ηX)/σ`
+//!
+//! — makes the marginals and (P4) solvable for thousands of nodes. The
+//! same optimum is symmetric in the nodes (the dual is convex and the
+//! problem invariant under permutations), so a *scalar* multiplier
+//! suffices and the dual minimization becomes a monotone root-find on
+//! the budget slack, solved here by bisection.
+
+use econcast_core::{NodeParams, ThroughputMode};
+
+/// Precomputed `ln m!` table for stable `ln C(n, k)`.
+fn ln_factorials(n: usize) -> Vec<f64> {
+    let mut t = vec![0.0; n + 1];
+    for i in 1..=n {
+        t[i] = t[i - 1] + (i as f64).ln();
+    }
+    t
+}
+
+/// Aggregated Gibbs evaluation for a homogeneous network.
+#[derive(Debug, Clone)]
+pub struct HomogeneousGibbs {
+    n: usize,
+    params: NodeParams,
+    sigma: f64,
+    mode: ThroughputMode,
+    ln_fact: Vec<f64>,
+}
+
+/// Aggregated marginals at a given scalar multiplier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HomogeneousSummary {
+    /// Per-node listen fraction `α`.
+    pub alpha: f64,
+    /// Per-node transmit fraction `β`.
+    pub beta: f64,
+    /// Expected network throughput `E[T_w]`.
+    pub expected_throughput: f64,
+    /// `log Z_η`.
+    pub log_partition: f64,
+    /// Distribution entropy (nats).
+    pub entropy: f64,
+    /// Burst-state mass `Σ_{W'} π_w` (numerator of (34)).
+    pub burst_mass: f64,
+    /// `Σ_{W'} π_w · λ_xl(w)` (denominator of (34); mode-aware).
+    pub burst_exit_mass: f64,
+}
+
+impl HomogeneousSummary {
+    /// Average burst length, eq. (34)/(35).
+    pub fn average_burst_length(&self) -> Option<f64> {
+        (self.burst_exit_mass > 0.0).then(|| self.burst_mass / self.burst_exit_mass)
+    }
+
+    /// Average power consumption per node.
+    pub fn consumption(&self, params: &NodeParams) -> f64 {
+        params.average_power(self.alpha, self.beta)
+    }
+}
+
+impl HomogeneousGibbs {
+    /// Creates the aggregated evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `sigma ≤ 0`.
+    pub fn new(n: usize, params: NodeParams, sigma: f64, mode: ThroughputMode) -> Self {
+        assert!(n >= 1);
+        assert!(sigma > 0.0 && sigma.is_finite());
+        HomogeneousGibbs {
+            n,
+            params,
+            sigma,
+            mode,
+            ln_fact: ln_factorials(n),
+        }
+    }
+
+    fn ln_choose(&self, n: usize, k: usize) -> f64 {
+        self.ln_fact[n] - self.ln_fact[k] - self.ln_fact[n - k]
+    }
+
+    /// Per-state throughput for a one-transmitter group with `m`
+    /// listeners.
+    fn t_of(&self, m: usize) -> f64 {
+        self.mode.state_throughput(true, m)
+    }
+
+    /// Evaluates the aggregated summary at scalar multiplier `eta`.
+    pub fn summarize(&self, eta: f64) -> HomogeneousSummary {
+        assert!(eta >= 0.0 && eta.is_finite());
+        let n = self.n;
+        let nf = n as f64;
+        let (l, x, sigma) = (self.params.listen_w, self.params.transmit_w, self.sigma);
+
+        // Collect (ln multiplicity + log weight, m, has_tx) per group.
+        // Index 0..=n: no-tx groups; then n+1..=2n: tx groups (m−offset).
+        let mut log_terms: Vec<(f64, usize, bool)> = Vec::with_capacity(2 * n + 1);
+        for m in 0..=n {
+            let lw = -(m as f64) * eta * l / sigma;
+            log_terms.push((self.ln_choose(n, m) + lw, m, false));
+        }
+        for m in 0..n {
+            let lw = (self.t_of(m) - m as f64 * eta * l - eta * x) / sigma;
+            log_terms.push((nf.ln() + self.ln_choose(n - 1, m) + lw, m, true));
+        }
+
+        let max_lt = log_terms
+            .iter()
+            .map(|(lt, _, _)| *lt)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        let mut z = 0.0;
+        let mut listeners_acc = 0.0;
+        let mut tx_acc = 0.0;
+        let mut tw_acc = 0.0;
+        let mut state_exponent_acc = 0.0; // Σ mass · per-state log-weight
+        let mut burst_acc = 0.0;
+        let mut burst_exit_acc = 0.0;
+        for &(lt, m, has_tx) in &log_terms {
+            let mass = (lt - max_lt).exp();
+            z += mass;
+            listeners_acc += mass * m as f64;
+            let t_w;
+            if has_tx {
+                tx_acc += mass;
+                t_w = self.t_of(m);
+                tw_acc += mass * t_w;
+                if m >= 1 {
+                    burst_acc += mass;
+                    let signal = self.mode.listener_signal(m as f64);
+                    burst_exit_acc += mass * (-signal / sigma).exp();
+                }
+            } else {
+                t_w = 0.0;
+            }
+            // Per-state log weight (without the multiplicity term).
+            let per_state_lw =
+                (t_w - m as f64 * eta * l - if has_tx { eta * x } else { 0.0 }) / sigma;
+            state_exponent_acc += mass * per_state_lw;
+        }
+
+        let log_partition = max_lt + z.ln();
+        let inv_z = 1.0 / z;
+        HomogeneousSummary {
+            alpha: listeners_acc * inv_z / nf,
+            beta: tx_acc * inv_z / nf,
+            expected_throughput: tw_acc * inv_z,
+            log_partition,
+            entropy: log_partition - state_exponent_acc * inv_z,
+            burst_mass: burst_acc * inv_z,
+            burst_exit_mass: burst_exit_acc * inv_z,
+        }
+    }
+}
+
+/// (P4) for homogeneous networks via bisection on the scalar dual.
+#[derive(Debug, Clone)]
+pub struct HomogeneousP4 {
+    gibbs: HomogeneousGibbs,
+    params: NodeParams,
+}
+
+/// Result of the homogeneous (P4) solve.
+#[derive(Debug, Clone, Copy)]
+pub struct HomogeneousP4Solution {
+    /// Achievable throughput `T^σ`.
+    pub throughput: f64,
+    /// Optimal scalar multiplier `η*`.
+    pub eta: f64,
+    /// Per-node listen fraction.
+    pub alpha: f64,
+    /// Per-node transmit fraction.
+    pub beta: f64,
+    /// Final aggregated summary.
+    pub summary: HomogeneousSummary,
+}
+
+impl HomogeneousP4 {
+    /// Creates the solver.
+    pub fn new(n: usize, params: NodeParams, sigma: f64, mode: ThroughputMode) -> Self {
+        HomogeneousP4 {
+            gibbs: HomogeneousGibbs::new(n, params, sigma, mode),
+            params,
+        }
+    }
+
+    /// Solves (P4): finds the scalar `η* ≥ 0` with consumption equal to
+    /// the budget (or `η* = 0` when the budget never binds).
+    ///
+    /// Consumption `α(η)L + β(η)X` is strictly decreasing in `η`
+    /// (raising the price of energy can only reduce activity), so a
+    /// doubling search followed by bisection is exact.
+    pub fn solve(&self) -> HomogeneousP4Solution {
+        let rho = self.params.budget_w;
+        let cons = |eta: f64| {
+            let s = self.gibbs.summarize(eta);
+            (s.consumption(&self.params), s)
+        };
+
+        let (c0, s0) = cons(0.0);
+        if c0 <= rho {
+            return HomogeneousP4Solution {
+                throughput: s0.expected_throughput,
+                eta: 0.0,
+                alpha: s0.alpha,
+                beta: s0.beta,
+                summary: s0,
+            };
+        }
+
+        // Doubling search for an upper bracket.
+        let mut hi = 1.0 / self.params.listen_w.max(self.params.transmit_w);
+        let mut iter = 0;
+        while cons(hi).0 > rho {
+            hi *= 2.0;
+            iter += 1;
+            assert!(iter < 200, "failed to bracket the dual optimum");
+        }
+        let mut lo = 0.0;
+        // 200 bisection steps: interval shrinks by 2^200 — exact to f64.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if cons(mid).0 > rho {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= f64::EPSILON * hi {
+                break;
+            }
+        }
+        let eta = 0.5 * (lo + hi);
+        let (_, s) = cons(eta);
+        HomogeneousP4Solution {
+            throughput: s.expected_throughput,
+            eta,
+            alpha: s.alpha,
+            beta: s.beta,
+            summary: s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::{summarize, GibbsParams};
+    use crate::p4::{solve_p4, P4Options};
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+    use proptest::prelude::*;
+
+    fn params() -> NodeParams {
+        NodeParams::from_microwatts(10.0, 500.0, 500.0)
+    }
+
+    #[test]
+    fn aggregation_matches_enumeration() {
+        for n in [2usize, 3, 5, 8] {
+            for mode in [Groupput, Anyput] {
+                for eta in [0.0, 500.0, 3000.0] {
+                    let agg = HomogeneousGibbs::new(n, params(), 0.5, mode).summarize(eta);
+                    let nodes = vec![params(); n];
+                    let etas = vec![eta; n];
+                    let exact = summarize(&GibbsParams {
+                        nodes: &nodes,
+                        eta: &etas,
+                        sigma: 0.5,
+                        mode,
+                    });
+                    assert!(
+                        (agg.alpha - exact.alpha[0]).abs() < 1e-10,
+                        "alpha n={n} eta={eta}: {} vs {}",
+                        agg.alpha,
+                        exact.alpha[0]
+                    );
+                    assert!((agg.beta - exact.beta[0]).abs() < 1e-10);
+                    assert!(
+                        (agg.expected_throughput - exact.expected_throughput).abs() < 1e-9
+                    );
+                    assert!((agg.log_partition - exact.log_partition).abs() < 1e-9);
+                    assert!((agg.entropy - exact.entropy).abs() < 1e-8);
+                    assert!((agg.burst_mass - exact.burst_mass).abs() < 1e-10);
+                    assert!((agg.burst_exit_mass - exact.burst_exit_mass).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_matches_gradient_solver() {
+        let n = 5;
+        let sol_fast = HomogeneousP4::new(n, params(), 0.5, Groupput).solve();
+        let nodes = vec![params(); n];
+        let sol_grad = solve_p4(&nodes, 0.5, Groupput, P4Options::default());
+        let rel = (sol_fast.throughput - sol_grad.throughput).abs() / sol_fast.throughput;
+        assert!(
+            rel < 5e-3,
+            "bisection {} vs gradient {}",
+            sol_fast.throughput,
+            sol_grad.throughput
+        );
+    }
+
+    #[test]
+    fn consumption_meets_budget_when_binding() {
+        let sol = HomogeneousP4::new(5, params(), 0.5, Groupput).solve();
+        let cons = sol.summary.consumption(&params());
+        assert!(
+            (cons - params().budget_w).abs() / params().budget_w < 1e-9,
+            "consumption {} vs budget {}",
+            cons,
+            params().budget_w
+        );
+    }
+
+    #[test]
+    fn unconstrained_budget_keeps_eta_zero() {
+        // A node with a huge budget: η* = 0 and the distribution is the
+        // pure max-throughput Gibbs measure.
+        let rich = NodeParams::new(1.0, 500e-6, 500e-6);
+        let sol = HomogeneousP4::new(5, rich, 0.5, Groupput).solve();
+        assert_eq!(sol.eta, 0.0);
+        assert!(sol.throughput > 1.0); // way above any energy-limited value
+    }
+
+    #[test]
+    fn anyput_burst_length_is_exp_one_over_sigma() {
+        // Eq. (35): B_a = e^{1/σ} independent of N.
+        for n in [5usize, 10, 40] {
+            for sigma in [0.25, 0.5, 0.75] {
+                let sol = HomogeneousP4::new(n, params(), sigma, Anyput).solve();
+                let b = sol.summary.average_burst_length().unwrap();
+                assert!(
+                    (b - (1.0 / sigma).exp()).abs() / b < 1e-9,
+                    "n={n} σ={sigma}: B_a = {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_large_networks() {
+        // N = 500 would be ~2^500 states by enumeration; aggregation
+        // handles it instantly.
+        let sol = HomogeneousP4::new(500, params(), 0.5, Groupput).solve();
+        assert!(sol.throughput > 0.0);
+        assert!(sol.alpha > 0.0 && sol.alpha < 1.0);
+        let cons = sol.summary.consumption(&params());
+        assert!((cons - params().budget_w).abs() / params().budget_w < 1e-6);
+    }
+
+    proptest! {
+        /// Consumption is monotone decreasing in η — the property the
+        /// bisection relies on.
+        #[test]
+        fn prop_consumption_monotone_in_eta(
+            n in 2usize..30,
+            eta1 in 0.0f64..5000.0,
+            d in 1.0f64..5000.0,
+            sigma in 0.15f64..1.0,
+        ) {
+            let g = HomogeneousGibbs::new(n, params(), sigma, Groupput);
+            let c1 = g.summarize(eta1).consumption(&params());
+            let c2 = g.summarize(eta1 + d).consumption(&params());
+            prop_assert!(c2 <= c1 + 1e-12);
+        }
+
+        /// Throughput from the solved (P4) never exceeds the
+        /// closed-form oracle groupput `N(N−1)ρ/(X+(N−1)L)`.
+        #[test]
+        fn prop_p4_below_closed_form_oracle(
+            n in 2usize..20,
+            sigma in 0.2f64..1.0,
+        ) {
+            let p = params();
+            let sol = HomogeneousP4::new(n, p, sigma, Groupput).solve();
+            let beta_star = p.budget_w / (p.transmit_w + (n as f64 - 1.0) * p.listen_w);
+            let t_star = n as f64 * (n as f64 - 1.0) * beta_star;
+            prop_assert!(sol.throughput <= t_star + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # econcast-statespace — the collision-free state space and (P4)
+//!
+//! Everything in the paper's Markov-chain analysis (Section VI) lives
+//! here:
+//!
+//! * [`NetworkState`] — one collision-free network state `w ∈ W`: at
+//!   most one transmitter plus a set of listeners (Section III-C), with
+//!   the indicators `ν_w`, `c_w`, `γ_w` and the per-state throughput
+//!   `T_w` of Definition 3;
+//! * [`StateSpace`] — enumeration of `W`, whose size is
+//!   `(N + 2)·2^{N−1}` (the reduction from `3^N` noted in
+//!   Section III-C);
+//! * [`gibbs`] — the product-form stationary distribution of Lemma 2,
+//!   eq. (19), computed in the log domain so that small temperatures
+//!   `σ` (where weights span hundreds of orders of magnitude) remain
+//!   exact;
+//! * [`p4`] — the achievable-throughput solver: Algorithm 1's dual
+//!   gradient descent on the Lagrange multipliers `η`, yielding the
+//!   `T^σ` that every figure in Section VII normalizes against;
+//! * [`homogeneous`] — a combinatorial fast path for homogeneous
+//!   networks that aggregates states by `(listener count, transmitter
+//!   present)`, supporting thousands of nodes where enumeration would
+//!   be hopeless, and cross-checked against enumeration in tests.
+
+pub mod gibbs;
+pub mod homogeneous;
+pub mod p4;
+pub mod space;
+pub mod state;
+
+pub use gibbs::{GibbsParams, GibbsSummary};
+pub use homogeneous::{HomogeneousGibbs, HomogeneousP4};
+pub use p4::{solve_p4, P4Options, P4Solution};
+pub use space::StateSpace;
+pub use state::NetworkState;

@@ -1,0 +1,187 @@
+//! Enumeration of the collision-free state space `W`.
+//!
+//! `W` contains every assignment of `{s, l, x}` to the `N` nodes with at
+//! most one `x`. Its cardinality is
+//!
+//! ```text
+//! |W| = 2^N            (no transmitter; every subset may listen)
+//!     + N · 2^{N−1}    (one of N transmitters; any subset of the rest listens)
+//!     = (N + 2) · 2^{N−1}
+//! ```
+//!
+//! which is the reduction from `3^N` quoted in Section III-C.
+
+use crate::state::NetworkState;
+
+/// The collision-free state space for `n` nodes. Enumeration is exact
+/// and intended for the analytical computations of Sections VI–VII
+/// (`n ≤ 10` in the paper; we allow up to 20 before memory/time become
+/// silly — the homogeneous fast path covers larger networks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSpace {
+    n: usize,
+}
+
+impl StateSpace {
+    /// Maximum supported network size for exact enumeration.
+    pub const MAX_N: usize = 20;
+
+    /// Creates the state space for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `n > MAX_N` (use
+    /// [`crate::homogeneous`] for large homogeneous networks).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "state space needs at least one node");
+        assert!(
+            n <= Self::MAX_N,
+            "exact enumeration capped at {} nodes (got {n}); \
+             use the homogeneous fast path for larger networks",
+            Self::MAX_N
+        );
+        StateSpace { n }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// `|W| = (N + 2) · 2^{N−1}`.
+    pub fn len(&self) -> usize {
+        (self.n + 2) * (1usize << (self.n - 1))
+    }
+
+    /// State spaces are never empty (`n ≥ 1` ⇒ at least the all-sleep
+    /// state exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all states: first the `2^N` transmitter-free
+    /// states, then for each transmitter the `2^{N−1}` listener subsets
+    /// of the remaining nodes.
+    pub fn iter(&self) -> impl Iterator<Item = NetworkState> + '_ {
+        let n = self.n;
+        let no_tx = (0u64..(1u64 << n)).map(|mask| NetworkState::new(None, mask));
+        let with_tx = (0..n).flat_map(move |t| {
+            // Enumerate subsets of the n−1 nodes other than t by
+            // expanding a compact (n−1)-bit mask around bit t.
+            (0u64..(1u64 << (n - 1))).map(move |compact| {
+                let low = compact & ((1u64 << t) - 1);
+                let high = (compact >> t) << (t + 1);
+                NetworkState::new(Some(t), low | high)
+            })
+        });
+        no_tx.chain(with_tx)
+    }
+
+    /// Collects all states into a vector (convenient for repeated
+    /// passes; ~16 bytes per state).
+    pub fn states(&self) -> Vec<NetworkState> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cardinality_formula_matches_enumeration() {
+        for n in 1..=10 {
+            let space = StateSpace::new(n);
+            let count = space.iter().count();
+            assert_eq!(count, space.len(), "n = {n}");
+            assert_eq!(count, (n + 2) * (1 << (n - 1)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn paper_quoted_sizes() {
+        // Section III-C: the reduction from 3^N to (N+2)·2^{N−1}.
+        assert_eq!(StateSpace::new(5).len(), 112);
+        assert_eq!(StateSpace::new(10).len(), 6144);
+        // And it is indeed smaller than 3^N for the paper's sizes.
+        assert!(112 < 3usize.pow(5));
+        assert!(6144 < 3usize.pow(10));
+    }
+
+    #[test]
+    fn states_are_distinct_and_collision_free() {
+        let space = StateSpace::new(6);
+        let mut seen = HashSet::new();
+        for s in space.iter() {
+            // At most one transmitter is structural; check the
+            // transmitter never also listens.
+            if let Some(t) = s.transmitter() {
+                assert!(!s.is_listening(t));
+            }
+            assert!(seen.insert(s), "duplicate state {s:?}");
+        }
+        assert_eq!(seen.len(), space.len());
+    }
+
+    #[test]
+    fn every_three_state_assignment_with_le_one_tx_is_present() {
+        // Cross-check against brute force over 3^N for a small n.
+        let n = 4;
+        let space = StateSpace::new(n);
+        let enumerated: HashSet<String> = space.iter().map(|s| s.letters(n)).collect();
+        let mut brute = HashSet::new();
+        for code in 0..3usize.pow(n as u32) {
+            let mut c = code;
+            let mut letters = String::new();
+            let mut tx = 0;
+            for _ in 0..n {
+                let d = c % 3;
+                c /= 3;
+                letters.push(match d {
+                    0 => 's',
+                    1 => 'l',
+                    _ => {
+                        tx += 1;
+                        'x'
+                    }
+                });
+            }
+            if tx <= 1 {
+                brute.insert(letters);
+            }
+        }
+        assert_eq!(enumerated, brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        StateSpace::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn oversized_space_rejected() {
+        StateSpace::new(StateSpace::MAX_N + 1);
+    }
+
+    proptest! {
+        /// Listener masks never include the transmitter, and per-state
+        /// throughput bounds hold: groupput ≤ N−1, anyput ≤ 1.
+        #[test]
+        fn prop_state_invariants(n in 1usize..9) {
+            let space = StateSpace::new(n);
+            for s in space.iter() {
+                prop_assert!(s.listener_count() <= n - usize::from(s.nu()));
+                prop_assert!(
+                    s.throughput(econcast_core::ThroughputMode::Groupput) <= (n - 1) as f64
+                );
+                prop_assert!(s.throughput(econcast_core::ThroughputMode::Anyput) <= 1.0);
+                // Listener bits beyond n are never set.
+                prop_assert_eq!(s.listener_mask() >> n, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! A single collision-free network state `w ∈ W`.
+
+use econcast_core::{NodeState, ThroughputMode};
+
+/// One collision-free network state: at most one node transmits and any
+/// subset of the *other* nodes listens; everyone else sleeps
+/// (Section III-C). Nodes are indexed `0..n` with `n ≤ 64` (listener
+/// membership is a bitmask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetworkState {
+    transmitter: Option<u8>,
+    listeners: u64,
+}
+
+impl NetworkState {
+    /// The all-sleep state.
+    pub fn all_sleep() -> Self {
+        NetworkState {
+            transmitter: None,
+            listeners: 0,
+        }
+    }
+
+    /// Builds a state from an optional transmitter and a listener
+    /// bitmask (bit `i` set ⇔ node `i` listens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmitter's bit is also set in `listeners`
+    /// (a node cannot be in two states) or the transmitter index
+    /// exceeds 63.
+    pub fn new(transmitter: Option<usize>, listeners: u64) -> Self {
+        if let Some(t) = transmitter {
+            assert!(t < 64, "node index {t} out of range (max 63)");
+            assert!(
+                listeners & (1u64 << t) == 0,
+                "node {t} cannot transmit and listen simultaneously"
+            );
+        }
+        NetworkState {
+            transmitter: transmitter.map(|t| t as u8),
+            listeners,
+        }
+    }
+
+    /// Builds a state from explicit listener indices.
+    pub fn with_listeners(transmitter: Option<usize>, listeners: &[usize]) -> Self {
+        let mut mask = 0u64;
+        for &l in listeners {
+            assert!(l < 64, "node index {l} out of range (max 63)");
+            mask |= 1 << l;
+        }
+        Self::new(transmitter, mask)
+    }
+
+    /// The transmitting node, if any.
+    #[inline]
+    pub fn transmitter(&self) -> Option<usize> {
+        self.transmitter.map(|t| t as usize)
+    }
+
+    /// The listener bitmask.
+    #[inline]
+    pub fn listener_mask(&self) -> u64 {
+        self.listeners
+    }
+
+    /// `ν_w` — exactly one transmitter present (Section III-C).
+    #[inline]
+    pub fn nu(&self) -> bool {
+        self.transmitter.is_some()
+    }
+
+    /// `c_w` — number of listeners.
+    #[inline]
+    pub fn listener_count(&self) -> usize {
+        self.listeners.count_ones() as usize
+    }
+
+    /// `γ_w` — whether any node is listening.
+    #[inline]
+    pub fn gamma(&self) -> bool {
+        self.listeners != 0
+    }
+
+    /// Whether node `i` is listening.
+    #[inline]
+    pub fn is_listening(&self, i: usize) -> bool {
+        i < 64 && self.listeners & (1 << i) != 0
+    }
+
+    /// The state of node `i` in this network state.
+    pub fn node_state(&self, i: usize) -> NodeState {
+        if self.transmitter() == Some(i) {
+            NodeState::Transmit
+        } else if self.is_listening(i) {
+            NodeState::Listen
+        } else {
+            NodeState::Sleep
+        }
+    }
+
+    /// The per-state throughput `T_w` of Definition 3.
+    pub fn throughput(&self, mode: ThroughputMode) -> f64 {
+        mode.state_throughput(self.nu(), self.listener_count())
+    }
+
+    /// Iterates over listener indices in ascending order.
+    pub fn listeners(&self) -> impl Iterator<Item = usize> + '_ {
+        let mask = self.listeners;
+        (0..64).filter(move |i| mask & (1 << i) != 0)
+    }
+
+    /// Whether this state is a "successfully received burst" state,
+    /// i.e. a member of `W' = {w : ν_w = 1, c_w ≥ 1}` from the
+    /// burstiness analysis (Appendix E).
+    pub fn is_burst_state(&self) -> bool {
+        self.nu() && self.gamma()
+    }
+
+    /// Renders the state as the paper's letter string, e.g. `"slxl"`
+    /// for (sleep, listen, transmit, listen) over 4 nodes.
+    pub fn letters(&self, n: usize) -> String {
+        (0..n).map(|i| self.node_state(i).letter()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+
+    #[test]
+    fn indicators_on_simple_states() {
+        let idle = NetworkState::all_sleep();
+        assert!(!idle.nu());
+        assert!(!idle.gamma());
+        assert_eq!(idle.listener_count(), 0);
+        assert!(!idle.is_burst_state());
+
+        let s = NetworkState::with_listeners(Some(2), &[0, 3]);
+        assert!(s.nu());
+        assert!(s.gamma());
+        assert_eq!(s.listener_count(), 2);
+        assert_eq!(s.transmitter(), Some(2));
+        assert!(s.is_burst_state());
+    }
+
+    #[test]
+    fn node_states_partition() {
+        let s = NetworkState::with_listeners(Some(1), &[0, 2]);
+        assert_eq!(s.node_state(0), NodeState::Listen);
+        assert_eq!(s.node_state(1), NodeState::Transmit);
+        assert_eq!(s.node_state(2), NodeState::Listen);
+        assert_eq!(s.node_state(3), NodeState::Sleep);
+        assert_eq!(s.letters(4), "lxls");
+    }
+
+    use econcast_core::NodeState;
+
+    #[test]
+    fn throughput_matches_definition3() {
+        let s = NetworkState::with_listeners(Some(0), &[1, 2, 3]);
+        assert_eq!(s.throughput(Groupput), 3.0);
+        assert_eq!(s.throughput(Anyput), 1.0);
+        let lonely_tx = NetworkState::new(Some(0), 0);
+        assert_eq!(lonely_tx.throughput(Groupput), 0.0);
+        assert_eq!(lonely_tx.throughput(Anyput), 0.0);
+        let no_tx = NetworkState::with_listeners(None, &[0, 1]);
+        assert_eq!(no_tx.throughput(Groupput), 0.0);
+        assert_eq!(no_tx.throughput(Anyput), 0.0);
+    }
+
+    #[test]
+    fn listener_iteration_is_sorted() {
+        let s = NetworkState::with_listeners(None, &[5, 1, 9]);
+        assert_eq!(s.listeners().collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot transmit and listen")]
+    fn transmitter_listening_rejected() {
+        NetworkState::new(Some(1), 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_index_rejected() {
+        NetworkState::new(Some(64), 0);
+    }
+}

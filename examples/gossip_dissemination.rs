@@ -1,0 +1,83 @@
+//! Gossip dissemination: the anyput use case.
+//!
+//! In delay-tolerant gossip a node only needs *some* receiver per
+//! transmission — information hops store-and-forward style. We run
+//! EconCast-C in anyput mode with the delivery log on, then replay the
+//! log as a rumor: node 0 knows a datum at t = 0; every node that has
+//! the datum infects the receivers of its transmissions. The metric is
+//! the time until the whole network is infected, compared across
+//! anyput and groupput modes — anyput spends its budget on more
+//! transmissions (`β* = ρ/(X+L)` vs `ρ/(X+(N−1)L)`), which is exactly
+//! why it suits gossip.
+//!
+//! ```text
+//! cargo run --release --example gossip_dissemination
+//! ```
+
+use econcast::core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast::sim::{SimConfig, SimReport, Simulator};
+use econcast::statespace::HomogeneousP4;
+
+fn run_mode(mode: ThroughputMode, n: usize, sigma: f64, seed: u64) -> SimReport {
+    let params = NodeParams::from_microwatts(10.0, 500.0, 500.0);
+    let protocol = match mode {
+        ThroughputMode::Groupput => ProtocolConfig::capture_groupput(sigma),
+        ThroughputMode::Anyput => ProtocolConfig::capture_anyput(sigma),
+    };
+    let mut cfg = SimConfig::ideal_clique(n, params, protocol, 3_000_000.0, seed);
+    cfg.eta0 = HomogeneousP4::new(n, params, sigma, mode).solve().eta;
+    cfg.warmup = 0.0;
+    cfg.record_deliveries = true;
+    Simulator::new(cfg).expect("valid config").run()
+}
+
+/// Replays the delivery log as a rumor starting at node 0; returns the
+/// time each node first learned it.
+fn infection_times(report: &SimReport, n: usize) -> Vec<f64> {
+    let mut infected_at = vec![f64::INFINITY; n];
+    infected_at[0] = 0.0;
+    for d in &report.deliveries {
+        if infected_at[d.source] <= d.time {
+            for rx in d.receiver_ids() {
+                if d.time < infected_at[rx] {
+                    infected_at[rx] = d.time;
+                }
+            }
+        }
+    }
+    infected_at
+}
+
+fn main() {
+    let (n, sigma) = (8usize, 0.5);
+    println!("rumor spreading over EconCast, N = {n}, σ = {sigma}, 1 ms packets\n");
+    for (label, mode) in [
+        ("anyput  ", ThroughputMode::Anyput),
+        ("groupput", ThroughputMode::Groupput),
+    ] {
+        // Average over a few seeds — single gossip runs are noisy.
+        let mut completion = Vec::new();
+        let mut transmissions = Vec::new();
+        for seed in 0..5u64 {
+            let report = run_mode(mode, n, sigma, 0x905517 + seed);
+            let times = infection_times(&report, n);
+            let done = times.iter().cloned().fold(0.0f64, f64::max);
+            if done.is_finite() {
+                completion.push(done);
+            }
+            transmissions.push(report.packets_transmitted as f64 / report.elapsed);
+        }
+        let mean_done = completion.iter().sum::<f64>() / completion.len().max(1) as f64;
+        let mean_tx = transmissions.iter().sum::<f64>() / transmissions.len() as f64;
+        println!(
+            "{label}: full dissemination in {:>7.1} s (mean of {} runs); {:.4} packets sent per packet-time",
+            mean_done * 1e-3,
+            completion.len(),
+            mean_tx
+        );
+    }
+    println!(
+        "\nanyput converts the same power budget into more transmission opportunities,\n\
+         finishing the gossip sooner — the Section I motivation for the second objective."
+    );
+}

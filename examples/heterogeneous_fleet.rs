@@ -1,0 +1,74 @@
+//! A heterogeneous fleet: the Table II scenario, end to end.
+//!
+//! Four tags share a shelf; all draw 1 mW awake but their light
+//! exposure differs wildly (5 µW to 100 µW harvested). The oracle
+//! would have the richest tag do most of the talking — and EconCast
+//! discovers the same split *without any node knowing the others'
+//! budgets*. We print the oracle schedule, the (P4) prediction, and
+//! what the distributed protocol actually did in simulation.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_fleet
+//! ```
+
+use econcast::core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast::oracle::oracle_groupput;
+use econcast::sim::config::ScheduleSpec;
+use econcast::sim::{SimConfig, Simulator};
+use econcast::statespace::{solve_p4, P4Options};
+
+fn main() {
+    let budgets_uw = [5.0, 10.0, 50.0, 100.0];
+    let nodes: Vec<NodeParams> = budgets_uw
+        .iter()
+        .map(|&b| NodeParams::from_microwatts(b, 1000.0, 1000.0))
+        .collect();
+    let sigma = 0.25;
+
+    let oracle = oracle_groupput(&nodes);
+    let p4 = solve_p4(&nodes, sigma, ThroughputMode::Groupput, P4Options::default());
+
+    let mut cfg = SimConfig::ideal_clique(
+        4,
+        nodes[0],
+        ProtocolConfig::capture_groupput(sigma),
+        6_000_000.0,
+        11,
+    );
+    cfg.nodes = nodes.clone();
+    cfg.schedule = ScheduleSpec::Normalized {
+        step: 0.05,
+        tau: 200.0,
+    };
+    // Cold start: every node begins ignorant with η = 0 and adapts from
+    // its own battery drift alone.
+    cfg.eta0 = 0.0;
+    cfg.warmup = 2_000_000.0;
+    let report = Simulator::new(cfg).expect("valid config").run();
+
+    println!("four tags, L = X = 1 mW, budgets 5/10/50/100 µW, σ = {sigma}\n");
+    println!("node  ρ(µW)   oracle awake%  P4 awake%  sim awake%  sim power/ρ");
+    for i in 0..4 {
+        let sim_awake = 100.0 * report.nodes[i].awake_fraction(report.elapsed);
+        let sim_power = report.nodes[i].average_power(report.elapsed) / nodes[i].budget_w;
+        println!(
+            "{i:>4}  {:>5.0}   {:>12.2}  {:>9.2}  {:>10.2}  {:>11.3}",
+            budgets_uw[i],
+            100.0 * oracle.awake_fraction(i),
+            100.0 * (p4.alpha[i] + p4.beta[i]),
+            sim_awake,
+            sim_power,
+        );
+    }
+    println!(
+        "\ngroupput: oracle {:.5} | achievable T^σ {:.5} | simulated {:.5} ({:.0}% of T^σ)",
+        oracle.throughput,
+        p4.throughput,
+        report.groupput,
+        100.0 * report.groupput / p4.throughput
+    );
+    println!(
+        "no node was told N, the others' budgets, or even its own budget —\n\
+         the Lagrange multipliers inferred the right division of labor from battery drift."
+    );
+}

@@ -1,0 +1,99 @@
+//! Neighbor discovery: the groupput use case from the paper's
+//! introduction.
+//!
+//! Object-tracking tags want every node to learn of every other node.
+//! Each data packet carries the sender's id and its reception report
+//! (exactly the testbed's packet contents, Section VIII-D). Here we run
+//! EconCast-C in groupput mode with the delivery log enabled and
+//! measure the *discovery matrix*: when each node first heard each
+//! other node, plus the reception-report frames an observer would
+//! collect.
+//!
+//! ```text
+//! cargo run --release --example neighbor_discovery
+//! ```
+
+use econcast::core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast::proto::{DataFrame, Frame, ReceptionReport};
+use econcast::sim::{SimConfig, Simulator};
+use econcast::statespace::HomogeneousP4;
+
+fn main() {
+    let n = 6;
+    let sigma = 0.5;
+    let params = NodeParams::from_microwatts(10.0, 500.0, 500.0);
+
+    let p4 = HomogeneousP4::new(n, params, sigma, ThroughputMode::Groupput).solve();
+    let mut cfg = SimConfig::ideal_clique(
+        n,
+        params,
+        ProtocolConfig::capture_groupput(sigma),
+        1_500_000.0,
+        7,
+    );
+    cfg.eta0 = p4.eta;
+    cfg.warmup = 0.0; // discovery starts from a cold channel
+    cfg.record_deliveries = true;
+    let report = Simulator::new(cfg).expect("valid config").run();
+
+    // First-hearing matrix from the delivery log.
+    let mut first_heard = vec![vec![f64::INFINITY; n]; n];
+    let mut counts = vec![vec![0u32; n]; n];
+    for d in &report.deliveries {
+        for rx in d.receiver_ids() {
+            if first_heard[rx][d.source].is_infinite() {
+                first_heard[rx][d.source] = d.time;
+            }
+            counts[rx][d.source] += 1;
+        }
+    }
+
+    println!("first-discovery times (packet-times ≈ ms); rows = listener, cols = speaker");
+    print!("      ");
+    for j in 0..n {
+        print!("  node{j:<7}");
+    }
+    println!();
+    for (i, row) in first_heard.iter().enumerate() {
+        print!("node{i:<2}");
+        for (j, &t) in row.iter().enumerate() {
+            if i == j {
+                print!("  {:>10}", "—");
+            } else if t.is_finite() {
+                print!("  {t:>10.0}");
+            } else {
+                print!("  {:>10}", "never");
+            }
+        }
+        println!();
+    }
+
+    let discovered: usize = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .filter(|&(i, j)| i != j && first_heard[i][j].is_finite())
+        .count();
+    println!(
+        "\ndiscovered {discovered}/{} directed pairs in {:.0} packet-times",
+        n * (n - 1),
+        report.elapsed
+    );
+
+    // The reception report node 0 would broadcast next — encoded with
+    // the actual wire format the testbed uses.
+    let frame = Frame::Data(DataFrame {
+        source: 0,
+        seq: report.nodes[0].packets_sent as u32,
+        report: (1..n)
+            .map(|j| ReceptionReport {
+                peer: j as u16,
+                count: counts[0][j],
+            })
+            .collect(),
+    });
+    let bytes = frame.encode();
+    println!(
+        "node0's next reception-report frame: {} bytes on the wire, {:.2} ms at 250 kbps",
+        bytes.len(),
+        1e3 * frame.airtime_s(250_000.0)
+    );
+}

@@ -1,0 +1,34 @@
+//! # econcast — umbrella crate
+//!
+//! Re-exports the public API of the EconCast reproduction workspace so
+//! downstream users can depend on a single crate. See the individual
+//! crates for full documentation:
+//!
+//! * [`econcast_core`] (re-exported as [`core`]) — node model,
+//!   protocol rates, multiplier adaptation;
+//! * [`econcast_statespace`] (as [`statespace`]) — collision-free state
+//!   space, Gibbs distribution, the (P4) achievable-throughput solver;
+//! * [`econcast_oracle`] (as [`oracle`]) — oracle groupput/anyput
+//!   solvers (P2)/(P3) and non-clique bounds;
+//! * [`econcast_sim`] (as [`sim`]) — the discrete-event simulator;
+//! * [`econcast_baselines`] (as [`baselines`]) — Panda / Birthday /
+//!   Searchlight models;
+//! * [`econcast_analysis`] (as [`analysis`]) — burstiness/latency
+//!   analysis and experiment helpers;
+//! * [`econcast_proto`] (as [`proto`]) — wire formats;
+//! * [`econcast_hw`] (as [`hw`]) — the eZ430-RF2500-SEH testbed
+//!   emulation;
+//! * [`econcast_lp`] (as [`lp`]) — the simplex solver substrate.
+
+pub use econcast_analysis as analysis;
+pub use econcast_baselines as baselines;
+pub use econcast_core as core;
+pub use econcast_hw as hw;
+pub use econcast_lp as lp;
+pub use econcast_oracle as oracle;
+pub use econcast_proto as proto;
+pub use econcast_sim as sim;
+pub use econcast_statespace as statespace;
+
+/// Workspace version, handy for experiment provenance records.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

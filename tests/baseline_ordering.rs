@@ -1,0 +1,110 @@
+//! The paper's comparative claims, end to end: at symmetric power
+//! levels EconCast dominates Panda, Birthday, and Searchlight's
+//! upper bound by large factors (Fig. 3, Table III).
+
+use econcast::baselines::{BirthdayProtocol, PandaConfig, Searchlight};
+use econcast::core::{NodeParams, ThroughputMode};
+use econcast::statespace::HomogeneousP4;
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+#[test]
+fn econcast_dominates_all_baselines_at_symmetric_powers() {
+    let n = 5;
+    let t_025 = HomogeneousP4::new(n, params(), 0.25, ThroughputMode::Groupput)
+        .solve()
+        .throughput;
+
+    let (t_birthday, _, _) = BirthdayProtocol::new(n, params()).optimal_groupput();
+    let t_searchlight = Searchlight::paper_setup(n, params()).groupput_upper_bound();
+    let mut panda = PandaConfig::new(n, params());
+    panda.sim_duration = 600_000.0;
+    let t_panda = panda.calibrated().groupput;
+
+    assert!(
+        t_025 > 3.0 * t_panda,
+        "EconCast {t_025} vs Panda {t_panda}: expected a multi-x gap"
+    );
+    assert!(
+        t_025 > 3.0 * t_birthday,
+        "EconCast {t_025} vs Birthday {t_birthday}"
+    );
+    assert!(
+        t_025 > 3.0 * t_searchlight,
+        "EconCast {t_025} vs Searchlight bound {t_searchlight}"
+    );
+}
+
+#[test]
+fn panda_speedup_in_paper_ballpark() {
+    // Fig. 3 quotes 6x (σ=0.5) and 17x (σ=0.25) over Panda at X = L.
+    // Our Panda substitute is a Monte-Carlo model, so accept a wide
+    // band around those factors: 2–40x, with σ=0.25 strictly better.
+    let n = 5;
+    let mut panda = PandaConfig::new(n, params());
+    panda.sim_duration = 1_000_000.0;
+    let t_panda = panda.calibrated().groupput;
+    let speed = |sigma: f64| {
+        HomogeneousP4::new(n, params(), sigma, ThroughputMode::Groupput)
+            .solve()
+            .throughput
+            / t_panda
+    };
+    let s_half = speed(0.5);
+    let s_quarter = speed(0.25);
+    assert!(
+        (2.0..40.0).contains(&s_half),
+        "σ=0.5 speedup {s_half} out of band"
+    );
+    assert!(
+        (4.0..60.0).contains(&s_quarter),
+        "σ=0.25 speedup {s_quarter} out of band"
+    );
+    assert!(s_quarter > s_half, "smaller σ must widen the gap");
+}
+
+#[test]
+fn baselines_are_internally_consistent() {
+    // Baselines never beat the oracle, and scale sensibly in N.
+    let p = params();
+    let oracle = |n: usize| {
+        let nf = n as f64;
+        nf * (nf - 1.0) * p.budget_w / (p.transmit_w + (nf - 1.0) * p.listen_w)
+    };
+    for n in [3usize, 5, 10] {
+        let (tb, _, _) = BirthdayProtocol::new(n, p).optimal_groupput();
+        assert!(tb < oracle(n), "birthday n={n} beats oracle");
+        let ts = Searchlight::paper_setup(n, p).groupput_upper_bound();
+        assert!(ts < oracle(n), "searchlight n={n} beats oracle");
+    }
+    let (t5, _, _) = BirthdayProtocol::new(5, p).optimal_groupput();
+    let (t10, _, _) = BirthdayProtocol::new(10, p).optimal_groupput();
+    assert!(t10 > t5, "birthday should improve with N (more receivers)");
+}
+
+#[test]
+fn asymmetric_powers_shrink_econcast_advantage_over_birthday() {
+    // Fig. 3's side message: EconCast's edge is largest at X ≈ L.
+    // Verify the ratio to Birthday is larger at X/L = 1 than at 9.
+    let n = 5;
+    let make = |ratio: f64| {
+        let l = 1000.0 / (1.0 + ratio);
+        NodeParams::from_microwatts(10.0, l, 1000.0 - l)
+    };
+    let edge = |ratio: f64| {
+        let p = make(ratio);
+        let t = HomogeneousP4::new(n, p, 0.25, ThroughputMode::Groupput)
+            .solve()
+            .throughput;
+        let (tb, _, _) = BirthdayProtocol::new(n, p).optimal_groupput();
+        t / tb
+    };
+    assert!(
+        edge(1.0) > edge(9.0),
+        "advantage at X/L=1 ({}) should exceed X/L=9 ({})",
+        edge(1.0),
+        edge(9.0)
+    );
+}

@@ -1,0 +1,57 @@
+//! Smoke tests: every registered experiment runs at quick scale and
+//! produces plausible, non-empty output. These are the same entry
+//! points `repro all` uses, so a green run here means the full harness
+//! is wired correctly.
+
+use econcast_bench::experiments::registry;
+use econcast_bench::Scale;
+
+#[test]
+fn registry_covers_every_paper_artifact() {
+    let ids: Vec<&str> = registry().iter().map(|(id, _, _)| *id).collect();
+    for expected in [
+        "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4",
+    ] {
+        assert!(ids.contains(&expected), "missing experiment {expected}");
+    }
+    assert!(ids.contains(&"ablations"), "ablation suite not registered");
+    assert_eq!(ids.len(), 10);
+}
+
+#[test]
+fn cheap_experiments_produce_output() {
+    // The fast subset runs in seconds even at quick scale.
+    for id in ["table2", "fig4", "table4"] {
+        let (_, _, runner) = registry()
+            .into_iter()
+            .find(|(rid, _, _)| *rid == id)
+            .expect("registered");
+        let out = runner(Scale::Quick);
+        assert!(out.len() > 100, "{id} produced almost no output");
+        assert!(!out.contains("NaN"), "{id} produced NaN:\n{out}");
+    }
+}
+
+#[test]
+fn fig3_quick_headline_is_sane() {
+    let (_, _, runner) = registry()
+        .into_iter()
+        .find(|(rid, _, _)| *rid == "fig3")
+        .expect("registered");
+    let out = runner(Scale::Quick);
+    // The headline line reports EconCast/Panda factors; parse them.
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("headline"))
+        .expect("headline line present");
+    // Speedup factors are the tokens ending in "x" (e.g. "4.9x").
+    let nums: Vec<f64> = line
+        .split_whitespace()
+        .filter_map(|t| t.strip_suffix('x').and_then(|v| v.parse::<f64>().ok()))
+        .collect();
+    assert!(nums.len() >= 2, "could not parse factors from: {line}");
+    assert!(
+        nums[0] > 1.5 && nums[1] > nums[0],
+        "speedups not ordered/plausible: {line}"
+    );
+}

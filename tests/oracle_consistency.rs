@@ -1,0 +1,122 @@
+//! Cross-crate consistency of the analytical chain:
+//! `T^σ ≤ T* ≤ unconstrained cap`, closed forms vs LPs, non-clique
+//! bounds vs the clique oracle, and the σ → 0 convergence of
+//! Theorem 1.
+
+use econcast::core::{NodeParams, ThroughputMode, Topology};
+use econcast::oracle::{
+    non_clique_groupput_bounds, oracle_anyput, oracle_anyput_homogeneous, oracle_groupput,
+    oracle_groupput_homogeneous,
+};
+use econcast::statespace::{solve_p4, HomogeneousP4, P4Options};
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+#[test]
+fn sandwich_t_sigma_below_oracle_below_cap() {
+    for n in [2usize, 3, 5, 8] {
+        let nodes = vec![params(); n];
+        let t_star = oracle_groupput(&nodes).throughput;
+        for sigma in [0.25, 0.5, 1.0] {
+            let t_sigma = HomogeneousP4::new(n, params(), sigma, ThroughputMode::Groupput)
+                .solve()
+                .throughput;
+            assert!(
+                t_sigma <= t_star + 1e-9,
+                "n={n} σ={sigma}: T^σ {t_sigma} above T* {t_star}"
+            );
+        }
+        assert!(t_star <= (n as f64) - 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn theorem1_sigma_to_zero_convergence() {
+    // T^σ/T* should climb toward 1 as σ shrinks (Theorem 1's limit).
+    let n = 5;
+    let t_star = oracle_groupput(&vec![params(); n]).throughput;
+    let ratios: Vec<f64> = [1.0, 0.5, 0.25, 0.1, 0.05]
+        .iter()
+        .map(|&sigma| {
+            HomogeneousP4::new(n, params(), sigma, ThroughputMode::Groupput)
+                .solve()
+                .throughput
+                / t_star
+        })
+        .collect();
+    for pair in ratios.windows(2) {
+        assert!(
+            pair[1] > pair[0],
+            "ratio not increasing as σ falls: {ratios:?}"
+        );
+    }
+    assert!(
+        ratios.last().expect("non-empty") > &0.85,
+        "σ=0.05 should be within 15% of the oracle: {ratios:?}"
+    );
+}
+
+#[test]
+fn closed_forms_match_lps_in_constrained_regime() {
+    for n in [2usize, 4, 7] {
+        let nodes = vec![params(); n];
+        let g_lp = oracle_groupput(&nodes).throughput;
+        let g_cf = oracle_groupput_homogeneous(n, &params())
+            .expect("constrained regime")
+            .throughput;
+        assert!((g_lp - g_cf).abs() < 1e-9, "groupput n={n}: {g_lp} vs {g_cf}");
+        let a_lp = oracle_anyput(&nodes).throughput;
+        let a_cf = oracle_anyput_homogeneous(n, &params())
+            .expect("constrained regime")
+            .throughput;
+        assert!((a_lp - a_cf).abs() < 1e-9, "anyput n={n}: {a_lp} vs {a_cf}");
+    }
+}
+
+#[test]
+fn grid_oracle_below_clique_oracle_per_node_neighborhood() {
+    // Hearing fewer nodes cannot increase groupput: grid T*_nc ≤ clique T*.
+    for k in [2usize, 3, 4] {
+        let n = k * k;
+        let nodes = vec![params(); n];
+        let grid = non_clique_groupput_bounds(&nodes, &Topology::square_grid(k));
+        let clique = oracle_groupput(&nodes).throughput;
+        assert!(
+            grid.upper.throughput <= clique + 1e-9,
+            "grid {k}x{k} upper {} above clique {clique}",
+            grid.upper.throughput
+        );
+        assert!(grid.lower.throughput <= grid.upper.throughput + 1e-9);
+    }
+}
+
+#[test]
+fn heterogeneous_p4_consistent_with_lp_oracle() {
+    let nodes = vec![
+        NodeParams::from_microwatts(3.0, 700.0, 300.0),
+        NodeParams::from_microwatts(12.0, 500.0, 500.0),
+        NodeParams::from_microwatts(80.0, 350.0, 650.0),
+    ];
+    let t_star = oracle_groupput(&nodes).throughput;
+    for sigma in [0.5, 0.25] {
+        let sol = solve_p4(&nodes, sigma, ThroughputMode::Groupput, P4Options::default());
+        assert!(sol.converged, "σ={sigma} did not converge");
+        assert!(
+            sol.throughput <= t_star + 1e-6,
+            "σ={sigma}: T^σ {} above T* {t_star}",
+            sol.throughput
+        );
+        assert!(sol.max_power_violation(&nodes) < 5e-3);
+    }
+}
+
+#[test]
+fn anyput_cap_of_one_is_respected_everywhere() {
+    // Even with generous budgets, anyput ≤ 1 through LP and (P4).
+    let rich = vec![NodeParams::new(0.5, 0.5, 0.5); 6];
+    assert!(oracle_anyput(&rich).throughput <= 1.0 + 1e-9);
+    let sol = solve_p4(&rich, 0.5, ThroughputMode::Anyput, P4Options::fast());
+    assert!(sol.throughput <= 1.0 + 1e-9);
+}

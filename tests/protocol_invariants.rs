@@ -1,0 +1,258 @@
+//! Structural invariants of the protocol and simulator that must hold
+//! for any configuration: collision-freedom in cliques, conservation
+//! of accounting identities, carrier-sense semantics, and the
+//! anyput ≤ groupput ≤ receptions chain.
+
+use econcast::core::{NodeParams, ProtocolConfig, ThroughputMode, Topology, Variant};
+use econcast::sim::{SimConfig, Simulator};
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+fn run(mut cfg: SimConfig) -> econcast::sim::SimReport {
+    cfg.warmup = cfg.t_end * 0.1;
+    Simulator::new(cfg).expect("valid config").run()
+}
+
+#[test]
+fn accounting_identities_hold_across_configurations() {
+    for (n, sigma, variant, mode, seed) in [
+        (3usize, 0.5, Variant::Capture, ThroughputMode::Groupput, 1u64),
+        (5, 0.25, Variant::Capture, ThroughputMode::Anyput, 2),
+        (5, 0.5, Variant::NonCapture, ThroughputMode::Groupput, 3),
+        (8, 0.75, Variant::Capture, ThroughputMode::Groupput, 4),
+    ] {
+        let protocol = ProtocolConfig::new(sigma, variant, mode);
+        let cfg = SimConfig::ideal_clique(n, params(), protocol, 400_000.0, seed);
+        let r = run(cfg);
+
+        // Packets sent per node sum to the global counter.
+        let sent: u64 = r.nodes.iter().map(|x| x.packets_sent).sum();
+        assert_eq!(sent, r.packets_transmitted);
+        // Receptions match groupput integral.
+        let received: u64 = r.nodes.iter().map(|x| x.packets_received).sum();
+        assert_eq!(received, (r.groupput * r.elapsed).round() as u64);
+        // Delivered ≤ transmitted; anyput ≤ groupput; collisions zero in cliques.
+        assert!(r.packets_delivered <= r.packets_transmitted);
+        assert!(r.anyput <= r.groupput + 1e-12);
+        assert_eq!(r.packets_collided, 0);
+        // Time accounting closes.
+        for x in &r.nodes {
+            let total = x.time_sleep + x.time_listen + x.time_transmit;
+            assert!((total - r.elapsed).abs() < 1e-6);
+        }
+        // Energy ledger: consumed = ∫ state power (identity of the
+        // protocol meter with zero overhead).
+        for x in &r.nodes {
+            let expected =
+                x.time_listen * params().listen_w + x.time_transmit * params().transmit_w;
+            assert!(
+                (x.protocol_energy_consumed - expected).abs() < 1e-9,
+                "ledger mismatch: {} vs {}",
+                x.protocol_energy_consumed,
+                expected
+            );
+            assert!((x.energy_consumed - x.protocol_energy_consumed).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn overhead_splits_physical_from_protocol_meter() {
+    let mut cfg = SimConfig::ideal_clique(
+        4,
+        params(),
+        ProtocolConfig::capture_groupput(0.5),
+        300_000.0,
+        9,
+    );
+    cfg.overhead_w = 2e-6; // 2 µW always-on
+    let r = run(cfg);
+    for x in &r.nodes {
+        let gap = x.energy_consumed - x.protocol_energy_consumed;
+        let expected = 2e-6 * r.elapsed;
+        assert!(
+            (gap - expected).abs() / expected < 1e-6,
+            "overhead accounting off: {gap} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn line_topology_respects_reachability() {
+    // On a 4-node line, node 0 and node 3 can never hear each other.
+    let mut cfg = SimConfig::ideal_clique(
+        4,
+        params(),
+        ProtocolConfig::capture_groupput(0.5),
+        600_000.0,
+        11,
+    );
+    cfg.topology = Topology::line(4);
+    cfg.record_deliveries = true;
+    let r = run(cfg);
+    for d in &r.deliveries {
+        for rx in d.receiver_ids() {
+            assert!(
+                (d.source as i64 - rx as i64).abs() == 1,
+                "delivery from {} to non-neighbor {rx}",
+                d.source
+            );
+        }
+    }
+    assert!(r.packets_transmitted > 0);
+}
+
+#[test]
+fn grid_collisions_only_without_shared_carrier() {
+    // In a 3×3 grid transmissions can overlap, but only between nodes
+    // that are not neighbors of each other (carrier sense blocks
+    // neighbors). Verified indirectly: collided + delivered +
+    // no-listener packets = transmitted.
+    let mut cfg = SimConfig::ideal_clique(
+        9,
+        params(),
+        ProtocolConfig::capture_groupput(0.5),
+        600_000.0,
+        13,
+    );
+    cfg.topology = Topology::square_grid(3);
+    let r = run(cfg);
+    assert!(r.packets_delivered + r.packets_collided <= r.packets_transmitted);
+}
+
+#[test]
+fn noisy_estimator_reduces_groupput_mildly() {
+    // "poor estimates are expected to reduce throughput" (Section V-C):
+    // an estimator that reports half the listeners shortens captures
+    // and costs throughput, but the protocol keeps functioning.
+    let base = {
+        let cfg = SimConfig::ideal_clique(
+            5,
+            params(),
+            ProtocolConfig::capture_groupput(0.5),
+            1_500_000.0,
+            17,
+        );
+        run(cfg)
+    };
+    let degraded = {
+        let mut cfg = SimConfig::ideal_clique(
+            5,
+            params(),
+            ProtocolConfig::capture_groupput(0.5),
+            1_500_000.0,
+            17,
+        );
+        cfg.estimator = econcast::sim::EstimatorKind::Noisy {
+            gain: 0.5,
+            bias: 0.0,
+            cap: f64::INFINITY,
+        };
+        run(cfg)
+    };
+    assert!(degraded.groupput > 0.0, "protocol collapsed under noise");
+    assert!(
+        degraded.groupput < base.groupput,
+        "half-blind estimator should cost throughput: {} vs {}",
+        degraded.groupput,
+        base.groupput
+    );
+}
+
+#[test]
+fn time_varying_budget_with_same_mean_still_meets_mean() {
+    // Section III-A extension: a budget that oscillates around the same
+    // mean should still produce consumption near that mean. We emulate
+    // by alternating the harvest rate between runs … the engine models
+    // constant ρ, so instead verify robustness to a *mis-seeded* η and
+    // two very different seeds converging to the same throughput.
+    let mut a = SimConfig::ideal_clique(
+        5,
+        params(),
+        ProtocolConfig::capture_groupput(0.5),
+        3_000_000.0,
+        100,
+    );
+    a.eta0 = 0.0;
+    a.warmup = 1_800_000.0;
+    let mut b = a.clone();
+    b.seed = 200;
+    // Oversized by 30% (the dual descent recovers from this well within
+    // the warm-up; recovery from arbitrarily large η takes Θ(η/(δρ))
+    // updates since the downward gradient is capped at δ·ρ).
+    b.eta0 = 1.3
+        * econcast::statespace::HomogeneousP4::new(
+            5,
+            params(),
+            0.5,
+            ThroughputMode::Groupput,
+        )
+        .solve()
+        .eta;
+    let ra = Simulator::new(a).expect("valid").run();
+    let rb = Simulator::new(b).expect("valid").run();
+    let rel = (ra.groupput - rb.groupput).abs() / ra.groupput.max(1e-12);
+    assert!(
+        rel < 0.25,
+        "different η₀ failed to converge together: {} vs {}",
+        ra.groupput,
+        rb.groupput
+    );
+}
+
+#[test]
+fn on_off_harvest_with_same_mean_behaves_like_constant() {
+    // The Section III-A extension, now exercised for real: office
+    // lighting that is on 30% of the time at 10/0.3 µW (same mean as
+    // the constant 10 µW budget). Long-run throughput and consumption
+    // should match the constant-budget run.
+    use econcast::sim::config::HarvestSpec;
+    use econcast::statespace::HomogeneousP4;
+    let base = {
+        let mut cfg = SimConfig::ideal_clique(
+            5,
+            params(),
+            ProtocolConfig::capture_groupput(0.5),
+            3_000_000.0,
+            77,
+        );
+        cfg.eta0 = HomogeneousP4::new(5, params(), 0.5, ThroughputMode::Groupput)
+            .solve()
+            .eta;
+        cfg.warmup = 500_000.0;
+        Simulator::new(cfg).expect("valid").run()
+    };
+    let modulated = {
+        let mut cfg = SimConfig::ideal_clique(
+            5,
+            params(),
+            ProtocolConfig::capture_groupput(0.5),
+            3_000_000.0,
+            77,
+        );
+        cfg.eta0 = HomogeneousP4::new(5, params(), 0.5, ThroughputMode::Groupput)
+            .solve()
+            .eta;
+        cfg.warmup = 500_000.0;
+        cfg.harvest = Some(HarvestSpec {
+            period: 10_000.0, // 10 s cycles at 1 ms packets
+            duty: 0.3,
+        });
+        Simulator::new(cfg).expect("valid").run()
+    };
+    let rel = (modulated.groupput - base.groupput).abs() / base.groupput;
+    assert!(
+        rel < 0.15,
+        "modulated harvest diverged: {} vs {} (rel {rel})",
+        modulated.groupput,
+        base.groupput
+    );
+    // Consumption still near the mean budget.
+    for (i, n) in modulated.nodes.iter().enumerate() {
+        let drift = (n.average_power(modulated.elapsed) - params().budget_w).abs()
+            / params().budget_w;
+        assert!(drift < 0.10, "node {i} power drift {drift} under modulation");
+    }
+}

@@ -1,0 +1,144 @@
+//! The central cross-validation of the reproduction: the
+//! discrete-event simulator's long-run behaviour must match the
+//! analytical (P4) optimum — throughput, power, and burstiness — since
+//! Theorem 1 says the protocol's stationary distribution *is* the
+//! (P4) optimizer at the converged multipliers.
+
+use econcast::core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast::sim::{SimConfig, Simulator};
+use econcast::statespace::{solve_p4, HomogeneousP4, P4Options};
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+#[test]
+fn groupput_sim_tracks_p4_sigma_half() {
+    let n = 5;
+    let p4 = HomogeneousP4::new(n, params(), 0.5, ThroughputMode::Groupput).solve();
+    let mut cfg = SimConfig::ideal_clique(
+        n,
+        params(),
+        ProtocolConfig::capture_groupput(0.5),
+        2_500_000.0,
+        0xA11CE,
+    );
+    cfg.eta0 = p4.eta;
+    cfg.warmup = 250_000.0;
+    let r = Simulator::new(cfg).expect("valid config").run();
+
+    let rel = (r.groupput - p4.throughput).abs() / p4.throughput;
+    assert!(
+        rel < 0.08,
+        "simulated groupput {} vs analytic {} (rel err {rel})",
+        r.groupput,
+        p4.throughput
+    );
+
+    // Power audit: every node near its budget.
+    for (i, node) in r.nodes.iter().enumerate() {
+        let p = node.average_power(r.elapsed);
+        let drift = (p - params().budget_w).abs() / params().budget_w;
+        assert!(drift < 0.06, "node {i} power {p} drifted {drift}");
+    }
+
+    // Burstiness: per-capture bursts near eq. (34).
+    let analytic_burst = p4.summary.average_burst_length().expect("burst mass");
+    let sim_burst = r.mean_burst_length().expect("bursts recorded");
+    let rel_b = (sim_burst - analytic_burst).abs() / analytic_burst;
+    assert!(
+        rel_b < 0.25,
+        "burst {sim_burst} vs analytic {analytic_burst}"
+    );
+}
+
+#[test]
+fn anyput_sim_tracks_p4_sigma_half() {
+    let n = 5;
+    let p4 = HomogeneousP4::new(n, params(), 0.5, ThroughputMode::Anyput).solve();
+    let mut cfg = SimConfig::ideal_clique(
+        n,
+        params(),
+        ProtocolConfig::capture_anyput(0.5),
+        2_500_000.0,
+        0xB0B,
+    );
+    cfg.eta0 = p4.eta;
+    cfg.warmup = 250_000.0;
+    let r = Simulator::new(cfg).expect("valid config").run();
+    let rel = (r.anyput - p4.throughput).abs() / p4.throughput;
+    assert!(
+        rel < 0.08,
+        "simulated anyput {} vs analytic {} (rel {rel})",
+        r.anyput,
+        p4.throughput
+    );
+    // Anyput bursts: e^{1/σ} = e² ≈ 7.39 (eq. (35)).
+    let sim_burst = r.mean_burst_length().expect("bursts");
+    let rel_b = (sim_burst - (2.0f64).exp()).abs() / (2.0f64).exp();
+    assert!(rel_b < 0.25, "anyput burst {sim_burst} vs e²");
+}
+
+#[test]
+fn heterogeneous_sim_tracks_heterogeneous_p4() {
+    // A 4-node network with distinct budgets AND asymmetric powers —
+    // exercises the per-node multiplier scaling end to end.
+    let nodes = vec![
+        NodeParams::from_microwatts(5.0, 600.0, 400.0),
+        NodeParams::from_microwatts(10.0, 500.0, 500.0),
+        NodeParams::from_microwatts(20.0, 400.0, 600.0),
+        NodeParams::from_microwatts(40.0, 550.0, 450.0),
+    ];
+    let p4 = solve_p4(&nodes, 0.5, ThroughputMode::Groupput, P4Options::default());
+    let mut cfg = SimConfig::ideal_clique(
+        4,
+        nodes[0],
+        ProtocolConfig::capture_groupput(0.5),
+        3_000_000.0,
+        0xE7E,
+    );
+    cfg.nodes = nodes.clone();
+    // Cold start: no warm-started multipliers — the full adaptation
+    // path must find the heterogeneous optimum on its own.
+    cfg.eta0 = 0.0;
+    cfg.warmup = 1_500_000.0;
+    let r = Simulator::new(cfg).expect("valid config").run();
+    let rel = (r.groupput - p4.throughput).abs() / p4.throughput;
+    assert!(
+        rel < 0.12,
+        "heterogeneous sim {} vs analytic {} (rel {rel})",
+        r.groupput,
+        p4.throughput
+    );
+    for (i, (node, p)) in r.nodes.iter().zip(&nodes).enumerate() {
+        let drift = (node.average_power(r.elapsed) - p.budget_w).abs() / p.budget_w;
+        assert!(drift < 0.12, "node {i} power drift {drift}");
+    }
+}
+
+#[test]
+fn throughput_never_exceeds_analytic_oracle() {
+    // Long runs at several seeds: the sample throughput stays below the
+    // closed-form oracle (a hard information-theoretic cap).
+    let n = 5;
+    let p = params();
+    let t_star = 20.0 * p.budget_w / (p.transmit_w + 4.0 * p.listen_w);
+    for seed in [1u64, 2, 3] {
+        let mut cfg = SimConfig::ideal_clique(
+            n,
+            p,
+            ProtocolConfig::capture_groupput(0.5),
+            600_000.0,
+            seed,
+        );
+        cfg.eta0 = HomogeneousP4::new(n, p, 0.5, ThroughputMode::Groupput)
+            .solve()
+            .eta;
+        let r = Simulator::new(cfg).expect("valid").run();
+        assert!(
+            r.groupput <= t_star * 1.02,
+            "seed {seed}: groupput {} above oracle {t_star}",
+            r.groupput
+        );
+    }
+}
