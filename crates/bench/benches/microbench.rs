@@ -1,66 +1,80 @@
-//! Criterion micro-benchmarks for the computational kernels.
+//! Micro-benchmarks for the computational kernels (manual harness —
+//! `criterion` is unavailable offline).
 //!
 //! These cover the pieces whose cost governs experiment wall-clock:
 //! the simplex oracle LPs, state-space enumeration, Gibbs summaries
 //! (the inner loop of the (P4) solver), the homogeneous fast path, and
 //! the simulator event loop.
+//!
+//! ```text
+//! cargo bench -p econcast-bench            # all benchmarks
+//! cargo bench -p econcast-bench -- gibbs   # name filter
+//! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use econcast_bench::timing::{run_benchmarks, Bench};
 use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode, Topology};
 use econcast_oracle::{non_clique_groupput_bounds, oracle_anyput, oracle_groupput};
 use econcast_sim::{SimConfig, Simulator};
 use econcast_statespace::{
-    gibbs::{summarize, GibbsParams},
+    gibbs::{summarize, summarize_naive, GibbsParams},
     HomogeneousP4, StateSpace,
 };
+use std::hint::black_box;
 
 fn params() -> NodeParams {
     NodeParams::from_microwatts(10.0, 500.0, 500.0)
 }
 
-fn bench_oracles(c: &mut Criterion) {
+fn main() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
     let nodes10 = vec![params(); 10];
-    c.bench_function("oracle_groupput_p2_n10", |b| {
-        b.iter(|| oracle_groupput(black_box(&nodes10)))
-    });
-    c.bench_function("oracle_anyput_p3_n10", |b| {
-        b.iter(|| oracle_anyput(black_box(&nodes10)))
-    });
+    let nodes10_b = nodes10.clone();
     let grid = Topology::square_grid(7);
     let nodes49 = vec![params(); 49];
-    c.bench_function("non_clique_bounds_grid7x7", |b| {
-        b.iter(|| non_clique_groupput_bounds(black_box(&nodes49), black_box(&grid)))
-    });
-}
+    let eta10 = vec![3000.0; 10];
+    let (gibbs_nodes, gibbs_eta) = (nodes10.clone(), eta10.clone());
+    let (naive_nodes, naive_eta) = (nodes10.clone(), eta10.clone());
 
-fn bench_statespace(c: &mut Criterion) {
-    c.bench_function("statespace_enumerate_n10", |b| {
-        b.iter(|| StateSpace::new(10).iter().count())
-    });
-    let nodes = vec![params(); 10];
-    let eta = vec![3000.0; 10];
-    c.bench_function("gibbs_summary_n10", |b| {
-        b.iter(|| {
-            summarize(&GibbsParams {
-                nodes: black_box(&nodes),
-                eta: black_box(&eta),
+    let benches: Vec<Bench> = vec![
+        Bench::new("oracle_groupput_p2_n10", move || {
+            black_box(oracle_groupput(black_box(&nodes10)).throughput);
+        }),
+        Bench::new("oracle_anyput_p3_n10", move || {
+            black_box(oracle_anyput(black_box(&nodes10_b)).throughput);
+        }),
+        Bench::new("non_clique_bounds_grid7x7", move || {
+            black_box(non_clique_groupput_bounds(
+                black_box(&nodes49),
+                black_box(&grid),
+            ));
+        }),
+        Bench::new("statespace_enumerate_n10", || {
+            black_box(StateSpace::new(10).iter().count());
+        }),
+        Bench::new("gibbs_summary_n10", move || {
+            black_box(summarize(&GibbsParams {
+                nodes: black_box(&gibbs_nodes),
+                eta: black_box(&gibbs_eta),
                 sigma: 0.5,
                 mode: ThroughputMode::Groupput,
-            })
-        })
-    });
-    c.bench_function("homogeneous_p4_bisection_n50", |b| {
-        b.iter(|| {
-            HomogeneousP4::new(50, params(), 0.5, ThroughputMode::Groupput)
-                .solve()
-                .throughput
-        })
-    });
-}
-
-fn bench_simulator(c: &mut Criterion) {
-    c.bench_function("simulator_clique5_50k_packets", |b| {
-        b.iter(|| {
+            }));
+        }),
+        Bench::new("gibbs_summary_naive_n10", move || {
+            black_box(summarize_naive(&GibbsParams {
+                nodes: black_box(&naive_nodes),
+                eta: black_box(&naive_eta),
+                sigma: 0.5,
+                mode: ThroughputMode::Groupput,
+            }));
+        }),
+        Bench::new("homogeneous_p4_bisection_n50", || {
+            black_box(
+                HomogeneousP4::new(50, params(), 0.5, ThroughputMode::Groupput)
+                    .solve()
+                    .throughput,
+            );
+        }),
+        Bench::new("simulator_clique5_50k_packets", || {
             let cfg = SimConfig::ideal_clique(
                 5,
                 params(),
@@ -68,11 +82,9 @@ fn bench_simulator(c: &mut Criterion) {
                 50_000.0,
                 42,
             );
-            Simulator::new(cfg).expect("valid").run().groupput
-        })
-    });
-    c.bench_function("simulator_grid5x5_20k_packets", |b| {
-        b.iter(|| {
+            black_box(Simulator::new(cfg).expect("valid").run().groupput);
+        }),
+        Bench::new("simulator_grid5x5_20k_packets", || {
             let mut cfg = SimConfig::ideal_clique(
                 25,
                 params(),
@@ -81,10 +93,8 @@ fn bench_simulator(c: &mut Criterion) {
                 42,
             );
             cfg.topology = Topology::square_grid(5);
-            Simulator::new(cfg).expect("valid").run().groupput
-        })
-    });
+            black_box(Simulator::new(cfg).expect("valid").run().groupput);
+        }),
+    ];
+    run_benchmarks(benches, filter.as_deref());
 }
-
-criterion_group!(benches, bench_oracles, bench_statespace, bench_simulator);
-criterion_main!(benches);

@@ -1,29 +1,71 @@
-//! `repro` — regenerates the paper's tables and figures.
+//! `repro` — regenerates the paper's tables and figures, and runs the
+//! performance kernel suite.
 //!
 //! ```text
-//! repro all [--quick]          run every experiment in paper order
-//! repro <id> [--quick]         run one experiment (table2, fig2, …)
-//! repro list                   list experiment ids
+//! repro all [--quick] [--threads N]     run every experiment in paper order
+//! repro <id> [--quick] [--threads N]    run one experiment (table2, fig2, …)
+//! repro list                            list experiment ids
+//! repro --bench-json [--quick] [--threads N] [--out DIR]
+//!                                       run the kernel suite and write
+//!                                       BENCH_<git-sha>.json
 //! ```
 //!
 //! Output goes to stdout; pipe it into `EXPERIMENTS.md` blocks or a
 //! plotting script as needed. `--quick` trades fidelity for speed
-//! (~10× fewer samples / shorter simulations).
+//! (~10× fewer samples / shorter simulations). `--threads N` pins the
+//! worker pool used by the parallel experiment drivers and the
+//! summary kernels (default: `ECONCAST_THREADS` or all hardware
+//! threads).
 
 use econcast_bench::experiments::registry;
-use econcast_bench::Scale;
+use econcast_bench::{perf, Scale};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    if let Some(n) = flag_value(&args, "--threads") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => econcast_parallel::set_threads(Some(n)),
+            _ => {
+                eprintln!("--threads expects a positive integer, got `{n}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args.iter().any(|a| a == "--bench-json") {
+        let dir = flag_value(&args, "--out").unwrap_or_else(|| ".".to_string());
+        let t0 = Instant::now();
+        match perf::run_and_write(std::path::Path::new(&dir), quick) {
+            Ok(path) => {
+                eprintln!(
+                    "[bench suite done in {:.1}s, wrote {}]",
+                    t0.elapsed().as_secs_f64(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("failed to write bench json: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let target = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find(|a| !is_flag_argument(&args, a))
+        .cloned();
 
     let reg = registry();
     match target.as_deref() {
         None | Some("help") => {
-            eprintln!("usage: repro <all|list|EXPERIMENT> [--quick]");
+            eprintln!("usage: repro <all|list|EXPERIMENT> [--quick] [--threads N]");
+            eprintln!("       repro --bench-json [--quick] [--threads N] [--out DIR]");
             eprintln!("experiments:");
             for (id, desc, _) in &reg {
                 eprintln!("  {id:<8} {desc}");
@@ -56,6 +98,22 @@ fn main() {
             }
         },
     }
+}
+
+/// The value following a `--flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether `arg` is the value of a preceding value-taking flag (so it
+/// is not mistaken for the experiment id).
+fn is_flag_argument(args: &[String], arg: &str) -> bool {
+    args.iter().enumerate().any(|(i, a)| {
+        (a == "--threads" || a == "--out") && args.get(i + 1).map(String::as_str) == Some(arg)
+    })
 }
 
 fn banner(id: &str, desc: &str) {

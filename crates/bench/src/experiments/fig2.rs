@@ -9,7 +9,6 @@
 //! `h = 10`.
 
 use crate::Scale;
-use crossbeam::thread;
 use econcast_analysis::{mean_and_ci95, HeterogeneitySampler, PAPER_H_VALUES};
 use econcast_core::ThroughputMode;
 use econcast_oracle::{oracle_anyput, oracle_groupput};
@@ -20,40 +19,32 @@ use rand::SeedableRng;
 const N: usize = 5;
 
 fn ratio_samples(h: f64, sigma: f64, mode: ThroughputMode, samples: usize) -> Vec<f64> {
-    // Parallelize across a few worker threads; each worker gets a
-    // deterministic seed so the full run is reproducible.
+    // Fan out across the shared worker pool; each worker gets a
+    // deterministic seed and results are concatenated in worker order,
+    // so the full run is reproducible at any thread count.
     let workers = 4usize;
     let per = samples.div_ceil(workers);
-    let results = thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                s.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(0xF16_2 + 1000 * w as u64);
-                    let sampler = HeterogeneitySampler::new(h);
-                    let mut out = Vec::with_capacity(per);
-                    for _ in 0..per {
-                        let nodes = sampler.sample_network(&mut rng, N);
-                        let oracle = match mode {
-                            ThroughputMode::Groupput => oracle_groupput(&nodes).throughput,
-                            ThroughputMode::Anyput => oracle_anyput(&nodes).throughput,
-                        };
-                        if oracle <= 0.0 {
-                            continue;
-                        }
-                        let t = solve_p4(&nodes, sigma, mode, P4Options::fast()).throughput;
-                        out.push(t / oracle);
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<f64>>()
+    econcast_parallel::run(workers, |w| {
+        let mut rng = StdRng::seed_from_u64(0xF16_2 + 1000 * w as u64);
+        let sampler = HeterogeneitySampler::new(h);
+        let mut out = Vec::with_capacity(per);
+        for _ in 0..per {
+            let nodes = sampler.sample_network(&mut rng, N);
+            let oracle = match mode {
+                ThroughputMode::Groupput => oracle_groupput(&nodes).throughput,
+                ThroughputMode::Anyput => oracle_anyput(&nodes).throughput,
+            };
+            if oracle <= 0.0 {
+                continue;
+            }
+            let t = solve_p4(&nodes, sigma, mode, P4Options::fast()).throughput;
+            out.push(t / oracle);
+        }
+        out
     })
-    .expect("thread scope failed");
-    results
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Runs the experiment.

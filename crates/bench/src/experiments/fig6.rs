@@ -30,7 +30,12 @@ pub fn run(scale: Scale) -> String {
     out.push_str("Fig. 6 — grid groupput: oracle T*_nc and simulated EconCast\n");
     out.push_str("paper: EconCast reaches 14–22% of T*_nc at σ=0.25; ~10% at σ=0.5 for large N\n\n");
     out.push_str("   N   T*_nc      σ=0.25        σ=0.5         σ=0.75\n");
-    for &k in full_sides {
+    // Each grid side is an independent row (its own oracle LP and
+    // three long simulations) — fan rows out over the worker pool and
+    // stitch the output back in side order, so the report is identical
+    // at every thread count.
+    let rows = econcast_parallel::run(full_sides.len(), |row| {
+        let k = full_sides[row];
         let n = k * k;
         let nodes = vec![params(); n];
         let topo = Topology::square_grid(k);
@@ -38,7 +43,7 @@ pub fn run(scale: Scale) -> String {
         let t_nc = bounds
             .exact(1e-9)
             .expect("grid bounds are tight (Section VII-E)");
-        out.push_str(&format!("{n:>4}  {t_nc:>6.4}"));
+        let mut line = format!("{n:>4}  {t_nc:>6.4}");
         for sigma in [0.25, 0.5, 0.75] {
             let t_end = scale.duration(if sigma < 0.4 { 4_000_000.0 } else { 1_500_000.0 });
             let mut cfg = SimConfig::ideal_clique(
@@ -51,13 +56,17 @@ pub fn run(scale: Scale) -> String {
             cfg.topology = topo.clone();
             cfg.warmup = t_end * 0.25; // cold start: grids have no cheap warm-start
             let report = Simulator::new(cfg).expect("valid config").run();
-            out.push_str(&format!(
+            line.push_str(&format!(
                 "  {:>6.4} ({:>4.1}%)",
                 report.groupput,
                 100.0 * report.groupput / t_nc
             ));
         }
-        out.push('\n');
+        line.push('\n');
+        line
+    });
+    for row in rows {
+        out.push_str(&row);
     }
     out
 }

@@ -20,6 +20,8 @@
 //! live in `benches/microbench.rs`.
 
 pub mod experiments;
+pub mod perf;
+pub mod timing;
 
 /// Experiment fidelity scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,346 @@
+//! The `repro --bench-json` kernel suite.
+//!
+//! Runs a fixed set of workloads covering the workspace's hot paths —
+//! exact (P4) solves at N ∈ {8, 12, 16}, the homogeneous fast path at
+//! N = 1000, and the simulator on a 7×7 grid — and emits a
+//! `BENCH_<git-sha>.json` record with wall-clock and throughput
+//! numbers. Committed baselines let future performance PRs show their
+//! before/after on the same suite.
+//!
+//! The (P4) workloads run a *fixed* iteration budget (`tol = 0`), so
+//! every run measures an identical amount of work regardless of
+//! convergence luck. `p4_solve_n12_naive` re-solves the same instance
+//! through [`summarize_naive`], reproducing the pre-workspace
+//! implementation (two enumeration passes per iteration, fresh
+//! allocations), which is the denominator of the headline
+//! `p4_n12_speedup_vs_naive` figure.
+
+use crate::timing::{format_seconds, measure, Measurement};
+use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast_sim::{SimConfig, Simulator};
+use econcast_statespace::gibbs::{summarize_naive, GibbsParams, GibbsSummary};
+use econcast_statespace::{HomogeneousP4, P4Options, P4Solver, SummaryWorkspace};
+use std::hint::black_box;
+
+fn params() -> NodeParams {
+    NodeParams::from_microwatts(10.0, 500.0, 500.0)
+}
+
+/// Fixed-work descent options: `tol = 0` never converges early, so the
+/// measured work is identical run to run.
+fn fixed_iters(iters: usize) -> P4Options {
+    P4Options {
+        max_iters: iters,
+        tol: 0.0,
+        step0: 2.0,
+    }
+}
+
+/// The seed implementation of `solve_p4`, reconstructed on top of the
+/// retained naive summarizer: two full enumeration passes and fresh
+/// `alpha`/`beta`/gradient allocations per dual iteration. Exists only
+/// as the benchmark baseline.
+fn solve_p4_naive_reference(
+    nodes: &[NodeParams],
+    sigma: f64,
+    mode: ThroughputMode,
+    opts: P4Options,
+) -> f64 {
+    let n = nodes.len();
+    let scale: Vec<f64> = nodes
+        .iter()
+        .map(|p| sigma / p.listen_w.max(p.transmit_w))
+        .collect();
+    let mut eta = vec![0.0f64; n];
+    let mut grad_sq = vec![0.0f64; n];
+    let mut last: Option<GibbsSummary> = None;
+    for _ in 0..opts.max_iters {
+        let s = summarize_naive(&GibbsParams {
+            nodes,
+            eta: &eta,
+            sigma,
+            mode,
+        });
+        let mut residual = 0.0f64;
+        let mut grads = vec![0.0f64; n];
+        for i in 0..n {
+            let cons = nodes[i].average_power(s.alpha[i], s.beta[i]);
+            let g = (nodes[i].budget_w - cons) / (nodes[i].budget_w + cons);
+            grads[i] = g;
+            residual = residual.max(if eta[i] > 0.0 { g.abs() } else { (-g).max(0.0) });
+        }
+        last = Some(s);
+        if residual < opts.tol {
+            break;
+        }
+        for i in 0..n {
+            grad_sq[i] += grads[i] * grads[i];
+            let step = opts.step0 / grad_sq[i].sqrt().max(1e-12);
+            eta[i] = (eta[i] - step * scale[i] * grads[i]).max(0.0);
+        }
+    }
+    last.expect("at least one iteration").expected_throughput
+}
+
+/// One suite entry: name + workload.
+struct Entry {
+    name: &'static str,
+    workload: Box<dyn FnMut()>,
+}
+
+/// Builds the fixed suite. `quick` shrinks iteration budgets and the
+/// simulated horizon for CI smoke runs (same entry names, smaller
+/// work — quick numbers are not comparable to full ones).
+fn suite(quick: bool) -> Vec<Entry> {
+    let (it8, it12, it16) = if quick { (60, 25, 4) } else { (400, 150, 30) };
+    let sim_t_end = if quick { 5_000.0 } else { 20_000.0 };
+    let mode = ThroughputMode::Groupput;
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for (name, n, iters) in [
+        ("p4_solve_n8", 8usize, it8),
+        ("p4_solve_n12", 12, it12),
+        ("p4_solve_n16", 16, it16),
+    ] {
+        let nodes = vec![params(); n];
+        let mut solver = P4Solver::new(n);
+        entries.push(Entry {
+            name,
+            workload: Box::new(move || {
+                black_box(solver.solve(&nodes, 0.5, mode, fixed_iters(iters)).throughput);
+            }),
+        });
+    }
+    {
+        let nodes = vec![params(); 12];
+        entries.push(Entry {
+            name: "p4_solve_n12_naive",
+            workload: Box::new(move || {
+                black_box(solve_p4_naive_reference(&nodes, 0.5, mode, fixed_iters(it12)));
+            }),
+        });
+    }
+    {
+        let nodes = vec![params(); 12];
+        let eta = vec![3000.0; 12];
+        let mut ws = SummaryWorkspace::new(12);
+        entries.push(Entry {
+            name: "gibbs_summarize_n12",
+            workload: Box::new(move || {
+                ws.compute(&GibbsParams {
+                    nodes: &nodes,
+                    eta: &eta,
+                    sigma: 0.5,
+                    mode,
+                });
+                black_box(ws.expected_throughput());
+            }),
+        });
+        let nodes = vec![params(); 12];
+        let eta = vec![3000.0; 12];
+        entries.push(Entry {
+            name: "gibbs_summarize_naive_n12",
+            workload: Box::new(move || {
+                black_box(summarize_naive(&GibbsParams {
+                    nodes: &nodes,
+                    eta: &eta,
+                    sigma: 0.5,
+                    mode,
+                }));
+            }),
+        });
+    }
+    entries.push(Entry {
+        name: "homogeneous_p4_n1000",
+        workload: Box::new(|| {
+            black_box(
+                HomogeneousP4::new(1000, params(), 0.5, ThroughputMode::Groupput)
+                    .solve()
+                    .throughput,
+            );
+        }),
+    });
+    entries.push(Entry {
+        name: "sim_grid7x7",
+        workload: Box::new(move || {
+            let mut cfg = SimConfig::ideal_clique(
+                49,
+                params(),
+                ProtocolConfig::capture_groupput(0.5),
+                sim_t_end,
+                0xBE9C,
+            );
+            cfg.topology = econcast_core::Topology::square_grid(7);
+            black_box(Simulator::new(cfg).expect("valid").run().groupput);
+        }),
+    });
+    entries
+}
+
+/// Result of one full suite run.
+pub struct SuiteReport {
+    /// Per-entry measurements, in suite order.
+    pub measurements: Vec<Measurement>,
+    /// `p4_solve_n12_naive / p4_solve_n12` mean-time ratio.
+    pub p4_n12_speedup: Option<f64>,
+    /// Worker-pool size the suite ran under.
+    pub threads: usize,
+    /// Whether the reduced smoke suite ran.
+    pub quick: bool,
+}
+
+/// Runs the kernel suite, printing one line per entry.
+pub fn run_suite(quick: bool) -> SuiteReport {
+    let mut measurements = Vec::new();
+    for mut e in suite(quick) {
+        let m = measure(e.name, &mut *e.workload);
+        println!(
+            "{:<28} {:>12}/iter ({} iters)",
+            m.name,
+            format_seconds(m.mean_s),
+            m.iterations
+        );
+        measurements.push(m);
+    }
+    let mean_of = |name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.mean_s)
+    };
+    let p4_n12_speedup = match (mean_of("p4_solve_n12_naive"), mean_of("p4_solve_n12")) {
+        (Some(naive), Some(fast)) if fast > 0.0 => Some(naive / fast),
+        _ => None,
+    };
+    if let Some(s) = p4_n12_speedup {
+        println!("p4_solve at N=12: {s:.1}x faster than the naive seed kernel");
+    }
+    SuiteReport {
+        measurements,
+        p4_n12_speedup,
+        threads: econcast_parallel::effective_threads(usize::MAX),
+        quick,
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `ECONCAST_GIT_SHA`, or "unknown".
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("ECONCAST_GIT_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Serializes a suite report as pretty-printed JSON (hand-rolled —
+/// no serde offline; every value is a number, bool, or `[0-9a-z_-]`
+/// string, so no escaping is needed).
+pub fn to_json(report: &SuiteReport, sha: &str) -> String {
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"git_sha\": \"{sha}\",\n"));
+    s.push_str(&format!("  \"created_unix\": {unix},\n"));
+    s.push_str(&format!("  \"threads\": {},\n", report.threads));
+    s.push_str(&format!("  \"quick\": {},\n", report.quick));
+    s.push_str("  \"entries\": [\n");
+    for (i, m) in report.measurements.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_s\": {:e}, \"best_s\": {:e}, \
+             \"iterations\": {}, \"per_second\": {:.3}}}{}\n",
+            m.name,
+            m.mean_s,
+            m.best_s,
+            m.iterations,
+            m.throughput(),
+            if i + 1 < report.measurements.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"derived\": {\n");
+    match report.p4_n12_speedup {
+        Some(x) => s.push_str(&format!("    \"p4_n12_speedup_vs_naive\": {x:.2}\n")),
+        None => s.push_str("    \"p4_n12_speedup_vs_naive\": null\n"),
+    }
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Runs the suite and writes `BENCH_<sha>.json` into `dir`, returning
+/// the file path.
+pub fn run_and_write(dir: &std::path::Path, quick: bool) -> std::io::Result<std::path::PathBuf> {
+    let report = run_suite(quick);
+    let sha = git_sha();
+    let path = dir.join(format!("BENCH_{sha}.json"));
+    std::fs::write(&path, to_json(&report, &sha))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_reference_agrees_with_solver() {
+        // The baseline must solve the same problem: identical
+        // trajectories for a fixed iteration budget.
+        let nodes = vec![params(); 5];
+        let naive = solve_p4_naive_reference(
+            &nodes,
+            0.5,
+            ThroughputMode::Groupput,
+            fixed_iters(40),
+        );
+        let fast = econcast_statespace::solve_p4(
+            &nodes,
+            0.5,
+            ThroughputMode::Groupput,
+            fixed_iters(40),
+        )
+        .throughput;
+        assert!(
+            (naive - fast).abs() <= 1e-9 * (1.0 + fast.abs()),
+            "naive {naive} vs workspace {fast}"
+        );
+    }
+
+    #[test]
+    fn json_shape_is_parsable_enough() {
+        let report = SuiteReport {
+            measurements: vec![Measurement {
+                name: "x".into(),
+                iterations: 3,
+                mean_s: 0.5,
+                best_s: 0.4,
+            }],
+            p4_n12_speedup: Some(12.5),
+            threads: 4,
+            quick: true,
+        };
+        let j = to_json(&report, "abc123");
+        assert!(j.contains("\"git_sha\": \"abc123\""));
+        assert!(j.contains("\"name\": \"x\""));
+        assert!(j.contains("\"p4_n12_speedup_vs_naive\": 12.50"));
+        assert!(j.starts_with("{\n") && j.ends_with("}\n"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

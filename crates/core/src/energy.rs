@@ -14,10 +14,9 @@
 //!   under hard energy causality, and used by `econcast-hw`'s capacitor
 //!   experiments.
 
-use serde::{Deserialize, Serialize};
 
 /// Storage semantics for [`EnergyStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StorageKind {
     /// Unbounded signed accumulator (the paper's virtual battery).
     Ledger,
@@ -31,7 +30,7 @@ pub enum StorageKind {
 /// A node's energy store with piecewise-constant harvest and drain
 /// rates. Time is advanced explicitly with [`EnergyStore::advance`];
 /// the store does not own a clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyStore {
     level_j: f64,
     kind: StorageKind,

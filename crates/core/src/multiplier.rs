@@ -16,7 +16,6 @@
 //! practice constant `δ` and `τ` work and trade convergence speed
 //! against oscillation.
 
-use serde::{Deserialize, Serialize};
 
 /// Step-size / interval-length schedule for the multiplier update.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// in units where the per-interval drift is O(1). Use
 /// [`StepSchedule::normalized_constant`] to pick `δ` from a
 /// dimensionless step fraction instead of guessing.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StepSchedule {
     /// Constant `δ` and `τ` — the practical choice of Section V-F
     /// ("small constant δ and large constant τ").
@@ -89,7 +88,7 @@ impl StepSchedule {
 }
 
 /// One node's Lagrange multiplier state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Multiplier {
     eta: f64,
     schedule: StepSchedule,

@@ -1,10 +1,9 @@
 //! Per-node identity and power parameters (paper Section III-A).
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a node in the network. Nodes are dense `0..N`, so a plain
 /// newtype over `usize` keeps everything array-indexable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -32,7 +31,7 @@ impl std::fmt::Display for NodeId {
 /// Only the *ratios* `L/ρ` and `X/ρ` matter to the protocol and the
 /// oracle (Section VII-A), so any consistent unit works; the
 /// constructors below take watts to match the paper's tables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeParams {
     /// Power budget `ρ_i` (W): harvesting rate or lifetime-derived cap.
     pub budget_w: f64,

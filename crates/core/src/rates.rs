@@ -17,10 +17,9 @@
 //! (Section V-F).
 
 use crate::state::ThroughputMode;
-use serde::{Deserialize, Serialize};
 
 /// Which of the two protocol variants of Section V-D is running.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// `EconCast-C`: the transmitter may *capture* the channel for
     /// several back-to-back packets, listening for pings after each one
@@ -43,7 +42,7 @@ impl std::fmt::Display for Variant {
 
 /// Static protocol configuration shared by all nodes: the temperature
 /// `σ`, the protocol variant, and the throughput objective.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolConfig {
     /// Temperature `σ > 0`. Smaller values push throughput toward the
     /// oracle but increase burstiness exponentially (Fig. 4).

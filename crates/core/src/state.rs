@@ -1,12 +1,11 @@
 //! Node states (Fig. 1) and the two throughput objectives
 //! (Definitions 1–3).
 
-use serde::{Deserialize, Serialize};
 
 /// The three node states of Section III-A. A node must pass through
 /// [`NodeState::Listen`] to move between sleep and transmit (Fig. 1);
 /// [`NodeState::can_transition_to`] encodes that topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeState {
     /// Sleeping: zero power draw, radio off.
     Sleep,
@@ -68,7 +67,7 @@ impl std::fmt::Display for NodeState {
 
 /// Which broadcast-throughput objective the protocol maximizes
 /// (Section I and Definitions 1–2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ThroughputMode {
     /// Groupput `T_g`: every delivered bit counted once per receiver —
     /// the neighbor-discovery / data-flooding objective.

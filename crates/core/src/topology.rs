@@ -2,10 +2,9 @@
 //! general graphs (Section IV-C / VII-E), including the grid topologies
 //! used in Fig. 6.
 
-use serde::{Deserialize, Serialize};
 
 /// Who can hear whom. Symmetric, no self-loops.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Topology {
     /// Every node hears every other node (Section III-C's analytical
     /// assumption).

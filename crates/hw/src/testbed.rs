@@ -53,6 +53,10 @@ pub struct TestbedConfig {
     pub overhead_w: Option<f64>,
     /// RNG seed.
     pub seed: u64,
+    /// Multiplier controller: dimensionless step fraction.
+    pub schedule_step: f64,
+    /// Multiplier controller: update interval (packet-times).
+    pub schedule_tau: f64,
 }
 
 impl TestbedConfig {
@@ -69,6 +73,21 @@ impl TestbedConfig {
             clock_spread: 0.04,
             overhead_w: None,
             seed: 0x5EED,
+            // Controller calibration for the hardware power scale. At
+            // mW budgets with a 67 mW listen power the normalized
+            // gradient (rho - cons)/Cbar is O(1e-3), so the idealized
+            // simulations' step fraction of 0.05 would need days of
+            // emulated time to close the ~10% ping-interval budget
+            // overshoot; and tau must dwarf a capture burst
+            // (~e^{1/sigma} packets, ~55 at sigma = 0.25) or a single
+            // burst inside one interval kicks eta into a slow
+            // asymmetric limit cycle (up-moves scale with burst energy,
+            // down-moves only with rho). A unit step fraction with
+            // tau = 400 packet-times converges within the first
+            // emulated hour at both paper sigmas and budgets and stays
+            // inside the measured battery-variance band.
+            schedule_step: 1.0,
+            schedule_tau: 400.0,
         }
     }
 
@@ -100,8 +119,8 @@ impl TestbedConfig {
             nodes: vec![params; self.n],
             protocol: ProtocolConfig::capture_groupput(self.sigma),
             schedule: ScheduleSpec::Normalized {
-                step: 0.05,
-                tau: 200.0,
+                step: self.schedule_step,
+                tau: self.schedule_tau,
             },
             eta0: p4.eta,
             ping_interval: self.radio.ping_interval_packets(),

@@ -1,0 +1,189 @@
+//! The achievability gap: sandwiching the oracle `T*` with the
+//! entropy-regularized solver.
+//!
+//! Weak duality on (P4) gives machine-checkable two-sided bounds on
+//! the oracle throughput without trusting either solver blindly:
+//!
+//! * **from below** — the (P4) optimum's expected throughput
+//!   `T^σ = E_π[T_w]` is attained by an implementable distribution, so
+//!   (up to the dual residual tolerance) `T^σ ≤ T*`;
+//! * **from above** — for any multipliers `η ≥ 0` the dual value
+//!   `D(η) = E[T] + σH(π_η) + Σ_i η_i (ρ_i − cons_i)` dominates the
+//!   constrained optimum of the regularized objective, and the entropy
+//!   term is non-negative, so `T* ≤ D(η)`.
+//!
+//! As `σ → 0` the sandwich tightens onto the LP oracle of
+//! [`crate::groupput`]/[`crate::anyput`] (Theorem 1's limit), which
+//! makes the triple `(T^σ, T*_LP, D(η))` a strong cross-validation of
+//! the simplex and Gibbs code paths against each other.
+//!
+//! Sweeps reuse one [`P4Solver`] — the state table and every summary
+//! buffer are allocated once for the whole σ frontier.
+
+use crate::{oracle_anyput, oracle_groupput};
+use econcast_core::{NodeParams, ThroughputMode};
+use econcast_statespace::{P4Options, P4Solver};
+
+/// A two-sided certificate around the oracle throughput at one `σ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AchievabilityGap {
+    /// Temperature this gap was evaluated at.
+    pub sigma: f64,
+    /// `T^σ` — achievable throughput of the (P4) optimum (the lower
+    /// end of the sandwich, up to the dual residual tolerance).
+    pub t_sigma: f64,
+    /// The LP oracle `T*` (what Figs. 2–3 normalize against).
+    pub oracle: f64,
+    /// `D(η)` at the final multipliers — a weak-duality upper bound on
+    /// the entropy-regularized optimum, hence on `T*`.
+    pub dual_upper: f64,
+    /// Whether the dual descent met its tolerance.
+    pub converged: bool,
+}
+
+impl AchievabilityGap {
+    /// `T^σ / T*` — the ratio the paper plots.
+    pub fn ratio(&self) -> f64 {
+        if self.oracle > 0.0 {
+            self.t_sigma / self.oracle
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Verifies the sandwich `T^σ ≤ T* ≤ D(η)` within `tol`
+    /// (absolute + relative).
+    pub fn is_consistent(&self, tol: f64) -> bool {
+        let slack = tol * (1.0 + self.oracle.abs());
+        self.t_sigma <= self.oracle + slack && self.oracle <= self.dual_upper + slack
+    }
+}
+
+/// The LP oracle for `mode`.
+fn oracle_throughput(nodes: &[NodeParams], mode: ThroughputMode) -> f64 {
+    match mode {
+        ThroughputMode::Groupput => oracle_groupput(nodes).throughput,
+        ThroughputMode::Anyput => oracle_anyput(nodes).throughput,
+    }
+}
+
+/// Solves (P4) on the given solver and assembles the certificate
+/// against a precomputed oracle value.
+fn gap_at(
+    solver: &mut P4Solver,
+    nodes: &[NodeParams],
+    sigma: f64,
+    mode: ThroughputMode,
+    opts: P4Options,
+    oracle: f64,
+) -> AchievabilityGap {
+    let sol = solver.solve(nodes, sigma, mode, opts);
+    // D(η) = objective + Σ η_i (ρ_i − cons_i).
+    let mut dual = sol.objective;
+    for (i, p) in nodes.iter().enumerate() {
+        let cons = p.average_power(sol.alpha[i], sol.beta[i]);
+        dual += sol.eta[i] * (p.budget_w - cons);
+    }
+    AchievabilityGap {
+        sigma,
+        t_sigma: sol.throughput,
+        oracle,
+        dual_upper: dual,
+        converged: sol.converged,
+    }
+}
+
+/// Evaluates the sandwich at one temperature, using (and mutating) the
+/// caller's solver so sweeps amortize the workspace.
+pub fn achievability_gap_with(
+    solver: &mut P4Solver,
+    nodes: &[NodeParams],
+    sigma: f64,
+    mode: ThroughputMode,
+    opts: P4Options,
+) -> AchievabilityGap {
+    let oracle = oracle_throughput(nodes, mode);
+    gap_at(solver, nodes, sigma, mode, opts, oracle)
+}
+
+/// One-shot wrapper around [`achievability_gap_with`].
+pub fn achievability_gap(
+    nodes: &[NodeParams],
+    sigma: f64,
+    mode: ThroughputMode,
+    opts: P4Options,
+) -> AchievabilityGap {
+    achievability_gap_with(&mut P4Solver::new(nodes.len()), nodes, sigma, mode, opts)
+}
+
+/// The σ frontier: gaps at each requested temperature, computed with a
+/// single reused solver workspace (and a single oracle LP solve).
+pub fn sigma_frontier(
+    nodes: &[NodeParams],
+    sigmas: &[f64],
+    mode: ThroughputMode,
+    opts: P4Options,
+) -> Vec<AchievabilityGap> {
+    let mut solver = P4Solver::new(nodes.len());
+    let oracle = oracle_throughput(nodes, mode);
+    sigmas
+        .iter()
+        .map(|&sigma| gap_at(&mut solver, nodes, sigma, mode, opts, oracle))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+
+    fn nodes() -> Vec<NodeParams> {
+        vec![NodeParams::from_microwatts(10.0, 500.0, 500.0); 5]
+    }
+
+    #[test]
+    fn sandwich_holds_groupput() {
+        let g = achievability_gap(&nodes(), 0.5, Groupput, P4Options::default());
+        assert!(g.converged);
+        assert!(
+            g.is_consistent(1e-3),
+            "sandwich violated: T^σ={} T*={} D={}",
+            g.t_sigma,
+            g.oracle,
+            g.dual_upper
+        );
+        assert!(g.ratio() > 0.0 && g.ratio() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sandwich_holds_heterogeneous_anyput() {
+        let nodes = vec![
+            NodeParams::from_microwatts(5.0, 400.0, 600.0),
+            NodeParams::from_microwatts(10.0, 500.0, 500.0),
+            NodeParams::from_microwatts(50.0, 600.0, 400.0),
+            NodeParams::from_microwatts(100.0, 550.0, 450.0),
+        ];
+        let g = achievability_gap(&nodes, 0.5, Anyput, P4Options::default());
+        assert!(
+            g.is_consistent(2e-3),
+            "sandwich violated: T^σ={} T*={} D={}",
+            g.t_sigma,
+            g.oracle,
+            g.dual_upper
+        );
+    }
+
+    #[test]
+    fn frontier_tightens_as_sigma_falls() {
+        let gaps = sigma_frontier(&nodes(), &[0.75, 0.5, 0.25], Groupput, P4Options::default());
+        assert_eq!(gaps.len(), 3);
+        for g in &gaps {
+            assert!(g.is_consistent(2e-3), "σ={}: inconsistent sandwich", g.sigma);
+        }
+        // The paper's central claim: the ratio rises as σ falls.
+        assert!(gaps[2].ratio() > gaps[1].ratio());
+        assert!(gaps[1].ratio() > gaps[0].ratio());
+        // And every frontier point shares the same oracle value.
+        assert_eq!(gaps[0].oracle, gaps[1].oracle);
+    }
+}

@@ -16,16 +16,23 @@
 //!   (P2); the Fig. 6 grids make the two coincide, giving the exact
 //!   `T*_nc`. See [`non_clique`].
 //!
+//! * **Achievability gap** ([`gap`]) — weak-duality certificates
+//!   `T^σ ≤ T* ≤ D(η)` computed with the statespace crate's reusable
+//!   (P4) workspace, cross-validating the simplex and Gibbs code paths
+//!   against each other.
+//!
 //! Closed-form solutions for homogeneous networks (Appendix B) are
 //! provided alongside and are cross-checked against the LP solver in
 //! tests.
 
 pub mod anyput;
+pub mod gap;
 pub mod groupput;
 pub mod non_clique;
 mod solution;
 
 pub use anyput::{oracle_anyput, oracle_anyput_homogeneous};
+pub use gap::{achievability_gap, sigma_frontier, AchievabilityGap};
 pub use groupput::{oracle_groupput, oracle_groupput_homogeneous};
 pub use non_clique::{non_clique_anyput_bounds, non_clique_groupput_bounds, NonCliqueBounds};
 pub use solution::OracleSolution;

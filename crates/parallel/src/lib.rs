@@ -1,0 +1,205 @@
+//! # econcast-parallel — deterministic fork-join for the hot kernels
+//!
+//! The build environment is offline, so `rayon` is unavailable; this
+//! crate is the minimal stand-in the workspace needs: run `n` indexed,
+//! independent jobs across a configurable number of OS threads and
+//! return their results **in index order**.
+//!
+//! Determinism contract: each job computes exactly the same
+//! floating-point operations regardless of the thread count, and the
+//! caller merges results in index order, so parallel and serial
+//! execution are *bit-identical* (verified by the statespace tests).
+//!
+//! Thread count resolution order:
+//! 1. the last call to [`set_threads`] (the `repro --threads` flag);
+//! 2. the `ECONCAST_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = unset (fall back to env / hardware).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for subsequent [`run`] calls.
+/// `Some(1)` forces serial execution; `None` restores auto-detection.
+pub fn set_threads(n: Option<usize>) {
+    CONFIGURED.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count [`run`] will use for a batch of `jobs` jobs.
+pub fn effective_threads(jobs: usize) -> usize {
+    let configured = CONFIGURED.load(Ordering::Relaxed);
+    let base = if configured > 0 {
+        configured
+    } else if let Some(n) = std::env::var("ECONCAST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    base.min(jobs).max(1)
+}
+
+/// Runs `jobs` independent indexed jobs, returning `f(0)..f(jobs-1)`
+/// in index order. Uses a round-robin static split across
+/// [`effective_threads`] workers; falls back to a plain serial loop
+/// for one worker (no thread spawn in the common small case).
+pub fn run<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = effective_threads(jobs);
+    if workers <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    // Each worker takes the interleaved index set {w, w+workers, ...}
+    // and returns (index, result) pairs; the caller reassembles them in
+    // index order. Interleaving balances load when job cost varies
+    // with the index.
+    let mut out: Vec<Option<T>> = Vec::with_capacity(jobs);
+    out.resize_with(jobs, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut acc = Vec::with_capacity(jobs / workers + 1);
+                    let mut i = w;
+                    while i < jobs {
+                        acc.push((i, f(i)));
+                        i += workers;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("parallel worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every job index is covered"))
+        .collect()
+}
+
+/// Like [`run`], but each job `i` additionally receives exclusive
+/// access to `scratch[i]` — preallocated per-job buffers that survive
+/// across calls, so steady-state invocations allocate nothing. The
+/// caller chooses the worker count explicitly (pass 1 to force the
+/// serial path); results return in index order either way, and a job's
+/// computation is identical at every worker count.
+pub fn run_on_slices<S, T, F>(scratch: &mut [S], workers: usize, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let jobs = scratch.len();
+    let workers = workers.clamp(1, jobs.max(1));
+    if workers <= 1 || jobs <= 1 {
+        return scratch
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| f(i, s))
+            .collect();
+    }
+
+    // Deal the (index, &mut scratch) pairs round-robin to the workers;
+    // each worker owns its hand, so no locking is needed.
+    let mut hands: Vec<Vec<(usize, &mut S)>> = (0..workers)
+        .map(|w| Vec::with_capacity(jobs / workers + usize::from(w < jobs % workers)))
+        .collect();
+    for (i, s) in scratch.iter_mut().enumerate() {
+        hands[i % workers].push((i, s));
+    }
+
+    let mut out: Vec<Option<T>> = Vec::with_capacity(jobs);
+    out.resize_with(jobs, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = hands
+            .into_iter()
+            .map(|hand| {
+                let f = &f;
+                scope.spawn(move || {
+                    hand.into_iter()
+                        .map(|(i, s)| (i, f(i, s)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("parallel worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every job index is covered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_on_slices_sees_scratch_and_orders_results() {
+        let mut scratch: Vec<u64> = vec![0; 9];
+        for (call, workers) in [(1u64, 1usize), (2, 4)] {
+            let got = run_on_slices(&mut scratch, workers, |i, s| {
+                *s += 1; // scratch is genuinely mutable per job
+                (i as u64, *s)
+            });
+            assert_eq!(got.len(), 9);
+            for (i, &(idx, seen)) in got.iter().enumerate() {
+                assert_eq!(idx, i as u64, "results in index order");
+                assert_eq!(seen, call, "scratch persisted across calls");
+            }
+        }
+        assert!(scratch.iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        let got = run(17, |i| i * i);
+        assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_job() {
+        assert_eq!(run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(run(1, |i| i + 10), vec![10]);
+    }
+
+    /// One test covers every `set_threads` interaction — the override
+    /// is process-global, so splitting these across `#[test]` fns
+    /// would race under the parallel test runner.
+    #[test]
+    fn thread_override_semantics() {
+        let f = |i: usize| (i as f64).sqrt().sin();
+        set_threads(Some(1));
+        let serial = run(64, f);
+        set_threads(Some(8));
+        let parallel = run(64, f);
+        // Bit-identical, not just approximately equal.
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        set_threads(Some(32));
+        assert_eq!(effective_threads(4), 4);
+        assert_eq!(effective_threads(0), 1);
+        set_threads(None);
+        assert!(effective_threads(1000) >= 1);
+    }
+}

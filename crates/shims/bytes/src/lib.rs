@@ -1,0 +1,296 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset used by `econcast-proto`: [`BytesMut`] as a
+//! growable byte buffer with cheap front-consumption, [`Bytes`] as a
+//! frozen buffer, and the [`Buf`] / [`BufMut`] traits with big-endian
+//! integer accessors (upstream's defaults).
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (frozen [`BytesMut`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer that also supports consuming from the front.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor: everything before it has been consumed. Compacted
+    /// lazily so `advance`/`split_to` stay amortized O(1).
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Reclaims consumed front space when it dominates the allocation.
+    fn compact(&mut self) {
+        if self.head > 64 && self.head * 2 >= self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Splits off and returns the first `n` unconsumed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes are buffered.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let out = BytesMut {
+            data: self.data[self.head..self.head + n].to_vec(),
+            head: 0,
+        };
+        self.head += n;
+        self.compact();
+        out
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        self.data.drain(..self.head);
+        Bytes { data: self.data }
+    }
+
+    /// Copies the unconsumed bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.head..].to_vec()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Sequential big-endian reads from a buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Reads the next byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let hi = self.get_u8() as u16;
+        let lo = self.get_u8() as u16;
+        (hi << 8) | lo
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let hi = self.get_u16() as u32;
+        let lo = self.get_u16() as u32;
+        (hi << 16) | lo
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of slice");
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.head += n;
+        self.compact();
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        self.advance(1);
+        b
+    }
+}
+
+/// Sequential big-endian writes into a buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, v: &[u8]);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.data.extend_from_slice(v);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_u32(0xDEAD_BEEF);
+        assert_eq!(&b[..], &[0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF]);
+        let mut cur: &[u8] = &b;
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16(), 0x1234);
+        assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_and_split_to() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3, 4, 5]);
+        b.advance(2);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        let front = b.split_to(2);
+        assert_eq!(&front[..], &[3, 4]);
+        assert_eq!(&b[..], &[5]);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn freeze_drops_consumed_prefix() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[9, 8, 7]);
+        b.advance(1);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[8, 7]);
+    }
+
+    #[test]
+    fn index_mut_through_deref() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[0, 0, 0]);
+        b[1] ^= 0xFF;
+        assert_eq!(&b[..], &[0, 0xFF, 0]);
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&vec![7u8; 1000]);
+        for _ in 0..990 {
+            let _ = b.get_u8();
+        }
+        assert_eq!(b.len(), 10);
+        assert!(b.iter().all(|&x| x == 7));
+    }
+}

@@ -1,11 +1,10 @@
 //! Simulation configuration.
 
 use econcast_core::{NodeParams, ProtocolConfig, StepSchedule, Topology};
-use serde::{Deserialize, Serialize};
 
 /// How the transmitter's listener estimate `ĉ(t)` is derived from the
 /// ground truth at each packet boundary (Section V-C).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EstimatorKind {
     /// `ĉ = c` exactly — the idealized assumption of the numerical
     /// evaluation (Section VII-A).
@@ -38,7 +37,7 @@ pub enum EstimatorKind {
 /// on-phase (`duty` fraction of each period) every node harvests
 /// `ρ_i/duty`; during the off-phase nothing arrives. The long-run mean
 /// equals the configured budget `ρ_i` exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HarvestSpec {
     /// Full on+off cycle length (packet-time units).
     pub period: f64,
@@ -47,7 +46,7 @@ pub struct HarvestSpec {
 }
 
 /// How each node's multiplier step schedule is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScheduleSpec {
     /// Every node uses this exact schedule. The caller owns the
     /// unit-consistency of `δ` (see `StepSchedule`'s type-level note).
@@ -82,9 +81,9 @@ impl ScheduleSpec {
     }
 }
 
-/// Full description of one simulation run. Everything is serializable
-/// so experiment records are self-describing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Full description of one simulation run. Plain data throughout, so
+/// experiment records are self-describing.
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Connectivity. Cliques reproduce Section VII-A–D, grids VII-E.
     pub topology: Topology,
@@ -275,12 +274,13 @@ mod tests {
     }
 
     #[test]
-    fn config_round_trips_through_serde() {
+    fn config_clones_are_independent_and_valid() {
         let c = base();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.topology.len(), 5);
-        assert_eq!(back.seed, c.seed);
-        assert!(back.validate().is_ok());
+        let mut copy = c.clone();
+        assert!(copy.validate().is_ok());
+        copy.seed = c.seed + 1;
+        assert_eq!(c.seed + 1, copy.seed);
+        assert_eq!(copy.topology.len(), 5);
+        assert!(c.validate().is_ok());
     }
 }

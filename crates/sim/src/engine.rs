@@ -54,6 +54,11 @@ struct NodeRt {
     last_advance: f64,
     /// Number of currently transmitting neighbors.
     busy_neighbors: usize,
+    /// Number of neighbors currently in the listen state, maintained
+    /// incrementally at every listen-enter/exit (mirrors
+    /// `busy_neighbors`) so rate evaluations are O(1) instead of
+    /// O(degree).
+    listening_neighbors: usize,
     /// When the current listen period began (valid while listening).
     listen_since: f64,
     /// Last instant this node's neighborhood had ≥ 2 transmitters.
@@ -96,6 +101,13 @@ pub struct Simulator {
     packets_collided: u64,
     ping_histogram: Vec<u64>,
     deliveries: Vec<Delivery>,
+    /// Scratch for the ping-collision estimator (reused across
+    /// packets; the hot path allocates nothing).
+    ping_offsets: Vec<f64>,
+    /// Upper bound on genuinely live queue entries: per node at most
+    /// two dwell timers or one packet/ping event, plus one multiplier
+    /// update each, plus the global harvest edge.
+    live_event_bound: usize,
 }
 
 impl Simulator {
@@ -122,6 +134,7 @@ impl Simulator {
                     energy_snapshot: 0.0,
                     last_advance: 0.0,
                     busy_neighbors: 0,
+                    listening_neighbors: 0,
                     listen_since: 0.0,
                     last_interference: f64::NEG_INFINITY,
                     drift: cfg.clock_drift.as_ref().map_or(1.0, |d| d[i]),
@@ -152,6 +165,8 @@ impl Simulator {
             packets_collided: 0,
             ping_histogram: Vec::new(),
             deliveries: Vec::new(),
+            ping_offsets: Vec::new(),
+            live_event_bound: 3 * n + 2,
         };
         for i in 0..n {
             sim.reschedule(i);
@@ -179,11 +194,26 @@ impl Simulator {
             if t > t_end {
                 break;
             }
+            if !self.event_is_live(&event) {
+                self.queue.note_stale_drop();
+                continue;
+            }
             if !self.warmed && t >= warmup {
                 self.cross_warmup(warmup);
             }
             self.now = t;
             self.handle(event);
+            // Long runs with frequent rate changes strand invalidated
+            // timers in the heap; compact once they dominate.
+            if self.queue.wants_compaction(self.live_event_bound) {
+                let nodes = &self.nodes;
+                self.queue.compact(|ev| match *ev {
+                    Event::Transition { node, gen, .. }
+                    | Event::PacketEnd { node, gen }
+                    | Event::PingIntervalEnd { node, gen } => nodes[node].gen == gen,
+                    Event::EtaUpdate { .. } | Event::HarvestSwitch { .. } => true,
+                });
+            }
         }
         if !self.warmed {
             self.cross_warmup(warmup);
@@ -196,6 +226,8 @@ impl Simulator {
         let elapsed = t_end - warmup;
         SimReport {
             elapsed,
+            stale_events_dropped: self.queue.stale_drops(),
+            heap_compactions: self.queue.compactions(),
             groupput: self.reception_units as f64 * PACKET_TIME / elapsed,
             anyput: self.anyput_units as f64 * PACKET_TIME / elapsed,
             packets_transmitted: self.packets_transmitted,
@@ -290,12 +322,31 @@ impl Simulator {
         )
     }
 
-    /// Number of node `i`'s neighbors currently in the listen state.
+    /// Number of node `i`'s neighbors currently in the listen state
+    /// (incrementally maintained; the O(degree) rescan survives as a
+    /// debug cross-check).
     fn listening_neighbors(&self, i: usize) -> usize {
-        self.neighbors[i]
-            .iter()
-            .filter(|&&j| self.nodes[j].state == NodeState::Listen)
-            .count()
+        debug_assert_eq!(
+            self.nodes[i].listening_neighbors,
+            self.neighbors[i]
+                .iter()
+                .filter(|&&j| self.nodes[j].state == NodeState::Listen)
+                .count(),
+            "listening_neighbors counter out of sync for node {i}"
+        );
+        self.nodes[i].listening_neighbors
+    }
+
+    /// Adjusts every neighbor's listening count when node `i` enters
+    /// (`+1`) or leaves (`-1`) the listen state.
+    fn shift_listening_neighbors(&mut self, i: usize, delta: isize) {
+        for idx in 0..self.neighbors[i].len() {
+            let j = self.neighbors[i][idx];
+            let c = &mut self.nodes[j].listening_neighbors;
+            *c = c
+                .checked_add_signed(delta)
+                .expect("listening_neighbors underflow");
+        }
     }
 
     /// Invalidates node `i`'s pending timers and schedules fresh ones
@@ -345,12 +396,21 @@ impl Simulator {
         }
     }
 
+    /// Whether a popped event is still valid (generation-stamped
+    /// events are invalidated by bumping the owning node's counter).
+    fn event_is_live(&self, event: &Event) -> bool {
+        match *event {
+            Event::Transition { node, gen, .. }
+            | Event::PacketEnd { node, gen }
+            | Event::PingIntervalEnd { node, gen } => self.nodes[node].gen == gen,
+            Event::EtaUpdate { .. } | Event::HarvestSwitch { .. } => true,
+        }
+    }
+
     fn handle(&mut self, event: Event) {
+        debug_assert!(self.event_is_live(&event), "stale event reached handle()");
         match event {
-            Event::Transition { node, gen, to } => {
-                if self.nodes[node].gen != gen {
-                    return; // stale timer
-                }
+            Event::Transition { node, to, .. } => {
                 match (self.nodes[node].state, to) {
                     (NodeState::Sleep, NodeState::Listen) => self.wake(node),
                     (NodeState::Listen, NodeState::Sleep) => self.go_to_sleep(node),
@@ -360,16 +420,10 @@ impl Simulator {
                     }
                 }
             }
-            Event::PacketEnd { node, gen } => {
-                if self.nodes[node].gen != gen {
-                    return;
-                }
+            Event::PacketEnd { node, .. } => {
                 self.packet_end(node);
             }
-            Event::PingIntervalEnd { node, gen } => {
-                if self.nodes[node].gen != gen {
-                    return;
-                }
+            Event::PingIntervalEnd { node, .. } => {
                 self.ping_interval_end(node);
             }
             Event::EtaUpdate { node } => self.eta_update(node),
@@ -403,6 +457,7 @@ impl Simulator {
         debug_assert_eq!(self.nodes[i].busy_neighbors, 0, "woke under a busy channel");
         self.advance(i);
         self.set_state(i, NodeState::Listen);
+        self.shift_listening_neighbors(i, 1);
         self.nodes[i].listen_since = self.now;
         self.reschedule(i);
     }
@@ -411,6 +466,7 @@ impl Simulator {
         self.advance(i);
         self.finalize_burst(i);
         self.set_state(i, NodeState::Sleep);
+        self.shift_listening_neighbors(i, -1);
         self.nodes[i].slept_since_burst = true;
         self.reschedule(i);
     }
@@ -446,6 +502,7 @@ impl Simulator {
         // Leaving listen ends any receive burst in progress.
         self.finalize_burst(u);
         self.set_state(u, NodeState::Transmit);
+        self.shift_listening_neighbors(u, -1);
         self.nodes[u].gen += 1;
         let gen = self.nodes[u].gen;
         self.nodes[u].packet_start = self.now;
@@ -583,6 +640,7 @@ impl Simulator {
 
     fn end_transmission(&mut self, u: usize) {
         self.set_state(u, NodeState::Listen);
+        self.shift_listening_neighbors(u, 1);
         self.nodes[u].listen_since = self.now;
         for idx in 0..self.neighbors[u].len() {
             let j = self.neighbors[u][idx];
@@ -631,17 +689,24 @@ impl Simulator {
                     // All pings collide unless there is exactly one.
                     return if true_count == 1 { 1.0 } else { 0.0 };
                 }
-                let offsets: Vec<f64> = (0..true_count)
-                    .map(|_| self.rng.gen::<f64>() * window)
-                    .collect();
-                let decoded = offsets
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, &oi)| {
-                        offsets
-                            .iter()
-                            .enumerate()
-                            .all(|(j, &oj)| *i == j || (oi - oj).abs() >= ping_len)
+                // A ping decodes iff no other ping lands within
+                // `ping_len` of it. Sorting the offsets turns the
+                // all-pairs check into a neighbor-gap check:
+                // O(c log c) on a reused buffer instead of O(c²) on a
+                // fresh allocation. The RNG draw order is unchanged,
+                // so fixed-seed runs are bit-identical.
+                self.ping_offsets.clear();
+                for _ in 0..true_count {
+                    self.ping_offsets.push(self.rng.gen::<f64>() * window);
+                }
+                self.ping_offsets
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("offsets are finite"));
+                let o = &self.ping_offsets;
+                let decoded = (0..o.len())
+                    .filter(|&i| {
+                        let clear_left = i == 0 || o[i] - o[i - 1] >= ping_len;
+                        let clear_right = i + 1 == o.len() || o[i + 1] - o[i] >= ping_len;
+                        clear_left && clear_right
                     })
                     .count();
                 decoded as f64
@@ -653,7 +718,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use econcast_core::{ProtocolConfig, StepSchedule, ThroughputMode, Topology};
+    use econcast_core::{ProtocolConfig, ThroughputMode, Topology};
 
     fn uw_params() -> NodeParams {
         NodeParams::from_microwatts(10.0, 500.0, 500.0)
@@ -820,10 +885,18 @@ mod tests {
 
     #[test]
     fn ping_interval_reduces_throughput() {
-        let base = Simulator::new(quick_cfg(5, 0.5, 150_000.0, 31)).unwrap().run();
-        let mut cfg = quick_cfg(5, 0.5, 150_000.0, 31);
-        cfg.ping_interval = 0.2; // 20% tax after every packet
-        let taxed = Simulator::new(cfg).unwrap().run();
+        // Warm-start the multipliers: from a cold start the adaptation
+        // transient dominates the ~20% ping tax and the comparison is
+        // seed noise.
+        let mk = |ping: f64| {
+            let mut cfg = quick_cfg(5, 0.5, 400_000.0, 31);
+            cfg.eta0 = eta_star(5, 0.5);
+            cfg.warmup = 100_000.0;
+            cfg.ping_interval = ping;
+            Simulator::new(cfg).unwrap().run()
+        };
+        let base = mk(0.0);
+        let taxed = mk(0.2); // 20% tax after every packet
         assert!(
             taxed.groupput < base.groupput,
             "ping tax did not reduce throughput: {} vs {}",
@@ -856,6 +929,57 @@ mod tests {
             .iter()
             .flat_map(|n| &n.latency_samples)
             .all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn stale_events_accounted_and_heap_bounded() {
+        // Frequent multiplier updates invalidate pending dwell timers
+        // constantly; the queue must count the corpses and keep its
+        // heap within the compaction envelope.
+        let mut cfg = quick_cfg(6, 0.5, 200_000.0, 61);
+        cfg.schedule = crate::config::ScheduleSpec::Shared(econcast_core::StepSchedule::Constant {
+            delta: 1e-3,
+            tau: 5.0, // an eta update every 5 packet-times per node
+        });
+        let r = Simulator::new(cfg).unwrap().run();
+        assert!(
+            r.stale_events_dropped > 0,
+            "rate churn must strand some timers"
+        );
+        assert!(r.packets_transmitted > 0);
+    }
+
+    #[test]
+    fn sorted_ping_estimator_matches_all_pairs_reference() {
+        let mut cfg = quick_cfg(5, 0.5, 1000.0, 53);
+        cfg.ping_interval = 8.0 / 40.0;
+        cfg.estimator = EstimatorKind::PingCollision {
+            ping_len: 0.4 / 40.0,
+        };
+        let ping_len = 0.4 / 40.0;
+        let mut sim = Simulator::new(cfg).unwrap();
+        // Replay the estimator's RNG stream through the naive
+        // all-pairs rule and compare decisions draw for draw.
+        let window = (8.0 / 40.0f64 - ping_len).max(0.0);
+        for c in 2usize..8 {
+            for _ in 0..200 {
+                let mut probe = sim.rng.clone();
+                let offsets: Vec<f64> =
+                    (0..c).map(|_| probe.gen::<f64>() * window).collect();
+                let expected = offsets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, &oi)| {
+                        offsets
+                            .iter()
+                            .enumerate()
+                            .all(|(j, &oj)| *i == j || (oi - oj).abs() >= ping_len)
+                    })
+                    .count() as f64;
+                let got = sim.estimate_listeners(c);
+                assert_eq!(got, expected, "c={c} offsets {offsets:?}");
+            }
+        }
     }
 
     #[test]

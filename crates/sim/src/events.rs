@@ -87,11 +87,23 @@ impl PartialOrd for Scheduled {
     }
 }
 
-/// A deterministic discrete-event queue.
+/// A deterministic discrete-event queue with lazy invalidation
+/// accounting.
+///
+/// Stale entries (whose generation no longer matches) are normally
+/// dropped as they surface at [`EventQueue::pop`]; the engine reports
+/// each one via [`EventQueue::note_stale_drop`]. Long runs with
+/// frequent rate changes can nevertheless accumulate stale entries
+/// faster than they surface (every multiplier update invalidates up to
+/// two pending timers per node), so the queue also supports explicit
+/// [`EventQueue::compact`]ion, which removes every dead entry while
+/// preserving the `(time, seq)` pop order exactly.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,
+    stale_drops: u64,
+    compactions: u64,
 }
 
 impl EventQueue {
@@ -115,6 +127,49 @@ impl EventQueue {
     /// Pops the earliest event, returning `(time, event)`.
     pub fn pop(&mut self) -> Option<(f64, Event)> {
         self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Records one stale entry dropped lazily by the consumer at pop
+    /// time.
+    pub fn note_stale_drop(&mut self) {
+        self.stale_drops += 1;
+    }
+
+    /// Total stale entries discarded so far — lazily at pop time plus
+    /// eagerly by [`EventQueue::compact`].
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// Number of compaction passes performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Removes every entry for which `is_live` returns `false`,
+    /// counting them as stale drops. Relative order of the survivors is
+    /// unchanged (entries keep their original `(time, seq)` keys), so
+    /// compaction is invisible to the simulation.
+    ///
+    /// Returns the number of entries removed.
+    pub fn compact(&mut self, is_live: impl Fn(&Event) -> bool) -> usize {
+        let before = self.heap.len();
+        let old = std::mem::take(&mut self.heap);
+        let mut kept: Vec<Scheduled> = Vec::with_capacity(before);
+        kept.extend(old.into_iter().filter(|s| is_live(&s.event)));
+        let removed = before - kept.len();
+        self.stale_drops += removed as u64;
+        self.compactions += 1;
+        self.heap = BinaryHeap::from(kept);
+        removed
+    }
+
+    /// Whether the heap has outgrown `live_bound` (an upper bound on
+    /// the number of genuinely live entries) enough that a compaction
+    /// pass pays for itself: stale entries exceeding 4× the live
+    /// bound.
+    pub fn wants_compaction(&self, live_bound: usize) -> bool {
+        self.heap.len() > live_bound.saturating_mul(4).max(64)
     }
 
     /// Number of pending entries (including stale ones awaiting lazy
@@ -170,6 +225,65 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(0.5, ev(2));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_counts_stale() {
+        let mut q = EventQueue::new();
+        // Interleave live (even node) and stale (odd node) entries,
+        // with ties to exercise seq-order preservation.
+        for i in 0..100usize {
+            q.schedule((i / 2) as f64, ev(i));
+        }
+        assert_eq!(q.len(), 100);
+        let removed = q.compact(|e| match e {
+            Event::EtaUpdate { node } => node % 2 == 0,
+            _ => true,
+        });
+        assert_eq!(removed, 50);
+        assert_eq!(q.stale_drops(), 50);
+        assert_eq!(q.compactions(), 1);
+        assert_eq!(q.len(), 50);
+        // Survivors pop in the exact original order.
+        let mut prev = (f64::NEG_INFINITY, 0usize);
+        let mut popped = 0;
+        while let Some((t, e)) = q.pop() {
+            let node = match e {
+                Event::EtaUpdate { node } => node,
+                _ => unreachable!(),
+            };
+            assert_eq!(node % 2, 0);
+            assert!(
+                t > prev.0 || (t == prev.0 && node > prev.1),
+                "order violated: {prev:?} then ({t}, {node})"
+            );
+            prev = (t, node);
+            popped += 1;
+        }
+        assert_eq!(popped, 50);
+    }
+
+    #[test]
+    fn compaction_trigger_threshold() {
+        let mut q = EventQueue::new();
+        for i in 0..64 {
+            q.schedule(i as f64, ev(i));
+        }
+        // 64 entries never trigger (floor).
+        assert!(!q.wants_compaction(1));
+        q.schedule(64.0, ev(64));
+        assert!(q.wants_compaction(1)); // 65 > max(4·1, 64)
+        assert!(!q.wants_compaction(17)); // 65 ≤ max(4·17, 64)
+    }
+
+    #[test]
+    fn lazy_drop_accounting() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ev(1));
+        assert_eq!(q.stale_drops(), 0);
+        let _ = q.pop();
+        q.note_stale_drop();
+        assert_eq!(q.stale_drops(), 1);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Measurement collection: throughput, burstiness, latency, and the
 //! per-node power audit of Section VIII-B.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-node accumulated statistics over the measurement window.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NodeStats {
     /// Time spent in each state (packet-time units).
     pub time_sleep: f64,
@@ -74,7 +73,7 @@ impl NodeStats {
 }
 
 /// Summary statistics over a latency sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
     /// Number of samples.
     pub count: usize,
@@ -117,7 +116,7 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
 
 /// One successful packet delivery (recorded only when
 /// `SimConfig::record_deliveries` is set).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Delivery {
     /// Packet end time.
     pub time: f64,
@@ -136,10 +135,16 @@ impl Delivery {
 }
 
 /// The full outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Measurement-window length (t_end − warmup).
     pub elapsed: f64,
+    /// Invalidated timers discarded by the event queue over the whole
+    /// run (lazily at pop plus eagerly by compaction) — a health
+    /// metric for the lazy-invalidation scheme.
+    pub stale_events_dropped: u64,
+    /// Number of event-heap compaction passes performed.
+    pub heap_compactions: u64,
     /// Groupput: receiver-packets delivered per unit time (Def. 1).
     pub groupput: f64,
     /// Anyput: packets with ≥1 receiver per unit time (Def. 2).
@@ -273,6 +278,8 @@ mod tests {
         b.latency_samples = vec![20.0, 30.0];
         let r = SimReport {
             elapsed: 100.0,
+            stale_events_dropped: 0,
+            heap_compactions: 0,
             groupput: 0.0,
             anyput: 0.0,
             packets_transmitted: 0,
@@ -298,6 +305,8 @@ mod tests {
         n.energy_consumed = 110.0; // avg power 1.1 over elapsed 100
         let r = SimReport {
             elapsed: 100.0,
+            stale_events_dropped: 0,
+            heap_compactions: 0,
             groupput: 0.0,
             anyput: 0.0,
             packets_transmitted: 0,

@@ -4,10 +4,44 @@
 //! π^η_w = (1/Z_η) · exp[ (T_w − Σ_{i: w_i=l} η_i L_i − Σ_{i: w_i=x} η_i X_i) / σ ]
 //! ```
 //!
-//! All computations run in the log domain with a streaming
-//! log-sum-exp, because at the paper's small temperatures
-//! (σ = 0.1 ⇒ exponents of ±90 for N = 10) naive exponentiation
-//! over- or underflows.
+//! All computations run in the log domain because at the paper's small
+//! temperatures (σ = 0.1 ⇒ exponents of ±90 for N = 10) naive
+//! exponentiation over- or underflows.
+//!
+//! ## The fast kernel
+//!
+//! [`summarize`] is the inner loop of Algorithm 1 and runs tens of
+//! thousands of times per (P4) solve, so it is built for speed:
+//!
+//! * **Block decomposition.** `W` splits into `N + 2` equal blocks of
+//!   `2^{N−1}` states — the cardinality formula made literal: the
+//!   transmitter-free states split on the last node's listen bit, plus
+//!   one block per transmitter `t` (the listener subsets of the other
+//!   nodes). Within a block the transmit cost and any pinned
+//!   listener's cost are constant, and equal block sizes mean the
+//!   round-robin fan-out below is load-balanced by construction.
+//! * **Gray-code enumeration.** Each block walks its listener subsets
+//!   in reflected-Gray-code order: consecutive states differ in exactly
+//!   one listener, so the energy-cost term of the exponent updates in
+//!   O(1) per state (one add/sub) instead of O(N) bit-scans.
+//! * **Analytic maximum + one pass.** The per-block maximum exponent
+//!   has a closed form (choose exactly the listeners with positive
+//!   marginal weight), so the usual max-then-accumulate double pass
+//!   collapses into a single accumulation pass per block.
+//! * **Interval marginals.** Listen-time numerators `α_i` come from a
+//!   running-mass telescoping trick: when node `i`'s bit flips in, the
+//!   current block mass is marked; when it flips out, the difference is
+//!   added to `α_i`. O(1) per state instead of O(popcount).
+//! * **Parallel blocks, deterministic merge.** Blocks are independent
+//!   and are fanned out over the [`econcast_parallel`] pool; partial
+//!   sums are always merged sequentially in block order, so results
+//!   are bit-identical at every thread count.
+//!
+//! [`SummaryWorkspace`] owns every buffer the kernel needs so repeated
+//! evaluations (the dual-descent loop, the oracle bounds) allocate
+//! nothing after construction. The original two-pass enumeration
+//! survives as [`summarize_naive`], the golden reference for the
+//! equivalence property tests and the benchmark baseline.
 
 use crate::space::StateSpace;
 use crate::state::NetworkState;
@@ -53,7 +87,7 @@ impl<'a> GibbsParams<'a> {
 }
 
 /// Aggregates of the Gibbs distribution needed by Algorithm 1 and the
-/// burstiness analysis, computed in two streaming passes over `W`.
+/// burstiness analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GibbsSummary {
     /// `log Z_η` — the log partition function.
@@ -97,9 +131,449 @@ impl GibbsSummary {
     }
 }
 
-/// Evaluates the Gibbs distribution summary by exact enumeration of
-/// `W` (two passes: max exponent, then normalized accumulation).
+/// One block of `W`: a fixed transmitter (or none), an optional
+/// always-listening node, and the Gray-coded subsets of the remaining
+/// listeners.
+#[derive(Debug, Clone)]
+struct Block {
+    /// The transmitting node, `None` for the transmitter-free blocks.
+    transmitter: Option<usize>,
+    /// A node pinned to the listen state throughout the block (the
+    /// transmitter-free states are split on the last node's listen
+    /// bit so that *every* block walks exactly `2^{N−1}` states —
+    /// equal-sized jobs for the worker pool).
+    fixed_listener: Option<usize>,
+    /// Compact listener-bit index → node index (skips the transmitter
+    /// / fixed listener).
+    remap: Vec<usize>,
+}
+
+/// The precomputed, cache-friendly description of `W` for a fixed node
+/// count: the block decomposition used by the streaming kernel — the
+/// cardinality formula `|W| = (N+2)·2^{N−1}` realized literally as
+/// `N + 2` blocks of `2^{N−1}` Gray-coded states each. The Gray-code
+/// flip sequence itself needs no storage — the bit flipped between
+/// subsets `k` and `k+1` is `trailing_zeros(k+1)`.
+#[derive(Debug, Clone)]
+pub struct StateTable {
+    n: usize,
+    blocks: Vec<Block>,
+}
+
+impl StateTable {
+    /// Builds the block decomposition for `n` nodes (same `n` limits as
+    /// [`StateSpace`]).
+    pub fn new(n: usize) -> Self {
+        // Reuse StateSpace's validation of n.
+        let _ = StateSpace::new(n);
+        let mut blocks = Vec::with_capacity(n + 2);
+        // The 2^N transmitter-free states, split on node n−1's listen
+        // bit into two equal 2^{N−1} halves.
+        blocks.push(Block {
+            transmitter: None,
+            fixed_listener: None,
+            remap: (0..n - 1).collect(),
+        });
+        blocks.push(Block {
+            transmitter: None,
+            fixed_listener: Some(n - 1),
+            remap: (0..n - 1).collect(),
+        });
+        for t in 0..n {
+            blocks.push(Block {
+                transmitter: Some(t),
+                fixed_listener: None,
+                remap: (0..n).filter(|&i| i != t).collect(),
+            });
+        }
+        StateTable { n, blocks }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The exact maximum log-weight over all of `W` in closed form:
+    /// within a block the optimum keeps exactly the listeners whose
+    /// marginal exponent contribution is positive (groupput), or the
+    /// single cheapest listener if any is worth waking (anyput).
+    pub fn max_log_weight(&self, params: &GibbsParams<'_>) -> f64 {
+        params.check();
+        let inv_sigma = 1.0 / params.sigma;
+        self.blocks
+            .iter()
+            .map(|b| block_max_log_weight(b, params, inv_sigma))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// The analytic maximum exponent of one block (see
+/// [`StateTable::max_log_weight`]).
+fn block_max_log_weight(block: &Block, params: &GibbsParams<'_>, inv_sigma: f64) -> f64 {
+    // Unavoidable exponent contributions: the transmit cost and the
+    // pinned listener's cost.
+    let mut base = match block.transmitter {
+        Some(t) => -params.eta[t] * params.nodes[t].transmit_w * inv_sigma,
+        None => 0.0,
+    };
+    if let Some(f) = block.fixed_listener {
+        base -= params.eta[f] * params.nodes[f].listen_w * inv_sigma;
+    }
+    match block.transmitter {
+        // No transmitter ⇒ T_w = 0 and every free listener only
+        // costs: the empty free subset is optimal.
+        None => base,
+        Some(_) => match params.mode {
+            // T_w = c_w: include exactly the listeners with positive
+            // marginal weight (1 − η_i L_i)/σ.
+            ThroughputMode::Groupput => {
+                let mut m = base;
+                for &i in &block.remap {
+                    let gain = (1.0 - params.eta[i] * params.nodes[i].listen_w) * inv_sigma;
+                    if gain > 0.0 {
+                        m += gain;
+                    }
+                }
+                m
+            }
+            // T_w = 1{c_w ≥ 1}: either nobody listens, or the single
+            // cheapest listener does (extra listeners only add cost).
+            ThroughputMode::Anyput => {
+                let min_cost = block
+                    .remap
+                    .iter()
+                    .map(|&i| params.eta[i] * params.nodes[i].listen_w * inv_sigma)
+                    .fold(f64::INFINITY, f64::min);
+                if min_cost.is_finite() {
+                    base + (1.0 * inv_sigma - min_cost).max(0.0)
+                } else {
+                    base // single-node network: no possible listener
+                }
+            }
+        },
+    }
+}
+
+/// Scalar partial sums of one block, shifted by the block's analytic
+/// maximum exponent. `alpha` partials live in the workspace scratch.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockSums {
+    max_lw: f64,
+    z: f64,
+    tw: f64,
+    /// Σ u_w · lw_w with the *unshifted* log-weight (for the entropy).
+    exp_lw: f64,
+    burst: f64,
+    burst_exit: f64,
+}
+
+/// Per-block mutable scratch, preallocated once per workspace.
+#[derive(Debug, Clone)]
+struct BlockScratch {
+    /// α numerators of this block (indexed by node).
+    alpha: Vec<f64>,
+    /// Running-mass marks for the interval trick (indexed by node).
+    mark: Vec<f64>,
+    /// The block's scalar partial sums (written by the kernel, read by
+    /// the merge — kept here so the fan-out returns nothing and the
+    /// steady state allocates nothing).
+    sums: BlockSums,
+}
+
+/// Reusable buffers and the precomputed [`StateTable`] for repeated
+/// summary evaluations. Construct once per solver / per node count;
+/// every [`SummaryWorkspace::summarize`] call after the first performs
+/// no heap allocation besides the returned summary's `alpha`/`beta`
+/// clones (use [`SummaryWorkspace::alpha`]/[`beta`](Self::beta) to
+/// avoid even those in hot loops).
+#[derive(Debug, Clone)]
+pub struct SummaryWorkspace {
+    table: StateTable,
+    /// Listen-cost deltas `η_i L_i / σ` for the current evaluation.
+    d: Vec<f64>,
+    /// Per-listener-count throughput `T(m)` for the current mode.
+    t_raw: Vec<f64>,
+    /// Per-listener-count capture-release rate `e^{−signal(m)/σ}`.
+    exit: Vec<f64>,
+    scratch: Vec<BlockScratch>,
+    /// Merged marginal numerators (then normalized in place).
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    log_partition: f64,
+    expected_throughput: f64,
+    entropy: f64,
+    burst_mass: f64,
+    burst_exit_mass: f64,
+}
+
+/// Below this node count the whole summary runs serially: the pool
+/// spawns scoped OS threads per call (it deliberately has no
+/// persistent workers), which costs on the order of 100 µs — worth it
+/// only once a block (~`2^{N−1}` exponentials, ≈ 60 µs at N = 13)
+/// clearly dominates the dispatch.
+const PARALLEL_MIN_NODES: usize = 14;
+
+impl SummaryWorkspace {
+    /// Allocates a workspace for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let table = StateTable::new(n);
+        let scratch = (0..n + 2)
+            .map(|_| BlockScratch {
+                alpha: vec![0.0; n],
+                mark: vec![0.0; n],
+                sums: BlockSums::default(),
+            })
+            .collect();
+        SummaryWorkspace {
+            table,
+            d: vec![0.0; n],
+            t_raw: vec![0.0; n + 1],
+            exit: vec![0.0; n + 1],
+            scratch,
+            alpha: vec![0.0; n],
+            beta: vec![0.0; n],
+            log_partition: 0.0,
+            expected_throughput: 0.0,
+            entropy: 0.0,
+            burst_mass: 0.0,
+            burst_exit_mass: 0.0,
+        }
+    }
+
+    /// Number of nodes this workspace serves.
+    pub fn num_nodes(&self) -> usize {
+        self.table.n
+    }
+
+    /// Evaluates the Gibbs summary in place; read the results through
+    /// the accessors. Allocation-free after construction.
+    pub fn compute(&mut self, params: &GibbsParams<'_>) {
+        params.check();
+        let n = self.table.n;
+        assert_eq!(params.nodes.len(), n, "workspace sized for {n} nodes");
+        let inv_sigma = 1.0 / params.sigma;
+
+        for i in 0..n {
+            self.d[i] = params.eta[i] * params.nodes[i].listen_w * inv_sigma;
+        }
+        for m in 0..=n {
+            self.t_raw[m] = params.mode.state_throughput(true, m);
+            self.exit[m] = (-params.mode.listener_signal(m as f64) * inv_sigma).exp();
+        }
+
+        // Fan the blocks out. Each job reads the shared tables and
+        // writes only its own scratch (partials included), so the
+        // fan-out returns unit and the steady state allocates nothing;
+        // partials are merged sequentially in block order below, so
+        // the result is bit-identical at any worker count.
+        let table = &self.table;
+        let d = &self.d;
+        let t_raw = &self.t_raw;
+        let exit = &self.exit;
+        let workers = if n >= PARALLEL_MIN_NODES {
+            econcast_parallel::effective_threads(n + 2)
+        } else {
+            1
+        };
+        econcast_parallel::run_on_slices(
+            &mut self.scratch,
+            workers,
+            |b, scratch: &mut BlockScratch| {
+                scratch.sums =
+                    accumulate_block(&table.blocks[b], params, inv_sigma, d, t_raw, exit, scratch);
+            },
+        );
+
+        // Deterministic merge in block order.
+        let global_max = self
+            .scratch
+            .iter()
+            .map(|s| s.sums.max_lw)
+            .fold(f64::NEG_INFINITY, f64::max);
+        debug_assert!(global_max.is_finite());
+        let mut z = 0.0;
+        let mut tw_acc = 0.0;
+        let mut exp_acc = 0.0;
+        let mut burst_acc = 0.0;
+        let mut burst_exit_acc = 0.0;
+        self.alpha.iter_mut().for_each(|a| *a = 0.0);
+        self.beta.iter_mut().for_each(|b| *b = 0.0);
+        for (b, scratch) in self.scratch.iter().enumerate() {
+            let s = &scratch.sums;
+            let scale = (s.max_lw - global_max).exp();
+            z += scale * s.z;
+            tw_acc += scale * s.tw;
+            exp_acc += scale * s.exp_lw;
+            burst_acc += scale * s.burst;
+            burst_exit_acc += scale * s.burst_exit;
+            if let Some(t) = self.table.blocks[b].transmitter {
+                self.beta[t] += scale * s.z;
+            }
+            for i in 0..n {
+                self.alpha[i] += scale * scratch.alpha[i];
+            }
+        }
+
+        let inv_z = 1.0 / z;
+        self.log_partition = global_max + z.ln();
+        self.expected_throughput = tw_acc * inv_z;
+        // H(π) = log Z − E[log weight] (log π_w = lw_w − log Z).
+        self.entropy = self.log_partition - exp_acc * inv_z;
+        self.burst_mass = burst_acc * inv_z;
+        self.burst_exit_mass = burst_exit_acc * inv_z;
+        for i in 0..n {
+            self.alpha[i] *= inv_z;
+            self.beta[i] *= inv_z;
+        }
+    }
+
+    /// Listen-time fractions `α` of the last [`compute`](Self::compute).
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Transmit-time fractions `β` of the last compute.
+    pub fn beta(&self) -> &[f64] {
+        &self.beta
+    }
+
+    /// `log Z_η` of the last compute.
+    pub fn log_partition(&self) -> f64 {
+        self.log_partition
+    }
+
+    /// `E_π[T_w]` of the last compute.
+    pub fn expected_throughput(&self) -> f64 {
+        self.expected_throughput
+    }
+
+    /// Materializes the last compute as an owned [`GibbsSummary`].
+    pub fn to_summary(&self) -> GibbsSummary {
+        GibbsSummary {
+            log_partition: self.log_partition,
+            alpha: self.alpha.clone(),
+            beta: self.beta.clone(),
+            expected_throughput: self.expected_throughput,
+            entropy: self.entropy,
+            burst_mass: self.burst_mass,
+            burst_exit_mass: self.burst_exit_mass,
+        }
+    }
+
+    /// Evaluates and materializes in one call.
+    pub fn summarize(&mut self, params: &GibbsParams<'_>) -> GibbsSummary {
+        self.compute(params);
+        self.to_summary()
+    }
+}
+
+/// The streaming kernel for one block: a single Gray-code pass with
+/// incremental exponent, analytic shift, and interval marginals.
+fn accumulate_block(
+    block: &Block,
+    params: &GibbsParams<'_>,
+    inv_sigma: f64,
+    d: &[f64],
+    t_raw: &[f64],
+    exit: &[f64],
+    scratch: &mut BlockScratch,
+) -> BlockSums {
+    let width = block.remap.len();
+    let max_lw = block_max_log_weight(block, params, inv_sigma);
+    let mut base = match block.transmitter {
+        Some(t) => -params.eta[t] * params.nodes[t].transmit_w * inv_sigma,
+        None => 0.0,
+    };
+    let has_tx = block.transmitter.is_some();
+
+    for &i in &block.remap {
+        scratch.alpha[i] = 0.0;
+    }
+    if let Some(f) = block.fixed_listener {
+        scratch.alpha[f] = 0.0;
+        base -= d[f];
+    }
+
+    // State 0: only the pinned listener (if any) is awake.
+    let mut cost = 0.0f64; // Σ d_i over the free listeners (base holds the rest)
+    let mut m = usize::from(block.fixed_listener.is_some()); // current listener count
+    let mut listeners = 0u64; // current compact listener mask
+    let mut mass = 0.0f64; // running Σ u over states visited so far
+
+    let mut sums = BlockSums {
+        max_lw,
+        ..BlockSums::default()
+    };
+    let t_of = |m: usize| if has_tx { t_raw[m] } else { 0.0 };
+
+    let count = 1u64 << width;
+    let mut k = 0u64;
+    loop {
+        // Accumulate the current state.
+        let lw = t_of(m) * inv_sigma + base - cost;
+        debug_assert!(lw <= max_lw + 1e-9 * (1.0 + max_lw.abs()));
+        let u = (lw - max_lw).exp();
+        sums.z += u;
+        sums.tw += u * t_of(m);
+        sums.exp_lw += u * lw;
+        if has_tx && m >= 1 {
+            sums.burst += u;
+            sums.burst_exit += u * exit[m];
+        }
+        mass += u;
+
+        k += 1;
+        if k == count {
+            break;
+        }
+        // Gray step: flip the bit at trailing_zeros(k).
+        let j = k.trailing_zeros() as usize;
+        let node = block.remap[j];
+        let bit = 1u64 << j;
+        if listeners & bit == 0 {
+            listeners |= bit;
+            cost += d[node];
+            m += 1;
+            // Node enters the listener set: everything accumulated
+            // from here until it leaves belongs to α_node.
+            scratch.mark[node] = mass;
+        } else {
+            listeners &= !bit;
+            cost -= d[node];
+            m -= 1;
+            scratch.alpha[node] += mass - scratch.mark[node];
+        }
+    }
+    // Close the intervals still open at the end of the walk.
+    let mut rest = listeners;
+    while rest != 0 {
+        let j = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        let node = block.remap[j];
+        scratch.alpha[node] += mass - scratch.mark[node];
+    }
+    // The pinned listener listened through the whole block.
+    if let Some(f) = block.fixed_listener {
+        scratch.alpha[f] += mass;
+    }
+    sums
+}
+
+/// Evaluates the Gibbs distribution summary with the streaming
+/// Gray-code kernel (see the module docs). Allocates a fresh
+/// [`SummaryWorkspace`]; hot loops should hold their own workspace and
+/// call [`SummaryWorkspace::compute`] instead.
 pub fn summarize(params: &GibbsParams<'_>) -> GibbsSummary {
+    params.check();
+    SummaryWorkspace::new(params.nodes.len()).summarize(params)
+}
+
+/// The original two-pass enumeration kernel, kept as the golden
+/// reference for the equivalence property tests and as the benchmark
+/// baseline. Do not use in hot paths.
+#[doc(hidden)]
+pub fn summarize_naive(params: &GibbsParams<'_>) -> GibbsSummary {
     params.check();
     let n = params.nodes.len();
     let space = StateSpace::new(n);
@@ -155,22 +629,21 @@ pub fn summarize(params: &GibbsParams<'_>) -> GibbsSummary {
 
 /// The full probability vector aligned with [`StateSpace::iter`] order.
 /// Only sensible for small `n`; used by tests and the detailed-balance
-/// checks.
+/// checks. Built on the analytic maximum of [`StateTable`], so a
+/// single pass suffices.
 pub fn distribution(params: &GibbsParams<'_>) -> Vec<(NetworkState, f64)> {
     params.check();
     let space = StateSpace::new(params.nodes.len());
-    let mut max_lw = f64::NEG_INFINITY;
-    for w in space.iter() {
-        max_lw = max_lw.max(params.log_weight(&w));
-    }
+    let max_lw = StateTable::new(params.nodes.len()).max_log_weight(params);
+    let mut z = 0.0;
     let mut out: Vec<(NetworkState, f64)> = space
         .iter()
         .map(|w| {
             let u = (params.log_weight(&w) - max_lw).exp();
+            z += u;
             (w, u)
         })
         .collect();
-    let z: f64 = out.iter().map(|(_, u)| u).sum();
     for (_, u) in &mut out {
         *u /= z;
     }
@@ -186,6 +659,187 @@ mod tests {
 
     fn homogeneous(n: usize) -> Vec<NodeParams> {
         vec![NodeParams::from_microwatts(10.0, 500.0, 500.0); n]
+    }
+
+    /// Heterogeneous instance deterministically derived from a seed,
+    /// exercising wide power and multiplier spreads.
+    fn heterogeneous(n: usize, seed: u64) -> (Vec<NodeParams>, Vec<f64>) {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            (x.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let nodes = (0..n)
+            .map(|_| {
+                NodeParams::from_microwatts(
+                    1.0 + 99.0 * next(),
+                    300.0 + 400.0 * next(),
+                    300.0 + 400.0 * next(),
+                )
+            })
+            .collect();
+        let eta = (0..n).map(|_| 5000.0 * next()).collect();
+        (nodes, eta)
+    }
+
+    fn assert_summaries_close(a: &GibbsSummary, b: &GibbsSummary, tol: f64, ctx: &str) {
+        assert!(
+            (a.log_partition - b.log_partition).abs()
+                <= tol * (1.0 + a.log_partition.abs()),
+            "{ctx}: log_partition {} vs {}",
+            a.log_partition,
+            b.log_partition
+        );
+        for i in 0..a.alpha.len() {
+            assert!(
+                (a.alpha[i] - b.alpha[i]).abs() <= tol,
+                "{ctx}: alpha[{i}] {} vs {}",
+                a.alpha[i],
+                b.alpha[i]
+            );
+            assert!(
+                (a.beta[i] - b.beta[i]).abs() <= tol,
+                "{ctx}: beta[{i}] {} vs {}",
+                a.beta[i],
+                b.beta[i]
+            );
+        }
+        assert!(
+            (a.expected_throughput - b.expected_throughput).abs()
+                <= tol * (1.0 + b.expected_throughput.abs()),
+            "{ctx}: E[T] {} vs {}",
+            a.expected_throughput,
+            b.expected_throughput
+        );
+        assert!(
+            (a.entropy - b.entropy).abs() <= tol * (1.0 + b.entropy.abs()),
+            "{ctx}: entropy {} vs {}",
+            a.entropy,
+            b.entropy
+        );
+        assert!((a.burst_mass - b.burst_mass).abs() <= tol, "{ctx}: burst");
+        assert!(
+            (a.burst_exit_mass - b.burst_exit_mass).abs() <= tol,
+            "{ctx}: burst exit"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_naive_on_homogeneous_grid() {
+        for n in [1usize, 2, 3, 5, 8, 10] {
+            for mode in [Groupput, Anyput] {
+                for eta in [0.0, 500.0, 3000.0] {
+                    for sigma in [0.1, 0.5, 1.0] {
+                        let nodes = homogeneous(n);
+                        let etas = vec![eta; n];
+                        let p = GibbsParams {
+                            nodes: &nodes,
+                            eta: &etas,
+                            sigma,
+                            mode,
+                        };
+                        let fast = summarize(&p);
+                        let slow = summarize_naive(&p);
+                        assert_summaries_close(
+                            &fast,
+                            &slow,
+                            1e-9,
+                            &format!("n={n} mode={mode:?} eta={eta} sigma={sigma}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_max_matches_enumerated_max() {
+        for seed in 0..20u64 {
+            let (nodes, eta) = heterogeneous(6, seed);
+            for mode in [Groupput, Anyput] {
+                let p = GibbsParams {
+                    nodes: &nodes,
+                    eta: &eta,
+                    sigma: 0.3,
+                    mode,
+                };
+                let analytic = StateTable::new(6).max_log_weight(&p);
+                let enumerated = StateSpace::new(6)
+                    .iter()
+                    .map(|w| p.log_weight(&w))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                assert!(
+                    (analytic - enumerated).abs() <= 1e-9 * (1.0 + enumerated.abs()),
+                    "seed {seed} mode {mode:?}: analytic {analytic} vs {enumerated}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_stable() {
+        // Repeated compute() calls on one workspace give identical
+        // results — no state leaks between evaluations.
+        let (nodes, eta) = heterogeneous(7, 3);
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.4,
+            mode: Groupput,
+        };
+        let mut ws = SummaryWorkspace::new(7);
+        let first = ws.summarize(&p);
+        // Interleave a different evaluation to try to poison buffers.
+        let other_eta = vec![1.0; 7];
+        let p2 = GibbsParams {
+            nodes: &nodes,
+            eta: &other_eta,
+            sigma: 0.9,
+            mode: Anyput,
+        };
+        ws.compute(&p2);
+        let again = ws.summarize(&p);
+        assert_eq!(first, again, "workspace reuse must be deterministic");
+    }
+
+    #[test]
+    fn parallel_and_serial_are_bit_identical() {
+        // The rayon-on/off determinism pin: the merged reduction must
+        // not depend on the worker count. n ≥ PARALLEL_MIN_NODES so
+        // the parallel path actually engages.
+        assert!(14 >= PARALLEL_MIN_NODES);
+        let (nodes, eta) = heterogeneous(14, 11);
+        let p = GibbsParams {
+            nodes: &nodes,
+            eta: &eta,
+            sigma: 0.25,
+            mode: Groupput,
+        };
+        econcast_parallel::set_threads(Some(1));
+        let serial = summarize(&p);
+        econcast_parallel::set_threads(Some(8));
+        let parallel = summarize(&p);
+        econcast_parallel::set_threads(None);
+        assert_eq!(
+            serial.log_partition.to_bits(),
+            parallel.log_partition.to_bits()
+        );
+        assert_eq!(
+            serial.expected_throughput.to_bits(),
+            parallel.expected_throughput.to_bits()
+        );
+        for i in 0..14 {
+            assert_eq!(serial.alpha[i].to_bits(), parallel.alpha[i].to_bits());
+            assert_eq!(serial.beta[i].to_bits(), parallel.beta[i].to_bits());
+        }
+        assert_eq!(serial.entropy.to_bits(), parallel.entropy.to_bits());
+        assert_eq!(serial.burst_mass.to_bits(), parallel.burst_mass.to_bits());
+        assert_eq!(
+            serial.burst_exit_mass.to_bits(),
+            parallel.burst_exit_mass.to_bits()
+        );
     }
 
     #[test]
@@ -397,6 +1051,35 @@ mod tests {
     }
 
     proptest! {
+        /// The headline equivalence pin: the Gray-code/streaming kernel
+        /// matches the naive reference within 1e-9 across random
+        /// heterogeneous instances, both modes, wide σ and η ranges.
+        #[test]
+        fn prop_streaming_matches_naive_heterogeneous(
+            n in 1usize..9,
+            seed in 0u64..1_000_000,
+            sigma in 0.05f64..1.5,
+        ) {
+            let (nodes, eta) = heterogeneous(n, seed);
+            for mode in [Groupput, Anyput] {
+                let p = GibbsParams { nodes: &nodes, eta: &eta, sigma, mode };
+                let fast = summarize(&p);
+                let slow = summarize_naive(&p);
+                prop_assert!((fast.log_partition - slow.log_partition).abs()
+                    <= 1e-9 * (1.0 + slow.log_partition.abs()));
+                for i in 0..n {
+                    prop_assert!((fast.alpha[i] - slow.alpha[i]).abs() <= 1e-9);
+                    prop_assert!((fast.beta[i] - slow.beta[i]).abs() <= 1e-9);
+                }
+                prop_assert!((fast.expected_throughput - slow.expected_throughput).abs()
+                    <= 1e-9 * (1.0 + slow.expected_throughput.abs()));
+                prop_assert!((fast.entropy - slow.entropy).abs()
+                    <= 1e-9 * (1.0 + slow.entropy.abs()));
+                prop_assert!((fast.burst_mass - slow.burst_mass).abs() <= 1e-9);
+                prop_assert!((fast.burst_exit_mass - slow.burst_exit_mass).abs() <= 1e-9);
+            }
+        }
+
         /// α and β are valid time fractions and α_i + β_i ≤ 1.
         #[test]
         fn prop_marginals_are_fractions(

@@ -96,28 +96,39 @@ impl HomogeneousGibbs {
         self.mode.state_throughput(true, m)
     }
 
+    /// The log of one aggregated group's total weight
+    /// (`ln multiplicity + per-state log weight`) for listener count
+    /// `m`, with or without a transmitter.
+    fn group_log_term(&self, eta: f64, m: usize, has_tx: bool) -> f64 {
+        let (l, x, sigma) = (self.params.listen_w, self.params.transmit_w, self.sigma);
+        if has_tx {
+            (self.n as f64).ln()
+                + self.ln_choose(self.n - 1, m)
+                + (self.t_of(m) - m as f64 * eta * l - eta * x) / sigma
+        } else {
+            self.ln_choose(self.n, m) - (m as f64) * eta * l / sigma
+        }
+    }
+
+    /// Iterates `(m, has_tx)` over the `2N + 1` aggregated groups.
+    fn groups(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        (0..=self.n)
+            .map(|m| (m, false))
+            .chain((0..self.n).map(|m| (m, true)))
+    }
+
     /// Evaluates the aggregated summary at scalar multiplier `eta`.
+    /// Allocation-free: the `2N + 1` group terms are recomputed in the
+    /// accumulation pass instead of being collected.
     pub fn summarize(&self, eta: f64) -> HomogeneousSummary {
         assert!(eta >= 0.0 && eta.is_finite());
         let n = self.n;
         let nf = n as f64;
         let (l, x, sigma) = (self.params.listen_w, self.params.transmit_w, self.sigma);
 
-        // Collect (ln multiplicity + log weight, m, has_tx) per group.
-        // Index 0..=n: no-tx groups; then n+1..=2n: tx groups (m−offset).
-        let mut log_terms: Vec<(f64, usize, bool)> = Vec::with_capacity(2 * n + 1);
-        for m in 0..=n {
-            let lw = -(m as f64) * eta * l / sigma;
-            log_terms.push((self.ln_choose(n, m) + lw, m, false));
-        }
-        for m in 0..n {
-            let lw = (self.t_of(m) - m as f64 * eta * l - eta * x) / sigma;
-            log_terms.push((nf.ln() + self.ln_choose(n - 1, m) + lw, m, true));
-        }
-
-        let max_lt = log_terms
-            .iter()
-            .map(|(lt, _, _)| *lt)
+        let max_lt = self
+            .groups()
+            .map(|(m, has_tx)| self.group_log_term(eta, m, has_tx))
             .fold(f64::NEG_INFINITY, f64::max);
 
         let mut z = 0.0;
@@ -127,7 +138,8 @@ impl HomogeneousGibbs {
         let mut state_exponent_acc = 0.0; // Σ mass · per-state log-weight
         let mut burst_acc = 0.0;
         let mut burst_exit_acc = 0.0;
-        for &(lt, m, has_tx) in &log_terms {
+        for (m, has_tx) in self.groups() {
+            let lt = self.group_log_term(eta, m, has_tx);
             let mass = (lt - max_lt).exp();
             z += mass;
             listeners_acc += mass * m as f64;

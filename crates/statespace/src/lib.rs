@@ -13,7 +13,9 @@
 //! * [`gibbs`] — the product-form stationary distribution of Lemma 2,
 //!   eq. (19), computed in the log domain so that small temperatures
 //!   `σ` (where weights span hundreds of orders of magnitude) remain
-//!   exact;
+//!   exact, with a Gray-code streaming kernel ([`SummaryWorkspace`])
+//!   that evaluates all marginals in one allocation-free pass and fans
+//!   per-transmitter blocks out over a deterministic thread pool;
 //! * [`p4`] — the achievable-throughput solver: Algorithm 1's dual
 //!   gradient descent on the Lagrange multipliers `η`, yielding the
 //!   `T^σ` that every figure in Section VII normalizes against;
@@ -28,8 +30,8 @@ pub mod p4;
 pub mod space;
 pub mod state;
 
-pub use gibbs::{GibbsParams, GibbsSummary};
+pub use gibbs::{summarize, GibbsParams, GibbsSummary, StateTable, SummaryWorkspace};
 pub use homogeneous::{HomogeneousGibbs, HomogeneousP4};
-pub use p4::{solve_p4, P4Options, P4Solution};
+pub use p4::{solve_p4, P4Options, P4Solution, P4Solver};
 pub use space::StateSpace;
 pub use state::NetworkState;

@@ -21,10 +21,16 @@
 //! guarantee while making one tolerance work across all of the paper's
 //! parameter ranges.
 //!
+//! The descent's inner loop is a [`SummaryWorkspace`]: the state table
+//! and every accumulator are allocated once per solve ([`P4Solver`])
+//! and reused across the up-to-30 000 dual iterations, with the
+//! per-transmitter blocks of the summary fanned out over the worker
+//! pool for larger networks.
+//!
 //! The achievable throughput `T^σ` reported by the paper's figures is
 //! the expected throughput `E_π[T_w]` at the optimal dual point.
 
-use crate::gibbs::{summarize, GibbsParams, GibbsSummary};
+use crate::gibbs::{GibbsParams, GibbsSummary, SummaryWorkspace};
 use econcast_core::{NodeParams, ThroughputMode};
 
 /// Tuning knobs for the dual descent.
@@ -100,9 +106,126 @@ impl P4Solution {
     }
 }
 
-/// Solves (P4) for an arbitrary (possibly heterogeneous) network by
-/// exact enumeration of `W` — practical to ~16 nodes, covering every
-/// configuration in the paper's evaluation.
+/// A reusable (P4) solver holding the summary workspace and the dual
+/// descent state, so sweeps over `σ`, modes, or warm-started budgets
+/// amortize every allocation. One instance serves one node count.
+#[derive(Debug, Clone)]
+pub struct P4Solver {
+    workspace: SummaryWorkspace,
+    /// Dual iterate.
+    eta: Vec<f64>,
+    /// AdaGrad accumulator.
+    grad_sq: Vec<f64>,
+    /// Normalized gradient scratch.
+    grads: Vec<f64>,
+    /// Dimensionless step scale per node.
+    scale: Vec<f64>,
+}
+
+impl P4Solver {
+    /// Allocates a solver for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        P4Solver {
+            workspace: SummaryWorkspace::new(n),
+            eta: vec![0.0; n],
+            grad_sq: vec![0.0; n],
+            grads: vec![0.0; n],
+            scale: vec![0.0; n],
+        }
+    }
+
+    /// Read access to the owned workspace (e.g. for follow-up bound
+    /// evaluations at the solved multipliers).
+    pub fn workspace_mut(&mut self) -> &mut SummaryWorkspace {
+        &mut self.workspace
+    }
+
+    /// Solves (P4) for an arbitrary (possibly heterogeneous) network by
+    /// exact enumeration of `W` — practical to ~16 nodes, covering
+    /// every configuration in the paper's evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty, its length differs from the
+    /// solver's node count, or `sigma ≤ 0`.
+    pub fn solve(
+        &mut self,
+        nodes: &[NodeParams],
+        sigma: f64,
+        mode: ThroughputMode,
+        opts: P4Options,
+    ) -> P4Solution {
+        assert!(!nodes.is_empty(), "need at least one node");
+        assert_eq!(nodes.len(), self.workspace.num_nodes(), "solver node count");
+        assert!(sigma > 0.0 && sigma.is_finite());
+        let n = nodes.len();
+
+        // Dimensionless multiplier scale: steps are expressed in units
+        // of σ / max(L_i, X_i) so that one unit shifts the Gibbs
+        // exponent by O(1) regardless of the absolute power scale.
+        for (i, p) in nodes.iter().enumerate() {
+            self.scale[i] = sigma / p.listen_w.max(p.transmit_w);
+            self.eta[i] = 0.0;
+            self.grad_sq[i] = 0.0;
+        }
+
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for k in 0..opts.max_iters {
+            iterations = k + 1;
+            let params = GibbsParams {
+                nodes,
+                eta: &self.eta,
+                sigma,
+                mode,
+            };
+            self.workspace.compute(&params);
+
+            // Normalized budget-slack gradient and KKT residual, read
+            // straight from the workspace buffers (no per-iteration
+            // allocation).
+            let alpha = self.workspace.alpha();
+            let beta = self.workspace.beta();
+            let mut residual = 0.0f64;
+            for i in 0..n {
+                let cons = nodes[i].average_power(alpha[i], beta[i]);
+                let g = (nodes[i].budget_w - cons) / (nodes[i].budget_w + cons);
+                self.grads[i] = g;
+                let r = if self.eta[i] > 0.0 {
+                    g.abs()
+                } else {
+                    (-g).max(0.0) // at η=0 only over-consumption violates KKT
+                };
+                residual = residual.max(r);
+            }
+            if residual < opts.tol {
+                converged = true;
+                break;
+            }
+            // AdaGrad-preconditioned projected descent step (23).
+            for i in 0..n {
+                self.grad_sq[i] += self.grads[i] * self.grads[i];
+                let step = opts.step0 / self.grad_sq[i].sqrt().max(1e-12);
+                self.eta[i] = (self.eta[i] - step * self.scale[i] * self.grads[i]).max(0.0);
+            }
+        }
+
+        let summary = self.workspace.to_summary();
+        P4Solution {
+            throughput: summary.expected_throughput,
+            objective: summary.p4_objective(sigma),
+            eta: self.eta.clone(),
+            alpha: summary.alpha.clone(),
+            beta: summary.beta.clone(),
+            iterations,
+            converged,
+            summary,
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`P4Solver`].
 ///
 /// # Panics
 ///
@@ -114,71 +237,7 @@ pub fn solve_p4(
     opts: P4Options,
 ) -> P4Solution {
     assert!(!nodes.is_empty(), "need at least one node");
-    assert!(sigma > 0.0 && sigma.is_finite());
-    let n = nodes.len();
-
-    // Dimensionless multiplier scale: steps are expressed in units of
-    // σ / max(L_i, X_i) so that one unit shifts the Gibbs exponent by
-    // O(1) regardless of the absolute power scale.
-    let scale: Vec<f64> = nodes
-        .iter()
-        .map(|p| sigma / p.listen_w.max(p.transmit_w))
-        .collect();
-
-    let mut eta = vec![0.0f64; n];
-    let mut grad_sq = vec![0.0f64; n];
-    let mut last_summary: Option<GibbsSummary> = None;
-    let mut converged = false;
-    let mut iterations = 0;
-
-    for k in 0..opts.max_iters {
-        iterations = k + 1;
-        let params = GibbsParams {
-            nodes,
-            eta: &eta,
-            sigma,
-            mode,
-        };
-        let s = summarize(&params);
-
-        // Normalized budget-slack gradient and KKT residual.
-        let mut residual = 0.0f64;
-        let mut grads = vec![0.0f64; n];
-        for i in 0..n {
-            let cons = nodes[i].average_power(s.alpha[i], s.beta[i]);
-            let g = (nodes[i].budget_w - cons) / (nodes[i].budget_w + cons);
-            grads[i] = g;
-            let r = if eta[i] > 0.0 {
-                g.abs()
-            } else {
-                (-g).max(0.0) // at η=0 only over-consumption violates KKT
-            };
-            residual = residual.max(r);
-        }
-        last_summary = Some(s);
-        if residual < opts.tol {
-            converged = true;
-            break;
-        }
-        // AdaGrad-preconditioned projected descent step (23).
-        for i in 0..n {
-            grad_sq[i] += grads[i] * grads[i];
-            let step = opts.step0 / grad_sq[i].sqrt().max(1e-12);
-            eta[i] = (eta[i] - step * scale[i] * grads[i]).max(0.0);
-        }
-    }
-
-    let summary = last_summary.expect("at least one iteration runs");
-    P4Solution {
-        throughput: summary.expected_throughput,
-        objective: summary.p4_objective(sigma),
-        eta,
-        alpha: summary.alpha.clone(),
-        beta: summary.beta.clone(),
-        iterations,
-        converged,
-        summary,
-    }
+    P4Solver::new(nodes.len()).solve(nodes, sigma, mode, opts)
 }
 
 #[cfg(test)]
@@ -230,6 +289,25 @@ mod tests {
             t_025 > t_05,
             "σ=0.25 gave {t_025}, σ=0.5 gave {t_05} — ordering violated"
         );
+    }
+
+    #[test]
+    fn solver_reuse_matches_fresh_solves() {
+        // One P4Solver across a σ sweep gives exactly the one-shot
+        // results — workspace reuse leaks no state between solves.
+        let nodes = homogeneous(4);
+        let mut solver = P4Solver::new(4);
+        for sigma in [0.5, 0.25, 0.75] {
+            let reused = solver.solve(&nodes, sigma, Groupput, P4Options::fast());
+            let fresh = solve_p4(&nodes, sigma, Groupput, P4Options::fast());
+            assert_eq!(
+                reused.throughput.to_bits(),
+                fresh.throughput.to_bits(),
+                "sigma {sigma}"
+            );
+            assert_eq!(reused.eta, fresh.eta);
+            assert_eq!(reused.iterations, fresh.iterations);
+        }
     }
 
     #[test]

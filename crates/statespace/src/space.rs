@@ -82,6 +82,27 @@ impl StateSpace {
     pub fn states(&self) -> Vec<NetworkState> {
         self.iter().collect()
     }
+
+    /// Iterates over all states in the *kernel order* used by the
+    /// streaming summarizer (`gibbs::SummaryWorkspace`): the same
+    /// block structure as [`StateSpace::iter`], but listener subsets
+    /// within each block follow the reflected Gray code
+    /// `g(k) = k ⊕ (k >> 1)`, so consecutive states differ in exactly
+    /// one listener bit. Same set of states, different order.
+    pub fn iter_gray(&self) -> impl Iterator<Item = NetworkState> + '_ {
+        let n = self.n;
+        let no_tx =
+            (0u64..(1u64 << n)).map(|k| NetworkState::new(None, k ^ (k >> 1)));
+        let with_tx = (0..n).flat_map(move |t| {
+            (0u64..(1u64 << (n - 1))).map(move |k| {
+                let compact = k ^ (k >> 1);
+                let low = compact & ((1u64 << t) - 1);
+                let high = (compact >> t) << (t + 1);
+                NetworkState::new(Some(t), low | high)
+            })
+        });
+        no_tx.chain(with_tx)
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +174,32 @@ mod tests {
             }
         }
         assert_eq!(enumerated, brute);
+    }
+
+    #[test]
+    fn gray_order_visits_every_state_exactly_once() {
+        for n in [1usize, 2, 5, 8] {
+            let space = StateSpace::new(n);
+            let plain: HashSet<NetworkState> = space.iter().collect();
+            let mut seen = HashSet::new();
+            let mut prev: Option<NetworkState> = None;
+            for s in space.iter_gray() {
+                assert!(seen.insert(s), "n={n}: duplicate {s:?} in Gray order");
+                // Within a block, consecutive listener masks differ in
+                // exactly one bit — the property the kernel exploits.
+                if let Some(p) = prev {
+                    if p.transmitter() == s.transmitter() {
+                        assert_eq!(
+                            (p.listener_mask() ^ s.listener_mask()).count_ones(),
+                            1,
+                            "n={n}: non-adjacent Gray step {p:?} -> {s:?}"
+                        );
+                    }
+                }
+                prev = Some(s);
+            }
+            assert_eq!(seen, plain, "n={n}: Gray order must cover exactly W");
+        }
     }
 
     #[test]
