@@ -17,6 +17,7 @@
 
 use crate::timing::{format_seconds, measure, Measurement};
 use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
+use econcast_service::{GridConfig, PolicyRequest, PolicyService, ServiceConfig};
 use econcast_sim::{SimConfig, Simulator};
 use econcast_statespace::gibbs::{summarize_naive, GibbsParams, GibbsSummary};
 use econcast_statespace::{HomogeneousP4, P4Options, P4Solver, SummaryWorkspace};
@@ -84,8 +85,103 @@ fn solve_p4_naive_reference(
 
 /// One suite entry: name + workload.
 struct Entry {
-    name: &'static str,
+    name: String,
     workload: Box<dyn FnMut()>,
+}
+
+/// The canonical suite-entry name for one service measurement
+/// (`phase` is "cold" or "warm") — the single source both the suite
+/// builder and the JSON deriver use.
+fn service_entry_name(phase: &str, batch: usize) -> String {
+    format!("service_{phase}_batch{batch}")
+}
+
+/// The policy-service benchmark batch sizes (requests per
+/// `serve_batch` call).
+pub const SERVICE_BATCH_SIZES: [usize; 3] = [1, 32, 256];
+
+/// A deterministic mixed batch for the service benchmarks: the four
+/// instance templates cycle (heterogeneous and homogeneous fast-path
+/// instances), every template alternates groupput/anyput across its
+/// budget variations, and every fourth request perturbs its budgets
+/// so large batches contain mostly *distinct* instances — cold
+/// numbers measure solving, warm numbers measure lookups, both
+/// through the full canonicalize/probe/batch pipeline.
+fn service_batch(size: usize) -> Vec<PolicyRequest> {
+    // Keyed on the variation index, not the request index: i % 4
+    // fixes the parity of i, so a request-index parity would pin each
+    // template to a single objective.
+    let mode = |i: usize| {
+        if (i / 4).is_multiple_of(2) {
+            ThroughputMode::Groupput
+        } else {
+            ThroughputMode::Anyput
+        }
+    };
+    (0..size)
+        .map(|i| {
+            let variation = 1.0 + (i / 4) as f64 * 1e-3;
+            match i % 4 {
+                0 => PolicyRequest {
+                    budgets_w: [2.0, 4.0, 8.0, 16.0, 24.0, 40.0]
+                        .iter()
+                        .map(|b| b * 1e-6 * variation)
+                        .collect(),
+                    listen_w: 500e-6,
+                    transmit_w: 450e-6,
+                    sigma: 0.5,
+                    objective: mode(i),
+                    tolerance: 1e-2,
+                },
+                1 => PolicyRequest::homogeneous(
+                    50,
+                    NodeParams::new(10e-6 * variation, 500e-6, 450e-6),
+                    0.5,
+                    mode(i),
+                    1e-2,
+                ),
+                2 => PolicyRequest {
+                    budgets_w: [3.0, 5.0, 9.0, 17.0, 33.0]
+                        .iter()
+                        .map(|b| b * 1e-6 * variation)
+                        .collect(),
+                    listen_w: 500e-6,
+                    transmit_w: 450e-6,
+                    sigma: 0.25,
+                    objective: mode(i),
+                    tolerance: 1e-2,
+                },
+                _ => PolicyRequest::homogeneous(
+                    200,
+                    NodeParams::new(37e-6 * variation, 500e-6, 450e-6),
+                    0.25,
+                    mode(i),
+                    1e-2,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Service config for the cold benchmark: every iteration starts from
+/// empty caches, and the grid tier is disabled so per-iteration work
+/// is uniform (no lumpy lazy grid builds inside the timing loop).
+fn cold_service() -> PolicyService {
+    PolicyService::new(ServiceConfig {
+        lru_capacity: 4096,
+        grid: None,
+        ..ServiceConfig::default()
+    })
+}
+
+/// Service config for the warm benchmark (grid enabled; warmed before
+/// measurement so the steady state is pure cache serving).
+fn warm_service() -> PolicyService {
+    PolicyService::new(ServiceConfig {
+        lru_capacity: 4096,
+        grid: Some(GridConfig::default()),
+        ..ServiceConfig::default()
+    })
 }
 
 /// Builds the fixed suite. `quick` shrinks iteration budgets and the
@@ -105,7 +201,7 @@ fn suite(quick: bool) -> Vec<Entry> {
         let nodes = vec![params(); n];
         let mut solver = P4Solver::new(n);
         entries.push(Entry {
-            name,
+            name: name.to_string(),
             workload: Box::new(move || {
                 black_box(solver.solve(&nodes, 0.5, mode, fixed_iters(iters)).throughput);
             }),
@@ -114,7 +210,7 @@ fn suite(quick: bool) -> Vec<Entry> {
     {
         let nodes = vec![params(); 12];
         entries.push(Entry {
-            name: "p4_solve_n12_naive",
+            name: "p4_solve_n12_naive".to_string(),
             workload: Box::new(move || {
                 black_box(solve_p4_naive_reference(&nodes, 0.5, mode, fixed_iters(it12)));
             }),
@@ -125,7 +221,7 @@ fn suite(quick: bool) -> Vec<Entry> {
         let eta = vec![3000.0; 12];
         let mut ws = SummaryWorkspace::new(12);
         entries.push(Entry {
-            name: "gibbs_summarize_n12",
+            name: "gibbs_summarize_n12".to_string(),
             workload: Box::new(move || {
                 ws.compute(&GibbsParams {
                     nodes: &nodes,
@@ -139,7 +235,7 @@ fn suite(quick: bool) -> Vec<Entry> {
         let nodes = vec![params(); 12];
         let eta = vec![3000.0; 12];
         entries.push(Entry {
-            name: "gibbs_summarize_naive_n12",
+            name: "gibbs_summarize_naive_n12".to_string(),
             workload: Box::new(move || {
                 black_box(summarize_naive(&GibbsParams {
                     nodes: &nodes,
@@ -151,7 +247,7 @@ fn suite(quick: bool) -> Vec<Entry> {
         });
     }
     entries.push(Entry {
-        name: "homogeneous_p4_n1000",
+        name: "homogeneous_p4_n1000".to_string(),
         workload: Box::new(|| {
             black_box(
                 HomogeneousP4::new(1000, params(), 0.5, ThroughputMode::Groupput)
@@ -160,8 +256,35 @@ fn suite(quick: bool) -> Vec<Entry> {
             );
         }),
     });
+    // Policy-service throughput: requests/sec per batch size, cold
+    // (fresh caches every call) vs warm (steady-state cache serving).
+    // Names derive from SERVICE_BATCH_SIZES so the JSON's "service"
+    // section can never silently miss a size.
+    for size in SERVICE_BATCH_SIZES {
+        let batch = service_batch(size);
+        entries.push(Entry {
+            name: service_entry_name("cold", size),
+            workload: Box::new({
+                let batch = batch.clone();
+                move || {
+                    let mut svc = cold_service();
+                    black_box(svc.serve_batch(&batch));
+                }
+            }),
+        });
+        entries.push(Entry {
+            name: service_entry_name("warm", size),
+            workload: Box::new({
+                let mut svc = warm_service();
+                svc.serve_batch(&batch); // warm the tiers once
+                move || {
+                    black_box(svc.serve_batch(&batch));
+                }
+            }),
+        });
+    }
     entries.push(Entry {
-        name: "sim_grid7x7",
+        name: "sim_grid7x7".to_string(),
         workload: Box::new(move || {
             let mut cfg = SimConfig::ideal_clique(
                 49,
@@ -177,12 +300,25 @@ fn suite(quick: bool) -> Vec<Entry> {
     entries
 }
 
+/// Requests/sec of the policy service at one batch size.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceThroughput {
+    /// Requests per `serve_batch` call.
+    pub batch: usize,
+    /// Requests/sec against empty caches (solve-dominated).
+    pub cold_rps: f64,
+    /// Requests/sec at cache steady state (lookup-dominated).
+    pub warm_rps: f64,
+}
+
 /// Result of one full suite run.
 pub struct SuiteReport {
     /// Per-entry measurements, in suite order.
     pub measurements: Vec<Measurement>,
     /// `p4_solve_n12_naive / p4_solve_n12` mean-time ratio.
     pub p4_n12_speedup: Option<f64>,
+    /// Policy-service throughput per batch size.
+    pub service: Vec<ServiceThroughput>,
     /// Worker-pool size the suite ran under.
     pub threads: usize,
     /// Whether the reduced smoke suite ran.
@@ -193,7 +329,7 @@ pub struct SuiteReport {
 pub fn run_suite(quick: bool) -> SuiteReport {
     let mut measurements = Vec::new();
     for mut e in suite(quick) {
-        let m = measure(e.name, &mut *e.workload);
+        let m = measure(&e.name, &mut *e.workload);
         println!(
             "{:<28} {:>12}/iter ({} iters)",
             m.name,
@@ -215,9 +351,28 @@ pub fn run_suite(quick: bool) -> SuiteReport {
     if let Some(s) = p4_n12_speedup {
         println!("p4_solve at N=12: {s:.1}x faster than the naive seed kernel");
     }
+    let service: Vec<ServiceThroughput> = SERVICE_BATCH_SIZES
+        .iter()
+        .filter_map(|&batch| {
+            let cold = mean_of(&service_entry_name("cold", batch))?;
+            let warm = mean_of(&service_entry_name("warm", batch))?;
+            Some(ServiceThroughput {
+                batch,
+                cold_rps: batch as f64 / cold,
+                warm_rps: batch as f64 / warm,
+            })
+        })
+        .collect();
+    for s in &service {
+        println!(
+            "policy service @ batch {:>3}: {:>10.0} req/s cold, {:>12.0} req/s warm",
+            s.batch, s.cold_rps, s.warm_rps
+        );
+    }
     SuiteReport {
         measurements,
         p4_n12_speedup,
+        service,
         threads: econcast_parallel::effective_threads(usize::MAX),
         quick,
     }
@@ -270,6 +425,17 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
             } else {
                 ""
             }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"service\": [\n");
+    for (i, t) in report.service.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"cold_rps\": {:.3}, \"warm_rps\": {:.3}}}{}\n",
+            t.batch,
+            t.cold_rps,
+            t.warm_rps,
+            if i + 1 < report.service.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
@@ -331,6 +497,11 @@ mod tests {
                 best_s: 0.4,
             }],
             p4_n12_speedup: Some(12.5),
+            service: vec![ServiceThroughput {
+                batch: 32,
+                cold_rps: 1234.5,
+                warm_rps: 99999.0,
+            }],
             threads: 4,
             quick: true,
         };
@@ -338,6 +509,8 @@ mod tests {
         assert!(j.contains("\"git_sha\": \"abc123\""));
         assert!(j.contains("\"name\": \"x\""));
         assert!(j.contains("\"p4_n12_speedup_vs_naive\": 12.50"));
+        assert!(j.contains("\"batch\": 32"));
+        assert!(j.contains("\"cold_rps\": 1234.500"));
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -39,7 +39,58 @@ pub enum StepSchedule {
     /// The provably convergent schedule from Theorem 1:
     /// `δ_k = 1/((k+1)·log(k+1))`, `τ_k = k`.
     Theorem1,
+    /// Variance-normalized, gain-scheduled controller (the principled
+    /// replacement for hand-recalibrated constant steps — see the
+    /// ROADMAP triage note on `hw::testbed`).
+    ///
+    /// The node tracks exponential moving estimates of the mean `m`
+    /// and second moment `v` of its per-interval power slack
+    /// `ĝ = Δb/τ`, forms the *confidence ratio*
+    /// `c = min(1, |m̂|/√(v̂ + ε²))` — how much of the observed slack
+    /// is drift rather than noise — and updates
+    ///
+    /// ```text
+    /// η ← ( η − gain · (σ/C̄) · c · m̂ / √(v̂ + ε²) )⁺
+    /// ```
+    ///
+    /// with bias-corrected `m̂`, `v̂` (Adam-style). Two properties make
+    /// this scale-free where a constant `δ` is not:
+    ///
+    /// * **variance normalization** — `c·m̂/√v̂ ∈ [−1, 1]`, so the
+    ///   worst-case per-update movement of the dimensionless
+    ///   multiplier `η·C̄/σ` is exactly `gain`, independent of the
+    ///   power scale, the budget, or the burst statistics;
+    /// * **gain scheduling** — the effective gain is `gain·c²`:
+    ///   near budget balance the slack is noise-dominated
+    ///   (`|m̂| ≪ √v̂`, capture bursts) and steps attenuate
+    ///   *quadratically* toward zero — consumption is convex in `η`,
+    ///   so multiplier wander inflates mean power, and the quadratic
+    ///   deadband is what keeps the virtual battery pinned at ρ; under
+    ///   persistent over/under-spend `c → 1` and the controller
+    ///   tracks at full gain.
+    VarianceNormalized {
+        /// Full-gain per-update movement of the dimensionless
+        /// multiplier (0.02–0.1 is a good range).
+        gain: f64,
+        /// Update interval `τ` (packet-times).
+        tau: f64,
+        /// Precomputed `σ/C̄` (multiplier units per dimensionless
+        /// step); use [`StepSchedule::variance_normalized`].
+        scale: f64,
+        /// Noise floor `ε` (W) added under the square root so a
+        /// perfectly balanced node holds still instead of dividing
+        /// 0 by 0.
+        floor: f64,
+    },
 }
+
+/// Forgetting factor for the slack-mean EWMA (effective window ≈ 10
+/// update intervals — several capture bursts).
+const VN_BETA_M: f64 = 0.9;
+/// Forgetting factor for the slack second-moment EWMA (≈ 100
+/// intervals — the noise scale must outlive individual transients or
+/// burst-correlated noise masquerades as drift).
+const VN_BETA_V: f64 = 0.99;
 
 impl StepSchedule {
     /// Builds a constant schedule whose worst-case per-update movement
@@ -64,16 +115,50 @@ impl StepSchedule {
             tau,
         }
     }
+
+    /// Builds the variance-normalized gain-scheduled schedule for a
+    /// node with powers `(L, X)` at temperature σ: one `gain` works
+    /// across all power scales.
+    pub fn variance_normalized(
+        gain: f64,
+        tau: f64,
+        sigma: f64,
+        listen_w: f64,
+        transmit_w: f64,
+    ) -> Self {
+        assert!(gain > 0.0 && gain.is_finite());
+        assert!(tau > 0.0 && tau.is_finite());
+        assert!(sigma > 0.0 && sigma.is_finite());
+        let cbar = listen_w.max(transmit_w);
+        assert!(cbar > 0.0);
+        StepSchedule::VarianceNormalized {
+            gain,
+            tau,
+            scale: sigma / cbar,
+            // Nine orders below the radio power: far beneath any real
+            // slack, far above f64 underflow.
+            floor: 1e-9 * cbar,
+        }
+    }
 }
 
 impl StepSchedule {
     /// Step size `δ_k` for interval `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`StepSchedule::VarianceNormalized`], whose
+    /// effective step depends on the observed slack statistics, not on
+    /// `k` alone.
     pub fn delta(&self, k: u64) -> f64 {
         match self {
             StepSchedule::Constant { delta, .. } => *delta,
             StepSchedule::Theorem1 => {
                 let kf = k as f64;
                 1.0 / ((kf + 1.0) * (kf + 1.0).ln())
+            }
+            StepSchedule::VarianceNormalized { .. } => {
+                panic!("variance-normalized steps are state-dependent, not a δ_k sequence")
             }
         }
     }
@@ -83,6 +168,7 @@ impl StepSchedule {
         match self {
             StepSchedule::Constant { tau, .. } => *tau,
             StepSchedule::Theorem1 => k as f64,
+            StepSchedule::VarianceNormalized { tau, .. } => *tau,
         }
     }
 }
@@ -94,6 +180,11 @@ pub struct Multiplier {
     schedule: StepSchedule,
     /// Interval counter `k` (the next update closes interval `k`).
     k: u64,
+    /// EWMA of the power slack `ĝ` (variance-normalized schedule
+    /// only).
+    slack_mean: f64,
+    /// EWMA of `ĝ²` (variance-normalized schedule only).
+    slack_sq: f64,
 }
 
 impl Multiplier {
@@ -108,17 +199,33 @@ impl Multiplier {
             eta0 >= 0.0 && eta0.is_finite(),
             "initial multiplier must be non-negative and finite"
         );
-        if let StepSchedule::Constant { delta, tau } = schedule {
-            assert!(
-                delta > 0.0 && delta.is_finite(),
-                "step size delta must be positive and finite, got {delta}"
-            );
-            assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
+        match schedule {
+            StepSchedule::Constant { delta, tau } => {
+                assert!(
+                    delta > 0.0 && delta.is_finite(),
+                    "step size delta must be positive and finite, got {delta}"
+                );
+                assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
+            }
+            StepSchedule::VarianceNormalized {
+                gain,
+                tau,
+                scale,
+                floor,
+            } => {
+                assert!(gain > 0.0 && gain.is_finite(), "gain must be positive");
+                assert!(tau > 0.0 && tau.is_finite(), "tau must be positive");
+                assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+                assert!(floor >= 0.0 && floor.is_finite(), "floor must be finite");
+            }
+            StepSchedule::Theorem1 => {}
         }
         Multiplier {
             eta: eta0,
             schedule,
             k: 1,
+            slack_mean: 0.0,
+            slack_sq: 0.0,
         }
     }
 
@@ -140,22 +247,50 @@ impl Multiplier {
     }
 
     /// Closes interval `k` with the observed energy-storage drift
-    /// `b[k] − b[k−1]` (joules, may be negative) and applies eq. (17).
+    /// `b[k] − b[k−1]` (joules, may be negative) and applies the
+    /// schedule's update rule (eq. (17) for the classic schedules).
     /// Returns the new `η[k]`.
     pub fn update(&mut self, battery_delta: f64) -> f64 {
-        let delta_k = self.schedule.delta(self.k);
         let tau_k = self.schedule.tau(self.k);
-        self.eta = (self.eta - delta_k / tau_k * battery_delta).max(0.0);
-        self.k += 1;
-        self.eta
+        self.apply_gradient(battery_delta / tau_k)
     }
 
     /// Equivalent update expressed with the *gradient estimate*
     /// `ĝ = ρ − power_consumed/τ = (b[k]−b[k−1])/τ_k` directly, matching
     /// the centralized form (23): `η ← (η − δ_k · ĝ)⁺`.
     pub fn update_with_gradient(&mut self, gradient_estimate: f64) -> f64 {
-        let delta_k = self.schedule.delta(self.k);
-        self.eta = (self.eta - delta_k * gradient_estimate).max(0.0);
+        self.apply_gradient(gradient_estimate)
+    }
+
+    /// Applies one update given the slack estimate `ĝ = Δb/τ_k` (W).
+    fn apply_gradient(&mut self, g: f64) -> f64 {
+        match self.schedule {
+            StepSchedule::Constant { delta, .. } => {
+                self.eta = (self.eta - delta * g).max(0.0);
+            }
+            StepSchedule::Theorem1 => {
+                let delta = self.schedule.delta(self.k);
+                self.eta = (self.eta - delta * g).max(0.0);
+            }
+            StepSchedule::VarianceNormalized {
+                gain,
+                scale,
+                floor,
+                ..
+            } => {
+                self.slack_mean = VN_BETA_M * self.slack_mean + (1.0 - VN_BETA_M) * g;
+                self.slack_sq = VN_BETA_V * self.slack_sq + (1.0 - VN_BETA_V) * g * g;
+                // Bias correction (Adam): the EWMAs start at zero, so
+                // early estimates are scaled up to be unbiased.
+                let kf = self.k as f64;
+                let m_hat = self.slack_mean / (1.0 - VN_BETA_M.powf(kf));
+                let v_hat = self.slack_sq / (1.0 - VN_BETA_V.powf(kf));
+                let rms = (v_hat + floor * floor).sqrt();
+                let confidence = (m_hat.abs() / rms).min(1.0);
+                let step = gain * scale * confidence * m_hat / rms;
+                self.eta = (self.eta - step).max(0.0);
+            }
+        }
         self.k += 1;
         self.eta
     }
@@ -279,6 +414,102 @@ mod tests {
             "normalized step {dimensionless}"
         );
         assert!((delta - 0.05 * sigma / (cbar * cbar)).abs() < 1e-9 * delta);
+    }
+
+    fn vn_schedule() -> StepSchedule {
+        // σ = 0.5, L = X = 67 mW (the CC2500 scale that broke the
+        // constant-step controller).
+        StepSchedule::variance_normalized(0.05, 400.0, 0.5, 67e-3, 67e-3)
+    }
+
+    #[test]
+    fn vn_worst_case_step_is_the_gain() {
+        // A persistent, constant slack: m̂/√v̂ → ±1, so each update
+        // moves the dimensionless multiplier η·C̄/σ by → gain, no
+        // matter how large the raw slack is.
+        let cbar = 67e-3;
+        let mut m = Multiplier::new(1.0, vn_schedule());
+        let mut last = m.eta();
+        for k in 1..=50u64 {
+            let eta = m.update_with_gradient(-cbar); // overspend by C̄ (huge)
+            let step = (eta - last) * cbar / 0.5;
+            assert!(step > 0.0, "overspend must raise eta");
+            assert!(
+                step <= 0.05 + 1e-12,
+                "k={k}: dimensionless step {step} exceeds the gain"
+            );
+            last = eta;
+        }
+        // At steady state the constant drift gives exactly the gain.
+        let eta = m.update_with_gradient(-cbar);
+        let step = (eta - last) * cbar / 0.5;
+        assert!((step - 0.05).abs() < 1e-3, "steady-state step {step}");
+    }
+
+    #[test]
+    fn vn_is_scale_invariant() {
+        // Identical *relative* slack sequences at µW and mW radio
+        // scales produce identical dimensionless multiplier
+        // trajectories — the property the constant-δ controller
+        // lacked (ROADMAP triage).
+        let seq = [1.0, -0.5, 0.25, -1.0, 0.75, 0.1, -0.2];
+        let run = |cbar: f64| -> Vec<f64> {
+            let sched = StepSchedule::variance_normalized(0.05, 400.0, 0.5, cbar, cbar);
+            let mut m = Multiplier::new(0.0, sched);
+            seq.iter()
+                .map(|s| m.update_with_gradient(s * 0.01 * cbar) * cbar / 0.5)
+                .collect()
+        };
+        let micro = run(500e-6);
+        let milli = run(67e-3);
+        for (a, b) in micro.iter().zip(&milli) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn vn_noise_shrinks_the_effective_gain() {
+        // Zero-mean alternating slack (a balanced node under capture
+        // bursts): after warm-up the effective step collapses well
+        // below the gain — no limit cycle.
+        let mut m = Multiplier::new(1.0, vn_schedule());
+        let amp = 0.5e-3; // ±0.5 mW of burst noise around balance
+        for k in 0..40u64 {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            m.update_with_gradient(sign * amp);
+        }
+        let before = m.eta();
+        let sign = if 40 % 2 == 0 { 1.0 } else { -1.0 };
+        let after = m.update_with_gradient(sign * amp);
+        let step = (after - before).abs() * 67e-3 / 0.5;
+        assert!(
+            step < 0.05 / 3.0,
+            "balanced-node step {step} should sit far below the gain 0.05"
+        );
+    }
+
+    #[test]
+    fn vn_holds_still_at_exact_balance() {
+        let mut m = Multiplier::new(2.0, vn_schedule());
+        for _ in 0..10 {
+            assert_eq!(m.update(0.0), 2.0, "no drift, no movement");
+        }
+    }
+
+    #[test]
+    fn vn_battery_and_gradient_forms_agree() {
+        let mut a = Multiplier::new(1.0, vn_schedule());
+        let mut b = Multiplier::new(1.0, vn_schedule());
+        // Δb = −0.4 J over τ = 400 ⇔ ĝ = −1 mW.
+        let ea = a.update(-0.4);
+        let eb = b.update_with_gradient(-1e-3);
+        assert!((ea - eb).abs() < 1e-15 * ea.abs().max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "state-dependent")]
+    fn vn_has_no_delta_sequence() {
+        vn_schedule().delta(1);
     }
 
     #[test]

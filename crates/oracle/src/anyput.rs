@@ -82,24 +82,30 @@ pub fn oracle_anyput(nodes: &[NodeParams]) -> OracleSolution {
     }
 }
 
-/// The closed-form homogeneous solution (Section IV-B):
+/// The closed-form homogeneous solution, both regimes:
 ///
-/// ```text
-/// β* = α* = ρ / (X + L),   T*_a = N·β*
-/// ```
+/// * **energy-constrained** (`N·β* ≤ 1` with `β* = ρ/(X+L)`): each
+///   transmission is paired with exactly one listener (Section IV-B),
+///   so `α* = β*` and `T*_a = N·β*`;
+/// * **airtime-capped** (`N·β* > 1`): at most one packet can be on air
+///   at a time and anyput counts each at most once, so `T*_a = 1`,
+///   reached by round-robin `β = α = 1/N` — feasible because the cap
+///   binding means `ρ > (X+L)/N`, and `α + β = 2/N ≤ 1` for `N ≥ 2`.
 ///
-/// valid while severely energy-constrained; returns `None` when the
-/// schedule would violate (10)/(11) (fall back to [`oracle_anyput`]).
+/// Cross-checked against the (P3) LP over both regimes in tests;
+/// always `Some` (the `Option` is kept for API stability with the
+/// groupput closed form, which genuinely has a fallback regime).
 pub fn oracle_anyput_homogeneous(n: usize, params: &NodeParams) -> Option<OracleSolution> {
     assert!(n >= 2, "anyput needs at least two nodes");
     let nf = n as f64;
-    let beta = params.budget_w / (params.transmit_w + params.listen_w);
-    let alpha = beta;
-    if alpha + beta > 1.0 || nf * beta > 1.0 {
-        return None;
-    }
+    let beta_free = params.budget_w / (params.transmit_w + params.listen_w);
+    let (alpha, beta, throughput) = if nf * beta_free > 1.0 {
+        (1.0 / nf, 1.0 / nf, 1.0)
+    } else {
+        (beta_free, beta_free, nf * beta_free)
+    };
     Some(OracleSolution {
-        throughput: nf * beta,
+        throughput,
         alpha: vec![alpha; n],
         beta: vec![beta; n],
     })
@@ -108,6 +114,34 @@ pub fn oracle_anyput_homogeneous(n: usize, params: &NodeParams) -> Option<Oracle
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn closed_form_matches_lp_in_both_regimes() {
+        // Sweep across the energy-constrained / airtime-capped
+        // boundary: the closed form must track the LP everywhere.
+        for n in [2usize, 3, 5, 8, 12] {
+            for rho_uw in [5.0, 50.0, 120.0, 300.0, 900.0] {
+                let p = NodeParams::from_microwatts(rho_uw, 500.0, 450.0);
+                let lp = oracle_anyput(&vec![p; n]).throughput;
+                let cf = oracle_anyput_homogeneous(n, &p).unwrap();
+                assert!(
+                    (lp - cf.throughput).abs() <= 1e-9 * lp.max(1.0),
+                    "n={n} rho={rho_uw}: LP {lp} vs closed form {}",
+                    cf.throughput
+                );
+                assert!(cf.is_feasible(&vec![p; n], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn airtime_capped_regime_saturates_at_one() {
+        let p = NodeParams::from_microwatts(900.0, 500.0, 450.0);
+        let cf = oracle_anyput_homogeneous(10, &p).unwrap();
+        assert_eq!(cf.throughput, 1.0);
+        assert_eq!(cf.beta[0], 0.1);
+        assert_eq!(cf.alpha[0], 0.1);
+    }
     use proptest::prelude::*;
 
     fn uw(budget: f64, l: f64, x: f64) -> NodeParams {
@@ -136,7 +170,7 @@ mod tests {
             let p = uw(10.0, 500.0, 500.0);
             let nodes = vec![p; n];
             let lp = oracle_anyput(&nodes);
-            let cf = oracle_anyput_homogeneous(n, &p).expect("constrained regime");
+            let cf = oracle_anyput_homogeneous(n, &p).expect("closed form is total");
             assert!(
                 (lp.throughput - cf.throughput).abs() < 1e-9,
                 "n={n}: LP {} vs closed form {}",

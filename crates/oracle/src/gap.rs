@@ -20,9 +20,12 @@
 //! Sweeps reuse one [`P4Solver`] — the state table and every summary
 //! buffer are allocated once for the whole σ frontier.
 
-use crate::{oracle_anyput, oracle_groupput};
+use crate::{
+    oracle_anyput, oracle_anyput_homogeneous, oracle_groupput, oracle_groupput_homogeneous,
+};
 use econcast_core::{NodeParams, ThroughputMode};
-use econcast_statespace::{P4Options, P4Solver};
+use econcast_statespace::homogeneous::HomogeneousP4Solution;
+use econcast_statespace::{P4Options, P4Solution, P4Solver};
 
 /// A two-sided certificate around the oracle throughput at one `σ`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,25 +62,46 @@ impl AchievabilityGap {
     }
 }
 
-/// The LP oracle for `mode`.
-fn oracle_throughput(nodes: &[NodeParams], mode: ThroughputMode) -> f64 {
+/// The LP oracle for `mode`, short-circuiting to the Appendix-B closed
+/// form for homogeneous instances in the energy-constrained regime —
+/// certificates for thousand-node homogeneous policies never touch the
+/// simplex.
+pub fn oracle_throughput_for(nodes: &[NodeParams], mode: ThroughputMode) -> f64 {
+    if nodes.len() >= 2 && nodes.windows(2).all(|w| w[0] == w[1]) {
+        let closed = match mode {
+            ThroughputMode::Groupput => oracle_groupput_homogeneous(nodes.len(), &nodes[0]),
+            ThroughputMode::Anyput => oracle_anyput_homogeneous(nodes.len(), &nodes[0]),
+        };
+        if let Some(s) = closed {
+            return s.throughput;
+        }
+    }
     match mode {
         ThroughputMode::Groupput => oracle_groupput(nodes).throughput,
         ThroughputMode::Anyput => oracle_anyput(nodes).throughput,
     }
 }
 
-/// Solves (P4) on the given solver and assembles the certificate
-/// against a precomputed oracle value.
-fn gap_at(
-    solver: &mut P4Solver,
+/// Assembles the weak-duality certificate around an *existing* (P4)
+/// solution — no re-solve, one oracle evaluation. This is what the
+/// policy service attaches to every response.
+pub fn certificate_for(
     nodes: &[NodeParams],
     sigma: f64,
     mode: ThroughputMode,
-    opts: P4Options,
+    sol: &P4Solution,
+) -> AchievabilityGap {
+    certificate_with_oracle(nodes, sigma, sol, oracle_throughput_for(nodes, mode))
+}
+
+/// Certificate assembly against a precomputed oracle value (sweeps and
+/// caches amortize the LP solve).
+fn certificate_with_oracle(
+    nodes: &[NodeParams],
+    sigma: f64,
+    sol: &P4Solution,
     oracle: f64,
 ) -> AchievabilityGap {
-    let sol = solver.solve(nodes, sigma, mode, opts);
     // D(η) = objective + Σ η_i (ρ_i − cons_i).
     let mut dual = sol.objective;
     for (i, p) in nodes.iter().enumerate() {
@@ -93,6 +117,45 @@ fn gap_at(
     }
 }
 
+/// [`certificate_for`] for the homogeneous fast path: the scalar-dual
+/// solution of `HomogeneousP4` carries everything the dual value needs
+/// (`D(η) = E[T] + σH + N·η·(ρ − cons)`), and the bisection is exact,
+/// so the certificate reports convergence unconditionally.
+pub fn certificate_for_homogeneous(
+    n: usize,
+    params: &NodeParams,
+    sigma: f64,
+    mode: ThroughputMode,
+    sol: &HomogeneousP4Solution,
+) -> AchievabilityGap {
+    let cons = params.average_power(sol.alpha, sol.beta);
+    let dual = sol.summary.expected_throughput
+        + sigma * sol.summary.entropy
+        + n as f64 * sol.eta * (params.budget_w - cons);
+    let nodes = vec![*params; n];
+    AchievabilityGap {
+        sigma,
+        t_sigma: sol.throughput,
+        oracle: oracle_throughput_for(&nodes, mode),
+        dual_upper: dual,
+        converged: true,
+    }
+}
+
+/// Solves (P4) on the given solver and assembles the certificate
+/// against a precomputed oracle value.
+fn gap_at(
+    solver: &mut P4Solver,
+    nodes: &[NodeParams],
+    sigma: f64,
+    mode: ThroughputMode,
+    opts: P4Options,
+    oracle: f64,
+) -> AchievabilityGap {
+    let sol = solver.solve(nodes, sigma, mode, opts);
+    certificate_with_oracle(nodes, sigma, &sol, oracle)
+}
+
 /// Evaluates the sandwich at one temperature, using (and mutating) the
 /// caller's solver so sweeps amortize the workspace.
 pub fn achievability_gap_with(
@@ -102,7 +165,7 @@ pub fn achievability_gap_with(
     mode: ThroughputMode,
     opts: P4Options,
 ) -> AchievabilityGap {
-    let oracle = oracle_throughput(nodes, mode);
+    let oracle = oracle_throughput_for(nodes, mode);
     gap_at(solver, nodes, sigma, mode, opts, oracle)
 }
 
@@ -125,7 +188,7 @@ pub fn sigma_frontier(
     opts: P4Options,
 ) -> Vec<AchievabilityGap> {
     let mut solver = P4Solver::new(nodes.len());
-    let oracle = oracle_throughput(nodes, mode);
+    let oracle = oracle_throughput_for(nodes, mode);
     sigmas
         .iter()
         .map(|&sigma| gap_at(&mut solver, nodes, sigma, mode, opts, oracle))
@@ -171,6 +234,43 @@ mod tests {
             g.oracle,
             g.dual_upper
         );
+    }
+
+    #[test]
+    fn certificate_for_matches_full_gap() {
+        let nodes = nodes();
+        let mut solver = P4Solver::new(nodes.len());
+        let sol = solver.solve(&nodes, 0.5, Groupput, P4Options::default());
+        let cert = certificate_for(&nodes, 0.5, Groupput, &sol);
+        let full = achievability_gap(&nodes, 0.5, Groupput, P4Options::default());
+        assert_eq!(cert, full, "certificate assembly must not depend on path");
+    }
+
+    #[test]
+    fn homogeneous_certificate_is_consistent_and_matches_exact() {
+        use econcast_statespace::HomogeneousP4;
+        let p = NodeParams::from_microwatts(10.0, 500.0, 500.0);
+        for n in [5usize, 40, 500] {
+            let sol = HomogeneousP4::new(n, p, 0.5, Groupput).solve();
+            let cert = certificate_for_homogeneous(n, &p, 0.5, Groupput, &sol);
+            assert!(cert.converged);
+            assert!(
+                cert.is_consistent(1e-6),
+                "n={n}: T^σ={} T*={} D={}",
+                cert.t_sigma,
+                cert.oracle,
+                cert.dual_upper
+            );
+        }
+        // At a size the exact path can handle, the two certificate
+        // constructors agree on the whole sandwich.
+        let n = 5;
+        let hsol = HomogeneousP4::new(n, p, 0.5, Groupput).solve();
+        let hcert = certificate_for_homogeneous(n, &p, 0.5, Groupput, &hsol);
+        let ecert = achievability_gap(&vec![p; n], 0.5, Groupput, P4Options::default());
+        assert!((hcert.oracle - ecert.oracle).abs() < 1e-9);
+        assert!((hcert.t_sigma - ecert.t_sigma).abs() / ecert.t_sigma < 5e-3);
+        assert!((hcert.dual_upper - ecert.dual_upper).abs() / ecert.dual_upper < 5e-3);
     }
 
     #[test]

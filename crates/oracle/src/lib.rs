@@ -32,7 +32,10 @@ pub mod non_clique;
 mod solution;
 
 pub use anyput::{oracle_anyput, oracle_anyput_homogeneous};
-pub use gap::{achievability_gap, sigma_frontier, AchievabilityGap};
+pub use gap::{
+    achievability_gap, certificate_for, certificate_for_homogeneous, oracle_throughput_for,
+    sigma_frontier, AchievabilityGap,
+};
 pub use groupput::{oracle_groupput, oracle_groupput_homogeneous};
 pub use non_clique::{non_clique_anyput_bounds, non_clique_groupput_bounds, NonCliqueBounds};
 pub use solution::OracleSolution;

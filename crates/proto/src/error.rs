@@ -18,6 +18,13 @@ pub enum DecodeError {
     BadChecksum,
     /// A length/count field is inconsistent with the buffer size.
     MalformedLength,
+    /// A service message carried a wire-format version this build does
+    /// not speak (see [`crate::service::WIRE_VERSION`]).
+    UnsupportedVersion(u8),
+    /// A field value is outside its legal domain (e.g. an objective
+    /// discriminant that is neither groupput nor anyput, or a
+    /// non-finite float where a finite one is required).
+    InvalidField(&'static str),
 }
 
 impl fmt::Display for DecodeError {
@@ -29,6 +36,10 @@ impl fmt::Display for DecodeError {
             DecodeError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
             DecodeError::BadChecksum => write!(f, "frame checksum mismatch"),
             DecodeError::MalformedLength => write!(f, "length field inconsistent with buffer"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported service wire version {v}")
+            }
+            DecodeError::InvalidField(what) => write!(f, "invalid field: {what}"),
         }
     }
 }

@@ -18,12 +18,22 @@
 //! CRC-16/CCITT integrity check (implemented from scratch — the
 //! approved dependency list has no CRC crate) and a length-prefixed
 //! stream codec used by the emulated observer node's serial link.
+//!
+//! A second, *versioned* message family ([`service`], type octets
+//! `0x10..`) carries the policy-serving subsystem's request/response
+//! traffic (`econcast-service`) over the same CRC and length-prefix
+//! machinery.
 
 pub mod codec;
 pub mod crc;
 pub mod error;
 pub mod frame;
+pub mod service;
 
 pub use codec::StreamCodec;
 pub use error::DecodeError;
 pub use frame::{DataFrame, Frame, PingFrame, ReceptionReport};
+pub use service::{
+    ServedTier, ServiceCodec, ServiceErrorCode, ServiceMessage, WireObjective, WirePolicy,
+    WirePolicyError, WirePolicyRequest, WirePolicyResponse, WIRE_VERSION,
+};

@@ -1,0 +1,728 @@
+//! Wire messages for the policy-serving subsystem (`econcast-service`).
+//!
+//! The policy server accepts batches of *policy requests* — "here are
+//! my N nodes' power budgets, tell each of them how much to listen and
+//! transmit" — and answers with per-node policies plus the
+//! achievability-gap certificate of `econcast-oracle::gap`. These
+//! messages ride the same CRC-16/CCITT integrity layer as the radio
+//! frames in [`crate::frame`], but form a separate, *versioned* family
+//! (type octets `0x10..`) so the two wire surfaces can evolve
+//! independently.
+//!
+//! Wire layout (big-endian, CRC-16/CCITT-FALSE over everything before
+//! the CRC; all floats are IEEE-754 bit patterns, so round-trips are
+//! exact):
+//!
+//! ```text
+//! Request:  [0x10][ver][id u32][obj u8][sigma f64][tol f64]
+//!           [listen f64][transmit f64][n u16]{ [rho f64] }×n [crc u16]
+//! Response: [0x11][ver][id u32][tier u8][converged u8][throughput f64]
+//!           [t_sigma f64][oracle f64][dual_upper f64][n u16]
+//!           { [listen f64][transmit f64] }×n [crc u16]
+//! Error:    [0x12][ver][id u32][code u8][crc u16]
+//! ```
+//!
+//! `ver` is [`WIRE_VERSION`]; decoders reject other versions with
+//! [`DecodeError::UnsupportedVersion`] so old binaries fail loudly
+//! instead of misparsing. Budgets are listed in the *caller's* node
+//! order and the response's policies come back in that same order —
+//! canonicalization for caching is entirely the server's business and
+//! never leaks onto the wire.
+
+use crate::crc::crc16_ccitt;
+use crate::error::DecodeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Current service wire-format version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on per-message node counts so every message fits a u16
+/// stream-length prefix (a 4000-node response is 64 042 bytes).
+pub const MAX_WIRE_NODES: usize = 4000;
+
+const TYPE_REQUEST: u8 = 0x10;
+const TYPE_RESPONSE: u8 = 0x11;
+const TYPE_ERROR: u8 = 0x12;
+
+/// Which throughput objective the requested policy optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireObjective {
+    /// Groupput (Definition 1): count every delivered copy.
+    Groupput,
+    /// Anyput (Definition 2): count packets delivered to ≥ 1 listener.
+    Anyput,
+}
+
+impl WireObjective {
+    fn to_u8(self) -> u8 {
+        match self {
+            WireObjective::Groupput => 0,
+            WireObjective::Anyput => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            0 => Ok(WireObjective::Groupput),
+            1 => Ok(WireObjective::Anyput),
+            _ => Err(DecodeError::InvalidField("objective")),
+        }
+    }
+}
+
+/// Which cache tier produced a response (also the server's per-tier
+/// stats key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedTier {
+    /// A fresh exact (P4) dual-descent solve.
+    Solver,
+    /// Exact-match LRU hit on the canonicalized instance.
+    Exact,
+    /// Interpolated from the precomputed (N, ρ) grid.
+    Grid,
+    /// The O(1)-per-group homogeneous closed form (scalar-dual
+    /// bisection over the `2N + 1` aggregated state groups).
+    ClosedForm,
+}
+
+impl ServedTier {
+    fn to_u8(self) -> u8 {
+        match self {
+            ServedTier::Solver => 0,
+            ServedTier::Exact => 1,
+            ServedTier::Grid => 2,
+            ServedTier::ClosedForm => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            0 => Ok(ServedTier::Solver),
+            1 => Ok(ServedTier::Exact),
+            2 => Ok(ServedTier::Grid),
+            3 => Ok(ServedTier::ClosedForm),
+            _ => Err(DecodeError::InvalidField("tier")),
+        }
+    }
+}
+
+/// Why the server could not answer a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceErrorCode {
+    /// A field failed validation (non-positive budget, σ ≤ 0, …).
+    BadRequest,
+    /// The instance is heterogeneous and too large for exact
+    /// enumeration, and no fallback tier covers it.
+    TooLarge,
+}
+
+impl ServiceErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ServiceErrorCode::BadRequest => 0,
+            ServiceErrorCode::TooLarge => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            0 => Ok(ServiceErrorCode::BadRequest),
+            1 => Ok(ServiceErrorCode::TooLarge),
+            _ => Err(DecodeError::InvalidField("error code")),
+        }
+    }
+}
+
+/// A policy request: one instance of "solve (P4) for these budgets".
+///
+/// All nodes share the radio powers `(listen_w, transmit_w)` — the
+/// paper's heterogeneity is in the harvested budgets, not the radio —
+/// while `budgets_w[i]` carries each node's `ρ_i` in caller order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePolicyRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u32,
+    /// Throughput objective.
+    pub objective: WireObjective,
+    /// Entropy temperature σ.
+    pub sigma: f64,
+    /// Requested relative accuracy of the returned policy (the cache
+    /// tier contract; see the service crate docs).
+    pub tolerance: f64,
+    /// Listen power `L` (W), shared by all nodes.
+    pub listen_w: f64,
+    /// Transmit power `X` (W), shared by all nodes.
+    pub transmit_w: f64,
+    /// Per-node power budgets `ρ_i` (W), caller order.
+    pub budgets_w: Vec<f64>,
+}
+
+/// One node's served policy: the fractions of time to spend listening
+/// and transmitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePolicy {
+    /// Listen-time fraction `α_i`.
+    pub listen: f64,
+    /// Transmit-time fraction `β_i`.
+    pub transmit: f64,
+}
+
+/// A served policy plus its achievability certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePolicyResponse {
+    /// Echo of the request id.
+    pub id: u32,
+    /// Which cache tier answered.
+    pub tier: ServedTier,
+    /// Whether the underlying dual solve met its tolerance (always
+    /// true for closed-form/grid tiers).
+    pub converged: bool,
+    /// Expected network throughput `E_π[T_w]` under the policy.
+    pub throughput: f64,
+    /// Certificate: achievable lower end `T^σ`.
+    pub cert_t_sigma: f64,
+    /// Certificate: the LP oracle `T*`.
+    pub cert_oracle: f64,
+    /// Certificate: weak-duality upper bound `D(η) ≥ T*`.
+    pub cert_dual_upper: f64,
+    /// Per-node policies, in the *request's* node order.
+    pub policies: Vec<WirePolicy>,
+}
+
+/// A per-request error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePolicyError {
+    /// Echo of the request id.
+    pub id: u32,
+    /// What went wrong.
+    pub code: ServiceErrorCode,
+}
+
+/// Any service-family message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceMessage {
+    /// Client → server.
+    Request(WirePolicyRequest),
+    /// Server → client (success).
+    Response(WirePolicyResponse),
+    /// Server → client (failure).
+    Error(WirePolicyError),
+}
+
+impl ServiceMessage {
+    /// Encodes the message (including CRC) into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes into an existing buffer (appends).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node list exceeds [`MAX_WIRE_NODES`] — requests
+    /// that large cannot be framed and indicate a caller bug.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        match self {
+            ServiceMessage::Request(r) => {
+                assert!(
+                    r.budgets_w.len() <= MAX_WIRE_NODES,
+                    "request exceeds MAX_WIRE_NODES"
+                );
+                buf.put_u8(TYPE_REQUEST);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(r.id);
+                buf.put_u8(r.objective.to_u8());
+                buf.put_f64(r.sigma);
+                buf.put_f64(r.tolerance);
+                buf.put_f64(r.listen_w);
+                buf.put_f64(r.transmit_w);
+                buf.put_u16(r.budgets_w.len() as u16);
+                for &rho in &r.budgets_w {
+                    buf.put_f64(rho);
+                }
+            }
+            ServiceMessage::Response(r) => {
+                assert!(
+                    r.policies.len() <= MAX_WIRE_NODES,
+                    "response exceeds MAX_WIRE_NODES"
+                );
+                buf.put_u8(TYPE_RESPONSE);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(r.id);
+                buf.put_u8(r.tier.to_u8());
+                buf.put_u8(u8::from(r.converged));
+                buf.put_f64(r.throughput);
+                buf.put_f64(r.cert_t_sigma);
+                buf.put_f64(r.cert_oracle);
+                buf.put_f64(r.cert_dual_upper);
+                buf.put_u16(r.policies.len() as u16);
+                for p in &r.policies {
+                    buf.put_f64(p.listen);
+                    buf.put_f64(p.transmit);
+                }
+            }
+            ServiceMessage::Error(e) => {
+                buf.put_u8(TYPE_ERROR);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(e.id);
+                buf.put_u8(e.code.to_u8());
+            }
+        }
+        let crc = crc16_ccitt(&buf[start..]);
+        buf.put_u16(crc);
+    }
+
+    /// The exact encoded size in bytes, CRC included.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            ServiceMessage::Request(r) => 41 + 8 * r.budgets_w.len() + 2,
+            ServiceMessage::Response(r) => 42 + 16 * r.policies.len() + 2,
+            ServiceMessage::Error(_) => 7 + 2,
+        }
+    }
+
+    /// Decodes one message from the start of `data`, returning the
+    /// message and the number of bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(ServiceMessage, usize), DecodeError> {
+        if data.is_empty() {
+            return Err(DecodeError::Truncated {
+                needed: 9,
+                available: 0,
+            });
+        }
+        // Total length first (needs the count field for the two
+        // variable-size messages), then CRC, then version, then fields
+        // — so corrupt bytes surface as BadChecksum, not field errors.
+        let total_len = match data[0] {
+            TYPE_REQUEST => {
+                if data.len() < 41 {
+                    return Err(DecodeError::Truncated {
+                        needed: 43,
+                        available: data.len(),
+                    });
+                }
+                let n = u16::from_be_bytes([data[39], data[40]]) as usize;
+                41 + 8 * n + 2
+            }
+            TYPE_RESPONSE => {
+                if data.len() < 42 {
+                    return Err(DecodeError::Truncated {
+                        needed: 44,
+                        available: data.len(),
+                    });
+                }
+                let n = u16::from_be_bytes([data[40], data[41]]) as usize;
+                42 + 16 * n + 2
+            }
+            TYPE_ERROR => 9,
+            t => return Err(DecodeError::UnknownFrameType(t)),
+        };
+        if data.len() < total_len {
+            return Err(DecodeError::Truncated {
+                needed: total_len,
+                available: data.len(),
+            });
+        }
+        let frame_bytes = &data[..total_len];
+        let (payload, tail) = frame_bytes.split_at(total_len - 2);
+        let expected = u16::from_be_bytes([tail[0], tail[1]]);
+        if crc16_ccitt(payload) != expected {
+            return Err(DecodeError::BadChecksum);
+        }
+        if payload[1] != WIRE_VERSION {
+            return Err(DecodeError::UnsupportedVersion(payload[1]));
+        }
+
+        let mut cur = &payload[2..]; // skip type + version octets
+        let msg = match data[0] {
+            TYPE_REQUEST => {
+                let id = cur.get_u32();
+                let objective = WireObjective::from_u8(cur.get_u8())?;
+                let sigma = cur.get_f64();
+                let tolerance = cur.get_f64();
+                let listen_w = cur.get_f64();
+                let transmit_w = cur.get_f64();
+                let n = cur.get_u16() as usize;
+                if n > MAX_WIRE_NODES {
+                    return Err(DecodeError::MalformedLength);
+                }
+                let mut budgets_w = Vec::with_capacity(n);
+                for _ in 0..n {
+                    budgets_w.push(cur.get_f64());
+                }
+                ServiceMessage::Request(WirePolicyRequest {
+                    id,
+                    objective,
+                    sigma,
+                    tolerance,
+                    listen_w,
+                    transmit_w,
+                    budgets_w,
+                })
+            }
+            TYPE_RESPONSE => {
+                let id = cur.get_u32();
+                let tier = ServedTier::from_u8(cur.get_u8())?;
+                let converged = match cur.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::InvalidField("converged")),
+                };
+                let throughput = cur.get_f64();
+                let cert_t_sigma = cur.get_f64();
+                let cert_oracle = cur.get_f64();
+                let cert_dual_upper = cur.get_f64();
+                let n = cur.get_u16() as usize;
+                if n > MAX_WIRE_NODES {
+                    return Err(DecodeError::MalformedLength);
+                }
+                let mut policies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let listen = cur.get_f64();
+                    let transmit = cur.get_f64();
+                    policies.push(WirePolicy { listen, transmit });
+                }
+                ServiceMessage::Response(WirePolicyResponse {
+                    id,
+                    tier,
+                    converged,
+                    throughput,
+                    cert_t_sigma,
+                    cert_oracle,
+                    cert_dual_upper,
+                    policies,
+                })
+            }
+            TYPE_ERROR => {
+                let id = cur.get_u32();
+                let code = ServiceErrorCode::from_u8(cur.get_u8())?;
+                ServiceMessage::Error(WirePolicyError { id, code })
+            }
+            _ => unreachable!("validated above"),
+        };
+        Ok((msg, total_len))
+    }
+}
+
+/// Incremental encoder/decoder for a stream of length-prefixed service
+/// messages — the service-side twin of [`crate::StreamCodec`], with
+/// the same `u16` length prefix and fatal-error semantics.
+#[derive(Debug, Default)]
+pub struct ServiceCodec {
+    buffer: BytesMut,
+}
+
+impl ServiceCodec {
+    /// Creates an empty codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes one message with its length prefix into `out`.
+    pub fn encode(msg: &ServiceMessage, out: &mut BytesMut) {
+        let len = msg.encoded_len();
+        assert!(len <= u16::MAX as usize, "message too large for u16 prefix");
+        out.put_u16(len as u16);
+        msg.encode_into(out);
+    }
+
+    /// Appends received bytes to the internal reassembly buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Attempts to decode the next complete message. `Ok(None)` means
+    /// more bytes are needed; errors are fatal for the stream.
+    pub fn next_message(&mut self) -> Result<Option<ServiceMessage>, DecodeError> {
+        if self.buffer.len() < 2 {
+            return Ok(None);
+        }
+        let len = u16::from_be_bytes([self.buffer[0], self.buffer[1]]) as usize;
+        if self.buffer.len() < 2 + len {
+            return Ok(None);
+        }
+        self.buffer.advance(2);
+        let msg_bytes = self.buffer.split_to(len);
+        let (msg, used) = ServiceMessage::decode(&msg_bytes)?;
+        if used != len {
+            return Err(DecodeError::MalformedLength);
+        }
+        Ok(Some(msg))
+    }
+
+    /// Drains all currently decodable messages.
+    pub fn drain(&mut self) -> Result<Vec<ServiceMessage>, DecodeError> {
+        let mut out = Vec::new();
+        while let Some(m) = self.next_message()? {
+            out.push(m);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_request() -> ServiceMessage {
+        ServiceMessage::Request(WirePolicyRequest {
+            id: 7,
+            objective: WireObjective::Groupput,
+            sigma: 0.5,
+            tolerance: 1e-3,
+            listen_w: 500e-6,
+            transmit_w: 450e-6,
+            budgets_w: vec![10e-6, 20e-6, 5e-6],
+        })
+    }
+
+    fn sample_response() -> ServiceMessage {
+        ServiceMessage::Response(WirePolicyResponse {
+            id: 7,
+            tier: ServedTier::Grid,
+            converged: true,
+            throughput: 3.25,
+            cert_t_sigma: 3.25,
+            cert_oracle: 4.0,
+            cert_dual_upper: 4.5,
+            policies: vec![
+                WirePolicy {
+                    listen: 0.1,
+                    transmit: 0.02,
+                },
+                WirePolicy {
+                    listen: 0.2,
+                    transmit: 0.04,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn request_roundtrip_and_size() {
+        let m = sample_request();
+        let b = m.encode();
+        assert_eq!(b.len(), m.encoded_len());
+        assert_eq!(b.len(), 41 + 24 + 2);
+        let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(used, b.len());
+    }
+
+    #[test]
+    fn response_roundtrip_and_size() {
+        let m = sample_response();
+        let b = m.encode();
+        assert_eq!(b.len(), m.encoded_len());
+        assert_eq!(b.len(), 42 + 32 + 2);
+        let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(used, b.len());
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        for code in [ServiceErrorCode::BadRequest, ServiceErrorCode::TooLarge] {
+            let m = ServiceMessage::Error(WirePolicyError { id: 9, code });
+            let b = m.encode();
+            assert_eq!(b.len(), 9);
+            assert_eq!(ServiceMessage::decode(&b).unwrap().0, m);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        // Rebuild the message with a bumped version byte and a *valid*
+        // CRC, so the version check itself is exercised.
+        let mut b = sample_request().encode().to_vec();
+        b[1] = WIRE_VERSION + 1;
+        let body_len = b.len() - 2;
+        let crc = crate::crc::crc16_ccitt(&b[..body_len]);
+        b[body_len..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ServiceMessage::decode(&b),
+            Err(DecodeError::UnsupportedVersion(WIRE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn corrupt_crc_rejected_before_fields() {
+        // Corrupting the objective byte must surface as BadChecksum
+        // (integrity first), not InvalidField.
+        let mut b = sample_request().encode().to_vec();
+        b[6] = 0x7F; // objective octet
+        assert_eq!(ServiceMessage::decode(&b), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_reports_needed_bytes() {
+        let b = sample_response().encode();
+        match ServiceMessage::decode(&b[..b.len() - 1]) {
+            Err(DecodeError::Truncated { needed, available }) => {
+                assert_eq!(needed, b.len());
+                assert_eq!(available, b.len() - 1);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert!(matches!(
+            ServiceMessage::decode(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Cut inside the fixed header, before the count field.
+        assert!(matches!(
+            ServiceMessage::decode(&b[..20]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert_eq!(
+            ServiceMessage::decode(&[0x42, 1, 0, 0]),
+            Err(DecodeError::UnknownFrameType(0x42))
+        );
+    }
+
+    #[test]
+    fn codec_roundtrip_with_chunked_feed() {
+        let msgs = vec![sample_request(), sample_response()];
+        let mut wire = BytesMut::new();
+        for m in &msgs {
+            ServiceCodec::encode(m, &mut wire);
+        }
+        let mut codec = ServiceCodec::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(5) {
+            codec.feed(piece);
+            while let Some(m) = codec.next_message().unwrap() {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded, msgs);
+        assert_eq!(codec.pending(), 0);
+    }
+
+    #[test]
+    fn codec_corruption_is_fatal() {
+        let mut wire = BytesMut::new();
+        ServiceCodec::encode(&sample_request(), &mut wire);
+        wire[10] ^= 0xFF;
+        let mut codec = ServiceCodec::new();
+        codec.feed(&wire);
+        assert!(codec.next_message().is_err());
+    }
+
+    proptest! {
+        /// Arbitrary (finite-float) requests round-trip exactly.
+        #[test]
+        fn prop_request_roundtrip(
+            id in any::<u32>(),
+            obj in 0u8..2,
+            sigma in 0.01f64..10.0,
+            tol in 1e-9f64..1.0,
+            l in 1e-9f64..1.0,
+            x in 1e-9f64..1.0,
+            budgets in proptest::collection::vec(1e-9f64..1.0, 0..40),
+        ) {
+            let m = ServiceMessage::Request(WirePolicyRequest {
+                id,
+                objective: WireObjective::from_u8(obj).unwrap(),
+                sigma,
+                tolerance: tol,
+                listen_w: l,
+                transmit_w: x,
+                budgets_w: budgets,
+            });
+            let b = m.encode();
+            prop_assert_eq!(b.len(), m.encoded_len());
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(used, b.len());
+        }
+
+        /// Arbitrary responses round-trip exactly.
+        #[test]
+        fn prop_response_roundtrip(
+            id in any::<u32>(),
+            tier in 0u8..4,
+            converged in any::<bool>(),
+            t in 0.0f64..100.0,
+            policies in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..40),
+        ) {
+            let m = ServiceMessage::Response(WirePolicyResponse {
+                id,
+                tier: ServedTier::from_u8(tier).unwrap(),
+                converged,
+                throughput: t,
+                cert_t_sigma: t,
+                cert_oracle: t * 1.25,
+                cert_dual_upper: t * 1.5,
+                policies: policies
+                    .into_iter()
+                    .map(|(listen, transmit)| WirePolicy { listen, transmit })
+                    .collect(),
+            });
+            let b = m.encode();
+            prop_assert_eq!(b.len(), m.encoded_len());
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(used, b.len());
+        }
+
+        /// Every truncation of a valid encoding fails with Truncated —
+        /// never a panic, never a bogus success.
+        #[test]
+        fn prop_truncations_fail_cleanly(
+            budgets in proptest::collection::vec(1e-9f64..1.0, 1..20),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let m = ServiceMessage::Request(WirePolicyRequest {
+                id: 1,
+                objective: WireObjective::Anyput,
+                sigma: 0.5,
+                tolerance: 1e-3,
+                listen_w: 1e-3,
+                transmit_w: 1e-3,
+                budgets_w: budgets,
+            });
+            let b = m.encode();
+            let cut = ((b.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+
+        /// Single-byte corruption anywhere in the body is caught by the
+        /// CRC (or, for the leading type octet, by type validation).
+        #[test]
+        fn prop_corruption_detected(
+            pos_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let m = sample_response();
+            let mut b = m.encode().to_vec();
+            let pos = ((b.len() - 1) as f64 * pos_frac) as usize;
+            b[pos] ^= flip;
+            let r = ServiceMessage::decode(&b);
+            // Corrupting a count field can also shift the expected
+            // length (Truncated); all are clean rejections.
+            prop_assert!(r.is_err());
+        }
+
+        /// Random garbage never panics the decoder.
+        #[test]
+        fn prop_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = ServiceMessage::decode(&bytes);
+        }
+    }
+}

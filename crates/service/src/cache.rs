@@ -1,0 +1,258 @@
+//! The exact-match LRU tier.
+//!
+//! Keys are [`InstanceKey`]s (canonicalized instances, see
+//! `econcast_statespace::instance`); values are solved policies in
+//! *canonical* (sorted-budget) order, so one entry serves every
+//! permutation of the same instance. Implemented as a `HashMap` into a
+//! slot arena threaded with an intrusive doubly-linked recency list —
+//! `get` and `insert` are O(1), eviction pops the list tail. No
+//! external crates, deterministic behaviour (recency order depends
+//! only on the call sequence, never on hash iteration order).
+
+use econcast_oracle::AchievabilityGap;
+use econcast_statespace::InstanceKey;
+use std::collections::HashMap;
+
+/// A solved policy in canonical (sorted-budget) node order — the unit
+/// the exact tier stores and the solve pipeline produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPolicy {
+    /// Listen fractions, canonical order.
+    pub alpha: Vec<f64>,
+    /// Transmit fractions, canonical order.
+    pub beta: Vec<f64>,
+    /// Expected throughput.
+    pub throughput: f64,
+    /// Whether the producing solve met its tolerance.
+    pub converged: bool,
+    /// The certificate computed when the entry was produced.
+    pub certificate: AchievabilityGap,
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    key: InstanceKey,
+    value: CachedPolicy,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU over canonical instance keys.
+#[derive(Debug)]
+pub struct LruCache {
+    map: HashMap<InstanceKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recent).
+    fn link_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, promoting a hit to most-recently-used.
+    pub fn get(&mut self, key: &InstanceKey) -> Option<&CachedPolicy> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently
+    /// used one when full.
+    pub fn insert(&mut self, key: InstanceKey, value: CachedPolicy) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        let slot = if self.map.len() >= self.capacity {
+            // Recycle the tail.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.evictions += 1;
+            self.slots[victim].key = key.clone();
+            self.slots[victim].value = value;
+            victim
+        } else if let Some(i) = self.free.pop() {
+            self.slots[i].key = key.clone();
+            self.slots[i].value = value;
+            i
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.link_front(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::ThroughputMode::Groupput;
+    use econcast_statespace::CanonicalInstance;
+
+    fn key(budget_scale: f64) -> InstanceKey {
+        CanonicalInstance::new(&[budget_scale * 1e-6], 5e-4, 5e-4, 0.5, Groupput, 1e-3).key
+    }
+
+    fn value(tag: f64) -> CachedPolicy {
+        CachedPolicy {
+            alpha: vec![tag],
+            beta: vec![tag],
+            throughput: tag,
+            converged: true,
+            certificate: AchievabilityGap {
+                sigma: 0.5,
+                t_sigma: tag,
+                oracle: tag,
+                dual_upper: tag,
+                converged: true,
+            },
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut lru = LruCache::new(2);
+        lru.insert(key(1.0), value(1.0));
+        lru.insert(key(2.0), value(2.0));
+        assert_eq!(lru.len(), 2);
+        // Touch key 1 so key 2 becomes LRU.
+        assert!(lru.get(&key(1.0)).is_some());
+        lru.insert(key(3.0), value(3.0));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions(), 1);
+        assert!(lru.get(&key(2.0)).is_none(), "LRU entry evicted");
+        assert!(lru.get(&key(1.0)).is_some(), "recently used entry kept");
+        assert!(lru.get(&key(3.0)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut lru = LruCache::new(2);
+        lru.insert(key(1.0), value(1.0));
+        lru.insert(key(2.0), value(2.0));
+        lru.insert(key(1.0), value(10.0)); // refresh, key 2 now LRU
+        assert_eq!(lru.get(&key(1.0)).unwrap().throughput, 10.0);
+        lru.insert(key(3.0), value(3.0));
+        assert!(lru.get(&key(2.0)).is_none());
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn single_slot_cache_works() {
+        let mut lru = LruCache::new(1);
+        for i in 1..=5 {
+            lru.insert(key(i as f64), value(i as f64));
+            assert_eq!(lru.len(), 1);
+            assert!(lru.get(&key(i as f64)).is_some());
+        }
+        assert_eq!(lru.evictions(), 4);
+    }
+
+    #[test]
+    fn churn_preserves_linkage() {
+        // Exercise unlink/link paths across a longer mixed workload.
+        let mut lru = LruCache::new(4);
+        for round in 0..50usize {
+            let k = (round % 7) as f64 + 1.0;
+            if round % 3 == 0 {
+                let _ = lru.get(&key(k));
+            } else {
+                lru.insert(key(k), value(k));
+            }
+            assert!(lru.len() <= 4);
+        }
+        // The four most recently inserted/touched keys resolve.
+        let mut hits = 0;
+        for k in 1..=7 {
+            if lru.get(&key(k as f64)).is_some() {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 4);
+    }
+}

@@ -1,0 +1,291 @@
+//! The interpolation-grid tier: precomputed homogeneous policies over
+//! `(N, ρ)`.
+//!
+//! For a *family* of homogeneous clique instances — fixed node count
+//! `N`, radio powers `(L, X)`, temperature σ, and objective — the
+//! optimal scalar dual multiplier `η*(ρ)` is a smooth, monotone
+//! function of the budget. The grid samples it at log-spaced budget
+//! knots (one exact scalar-dual bisection each) and serves an
+//! intermediate budget with **one** Gibbs evaluation at the
+//! linearly-interpolated multiplier, instead of a full bisection:
+//!
+//! * the served policy is a genuine Gibbs policy (the marginals at
+//!   `η̃`), so its weak-duality certificate is valid *exactly* — `D(η)`
+//!   upper-bounds the optimum at every `η ≥ 0`, interpolated or not;
+//! * the policy's distance from the true optimum is controlled by the
+//!   interpolation error of `η̃`, which the build certifies empirically:
+//!   every inter-knot interval is validated at its midpoint against an
+//!   exact solve, and the observed error (× a safety factor) gates
+//!   which tolerance tiers the interval may serve.
+//!
+//! Grids build lazily, on the first homogeneous request of a family
+//! that reaches this tier, and are keyed by [`FamilyKey`].
+
+use crate::cache::CachedPolicy;
+use econcast_core::{NodeParams, ThroughputMode};
+use econcast_oracle::certificate_for_homogeneous;
+use econcast_statespace::homogeneous::{HomogeneousGibbs, HomogeneousP4Solution};
+use econcast_statespace::HomogeneousP4;
+
+/// Tuning for the grid tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Number of budget knots per family (≥ 2).
+    pub points: usize,
+    /// Smallest budget covered (W).
+    pub rho_min_w: f64,
+    /// Largest budget covered (W).
+    pub rho_max_w: f64,
+    /// Multiplier applied to the midpoint-validated interval error
+    /// before comparing against a request's tolerance tier — headroom
+    /// for the error's variation away from the midpoint.
+    pub safety: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            // 33 knots over five decades of budget: ~2.6 knots per
+            // octave, fine enough for 1e-3 tiers at paper-scale N.
+            points: 33,
+            rho_min_w: 1e-7,
+            rho_max_w: 1e-2,
+            safety: 4.0,
+        }
+    }
+}
+
+/// Identifies one grid family: everything that pins the homogeneous
+/// instance except the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FamilyKey {
+    /// Node count.
+    pub n: usize,
+    /// `L` bits.
+    pub listen: u64,
+    /// `X` bits.
+    pub transmit: u64,
+    /// `σ` bits.
+    pub sigma: u64,
+    /// 0 = groupput, 1 = anyput.
+    pub mode: u8,
+}
+
+impl FamilyKey {
+    /// The family of a homogeneous instance.
+    pub fn new(n: usize, listen_w: f64, transmit_w: f64, sigma: f64, mode: ThroughputMode) -> Self {
+        FamilyKey {
+            n,
+            listen: listen_w.to_bits(),
+            transmit: transmit_w.to_bits(),
+            sigma: sigma.to_bits(),
+            mode: match mode {
+                ThroughputMode::Groupput => 0,
+                ThroughputMode::Anyput => 1,
+            },
+        }
+    }
+}
+
+/// A built grid for one family.
+#[derive(Debug, Clone)]
+pub struct PolicyGrid {
+    n: usize,
+    listen_w: f64,
+    transmit_w: f64,
+    sigma: f64,
+    mode: ThroughputMode,
+    safety: f64,
+    /// Knot abscissae, `ln ρ`, ascending.
+    ln_rho: Vec<f64>,
+    /// Exact scalar multipliers at the knots.
+    eta: Vec<f64>,
+    /// Midpoint-validated relative policy error per interval.
+    interval_err: Vec<f64>,
+}
+
+impl PolicyGrid {
+    /// Builds the grid for one family: `cfg.points` exact solves for
+    /// the knots plus one validation solve per interval midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.points < 2` or the budget range is not a
+    /// positive, ordered pair.
+    pub fn build(
+        n: usize,
+        listen_w: f64,
+        transmit_w: f64,
+        sigma: f64,
+        mode: ThroughputMode,
+        cfg: &GridConfig,
+    ) -> Self {
+        assert!(cfg.points >= 2, "grid needs at least two knots");
+        assert!(cfg.rho_min_w > 0.0 && cfg.rho_min_w < cfg.rho_max_w);
+        let (lo, hi) = (cfg.rho_min_w.ln(), cfg.rho_max_w.ln());
+        let step = (hi - lo) / (cfg.points - 1) as f64;
+        let ln_rho: Vec<f64> = (0..cfg.points).map(|k| lo + step * k as f64).collect();
+
+        let solve = |rho: f64| {
+            let p = NodeParams::new(rho, listen_w, transmit_w);
+            HomogeneousP4::new(n, p, sigma, mode).solve()
+        };
+        let eta: Vec<f64> = ln_rho.iter().map(|&lr| solve(lr.exp()).eta).collect();
+
+        let mut grid = PolicyGrid {
+            n,
+            listen_w,
+            transmit_w,
+            sigma,
+            mode,
+            safety: cfg.safety,
+            ln_rho,
+            eta,
+            interval_err: Vec::new(),
+        };
+        // Certify each interval at its midpoint: interpolated-η policy
+        // vs exact bisection.
+        grid.interval_err = (0..grid.eta.len() - 1)
+            .map(|k| {
+                let mid = 0.5 * (grid.ln_rho[k] + grid.ln_rho[k + 1]);
+                let rho = mid.exp();
+                let exact = solve(rho);
+                let interp = grid.eval_at(rho, grid.eta_interp(mid, k));
+                let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+                rel(interp.alpha, exact.alpha)
+                    .max(rel(interp.beta, exact.beta))
+                    .max(rel(interp.throughput, exact.throughput))
+            })
+            .collect();
+        grid
+    }
+
+    /// Linear interpolation of η on interval `k` at abscissa `ln ρ`.
+    fn eta_interp(&self, ln_rho: f64, k: usize) -> f64 {
+        let (x0, x1) = (self.ln_rho[k], self.ln_rho[k + 1]);
+        let t = (ln_rho - x0) / (x1 - x0);
+        // η is clamped non-negative; interpolation between
+        // non-negative knots stays non-negative.
+        self.eta[k] + t * (self.eta[k + 1] - self.eta[k])
+    }
+
+    /// One Gibbs evaluation at multiplier `eta` for budget `rho`.
+    fn eval_at(&self, rho: f64, eta: f64) -> HomogeneousP4Solution {
+        let p = NodeParams::new(rho, self.listen_w, self.transmit_w);
+        let s = HomogeneousGibbs::new(self.n, p, self.sigma, self.mode).summarize(eta);
+        HomogeneousP4Solution {
+            throughput: s.expected_throughput,
+            eta,
+            alpha: s.alpha,
+            beta: s.beta,
+            summary: s,
+        }
+    }
+
+    /// Serves a budget if it falls inside the grid and the covering
+    /// interval's certified error (× safety) meets `tolerance`.
+    /// Returns the policy in canonical per-node form.
+    pub fn serve(&self, rho: f64, tolerance: f64) -> Option<CachedPolicy> {
+        let x = rho.ln();
+        if !(self.ln_rho[0]..=*self.ln_rho.last().unwrap()).contains(&x) {
+            return None;
+        }
+        // Binary search for the covering interval.
+        let k = match self
+            .ln_rho
+            .binary_search_by(|probe| probe.total_cmp(&x))
+        {
+            Ok(i) => i.min(self.ln_rho.len() - 2),
+            Err(i) => i - 1,
+        };
+        if self.interval_err[k] * self.safety > tolerance {
+            return None;
+        }
+        let sol = self.eval_at(rho, self.eta_interp(x, k));
+        let params = NodeParams::new(rho, self.listen_w, self.transmit_w);
+        let certificate = certificate_for_homogeneous(self.n, &params, self.sigma, self.mode, &sol);
+        Some(CachedPolicy {
+            alpha: vec![sol.alpha; self.n],
+            beta: vec![sol.beta; self.n],
+            throughput: sol.throughput,
+            converged: true,
+            certificate,
+        })
+    }
+
+    /// The worst certified interval error (diagnostic).
+    pub fn max_interval_err(&self) -> f64 {
+        self.interval_err.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+
+    const L: f64 = 500e-6;
+    const X: f64 = 450e-6;
+
+    #[test]
+    fn grid_serves_within_certified_error() {
+        let cfg = GridConfig::default();
+        let grid = PolicyGrid::build(10, L, X, 0.5, Groupput, &cfg);
+        // Off-knot budgets across the range: grid policy vs exact
+        // bisection stays within the certified interval error × safety.
+        for rho in [2.3e-7, 7.7e-6, 1.9e-5, 4.1e-4, 6.5e-3] {
+            let served = grid.serve(rho, 1e-2);
+            let Some(served) = served else { continue };
+            let p = NodeParams::new(rho, L, X);
+            let exact = HomogeneousP4::new(10, p, 0.5, Groupput).solve();
+            let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+            assert!(
+                rel(served.alpha[0], exact.alpha) <= 1e-2,
+                "rho {rho}: alpha {} vs {}",
+                served.alpha[0],
+                exact.alpha
+            );
+            assert!(rel(served.beta[0], exact.beta) <= 1e-2);
+            assert!(rel(served.throughput, exact.throughput) <= 1e-2);
+        }
+    }
+
+    #[test]
+    fn grid_refuses_out_of_range_and_too_tight() {
+        let grid = PolicyGrid::build(5, L, X, 0.5, Groupput, &GridConfig::default());
+        assert!(grid.serve(1e-9, 1e-1).is_none(), "below the grid range");
+        assert!(grid.serve(1.0, 1e-1).is_none(), "above the grid range");
+        // A tolerance far below the certified error is declined.
+        let tighter_than_possible = grid.max_interval_err() / 1e6;
+        assert!(grid.serve(3.3e-6, tighter_than_possible).is_none());
+    }
+
+    #[test]
+    fn grid_certificates_sandwich_the_oracle() {
+        let grid = PolicyGrid::build(8, L, X, 0.5, Groupput, &GridConfig::default());
+        for rho in [3.1e-6, 2.9e-5] {
+            let served = grid.serve(rho, 1e-1).expect("loose tier must serve");
+            let c = &served.certificate;
+            assert!(
+                c.t_sigma <= c.oracle + 1e-9 && c.oracle <= c.dual_upper + 1e-9,
+                "rho {rho}: T^σ={} T*={} D={}",
+                c.t_sigma,
+                c.oracle,
+                c.dual_upper
+            );
+        }
+    }
+
+    #[test]
+    fn knot_budgets_are_served_exactly() {
+        let cfg = GridConfig::default();
+        let grid = PolicyGrid::build(6, L, X, 0.25, Anyput, &cfg);
+        // At a knot the interpolated η equals the exact knot η.
+        let rho = cfg.rho_min_w * (cfg.rho_max_w / cfg.rho_min_w).powf(0.5); // middle knot (odd count)
+        let served = grid.serve(rho, 1e-1).expect("in range");
+        let p = NodeParams::new(rho, L, X);
+        let exact = HomogeneousP4::new(6, p, 0.25, Anyput).solve();
+        assert!((served.alpha[0] - exact.alpha).abs() / exact.alpha < 1e-9);
+        assert!((served.beta[0] - exact.beta).abs() / exact.beta < 1e-9);
+    }
+}

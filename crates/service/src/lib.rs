@@ -1,0 +1,58 @@
+//! # econcast-service — the batched policy-serving subsystem
+//!
+//! The paper's (P4) solver tells a power-budgeted node its optimal
+//! listen/transmit policy; this crate turns the fast kernels built on
+//! it into a request/response *service*: accept
+//! `PolicyRequest { budgets ρ_i, objective, σ, tolerance }` batches,
+//! return per-node `(listen, transmit)` policies plus the
+//! weak-duality achievability certificate of `econcast-oracle::gap`.
+//!
+//! ## The tier ladder
+//!
+//! Every request walks a multi-tier policy cache, cheapest tier first:
+//!
+//! | tier | serves | cost | accuracy |
+//! |------|--------|------|----------|
+//! | **Exact** (LRU) | any previously-solved canonical instance | O(1) lookup | bit-identical to the producing solve |
+//! | **Grid** | homogeneous cliques with ρ inside the precomputed (N, ρ) grid | one Gibbs evaluation | midpoint-certified ≤ tolerance tier |
+//! | **ClosedForm** | any homogeneous clique | scalar-dual bisection, O(N log) | exact symmetric optimum |
+//! | **Solver** | heterogeneous instances up to the enumeration ceiling | full (P4) dual descent | dual residual ≤ tolerance tier |
+//!
+//! Instances are canonicalized before keying (budgets sorted,
+//! tolerance quantized onto decade tiers — see
+//! `econcast_statespace::instance`), so permutations of one instance
+//! share a cache entry; responses are always rotated back into the
+//! caller's node order. Per-tier hit counters are exposed as a
+//! [`ServiceStats`] snapshot.
+//!
+//! ## Batching
+//!
+//! [`PolicyService::serve_batch`] deduplicates canonically-identical
+//! requests within a batch and fans the remaining independent solves
+//! across `econcast-parallel` workers, one reusable solver workspace
+//! pool per worker. Responses are **bit-identical at any worker
+//! count** and come back in request order.
+//!
+//! ## Wire API
+//!
+//! [`WireServer`] exposes the whole thing over the versioned,
+//! CRC-checked `econcast-proto::service` message family on a
+//! length-prefixed byte stream.
+
+pub mod cache;
+pub mod grid;
+pub mod request;
+pub mod service;
+pub mod stats;
+pub mod wire;
+
+pub use cache::{CachedPolicy, LruCache};
+pub use grid::{FamilyKey, GridConfig, PolicyGrid};
+pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
+pub use service::{PolicyService, ServiceConfig};
+pub use stats::ServiceStats;
+pub use wire::WireServer;
+
+// The tier discriminant lives in the proto crate (it is part of the
+// wire format); re-export it as part of the native API too.
+pub use econcast_proto::service::ServedTier;

@@ -1,0 +1,229 @@
+//! Native request/response types and their wire conversions.
+
+use econcast_core::{NodeParams, ThroughputMode};
+use econcast_oracle::AchievabilityGap;
+use econcast_proto::service::{
+    ServedTier, ServiceErrorCode, WireObjective, WirePolicy, WirePolicyError, WirePolicyRequest,
+    WirePolicyResponse, MAX_WIRE_NODES,
+};
+
+/// One policy request: "tell these `n` nodes how to behave".
+///
+/// All nodes share the radio powers `(listen_w, transmit_w)`; the
+/// heterogeneity is in the budgets, matching the paper's experiment
+/// grids (same CC2500 radio, different harvesting conditions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRequest {
+    /// Per-node power budgets `ρ_i` (W), in the caller's node order.
+    pub budgets_w: Vec<f64>,
+    /// Listen power `L` (W).
+    pub listen_w: f64,
+    /// Transmit power `X` (W).
+    pub transmit_w: f64,
+    /// Entropy temperature σ.
+    pub sigma: f64,
+    /// Throughput objective.
+    pub objective: ThroughputMode,
+    /// Requested relative policy accuracy (quantized onto decade tiers
+    /// for caching; see [`econcast_statespace::quantize_tolerance`]).
+    pub tolerance: f64,
+}
+
+/// One node's served policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePolicy {
+    /// Listen-time fraction `α_i`.
+    pub listen: f64,
+    /// Transmit-time fraction `β_i`.
+    pub transmit: f64,
+}
+
+/// A served policy batch entry: per-node policies in the *request's*
+/// node order, plus the achievability-gap certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyResponse {
+    /// Per-node `(listen, transmit)` fractions, caller order.
+    pub policies: Vec<NodePolicy>,
+    /// Expected network throughput `E_π[T_w]` under the policy.
+    pub throughput: f64,
+    /// Which cache tier answered.
+    pub tier: ServedTier,
+    /// Whether the producing solve met its tolerance (true for the
+    /// grid/closed-form tiers, whose scalar dual is solved exactly).
+    pub converged: bool,
+    /// Weak-duality certificate `T^σ ≤ T* ≤ D(η)`.
+    pub certificate: AchievabilityGap,
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A field failed validation.
+    BadRequest(&'static str),
+    /// Heterogeneous instance beyond the exact solver's reach.
+    TooLarge {
+        /// Requested node count.
+        n: usize,
+        /// The service's exact-enumeration ceiling.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadRequest(what) => write!(f, "bad request: {what}"),
+            ServiceError::TooLarge { n, max } => write!(
+                f,
+                "heterogeneous instance with {n} nodes exceeds the exact solver ceiling ({max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceError {
+    /// The wire error code for this error.
+    pub fn wire_code(&self) -> ServiceErrorCode {
+        match self {
+            ServiceError::BadRequest(_) => ServiceErrorCode::BadRequest,
+            ServiceError::TooLarge { .. } => ServiceErrorCode::TooLarge,
+        }
+    }
+}
+
+/// Converts the wire objective to the core throughput mode.
+pub fn mode_from_wire(obj: WireObjective) -> ThroughputMode {
+    match obj {
+        WireObjective::Groupput => ThroughputMode::Groupput,
+        WireObjective::Anyput => ThroughputMode::Anyput,
+    }
+}
+
+/// Converts the core throughput mode to the wire objective.
+pub fn mode_to_wire(mode: ThroughputMode) -> WireObjective {
+    match mode {
+        ThroughputMode::Groupput => WireObjective::Groupput,
+        ThroughputMode::Anyput => WireObjective::Anyput,
+    }
+}
+
+impl PolicyRequest {
+    /// A homogeneous clique request: `n` nodes at the same params.
+    pub fn homogeneous(
+        n: usize,
+        params: NodeParams,
+        sigma: f64,
+        objective: ThroughputMode,
+        tolerance: f64,
+    ) -> Self {
+        PolicyRequest {
+            budgets_w: vec![params.budget_w; n],
+            listen_w: params.listen_w,
+            transmit_w: params.transmit_w,
+            sigma,
+            objective,
+            tolerance,
+        }
+    }
+
+    /// Number of nodes in the instance.
+    pub fn num_nodes(&self) -> usize {
+        self.budgets_w.len()
+    }
+
+    /// The [`NodeParams`] vector in caller order.
+    pub fn nodes(&self) -> Vec<NodeParams> {
+        self.budgets_w
+            .iter()
+            .map(|&rho| NodeParams::new(rho, self.listen_w, self.transmit_w))
+            .collect()
+    }
+
+    /// Validates every field; `Err` carries what failed.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        let fin_pos = |v: f64| v > 0.0 && v.is_finite();
+        if self.budgets_w.is_empty() {
+            return Err(ServiceError::BadRequest("empty budget vector"));
+        }
+        if self.budgets_w.len() > MAX_WIRE_NODES {
+            return Err(ServiceError::BadRequest("node count exceeds wire cap"));
+        }
+        if !self.budgets_w.iter().all(|&b| fin_pos(b)) {
+            return Err(ServiceError::BadRequest("budgets must be positive finite"));
+        }
+        if !fin_pos(self.listen_w) || !fin_pos(self.transmit_w) {
+            return Err(ServiceError::BadRequest(
+                "radio powers must be positive finite",
+            ));
+        }
+        if !fin_pos(self.sigma) {
+            return Err(ServiceError::BadRequest("sigma must be positive finite"));
+        }
+        if !fin_pos(self.tolerance) {
+            return Err(ServiceError::BadRequest(
+                "tolerance must be positive finite",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the native request from a wire request (no validation —
+    /// call [`PolicyRequest::validate`] before serving).
+    pub fn from_wire(w: &WirePolicyRequest) -> Self {
+        PolicyRequest {
+            budgets_w: w.budgets_w.clone(),
+            listen_w: w.listen_w,
+            transmit_w: w.transmit_w,
+            sigma: w.sigma,
+            objective: mode_from_wire(w.objective),
+            tolerance: w.tolerance,
+        }
+    }
+
+    /// Encodes the native request as a wire request with the given id.
+    pub fn to_wire(&self, id: u32) -> WirePolicyRequest {
+        WirePolicyRequest {
+            id,
+            objective: mode_to_wire(self.objective),
+            sigma: self.sigma,
+            tolerance: self.tolerance,
+            listen_w: self.listen_w,
+            transmit_w: self.transmit_w,
+            budgets_w: self.budgets_w.clone(),
+        }
+    }
+}
+
+impl PolicyResponse {
+    /// Encodes the native response as a wire response with the given
+    /// id.
+    pub fn to_wire(&self, id: u32) -> WirePolicyResponse {
+        WirePolicyResponse {
+            id,
+            tier: self.tier,
+            converged: self.converged,
+            throughput: self.throughput,
+            cert_t_sigma: self.certificate.t_sigma,
+            cert_oracle: self.certificate.oracle,
+            cert_dual_upper: self.certificate.dual_upper,
+            policies: self
+                .policies
+                .iter()
+                .map(|p| WirePolicy {
+                    listen: p.listen,
+                    transmit: p.transmit,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Encodes a service error as a wire error with the given id.
+pub fn error_to_wire(err: &ServiceError, id: u32) -> WirePolicyError {
+    WirePolicyError {
+        id,
+        code: err.wire_code(),
+    }
+}

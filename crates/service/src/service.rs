@@ -1,0 +1,601 @@
+//! The in-process policy server: tiered lookup + deterministic
+//! batched solving.
+//!
+//! ## Serving pipeline
+//!
+//! A batch is served in three phases:
+//!
+//! 1. **Probe (serial, request order)** — validate, canonicalize
+//!    (sorted budgets + permutation + tolerance tier), then walk the
+//!    tier ladder: exact-match LRU → interpolation grid (homogeneous,
+//!    in-range, error-certified) → queue a solve. Queued solves are
+//!    deduplicated within the batch: two requests that canonicalize to
+//!    the same key share one solve.
+//! 2. **Solve (parallel)** — pending solves fan out over
+//!    `econcast-parallel` workers, each worker owning one reusable
+//!    [`SolverPool`] (a `P4Solver` workspace per node count).
+//!    Homogeneous instances use the scalar-dual closed form; the
+//!    sorted heterogeneous instances run the exact dual descent with
+//!    `tol` set to the request's tolerance tier.
+//! 3. **Publish (serial, request order)** — solved policies are
+//!    inserted into the LRU (canonical order, so any permutation of
+//!    the instance hits them later) and every response is rotated back
+//!    into its caller's node order.
+//!
+//! ## Determinism
+//!
+//! Responses are **bit-identical at any worker count**: each solve is
+//! an independent, self-contained computation (workspace reuse leaks
+//! no state — pinned by statespace's tests), the probe/publish phases
+//! run serially in request order, and worker count only changes *who*
+//! computes a job, never *what* it computes.
+
+use crate::cache::{CachedPolicy, LruCache};
+use crate::grid::{FamilyKey, GridConfig, PolicyGrid};
+use crate::request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
+use crate::stats::ServiceStats;
+use econcast_core::NodeParams;
+use econcast_oracle::{certificate_for, certificate_for_homogeneous};
+use econcast_proto::service::ServedTier;
+use econcast_statespace::{CanonicalInstance, HomogeneousP4, P4Options, SolverPool};
+use std::collections::HashMap;
+
+/// Tuning knobs for a [`PolicyService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Exact-tier capacity (entries).
+    pub lru_capacity: usize,
+    /// Worker count for the solve phase; `None` follows
+    /// `econcast_parallel::effective_threads`. Results are
+    /// bit-identical either way.
+    pub workers: Option<usize>,
+    /// Largest heterogeneous instance the exact enumeration solver
+    /// accepts (the state table is `(n + 2)·2^{n−1}` entries).
+    pub max_exact_nodes: usize,
+    /// Grid tier configuration; `None` disables the tier.
+    pub grid: Option<GridConfig>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            lru_capacity: 1024,
+            workers: None,
+            max_exact_nodes: 16,
+            grid: Some(GridConfig::default()),
+        }
+    }
+}
+
+/// What the probe phase decided for one request.
+///
+/// Queued plans carry the *request's own* canonicalization: two
+/// requests sharing one solve still differ in their permutations, and
+/// each response must be rotated back into its own caller's node
+/// order.
+enum Plan {
+    /// Answered without solving (tier hit) or rejected.
+    Done(Result<PolicyResponse, ServiceError>),
+    /// Waits for `jobs[i]`, which this request enqueued.
+    Job(usize, CanonicalInstance),
+    /// Waits for `jobs[i]`, enqueued by an earlier request with the
+    /// same canonical key.
+    Alias(usize, CanonicalInstance),
+}
+
+/// How a queued solve runs.
+#[derive(Clone, Copy)]
+enum JobKind {
+    /// Exact dual descent on the sorted instance.
+    Exact(P4Options),
+    /// Homogeneous scalar-dual bisection.
+    ClosedForm,
+}
+
+/// One queued solve.
+struct SolveJob {
+    /// Node parameters in canonical order.
+    nodes: Vec<NodeParams>,
+    sigma: f64,
+    mode: econcast_core::ThroughputMode,
+    kind: JobKind,
+}
+
+impl SolveJob {
+    fn run(&self, pool: &mut SolverPool) -> CachedPolicy {
+        match self.kind {
+            JobKind::Exact(opts) => {
+                let sol = pool.solve(&self.nodes, self.sigma, self.mode, opts);
+                let certificate = certificate_for(&self.nodes, self.sigma, self.mode, &sol);
+                CachedPolicy {
+                    alpha: sol.alpha,
+                    beta: sol.beta,
+                    throughput: sol.throughput,
+                    converged: sol.converged,
+                    certificate,
+                }
+            }
+            JobKind::ClosedForm => {
+                let n = self.nodes.len();
+                let params = self.nodes[0];
+                let sol = HomogeneousP4::new(n, params, self.sigma, self.mode).solve();
+                let certificate =
+                    certificate_for_homogeneous(n, &params, self.sigma, self.mode, &sol);
+                CachedPolicy {
+                    alpha: vec![sol.alpha; n],
+                    beta: vec![sol.beta; n],
+                    throughput: sol.throughput,
+                    converged: true,
+                    certificate,
+                }
+            }
+        }
+    }
+
+    fn tier(&self) -> ServedTier {
+        match self.kind {
+            JobKind::Exact(_) => ServedTier::Solver,
+            JobKind::ClosedForm => ServedTier::ClosedForm,
+        }
+    }
+}
+
+/// The in-process policy server.
+#[derive(Debug)]
+pub struct PolicyService {
+    cfg: ServiceConfig,
+    lru: LruCache,
+    grids: HashMap<FamilyKey, PolicyGrid>,
+    /// One solver workspace pool per worker slot, reused across
+    /// batches.
+    scratch: Vec<SolverPool>,
+    stats: Counters,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    requests: u64,
+    batches: u64,
+    exact_hits: u64,
+    grid_hits: u64,
+    closed_form_hits: u64,
+    solver_solves: u64,
+    batch_dedup_hits: u64,
+    errors: u64,
+    grid_builds: u64,
+    lru_inserts: u64,
+}
+
+impl Default for PolicyService {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl PolicyService {
+    /// Creates a service with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        PolicyService {
+            lru: LruCache::new(cfg.lru_capacity),
+            grids: HashMap::new(),
+            scratch: Vec::new(),
+            stats: Counters::default(),
+            cfg,
+        }
+    }
+
+    /// A snapshot of the per-tier counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.stats.requests,
+            batches: self.stats.batches,
+            exact_hits: self.stats.exact_hits,
+            grid_hits: self.stats.grid_hits,
+            closed_form_hits: self.stats.closed_form_hits,
+            solver_solves: self.stats.solver_solves,
+            batch_dedup_hits: self.stats.batch_dedup_hits,
+            errors: self.stats.errors,
+            grid_builds: self.stats.grid_builds,
+            lru_inserts: self.stats.lru_inserts,
+            lru_evictions: self.lru.evictions(),
+            lru_len: self.lru.len() as u64,
+        }
+    }
+
+    /// Serves one request (a batch of one).
+    pub fn serve(&mut self, req: &PolicyRequest) -> Result<PolicyResponse, ServiceError> {
+        self.serve_batch(std::slice::from_ref(req))
+            .pop()
+            .expect("one request in, one response out")
+    }
+
+    /// Serves a batch: independent solves fan out across the worker
+    /// pool; responses come back in request order, each in its
+    /// caller's node order.
+    pub fn serve_batch(
+        &mut self,
+        reqs: &[PolicyRequest],
+    ) -> Vec<Result<PolicyResponse, ServiceError>> {
+        self.stats.batches += 1;
+        self.stats.requests += reqs.len() as u64;
+
+        // Phase 1: probe tiers, queue deduplicated solves.
+        let mut plans: Vec<Plan> = Vec::with_capacity(reqs.len());
+        let mut jobs: Vec<SolveJob> = Vec::new();
+        let mut pending: HashMap<econcast_statespace::InstanceKey, usize> = HashMap::new();
+        for req in reqs {
+            plans.push(self.probe(req, &mut jobs, &mut pending));
+        }
+
+        // Phase 2: fan the queued solves out over per-worker solver
+        // pools. Job assignment is round-robin by job index; each
+        // job's computation is identical at every worker count.
+        let workers = self
+            .cfg
+            .workers
+            .unwrap_or_else(|| econcast_parallel::effective_threads(jobs.len()))
+            .clamp(1, jobs.len().max(1));
+        while self.scratch.len() < workers {
+            self.scratch.push(SolverPool::new());
+        }
+        let jobs_ref = &jobs;
+        let solved: Vec<Vec<(usize, CachedPolicy)>> =
+            econcast_parallel::run_on_slices(&mut self.scratch[..workers], workers, |w, pool| {
+                let mut acc = Vec::new();
+                let mut j = w;
+                while j < jobs_ref.len() {
+                    acc.push((j, jobs_ref[j].run(pool)));
+                    j += workers;
+                }
+                acc
+            });
+        let mut results: Vec<Option<CachedPolicy>> = vec![None; jobs.len()];
+        for (j, policy) in solved.into_iter().flatten() {
+            results[j] = Some(policy);
+        }
+
+        // Phase 3: publish — count tiers, fill the LRU (once per
+        // unique key, in job order == first-request order), and rotate
+        // every response back into caller order.
+        let mut inserted: Vec<bool> = vec![false; jobs.len()];
+        let mut out = Vec::with_capacity(reqs.len());
+        for plan in plans {
+            match plan {
+                Plan::Done(r) => out.push(r),
+                Plan::Job(j, ref canon) | Plan::Alias(j, ref canon) => {
+                    let job = &jobs[j];
+                    let policy = results[j].as_ref().expect("every job ran");
+                    if let Plan::Job(..) = plan {
+                        match job.kind {
+                            JobKind::Exact(_) => self.stats.solver_solves += 1,
+                            JobKind::ClosedForm => self.stats.closed_form_hits += 1,
+                        }
+                    } else {
+                        self.stats.batch_dedup_hits += 1;
+                    }
+                    if !inserted[j] {
+                        inserted[j] = true;
+                        self.lru.insert(canon.key.clone(), policy.clone());
+                        self.stats.lru_inserts += 1;
+                    }
+                    out.push(Ok(respond(canon, policy, job.tier())));
+                }
+            }
+        }
+        out
+    }
+
+    /// Phase-1 logic for one request.
+    fn probe(
+        &mut self,
+        req: &PolicyRequest,
+        jobs: &mut Vec<SolveJob>,
+        pending: &mut HashMap<econcast_statespace::InstanceKey, usize>,
+    ) -> Plan {
+        if let Err(e) = req.validate() {
+            self.stats.errors += 1;
+            return Plan::Done(Err(e));
+        }
+        let canon = CanonicalInstance::new(
+            &req.budgets_w,
+            req.listen_w,
+            req.transmit_w,
+            req.sigma,
+            req.objective,
+            req.tolerance,
+        );
+
+        // Tier 1: exact-match LRU.
+        if let Some(hit) = self.lru.get(&canon.key) {
+            self.stats.exact_hits += 1;
+            let resp = respond(&canon, hit, ServedTier::Exact);
+            return Plan::Done(Ok(resp));
+        }
+
+        // Tier 2: interpolation grid (homogeneous cliques only). The
+        // range gate runs *before* the lazy build: a budget the grid
+        // can never cover must not trigger 65 knot/validation solves
+        // for a family that will fall through to the closed form
+        // anyway.
+        if canon.homogeneous {
+            if let Some(grid_cfg) = self
+                .cfg
+                .grid
+                .as_ref()
+                .filter(|g| (g.rho_min_w..=g.rho_max_w).contains(&canon.sorted_budgets[0]))
+            {
+                let family = FamilyKey::new(
+                    canon.sorted_budgets.len(),
+                    req.listen_w,
+                    req.transmit_w,
+                    req.sigma,
+                    req.objective,
+                );
+                let (grids, stats) = (&mut self.grids, &mut self.stats);
+                let grid = grids.entry(family).or_insert_with(|| {
+                    stats.grid_builds += 1;
+                    PolicyGrid::build(
+                        canon.sorted_budgets.len(),
+                        req.listen_w,
+                        req.transmit_w,
+                        req.sigma,
+                        req.objective,
+                        grid_cfg,
+                    )
+                });
+                if let Some(policy) = grid.serve(canon.sorted_budgets[0], canon.tolerance_tier) {
+                    self.stats.grid_hits += 1;
+                    // Publish into the exact tier so a repeat of this
+                    // instance is an O(1) LRU hit.
+                    self.lru.insert(canon.key.clone(), policy.clone());
+                    self.stats.lru_inserts += 1;
+                    return Plan::Done(Ok(respond(&canon, &policy, ServedTier::Grid)));
+                }
+            }
+        }
+
+        // Heterogeneous instances beyond the enumeration ceiling have
+        // no tier left.
+        if !canon.homogeneous && canon.sorted_budgets.len() > self.cfg.max_exact_nodes {
+            self.stats.errors += 1;
+            return Plan::Done(Err(ServiceError::TooLarge {
+                n: canon.sorted_budgets.len(),
+                max: self.cfg.max_exact_nodes,
+            }));
+        }
+
+        // Tier 3 (homogeneous closed form) or the exact solver —
+        // queued, deduplicated by canonical key.
+        if let Some(&j) = pending.get(&canon.key) {
+            return Plan::Alias(j, canon);
+        }
+        let kind = if canon.homogeneous {
+            JobKind::ClosedForm
+        } else {
+            JobKind::Exact(P4Options {
+                max_iters: 30_000,
+                tol: canon.tolerance_tier,
+                step0: 2.0,
+            })
+        };
+        let nodes: Vec<NodeParams> = canon
+            .sorted_budgets
+            .iter()
+            .map(|&rho| NodeParams::new(rho, req.listen_w, req.transmit_w))
+            .collect();
+        let job = SolveJob {
+            nodes,
+            sigma: req.sigma,
+            mode: req.objective,
+            kind,
+        };
+        let j = jobs.len();
+        pending.insert(canon.key.clone(), j);
+        jobs.push(job);
+        Plan::Job(j, canon)
+    }
+}
+
+/// Builds a caller-order response from a canonical-order policy.
+fn respond(canon: &CanonicalInstance, policy: &CachedPolicy, tier: ServedTier) -> PolicyResponse {
+    let canonical: Vec<NodePolicy> = policy
+        .alpha
+        .iter()
+        .zip(&policy.beta)
+        .map(|(&listen, &transmit)| NodePolicy { listen, transmit })
+        .collect();
+    PolicyResponse {
+        policies: canon.restore_order(&canonical),
+        throughput: policy.throughput,
+        tier,
+        converged: policy.converged,
+        certificate: policy.certificate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PolicyRequest;
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+
+    const L: f64 = 500e-6;
+    const X: f64 = 500e-6;
+
+    fn het_request(budgets: &[f64], tol: f64) -> PolicyRequest {
+        PolicyRequest {
+            budgets_w: budgets.to_vec(),
+            listen_w: L,
+            transmit_w: X,
+            sigma: 0.5,
+            objective: Groupput,
+            tolerance: tol,
+        }
+    }
+
+    fn service() -> PolicyService {
+        PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn permuted_budgets_keep_caller_order() {
+        // Satellite regression: sorting budgets for the cache key must
+        // not change which node each returned policy maps to.
+        let mut svc = service();
+        let a = het_request(&[5e-6, 20e-6, 10e-6], 1e-2);
+        let b = het_request(&[10e-6, 5e-6, 20e-6], 1e-2);
+        let ra = svc.serve(&a).unwrap();
+        let rb = svc.serve(&b).unwrap();
+        assert_eq!(rb.tier, ServedTier::Exact, "permutation is a cache hit");
+        // Same budget value ⇒ bit-identical policy, at its own index.
+        for (i, &rho_a) in a.budgets_w.iter().enumerate() {
+            let j = b.budgets_w.iter().position(|&r| r == rho_a).unwrap();
+            assert_eq!(
+                ra.policies[i].listen.to_bits(),
+                rb.policies[j].listen.to_bits()
+            );
+            assert_eq!(
+                ra.policies[i].transmit.to_bits(),
+                rb.policies[j].transmit.to_bits()
+            );
+        }
+        // And richer nodes are more active — the policy really does
+        // follow the budget, not the position.
+        let idx_min = 0; // 5 µW in request a
+        let idx_max = 1; // 20 µW in request a
+        let awake = |p: &crate::request::NodePolicy| p.listen + p.transmit;
+        assert!(awake(&ra.policies[idx_max]) > awake(&ra.policies[idx_min]));
+    }
+
+    #[test]
+    fn in_batch_duplicates_are_deduplicated() {
+        let mut svc = service();
+        let r1 = het_request(&[5e-6, 10e-6, 20e-6], 1e-2);
+        let r2 = het_request(&[20e-6, 5e-6, 10e-6], 1e-2); // permutation
+        let out = svc.serve_batch(&[r1.clone(), r2.clone(), r1.clone()]);
+        assert!(out.iter().all(|r| r.is_ok()));
+        let s = svc.stats();
+        assert_eq!(s.solver_solves, 1, "one canonical solve for all three");
+        assert_eq!(s.batch_dedup_hits, 2);
+        assert_eq!(s.lru_inserts, 1);
+        // The aliased permutation must still answer in *its own* node
+        // order: same budget value ⇒ bit-identical policy.
+        let (o1, o2) = (out[0].as_ref().unwrap(), out[1].as_ref().unwrap());
+        for (i, &rho) in r1.budgets_w.iter().enumerate() {
+            let j = r2.budgets_w.iter().position(|&r| r == rho).unwrap();
+            assert_eq!(
+                o1.policies[i].listen.to_bits(),
+                o2.policies[j].listen.to_bits(),
+                "alias response must follow the alias's budget order"
+            );
+        }
+    }
+
+    #[test]
+    fn homogeneous_requests_avoid_the_enumeration_solver() {
+        let mut svc = service();
+        let req = PolicyRequest::homogeneous(
+            500,
+            econcast_core::NodeParams::from_microwatts(10.0, 500.0, 500.0),
+            0.5,
+            Groupput,
+            1e-3,
+        );
+        let resp = svc.serve(&req).unwrap();
+        assert!(matches!(
+            resp.tier,
+            ServedTier::Grid | ServedTier::ClosedForm
+        ));
+        assert_eq!(svc.stats().solver_solves, 0);
+        assert!(resp.converged);
+        assert!(resp.throughput > 0.0);
+        // Certificate sandwich holds.
+        let c = &resp.certificate;
+        assert!(c.t_sigma <= c.oracle + 1e-9 && c.oracle <= c.dual_upper + 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_budget_skips_the_grid_build() {
+        let mut svc = service();
+        // 25 mW sits above the default grid roof (10 mW): the closed
+        // form must answer without a 65-solve grid build for a family
+        // that could never serve the request.
+        let req = PolicyRequest::homogeneous(
+            8,
+            econcast_core::NodeParams::from_milliwatts(25.0, 67.0, 33.0),
+            0.5,
+            Groupput,
+            1e-2,
+        );
+        let resp = svc.serve(&req).unwrap();
+        assert_eq!(resp.tier, ServedTier::ClosedForm);
+        assert_eq!(svc.stats().grid_builds, 0, "no doomed grid build");
+    }
+
+    #[test]
+    fn oversize_heterogeneous_is_rejected() {
+        let mut svc = service();
+        let budgets: Vec<f64> = (0..40).map(|i| 1e-6 * (i + 1) as f64).collect();
+        let err = svc.serve(&het_request(&budgets, 1e-2)).unwrap_err();
+        assert_eq!(err, ServiceError::TooLarge { n: 40, max: 16 });
+        assert_eq!(svc.stats().errors, 1);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_not_panicked() {
+        let mut svc = service();
+        for bad in [
+            het_request(&[], 1e-2),
+            het_request(&[-1e-6], 1e-2),
+            het_request(&[1e-6], 0.0),
+            PolicyRequest {
+                sigma: f64::NAN,
+                ..het_request(&[1e-6, 2e-6], 1e-2)
+            },
+        ] {
+            assert!(matches!(
+                svc.serve(&bad),
+                Err(ServiceError::BadRequest(_))
+            ));
+        }
+        assert_eq!(svc.stats().errors, 4);
+    }
+
+    #[test]
+    fn anyput_and_groupput_do_not_share_entries() {
+        let mut svc = service();
+        // n = 3: groupput and anyput genuinely differ (at n = 2 every
+        // delivery reaches exactly one listener and the two coincide).
+        let g = het_request(&[5e-6, 10e-6, 20e-6], 1e-2);
+        let a = PolicyRequest {
+            objective: Anyput,
+            ..g.clone()
+        };
+        let rg = svc.serve(&g).unwrap();
+        let ra = svc.serve(&a).unwrap();
+        assert_eq!(svc.stats().exact_hits, 0, "different objectives, no hit");
+        assert!(ra.throughput <= 1.0 + 1e-9);
+        assert!(rg.throughput != ra.throughput);
+    }
+
+    #[test]
+    fn lru_eviction_forces_resolve() {
+        let mut svc = PolicyService::new(ServiceConfig {
+            lru_capacity: 1,
+            workers: Some(1),
+            grid: None,
+            ..ServiceConfig::default()
+        });
+        let r1 = het_request(&[5e-6, 10e-6], 1e-2);
+        let r2 = het_request(&[6e-6, 11e-6], 1e-2);
+        svc.serve(&r1).unwrap();
+        svc.serve(&r2).unwrap(); // evicts r1
+        let again = svc.serve(&r1).unwrap();
+        assert_eq!(again.tier, ServedTier::Solver, "evicted ⇒ solved again");
+        assert_eq!(svc.stats().lru_evictions, 2);
+        assert_eq!(svc.stats().solver_solves, 3);
+    }
+}

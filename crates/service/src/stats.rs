@@ -1,0 +1,49 @@
+//! Per-tier serving counters.
+
+/// A snapshot of the service's counters since construction. Obtained
+/// from `PolicyService::stats`; plain data, cheap to copy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests received (including failed ones).
+    pub requests: u64,
+    /// Batches served.
+    pub batches: u64,
+    /// Requests answered from the exact-match LRU tier.
+    pub exact_hits: u64,
+    /// Requests answered by grid interpolation.
+    pub grid_hits: u64,
+    /// Requests answered by the homogeneous closed-form tier.
+    pub closed_form_hits: u64,
+    /// Requests that ran the exact (P4) dual-descent solver.
+    pub solver_solves: u64,
+    /// Requests answered by referencing an identical instance solved
+    /// earlier in the *same* batch (no extra solve).
+    pub batch_dedup_hits: u64,
+    /// Requests rejected (validation or size).
+    pub errors: u64,
+    /// Grid families built lazily so far.
+    pub grid_builds: u64,
+    /// Entries inserted into the LRU.
+    pub lru_inserts: u64,
+    /// Entries evicted from the LRU.
+    pub lru_evictions: u64,
+    /// Entries currently resident in the LRU.
+    pub lru_len: u64,
+}
+
+impl ServiceStats {
+    /// Requests served without touching any solver (exact + grid +
+    /// in-batch dedup).
+    pub fn solver_free(&self) -> u64 {
+        self.exact_hits + self.grid_hits + self.batch_dedup_hits
+    }
+
+    /// Total requests answered successfully.
+    pub fn served(&self) -> u64 {
+        self.exact_hits
+            + self.grid_hits
+            + self.closed_form_hits
+            + self.solver_solves
+            + self.batch_dedup_hits
+    }
+}

@@ -1,0 +1,80 @@
+//! The wire front-end: a [`PolicyService`] speaking the
+//! `econcast-proto` service messages over a length-prefixed byte
+//! stream.
+
+use crate::request::{error_to_wire, PolicyRequest};
+use crate::service::PolicyService;
+use bytes::BytesMut;
+use econcast_proto::service::{ServiceCodec, ServiceMessage};
+use econcast_proto::DecodeError;
+
+/// A policy server bound to a byte stream: feed it request bytes,
+/// poll it for response bytes. One `poll_batch` call serves every
+/// fully-received request as a single batch, so clients that pipeline
+/// `k` requests before polling get `k`-way batching (and in-batch
+/// dedup) for free.
+#[derive(Debug, Default)]
+pub struct WireServer {
+    codec: ServiceCodec,
+    service: PolicyService,
+    /// Non-request messages received (protocol misuse; dropped).
+    ignored: u64,
+}
+
+impl WireServer {
+    /// Wraps a service.
+    pub fn new(service: PolicyService) -> Self {
+        WireServer {
+            codec: ServiceCodec::new(),
+            service,
+            ignored: 0,
+        }
+    }
+
+    /// Read access to the wrapped service (stats, …).
+    pub fn service(&self) -> &PolicyService {
+        &self.service
+    }
+
+    /// Non-request messages dropped so far.
+    pub fn ignored_messages(&self) -> u64 {
+        self.ignored
+    }
+
+    /// Appends received bytes to the reassembly buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.codec.feed(bytes);
+    }
+
+    /// Serves every fully-received request as one batch, returning the
+    /// encoded length-prefixed responses (in request order, one
+    /// response or error message per request). Returns an empty buffer
+    /// when no complete request is buffered. Decode errors are fatal
+    /// for the stream, matching the codec's semantics.
+    pub fn poll_batch(&mut self) -> Result<BytesMut, DecodeError> {
+        let mut ids = Vec::new();
+        let mut requests = Vec::new();
+        for msg in self.codec.drain()? {
+            match msg {
+                ServiceMessage::Request(w) => {
+                    ids.push(w.id);
+                    requests.push(PolicyRequest::from_wire(&w));
+                }
+                ServiceMessage::Response(_) | ServiceMessage::Error(_) => self.ignored += 1,
+            }
+        }
+        let mut out = BytesMut::new();
+        if requests.is_empty() {
+            return Ok(out);
+        }
+        let results = self.service.serve_batch(&requests);
+        for (id, result) in ids.iter().zip(&results) {
+            let msg = match result {
+                Ok(resp) => ServiceMessage::Response(resp.to_wire(*id)),
+                Err(e) => ServiceMessage::Error(error_to_wire(e, *id)),
+            };
+            ServiceCodec::encode(&msg, &mut out);
+        }
+        Ok(out)
+    }
+}

@@ -161,6 +161,18 @@ pub trait Buf {
         let lo = self.get_u16() as u32;
         (hi << 16) | lo
     }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let hi = self.get_u32() as u64;
+        let lo = self.get_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Reads a big-endian IEEE-754 `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
 }
 
 impl Buf for &[u8] {
@@ -214,6 +226,16 @@ pub trait BufMut {
     fn put_u32(&mut self, v: u32) {
         self.put_slice(&v.to_be_bytes());
     }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
 }
 
 impl BufMut for BytesMut {
@@ -251,6 +273,20 @@ mod tests {
         assert_eq!(cur.get_u8(), 0xAB);
         assert_eq!(cur.get_u16(), 0x1234);
         assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn u64_and_f64_roundtrip_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u64(0x0102_0304_0506_0708);
+        b.put_f64(-1234.5678e-9);
+        b.put_f64(f64::INFINITY);
+        assert_eq!(&b[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut cur: &[u8] = &b;
+        assert_eq!(cur.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(cur.get_f64().to_bits(), (-1234.5678e-9f64).to_bits());
+        assert_eq!(cur.get_f64(), f64::INFINITY);
         assert_eq!(cur.remaining(), 0);
     }
 

@@ -63,6 +63,19 @@ pub enum ScheduleSpec {
         /// Update interval `τ` (packet-times).
         tau: f64,
     },
+    /// Per-node variance-normalized gain-scheduled controllers
+    /// ([`StepSchedule::variance_normalized`]): each node normalizes
+    /// its battery-drift gradient by a running variance estimate, so
+    /// one `gain` tracks across power scales *and* burst statistics —
+    /// full gain under persistent over/under-spend, vanishing gain at
+    /// noisy balance.
+    GainScheduled {
+        /// Full-gain per-update movement of the dimensionless
+        /// multiplier (0.02–0.1).
+        gain: f64,
+        /// Update interval `τ` (packet-times).
+        tau: f64,
+    },
 }
 
 impl ScheduleSpec {
@@ -72,6 +85,13 @@ impl ScheduleSpec {
             ScheduleSpec::Shared(s) => s,
             ScheduleSpec::Normalized { step, tau } => StepSchedule::normalized_constant(
                 step,
+                tau,
+                sigma,
+                params.listen_w,
+                params.transmit_w,
+            ),
+            ScheduleSpec::GainScheduled { gain, tau } => StepSchedule::variance_normalized(
+                gain,
                 tau,
                 sigma,
                 params.listen_w,

@@ -809,7 +809,7 @@ mod tests {
         // The rayon-on/off determinism pin: the merged reduction must
         // not depend on the worker count. n ≥ PARALLEL_MIN_NODES so
         // the parallel path actually engages.
-        assert!(14 >= PARALLEL_MIN_NODES);
+        const { assert!(14 >= PARALLEL_MIN_NODES) };
         let (nodes, eta) = heterogeneous(14, 11);
         let p = GibbsParams {
             nodes: &nodes,

@@ -1,0 +1,245 @@
+//! Canonical (P4) instance keys for policy caching.
+//!
+//! Two requests describe *the same* (P4) instance whenever they agree
+//! on the radio powers, the temperature, the objective, and the
+//! multiset of budgets — node order is irrelevant because the Gibbs
+//! measure and the dual are permutation-equivariant: permuting the
+//! budgets permutes the optimal `(α, β)` the same way. A policy cache
+//! therefore keys on the *sorted* budget vector and remembers the
+//! sorting permutation so served policies can be handed back in the
+//! caller's original node order.
+//!
+//! Tolerances are quantized **downward** onto decade tiers
+//! (`…, 1e-3, 1e-2, 1e-1`): a cached entry solved at the tier floor is
+//! at least as accurate as any request that maps to the tier, so
+//! sharing entries across nearby tolerances never weakens a caller's
+//! contract.
+//!
+//! Keys hash the IEEE-754 bit patterns of the canonical floats —
+//! exact-match semantics, no epsilon comparisons. `-0.0` and `0.0`
+//! hash differently, which is irrelevant here because every power is
+//! validated strictly positive.
+
+use econcast_core::ThroughputMode;
+
+/// The coarsest tolerance tier (requests looser than this still map
+/// to it).
+pub const TOLERANCE_TIER_MAX: f64 = 1e-1;
+/// The finest tolerance tier (requests tighter than this are clamped
+/// up to it — the dual descent's own floor).
+pub const TOLERANCE_TIER_MIN: f64 = 1e-9;
+
+/// Quantizes a requested tolerance down to its decade tier in
+/// `[TOLERANCE_TIER_MIN, TOLERANCE_TIER_MAX]`.
+///
+/// # Panics
+///
+/// Panics when `tol` is non-positive or non-finite.
+pub fn quantize_tolerance(tol: f64) -> f64 {
+    assert!(tol > 0.0 && tol.is_finite(), "tolerance must be positive");
+    let clamped = tol.clamp(TOLERANCE_TIER_MIN, TOLERANCE_TIER_MAX);
+    let tier = 10f64.powi(clamped.log10().floor() as i32);
+    // floor() on a log10 that lands exactly on an integer can dip one
+    // decade too low through rounding; never return a tier the input
+    // already clears by a full decade.
+    if tier * 10.0 <= clamped {
+        (tier * 10.0).min(TOLERANCE_TIER_MAX)
+    } else {
+        tier.clamp(TOLERANCE_TIER_MIN, TOLERANCE_TIER_MAX)
+    }
+}
+
+/// Exact-match cache key: bit patterns of the canonicalized instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InstanceKey {
+    /// 0 = groupput, 1 = anyput.
+    mode: u8,
+    /// `σ` bits.
+    sigma: u64,
+    /// `L` bits.
+    listen: u64,
+    /// `X` bits.
+    transmit: u64,
+    /// Quantized tolerance tier bits.
+    tolerance: u64,
+    /// Sorted budget bits (ascending).
+    budgets: Vec<u64>,
+}
+
+impl InstanceKey {
+    /// Number of nodes in the keyed instance.
+    pub fn num_nodes(&self) -> usize {
+        self.budgets.len()
+    }
+}
+
+/// A canonicalized (P4) instance: the sorted view a cache solves and
+/// stores, plus the permutation needed to answer the caller in their
+/// own node order.
+#[derive(Debug, Clone)]
+pub struct CanonicalInstance {
+    /// Exact-match cache key.
+    pub key: InstanceKey,
+    /// Budgets in ascending order: `sorted_budgets[k] = budgets[perm[k]]`.
+    pub sorted_budgets: Vec<f64>,
+    /// `perm[k]` = caller index of the node at canonical position `k`.
+    pub perm: Vec<usize>,
+    /// The decade tier the request's tolerance quantized to.
+    pub tolerance_tier: f64,
+    /// Whether every budget is bit-identical (enables the homogeneous
+    /// tiers).
+    pub homogeneous: bool,
+}
+
+impl CanonicalInstance {
+    /// Canonicalizes a request. Budgets are sorted ascending with ties
+    /// broken by caller index, so equal inputs always produce the same
+    /// key *and* the same permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budgets` is empty or any parameter is non-positive
+    /// or non-finite (callers validate requests before keying them).
+    pub fn new(
+        budgets: &[f64],
+        listen_w: f64,
+        transmit_w: f64,
+        sigma: f64,
+        mode: ThroughputMode,
+        tolerance: f64,
+    ) -> Self {
+        assert!(!budgets.is_empty(), "need at least one node");
+        for &b in budgets {
+            assert!(b > 0.0 && b.is_finite(), "budgets must be positive");
+        }
+        assert!(listen_w > 0.0 && listen_w.is_finite());
+        assert!(transmit_w > 0.0 && transmit_w.is_finite());
+        assert!(sigma > 0.0 && sigma.is_finite());
+
+        let mut perm: Vec<usize> = (0..budgets.len()).collect();
+        perm.sort_by(|&a, &b| {
+            budgets[a]
+                .total_cmp(&budgets[b])
+                .then_with(|| a.cmp(&b))
+        });
+        let sorted_budgets: Vec<f64> = perm.iter().map(|&i| budgets[i]).collect();
+        let homogeneous = sorted_budgets
+            .iter()
+            .all(|b| b.to_bits() == sorted_budgets[0].to_bits());
+        let tolerance_tier = quantize_tolerance(tolerance);
+        let key = InstanceKey {
+            mode: match mode {
+                ThroughputMode::Groupput => 0,
+                ThroughputMode::Anyput => 1,
+            },
+            sigma: sigma.to_bits(),
+            listen: listen_w.to_bits(),
+            transmit: transmit_w.to_bits(),
+            tolerance: tolerance_tier.to_bits(),
+            budgets: sorted_budgets.iter().map(|b| b.to_bits()).collect(),
+        };
+        CanonicalInstance {
+            key,
+            sorted_budgets,
+            perm,
+            tolerance_tier,
+            homogeneous,
+        }
+    }
+
+    /// Maps per-node values from canonical (sorted) order back to the
+    /// caller's original node order.
+    pub fn restore_order<T: Copy>(&self, canonical: &[T]) -> Vec<T> {
+        assert_eq!(canonical.len(), self.perm.len());
+        let mut out = vec![canonical[0]; canonical.len()];
+        for (k, &caller_idx) in self.perm.iter().enumerate() {
+            out[caller_idx] = canonical[k];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+
+    fn canon(budgets: &[f64]) -> CanonicalInstance {
+        CanonicalInstance::new(budgets, 500e-6, 450e-6, 0.5, Groupput, 1e-3)
+    }
+
+    #[test]
+    fn permuted_budgets_share_a_key() {
+        let a = canon(&[3e-6, 1e-6, 2e-6]);
+        let b = canon(&[1e-6, 2e-6, 3e-6]);
+        let c = canon(&[2e-6, 3e-6, 1e-6]);
+        assert_eq!(a.key, b.key);
+        assert_eq!(b.key, c.key);
+        assert_eq!(a.sorted_budgets, vec![1e-6, 2e-6, 3e-6]);
+    }
+
+    #[test]
+    fn restore_order_inverts_the_sort() {
+        let budgets = [5e-6, 1e-6, 9e-6, 3e-6];
+        let ci = canon(&budgets);
+        // Tag canonical entries with their sorted budget; restoring
+        // must place each tag at the caller index holding that budget.
+        let restored = ci.restore_order(&ci.sorted_budgets);
+        assert_eq!(restored, budgets.to_vec());
+    }
+
+    #[test]
+    fn ties_are_broken_by_caller_index() {
+        let ci = canon(&[2e-6, 2e-6, 1e-6]);
+        assert_eq!(ci.perm, vec![2, 0, 1]);
+        // Restoring canonical labels [a, b, c] puts b at caller 0.
+        assert_eq!(ci.restore_order(&['a', 'b', 'c']), vec!['b', 'c', 'a']);
+    }
+
+    #[test]
+    fn different_parameters_change_the_key() {
+        let base = canon(&[1e-6, 2e-6]);
+        let other_sigma =
+            CanonicalInstance::new(&[1e-6, 2e-6], 500e-6, 450e-6, 0.25, Groupput, 1e-3);
+        let other_mode = CanonicalInstance::new(&[1e-6, 2e-6], 500e-6, 450e-6, 0.5, Anyput, 1e-3);
+        let other_tol = CanonicalInstance::new(&[1e-6, 2e-6], 500e-6, 450e-6, 0.5, Groupput, 1e-5);
+        assert_ne!(base.key, other_sigma.key);
+        assert_ne!(base.key, other_mode.key);
+        assert_ne!(base.key, other_tol.key);
+    }
+
+    #[test]
+    fn homogeneous_detection_is_exact() {
+        assert!(canon(&[1e-6, 1e-6, 1e-6]).homogeneous);
+        assert!(!canon(&[1e-6, 1.0000001e-6]).homogeneous);
+        assert!(canon(&[7e-6]).homogeneous);
+    }
+
+    #[test]
+    fn tolerance_quantizes_down_to_decades() {
+        assert_eq!(quantize_tolerance(5e-4), 1e-4);
+        assert_eq!(quantize_tolerance(1e-3), 1e-3);
+        assert_eq!(quantize_tolerance(9.99e-2), 1e-2);
+        // Clamped at both ends.
+        assert_eq!(quantize_tolerance(0.5), TOLERANCE_TIER_MAX);
+        assert_eq!(quantize_tolerance(1e-12), TOLERANCE_TIER_MIN);
+        // Same tier ⇒ same key; different tiers ⇒ different keys.
+        let a = CanonicalInstance::new(&[1e-6], 5e-4, 5e-4, 0.5, Groupput, 4e-4);
+        let b = CanonicalInstance::new(&[1e-6], 5e-4, 5e-4, 0.5, Groupput, 8e-4);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.tolerance_tier, 1e-4);
+    }
+
+    #[test]
+    fn quantization_never_loosens_the_contract() {
+        // The tier floor is ≤ the requested tolerance for every
+        // in-range input — the property the cache contract rests on.
+        let mut t = 1.2e-9;
+        while t < 0.1 {
+            let q = quantize_tolerance(t);
+            assert!(q <= t * (1.0 + 1e-12), "tier {q} above request {t}");
+            assert!(q >= t / 10.0, "tier {q} needlessly tight for {t}");
+            t *= 1.7;
+        }
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`p4`] — the achievable-throughput solver: Algorithm 1's dual
 //!   gradient descent on the Lagrange multipliers `η`, yielding the
 //!   `T^σ` that every figure in Section VII normalizes against;
+//! * [`instance`] — canonical instance keys (sorted budgets +
+//!   permutation, decade-quantized tolerance tiers) for the policy
+//!   cache in `econcast-service`;
 //! * [`homogeneous`] — a combinatorial fast path for homogeneous
 //!   networks that aggregates states by `(listener count, transmitter
 //!   present)`, supporting thousands of nodes where enumeration would
@@ -26,12 +29,14 @@
 
 pub mod gibbs;
 pub mod homogeneous;
+pub mod instance;
 pub mod p4;
 pub mod space;
 pub mod state;
 
 pub use gibbs::{summarize, GibbsParams, GibbsSummary, StateTable, SummaryWorkspace};
 pub use homogeneous::{HomogeneousGibbs, HomogeneousP4};
-pub use p4::{solve_p4, P4Options, P4Solution, P4Solver};
+pub use instance::{quantize_tolerance, CanonicalInstance, InstanceKey};
+pub use p4::{solve_p4, P4Options, P4Solution, P4Solver, SolverPool};
 pub use space::StateSpace;
 pub use state::NetworkState;

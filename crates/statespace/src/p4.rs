@@ -225,6 +225,45 @@ impl P4Solver {
     }
 }
 
+/// A pool of [`P4Solver`]s keyed by node count, for callers that solve
+/// a mixed stream of instance sizes (the policy service's per-worker
+/// workspace). The first solve at each `n` allocates the
+/// `(n + 2)·2^{n−1}` state table; every later solve at that `n` reuses
+/// it.
+#[derive(Debug, Default)]
+pub struct SolverPool {
+    solvers: std::collections::HashMap<usize, P4Solver>,
+}
+
+impl SolverPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The reusable solver for `n`-node instances (allocated on first
+    /// use).
+    pub fn solver(&mut self, n: usize) -> &mut P4Solver {
+        self.solvers.entry(n).or_insert_with(|| P4Solver::new(n))
+    }
+
+    /// Node counts currently held.
+    pub fn sizes(&self) -> usize {
+        self.solvers.len()
+    }
+
+    /// Solves (P4) with the pooled workspace for `nodes.len()`.
+    pub fn solve(
+        &mut self,
+        nodes: &[NodeParams],
+        sigma: f64,
+        mode: ThroughputMode,
+        opts: P4Options,
+    ) -> P4Solution {
+        self.solver(nodes.len()).solve(nodes, sigma, mode, opts)
+    }
+}
+
 /// One-shot convenience wrapper around [`P4Solver`].
 ///
 /// # Panics
@@ -308,6 +347,18 @@ mod tests {
             assert_eq!(reused.eta, fresh.eta);
             assert_eq!(reused.iterations, fresh.iterations);
         }
+    }
+
+    #[test]
+    fn solver_pool_reuses_and_matches_fresh() {
+        let mut pool = SolverPool::new();
+        for n in [3usize, 4, 3, 4, 3] {
+            let nodes = homogeneous(n);
+            let pooled = pool.solve(&nodes, 0.5, Groupput, P4Options::fast());
+            let fresh = solve_p4(&nodes, 0.5, Groupput, P4Options::fast());
+            assert_eq!(pooled.throughput.to_bits(), fresh.throughput.to_bits());
+        }
+        assert_eq!(pool.sizes(), 2, "one workspace per node count");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`econcast_analysis`] (as [`analysis`]) — burstiness/latency
 //!   analysis and experiment helpers;
 //! * [`econcast_proto`] (as [`proto`]) — wire formats;
+//! * [`econcast_service`] (as [`service`]) — the batched
+//!   policy-serving subsystem: multi-tier policy cache + wire API;
 //! * [`econcast_hw`] (as [`hw`]) — the eZ430-RF2500-SEH testbed
 //!   emulation;
 //! * [`econcast_lp`] (as [`lp`]) — the simplex solver substrate.
@@ -27,6 +29,7 @@ pub use econcast_hw as hw;
 pub use econcast_lp as lp;
 pub use econcast_oracle as oracle;
 pub use econcast_proto as proto;
+pub use econcast_service as service;
 pub use econcast_sim as sim;
 pub use econcast_statespace as statespace;
 
