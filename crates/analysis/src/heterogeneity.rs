@@ -105,7 +105,10 @@ mod tests {
         let s = HeterogeneitySampler::new(250.0);
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let mean_l: f64 = (0..n).map(|_| s.sample_node(&mut rng).listen_w).sum::<f64>() / n as f64;
+        let mean_l: f64 = (0..n)
+            .map(|_| s.sample_node(&mut rng).listen_w)
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean_l - 500e-6).abs() < 5e-6,
             "mean L = {mean_l}, expected ≈ 500 µW"
@@ -116,7 +119,9 @@ mod tests {
     fn budget_median_near_10uw() {
         let s = HeterogeneitySampler::new(100.0);
         let mut rng = StdRng::seed_from_u64(4);
-        let mut budgets: Vec<f64> = (0..10_001).map(|_| s.sample_node(&mut rng).budget_w).collect();
+        let mut budgets: Vec<f64> = (0..10_001)
+            .map(|_| s.sample_node(&mut rng).budget_w)
+            .collect();
         budgets.sort_by(|a, b| a.partial_cmp(b).expect("budgets are positive"));
         let median = budgets[budgets.len() / 2];
         // Log-uniform on [1, 100] µW has median 10 µW.
@@ -131,7 +136,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut spread = |h: f64| {
             let s = HeterogeneitySampler::new(h);
-            let xs: Vec<f64> = (0..2000).map(|_| s.sample_node(&mut rng).budget_w.ln()).collect();
+            let xs: Vec<f64> = (0..2000)
+                .map(|_| s.sample_node(&mut rng).budget_w.ln())
+                .collect();
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
             xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
         };

@@ -160,7 +160,10 @@ mod tests {
         for frac in [0.1, 0.25, 0.5, 0.75, 0.9] {
             let p_x = frac * b.p_x_max();
             let t = b.groupput_at(p_x, b.p_l_of(p_x));
-            assert!(t <= t_opt + 1e-12, "split {frac}: {t} beats optimum {t_opt}");
+            assert!(
+                t <= t_opt + 1e-12,
+                "split {frac}: {t} beats optimum {t_opt}"
+            );
         }
     }
 
@@ -181,10 +184,7 @@ mod tests {
         let (t, _, _) = b.optimal_groupput();
         let beta = p.budget_w / (p.transmit_w + 4.0 * p.listen_w);
         let t_star = 20.0 * beta;
-        assert!(
-            t < 0.05 * t_star,
-            "birthday {t} is not ≪ oracle {t_star}"
-        );
+        assert!(t < 0.05 * t_star, "birthday {t} is not ≪ oracle {t_star}");
     }
 
     proptest! {

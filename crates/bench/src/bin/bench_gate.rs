@@ -1,0 +1,126 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate --fresh FILE [--baseline-dir DIR] [--max-regression PCT]
+//! ```
+//!
+//! Compares the fresh `BENCH_*.json` against the newest committed
+//! baseline (by `created_unix`) in `DIR` (default `.`) whose `threads`
+//! matches the fresh run's — numbers are machine- and thread-specific,
+//! so only like compares with like. Exits 1 when any shared kernel or
+//! service throughput regressed by more than `PCT` percent (default
+//! 30). Exits 0 with a notice when no comparable baseline exists (a
+//! fresh machine or thread count is not a regression).
+
+use econcast_bench::gate::{bench_doc, compare, parse_json, BenchDoc};
+use std::path::{Path, PathBuf};
+
+fn load(path: &Path) -> Result<BenchDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    bench_doc(&parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?)
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(fresh_path) = flag("--fresh").map(PathBuf::from) else {
+        eprintln!("usage: bench_gate --fresh FILE [--baseline-dir DIR] [--max-regression PCT]");
+        std::process::exit(2);
+    };
+    let baseline_dir = PathBuf::from(flag("--baseline-dir").unwrap_or_else(|| ".".into()));
+    let max_loss = match flag("--max-regression").as_deref() {
+        None => 0.30,
+        Some(v) => match v.parse::<f64>() {
+            Ok(pct) if pct > 0.0 && pct < 100.0 => pct / 100.0,
+            _ => {
+                eprintln!("--max-regression expects a percentage in (0, 100), got `{v}`");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let fresh = match load(&fresh_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: cannot load fresh record: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Newest committed baseline at the same thread count, skipping the
+    // fresh file itself if it happens to live in the baseline dir.
+    let fresh_canon = std::fs::canonicalize(&fresh_path).ok();
+    let mut baselines: Vec<(PathBuf, BenchDoc)> = Vec::new();
+    let dir = match std::fs::read_dir(&baseline_dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", baseline_dir.display());
+            std::process::exit(2);
+        }
+    };
+    for entry in dir.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        if std::fs::canonicalize(&path).ok() == fresh_canon {
+            continue;
+        }
+        match load(&path) {
+            Ok(doc) if doc.threads == fresh.threads => baselines.push((path, doc)),
+            Ok(doc) => eprintln!(
+                "bench_gate: skipping {} (threads {} != {})",
+                path.display(),
+                doc.threads,
+                fresh.threads
+            ),
+            Err(e) => eprintln!("bench_gate: skipping unreadable baseline: {e}"),
+        }
+    }
+    let Some((base_path, baseline)) = baselines.into_iter().max_by_key(|(_, d)| d.created_unix)
+    else {
+        println!(
+            "bench_gate: no committed baseline matches threads={}; nothing to gate",
+            fresh.threads
+        );
+        return;
+    };
+
+    println!(
+        "bench_gate: {} (sha {}, quick {}) vs baseline {} (sha {}, quick {}), \
+         max regression {:.0}%",
+        fresh_path.display(),
+        fresh.git_sha,
+        fresh.quick,
+        base_path.display(),
+        baseline.git_sha,
+        baseline.quick,
+        max_loss * 100.0
+    );
+    let regressions = compare(&fresh, &baseline, max_loss);
+    if regressions.is_empty() {
+        println!(
+            "bench_gate: OK — no throughput regressed by more than {:.0}%",
+            max_loss * 100.0
+        );
+        return;
+    }
+    for r in &regressions {
+        eprintln!(
+            "bench_gate: REGRESSION {}: {:.3}/s -> {:.3}/s ({:.0}% loss)",
+            r.what,
+            r.baseline,
+            r.fresh,
+            r.loss() * 100.0
+        );
+    }
+    std::process::exit(1);
+}

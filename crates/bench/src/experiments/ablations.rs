@@ -50,8 +50,13 @@ pub fn run(scale: Scale) -> String {
     out.push_str("  σ      T^σ      sim T̃     burst    mean latency(s)\n");
     for sigma in [0.75, 0.5, 0.375, 0.3] {
         let p4 = HomogeneousP4::new(N, params(), sigma, ThroughputMode::Groupput).solve();
-        let r = Simulator::new(base_cfg(sigma, t_long, 0xAB1)).expect("valid").run();
-        let lat = r.latency_summary().map(|l| l.mean * 1e-3).unwrap_or(f64::NAN);
+        let r = Simulator::new(base_cfg(sigma, t_long, 0xAB1))
+            .expect("valid")
+            .run();
+        let lat = r
+            .latency_summary()
+            .map(|l| l.mean * 1e-3)
+            .unwrap_or(f64::NAN);
         out.push_str(&format!(
             "  {sigma:<5}  {:.5}  {:.5}  {:>7.1}  {:>10.2}\n",
             p4.throughput,
@@ -71,9 +76,7 @@ pub fn run(scale: Scale) -> String {
         let worst = r
             .nodes
             .iter()
-            .map(|n| {
-                ((n.average_power(r.elapsed) - params().budget_w) / params().budget_w).abs()
-            })
+            .map(|n| ((n.average_power(r.elapsed) - params().budget_w) / params().budget_w).abs())
             .fold(0.0f64, f64::max);
         out.push_str(&format!(
             "  {step:<5}  {tau:<5}  {:.5}  {:>12.3}%\n",
@@ -85,7 +88,9 @@ pub fn run(scale: Scale) -> String {
     // 3. Estimator quality.
     out.push_str("\n[ablation 3] listener-estimate quality (miss rate → throughput)\n");
     out.push_str("  miss%   sim T̃     vs perfect\n");
-    let perfect = Simulator::new(base_cfg(0.5, t_long, 0xAB3)).expect("valid").run();
+    let perfect = Simulator::new(base_cfg(0.5, t_long, 0xAB3))
+        .expect("valid")
+        .run();
     for miss in [0.0, 0.25, 0.5, 0.75] {
         let mut cfg = base_cfg(0.5, t_long, 0xAB3);
         cfg.estimator = EstimatorKind::Noisy {

@@ -83,14 +83,20 @@ pub fn run(scale: Scale) -> String {
             for (a, b) in RATIOS {
                 let p = params_for(a / b);
                 let (t, _, _) = BirthdayProtocol::new(N, p).optimal_groupput();
-                out.push_str(&format!(" {:>7.4}", t / oracle(&p, ThroughputMode::Groupput)));
+                out.push_str(&format!(
+                    " {:>7.4}",
+                    t / oracle(&p, ThroughputMode::Groupput)
+                ));
             }
             out.push('\n');
             out.push_str("  searchlt :");
             for (a, b) in RATIOS {
                 let p = params_for(a / b);
                 let t = Searchlight::paper_setup(N, p).groupput_upper_bound();
-                out.push_str(&format!(" {:>7.4}", t / oracle(&p, ThroughputMode::Groupput)));
+                out.push_str(&format!(
+                    " {:>7.4}",
+                    t / oracle(&p, ThroughputMode::Groupput)
+                ));
             }
             out.push('\n');
             out.push_str("  panda    :");
@@ -99,7 +105,10 @@ pub fn run(scale: Scale) -> String {
                 let mut cfg = PandaConfig::new(N, p);
                 cfg.sim_duration = scale.duration(2_000_000.0);
                 let t = cfg.calibrated().groupput;
-                out.push_str(&format!(" {:>7.4}", t / oracle(&p, ThroughputMode::Groupput)));
+                out.push_str(&format!(
+                    " {:>7.4}",
+                    t / oracle(&p, ThroughputMode::Groupput)
+                ));
             }
             out.push('\n');
         }

@@ -39,11 +39,18 @@ pub fn run(scale: Scale) -> String {
     for n in [5usize, 10] {
         out.push_str(&format!("[groupput, N = {n}] analytic curve (σ → B_g):\n"));
         for point in groupput_burst_curve(n, params(), &sigma_grid) {
-            out.push_str(&format!("  σ={:.2}  B={:.2}\n", point.sigma, point.burst_length));
+            out.push_str(&format!(
+                "  σ={:.2}  B={:.2}\n",
+                point.sigma, point.burst_length
+            ));
         }
         out.push_str("  simulation markers:\n");
         for &sigma in &marker_sigmas {
-            let t_end = scale.duration(if sigma < 0.4 { 8_000_000.0 } else { 2_000_000.0 });
+            let t_end = scale.duration(if sigma < 0.4 {
+                8_000_000.0
+            } else {
+                2_000_000.0
+            });
             let b = simulate_burst(n, sigma, ThroughputMode::Groupput, t_end, 0xF14 + n as u64);
             let analytic = groupput_burst_curve(n, params(), &[sigma])[0].burst_length;
             out.push_str(&format!(

@@ -28,7 +28,9 @@ fn to_seconds(packets: f64) -> f64 {
 pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     out.push_str("Fig. 5 — latency CDF/mean/p99 (ρ = 10 µW, L = X = 500 µW; 1 ms packets)\n");
-    out.push_str("paper: p99 groupput within 120 s for all settings; Searchlight worst case 125 s\n\n");
+    out.push_str(
+        "paper: p99 groupput within 120 s for all settings; Searchlight worst case 125 s\n\n",
+    );
 
     for (label, mode) in [
         ("groupput", ThroughputMode::Groupput),
@@ -37,7 +39,11 @@ pub fn run(scale: Scale) -> String {
         out.push_str(&format!("[{label}]\n"));
         for n in [5usize, 10] {
             for sigma in [0.25, 0.5] {
-                let t_end = scale.duration(if sigma < 0.4 { 8_000_000.0 } else { 3_000_000.0 });
+                let t_end = scale.duration(if sigma < 0.4 {
+                    8_000_000.0
+                } else {
+                    3_000_000.0
+                });
                 let protocol = match mode {
                     ThroughputMode::Groupput => ProtocolConfig::capture_groupput(sigma),
                     ThroughputMode::Anyput => ProtocolConfig::capture_anyput(sigma),
@@ -99,9 +105,6 @@ mod tests {
         };
         let l5 = latency(5);
         let l10 = latency(10);
-        assert!(
-            l10 < l5,
-            "N=10 mean latency {l10} not below N=5's {l5}"
-        );
+        assert!(l10 < l5, "N=10 mean latency {l10} not below N=5's {l5}");
     }
 }

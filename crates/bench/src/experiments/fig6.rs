@@ -28,7 +28,9 @@ pub fn run(scale: Scale) -> String {
     };
     let mut out = String::new();
     out.push_str("Fig. 6 — grid groupput: oracle T*_nc and simulated EconCast\n");
-    out.push_str("paper: EconCast reaches 14–22% of T*_nc at σ=0.25; ~10% at σ=0.5 for large N\n\n");
+    out.push_str(
+        "paper: EconCast reaches 14–22% of T*_nc at σ=0.25; ~10% at σ=0.5 for large N\n\n",
+    );
     out.push_str("   N   T*_nc      σ=0.25        σ=0.5         σ=0.75\n");
     // Each grid side is an independent row (its own oracle LP and
     // three long simulations) — fan rows out over the worker pool and
@@ -45,7 +47,11 @@ pub fn run(scale: Scale) -> String {
             .expect("grid bounds are tight (Section VII-E)");
         let mut line = format!("{n:>4}  {t_nc:>6.4}");
         for sigma in [0.25, 0.5, 0.75] {
-            let t_end = scale.duration(if sigma < 0.4 { 4_000_000.0 } else { 1_500_000.0 });
+            let t_end = scale.duration(if sigma < 0.4 {
+                4_000_000.0
+            } else {
+                1_500_000.0
+            });
             let mut cfg = SimConfig::ideal_clique(
                 n,
                 params(),

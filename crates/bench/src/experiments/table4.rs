@@ -20,7 +20,9 @@ use econcast_hw::TestbedConfig;
 pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     out.push_str("Table IV — pings received after each packet (N = 5, σ = 0.25)\n");
-    out.push_str("paper:  1 mW: 89.0 / 9.7 / 1.3 / 0.0 / 0.0   5 mW: 59.2 / 31.2 / 8.2 / 1.2 / 0.1\n\n");
+    out.push_str(
+        "paper:  1 mW: 89.0 / 9.7 / 1.3 / 0.0 / 0.0   5 mW: 59.2 / 31.2 / 8.2 / 1.2 / 0.1\n\n",
+    );
     out.push_str("  rho     k=0     k=1     k=2     k=3     k=4\n");
     for rho_mw in [1.0, 5.0] {
         let mut cfg = TestbedConfig::paper_setup(5, rho_mw, 0.25);

@@ -1,0 +1,586 @@
+//! The CI bench-regression gate.
+//!
+//! `bench_gate` compares a freshly produced `BENCH_*.json` against the
+//! newest committed baseline at the **same thread count** and fails
+//! when any kernel or service throughput regressed by more than the
+//! allowed fraction. This is what makes the committed baselines
+//! enforceable: without it a PR can silently undo the kernel work the
+//! baselines document.
+//!
+//! Comparison rules:
+//!
+//! * Entries pair by `name`. A baseline entry missing from the fresh
+//!   run fails the gate as a total regression (a vanished measurement
+//!   is not a pass); fresh-only entries are ignored until a baseline
+//!   containing them is committed — so *adding* suite entries never
+//!   breaks the gate, and *retiring* one is done by committing the
+//!   new baseline in the same PR.
+//! * When the two files disagree on `quick`, entries whose *workload
+//!   size* depends on the quick flag (fixed-iteration (P4) solves, the
+//!   simulator horizon) are skipped — their per-iteration times are
+//!   not comparable. The service, summarize, and homogeneous kernels
+//!   do identical work in both modes and stay gated.
+//! * The JSON `service` section pairs by `batch` and compares every
+//!   baseline `*_rps` rate, with the same missing-is-a-regression
+//!   rule.
+//!
+//! The JSON parser is hand-rolled (offline environment, no serde) and
+//! covers exactly the subset the bench writer emits — plus enough
+//! generality (escapes, nesting) to stay robust to format evolution.
+
+use std::collections::BTreeMap;
+
+/// Fallback list of suite entries whose measured work shrinks under
+/// `--quick` (comparing their quick vs full per-iteration numbers is
+/// meaningless). New bench records stamp this per entry in a
+/// `quick_sensitive` JSON array — the writer knows at suite-build
+/// time — and [`compare`] prefers the stamps; this list only covers
+/// baselines written before the stamp existed.
+pub const QUICK_SENSITIVE: [&str; 5] = [
+    "p4_solve_n8",
+    "p4_solve_n12",
+    "p4_solve_n16",
+    "p4_solve_n12_naive",
+    "sim_grid7x7",
+];
+
+/// A parsed JSON value (just enough for bench records).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion order irrelevant for our use).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Errors carry a byte offset.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at offset {pos}", ch as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}` at offset {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// The gate's view of one bench record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// `git_sha` field.
+    pub git_sha: String,
+    /// `created_unix` field (0 when absent).
+    pub created_unix: u64,
+    /// Worker-pool size the suite ran under.
+    pub threads: u64,
+    /// Whether the reduced smoke suite ran.
+    pub quick: bool,
+    /// `name → per_second` over the entries section.
+    pub entries: BTreeMap<String, f64>,
+    /// `(batch, rate-field) → requests/sec` over the service section.
+    pub service: BTreeMap<(u64, String), f64>,
+    /// The record's own `quick_sensitive` entry list, when the writer
+    /// was new enough to emit one (`None` on pre-gate baselines).
+    pub quick_sensitive: Option<Vec<String>>,
+}
+
+/// Extracts a [`BenchDoc`] from parsed bench JSON.
+pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
+    let entries = json
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing entries[]")?
+        .iter()
+        .filter_map(|e| {
+            Some((
+                e.get("name")?.as_str()?.to_string(),
+                e.get("per_second")?.as_num()?,
+            ))
+        })
+        .collect();
+    let mut service = BTreeMap::new();
+    for row in json
+        .get("service")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+    {
+        let Some(batch) = row.get("batch").and_then(Json::as_num) else {
+            continue;
+        };
+        if let Json::Obj(fields) = row {
+            for (key, value) in fields {
+                if key.ends_with("_rps") {
+                    if let Some(rate) = value.as_num() {
+                        service.insert((batch as u64, key.clone()), rate);
+                    }
+                }
+            }
+        }
+    }
+    Ok(BenchDoc {
+        git_sha: json
+            .get("git_sha")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        created_unix: json
+            .get("created_unix")
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64,
+        threads: json
+            .get("threads")
+            .and_then(Json::as_num)
+            .ok_or("missing threads")? as u64,
+        quick: matches!(json.get("quick"), Some(Json::Bool(true))),
+        entries,
+        service,
+        quick_sensitive: json.get("quick_sensitive").and_then(Json::as_arr).map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        }),
+    })
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Entry name or `service batch=N field`.
+    pub what: String,
+    /// Baseline throughput (per second).
+    pub baseline: f64,
+    /// Fresh throughput (per second).
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// The fractional loss, e.g. 0.42 for a 42% regression.
+    pub fn loss(&self) -> f64 {
+        1.0 - self.fresh / self.baseline
+    }
+}
+
+/// Compares `fresh` against `baseline`, returning every baseline
+/// throughput that lost more than `max_loss` (e.g. 0.30 = fail on a
+/// regression above 30%). Quick-sensitive entries are skipped when the
+/// two records disagree on `quick`.
+///
+/// A baseline throughput *absent* from the fresh run counts as a total
+/// regression (rate 0): a silently vanished measurement — e.g. the
+/// socket bench failing to bind and emitting `socket_rps: null` —
+/// must not pass the gate it exists to feed. Retiring a suite entry
+/// on purpose is done by committing the new baseline in the same PR;
+/// the gate always compares against the newest one. Entries that only
+/// exist in the fresh run are ignored (new measurements have no
+/// baseline yet).
+pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc, max_loss: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let modes_differ = fresh.quick != baseline.quick;
+    // Quick-sensitivity comes from the records themselves (the suite
+    // builder stamps it per entry), unioned across both sides so a new
+    // fresh record also protects an old baseline; [`QUICK_SENSITIVE`]
+    // is the fallback for records predating the stamp.
+    let quick_sensitive = |name: &str| {
+        let stamped = |doc: &BenchDoc| {
+            doc.quick_sensitive
+                .as_ref()
+                .is_some_and(|list| list.iter().any(|n| n == name))
+        };
+        if fresh.quick_sensitive.is_none() && baseline.quick_sensitive.is_none() {
+            QUICK_SENSITIVE.contains(&name)
+        } else {
+            stamped(fresh) || stamped(baseline)
+        }
+    };
+    for (name, &base_rate) in &baseline.entries {
+        if base_rate <= 0.0 || (modes_differ && quick_sensitive(name)) {
+            continue;
+        }
+        let fresh_rate = fresh.entries.get(name).copied().unwrap_or(0.0);
+        if fresh_rate < (1.0 - max_loss) * base_rate {
+            out.push(Regression {
+                what: if fresh.entries.contains_key(name) {
+                    name.clone()
+                } else {
+                    format!("{name} (missing from fresh run)")
+                },
+                baseline: base_rate,
+                fresh: fresh_rate,
+            });
+        }
+    }
+    for ((batch, field), &base_rate) in &baseline.service {
+        if base_rate <= 0.0 {
+            continue;
+        }
+        let key = (*batch, field.clone());
+        let fresh_rate = fresh.service.get(&key).copied().unwrap_or(0.0);
+        if fresh_rate < (1.0 - max_loss) * base_rate {
+            out.push(Regression {
+                what: if fresh.service.contains_key(&key) {
+                    format!("service batch={batch} {field}")
+                } else {
+                    format!("service batch={batch} {field} (missing from fresh run)")
+                },
+                baseline: base_rate,
+                fresh: fresh_rate,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(quick: bool, entries: &[(&str, f64)], service: &[(u64, &str, f64)]) -> BenchDoc {
+        BenchDoc {
+            git_sha: "test".into(),
+            created_unix: 1,
+            threads: 1,
+            quick,
+            entries: entries.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            service: service
+                .iter()
+                .map(|(b, f, v)| ((*b, f.to_string()), *v))
+                .collect(),
+            // Legacy-shaped records: compare() falls back to the
+            // hardcoded QUICK_SENSITIVE list.
+            quick_sensitive: None,
+        }
+    }
+
+    #[test]
+    fn parser_handles_the_bench_shape() {
+        let json = parse_json(
+            r#"{
+  "git_sha": "abc",
+  "created_unix": 123,
+  "threads": 2,
+  "quick": false,
+  "entries": [
+    {"name": "k1", "mean_s": 1e-3, "best_s": 9.5e-4, "iterations": 100, "per_second": 1000.0}
+  ],
+  "service": [
+    {"batch": 32, "cold_rps": 10.5, "warm_rps": 100.0, "socket_rps": null}
+  ],
+  "derived": {"p4_n12_speedup_vs_naive": 34.61}
+}"#,
+        )
+        .unwrap();
+        let doc = bench_doc(&json).unwrap();
+        assert_eq!(doc.git_sha, "abc");
+        assert_eq!(doc.created_unix, 123);
+        assert_eq!(doc.threads, 2);
+        assert!(!doc.quick);
+        assert_eq!(doc.entries["k1"], 1000.0);
+        assert_eq!(doc.service[&(32, "cold_rps".into())], 10.5);
+        assert_eq!(doc.service[&(32, "warm_rps".into())], 100.0);
+        // A null socket rate (bind failure) is simply absent.
+        assert!(!doc.service.contains_key(&(32, "socket_rps".into())));
+        // Pre-gate records carry no quick-sensitivity stamp.
+        assert_eq!(doc.quick_sensitive, None);
+    }
+
+    #[test]
+    fn parser_roundtrips_real_writer_output() {
+        // The actual writer's output must stay parsable — this is the
+        // contract the CI gate depends on.
+        let report = crate::perf::SuiteReport {
+            measurements: vec![crate::timing::Measurement {
+                name: "k".into(),
+                iterations: 5,
+                mean_s: 0.1,
+                best_s: 0.09,
+            }],
+            p4_n12_speedup: None,
+            service: vec![crate::perf::ServiceThroughput {
+                batch: 1,
+                cold_rps: 5.0,
+                warm_rps: 50.0,
+                socket_rps: Some(25.0),
+            }],
+            threads: 3,
+            quick: true,
+            quick_sensitive: vec!["k".into()],
+        };
+        let text = crate::perf::to_json(&report, "deadbee");
+        let doc = bench_doc(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(doc.threads, 3);
+        assert!(doc.quick);
+        assert_eq!(doc.entries["k"], 10.0);
+        assert_eq!(doc.service[&(1, "socket_rps".into())], 25.0);
+        assert_eq!(doc.quick_sensitive.as_deref(), Some(&["k".to_string()][..]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn regressions_detected_above_threshold_only() {
+        let base = doc(
+            false,
+            &[("kernel", 100.0), ("other", 10.0)],
+            &[(32, "warm_rps", 1000.0)],
+        );
+        let fresh = doc(
+            false,
+            &[("kernel", 65.0), ("other", 9.0), ("brand_new", 1.0)],
+            &[(32, "warm_rps", 720.0), (256, "warm_rps", 5.0)],
+        );
+        let regs = compare(&fresh, &base, 0.30);
+        // kernel lost 35% (> 30%) → flagged; other lost 10% → fine;
+        // warm_rps lost 28% → fine; unmatched names/batches ignored.
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "kernel");
+        assert!((regs[0].loss() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_mismatch_skips_quick_sensitive_entries() {
+        let base = doc(
+            false,
+            &[("p4_solve_n12", 30.0), ("gibbs_summarize_n12", 4000.0)],
+            &[],
+        );
+        let fresh = doc(
+            true,
+            &[("p4_solve_n12", 300.0), ("gibbs_summarize_n12", 1000.0)],
+            &[],
+        );
+        let regs = compare(&fresh, &base, 0.30);
+        // Only the quick-invariant summarize kernel is gated.
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "gibbs_summarize_n12");
+        // Same quick flag ⇒ everything is gated again: the p4 entry
+        // regressed and the summarize entry is missing entirely.
+        let fresh_full = doc(false, &[("p4_solve_n12", 3.0)], &[]);
+        assert_eq!(compare(&fresh_full, &base, 0.30).len(), 2);
+    }
+
+    #[test]
+    fn stamped_quick_sensitivity_overrides_the_fallback_list() {
+        // A record that stamps its own quick-sensitive entries governs
+        // the skip, even for names the fallback list never heard of.
+        let base = doc(false, &[("new_fixed_iter_kernel", 100.0)], &[]);
+        let mut fresh = doc(true, &[("new_fixed_iter_kernel", 500.0)], &[]);
+        // Unstamped on both sides + unknown to the fallback ⇒ gated
+        // (and passing, since the quick run is faster).
+        assert!(compare(&fresh, &base, 0.30).is_empty());
+        let mut slow = fresh.clone();
+        slow.entries.insert("new_fixed_iter_kernel".into(), 10.0);
+        assert_eq!(compare(&slow, &base, 0.30).len(), 1);
+        // Stamped by the fresh record ⇒ skipped across quick/full.
+        slow.quick_sensitive = Some(vec!["new_fixed_iter_kernel".into()]);
+        assert!(compare(&slow, &base, 0.30).is_empty());
+        // Stamps only matter when the quick flags differ.
+        slow.quick = false;
+        assert_eq!(compare(&slow, &base, 0.30).len(), 1);
+        // The baseline's stamp protects too.
+        fresh.entries.insert("new_fixed_iter_kernel".into(), 10.0);
+        let mut stamped_base = base.clone();
+        stamped_base.quick_sensitive = Some(vec!["new_fixed_iter_kernel".into()]);
+        assert!(compare(&fresh, &stamped_base, 0.30).is_empty());
+    }
+
+    #[test]
+    fn vanished_measurements_fail_the_gate() {
+        // A baseline socket rate with no fresh counterpart (e.g. the
+        // loopback bind failed and socket_rps came out null) is a
+        // total regression, not a silent pass.
+        let base = doc(
+            false,
+            &[("homogeneous_p4_n1000", 300.0)],
+            &[(32, "socket_rps", 50_000.0)],
+        );
+        let fresh = doc(false, &[("homogeneous_p4_n1000", 290.0)], &[]);
+        let regs = compare(&fresh, &base, 0.30);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(
+            regs[0].what,
+            "service batch=32 socket_rps (missing from fresh run)"
+        );
+        assert_eq!(regs[0].fresh, 0.0);
+        assert!((regs[0].loss() - 1.0).abs() < 1e-12);
+        // Fresh-only measurements are not flagged.
+        let fresh_extra = doc(
+            false,
+            &[("homogeneous_p4_n1000", 290.0), ("brand_new", 1.0)],
+            &[(32, "socket_rps", 49_000.0), (256, "socket_rps", 1.0)],
+        );
+        assert!(compare(&fresh_extra, &base, 0.30).is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 //! live in `benches/microbench.rs`.
 
 pub mod experiments;
+pub mod gate;
 pub mod perf;
 pub mod timing;
 

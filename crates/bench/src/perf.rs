@@ -17,7 +17,10 @@
 
 use crate::timing::{format_seconds, measure, Measurement};
 use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
-use econcast_service::{GridConfig, PolicyRequest, PolicyService, ServiceConfig};
+use econcast_service::{
+    GridConfig, PolicyClient, PolicyRequest, PolicyServer, PolicyService, RouterConfig,
+    ServerConfig, ServiceConfig,
+};
 use econcast_sim::{SimConfig, Simulator};
 use econcast_statespace::gibbs::{summarize_naive, GibbsParams, GibbsSummary};
 use econcast_statespace::{HomogeneousP4, P4Options, P4Solver, SummaryWorkspace};
@@ -87,6 +90,12 @@ fn solve_p4_naive_reference(
 struct Entry {
     name: String,
     workload: Box<dyn FnMut()>,
+    /// Whether the workload *size* depends on the `--quick` flag
+    /// (fixed-iteration budgets, simulated horizon). Recorded in the
+    /// JSON so the CI gate knows — from the file itself, not a
+    /// hardcoded list that could drift — which per-iteration numbers
+    /// are meaningless across a quick/full comparison.
+    quick_sensitive: bool,
 }
 
 /// The canonical suite-entry name for one service measurement
@@ -203,8 +212,13 @@ fn suite(quick: bool) -> Vec<Entry> {
         entries.push(Entry {
             name: name.to_string(),
             workload: Box::new(move || {
-                black_box(solver.solve(&nodes, 0.5, mode, fixed_iters(iters)).throughput);
+                black_box(
+                    solver
+                        .solve(&nodes, 0.5, mode, fixed_iters(iters))
+                        .throughput,
+                );
             }),
+            quick_sensitive: true,
         });
     }
     {
@@ -212,8 +226,14 @@ fn suite(quick: bool) -> Vec<Entry> {
         entries.push(Entry {
             name: "p4_solve_n12_naive".to_string(),
             workload: Box::new(move || {
-                black_box(solve_p4_naive_reference(&nodes, 0.5, mode, fixed_iters(it12)));
+                black_box(solve_p4_naive_reference(
+                    &nodes,
+                    0.5,
+                    mode,
+                    fixed_iters(it12),
+                ));
             }),
+            quick_sensitive: true,
         });
     }
     {
@@ -231,6 +251,7 @@ fn suite(quick: bool) -> Vec<Entry> {
                 });
                 black_box(ws.expected_throughput());
             }),
+            quick_sensitive: false,
         });
         let nodes = vec![params(); 12];
         let eta = vec![3000.0; 12];
@@ -244,6 +265,7 @@ fn suite(quick: bool) -> Vec<Entry> {
                     mode,
                 }));
             }),
+            quick_sensitive: false,
         });
     }
     entries.push(Entry {
@@ -255,11 +277,38 @@ fn suite(quick: bool) -> Vec<Entry> {
                     .throughput,
             );
         }),
+        quick_sensitive: false,
     });
     // Policy-service throughput: requests/sec per batch size, cold
-    // (fresh caches every call) vs warm (steady-state cache serving).
+    // (fresh caches every call) vs warm (steady-state cache serving)
+    // vs socket (warm caches through the sharded TCP front-end).
     // Names derive from SERVICE_BATCH_SIZES so the JSON's "service"
     // section can never silently miss a size.
+    //
+    // The TCP server (2 shards, loopback) lives for the rest of the
+    // process: the suite runs once per process and the connection
+    // handlers die with it, so there is nothing to tear down.
+    let socket_addr = PolicyServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            router: RouterConfig {
+                shards: 2,
+                service: ServiceConfig {
+                    lru_capacity: 4096,
+                    ..ServiceConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+            background_prewarm: false,
+            ..ServerConfig::default()
+        },
+    )
+    .map(|srv| {
+        let handle = srv.spawn();
+        let addr = handle.addr();
+        std::mem::forget(handle); // keep accepting until process exit
+        addr
+    });
     for size in SERVICE_BATCH_SIZES {
         let batch = service_batch(size);
         entries.push(Entry {
@@ -271,17 +320,41 @@ fn suite(quick: bool) -> Vec<Entry> {
                     black_box(svc.serve_batch(&batch));
                 }
             }),
+            quick_sensitive: false,
         });
         entries.push(Entry {
             name: service_entry_name("warm", size),
             workload: Box::new({
+                let batch = batch.clone();
                 let mut svc = warm_service();
                 svc.serve_batch(&batch); // warm the tiers once
                 move || {
                     black_box(svc.serve_batch(&batch));
                 }
             }),
+            quick_sensitive: false,
         });
+        if let Ok(addr) = &socket_addr {
+            // Warm socket round-trip: encode + TCP + routing + shard
+            // cache lookups + decode. The lazy connect keeps server
+            // warm-up out of the measured iterations (measure()'s
+            // calibration pass absorbs it).
+            let addr = *addr;
+            let mut client: Option<PolicyClient> = None;
+            entries.push(Entry {
+                name: service_entry_name("socket", size),
+                workload: Box::new(move || {
+                    let client = client.get_or_insert_with(|| {
+                        let mut c = PolicyClient::connect(addr, size.min(u16::MAX as usize) as u16)
+                            .expect("loopback connect");
+                        c.serve_batch(&batch).expect("warming batch"); // warm the shards
+                        c
+                    });
+                    black_box(client.serve_batch(&batch).expect("socket round trip"));
+                }),
+                quick_sensitive: false,
+            });
+        }
     }
     entries.push(Entry {
         name: "sim_grid7x7".to_string(),
@@ -296,6 +369,7 @@ fn suite(quick: bool) -> Vec<Entry> {
             cfg.topology = econcast_core::Topology::square_grid(7);
             black_box(Simulator::new(cfg).expect("valid").run().groupput);
         }),
+        quick_sensitive: true,
     });
     entries
 }
@@ -309,6 +383,10 @@ pub struct ServiceThroughput {
     pub cold_rps: f64,
     /// Requests/sec at cache steady state (lookup-dominated).
     pub warm_rps: f64,
+    /// Requests/sec through the sharded TCP front-end at cache steady
+    /// state (framing + loopback + routing on top of warm serving);
+    /// `None` when the loopback server could not bind.
+    pub socket_rps: Option<f64>,
 }
 
 /// Result of one full suite run.
@@ -323,11 +401,16 @@ pub struct SuiteReport {
     pub threads: usize,
     /// Whether the reduced smoke suite ran.
     pub quick: bool,
+    /// Names of entries whose workload size depends on `quick` —
+    /// recorded in the JSON so the regression gate learns
+    /// quick-sensitivity from the record itself.
+    pub quick_sensitive: Vec<String>,
 }
 
 /// Runs the kernel suite, printing one line per entry.
 pub fn run_suite(quick: bool) -> SuiteReport {
     let mut measurements = Vec::new();
+    let mut quick_sensitive = Vec::new();
     for mut e in suite(quick) {
         let m = measure(&e.name, &mut *e.workload);
         println!(
@@ -336,6 +419,9 @@ pub fn run_suite(quick: bool) -> SuiteReport {
             format_seconds(m.mean_s),
             m.iterations
         );
+        if e.quick_sensitive {
+            quick_sensitive.push(e.name);
+        }
         measurements.push(m);
     }
     let mean_of = |name: &str| {
@@ -356,17 +442,23 @@ pub fn run_suite(quick: bool) -> SuiteReport {
         .filter_map(|&batch| {
             let cold = mean_of(&service_entry_name("cold", batch))?;
             let warm = mean_of(&service_entry_name("warm", batch))?;
+            let socket = mean_of(&service_entry_name("socket", batch));
             Some(ServiceThroughput {
                 batch,
                 cold_rps: batch as f64 / cold,
                 warm_rps: batch as f64 / warm,
+                socket_rps: socket.map(|s| batch as f64 / s),
             })
         })
         .collect();
     for s in &service {
         println!(
-            "policy service @ batch {:>3}: {:>10.0} req/s cold, {:>12.0} req/s warm",
-            s.batch, s.cold_rps, s.warm_rps
+            "policy service @ batch {:>3}: {:>10.0} req/s cold, {:>12.0} req/s warm, \
+             {:>10.0} req/s socket",
+            s.batch,
+            s.cold_rps,
+            s.warm_rps,
+            s.socket_rps.unwrap_or(f64::NAN)
         );
     }
     SuiteReport {
@@ -375,6 +467,7 @@ pub fn run_suite(quick: bool) -> SuiteReport {
         service,
         threads: econcast_parallel::effective_threads(usize::MAX),
         quick,
+        quick_sensitive,
     }
 }
 
@@ -410,6 +503,15 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
     s.push_str(&format!("  \"created_unix\": {unix},\n"));
     s.push_str(&format!("  \"threads\": {},\n", report.threads));
     s.push_str(&format!("  \"quick\": {},\n", report.quick));
+    s.push_str(&format!(
+        "  \"quick_sensitive\": [{}],\n",
+        report
+            .quick_sensitive
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     s.push_str("  \"entries\": [\n");
     for (i, m) in report.measurements.iter().enumerate() {
         s.push_str(&format!(
@@ -430,12 +532,21 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
     s.push_str("  ],\n");
     s.push_str("  \"service\": [\n");
     for (i, t) in report.service.iter().enumerate() {
+        let socket = match t.socket_rps {
+            Some(v) => format!("{v:.3}"),
+            None => "null".to_string(),
+        };
         s.push_str(&format!(
-            "    {{\"batch\": {}, \"cold_rps\": {:.3}, \"warm_rps\": {:.3}}}{}\n",
+            "    {{\"batch\": {}, \"cold_rps\": {:.3}, \"warm_rps\": {:.3}, \
+             \"socket_rps\": {socket}}}{}\n",
             t.batch,
             t.cold_rps,
             t.warm_rps,
-            if i + 1 < report.service.len() { "," } else { "" }
+            if i + 1 < report.service.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     s.push_str("  ],\n");
@@ -468,19 +579,11 @@ mod tests {
         // The baseline must solve the same problem: identical
         // trajectories for a fixed iteration budget.
         let nodes = vec![params(); 5];
-        let naive = solve_p4_naive_reference(
-            &nodes,
-            0.5,
-            ThroughputMode::Groupput,
-            fixed_iters(40),
-        );
-        let fast = econcast_statespace::solve_p4(
-            &nodes,
-            0.5,
-            ThroughputMode::Groupput,
-            fixed_iters(40),
-        )
-        .throughput;
+        let naive =
+            solve_p4_naive_reference(&nodes, 0.5, ThroughputMode::Groupput, fixed_iters(40));
+        let fast =
+            econcast_statespace::solve_p4(&nodes, 0.5, ThroughputMode::Groupput, fixed_iters(40))
+                .throughput;
         assert!(
             (naive - fast).abs() <= 1e-9 * (1.0 + fast.abs()),
             "naive {naive} vs workspace {fast}"
@@ -501,16 +604,20 @@ mod tests {
                 batch: 32,
                 cold_rps: 1234.5,
                 warm_rps: 99999.0,
+                socket_rps: Some(4321.0),
             }],
             threads: 4,
             quick: true,
+            quick_sensitive: vec!["x".into(), "y".into()],
         };
         let j = to_json(&report, "abc123");
         assert!(j.contains("\"git_sha\": \"abc123\""));
+        assert!(j.contains("\"quick_sensitive\": [\"x\", \"y\"],"));
         assert!(j.contains("\"name\": \"x\""));
         assert!(j.contains("\"p4_n12_speedup_vs_naive\": 12.50"));
         assert!(j.contains("\"batch\": 32"));
         assert!(j.contains("\"cold_rps\": 1234.500"));
+        assert!(j.contains("\"socket_rps\": 4321.000"));
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

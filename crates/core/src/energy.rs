@@ -14,7 +14,6 @@
 //!   under hard energy causality, and used by `econcast-hw`'s capacitor
 //!   experiments.
 
-
 /// Storage semantics for [`EnergyStore`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StorageKind {

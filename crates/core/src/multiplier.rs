@@ -16,7 +16,6 @@
 //! practice constant `δ` and `τ` work and trade convergence speed
 //! against oscillation.
 
-
 /// Step-size / interval-length schedule for the multiplier update.
 ///
 /// Note on units: `δ` multiplies raw energy deltas (joules when time is
@@ -273,10 +272,7 @@ impl Multiplier {
                 self.eta = (self.eta - delta * g).max(0.0);
             }
             StepSchedule::VarianceNormalized {
-                gain,
-                scale,
-                floor,
-                ..
+                gain, scale, floor, ..
             } => {
                 self.slack_mean = VN_BETA_M * self.slack_mean + (1.0 - VN_BETA_M) * g;
                 self.slack_sq = VN_BETA_V * self.slack_sq + (1.0 - VN_BETA_V) * g * g;

@@ -1,6 +1,5 @@
 //! Per-node identity and power parameters (paper Section III-A).
 
-
 /// Index of a node in the network. Nodes are dense `0..N`, so a plain
 /// newtype over `usize` keeps everything array-indexable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

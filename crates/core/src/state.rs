@@ -1,7 +1,6 @@
 //! Node states (Fig. 1) and the two throughput objectives
 //! (Definitions 1–3).
 
-
 /// The three node states of Section III-A. A node must pass through
 /// [`NodeState::Listen`] to move between sleep and transmit (Fig. 1);
 /// [`NodeState::can_transition_to`] encodes that topology.

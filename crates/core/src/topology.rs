@@ -2,7 +2,6 @@
 //! general graphs (Section IV-C / VII-E), including the grid topologies
 //! used in Fig. 6.
 
-
 /// Who can hear whom. Symmetric, no self-loops.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Topology {

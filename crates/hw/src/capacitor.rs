@@ -134,7 +134,10 @@ mod tests {
         // And the measured-with-overhead lifetime (P ≈ 1.11 mW) lands
         // close to the paper's 135 min.
         let t1_real = rig.lifetime_s(1.11e-3, 3.0) / 60.0;
-        assert!((130.0..=155.0).contains(&t1_real), "with overhead {t1_real} min");
+        assert!(
+            (130.0..=155.0).contains(&t1_real),
+            "with overhead {t1_real} min"
+        );
     }
 
     #[test]

@@ -215,9 +215,7 @@ fn run_phase(
                 match leave {
                     None => leave = Some((r, ratio)),
                     Some((br, best)) => {
-                        if ratio < best - EPS
-                            || (ratio < best + EPS && basis[r] < basis[br])
-                        {
+                        if ratio < best - EPS || (ratio < best + EPS && basis[r] < basis[br]) {
                             leave = Some((r, ratio));
                         }
                     }

@@ -278,7 +278,11 @@ mod tests {
         let gaps = sigma_frontier(&nodes(), &[0.75, 0.5, 0.25], Groupput, P4Options::default());
         assert_eq!(gaps.len(), 3);
         for g in &gaps {
-            assert!(g.is_consistent(2e-3), "σ={}: inconsistent sandwich", g.sigma);
+            assert!(
+                g.is_consistent(2e-3),
+                "σ={}: inconsistent sandwich",
+                g.sigma
+            );
         }
         // The paper's central claim: the ratio rises as σ falls.
         assert!(gaps[2].ratio() > gaps[1].ratio());

@@ -43,10 +43,7 @@ impl NonCliqueBounds {
 /// # Panics
 ///
 /// Panics when `nodes.len() != topology.len()` or the network is empty.
-pub fn non_clique_groupput_bounds(
-    nodes: &[NodeParams],
-    topology: &Topology,
-) -> NonCliqueBounds {
+pub fn non_clique_groupput_bounds(nodes: &[NodeParams], topology: &Topology) -> NonCliqueBounds {
     assert_eq!(
         nodes.len(),
         topology.len(),

@@ -20,7 +20,19 @@
 //!           [t_sigma f64][oracle f64][dual_upper f64][n u16]
 //!           { [listen f64][transmit f64] }×n [crc u16]
 //! Error:    [0x12][ver][id u32][code u8][crc u16]
+//! Hello:    [0x13][ver][id u32][max_batch u16][crc u16]
+//! Welcome:  [0x14][ver][id u32][shards u16][max_batch u16][crc u16]
+//! StatsReq: [0x15][ver][id u32][shard u16][crc u16]
+//! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×13 [crc u16]
 //! ```
+//!
+//! `Hello`/`Welcome` form the connection handshake of the TCP policy
+//! server: the client announces the largest batch it intends to
+//! pipeline, the server answers with its shard count and the batch cap
+//! it will honor. `StatsReq` asks for one shard's serving counters
+//! (`shard = 0xFFFF` aggregates across all shards) and is answered by
+//! `Stats` with the counters of [`WireServiceStats`] in declaration
+//! order.
 //!
 //! `ver` is [`WIRE_VERSION`]; decoders reject other versions with
 //! [`DecodeError::UnsupportedVersion`] so old binaries fail loudly
@@ -43,6 +55,14 @@ pub const MAX_WIRE_NODES: usize = 4000;
 const TYPE_REQUEST: u8 = 0x10;
 const TYPE_RESPONSE: u8 = 0x11;
 const TYPE_ERROR: u8 = 0x12;
+const TYPE_HELLO: u8 = 0x13;
+const TYPE_WELCOME: u8 = 0x14;
+const TYPE_STATS_REQUEST: u8 = 0x15;
+const TYPE_STATS_RESPONSE: u8 = 0x16;
+
+/// The `shard` value that requests counters aggregated across every
+/// shard instead of one shard's.
+pub const STATS_SHARD_AGGREGATE: u16 = 0xFFFF;
 
 /// Which throughput objective the requested policy optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +218,129 @@ pub struct WirePolicyError {
     pub code: ServiceErrorCode,
 }
 
+/// Connection opener: the client introduces itself before the first
+/// request. The version octet already rides every message; the hello
+/// carries the client's pipelining intent so the server can size its
+/// batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHello {
+    /// Caller-chosen correlation id, echoed in the welcome.
+    pub id: u32,
+    /// Largest request batch the client intends to pipeline before
+    /// reading responses (informational; 0 = unknown).
+    pub max_batch: u16,
+}
+
+/// Handshake reply: the server's deployment shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireWelcome {
+    /// Echo of the hello id.
+    pub id: u32,
+    /// Number of policy-cache shards behind this endpoint.
+    pub shards: u16,
+    /// Largest batch the server will serve as one unit.
+    pub max_batch: u16,
+}
+
+/// Asks for one shard's serving counters
+/// ([`STATS_SHARD_AGGREGATE`] = sum over all shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStatsRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u32,
+    /// Shard index, or [`STATS_SHARD_AGGREGATE`].
+    pub shard: u16,
+}
+
+/// The serving counters of one shard (or the aggregate), mirroring
+/// the service crate's `ServiceStats`. Encoded as 13 u64s in
+/// declaration order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireServiceStats {
+    /// Requests received (including failed ones).
+    pub requests: u64,
+    /// Batches served.
+    pub batches: u64,
+    /// Exact-match LRU hits.
+    pub exact_hits: u64,
+    /// Grid-interpolation hits.
+    pub grid_hits: u64,
+    /// Homogeneous closed-form serves.
+    pub closed_form_hits: u64,
+    /// Exact (P4) solver runs.
+    pub solver_solves: u64,
+    /// In-batch dedup hits.
+    pub batch_dedup_hits: u64,
+    /// Rejected requests.
+    pub errors: u64,
+    /// Grid families built lazily.
+    pub grid_builds: u64,
+    /// Grid families built by the prewarmer.
+    pub grid_prewarms: u64,
+    /// LRU insertions.
+    pub lru_inserts: u64,
+    /// LRU evictions.
+    pub lru_evictions: u64,
+    /// LRU resident entries.
+    pub lru_len: u64,
+}
+
+/// Number of u64 counters in [`WireServiceStats`] — pins the wire
+/// layout; adding a counter is a wire-version bump.
+pub const STATS_COUNTERS: usize = 13;
+
+impl WireServiceStats {
+    /// The counters in wire (declaration) order.
+    pub fn to_array(self) -> [u64; STATS_COUNTERS] {
+        [
+            self.requests,
+            self.batches,
+            self.exact_hits,
+            self.grid_hits,
+            self.closed_form_hits,
+            self.solver_solves,
+            self.batch_dedup_hits,
+            self.errors,
+            self.grid_builds,
+            self.grid_prewarms,
+            self.lru_inserts,
+            self.lru_evictions,
+            self.lru_len,
+        ]
+    }
+
+    /// Rebuilds the struct from wire-order counters.
+    pub fn from_array(c: [u64; STATS_COUNTERS]) -> Self {
+        WireServiceStats {
+            requests: c[0],
+            batches: c[1],
+            exact_hits: c[2],
+            grid_hits: c[3],
+            closed_form_hits: c[4],
+            solver_solves: c[5],
+            batch_dedup_hits: c[6],
+            errors: c[7],
+            grid_builds: c[8],
+            grid_prewarms: c[9],
+            lru_inserts: c[10],
+            lru_evictions: c[11],
+            lru_len: c[12],
+        }
+    }
+}
+
+/// Stats reply for one shard (or the aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStatsResponse {
+    /// Echo of the request id.
+    pub id: u32,
+    /// Which shard these counters describe
+    /// ([`STATS_SHARD_AGGREGATE`] = the sum).
+    pub shard: u16,
+    /// The counters.
+    pub stats: WireServiceStats,
+}
+
 /// Any service-family message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceMessage {
@@ -207,6 +350,14 @@ pub enum ServiceMessage {
     Response(WirePolicyResponse),
     /// Server → client (failure).
     Error(WirePolicyError),
+    /// Client → server: connection handshake opener.
+    Hello(WireHello),
+    /// Server → client: handshake reply with the deployment shape.
+    Welcome(WireWelcome),
+    /// Client → server: counter snapshot request.
+    StatsRequest(WireStatsRequest),
+    /// Server → client: counter snapshot.
+    StatsResponse(WireStatsResponse),
 }
 
 impl ServiceMessage {
@@ -270,6 +421,34 @@ impl ServiceMessage {
                 buf.put_u32(e.id);
                 buf.put_u8(e.code.to_u8());
             }
+            ServiceMessage::Hello(h) => {
+                buf.put_u8(TYPE_HELLO);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(h.id);
+                buf.put_u16(h.max_batch);
+            }
+            ServiceMessage::Welcome(w) => {
+                buf.put_u8(TYPE_WELCOME);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(w.id);
+                buf.put_u16(w.shards);
+                buf.put_u16(w.max_batch);
+            }
+            ServiceMessage::StatsRequest(r) => {
+                buf.put_u8(TYPE_STATS_REQUEST);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(r.id);
+                buf.put_u16(r.shard);
+            }
+            ServiceMessage::StatsResponse(r) => {
+                buf.put_u8(TYPE_STATS_RESPONSE);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(r.id);
+                buf.put_u16(r.shard);
+                for counter in r.stats.to_array() {
+                    buf.put_u64(counter);
+                }
+            }
         }
         let crc = crc16_ccitt(&buf[start..]);
         buf.put_u16(crc);
@@ -281,6 +460,10 @@ impl ServiceMessage {
             ServiceMessage::Request(r) => 41 + 8 * r.budgets_w.len() + 2,
             ServiceMessage::Response(r) => 42 + 16 * r.policies.len() + 2,
             ServiceMessage::Error(_) => 7 + 2,
+            ServiceMessage::Hello(_) => 8 + 2,
+            ServiceMessage::Welcome(_) => 10 + 2,
+            ServiceMessage::StatsRequest(_) => 8 + 2,
+            ServiceMessage::StatsResponse(_) => 8 + 8 * STATS_COUNTERS + 2,
         }
     }
 
@@ -318,6 +501,9 @@ impl ServiceMessage {
                 42 + 16 * n + 2
             }
             TYPE_ERROR => 9,
+            TYPE_HELLO | TYPE_STATS_REQUEST => 10,
+            TYPE_WELCOME => 12,
+            TYPE_STATS_RESPONSE => 10 + 8 * STATS_COUNTERS,
             t => return Err(DecodeError::UnknownFrameType(t)),
         };
         if data.len() < total_len {
@@ -400,6 +586,39 @@ impl ServiceMessage {
                 let id = cur.get_u32();
                 let code = ServiceErrorCode::from_u8(cur.get_u8())?;
                 ServiceMessage::Error(WirePolicyError { id, code })
+            }
+            TYPE_HELLO => {
+                let id = cur.get_u32();
+                let max_batch = cur.get_u16();
+                ServiceMessage::Hello(WireHello { id, max_batch })
+            }
+            TYPE_WELCOME => {
+                let id = cur.get_u32();
+                let shards = cur.get_u16();
+                let max_batch = cur.get_u16();
+                ServiceMessage::Welcome(WireWelcome {
+                    id,
+                    shards,
+                    max_batch,
+                })
+            }
+            TYPE_STATS_REQUEST => {
+                let id = cur.get_u32();
+                let shard = cur.get_u16();
+                ServiceMessage::StatsRequest(WireStatsRequest { id, shard })
+            }
+            TYPE_STATS_RESPONSE => {
+                let id = cur.get_u32();
+                let shard = cur.get_u16();
+                let mut counters = [0u64; STATS_COUNTERS];
+                for c in &mut counters {
+                    *c = cur.get_u64();
+                }
+                ServiceMessage::StatsResponse(WireStatsResponse {
+                    id,
+                    shard,
+                    stats: WireServiceStats::from_array(counters),
+                })
             }
             _ => unreachable!("validated above"),
         };
@@ -537,6 +756,74 @@ mod tests {
             assert_eq!(b.len(), 9);
             assert_eq!(ServiceMessage::decode(&b).unwrap().0, m);
         }
+    }
+
+    #[test]
+    fn handshake_and_stats_roundtrip() {
+        let stats = WireServiceStats {
+            requests: 1,
+            batches: 2,
+            exact_hits: 3,
+            grid_hits: 4,
+            closed_form_hits: 5,
+            solver_solves: 6,
+            batch_dedup_hits: 7,
+            errors: 8,
+            grid_builds: 9,
+            grid_prewarms: 10,
+            lru_inserts: 11,
+            lru_evictions: 12,
+            lru_len: 13,
+        };
+        for m in [
+            ServiceMessage::Hello(WireHello {
+                id: 3,
+                max_batch: 256,
+            }),
+            ServiceMessage::Welcome(WireWelcome {
+                id: 3,
+                shards: 4,
+                max_batch: 1024,
+            }),
+            ServiceMessage::StatsRequest(WireStatsRequest {
+                id: 9,
+                shard: STATS_SHARD_AGGREGATE,
+            }),
+            ServiceMessage::StatsResponse(WireStatsResponse {
+                id: 9,
+                shard: 2,
+                stats,
+            }),
+        ] {
+            let b = m.encode();
+            assert_eq!(b.len(), m.encoded_len());
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            assert_eq!(decoded, m);
+            assert_eq!(used, b.len());
+            // Truncations of the fixed-size messages fail cleanly.
+            for cut in 0..b.len() {
+                assert!(matches!(
+                    ServiceMessage::decode(&b[..cut]),
+                    Err(DecodeError::Truncated { .. })
+                ));
+            }
+        }
+        // Counter order is pinned: array round-trip is the identity.
+        assert_eq!(WireServiceStats::from_array(stats.to_array()), stats);
+        assert_eq!(stats.to_array()[9], 10, "grid_prewarms rides slot 9");
+    }
+
+    #[test]
+    fn stats_corruption_detected() {
+        let mut b = ServiceMessage::StatsResponse(WireStatsResponse {
+            id: 1,
+            shard: 0,
+            stats: WireServiceStats::default(),
+        })
+        .encode()
+        .to_vec();
+        b[20] ^= 0x01; // inside the counter block
+        assert_eq!(ServiceMessage::decode(&b), Err(DecodeError::BadChecksum));
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! A blocking TCP client for the policy server.
+
+use crate::request::PolicyRequest;
+use crate::stats::ServiceStats;
+use bytes::BytesMut;
+use econcast_proto::service::{
+    ServiceCodec, ServiceMessage, WireHello, WirePolicyError, WirePolicyResponse, WireStatsRequest,
+    STATS_SHARD_AGGREGATE,
+};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A handshaken connection to a [`crate::PolicyServer`].
+///
+/// Batches pipeline all requests before reading any response, so a
+/// `serve_batch` call gets server-side batching (and in-batch dedup)
+/// for every request the server's read loop picks up together.
+/// Responses return in request order regardless of arrival order
+/// (correlation ids pair them up).
+#[derive(Debug)]
+pub struct PolicyClient {
+    stream: TcpStream,
+    codec: ServiceCodec,
+    shards: u16,
+    server_max_batch: u16,
+    next_id: u32,
+}
+
+/// One batch entry's outcome: the served wire response, or the
+/// server's per-request error.
+pub type WireResult = Result<WirePolicyResponse, WirePolicyError>;
+
+/// Accumulates one batch's replies by correlation id.
+struct Collector {
+    base: u32,
+    out: Vec<Option<WireResult>>,
+    pending: usize,
+}
+
+impl Collector {
+    fn new(base: u32, len: usize) -> Self {
+        Collector {
+            base,
+            out: vec![None; len],
+            pending: len,
+        }
+    }
+
+    /// Index of the batch entry a reply id belongs to, if any.
+    fn slot(&self, id: u32) -> Option<usize> {
+        let k = id.wrapping_sub(self.base) as usize;
+        (k < self.out.len()).then_some(k)
+    }
+
+    /// Files a reply; messages outside the batch are ignored.
+    fn absorb(&mut self, msg: ServiceMessage) {
+        let filed = match msg {
+            ServiceMessage::Response(r) => self
+                .slot(r.id)
+                .map(|k| (k, self.out[k].replace(Ok(r)).is_none())),
+            ServiceMessage::Error(e) => self
+                .slot(e.id)
+                .map(|k| (k, self.out[k].replace(Err(e)).is_none())),
+            _ => None,
+        };
+        if let Some((_, fresh)) = filed {
+            if fresh {
+                self.pending -= 1;
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pending == 0
+    }
+
+    fn finish(self) -> Vec<WireResult> {
+        self.out
+            .into_iter()
+            .map(|r| r.expect("collector done"))
+            .collect()
+    }
+}
+
+impl PolicyClient {
+    /// Connects and performs the `Hello`/`Welcome` handshake.
+    /// `max_batch` is the largest batch this client intends to
+    /// pipeline (informational, rides the hello).
+    pub fn connect(addr: impl ToSocketAddrs, max_batch: u16) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = PolicyClient {
+            stream,
+            codec: ServiceCodec::new(),
+            shards: 0,
+            server_max_batch: 0,
+            next_id: 0,
+        };
+        let id = client.take_id();
+        client.send(&ServiceMessage::Hello(WireHello { id, max_batch }))?;
+        loop {
+            match client.recv()? {
+                ServiceMessage::Welcome(w) if w.id == id => {
+                    client.shards = w.shards;
+                    client.server_max_batch = w.max_batch;
+                    return Ok(client);
+                }
+                // Anything else before the welcome is protocol misuse;
+                // skip it rather than wedging the handshake.
+                _ => {}
+            }
+        }
+    }
+
+    /// Shard count the server advertised.
+    pub fn shards(&self) -> u16 {
+        self.shards
+    }
+
+    /// The server's batch cap from the handshake.
+    pub fn server_max_batch(&self) -> u16 {
+        self.server_max_batch
+    }
+
+    /// Pipelines every request, draining responses *while* writing —
+    /// a client that only wrote first could deadlock against the
+    /// server once both directions' socket buffers fill (the server
+    /// blocks writing replies the client is not yet reading, the
+    /// client blocks writing requests the server is not yet reading).
+    /// Replies return in request order.
+    pub fn serve_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Vec<WireResult>> {
+        let base = self.next_id;
+        self.next_id = self.next_id.wrapping_add(reqs.len() as u32);
+        let mut wire = BytesMut::new();
+        for (k, req) in reqs.iter().enumerate() {
+            ServiceCodec::encode(
+                &ServiceMessage::Request(req.to_wire(base.wrapping_add(k as u32))),
+                &mut wire,
+            );
+        }
+
+        let mut batch = Collector::new(base, reqs.len());
+        // Phase 1: non-blocking writes, absorbing whatever replies
+        // arrive in the meantime.
+        self.stream.set_nonblocking(true)?;
+        let pumped = self.pump(&wire, &mut batch);
+        let restored = self.stream.set_nonblocking(false);
+        pumped?;
+        restored?;
+        // Phase 2: everything is written; block for the rest.
+        while !batch.done() {
+            batch.absorb(self.recv()?);
+        }
+        Ok(batch.finish())
+    }
+
+    /// Writes `wire` on the (non-blocking) stream, interleaving reads
+    /// whenever the send buffer is full.
+    fn pump(&mut self, wire: &[u8], batch: &mut Collector) -> std::io::Result<()> {
+        use std::io::ErrorKind::{Interrupted, WouldBlock};
+        let mut buf = [0u8; 16 * 1024];
+        let mut written = 0;
+        while written < wire.len() {
+            match self.stream.write(&wire[written..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "server stopped reading mid-batch",
+                    ))
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == Interrupted => {}
+                Err(e) if e.kind() == WouldBlock => {
+                    // Send buffer full: the server must be waiting for
+                    // us to drain replies — do that instead.
+                    match self.stream.read(&mut buf) {
+                        Ok(0) => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "server closed the connection mid-batch",
+                            ))
+                        }
+                        Ok(n) => {
+                            self.codec.feed(&buf[..n]);
+                            loop {
+                                match self.codec.next_message() {
+                                    Ok(Some(msg)) => batch.absorb(msg),
+                                    Ok(None) => break,
+                                    Err(e) => {
+                                        return Err(std::io::Error::new(
+                                            std::io::ErrorKind::InvalidData,
+                                            format!("undecodable server reply: {e:?}"),
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == WouldBlock => {
+                            // Neither direction ready; yield briefly.
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        Err(e) if e.kind() == Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches one shard's counters (`None` = the aggregate).
+    pub fn stats(&mut self, shard: Option<u16>) -> std::io::Result<ServiceStats> {
+        let id = self.take_id();
+        let shard = shard.unwrap_or(STATS_SHARD_AGGREGATE);
+        self.send(&ServiceMessage::StatsRequest(WireStatsRequest {
+            id,
+            shard,
+        }))?;
+        loop {
+            match self.recv()? {
+                ServiceMessage::StatsResponse(r) if r.id == id => {
+                    return Ok(ServiceStats::from_wire(&r.stats));
+                }
+                ServiceMessage::Error(e) if e.id == id => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("server rejected stats request for shard {shard}"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn take_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+
+    fn send(&mut self, msg: &ServiceMessage) -> std::io::Result<()> {
+        let mut wire = BytesMut::new();
+        ServiceCodec::encode(msg, &mut wire);
+        self.stream.write_all(&wire)
+    }
+
+    /// Blocks until the next complete message arrives. Decode errors
+    /// surface as `InvalidData`; a server-side disconnect as
+    /// `UnexpectedEof`.
+    fn recv(&mut self) -> std::io::Result<ServiceMessage> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.codec.next_message() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("undecodable server reply: {e:?}"),
+                    ))
+                }
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.codec.feed(&buf[..n]);
+        }
+    }
+}

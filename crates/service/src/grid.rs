@@ -191,10 +191,7 @@ impl PolicyGrid {
             return None;
         }
         // Binary search for the covering interval.
-        let k = match self
-            .ln_rho
-            .binary_search_by(|probe| probe.total_cmp(&x))
-        {
+        let k = match self.ln_rho.binary_search_by(|probe| probe.total_cmp(&x)) {
             Ok(i) => i.min(self.ln_rho.len() - 2),
             Err(i) => i - 1,
         };

@@ -38,18 +38,37 @@
 //! [`WireServer`] exposes the whole thing over the versioned,
 //! CRC-checked `econcast-proto::service` message family on a
 //! length-prefixed byte stream.
+//!
+//! ## Deployment layer
+//!
+//! [`PolicyServer`] is the network-facing build of the same stack: a
+//! `std::net` TCP acceptor (thread-per-connection, bounded pool) in
+//! front of a [`ShardRouter`] that consistent-hashes canonical
+//! instance keys across several `PolicyService` shards, keeping each
+//! shard's LRU/grid caches hot and disjoint; [`PolicyClient`] is the
+//! matching blocking client, and [`prewarm`] builds interpolation
+//! grids in the background from each shard's observed request mix.
 
 pub mod cache;
+pub mod client;
 pub mod grid;
+pub mod prewarm;
 pub mod request;
+pub mod server;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod wire;
+pub mod workload;
 
 pub use cache::{CachedPolicy, LruCache};
+pub use client::PolicyClient;
 pub use grid::{FamilyKey, GridConfig, PolicyGrid};
+pub use prewarm::{MixRecorder, PrewarmConfig};
 pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
+pub use server::{PolicyServer, ServerConfig, ServerHandle};
 pub use service::{PolicyService, ServiceConfig};
+pub use shard::{RouterConfig, ShardRouter};
 pub use stats::ServiceStats;
 pub use wire::WireServer;
 

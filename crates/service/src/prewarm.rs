@@ -1,0 +1,125 @@
+//! Request-mix-driven grid prewarming.
+//!
+//! The interpolation-grid tier builds lazily: the first homogeneous
+//! request of a family pays ~2·`points` exact solves before being
+//! served. Under live traffic that latency spike lands on an unlucky
+//! caller. The prewarmer moves it off the request path: each shard
+//! records the observed mix of homogeneous `(N, ρ)` families (a
+//! [`MixRecorder`]), and a background pass builds grids for the
+//! hottest not-yet-resident families between batches.
+//!
+//! Prewarming is a pure latency optimization — a prewarmed grid is
+//! bit-identical to the lazily built one (the build is deterministic),
+//! so responses never depend on whether, or when, the prewarmer ran.
+
+use crate::grid::FamilyKey;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Tuning knobs for the prewarmer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrewarmConfig {
+    /// Observations of a family before it qualifies for prewarming —
+    /// a one-off request never justifies a grid build.
+    pub min_hits: u64,
+    /// Upper bound on grid builds per prewarm cycle, keeping each
+    /// background pass short so it never starves request serving.
+    pub max_per_cycle: usize,
+    /// Period of the server's background prewarm thread.
+    pub interval: Duration,
+}
+
+impl Default for PrewarmConfig {
+    fn default() -> Self {
+        PrewarmConfig {
+            min_hits: 3,
+            max_per_cycle: 2,
+            interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Per-shard record of the observed homogeneous request mix.
+#[derive(Debug, Default)]
+pub struct MixRecorder {
+    counts: HashMap<FamilyKey, u64>,
+    observations: u64,
+}
+
+impl MixRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed homogeneous request of `family`.
+    pub fn record(&mut self, family: FamilyKey) {
+        *self.counts.entry(family).or_insert(0) += 1;
+        self.observations += 1;
+    }
+
+    /// Total homogeneous requests recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Distinct families observed.
+    pub fn families(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Families with at least `min_hits` observations, hottest first.
+    /// Ties break on the family fields so the order never depends on
+    /// hash-map iteration order.
+    pub fn candidates(&self, min_hits: u64) -> Vec<(FamilyKey, u64)> {
+        let mut out: Vec<(FamilyKey, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= min_hits)
+            .map(|(&f, &c)| (f, c))
+            .collect();
+        out.sort_by(|(fa, ca), (fb, cb)| {
+            cb.cmp(ca)
+                .then_with(|| fa.n.cmp(&fb.n))
+                .then_with(|| fa.sigma.cmp(&fb.sigma))
+                .then_with(|| fa.listen.cmp(&fb.listen))
+                .then_with(|| fa.transmit.cmp(&fb.transmit))
+                .then_with(|| fa.mode.cmp(&fb.mode))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::ThroughputMode::{Anyput, Groupput};
+
+    fn family(n: usize) -> FamilyKey {
+        FamilyKey::new(n, 500e-6, 450e-6, 0.5, Groupput)
+    }
+
+    #[test]
+    fn candidates_rank_by_heat_with_deterministic_ties() {
+        let mut rec = MixRecorder::new();
+        for _ in 0..5 {
+            rec.record(family(12));
+        }
+        for _ in 0..2 {
+            rec.record(family(50));
+        }
+        // Tied families order by their fields, not hash order.
+        for _ in 0..5 {
+            rec.record(family(8));
+        }
+        rec.record(FamilyKey::new(12, 500e-6, 450e-6, 0.5, Anyput));
+        assert_eq!(rec.observations(), 13);
+        assert_eq!(rec.families(), 4);
+
+        let hot = rec.candidates(2);
+        assert_eq!(hot.len(), 3, "the single-hit anyput family is cold");
+        assert_eq!((hot[0].0.n, hot[0].1), (8, 5));
+        assert_eq!((hot[1].0.n, hot[1].1), (12, 5));
+        assert_eq!((hot[2].0.n, hot[2].1), (50, 2));
+    }
+}

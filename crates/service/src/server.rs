@@ -1,0 +1,382 @@
+//! The TCP front-end: a [`ShardRouter`] behind a `std::net` listener.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread plus one thread per live connection, bounded by
+//! a counting gate ([`ServerConfig::max_connections`]): when the pool
+//! is full the acceptor blocks *before* accepting, so excess clients
+//! queue in the kernel backlog instead of spawning unbounded threads.
+//! The environment is offline (no tokio); blocking I/O over OS threads
+//! is the deployment story this repo can actually run, and the shard
+//! mutexes already serialize what must be serialized — handlers whose
+//! batches touch disjoint shards proceed in parallel.
+//!
+//! ## Protocol
+//!
+//! Connections speak the length-prefixed `econcast-proto` service
+//! family ([`ServiceCodec`]). A client *should* open with `Hello`
+//! (answered by `Welcome` carrying the shard count and batch cap) but
+//! the server also serves handshake-less streams. Every fully received
+//! `Request` in one read cycle is served as a single routed batch —
+//! pipelining `k` requests buys `k`-way batching exactly like the
+//! in-process [`crate::WireServer`]. `StatsRequest` answers from the
+//! router's per-shard or aggregate counters. Decode errors (CRC,
+//! framing, version) are fatal for the connection, matching the
+//! codec's semantics: the server drops the stream without a reply.
+//!
+//! ## Prewarming
+//!
+//! With [`ServerConfig::background_prewarm`] set, a janitor thread
+//! runs [`ShardRouter::prewarm_once`] every
+//! `prewarm.interval`, building interpolation grids for the hottest
+//! observed request families off the request path (see
+//! [`crate::prewarm`]).
+
+use crate::request::PolicyRequest;
+use crate::shard::{RouterConfig, ShardRouter};
+use bytes::BytesMut;
+use econcast_proto::service::{
+    ServiceCodec, ServiceErrorCode, ServiceMessage, WirePolicyError, WireStatsResponse,
+    WireWelcome, STATS_SHARD_AGGREGATE,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`PolicyServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Shard/routing/prewarm configuration.
+    pub router: RouterConfig,
+    /// Maximum concurrently served connections (the accept pool
+    /// bound); further clients wait in the listen backlog.
+    pub max_connections: usize,
+    /// Largest request batch served as one unit; longer pipelines are
+    /// split. Advertised in the `Welcome` handshake.
+    pub max_batch: usize,
+    /// Whether to run the background prewarm thread.
+    pub background_prewarm: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            router: RouterConfig::default(),
+            max_connections: 64,
+            max_batch: 1024,
+            background_prewarm: true,
+        }
+    }
+}
+
+/// Counting gate bounding the connection-handler pool.
+#[derive(Debug)]
+struct ConnGate {
+    active: Mutex<usize>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl ConnGate {
+    fn new(cap: usize) -> Self {
+        ConnGate {
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until a handler slot is free and claims it, or returns
+    /// `false` when `stop` is raised while waiting (shutdown wakes
+    /// waiters via [`ConnGate::interrupt`]).
+    fn acquire(&self, stop: &AtomicBool) -> bool {
+        let mut active = self.active.lock().expect("gate poisoned");
+        while *active >= self.cap {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            active = self.freed.wait(active).expect("gate poisoned");
+        }
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        *active += 1;
+        true
+    }
+
+    fn release(&self) {
+        *self.active.lock().expect("gate poisoned") -= 1;
+        self.freed.notify_one();
+    }
+
+    /// Wakes every waiter so a raised stop flag is observed.
+    fn interrupt(&self) {
+        let _guard = self.active.lock().expect("gate poisoned");
+        self.freed.notify_all();
+    }
+}
+
+/// A bound, not-yet-serving policy server.
+#[derive(Debug)]
+pub struct PolicyServer {
+    listener: TcpListener,
+    router: Arc<ShardRouter>,
+    cfg: ServerConfig,
+}
+
+impl PolicyServer {
+    /// Binds the listener and builds the shards. Use port 0 for an
+    /// ephemeral port (tests, benches).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(PolicyServer {
+            listener,
+            router: Arc::new(ShardRouter::new(cfg.router)),
+            cfg,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// The shard router (stats, manual prewarming).
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+
+    /// Starts the acceptor (and, if configured, the prewarmer) and
+    /// returns a handle that stops them on [`ServerHandle::shutdown`]
+    /// or drop. Live connection handlers are not joined — they end
+    /// when their client disconnects.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let gate = Arc::new(ConnGate::new(self.cfg.max_connections));
+        let router = Arc::clone(&self.router);
+        let max_batch = self.cfg.max_batch.max(1);
+
+        let acceptor = {
+            let (stop, router) = (Arc::clone(&stop), Arc::clone(&router));
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                // Claim a handler slot *before* accepting, so when the
+                // pool is full excess clients really do wait in the
+                // kernel backlog instead of being accepted and parked.
+                while gate.acquire(&stop) {
+                    let stream = match self.listener.accept() {
+                        Ok((stream, _)) => stream,
+                        Err(_) => {
+                            // Transient accept failure (fd exhaustion,
+                            // aborted handshake): return the slot and
+                            // back off instead of spinning.
+                            gate.release();
+                            if stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            continue;
+                        }
+                    };
+                    if stop.load(Ordering::SeqCst) {
+                        gate.release();
+                        break;
+                    }
+                    let (gate, router) = (Arc::clone(&gate), Arc::clone(&router));
+                    std::thread::spawn(move || {
+                        // Return the slot on unwind too: a panicking
+                        // handler (bad request tripping a solver
+                        // assertion) must not leak pool capacity.
+                        struct SlotGuard(Arc<ConnGate>);
+                        impl Drop for SlotGuard {
+                            fn drop(&mut self) {
+                                self.0.release();
+                            }
+                        }
+                        let _slot = SlotGuard(gate);
+                        handle_connection(stream, &router, max_batch);
+                    });
+                }
+            })
+        };
+
+        let prewarmer = self.cfg.background_prewarm.then(|| {
+            let (stop, router) = (Arc::clone(&stop), Arc::clone(&router));
+            let interval = router.prewarm_config().interval;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::park_timeout(interval);
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    router.prewarm_once();
+                }
+            })
+        });
+
+        ServerHandle {
+            addr,
+            router,
+            stop,
+            gate,
+            acceptor: Some(acceptor),
+            prewarmer,
+        }
+    }
+}
+
+/// Running-server handle; shuts the server down when dropped.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    router: Arc<ShardRouter>,
+    stop: Arc<AtomicBool>,
+    gate: Arc<ConnGate>,
+    acceptor: Option<JoinHandle<()>>,
+    prewarmer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard router (stats, manual prewarming).
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+
+    /// Stops accepting and joins the acceptor and prewarmer threads.
+    /// Live connections keep serving until their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor is parked either in the gate (pool saturated —
+        // interrupt() wakes it to observe the stop flag) or in
+        // accept() (a throwaway connection wakes it).
+        self.gate.interrupt();
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prewarmer.take() {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Serves one connection until EOF, I/O error, or a (fatal) decode
+/// error.
+fn handle_connection(mut stream: TcpStream, router: &ShardRouter, max_batch: usize) {
+    let _ = stream.set_nodelay(true);
+    let mut codec = ServiceCodec::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        codec.feed(&buf[..n]);
+        let Ok(messages) = codec.drain() else {
+            // Corrupt or misframed stream: integrity-fail hard, like
+            // the codec contract says — no best-effort resync.
+            return;
+        };
+
+        let mut out = BytesMut::new();
+        let mut ids: Vec<u32> = Vec::new();
+        let mut batch: Vec<PolicyRequest> = Vec::new();
+        for msg in messages {
+            match msg {
+                ServiceMessage::Request(w) => {
+                    ids.push(w.id);
+                    batch.push(PolicyRequest::from_wire(&w));
+                    if batch.len() >= max_batch {
+                        serve_into(router, &mut ids, &mut batch, &mut out);
+                    }
+                }
+                ServiceMessage::Hello(h) => {
+                    ServiceCodec::encode(
+                        &ServiceMessage::Welcome(WireWelcome {
+                            id: h.id,
+                            shards: router.num_shards() as u16,
+                            max_batch: max_batch.min(usize::from(u16::MAX)) as u16,
+                        }),
+                        &mut out,
+                    );
+                }
+                ServiceMessage::StatsRequest(r) => {
+                    let reply = if r.shard == STATS_SHARD_AGGREGATE {
+                        Some(router.aggregate_stats())
+                    } else if usize::from(r.shard) < router.num_shards() {
+                        Some(router.shard_stats(usize::from(r.shard)))
+                    } else {
+                        None
+                    };
+                    let msg = match reply {
+                        Some(stats) => ServiceMessage::StatsResponse(WireStatsResponse {
+                            id: r.id,
+                            shard: r.shard,
+                            stats: stats.to_wire(),
+                        }),
+                        None => ServiceMessage::Error(WirePolicyError {
+                            id: r.id,
+                            code: ServiceErrorCode::BadRequest,
+                        }),
+                    };
+                    ServiceCodec::encode(&msg, &mut out);
+                }
+                // Server-to-client message types arriving here are
+                // protocol misuse; drop them.
+                ServiceMessage::Response(_)
+                | ServiceMessage::Error(_)
+                | ServiceMessage::Welcome(_)
+                | ServiceMessage::StatsResponse(_) => {}
+            }
+        }
+        serve_into(router, &mut ids, &mut batch, &mut out);
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serves the buffered requests (if any) as one routed batch and
+/// encodes the replies.
+fn serve_into(
+    router: &ShardRouter,
+    ids: &mut Vec<u32>,
+    batch: &mut Vec<PolicyRequest>,
+    out: &mut BytesMut,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let results = router.serve_batch(batch);
+    for (id, result) in ids.drain(..).zip(&results) {
+        let msg = match result {
+            Ok(resp) => ServiceMessage::Response(resp.to_wire(id)),
+            Err(e) => ServiceMessage::Error(crate::request::error_to_wire(e, id)),
+        };
+        ServiceCodec::encode(&msg, out);
+    }
+    batch.clear();
+}

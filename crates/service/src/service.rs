@@ -54,6 +54,13 @@ pub struct ServiceConfig {
     pub max_exact_nodes: usize,
     /// Grid tier configuration; `None` disables the tier.
     pub grid: Option<GridConfig>,
+    /// Whether the first homogeneous in-range request of a family
+    /// builds its grid inline (`true`, the default) or only
+    /// already-resident grids serve (`false`) — the sharded server's
+    /// mode, where the background prewarmer builds grids off the
+    /// request path and cold requests fall through to the exact
+    /// closed form instead of paying a ~2·points-solve build.
+    pub lazy_grid_builds: bool,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +70,7 @@ impl Default for ServiceConfig {
             workers: None,
             max_exact_nodes: 16,
             grid: Some(GridConfig::default()),
+            lazy_grid_builds: true,
         }
     }
 }
@@ -163,6 +171,7 @@ struct Counters {
     batch_dedup_hits: u64,
     errors: u64,
     grid_builds: u64,
+    grid_prewarms: u64,
     lru_inserts: u64,
 }
 
@@ -196,10 +205,52 @@ impl PolicyService {
             batch_dedup_hits: self.stats.batch_dedup_hits,
             errors: self.stats.errors,
             grid_builds: self.stats.grid_builds,
+            grid_prewarms: self.stats.grid_prewarms,
             lru_inserts: self.stats.lru_inserts,
             lru_evictions: self.lru.evictions(),
             lru_len: self.lru.len() as u64,
         }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Whether the interpolation grid for `family` is resident.
+    pub fn has_grid(&self, family: &FamilyKey) -> bool {
+        self.grids.contains_key(family)
+    }
+
+    /// Eagerly builds the interpolation grid for one homogeneous
+    /// family, ahead of the lazy build a request would trigger.
+    /// Returns `true` when a build actually ran; `false` when the grid
+    /// tier is disabled or the family is already resident. The
+    /// prewarmed grid is *identical* to the lazily built one (the
+    /// build is deterministic), so prewarming changes latency, never
+    /// responses.
+    pub fn prewarm_grid(&mut self, family: &FamilyKey) -> bool {
+        let Some(grid_cfg) = self.cfg.grid else {
+            return false;
+        };
+        if self.grids.contains_key(family) {
+            return false;
+        }
+        let grid = PolicyGrid::build(
+            family.n,
+            f64::from_bits(family.listen),
+            f64::from_bits(family.transmit),
+            f64::from_bits(family.sigma),
+            if family.mode == 0 {
+                econcast_core::ThroughputMode::Groupput
+            } else {
+                econcast_core::ThroughputMode::Anyput
+            },
+            &grid_cfg,
+        );
+        self.grids.insert(*family, grid);
+        self.stats.grid_prewarms += 1;
+        true
     }
 
     /// Serves one request (a batch of one).
@@ -226,7 +277,43 @@ impl PolicyService {
         for req in reqs {
             plans.push(self.probe(req, &mut jobs, &mut pending));
         }
+        self.solve_and_publish(plans, jobs)
+    }
 
+    /// The shard router's entry point: requests arrive with the
+    /// canonicalization the router already computed for routing
+    /// (`None` = the request failed validation), so the probe phase
+    /// does not canonicalize a second time.
+    pub(crate) fn serve_batch_prerouted(
+        &mut self,
+        reqs: Vec<(&PolicyRequest, Option<CanonicalInstance>)>,
+    ) -> Vec<Result<PolicyResponse, ServiceError>> {
+        self.stats.batches += 1;
+        self.stats.requests += reqs.len() as u64;
+
+        let mut plans: Vec<Plan> = Vec::with_capacity(reqs.len());
+        let mut jobs: Vec<SolveJob> = Vec::new();
+        let mut pending: HashMap<econcast_statespace::InstanceKey, usize> = HashMap::new();
+        for (req, canon) in reqs {
+            plans.push(match canon {
+                Some(canon) => self.probe_canonical(req, canon, &mut jobs, &mut pending),
+                None => {
+                    self.stats.errors += 1;
+                    Plan::Done(Err(req
+                        .validate()
+                        .expect_err("router routes canon-less requests only on failure")))
+                }
+            });
+        }
+        self.solve_and_publish(plans, jobs)
+    }
+
+    /// Phases 2 and 3, shared by every batch entry point.
+    fn solve_and_publish(
+        &mut self,
+        plans: Vec<Plan>,
+        jobs: Vec<SolveJob>,
+    ) -> Vec<Result<PolicyResponse, ServiceError>> {
         // Phase 2: fan the queued solves out over per-worker solver
         // pools. Job assignment is round-robin by job index; each
         // job's computation is identical at every worker count.
@@ -258,7 +345,7 @@ impl PolicyService {
         // unique key, in job order == first-request order), and rotate
         // every response back into caller order.
         let mut inserted: Vec<bool> = vec![false; jobs.len()];
-        let mut out = Vec::with_capacity(reqs.len());
+        let mut out = Vec::with_capacity(plans.len());
         for plan in plans {
             match plan {
                 Plan::Done(r) => out.push(r),
@@ -304,7 +391,18 @@ impl PolicyService {
             req.objective,
             req.tolerance,
         );
+        self.probe_canonical(req, canon, jobs, pending)
+    }
 
+    /// Phase-1 tier walk for an already-validated, already-canonical
+    /// request.
+    fn probe_canonical(
+        &mut self,
+        req: &PolicyRequest,
+        canon: CanonicalInstance,
+        jobs: &mut Vec<SolveJob>,
+        pending: &mut HashMap<econcast_statespace::InstanceKey, usize>,
+    ) -> Plan {
         // Tier 1: exact-match LRU.
         if let Some(hit) = self.lru.get(&canon.key) {
             self.stats.exact_hits += 1;
@@ -332,18 +430,27 @@ impl PolicyService {
                     req.objective,
                 );
                 let (grids, stats) = (&mut self.grids, &mut self.stats);
-                let grid = grids.entry(family).or_insert_with(|| {
-                    stats.grid_builds += 1;
-                    PolicyGrid::build(
-                        canon.sorted_budgets.len(),
-                        req.listen_w,
-                        req.transmit_w,
-                        req.sigma,
-                        req.objective,
-                        grid_cfg,
-                    )
-                });
-                if let Some(policy) = grid.serve(canon.sorted_budgets[0], canon.tolerance_tier) {
+                let grid: Option<&PolicyGrid> = if self.cfg.lazy_grid_builds {
+                    Some(grids.entry(family).or_insert_with(|| {
+                        stats.grid_builds += 1;
+                        PolicyGrid::build(
+                            canon.sorted_budgets.len(),
+                            req.listen_w,
+                            req.transmit_w,
+                            req.sigma,
+                            req.objective,
+                            grid_cfg,
+                        )
+                    }))
+                } else {
+                    // Prewarmed-only mode: never build on the request
+                    // path; cold families fall through to the closed
+                    // form until the prewarmer installs their grid.
+                    grids.get(&family)
+                };
+                let served =
+                    grid.and_then(|g| g.serve(canon.sorted_budgets[0], canon.tolerance_tier));
+                if let Some(policy) = served {
                     self.stats.grid_hits += 1;
                     // Publish into the exact tier so a repeat of this
                     // instance is an O(1) LRU hit.
@@ -536,6 +643,50 @@ mod tests {
     }
 
     #[test]
+    fn prewarmed_only_mode_never_builds_inline() {
+        let mut svc = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            lazy_grid_builds: false,
+            ..ServiceConfig::default()
+        });
+        let req = |rho_uw: f64| {
+            PolicyRequest::homogeneous(
+                10,
+                econcast_core::NodeParams::from_microwatts(rho_uw, 500.0, 450.0),
+                0.5,
+                Groupput,
+                1e-1, // coarsest tier: every certified interval serves it
+            )
+        };
+        // Cold in-range homogeneous request: closed form, no build.
+        let cold = svc.serve(&req(10.0)).unwrap();
+        assert_eq!(cold.tier, ServedTier::ClosedForm);
+        assert_eq!(svc.stats().grid_builds, 0);
+        assert_eq!(svc.stats().grid_prewarms, 0);
+
+        // Prewarm the family off the request path…
+        let family = FamilyKey::new(10, 500e-6, 450e-6, 0.5, Groupput);
+        assert!(svc.prewarm_grid(&family), "fresh family builds");
+        assert!(!svc.prewarm_grid(&family), "resident family is a no-op");
+        assert!(svc.has_grid(&family));
+        assert_eq!(svc.stats().grid_prewarms, 1);
+
+        // …and a novel budget in the family now grid-serves. (The
+        // grid may still decline an interval whose certified error
+        // exceeds even the coarse tier, so scan a few budgets and
+        // require at least one grid hit.)
+        let mut grid_hits = 0;
+        for rho_uw in [11.0, 17.0, 29.0, 41.0] {
+            if svc.serve(&req(rho_uw)).unwrap().tier == ServedTier::Grid {
+                grid_hits += 1;
+            }
+        }
+        assert!(grid_hits > 0, "prewarmed grid never served");
+        assert_eq!(svc.stats().grid_hits, grid_hits);
+        assert_eq!(svc.stats().grid_builds, 0, "still no inline build");
+    }
+
+    #[test]
     fn oversize_heterogeneous_is_rejected() {
         let mut svc = service();
         let budgets: Vec<f64> = (0..40).map(|i| 1e-6 * (i + 1) as f64).collect();
@@ -556,10 +707,7 @@ mod tests {
                 ..het_request(&[1e-6, 2e-6], 1e-2)
             },
         ] {
-            assert!(matches!(
-                svc.serve(&bad),
-                Err(ServiceError::BadRequest(_))
-            ));
+            assert!(matches!(svc.serve(&bad), Err(ServiceError::BadRequest(_))));
         }
         assert_eq!(svc.stats().errors, 4);
     }

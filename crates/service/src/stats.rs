@@ -1,7 +1,10 @@
 //! Per-tier serving counters.
 
-/// A snapshot of the service's counters since construction. Obtained
-/// from `PolicyService::stats`; plain data, cheap to copy.
+use econcast_proto::service::WireServiceStats;
+
+/// A snapshot of one service's (or one shard's) counters since
+/// construction. Obtained from `PolicyService::stats` or per shard
+/// from `ShardRouter::shard_stats`; plain data, cheap to copy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests received (including failed ones).
@@ -23,6 +26,8 @@ pub struct ServiceStats {
     pub errors: u64,
     /// Grid families built lazily so far.
     pub grid_builds: u64,
+    /// Grid families built ahead of demand by the prewarmer.
+    pub grid_prewarms: u64,
     /// Entries inserted into the LRU.
     pub lru_inserts: u64,
     /// Entries evicted from the LRU.
@@ -45,5 +50,97 @@ impl ServiceStats {
             + self.closed_form_hits
             + self.solver_solves
             + self.batch_dedup_hits
+    }
+
+    /// Accumulates another snapshot into this one (counter-wise sum) —
+    /// how per-shard snapshots aggregate into a deployment total.
+    /// `lru_len` sums too: shards hold disjoint key ranges, so the sum
+    /// is the total resident entries.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.exact_hits += other.exact_hits;
+        self.grid_hits += other.grid_hits;
+        self.closed_form_hits += other.closed_form_hits;
+        self.solver_solves += other.solver_solves;
+        self.batch_dedup_hits += other.batch_dedup_hits;
+        self.errors += other.errors;
+        self.grid_builds += other.grid_builds;
+        self.grid_prewarms += other.grid_prewarms;
+        self.lru_inserts += other.lru_inserts;
+        self.lru_evictions += other.lru_evictions;
+        self.lru_len += other.lru_len;
+    }
+
+    /// The wire form of this snapshot (for `StatsResponse` messages).
+    pub fn to_wire(&self) -> WireServiceStats {
+        WireServiceStats {
+            requests: self.requests,
+            batches: self.batches,
+            exact_hits: self.exact_hits,
+            grid_hits: self.grid_hits,
+            closed_form_hits: self.closed_form_hits,
+            solver_solves: self.solver_solves,
+            batch_dedup_hits: self.batch_dedup_hits,
+            errors: self.errors,
+            grid_builds: self.grid_builds,
+            grid_prewarms: self.grid_prewarms,
+            lru_inserts: self.lru_inserts,
+            lru_evictions: self.lru_evictions,
+            lru_len: self.lru_len,
+        }
+    }
+
+    /// Rebuilds a snapshot from its wire form.
+    pub fn from_wire(w: &WireServiceStats) -> Self {
+        ServiceStats {
+            requests: w.requests,
+            batches: w.batches,
+            exact_hits: w.exact_hits,
+            grid_hits: w.grid_hits,
+            closed_form_hits: w.closed_form_hits,
+            solver_solves: w.solver_solves,
+            batch_dedup_hits: w.batch_dedup_hits,
+            errors: w.errors,
+            grid_builds: w.grid_builds,
+            grid_prewarms: w.grid_prewarms,
+            lru_inserts: w.lru_inserts,
+            lru_evictions: w.lru_evictions,
+            lru_len: w.lru_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting() -> ServiceStats {
+        let w = WireServiceStats::from_array(std::array::from_fn(|i| i as u64 + 1));
+        ServiceStats::from_wire(&w)
+    }
+
+    #[test]
+    fn wire_roundtrip_is_lossless() {
+        let s = counting();
+        assert_eq!(ServiceStats::from_wire(&s.to_wire()), s);
+        // Every field is distinct in the fixture, so a swapped mapping
+        // in either direction would break the equality above.
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.grid_prewarms, 10);
+        assert_eq!(s.lru_len, 13);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let s = counting();
+        let mut total = ServiceStats::default();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!(
+            total.to_wire().to_array(),
+            s.to_wire().to_array().map(|c| 2 * c)
+        );
+        assert_eq!(total.served(), 2 * s.served());
     }
 }

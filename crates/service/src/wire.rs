@@ -5,7 +5,10 @@
 use crate::request::{error_to_wire, PolicyRequest};
 use crate::service::PolicyService;
 use bytes::BytesMut;
-use econcast_proto::service::{ServiceCodec, ServiceMessage};
+use econcast_proto::service::{
+    ServiceCodec, ServiceErrorCode, ServiceMessage, WirePolicyError, WireStatsResponse,
+    WireWelcome, STATS_SHARD_AGGREGATE,
+};
 use econcast_proto::DecodeError;
 
 /// A policy server bound to a byte stream: feed it request bytes,
@@ -48,22 +51,54 @@ impl WireServer {
 
     /// Serves every fully-received request as one batch, returning the
     /// encoded length-prefixed responses (in request order, one
-    /// response or error message per request). Returns an empty buffer
-    /// when no complete request is buffered. Decode errors are fatal
-    /// for the stream, matching the codec's semantics.
+    /// response or error message per request, after any handshake or
+    /// stats replies). Returns an empty buffer when nothing actionable
+    /// is buffered. Decode errors are fatal for the stream, matching
+    /// the codec's semantics.
     pub fn poll_batch(&mut self) -> Result<BytesMut, DecodeError> {
         let mut ids = Vec::new();
         let mut requests = Vec::new();
+        let mut out = BytesMut::new();
         for msg in self.codec.drain()? {
             match msg {
                 ServiceMessage::Request(w) => {
                     ids.push(w.id);
                     requests.push(PolicyRequest::from_wire(&w));
                 }
-                ServiceMessage::Response(_) | ServiceMessage::Error(_) => self.ignored += 1,
+                // The in-process server is the single-shard special
+                // case of the deployment protocol: answer the
+                // handshake and stats probes like the TCP front-end.
+                ServiceMessage::Hello(h) => {
+                    ServiceCodec::encode(
+                        &ServiceMessage::Welcome(WireWelcome {
+                            id: h.id,
+                            shards: 1,
+                            max_batch: u16::MAX,
+                        }),
+                        &mut out,
+                    );
+                }
+                ServiceMessage::StatsRequest(r) => {
+                    let msg = if r.shard == 0 || r.shard == STATS_SHARD_AGGREGATE {
+                        ServiceMessage::StatsResponse(WireStatsResponse {
+                            id: r.id,
+                            shard: r.shard,
+                            stats: self.service.stats().to_wire(),
+                        })
+                    } else {
+                        ServiceMessage::Error(WirePolicyError {
+                            id: r.id,
+                            code: ServiceErrorCode::BadRequest,
+                        })
+                    };
+                    ServiceCodec::encode(&msg, &mut out);
+                }
+                ServiceMessage::Response(_)
+                | ServiceMessage::Error(_)
+                | ServiceMessage::Welcome(_)
+                | ServiceMessage::StatsResponse(_) => self.ignored += 1,
             }
         }
-        let mut out = BytesMut::new();
         if requests.is_empty() {
             return Ok(out);
         }

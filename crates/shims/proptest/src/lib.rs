@@ -389,10 +389,7 @@ mod tests {
     fn vec_strategy_length_in_range() {
         let mut rng = crate::TestRng::from_name("vec");
         for _ in 0..200 {
-            let v = crate::Strategy::sample(
-                &crate::collection::vec(any::<u8>(), 2..5),
-                &mut rng,
-            );
+            let v = crate::Strategy::sample(&crate::collection::vec(any::<u8>(), 2..5), &mut rng);
             assert!((2..5).contains(&v.len()));
         }
     }

@@ -26,9 +26,7 @@
 //!   the multiplier update (17) runs every `τ` time units from the
 //!   ledger's drift.
 
-use econcast_core::{
-    EnergyStore, Multiplier, NodeParams, NodeState, TransitionRates, Variant,
-};
+use econcast_core::{EnergyStore, Multiplier, NodeParams, NodeState, TransitionRates, Variant};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -361,8 +359,7 @@ impl Simulator {
         let rates = self.rates(i);
         match self.nodes[i].state {
             NodeState::Sleep => {
-                let dwell =
-                    exponential(&mut self.rng, rates.sleep_to_listen) * self.nodes[i].drift;
+                let dwell = exponential(&mut self.rng, rates.sleep_to_listen) * self.nodes[i].drift;
                 self.queue.schedule(
                     self.now + dwell,
                     Event::Transition {
@@ -410,16 +407,14 @@ impl Simulator {
     fn handle(&mut self, event: Event) {
         debug_assert!(self.event_is_live(&event), "stale event reached handle()");
         match event {
-            Event::Transition { node, to, .. } => {
-                match (self.nodes[node].state, to) {
-                    (NodeState::Sleep, NodeState::Listen) => self.wake(node),
-                    (NodeState::Listen, NodeState::Sleep) => self.go_to_sleep(node),
-                    (NodeState::Listen, NodeState::Transmit) => self.begin_transmission(node),
-                    (from, to) => {
-                        unreachable!("invalid live transition {from:?} → {to:?}")
-                    }
+            Event::Transition { node, to, .. } => match (self.nodes[node].state, to) {
+                (NodeState::Sleep, NodeState::Listen) => self.wake(node),
+                (NodeState::Listen, NodeState::Sleep) => self.go_to_sleep(node),
+                (NodeState::Listen, NodeState::Transmit) => self.begin_transmission(node),
+                (from, to) => {
+                    unreachable!("invalid live transition {from:?} → {to:?}")
                 }
-            }
+            },
             Event::PacketEnd { node, .. } => {
                 self.packet_end(node);
             }
@@ -434,7 +429,10 @@ impl Simulator {
     /// Flips the global harvest phase (time-varying budgets with
     /// constant mean, Section III-A).
     fn harvest_switch(&mut self, on: bool) {
-        let h = self.cfg.harvest.expect("switch only scheduled when configured");
+        let h = self
+            .cfg
+            .harvest
+            .expect("switch only scheduled when configured");
         for i in 0..self.nodes.len() {
             self.advance(i);
             let rate = if on {
@@ -736,8 +734,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 7)).unwrap().run();
-        let b = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 7)).unwrap().run();
+        let a = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 7))
+            .unwrap()
+            .run();
+        let b = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 7))
+            .unwrap()
+            .run();
         assert_eq!(a.groupput, b.groupput);
         assert_eq!(a.packets_transmitted, b.packets_transmitted);
         assert_eq!(a.nodes[0].packets_received, b.nodes[0].packets_received);
@@ -745,14 +747,20 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 1)).unwrap().run();
-        let b = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 2)).unwrap().run();
+        let a = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 1))
+            .unwrap()
+            .run();
+        let b = Simulator::new(quick_cfg(4, 0.5, 20_000.0, 2))
+            .unwrap()
+            .run();
         assert_ne!(a.packets_transmitted, b.packets_transmitted);
     }
 
     #[test]
     fn cliques_never_collide() {
-        let r = Simulator::new(quick_cfg(5, 0.5, 50_000.0, 3)).unwrap().run();
+        let r = Simulator::new(quick_cfg(5, 0.5, 50_000.0, 3))
+            .unwrap()
+            .run();
         assert_eq!(r.packets_collided, 0);
         assert!(r.packets_transmitted > 0, "no traffic simulated");
     }
@@ -777,14 +785,9 @@ mod tests {
     /// to warm-start runs so short tests measure steady-state behaviour
     /// rather than the adaptation transient.
     fn eta_star(n: usize, sigma: f64) -> f64 {
-        econcast_statespace::HomogeneousP4::new(
-            n,
-            uw_params(),
-            sigma,
-            ThroughputMode::Groupput,
-        )
-        .solve()
-        .eta
+        econcast_statespace::HomogeneousP4::new(n, uw_params(), sigma, ThroughputMode::Groupput)
+            .solve()
+            .eta
     }
 
     #[test]
@@ -814,7 +817,11 @@ mod tests {
         cfg.warmup = 50_000.0;
         let r = Simulator::new(cfg).unwrap().run();
         assert!(r.groupput > 0.0);
-        assert!(r.groupput < 0.08, "groupput {} above the oracle", r.groupput);
+        assert!(
+            r.groupput < 0.08,
+            "groupput {} above the oracle",
+            r.groupput
+        );
         // Anyput ≤ groupput by definition when counted per packet, and
         // anyput ≤ 1.
         assert!(r.anyput <= r.groupput + 1e-12);
@@ -839,7 +846,9 @@ mod tests {
 
     #[test]
     fn receptions_equal_deliveries() {
-        let r = Simulator::new(quick_cfg(5, 0.5, 50_000.0, 17)).unwrap().run();
+        let r = Simulator::new(quick_cfg(5, 0.5, 50_000.0, 17))
+            .unwrap()
+            .run();
         let received: u64 = r.nodes.iter().map(|n| n.packets_received).sum();
         // Every counted reception unit is a packet at some receiver.
         assert_eq!(received, (r.groupput * r.elapsed).round() as u64);
@@ -851,8 +860,7 @@ mod tests {
     #[test]
     fn non_capture_variant_runs() {
         let mut cfg = quick_cfg(5, 0.5, 50_000.0, 19);
-        cfg.protocol =
-            ProtocolConfig::new(0.5, Variant::NonCapture, ThroughputMode::Groupput);
+        cfg.protocol = ProtocolConfig::new(0.5, Variant::NonCapture, ThroughputMode::Groupput);
         let r = Simulator::new(cfg).unwrap().run();
         assert!(r.packets_transmitted > 0);
         // Non-capture bursts are single packets: the mean received
@@ -964,8 +972,7 @@ mod tests {
         for c in 2usize..8 {
             for _ in 0..200 {
                 let mut probe = sim.rng.clone();
-                let offsets: Vec<f64> =
-                    (0..c).map(|_| probe.gen::<f64>() * window).collect();
+                let offsets: Vec<f64> = (0..c).map(|_| probe.gen::<f64>() * window).collect();
                 let expected = offsets
                     .iter()
                     .enumerate()
@@ -992,7 +999,9 @@ mod tests {
     #[test]
     fn single_node_network_idles() {
         // One node alone can transmit to nobody; groupput must be 0.
-        let r = Simulator::new(quick_cfg(1, 0.5, 20_000.0, 43)).unwrap().run();
+        let r = Simulator::new(quick_cfg(1, 0.5, 20_000.0, 43))
+            .unwrap()
+            .run();
         assert_eq!(r.groupput, 0.0);
         assert_eq!(r.anyput, 0.0);
     }

@@ -1,7 +1,6 @@
 //! Measurement collection: throughput, burstiness, latency, and the
 //! per-node power audit of Section VIII-B.
 
-
 /// Per-node accumulated statistics over the measurement window.
 #[derive(Debug, Clone, Default)]
 pub struct NodeStats {
@@ -170,10 +169,9 @@ pub struct SimReport {
 impl SimReport {
     /// Network-wide mean received-burst length.
     pub fn mean_burst_length(&self) -> Option<f64> {
-        let (bursts, packets) = self
-            .nodes
-            .iter()
-            .fold((0u64, 0u64), |(b, p), n| (b + n.bursts, p + n.burst_packets));
+        let (bursts, packets) = self.nodes.iter().fold((0u64, 0u64), |(b, p), n| {
+            (b + n.bursts, p + n.burst_packets)
+        });
         (bursts > 0).then(|| packets as f64 / bursts as f64)
     }
 

@@ -686,8 +686,7 @@ mod tests {
 
     fn assert_summaries_close(a: &GibbsSummary, b: &GibbsSummary, tol: f64, ctx: &str) {
         assert!(
-            (a.log_partition - b.log_partition).abs()
-                <= tol * (1.0 + a.log_partition.abs()),
+            (a.log_partition - b.log_partition).abs() <= tol * (1.0 + a.log_partition.abs()),
             "{ctx}: log_partition {} vs {}",
             a.log_partition,
             b.log_partition
@@ -1007,7 +1006,11 @@ mod tests {
                 },
             );
             match to {
-                econcast_core::NodeState::Listen if w.node_state(i) == econcast_core::NodeState::Sleep => r.sleep_to_listen,
+                econcast_core::NodeState::Listen
+                    if w.node_state(i) == econcast_core::NodeState::Sleep =>
+                {
+                    r.sleep_to_listen
+                }
                 econcast_core::NodeState::Sleep => r.listen_to_sleep,
                 econcast_core::NodeState::Transmit => r.listen_to_transmit,
                 econcast_core::NodeState::Listen => r.transmit_to_listen,

@@ -297,9 +297,7 @@ mod tests {
                         exact.alpha[0]
                     );
                     assert!((agg.beta - exact.beta[0]).abs() < 1e-10);
-                    assert!(
-                        (agg.expected_throughput - exact.expected_throughput).abs() < 1e-9
-                    );
+                    assert!((agg.expected_throughput - exact.expected_throughput).abs() < 1e-9);
                     assert!((agg.log_partition - exact.log_partition).abs() < 1e-9);
                     assert!((agg.entropy - exact.entropy).abs() < 1e-8);
                     assert!((agg.burst_mass - exact.burst_mass).abs() < 1e-10);

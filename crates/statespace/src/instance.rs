@@ -71,6 +71,43 @@ impl InstanceKey {
     pub fn num_nodes(&self) -> usize {
         self.budgets.len()
     }
+
+    /// A stable 64-bit hash of the canonical instance
+    /// ([`fnv1a_64`] over the key's fields) for routing decisions —
+    /// e.g. consistent-hashing instances across policy-cache shards.
+    /// Unlike `std`'s `DefaultHasher`, the value is pinned by this
+    /// implementation: identical canonical instances hash identically
+    /// across processes, platforms, and toolchain versions, so a shard
+    /// assignment observed in a test is the assignment production
+    /// sees.
+    pub fn route_hash(&self) -> u64 {
+        let head = [
+            u64::from(self.mode),
+            self.sigma,
+            self.listen,
+            self.transmit,
+            self.tolerance,
+        ];
+        fnv1a_64(head.iter().chain(&self.budgets).copied())
+    }
+}
+
+/// Pinned FNV-1a over a stream of u64 words (big-endian bytes) — the
+/// shared routing hash primitive. Both [`InstanceKey::route_hash`] and
+/// the shard ring's virtual-node points use this single
+/// implementation, so the two sides of the consistent-hash contract
+/// can never drift apart.
+pub fn fnv1a_64(words: impl IntoIterator<Item = u64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for w in words {
+        for b in w.to_be_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 /// A canonicalized (P4) instance: the sorted view a cache solves and
@@ -117,11 +154,7 @@ impl CanonicalInstance {
         assert!(sigma > 0.0 && sigma.is_finite());
 
         let mut perm: Vec<usize> = (0..budgets.len()).collect();
-        perm.sort_by(|&a, &b| {
-            budgets[a]
-                .total_cmp(&budgets[b])
-                .then_with(|| a.cmp(&b))
-        });
+        perm.sort_by(|&a, &b| budgets[a].total_cmp(&budgets[b]).then_with(|| a.cmp(&b)));
         let sorted_budgets: Vec<f64> = perm.iter().map(|&i| budgets[i]).collect();
         let homogeneous = sorted_budgets
             .iter()
@@ -228,6 +261,27 @@ mod tests {
         let b = CanonicalInstance::new(&[1e-6], 5e-4, 5e-4, 0.5, Groupput, 8e-4);
         assert_eq!(a.key, b.key);
         assert_eq!(a.tolerance_tier, 1e-4);
+    }
+
+    #[test]
+    fn route_hash_is_stable_and_key_sensitive() {
+        // Pinned value: the routing hash is part of the sharding
+        // contract (same instance → same shard across processes), so a
+        // change here is a cache-topology migration, not a refactor.
+        let a = canon(&[3e-6, 1e-6, 2e-6]);
+        assert_eq!(a.key.route_hash(), 0x5985_4c9e_da54_368d);
+        // Permutations share the hash (same canonical key)…
+        let b = canon(&[1e-6, 2e-6, 3e-6]);
+        assert_eq!(a.key.route_hash(), b.key.route_hash());
+        // …while any keyed field perturbs it.
+        let other_sigma =
+            CanonicalInstance::new(&[1e-6, 2e-6, 3e-6], 500e-6, 450e-6, 0.25, Groupput, 1e-3);
+        let other_mode =
+            CanonicalInstance::new(&[1e-6, 2e-6, 3e-6], 500e-6, 450e-6, 0.5, Anyput, 1e-3);
+        let other_budget = canon(&[1e-6, 2e-6, 4e-6]);
+        assert_ne!(a.key.route_hash(), other_sigma.key.route_hash());
+        assert_ne!(a.key.route_hash(), other_mode.key.route_hash());
+        assert_ne!(a.key.route_hash(), other_budget.key.route_hash());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod state;
 
 pub use gibbs::{summarize, GibbsParams, GibbsSummary, StateTable, SummaryWorkspace};
 pub use homogeneous::{HomogeneousGibbs, HomogeneousP4};
-pub use instance::{quantize_tolerance, CanonicalInstance, InstanceKey};
+pub use instance::{fnv1a_64, quantize_tolerance, CanonicalInstance, InstanceKey};
 pub use p4::{solve_p4, P4Options, P4Solution, P4Solver, SolverPool};
 pub use space::StateSpace;
 pub use state::NetworkState;

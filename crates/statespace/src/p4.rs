@@ -292,7 +292,11 @@ mod tests {
     fn p4_respects_power_budgets() {
         let nodes = homogeneous(5);
         let sol = solve_p4(&nodes, 0.5, Groupput, P4Options::default());
-        assert!(sol.converged, "did not converge in {} iters", sol.iterations);
+        assert!(
+            sol.converged,
+            "did not converge in {} iters",
+            sol.iterations
+        );
         assert!(
             sol.max_power_violation(&nodes) < 2e-3,
             "violation {}",

@@ -91,8 +91,7 @@ impl StateSpace {
     /// one listener bit. Same set of states, different order.
     pub fn iter_gray(&self) -> impl Iterator<Item = NetworkState> + '_ {
         let n = self.n;
-        let no_tx =
-            (0u64..(1u64 << n)).map(|k| NetworkState::new(None, k ^ (k >> 1)));
+        let no_tx = (0u64..(1u64 << n)).map(|k| NetworkState::new(None, k ^ (k >> 1)));
         let with_tx = (0..n).flat_map(move |t| {
             (0u64..(1u64 << (n - 1))).map(move |k| {
                 let compact = k ^ (k >> 1);

@@ -26,7 +26,12 @@ fn main() {
     let sigma = 0.25;
 
     let oracle = oracle_groupput(&nodes);
-    let p4 = solve_p4(&nodes, sigma, ThroughputMode::Groupput, P4Options::default());
+    let p4 = solve_p4(
+        &nodes,
+        sigma,
+        ThroughputMode::Groupput,
+        P4Options::default(),
+    );
 
     let mut cfg = SimConfig::ideal_clique(
         4,

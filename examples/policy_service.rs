@@ -86,7 +86,11 @@ fn main() {
         println!(
             "stats: {} requests | exact {} · grid {} · closed-form {} · solver {} | \
              lru {}/{} entries\n",
-            s.requests, s.exact_hits, s.grid_hits, s.closed_form_hits, s.solver_solves,
+            s.requests,
+            s.exact_hits,
+            s.grid_hits,
+            s.closed_form_hits,
+            s.solver_solves,
             s.lru_len,
             1024,
         );

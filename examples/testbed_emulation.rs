@@ -27,8 +27,16 @@ fn main() {
     let run = cfg.run();
 
     println!("throughput      T̃^σ = {:.5}", run.throughput);
-    println!("achievable (ρ)  T^σ = {:.5}  → Ideal ratio  {:.1}%", run.achievable_ideal, 100.0 * run.ratio_ideal());
-    println!("achievable (P)  T^σ = {:.5}  → Relaxed ratio {:.1}%", run.achievable_relaxed, 100.0 * run.ratio_relaxed());
+    println!(
+        "achievable (ρ)  T^σ = {:.5}  → Ideal ratio  {:.1}%",
+        run.achievable_ideal,
+        100.0 * run.ratio_ideal()
+    );
+    println!(
+        "achievable (P)  T^σ = {:.5}  → Relaxed ratio {:.1}%",
+        run.achievable_relaxed,
+        100.0 * run.ratio_relaxed()
+    );
     println!(
         "virtual battery band: {:.3} / {:.3} / {:.3} of budget (min/mean/max)",
         run.battery_ratio_min, run.battery_ratio_mean, run.battery_ratio_max
@@ -71,7 +79,11 @@ fn main() {
     let mut codec = StreamCodec::new();
     codec.feed(&wire);
     let frames = codec.drain().expect("observer link is clean");
-    println!("\nobserver uplink: decoded {} report frames ({} bytes)", frames.len(), wire.len());
+    println!(
+        "\nobserver uplink: decoded {} report frames ({} bytes)",
+        frames.len(),
+        wire.len()
+    );
     for f in frames {
         if let Frame::Data(d) = f {
             println!(

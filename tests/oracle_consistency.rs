@@ -66,7 +66,10 @@ fn closed_forms_match_lps_in_constrained_regime() {
         let g_cf = oracle_groupput_homogeneous(n, &params())
             .expect("constrained regime")
             .throughput;
-        assert!((g_lp - g_cf).abs() < 1e-9, "groupput n={n}: {g_lp} vs {g_cf}");
+        assert!(
+            (g_lp - g_cf).abs() < 1e-9,
+            "groupput n={n}: {g_lp} vs {g_cf}"
+        );
         let a_lp = oracle_anyput(&nodes).throughput;
         let a_cf = oracle_anyput_homogeneous(n, &params())
             .expect("constrained regime")
@@ -101,7 +104,12 @@ fn heterogeneous_p4_consistent_with_lp_oracle() {
     ];
     let t_star = oracle_groupput(&nodes).throughput;
     for sigma in [0.5, 0.25] {
-        let sol = solve_p4(&nodes, sigma, ThroughputMode::Groupput, P4Options::default());
+        let sol = solve_p4(
+            &nodes,
+            sigma,
+            ThroughputMode::Groupput,
+            P4Options::default(),
+        );
         assert!(sol.converged, "σ={sigma} did not converge");
         assert!(
             sol.throughput <= t_star + 1e-6,

@@ -3,7 +3,6 @@
 //! worker count, warm-cache exact-tier hits must skip the solvers
 //! entirely, and the wire front-end must agree with the native path.
 
-use econcast::core::{NodeParams, ThroughputMode};
 use econcast::proto::service::{ServiceCodec, ServiceMessage};
 use econcast::service::{
     PolicyRequest, PolicyResponse, PolicyService, ServedTier, ServiceConfig, ServiceError,
@@ -13,67 +12,11 @@ use econcast::service::{
 const L: f64 = 500e-6;
 const X: f64 = 450e-6;
 
-/// A deterministic 256-request mixed batch: homogeneous instances in
-/// and out of the grid range, heterogeneous exact solves, permutations
-/// of one another, duplicates, and the two objectives.
+/// The deterministic 256-request mixed batch (the canonical
+/// acceptance workload, shared with the socket tests and the
+/// `policy_server` example).
 fn mixed_batch() -> Vec<PolicyRequest> {
-    let mut reqs = Vec::new();
-    let modes = [ThroughputMode::Groupput, ThroughputMode::Anyput];
-    // Homogeneous: several (n, ρ) points inside the grid range...
-    for (i, n) in [5usize, 12, 50, 96].into_iter().enumerate() {
-        for (j, rho_uw) in [4.0, 10.0, 37.0].into_iter().enumerate() {
-            let params = NodeParams::from_microwatts(rho_uw, 500.0, 450.0);
-            reqs.push(PolicyRequest::homogeneous(
-                n,
-                params,
-                if j % 2 == 0 { 0.5 } else { 0.25 },
-                modes[(i + j) % 2],
-                1e-2,
-            ));
-        }
-    }
-    // ...and outside it (25 mW budget exceeds the grid's 10 mW roof).
-    for n in [8usize, 64] {
-        let params = NodeParams::from_milliwatts(25.0, 67.0, 33.0);
-        reqs.push(PolicyRequest::homogeneous(
-            n,
-            params,
-            0.5,
-            ThroughputMode::Groupput,
-            1e-2,
-        ));
-    }
-    // Heterogeneous instances (exact solver) plus a permutation of
-    // each — the canonicalization regression rides in the batch.
-    let bases: [&[f64]; 4] = [
-        &[5e-6, 10e-6, 20e-6],
-        &[3e-6, 3e-6, 9e-6, 27e-6],
-        &[8e-6, 2e-6, 4e-6, 16e-6, 32e-6],
-        &[1e-6, 50e-6, 7e-6],
-    ];
-    for (i, base) in bases.into_iter().enumerate() {
-        let mut permuted = base.to_vec();
-        permuted.rotate_left(1);
-        for budgets in [base.to_vec(), permuted] {
-            reqs.push(PolicyRequest {
-                budgets_w: budgets,
-                listen_w: L,
-                transmit_w: X,
-                sigma: 0.5,
-                objective: modes[i % 2],
-                tolerance: 1e-2,
-            });
-        }
-    }
-    // Pad to 256 by cycling the prefix (duplicates exercise the
-    // in-batch dedup path).
-    let distinct = reqs.len();
-    let mut k = 0;
-    while reqs.len() < 256 {
-        reqs.push(reqs[k % distinct].clone());
-        k += 1;
-    }
-    reqs
+    econcast::service::workload::mixed_batch(256)
 }
 
 fn bits_equal(a: &PolicyResponse, b: &PolicyResponse) -> bool {
@@ -81,8 +24,7 @@ fn bits_equal(a: &PolicyResponse, b: &PolicyResponse) -> bool {
         && a.converged == b.converged
         && a.policies.len() == b.policies.len()
         && a.policies.iter().zip(&b.policies).all(|(x, y)| {
-            x.listen.to_bits() == y.listen.to_bits()
-                && x.transmit.to_bits() == y.transmit.to_bits()
+            x.listen.to_bits() == y.listen.to_bits() && x.transmit.to_bits() == y.transmit.to_bits()
         })
         && a.certificate.t_sigma.to_bits() == b.certificate.t_sigma.to_bits()
         && a.certificate.oracle.to_bits() == b.certificate.oracle.to_bits()
@@ -101,12 +43,18 @@ fn serve_with_workers(workers: usize) -> Vec<Result<PolicyResponse, ServiceError
 fn mixed_batch_bit_identical_across_worker_counts() {
     let reference = serve_with_workers(1);
     assert_eq!(reference.len(), 256);
-    assert!(reference.iter().all(|r| r.is_ok()), "mixed batch all serves");
+    assert!(
+        reference.iter().all(|r| r.is_ok()),
+        "mixed batch all serves"
+    );
     for workers in [2usize, 4] {
         let got = serve_with_workers(workers);
         for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
             let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
-            assert_eq!(a.tier, b.tier, "request {i}: tier diverged at {workers} workers");
+            assert_eq!(
+                a.tier, b.tier,
+                "request {i}: tier diverged at {workers} workers"
+            );
             assert!(
                 bits_equal(a, b),
                 "request {i}: response diverged at {workers} workers"
@@ -125,7 +73,10 @@ fn mixed_batch_exercises_every_tier_and_warm_cache_skips_solvers() {
     let cold = svc.serve_batch(&batch);
     assert!(cold.iter().all(|r| r.is_ok()));
     let after_cold = svc.stats();
-    assert!(after_cold.solver_solves > 0, "heterogeneous instances solved");
+    assert!(
+        after_cold.solver_solves > 0,
+        "heterogeneous instances solved"
+    );
     assert!(
         after_cold.grid_hits + after_cold.closed_form_hits > 0,
         "homogeneous tiers used"
@@ -151,7 +102,10 @@ fn mixed_batch_exercises_every_tier_and_warm_cache_skips_solvers() {
     for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
         let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
         assert_eq!(w.tier, ServedTier::Exact);
-        assert!(bits_equal(c, w), "request {i}: warm replay diverged from cold");
+        assert!(
+            bits_equal(c, w),
+            "request {i}: warm replay diverged from cold"
+        );
     }
 }
 
@@ -213,7 +167,7 @@ fn wire_server_matches_native_serving() {
 #[test]
 fn wire_server_answers_bad_requests_with_error_messages() {
     use bytes::BytesMut;
-    use econcast::proto::service::{ServiceErrorCode, WirePolicyRequest, WireObjective};
+    use econcast::proto::service::{ServiceErrorCode, WireObjective, WirePolicyRequest};
 
     let mut wire = BytesMut::new();
     // An invalid sigma and an oversized heterogeneous instance.

@@ -18,7 +18,13 @@ fn run(mut cfg: SimConfig) -> econcast::sim::SimReport {
 #[test]
 fn accounting_identities_hold_across_configurations() {
     for (n, sigma, variant, mode, seed) in [
-        (3usize, 0.5, Variant::Capture, ThroughputMode::Groupput, 1u64),
+        (
+            3usize,
+            0.5,
+            Variant::Capture,
+            ThroughputMode::Groupput,
+            1u64,
+        ),
         (5, 0.25, Variant::Capture, ThroughputMode::Anyput, 2),
         (5, 0.5, Variant::NonCapture, ThroughputMode::Groupput, 3),
         (8, 0.75, Variant::Capture, ThroughputMode::Groupput, 4),
@@ -183,14 +189,9 @@ fn time_varying_budget_with_same_mean_still_meets_mean() {
     // the warm-up; recovery from arbitrarily large η takes Θ(η/(δρ))
     // updates since the downward gradient is capped at δ·ρ).
     b.eta0 = 1.3
-        * econcast::statespace::HomogeneousP4::new(
-            5,
-            params(),
-            0.5,
-            ThroughputMode::Groupput,
-        )
-        .solve()
-        .eta;
+        * econcast::statespace::HomogeneousP4::new(5, params(), 0.5, ThroughputMode::Groupput)
+            .solve()
+            .eta;
     let ra = Simulator::new(a).expect("valid").run();
     let rb = Simulator::new(b).expect("valid").run();
     let rel = (ra.groupput - rb.groupput).abs() / ra.groupput.max(1e-12);
@@ -251,8 +252,11 @@ fn on_off_harvest_with_same_mean_behaves_like_constant() {
     );
     // Consumption still near the mean budget.
     for (i, n) in modulated.nodes.iter().enumerate() {
-        let drift = (n.average_power(modulated.elapsed) - params().budget_w).abs()
-            / params().budget_w;
-        assert!(drift < 0.10, "node {i} power drift {drift} under modulation");
+        let drift =
+            (n.average_power(modulated.elapsed) - params().budget_w).abs() / params().budget_w;
+        assert!(
+            drift < 0.10,
+            "node {i} power drift {drift} under modulation"
+        );
     }
 }

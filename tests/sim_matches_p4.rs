@@ -124,13 +124,8 @@ fn throughput_never_exceeds_analytic_oracle() {
     let p = params();
     let t_star = 20.0 * p.budget_w / (p.transmit_w + 4.0 * p.listen_w);
     for seed in [1u64, 2, 3] {
-        let mut cfg = SimConfig::ideal_clique(
-            n,
-            p,
-            ProtocolConfig::capture_groupput(0.5),
-            600_000.0,
-            seed,
-        );
+        let mut cfg =
+            SimConfig::ideal_clique(n, p, ProtocolConfig::capture_groupput(0.5), 600_000.0, seed);
         cfg.eta0 = HomogeneousP4::new(n, p, 0.5, ThroughputMode::Groupput)
             .solve()
             .eta;
