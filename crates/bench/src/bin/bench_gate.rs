@@ -12,7 +12,7 @@
 //! 30). Exits 0 with a notice when no comparable baseline exists (a
 //! fresh machine or thread count is not a regression).
 
-use econcast_bench::gate::{bench_doc, compare, parse_json, BenchDoc};
+use econcast_bench::gate::{bench_doc, compare, parse_json, ratio_rows, BenchDoc};
 use std::path::{Path, PathBuf};
 
 fn load(path: &Path) -> Result<BenchDoc, String> {
@@ -105,6 +105,36 @@ fn main() {
         baseline.quick,
         max_loss * 100.0
     );
+    // The per-entry table prints on every run — a passing gate still
+    // shows where each throughput moved. Fresh-only rows are
+    // informational "new" (no baseline yet, never an error).
+    println!(
+        "{:<36} {:>14} {:>14} {:>9}",
+        "entry", "baseline/s", "fresh/s", "ratio"
+    );
+    for row in ratio_rows(&fresh, &baseline) {
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.3}"),
+            None => "-".to_string(),
+        };
+        let note = match (row.baseline, row.fresh, row.skipped) {
+            (_, _, true) => "  [skipped: quick-sensitive]",
+            (None, _, _) => "  [new]",
+            (_, None, _) => "  [missing from fresh run]",
+            _ => "",
+        };
+        let ratio = match row.ratio() {
+            Some(r) => format!("{r:.3}x"),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<36} {:>14} {:>14} {:>9}{note}",
+            row.what,
+            fmt(row.baseline),
+            fmt(row.fresh),
+            ratio
+        );
+    }
     let regressions = compare(&fresh, &baseline, max_loss);
     if regressions.is_empty() {
         println!(

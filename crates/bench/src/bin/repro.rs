@@ -6,6 +6,7 @@
 //! repro <id> [--quick] [--threads N]    run one experiment (table2, fig2, …)
 //! repro list                            list experiment ids
 //! repro --bench-json [--quick] [--threads N] [--out DIR]
+//!                    [--filter SUBSTRING]
 //!                                       run the kernel suite and write
 //!                                       BENCH_<git-sha>.json
 //! ```
@@ -15,7 +16,9 @@
 //! (~10× fewer samples / shorter simulations). `--threads N` pins the
 //! worker pool used by the parallel experiment drivers and the
 //! summary kernels (default: `ECONCAST_THREADS` or all hardware
-//! threads).
+//! threads). `--filter SUBSTRING` runs only the bench entries whose
+//! name contains the substring — the perf-iteration loop — and skips
+//! the JSON write (a partial suite is not a baseline).
 
 use econcast_bench::experiments::registry;
 use econcast_bench::{perf, Scale};
@@ -38,13 +41,20 @@ fn main() {
 
     if args.iter().any(|a| a == "--bench-json") {
         let dir = flag_value(&args, "--out").unwrap_or_else(|| ".".to_string());
+        let filter = flag_value(&args, "--filter");
         let t0 = Instant::now();
-        match perf::run_and_write(std::path::Path::new(&dir), quick) {
-            Ok(path) => {
+        match perf::run_and_write(std::path::Path::new(&dir), quick, filter.as_deref()) {
+            Ok(Some(path)) => {
                 eprintln!(
                     "[bench suite done in {:.1}s, wrote {}]",
                     t0.elapsed().as_secs_f64(),
                     path.display()
+                );
+            }
+            Ok(None) => {
+                eprintln!(
+                    "[filtered bench run done in {:.1}s; no JSON written]",
+                    t0.elapsed().as_secs_f64()
                 );
             }
             Err(e) => {
@@ -65,7 +75,10 @@ fn main() {
     match target.as_deref() {
         None | Some("help") => {
             eprintln!("usage: repro <all|list|EXPERIMENT> [--quick] [--threads N]");
-            eprintln!("       repro --bench-json [--quick] [--threads N] [--out DIR]");
+            eprintln!(
+                "       repro --bench-json [--quick] [--threads N] [--out DIR] \
+                 [--filter SUBSTRING]"
+            );
             eprintln!("experiments:");
             for (id, desc, _) in &reg {
                 eprintln!("  {id:<8} {desc}");
@@ -112,7 +125,8 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// is not mistaken for the experiment id).
 fn is_flag_argument(args: &[String], arg: &str) -> bool {
     args.iter().enumerate().any(|(i, a)| {
-        (a == "--threads" || a == "--out") && args.get(i + 1).map(String::as_str) == Some(arg)
+        (a == "--threads" || a == "--out" || a == "--filter")
+            && args.get(i + 1).map(String::as_str) == Some(arg)
     })
 }
 

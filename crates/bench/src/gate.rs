@@ -308,6 +308,96 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
     })
 }
 
+/// Whether `name` is quick-sensitive for this fresh/baseline pair.
+/// Quick-sensitivity comes from the records themselves (the suite
+/// builder stamps it per entry), unioned across both sides so a new
+/// fresh record also protects an old baseline; [`QUICK_SENSITIVE`]
+/// is the fallback for records predating the stamp.
+fn is_quick_sensitive(name: &str, fresh: &BenchDoc, baseline: &BenchDoc) -> bool {
+    let stamped = |doc: &BenchDoc| {
+        doc.quick_sensitive
+            .as_ref()
+            .is_some_and(|list| list.iter().any(|n| n == name))
+    };
+    if fresh.quick_sensitive.is_none() && baseline.quick_sensitive.is_none() {
+        QUICK_SENSITIVE.contains(&name)
+    } else {
+        stamped(fresh) || stamped(baseline)
+    }
+}
+
+/// One row of the per-entry comparison table the gate prints on every
+/// run — pass or fail — so a green gate still shows where each
+/// throughput moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioRow {
+    /// Entry name or `service batch=N field`.
+    pub what: String,
+    /// Baseline throughput; `None` for entries the baseline lacks
+    /// (informational "new" — never an error).
+    pub baseline: Option<f64>,
+    /// Fresh throughput; `None` when the measurement vanished.
+    pub fresh: Option<f64>,
+    /// Skipped by the gate (quick-sensitive across a quick/full
+    /// comparison) — shown, but its ratio is not gated.
+    pub skipped: bool,
+}
+
+impl RatioRow {
+    /// `fresh / baseline` when both sides measured.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.fresh, self.baseline) {
+            (Some(f), Some(b)) if b > 0.0 => Some(f / b),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the full comparison table: every baseline entry in order,
+/// then fresh-only entries tagged as new (`baseline: None`). Service
+/// rates follow the kernel entries.
+pub fn ratio_rows(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<RatioRow> {
+    let modes_differ = fresh.quick != baseline.quick;
+    let mut out = Vec::new();
+    for (name, &base_rate) in &baseline.entries {
+        out.push(RatioRow {
+            what: name.clone(),
+            baseline: Some(base_rate),
+            fresh: fresh.entries.get(name).copied(),
+            skipped: modes_differ && is_quick_sensitive(name, fresh, baseline),
+        });
+    }
+    for (name, &rate) in &fresh.entries {
+        if !baseline.entries.contains_key(name) {
+            out.push(RatioRow {
+                what: name.clone(),
+                baseline: None,
+                fresh: Some(rate),
+                skipped: false,
+            });
+        }
+    }
+    for ((batch, field), &base_rate) in &baseline.service {
+        out.push(RatioRow {
+            what: format!("service batch={batch} {field}"),
+            baseline: Some(base_rate),
+            fresh: fresh.service.get(&(*batch, field.clone())).copied(),
+            skipped: false,
+        });
+    }
+    for ((batch, field), &rate) in &fresh.service {
+        if !baseline.service.contains_key(&(*batch, field.clone())) {
+            out.push(RatioRow {
+                what: format!("service batch={batch} {field}"),
+                baseline: None,
+                fresh: Some(rate),
+                skipped: false,
+            });
+        }
+    }
+    out
+}
+
 /// One detected regression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
@@ -342,22 +432,7 @@ impl Regression {
 pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc, max_loss: f64) -> Vec<Regression> {
     let mut out = Vec::new();
     let modes_differ = fresh.quick != baseline.quick;
-    // Quick-sensitivity comes from the records themselves (the suite
-    // builder stamps it per entry), unioned across both sides so a new
-    // fresh record also protects an old baseline; [`QUICK_SENSITIVE`]
-    // is the fallback for records predating the stamp.
-    let quick_sensitive = |name: &str| {
-        let stamped = |doc: &BenchDoc| {
-            doc.quick_sensitive
-                .as_ref()
-                .is_some_and(|list| list.iter().any(|n| n == name))
-        };
-        if fresh.quick_sensitive.is_none() && baseline.quick_sensitive.is_none() {
-            QUICK_SENSITIVE.contains(&name)
-        } else {
-            stamped(fresh) || stamped(baseline)
-        }
-    };
+    let quick_sensitive = |name: &str| is_quick_sensitive(name, fresh, baseline);
     for (name, &base_rate) in &baseline.entries {
         if base_rate <= 0.0 || (modes_differ && quick_sensitive(name)) {
             continue;
@@ -554,6 +629,63 @@ mod tests {
         let mut stamped_base = base.clone();
         stamped_base.quick_sensitive = Some(vec!["new_fixed_iter_kernel".into()]);
         assert!(compare(&fresh, &stamped_base, 0.30).is_empty());
+    }
+
+    #[test]
+    fn ratio_rows_cover_the_union_and_tag_new_entries() {
+        let base = doc(
+            false,
+            &[("kernel", 100.0), ("vanished", 10.0)],
+            &[(32, "warm_rps", 1000.0)],
+        );
+        let fresh = doc(
+            false,
+            &[("kernel", 120.0), ("p4_solve_n32", 55.0)],
+            &[(32, "warm_rps", 900.0), (32, "socket_rps", 500.0)],
+        );
+        let rows = ratio_rows(&fresh, &base);
+        let find = |what: &str| rows.iter().find(|r| r.what == what).unwrap();
+        // Shared entry: both sides, ratio defined.
+        let kernel = find("kernel");
+        assert_eq!(kernel.baseline, Some(100.0));
+        assert!((kernel.ratio().unwrap() - 1.2).abs() < 1e-12);
+        assert!(!kernel.skipped);
+        // Vanished: baseline only, no ratio (compare() flags it; the
+        // table just shows the hole).
+        let gone = find("vanished");
+        assert_eq!(gone.fresh, None);
+        assert_eq!(gone.ratio(), None);
+        // Fresh-only entries are informational "new" rows — present,
+        // never paired, never a regression.
+        let new = find("p4_solve_n32");
+        assert_eq!(new.baseline, None);
+        assert_eq!(new.ratio(), None);
+        let new_service = find("service batch=32 socket_rps");
+        assert_eq!(new_service.baseline, None);
+        // And the shared service rate pairs like a kernel entry.
+        assert!((find("service batch=32 warm_rps").ratio().unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn ratio_rows_mark_quick_sensitive_skips() {
+        let base = doc(
+            false,
+            &[("p4_solve_n12", 30.0), ("gibbs_summarize_n12", 4000.0)],
+            &[],
+        );
+        let fresh = doc(
+            true,
+            &[("p4_solve_n12", 300.0), ("gibbs_summarize_n12", 3900.0)],
+            &[],
+        );
+        let rows = ratio_rows(&fresh, &base);
+        let find = |what: &str| rows.iter().find(|r| r.what == what).unwrap();
+        assert!(find("p4_solve_n12").skipped);
+        assert!(!find("gibbs_summarize_n12").skipped);
+        // Same quick flag ⇒ nothing is skipped.
+        let fresh_full = doc(false, &[("p4_solve_n12", 28.0)], &[]);
+        assert!(ratio_rows(&fresh_full, &base).iter().all(|r| !r.skipped));
     }
 
     #[test]

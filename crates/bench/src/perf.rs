@@ -23,7 +23,9 @@ use econcast_service::{
 };
 use econcast_sim::{SimConfig, Simulator};
 use econcast_statespace::gibbs::{summarize_naive, GibbsParams, GibbsSummary};
-use econcast_statespace::{HomogeneousP4, P4Options, P4Solver, SummaryWorkspace};
+use econcast_statespace::{
+    FactorizedWorkspace, HomogeneousP4, KernelSelect, P4Options, P4Solver, SummaryWorkspace,
+};
 use std::hint::black_box;
 
 fn params() -> NodeParams {
@@ -31,13 +33,26 @@ fn params() -> NodeParams {
 }
 
 /// Fixed-work descent options: `tol = 0` never converges early, so the
-/// measured work is identical run to run.
-fn fixed_iters(iters: usize) -> P4Options {
+/// measured work is identical run to run. The kernel is pinned
+/// explicitly — `Auto` would route these homogeneous instances to the
+/// closed form (and small heterogeneous groupput to the factorized
+/// kernel), silently changing what a baseline-named entry measures.
+fn fixed_iters(iters: usize, kernel: KernelSelect) -> P4Options {
     P4Options {
         max_iters: iters,
         tol: 0.0,
         step0: 2.0,
+        kernel,
     }
+}
+
+/// Deterministic heterogeneous budgets for the large-N entries (the
+/// factorized path is the heterogeneous server path; homogeneous
+/// requests never reach it in production).
+fn het_nodes(n: usize) -> Vec<NodeParams> {
+    (0..n)
+        .map(|i| NodeParams::from_microwatts(2.0 + 1.5 * i as f64, 500.0, 450.0))
+        .collect()
 }
 
 /// The seed implementation of `solve_p4`, reconstructed on top of the
@@ -195,9 +210,17 @@ fn warm_service() -> PolicyService {
 
 /// Builds the fixed suite. `quick` shrinks iteration budgets and the
 /// simulated horizon for CI smoke runs (same entry names, smaller
-/// work — quick numbers are not comparable to full ones).
-fn suite(quick: bool) -> Vec<Entry> {
+/// work — quick numbers are not comparable to full ones). Entries not
+/// matching `filter` are never *constructed* — construction itself
+/// does real work (cache warming, the loopback socket server bind),
+/// and a filtered iteration loop must not pay for it.
+fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
+    let keep = |name: &str| filter.is_none_or(|f| name.contains(f));
     let (it8, it12, it16) = if quick { (60, 25, 4) } else { (400, 150, 30) };
+    // The factorized entries run a real convergence-scale budget: one
+    // dual iteration is O(N) (groupput), so even 10 000 iterations at
+    // N = 32 undercut a handful of Gray-code sweeps at N = 16.
+    let it_fact = if quick { 500 } else { 10_000 };
     let sim_t_end = if quick { 5_000.0 } else { 20_000.0 };
     let mode = ThroughputMode::Groupput;
 
@@ -207,6 +230,9 @@ fn suite(quick: bool) -> Vec<Entry> {
         ("p4_solve_n12", 12, it12),
         ("p4_solve_n16", 16, it16),
     ] {
+        if !keep(name) {
+            continue;
+        }
         let nodes = vec![params(); n];
         let mut solver = P4Solver::new(n);
         entries.push(Entry {
@@ -214,14 +240,45 @@ fn suite(quick: bool) -> Vec<Entry> {
             workload: Box::new(move || {
                 black_box(
                     solver
-                        .solve(&nodes, 0.5, mode, fixed_iters(iters))
+                        .solve(
+                            &nodes,
+                            0.5,
+                            mode,
+                            fixed_iters(iters, KernelSelect::GrayCode),
+                        )
                         .throughput,
                 );
             }),
             quick_sensitive: true,
         });
     }
-    {
+    // Past the 2^N wall: the factorized kernel solves N ∈ {24, 32}
+    // heterogeneous instances the enumeration kernels cannot touch
+    // (the acceptance bar: cheaper than one Gray-code p4_solve_n16).
+    for (name, n) in [("p4_solve_n24", 24usize), ("p4_solve_n32", 32)] {
+        if !keep(name) {
+            continue;
+        }
+        let nodes = het_nodes(n);
+        let mut solver = P4Solver::new(n);
+        entries.push(Entry {
+            name: name.to_string(),
+            workload: Box::new(move || {
+                black_box(
+                    solver
+                        .solve(
+                            &nodes,
+                            0.5,
+                            mode,
+                            fixed_iters(it_fact, KernelSelect::Factorized),
+                        )
+                        .throughput,
+                );
+            }),
+            quick_sensitive: true,
+        });
+    }
+    if keep("p4_solve_n12_naive") {
         let nodes = vec![params(); 12];
         entries.push(Entry {
             name: "p4_solve_n12_naive".to_string(),
@@ -230,13 +287,13 @@ fn suite(quick: bool) -> Vec<Entry> {
                     &nodes,
                     0.5,
                     mode,
-                    fixed_iters(it12),
+                    fixed_iters(it12, KernelSelect::GrayCode),
                 ));
             }),
             quick_sensitive: true,
         });
     }
-    {
+    if keep("gibbs_summarize_n12") {
         let nodes = vec![params(); 12];
         let eta = vec![3000.0; 12];
         let mut ws = SummaryWorkspace::new(12);
@@ -253,6 +310,8 @@ fn suite(quick: bool) -> Vec<Entry> {
             }),
             quick_sensitive: false,
         });
+    }
+    if keep("gibbs_summarize_naive_n12") {
         let nodes = vec![params(); 12];
         let eta = vec![3000.0; 12];
         entries.push(Entry {
@@ -268,17 +327,39 @@ fn suite(quick: bool) -> Vec<Entry> {
             quick_sensitive: false,
         });
     }
-    entries.push(Entry {
-        name: "homogeneous_p4_n1000".to_string(),
-        workload: Box::new(|| {
-            black_box(
-                HomogeneousP4::new(1000, params(), 0.5, ThroughputMode::Groupput)
-                    .solve()
-                    .throughput,
-            );
-        }),
-        quick_sensitive: false,
-    });
+    // The same evaluation through the factorized kernel — the
+    // direct per-eval comparison against gibbs_summarize_n12.
+    if keep("summarize_factorized_n12") {
+        let nodes = vec![params(); 12];
+        let eta = vec![3000.0; 12];
+        let mut ws = FactorizedWorkspace::new(12);
+        entries.push(Entry {
+            name: "summarize_factorized_n12".to_string(),
+            workload: Box::new(move || {
+                ws.compute(&GibbsParams {
+                    nodes: &nodes,
+                    eta: &eta,
+                    sigma: 0.5,
+                    mode,
+                });
+                black_box(ws.expected_throughput());
+            }),
+            quick_sensitive: false,
+        });
+    }
+    if keep("homogeneous_p4_n1000") {
+        entries.push(Entry {
+            name: "homogeneous_p4_n1000".to_string(),
+            workload: Box::new(|| {
+                black_box(
+                    HomogeneousP4::new(1000, params(), 0.5, ThroughputMode::Groupput)
+                        .solve()
+                        .throughput,
+                );
+            }),
+            quick_sensitive: false,
+        });
+    }
     // Policy-service throughput: requests/sec per batch size, cold
     // (fresh caches every call) vs warm (steady-state cache serving)
     // vs socket (warm caches through the sharded TCP front-end).
@@ -287,53 +368,74 @@ fn suite(quick: bool) -> Vec<Entry> {
     //
     // The TCP server (2 shards, loopback) lives for the rest of the
     // process: the suite runs once per process and the connection
-    // handlers die with it, so there is nothing to tear down.
-    let socket_addr = PolicyServer::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            router: RouterConfig {
-                shards: 2,
-                service: ServiceConfig {
-                    lru_capacity: 4096,
-                    ..ServiceConfig::default()
+    // handlers die with it, so there is nothing to tear down. It only
+    // binds when a socket entry survives the filter.
+    let socket_needed = SERVICE_BATCH_SIZES
+        .iter()
+        .any(|&s| keep(&service_entry_name("socket", s)));
+    let socket_addr = if !socket_needed {
+        Err(std::io::Error::other("no socket entries requested"))
+    } else {
+        PolicyServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                router: RouterConfig {
+                    shards: 2,
+                    service: ServiceConfig {
+                        lru_capacity: 4096,
+                        ..ServiceConfig::default()
+                    },
+                    ..RouterConfig::default()
                 },
-                ..RouterConfig::default()
+                background_prewarm: false,
+                ..ServerConfig::default()
             },
-            background_prewarm: false,
-            ..ServerConfig::default()
-        },
-    )
-    .map(|srv| {
-        let handle = srv.spawn();
-        let addr = handle.addr();
-        std::mem::forget(handle); // keep accepting until process exit
-        addr
-    });
+        )
+        .map(|srv| {
+            let handle = srv.spawn();
+            let addr = handle.addr();
+            std::mem::forget(handle); // keep accepting until process exit
+            addr
+        })
+    };
     for size in SERVICE_BATCH_SIZES {
+        if !keep(&service_entry_name("cold", size))
+            && !keep(&service_entry_name("warm", size))
+            && !keep(&service_entry_name("socket", size))
+        {
+            continue;
+        }
         let batch = service_batch(size);
-        entries.push(Entry {
-            name: service_entry_name("cold", size),
-            workload: Box::new({
-                let batch = batch.clone();
-                move || {
-                    let mut svc = cold_service();
-                    black_box(svc.serve_batch(&batch));
-                }
-            }),
-            quick_sensitive: false,
-        });
-        entries.push(Entry {
-            name: service_entry_name("warm", size),
-            workload: Box::new({
-                let batch = batch.clone();
-                let mut svc = warm_service();
-                svc.serve_batch(&batch); // warm the tiers once
-                move || {
-                    black_box(svc.serve_batch(&batch));
-                }
-            }),
-            quick_sensitive: false,
-        });
+        if keep(&service_entry_name("cold", size)) {
+            entries.push(Entry {
+                name: service_entry_name("cold", size),
+                workload: Box::new({
+                    let batch = batch.clone();
+                    move || {
+                        let mut svc = cold_service();
+                        black_box(svc.serve_batch(&batch));
+                    }
+                }),
+                quick_sensitive: false,
+            });
+        }
+        if keep(&service_entry_name("warm", size)) {
+            entries.push(Entry {
+                name: service_entry_name("warm", size),
+                workload: Box::new({
+                    let batch = batch.clone();
+                    let mut svc = warm_service();
+                    svc.serve_batch(&batch); // warm the tiers once
+                    move || {
+                        black_box(svc.serve_batch(&batch));
+                    }
+                }),
+                quick_sensitive: false,
+            });
+        }
+        if !keep(&service_entry_name("socket", size)) {
+            continue;
+        }
         if let Ok(addr) = &socket_addr {
             // Warm socket round-trip: encode + TCP + routing + shard
             // cache lookups + decode. The lazy connect keeps server
@@ -356,21 +458,23 @@ fn suite(quick: bool) -> Vec<Entry> {
             });
         }
     }
-    entries.push(Entry {
-        name: "sim_grid7x7".to_string(),
-        workload: Box::new(move || {
-            let mut cfg = SimConfig::ideal_clique(
-                49,
-                params(),
-                ProtocolConfig::capture_groupput(0.5),
-                sim_t_end,
-                0xBE9C,
-            );
-            cfg.topology = econcast_core::Topology::square_grid(7);
-            black_box(Simulator::new(cfg).expect("valid").run().groupput);
-        }),
-        quick_sensitive: true,
-    });
+    if keep("sim_grid7x7") {
+        entries.push(Entry {
+            name: "sim_grid7x7".to_string(),
+            workload: Box::new(move || {
+                let mut cfg = SimConfig::ideal_clique(
+                    49,
+                    params(),
+                    ProtocolConfig::capture_groupput(0.5),
+                    sim_t_end,
+                    0xBE9C,
+                );
+                cfg.topology = econcast_core::Topology::square_grid(7);
+                black_box(Simulator::new(cfg).expect("valid").run().groupput);
+            }),
+            quick_sensitive: true,
+        });
+    }
     entries
 }
 
@@ -407,11 +511,21 @@ pub struct SuiteReport {
     pub quick_sensitive: Vec<String>,
 }
 
-/// Runs the kernel suite, printing one line per entry.
-pub fn run_suite(quick: bool) -> SuiteReport {
+/// Runs the kernel suite, printing one line per entry. A non-empty
+/// `filter` keeps only entries whose name contains the substring —
+/// the perf-iteration loop (`repro --bench-json --filter p4_solve_n32`)
+/// without paying for the full suite, including its construction-time
+/// work (cache warming, the socket server bind). Derived figures
+/// whose inputs were filtered out (the naive speedup, service rates)
+/// are simply absent from the report.
+pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
+    let entries = suite(quick, filter);
+    if let Some(f) = filter {
+        eprintln!("[--filter `{f}`: {} entries match]", entries.len());
+    }
     let mut measurements = Vec::new();
     let mut quick_sensitive = Vec::new();
-    for mut e in suite(quick) {
+    for mut e in entries {
         let m = measure(&e.name, &mut *e.workload);
         println!(
             "{:<28} {:>12}/iter ({} iters)",
@@ -561,13 +675,30 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
 }
 
 /// Runs the suite and writes `BENCH_<sha>.json` into `dir`, returning
-/// the file path.
-pub fn run_and_write(dir: &std::path::Path, quick: bool) -> std::io::Result<std::path::PathBuf> {
-    let report = run_suite(quick);
+/// the file path. Filtered runs (a partial suite) would make a
+/// misleading baseline, so they skip the write and return `None` for
+/// the path half — the measurements still print.
+pub fn run_and_write(
+    dir: &std::path::Path,
+    quick: bool,
+    filter: Option<&str>,
+) -> std::io::Result<Option<std::path::PathBuf>> {
+    let report = run_suite(quick, filter);
+    if let Some(f) = filter {
+        // A filter matching nothing is an error, not a silent pass —
+        // otherwise a renamed entry would turn a CI smoke step into a
+        // green no-op forever.
+        if report.measurements.is_empty() {
+            return Err(std::io::Error::other(format!(
+                "--filter `{f}` matched no suite entries"
+            )));
+        }
+        return Ok(None);
+    }
     let sha = git_sha();
     let path = dir.join(format!("BENCH_{sha}.json"));
     std::fs::write(&path, to_json(&report, &sha))?;
-    Ok(path)
+    Ok(Some(path))
 }
 
 #[cfg(test)]
@@ -579,11 +710,13 @@ mod tests {
         // The baseline must solve the same problem: identical
         // trajectories for a fixed iteration budget.
         let nodes = vec![params(); 5];
-        let naive =
-            solve_p4_naive_reference(&nodes, 0.5, ThroughputMode::Groupput, fixed_iters(40));
+        // Pin the Gray-code kernel: the naive reference enumerates, so
+        // the fast side must walk the same trajectory (Auto would
+        // route this homogeneous instance to the closed form).
+        let opts = fixed_iters(40, KernelSelect::GrayCode);
+        let naive = solve_p4_naive_reference(&nodes, 0.5, ThroughputMode::Groupput, opts);
         let fast =
-            econcast_statespace::solve_p4(&nodes, 0.5, ThroughputMode::Groupput, fixed_iters(40))
-                .throughput;
+            econcast_statespace::solve_p4(&nodes, 0.5, ThroughputMode::Groupput, opts).throughput;
         assert!(
             (naive - fast).abs() <= 1e-9 * (1.0 + fast.abs()),
             "naive {naive} vs workspace {fast}"

@@ -16,15 +16,21 @@
 //! ```text
 //! Request:  [0x10][ver][id u32][obj u8][sigma f64][tol f64]
 //!           [listen f64][transmit f64][n u16]{ [rho f64] }×n [crc u16]
-//! Response: [0x11][ver][id u32][tier u8][converged u8][throughput f64]
-//!           [t_sigma f64][oracle f64][dual_upper f64][n u16]
-//!           { [listen f64][transmit f64] }×n [crc u16]
+//! Response: [0x11][ver][id u32][tier u8][kernel u8][converged u8]
+//!           [throughput f64][t_sigma f64][oracle f64][dual_upper f64]
+//!           [n u16]{ [listen f64][transmit f64] }×n [crc u16]
 //! Error:    [0x12][ver][id u32][code u8][crc u16]
 //! Hello:    [0x13][ver][id u32][max_batch u16][crc u16]
 //! Welcome:  [0x14][ver][id u32][shards u16][max_batch u16][crc u16]
 //! StatsReq: [0x15][ver][id u32][shard u16][crc u16]
-//! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×13 [crc u16]
+//! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×15 [crc u16]
 //! ```
+//!
+//! Version 2 added the response's `kernel` octet (which solve kernel
+//! produced the policy — closed form, Gray-code enumeration,
+//! factorized large-N, or grid interpolation) and the two
+//! kernel-resolved exact-hit counters in the stats block, so
+//! cache-behaviour regressions at large N are observable per kernel.
 //!
 //! `Hello`/`Welcome` form the connection handshake of the TCP policy
 //! server: the client announces the largest batch it intends to
@@ -46,7 +52,7 @@ use crate::error::DecodeError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Current service wire-format version.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard cap on per-message node counts so every message fits a u16
 /// stream-length prefix (a 4000-node response is 64 042 bytes).
@@ -126,6 +132,45 @@ impl ServedTier {
     }
 }
 
+/// Which solve kernel produced the policy backing a response — the
+/// debug companion to [`ServedTier`]: the tier says *which cache
+/// layer* answered, the kernel says *what computed* the entry that
+/// layer holds, so an exact-tier hit at `N = 32` is distinguishable
+/// as "a prior factorized solve" rather than blending into the
+/// closed-form traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKernel {
+    /// The Gray-code streaming enumeration of `W`.
+    GrayCode,
+    /// The factorized polynomial large-N kernel.
+    Factorized,
+    /// The homogeneous scalar-dual closed form.
+    ClosedForm,
+    /// Interpolated from a precomputed `(N, ρ)` grid.
+    Grid,
+}
+
+impl PolicyKernel {
+    fn to_u8(self) -> u8 {
+        match self {
+            PolicyKernel::GrayCode => 0,
+            PolicyKernel::Factorized => 1,
+            PolicyKernel::ClosedForm => 2,
+            PolicyKernel::Grid => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, DecodeError> {
+        match v {
+            0 => Ok(PolicyKernel::GrayCode),
+            1 => Ok(PolicyKernel::Factorized),
+            2 => Ok(PolicyKernel::ClosedForm),
+            3 => Ok(PolicyKernel::Grid),
+            _ => Err(DecodeError::InvalidField("kernel")),
+        }
+    }
+}
+
 /// Why the server could not answer a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceErrorCode {
@@ -194,6 +239,8 @@ pub struct WirePolicyResponse {
     pub id: u32,
     /// Which cache tier answered.
     pub tier: ServedTier,
+    /// Which solve kernel produced the underlying policy.
+    pub kernel: PolicyKernel,
     /// Whether the underlying dual solve met its tolerance (always
     /// true for closed-form/grid tiers).
     pub converged: bool,
@@ -253,7 +300,7 @@ pub struct WireStatsRequest {
 }
 
 /// The serving counters of one shard (or the aggregate), mirroring
-/// the service crate's `ServiceStats`. Encoded as 13 u64s in
+/// the service crate's `ServiceStats`. Encoded as 15 u64s in
 /// declaration order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireServiceStats {
@@ -283,11 +330,18 @@ pub struct WireServiceStats {
     pub lru_evictions: u64,
     /// LRU resident entries.
     pub lru_len: u64,
+    /// Exact-tier hits whose entry was produced by the homogeneous
+    /// closed form (wire v2).
+    pub exact_hits_closed_form: u64,
+    /// Exact-tier hits whose entry was produced by the factorized
+    /// large-N solver (wire v2).
+    pub exact_hits_factorized: u64,
 }
 
 /// Number of u64 counters in [`WireServiceStats`] — pins the wire
-/// layout; adding a counter is a wire-version bump.
-pub const STATS_COUNTERS: usize = 13;
+/// layout; adding a counter is a wire-version bump (v2 appended the
+/// two kernel-resolved exact-hit counters, keeping v1's slots stable).
+pub const STATS_COUNTERS: usize = 15;
 
 impl WireServiceStats {
     /// The counters in wire (declaration) order.
@@ -306,6 +360,8 @@ impl WireServiceStats {
             self.lru_inserts,
             self.lru_evictions,
             self.lru_len,
+            self.exact_hits_closed_form,
+            self.exact_hits_factorized,
         ]
     }
 
@@ -325,6 +381,8 @@ impl WireServiceStats {
             lru_inserts: c[10],
             lru_evictions: c[11],
             lru_len: c[12],
+            exact_hits_closed_form: c[13],
+            exact_hits_factorized: c[14],
         }
     }
 }
@@ -404,6 +462,7 @@ impl ServiceMessage {
                 buf.put_u8(WIRE_VERSION);
                 buf.put_u32(r.id);
                 buf.put_u8(r.tier.to_u8());
+                buf.put_u8(r.kernel.to_u8());
                 buf.put_u8(u8::from(r.converged));
                 buf.put_f64(r.throughput);
                 buf.put_f64(r.cert_t_sigma);
@@ -458,7 +517,7 @@ impl ServiceMessage {
     pub fn encoded_len(&self) -> usize {
         match self {
             ServiceMessage::Request(r) => 41 + 8 * r.budgets_w.len() + 2,
-            ServiceMessage::Response(r) => 42 + 16 * r.policies.len() + 2,
+            ServiceMessage::Response(r) => 43 + 16 * r.policies.len() + 2,
             ServiceMessage::Error(_) => 7 + 2,
             ServiceMessage::Hello(_) => 8 + 2,
             ServiceMessage::Welcome(_) => 10 + 2,
@@ -491,14 +550,14 @@ impl ServiceMessage {
                 41 + 8 * n + 2
             }
             TYPE_RESPONSE => {
-                if data.len() < 42 {
+                if data.len() < 43 {
                     return Err(DecodeError::Truncated {
-                        needed: 44,
+                        needed: 45,
                         available: data.len(),
                     });
                 }
-                let n = u16::from_be_bytes([data[40], data[41]]) as usize;
-                42 + 16 * n + 2
+                let n = u16::from_be_bytes([data[41], data[42]]) as usize;
+                43 + 16 * n + 2
             }
             TYPE_ERROR => 9,
             TYPE_HELLO | TYPE_STATS_REQUEST => 10,
@@ -552,6 +611,7 @@ impl ServiceMessage {
             TYPE_RESPONSE => {
                 let id = cur.get_u32();
                 let tier = ServedTier::from_u8(cur.get_u8())?;
+                let kernel = PolicyKernel::from_u8(cur.get_u8())?;
                 let converged = match cur.get_u8() {
                     0 => false,
                     1 => true,
@@ -574,6 +634,7 @@ impl ServiceMessage {
                 ServiceMessage::Response(WirePolicyResponse {
                     id,
                     tier,
+                    kernel,
                     converged,
                     throughput,
                     cert_t_sigma,
@@ -708,6 +769,7 @@ mod tests {
         ServiceMessage::Response(WirePolicyResponse {
             id: 7,
             tier: ServedTier::Grid,
+            kernel: PolicyKernel::Grid,
             converged: true,
             throughput: 3.25,
             cert_t_sigma: 3.25,
@@ -742,7 +804,7 @@ mod tests {
         let m = sample_response();
         let b = m.encode();
         assert_eq!(b.len(), m.encoded_len());
-        assert_eq!(b.len(), 42 + 32 + 2);
+        assert_eq!(b.len(), 43 + 32 + 2);
         let (decoded, used) = ServiceMessage::decode(&b).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(used, b.len());
@@ -774,6 +836,8 @@ mod tests {
             lru_inserts: 11,
             lru_evictions: 12,
             lru_len: 13,
+            exact_hits_closed_form: 14,
+            exact_hits_factorized: 15,
         };
         for m in [
             ServiceMessage::Hello(WireHello {
@@ -808,9 +872,12 @@ mod tests {
                 ));
             }
         }
-        // Counter order is pinned: array round-trip is the identity.
+        // Counter order is pinned: array round-trip is the identity,
+        // and the v2 counters append after v1's 13 stable slots.
         assert_eq!(WireServiceStats::from_array(stats.to_array()), stats);
         assert_eq!(stats.to_array()[9], 10, "grid_prewarms rides slot 9");
+        assert_eq!(stats.to_array()[13], 14, "closed-form hits ride slot 13");
+        assert_eq!(stats.to_array()[14], 15, "factorized hits ride slot 14");
     }
 
     #[test]
@@ -941,6 +1008,7 @@ mod tests {
         fn prop_response_roundtrip(
             id in any::<u32>(),
             tier in 0u8..4,
+            kernel in 0u8..4,
             converged in any::<bool>(),
             t in 0.0f64..100.0,
             policies in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..40),
@@ -948,6 +1016,7 @@ mod tests {
             let m = ServiceMessage::Response(WirePolicyResponse {
                 id,
                 tier: ServedTier::from_u8(tier).unwrap(),
+                kernel: PolicyKernel::from_u8(kernel).unwrap(),
                 converged,
                 throughput: t,
                 cert_t_sigma: t,

@@ -10,6 +10,7 @@
 //! only on the call sequence, never on hash iteration order).
 
 use econcast_oracle::AchievabilityGap;
+use econcast_proto::service::PolicyKernel;
 use econcast_statespace::InstanceKey;
 use std::collections::HashMap;
 
@@ -25,6 +26,10 @@ pub struct CachedPolicy {
     pub throughput: f64,
     /// Whether the producing solve met its tolerance.
     pub converged: bool,
+    /// Which solve kernel produced the entry — carried through the
+    /// cache so later exact-tier hits stay attributable (closed form
+    /// vs a prior factorized large-N solve vs Gray-code vs grid).
+    pub kernel: PolicyKernel,
     /// The certificate computed when the entry was produced.
     pub certificate: AchievabilityGap,
 }
@@ -184,6 +189,7 @@ mod tests {
             beta: vec![tag],
             throughput: tag,
             converged: true,
+            kernel: PolicyKernel::ClosedForm,
             certificate: AchievabilityGap {
                 sigma: 0.5,
                 t_sigma: tag,

@@ -206,6 +206,7 @@ impl PolicyGrid {
             beta: vec![sol.beta; self.n],
             throughput: sol.throughput,
             converged: true,
+            kernel: econcast_proto::service::PolicyKernel::Grid,
             certificate,
         })
     }

@@ -72,6 +72,6 @@ pub use shard::{RouterConfig, ShardRouter};
 pub use stats::ServiceStats;
 pub use wire::WireServer;
 
-// The tier discriminant lives in the proto crate (it is part of the
-// wire format); re-export it as part of the native API too.
-pub use econcast_proto::service::ServedTier;
+// The tier and kernel discriminants live in the proto crate (they
+// are part of the wire format); re-export them as native API too.
+pub use econcast_proto::service::{PolicyKernel, ServedTier};

@@ -3,8 +3,8 @@
 use econcast_core::{NodeParams, ThroughputMode};
 use econcast_oracle::AchievabilityGap;
 use econcast_proto::service::{
-    ServedTier, ServiceErrorCode, WireObjective, WirePolicy, WirePolicyError, WirePolicyRequest,
-    WirePolicyResponse, MAX_WIRE_NODES,
+    PolicyKernel, ServedTier, ServiceErrorCode, WireObjective, WirePolicy, WirePolicyError,
+    WirePolicyRequest, WirePolicyResponse, MAX_WIRE_NODES,
 };
 
 /// One policy request: "tell these `n` nodes how to behave".
@@ -48,6 +48,11 @@ pub struct PolicyResponse {
     pub throughput: f64,
     /// Which cache tier answered.
     pub tier: ServedTier,
+    /// Which solve kernel produced the underlying policy — stable
+    /// across cache hits (an exact-tier hit reports the kernel that
+    /// originally filled the entry), so large-N cache behaviour is
+    /// observable per kernel.
+    pub kernel: PolicyKernel,
     /// Whether the producing solve met its tolerance (true for the
     /// grid/closed-form tiers, whose scalar dual is solved exactly).
     pub converged: bool,
@@ -203,6 +208,7 @@ impl PolicyResponse {
         WirePolicyResponse {
             id,
             tier: self.tier,
+            kernel: self.kernel,
             converged: self.converged,
             throughput: self.throughput,
             cert_t_sigma: self.certificate.t_sigma,

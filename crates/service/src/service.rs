@@ -36,8 +36,10 @@ use crate::request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
 use crate::stats::ServiceStats;
 use econcast_core::NodeParams;
 use econcast_oracle::{certificate_for, certificate_for_homogeneous};
-use econcast_proto::service::ServedTier;
-use econcast_statespace::{CanonicalInstance, HomogeneousP4, P4Options, SolverPool};
+use econcast_proto::service::{PolicyKernel, ServedTier};
+use econcast_statespace::{
+    CanonicalInstance, HomogeneousP4, KernelSelect, P4Options, SolverPool, SummaryKernel,
+};
 use std::collections::HashMap;
 
 /// Tuning knobs for a [`PolicyService`].
@@ -49,9 +51,21 @@ pub struct ServiceConfig {
     /// `econcast_parallel::effective_threads`. Results are
     /// bit-identical either way.
     pub workers: Option<usize>,
-    /// Largest heterogeneous instance the exact enumeration solver
-    /// accepts (the state table is `(n + 2)·2^{n−1}` entries).
+    /// Largest heterogeneous *groupput* instance the exact solver
+    /// accepts. Since the factorized kernel replaced enumeration on
+    /// this path the ceiling is a latency budget, not a memory wall:
+    /// a groupput solve is O(N) per dual iteration, so the default
+    /// comfortably serves N ∈ {24, 32, 64, 256} where the old `2^N`
+    /// tables stopped at 16.
     pub max_exact_nodes: usize,
+    /// Largest heterogeneous *anyput* instance the exact solver
+    /// accepts (the effective anyput ceiling is the `min` with
+    /// [`max_exact_nodes`](Self::max_exact_nodes)). Anyput's
+    /// factorized evaluation is O(N²) per dual iteration, so a
+    /// worst-case cold solve at the groupput ceiling could pin a
+    /// worker for tens of seconds; the default stays at the largest
+    /// size the end-to-end tests pin.
+    pub max_anyput_nodes: usize,
     /// Grid tier configuration; `None` disables the tier.
     pub grid: Option<GridConfig>,
     /// Whether the first homogeneous in-range request of a family
@@ -68,7 +82,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             lru_capacity: 1024,
             workers: None,
-            max_exact_nodes: 16,
+            max_exact_nodes: 256,
+            max_anyput_nodes: 64,
             grid: Some(GridConfig::default()),
             lazy_grid_builds: true,
         }
@@ -120,6 +135,11 @@ impl SolveJob {
                     beta: sol.beta,
                     throughput: sol.throughput,
                     converged: sol.converged,
+                    kernel: match sol.kernel {
+                        SummaryKernel::GrayCode => PolicyKernel::GrayCode,
+                        SummaryKernel::Factorized => PolicyKernel::Factorized,
+                        SummaryKernel::Homogeneous => PolicyKernel::ClosedForm,
+                    },
                     certificate,
                 }
             }
@@ -134,6 +154,7 @@ impl SolveJob {
                     beta: vec![sol.beta; n],
                     throughput: sol.throughput,
                     converged: true,
+                    kernel: PolicyKernel::ClosedForm,
                     certificate,
                 }
             }
@@ -165,6 +186,8 @@ struct Counters {
     requests: u64,
     batches: u64,
     exact_hits: u64,
+    exact_hits_closed_form: u64,
+    exact_hits_factorized: u64,
     grid_hits: u64,
     closed_form_hits: u64,
     solver_solves: u64,
@@ -199,6 +222,8 @@ impl PolicyService {
             requests: self.stats.requests,
             batches: self.stats.batches,
             exact_hits: self.stats.exact_hits,
+            exact_hits_closed_form: self.stats.exact_hits_closed_form,
+            exact_hits_factorized: self.stats.exact_hits_factorized,
             grid_hits: self.stats.grid_hits,
             closed_form_hits: self.stats.closed_form_hits,
             solver_solves: self.stats.solver_solves,
@@ -403,9 +428,17 @@ impl PolicyService {
         jobs: &mut Vec<SolveJob>,
         pending: &mut HashMap<econcast_statespace::InstanceKey, usize>,
     ) -> Plan {
-        // Tier 1: exact-match LRU.
+        // Tier 1: exact-match LRU. The hit counter splits by the
+        // kernel that originally produced the entry, so the exact
+        // tier's behaviour at large N (factorized-solved entries) is
+        // observable apart from the closed-form traffic.
         if let Some(hit) = self.lru.get(&canon.key) {
             self.stats.exact_hits += 1;
+            match hit.kernel {
+                PolicyKernel::ClosedForm => self.stats.exact_hits_closed_form += 1,
+                PolicyKernel::Factorized => self.stats.exact_hits_factorized += 1,
+                PolicyKernel::GrayCode | PolicyKernel::Grid => {}
+            }
             let resp = respond(&canon, hit, ServedTier::Exact);
             return Plan::Done(Ok(resp));
         }
@@ -461,13 +494,20 @@ impl PolicyService {
             }
         }
 
-        // Heterogeneous instances beyond the enumeration ceiling have
-        // no tier left.
-        if !canon.homogeneous && canon.sorted_budgets.len() > self.cfg.max_exact_nodes {
+        // Heterogeneous instances beyond the solver's latency ceiling
+        // have no tier left. The ceiling is mode-aware: anyput's
+        // per-iteration cost is O(N²), so it caps lower than groupput.
+        let ceiling = match req.objective {
+            econcast_core::ThroughputMode::Groupput => self.cfg.max_exact_nodes,
+            econcast_core::ThroughputMode::Anyput => {
+                self.cfg.max_exact_nodes.min(self.cfg.max_anyput_nodes)
+            }
+        };
+        if !canon.homogeneous && canon.sorted_budgets.len() > ceiling {
             self.stats.errors += 1;
             return Plan::Done(Err(ServiceError::TooLarge {
                 n: canon.sorted_budgets.len(),
-                max: self.cfg.max_exact_nodes,
+                max: ceiling,
             }));
         }
 
@@ -483,6 +523,10 @@ impl PolicyService {
                 max_iters: 30_000,
                 tol: canon.tolerance_tier,
                 step0: 2.0,
+                // Heterogeneous by construction here; Auto resolves to
+                // the factorized kernel (groupput, and anyput beyond
+                // the small-N Gray-code regime) deterministically.
+                kernel: KernelSelect::Auto,
             })
         };
         let nodes: Vec<NodeParams> = canon
@@ -515,6 +559,7 @@ fn respond(canon: &CanonicalInstance, policy: &CachedPolicy, tier: ServedTier) -
         policies: canon.restore_order(&canonical),
         throughput: policy.throughput,
         tier,
+        kernel: policy.kernel,
         converged: policy.converged,
         certificate: policy.certificate,
     }
@@ -688,11 +733,26 @@ mod tests {
 
     #[test]
     fn oversize_heterogeneous_is_rejected() {
+        // The default ceiling is a latency budget now (256, not the
+        // old 2^N wall at 16) — requests beyond it still get a typed
+        // error, not a panic.
         let mut svc = service();
-        let budgets: Vec<f64> = (0..40).map(|i| 1e-6 * (i + 1) as f64).collect();
+        let budgets: Vec<f64> = (0..300).map(|i| 1e-6 * (i + 1) as f64).collect();
         let err = svc.serve(&het_request(&budgets, 1e-2)).unwrap_err();
-        assert_eq!(err, ServiceError::TooLarge { n: 40, max: 16 });
+        assert_eq!(err, ServiceError::TooLarge { n: 300, max: 256 });
         assert_eq!(svc.stats().errors, 1);
+        // Anyput caps lower: its factorized evaluation is O(N²) per
+        // dual iteration, so the mode-aware ceiling rejects sizes the
+        // groupput path would accept.
+        let anyput_100 = PolicyRequest {
+            objective: Anyput,
+            ..het_request(
+                &(0..100).map(|i| 1e-6 * (i + 1) as f64).collect::<Vec<_>>(),
+                1e-2,
+            )
+        };
+        let err = svc.serve(&anyput_100).unwrap_err();
+        assert_eq!(err, ServiceError::TooLarge { n: 100, max: 64 });
     }
 
     #[test]

@@ -34,6 +34,19 @@ pub struct ServiceStats {
     pub lru_evictions: u64,
     /// Entries currently resident in the LRU.
     pub lru_len: u64,
+    /// Exact-tier hits whose entry was produced by the homogeneous
+    /// closed form — with [`exact_hits_factorized`](Self::exact_hits_factorized)
+    /// this attributes the two kernels that matter at large N, so
+    /// cache behaviour there (where the factorized solver feeds the
+    /// LRU) is observable separately from the closed-form traffic.
+    /// Hits on Gray-code- or grid-produced entries land in neither
+    /// counter (the sum is ≤ `exact_hits`, not a partition of it);
+    /// per-response attribution for *every* kernel rides the
+    /// `kernel` tag on `PolicyResponse`.
+    pub exact_hits_closed_form: u64,
+    /// Exact-tier hits whose entry was produced by the factorized
+    /// large-N solver.
+    pub exact_hits_factorized: u64,
 }
 
 impl ServiceStats {
@@ -70,6 +83,8 @@ impl ServiceStats {
         self.lru_inserts += other.lru_inserts;
         self.lru_evictions += other.lru_evictions;
         self.lru_len += other.lru_len;
+        self.exact_hits_closed_form += other.exact_hits_closed_form;
+        self.exact_hits_factorized += other.exact_hits_factorized;
     }
 
     /// The wire form of this snapshot (for `StatsResponse` messages).
@@ -88,6 +103,8 @@ impl ServiceStats {
             lru_inserts: self.lru_inserts,
             lru_evictions: self.lru_evictions,
             lru_len: self.lru_len,
+            exact_hits_closed_form: self.exact_hits_closed_form,
+            exact_hits_factorized: self.exact_hits_factorized,
         }
     }
 
@@ -107,6 +124,8 @@ impl ServiceStats {
             lru_inserts: w.lru_inserts,
             lru_evictions: w.lru_evictions,
             lru_len: w.lru_len,
+            exact_hits_closed_form: w.exact_hits_closed_form,
+            exact_hits_factorized: w.exact_hits_factorized,
         }
     }
 }
@@ -129,6 +148,8 @@ mod tests {
         assert_eq!(s.requests, 1);
         assert_eq!(s.grid_prewarms, 10);
         assert_eq!(s.lru_len, 13);
+        assert_eq!(s.exact_hits_closed_form, 14);
+        assert_eq!(s.exact_hits_factorized, 15);
     }
 
     #[test]

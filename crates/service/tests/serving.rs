@@ -101,7 +101,11 @@ proptest! {
         sorted.sort_by(f64::total_cmp);
         let nodes: Vec<NodeParams> =
             sorted.iter().map(|&r| NodeParams::new(r, L, X)).collect();
-        let opts = P4Options { max_iters: 30_000, tol: quantize_tolerance(1e-3), step0: 2.0 };
+        let opts = P4Options {
+            max_iters: 30_000,
+            tol: quantize_tolerance(1e-3),
+            ..P4Options::default()
+        };
         let fresh = solve_p4(&nodes, sigma, mode, opts);
 
         for (i, &rho) in budgets.iter().enumerate() {
@@ -153,4 +157,93 @@ proptest! {
         }
         prop_assert_eq!(first.throughput.to_bits(), second.throughput.to_bits());
     }
+}
+
+/// The lifted instance-size ceiling: heterogeneous requests at
+/// N ∈ {24, 32, 64} — far beyond the old 2^N enumeration wall — are
+/// served by the factorized kernel, cached, and replayed from the
+/// exact tier with the split hit counter attributing each hit to the
+/// kernel that produced the entry.
+#[test]
+fn large_n_requests_serve_and_cache_via_the_factorized_kernel() {
+    use econcast_service::PolicyKernel;
+
+    let mut svc = service();
+    let mut expected_factorized_hits = 0;
+    for (n, mode) in [
+        (24usize, ThroughputMode::Groupput),
+        (32, ThroughputMode::Anyput),
+        (64, ThroughputMode::Groupput),
+    ] {
+        let req = PolicyRequest {
+            budgets_w: (0..n).map(|i| (2.0 + 1.5 * i as f64) * 1e-6).collect(),
+            listen_w: L,
+            transmit_w: X,
+            sigma: 0.5,
+            objective: mode,
+            tolerance: 1e-2,
+        };
+        let cold = svc.serve(&req).unwrap();
+        assert_eq!(cold.tier, ServedTier::Solver, "N={n} cold tier");
+        assert_eq!(cold.kernel, PolicyKernel::Factorized, "N={n} kernel");
+        assert!(cold.converged, "N={n} did not converge");
+        assert_eq!(cold.policies.len(), n);
+        for p in &cold.policies {
+            assert!(p.listen >= 0.0 && p.listen <= 1.0);
+            assert!(p.transmit >= 0.0 && p.transmit <= 1.0);
+        }
+        // Certificate sandwich holds at sizes enumeration cannot reach.
+        let c = &cold.certificate;
+        assert!(c.t_sigma <= c.oracle * (1.0 + 1e-9), "N={n} sandwich");
+        assert!(c.oracle <= c.dual_upper * (1.0 + 1e-9), "N={n} sandwich");
+
+        let warm = svc.serve(&req).unwrap();
+        expected_factorized_hits += 1;
+        assert_eq!(warm.tier, ServedTier::Exact, "N={n} warm tier");
+        assert_eq!(
+            warm.kernel,
+            PolicyKernel::Factorized,
+            "N={n}: exact-tier hits must keep the producing kernel"
+        );
+        for (a, b) in cold.policies.iter().zip(&warm.policies) {
+            assert_eq!(a.listen.to_bits(), b.listen.to_bits());
+            assert_eq!(a.transmit.to_bits(), b.transmit.to_bits());
+        }
+        assert_eq!(
+            svc.stats().exact_hits_factorized,
+            expected_factorized_hits,
+            "N={n}: factorized exact hits"
+        );
+        assert_eq!(svc.stats().exact_hits_closed_form, 0);
+    }
+
+    // A homogeneous replay lands in the same kind of LRU but
+    // attributes to the closed form — the two counters split
+    // `exact_hits` by producing kernel. (Grid disabled so the request
+    // reaches the closed-form tier, whose entries do get cached.)
+    let mut svc2 = PolicyService::new(ServiceConfig {
+        workers: Some(1),
+        grid: None,
+        ..ServiceConfig::default()
+    });
+    let homog = PolicyRequest::homogeneous(
+        32,
+        NodeParams::new(10e-6, L, X),
+        0.5,
+        ThroughputMode::Groupput,
+        1e-2,
+    );
+    let first = svc2.serve(&homog).unwrap();
+    assert_eq!(first.tier, ServedTier::ClosedForm);
+    assert_eq!(first.kernel, PolicyKernel::ClosedForm);
+    let replay = svc2.serve(&homog).unwrap();
+    assert_eq!(replay.tier, ServedTier::Exact);
+    assert_eq!(replay.kernel, PolicyKernel::ClosedForm);
+    assert_eq!(svc2.stats().exact_hits_closed_form, 1);
+    assert_eq!(svc2.stats().exact_hits_factorized, 0);
+
+    let s = svc.stats();
+    assert_eq!(s.exact_hits_factorized, expected_factorized_hits);
+    assert_eq!(s.exact_hits_closed_form, 0);
+    assert!(s.exact_hits_closed_form + s.exact_hits_factorized <= s.exact_hits);
 }

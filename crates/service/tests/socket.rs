@@ -254,3 +254,52 @@ fn garbage_length_prefix_is_fatal_not_a_hang() {
     assert_eq!(n, 0);
     handle.shutdown();
 }
+
+#[test]
+fn large_n_requests_round_trip_the_sharded_tcp_path() {
+    // The lifted ceiling reaches the wire: heterogeneous N ∈ {32, 64}
+    // requests — beyond any enumeration table — round-trip the sharded
+    // TCP front-end bit-identical to the in-process service, and the
+    // wire response carries the factorized-kernel tag.
+    use econcast_proto::service::PolicyKernel;
+
+    let batch: Vec<PolicyRequest> = [32usize, 64]
+        .iter()
+        .flat_map(|&n| {
+            [ThroughputMode::Groupput, ThroughputMode::Anyput]
+                .into_iter()
+                .map(move |mode| PolicyRequest {
+                    budgets_w: (0..n).map(|i| (2.0 + 1.5 * i as f64) * 1e-6).collect(),
+                    listen_w: 500e-6,
+                    transmit_w: 450e-6,
+                    sigma: 0.5,
+                    objective: mode,
+                    tolerance: 1e-2,
+                })
+        })
+        .collect();
+
+    let mut single = PolicyService::new(ServiceConfig {
+        workers: Some(1),
+        ..ServiceConfig::default()
+    });
+    let expected = single.serve_batch(&batch);
+
+    let handle = PolicyServer::bind("127.0.0.1:0", server(2))
+        .expect("bind")
+        .spawn();
+    let mut client = PolicyClient::connect(handle.addr(), batch.len() as u16).expect("connect");
+    let got = client.serve_batch(&batch).expect("clean round trip");
+
+    for (i, (wire, exp)) in got.iter().zip(&expected).enumerate() {
+        let (wire, exp) = (wire.as_ref().unwrap(), exp.as_ref().unwrap());
+        assert_eq!(wire.kernel, PolicyKernel::Factorized, "request {i}");
+        assert_eq!(wire.policies.len(), exp.policies.len(), "request {i}");
+        for (wp, np) in wire.policies.iter().zip(&exp.policies) {
+            assert_eq!(wp.listen.to_bits(), np.listen.to_bits(), "request {i}");
+            assert_eq!(wp.transmit.to_bits(), np.transmit.to_bits(), "request {i}");
+        }
+        assert_eq!(wire.throughput.to_bits(), exp.throughput.to_bits());
+    }
+    handle.shutdown();
+}

@@ -629,25 +629,20 @@ pub fn summarize_naive(params: &GibbsParams<'_>) -> GibbsSummary {
 
 /// The full probability vector aligned with [`StateSpace::iter`] order.
 /// Only sensible for small `n`; used by tests and the detailed-balance
-/// checks. Built on the analytic maximum of [`StateTable`], so a
-/// single pass suffices.
+/// checks. The normalizer comes from the factorized kernel's exact
+/// `log Z_η` (O(N) for groupput, O(N²) for anyput), so each state's
+/// probability is emitted fully normalized in a single enumeration
+/// pass — no accumulate-then-divide second sweep.
 pub fn distribution(params: &GibbsParams<'_>) -> Vec<(NetworkState, f64)> {
     params.check();
     let space = StateSpace::new(params.nodes.len());
-    let max_lw = StateTable::new(params.nodes.len()).max_log_weight(params);
-    let mut z = 0.0;
-    let mut out: Vec<(NetworkState, f64)> = space
+    let mut ws = crate::factorized::FactorizedWorkspace::new(params.nodes.len());
+    ws.compute(params);
+    let log_z = ws.log_partition();
+    space
         .iter()
-        .map(|w| {
-            let u = (params.log_weight(&w) - max_lw).exp();
-            z += u;
-            (w, u)
-        })
-        .collect();
-    for (_, u) in &mut out {
-        *u /= z;
-    }
-    out
+        .map(|w| (w, (params.log_weight(&w) - log_z).exp()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -312,7 +312,17 @@ mod tests {
         let n = 5;
         let sol_fast = HomogeneousP4::new(n, params(), 0.5, Groupput).solve();
         let nodes = vec![params(); n];
-        let sol_grad = solve_p4(&nodes, 0.5, Groupput, P4Options::default());
+        // Pin the Gray-code descent: Auto would dispatch homogeneous
+        // instances right back to the bisection under test.
+        let sol_grad = solve_p4(
+            &nodes,
+            0.5,
+            Groupput,
+            P4Options {
+                kernel: crate::p4::KernelSelect::GrayCode,
+                ..P4Options::default()
+            },
+        );
         let rel = (sol_fast.throughput - sol_grad.throughput).abs() / sol_fast.throughput;
         assert!(
             rel < 5e-3,

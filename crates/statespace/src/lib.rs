@@ -16,9 +16,17 @@
 //!   exact, with a Gray-code streaming kernel ([`SummaryWorkspace`])
 //!   that evaluates all marginals in one allocation-free pass and fans
 //!   per-transmitter blocks out over a deterministic thread pool;
+//! * [`factorized`] — the polynomial-time summarization kernel
+//!   ([`FactorizedWorkspace`]): per-block weights are products over
+//!   listeners, so every summary aggregate collapses to per-node
+//!   sigmoid/softplus sums — O(N) per groupput evaluation, O(N²) for
+//!   anyput — serving `N ≫ 16` where enumeration is hopeless;
 //! * [`p4`] — the achievable-throughput solver: Algorithm 1's dual
 //!   gradient descent on the Lagrange multipliers `η`, yielding the
-//!   `T^σ` that every figure in Section VII normalizes against;
+//!   `T^σ` that every figure in Section VII normalizes against, with a
+//!   kernel-dispatch layer ([`KernelSelect`]) that auto-selects the
+//!   factorized, Gray-code, or homogeneous closed-form kernel by node
+//!   count, throughput mode, and heterogeneity;
 //! * [`instance`] — canonical instance keys (sorted budgets +
 //!   permutation, decade-quantized tolerance tiers) for the policy
 //!   cache in `econcast-service`;
@@ -27,6 +35,7 @@
 //!   present)`, supporting thousands of nodes where enumeration would
 //!   be hopeless, and cross-checked against enumeration in tests.
 
+pub mod factorized;
 pub mod gibbs;
 pub mod homogeneous;
 pub mod instance;
@@ -34,9 +43,10 @@ pub mod p4;
 pub mod space;
 pub mod state;
 
+pub use factorized::{summarize_factorized, FactorizedWorkspace};
 pub use gibbs::{summarize, GibbsParams, GibbsSummary, StateTable, SummaryWorkspace};
 pub use homogeneous::{HomogeneousGibbs, HomogeneousP4};
 pub use instance::{fnv1a_64, quantize_tolerance, CanonicalInstance, InstanceKey};
-pub use p4::{solve_p4, P4Options, P4Solution, P4Solver, SolverPool};
+pub use p4::{solve_p4, KernelSelect, P4Options, P4Solution, P4Solver, SolverPool, SummaryKernel};
 pub use space::StateSpace;
 pub use state::NetworkState;

@@ -170,7 +170,9 @@ fn wire_server_answers_bad_requests_with_error_messages() {
     use econcast::proto::service::{ServiceErrorCode, WireObjective, WirePolicyRequest};
 
     let mut wire = BytesMut::new();
-    // An invalid sigma and an oversized heterogeneous instance.
+    // An invalid sigma and an oversized heterogeneous instance
+    // (beyond the default 256-node ceiling — a latency budget since
+    // the factorized kernel replaced enumeration, but still enforced).
     ServiceCodec::encode(
         &ServiceMessage::Request(WirePolicyRequest {
             id: 1,
@@ -191,7 +193,7 @@ fn wire_server_answers_bad_requests_with_error_messages() {
             tolerance: 1e-2,
             listen_w: L,
             transmit_w: X,
-            budgets_w: (1..=30).map(|i| i as f64 * 1e-6).collect(),
+            budgets_w: (1..=300).map(|i| i as f64 * 1e-6).collect(),
         }),
         &mut wire,
     );
