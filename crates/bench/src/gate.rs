@@ -541,6 +541,7 @@ mod tests {
                 cold_rps: 5.0,
                 warm_rps: 50.0,
                 socket_rps: Some(25.0),
+                cluster_rps: Some(12.5),
             }],
             threads: 3,
             quick: true,
@@ -552,6 +553,7 @@ mod tests {
         assert!(doc.quick);
         assert_eq!(doc.entries["k"], 10.0);
         assert_eq!(doc.service[&(1, "socket_rps".into())], 25.0);
+        assert_eq!(doc.service[&(1, "cluster_rps".into())], 12.5);
         assert_eq!(doc.quick_sensitive.as_deref(), Some(&["k".to_string()][..]));
     }
 

@@ -16,6 +16,7 @@
 //! `p4_n12_speedup_vs_naive` figure.
 
 use crate::timing::{format_seconds, measure, Measurement};
+use econcast_cluster::{ClusterConfig, ClusterFront, ClusterRouter, FrontConfig, SlotSpec};
 use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
 use econcast_service::{
     GridConfig, PolicyClient, PolicyRequest, PolicyServer, PolicyService, RouterConfig,
@@ -398,10 +399,64 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
             addr
         })
     };
+    // Same story for the in-process cluster: two single-shard backend
+    // `PolicyServer`s on loopback behind a `ClusterFront`, so the
+    // cluster entries measure the full distribution path — client
+    // framing + front TCP + router fan-out + dialer TCP + backend
+    // serving — without child-process management inside a benchmark.
+    let cluster_needed = SERVICE_BATCH_SIZES
+        .iter()
+        .any(|&s| keep(&service_entry_name("cluster", s)));
+    let cluster_addr = if !cluster_needed {
+        Err(std::io::Error::other("no cluster entries requested"))
+    } else {
+        (|| {
+            let mut slots = Vec::new();
+            for _ in 0..2 {
+                let srv = PolicyServer::bind(
+                    "127.0.0.1:0",
+                    ServerConfig {
+                        router: RouterConfig {
+                            shards: 1,
+                            service: ServiceConfig {
+                                lru_capacity: 4096,
+                                ..ServiceConfig::default()
+                            },
+                            ..RouterConfig::default()
+                        },
+                        background_prewarm: false,
+                        ..ServerConfig::default()
+                    },
+                )?;
+                let handle = srv.spawn();
+                slots.push(SlotSpec::Remote(handle.addr()));
+                std::mem::forget(handle); // keep serving until process exit
+            }
+            let front = ClusterFront::bind(
+                "127.0.0.1:0",
+                ClusterRouter::new(
+                    &slots,
+                    ClusterConfig {
+                        service: ServiceConfig {
+                            lru_capacity: 4096,
+                            ..ServiceConfig::default()
+                        },
+                        ..ClusterConfig::default()
+                    },
+                ),
+                FrontConfig::default(),
+            )?;
+            let handle = front.spawn();
+            let addr = handle.addr();
+            std::mem::forget(handle);
+            Ok(addr)
+        })()
+    };
     for size in SERVICE_BATCH_SIZES {
         if !keep(&service_entry_name("cold", size))
             && !keep(&service_entry_name("warm", size))
             && !keep(&service_entry_name("socket", size))
+            && !keep(&service_entry_name("cluster", size))
         {
             continue;
         }
@@ -432,6 +487,29 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
                 }),
                 quick_sensitive: false,
             });
+        }
+        if keep(&service_entry_name("cluster", size)) {
+            if let Ok(addr) = &cluster_addr {
+                // Warm cluster round-trip: client framing + front TCP
+                // + ring routing + dialer fan-out + backend caches.
+                let addr = *addr;
+                let batch = batch.clone();
+                let mut client: Option<PolicyClient> = None;
+                entries.push(Entry {
+                    name: service_entry_name("cluster", size),
+                    workload: Box::new(move || {
+                        let client = client.get_or_insert_with(|| {
+                            let mut c =
+                                PolicyClient::connect(addr, size.min(u16::MAX as usize) as u16)
+                                    .expect("loopback cluster connect");
+                            c.serve_batch(&batch).expect("warming batch");
+                            c
+                        });
+                        black_box(client.serve_batch(&batch).expect("cluster round trip"));
+                    }),
+                    quick_sensitive: false,
+                });
+            }
         }
         if !keep(&service_entry_name("socket", size)) {
             continue;
@@ -491,6 +569,11 @@ pub struct ServiceThroughput {
     /// state (framing + loopback + routing on top of warm serving);
     /// `None` when the loopback server could not bind.
     pub socket_rps: Option<f64>,
+    /// Requests/sec through the 2-backend cluster front-end at cache
+    /// steady state (client framing + front TCP + ring routing +
+    /// dialer TCP + backend serving — two network hops per request);
+    /// `None` when the loopback cluster could not bind.
+    pub cluster_rps: Option<f64>,
 }
 
 /// Result of one full suite run.
@@ -557,22 +640,25 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
             let cold = mean_of(&service_entry_name("cold", batch))?;
             let warm = mean_of(&service_entry_name("warm", batch))?;
             let socket = mean_of(&service_entry_name("socket", batch));
+            let cluster = mean_of(&service_entry_name("cluster", batch));
             Some(ServiceThroughput {
                 batch,
                 cold_rps: batch as f64 / cold,
                 warm_rps: batch as f64 / warm,
                 socket_rps: socket.map(|s| batch as f64 / s),
+                cluster_rps: cluster.map(|s| batch as f64 / s),
             })
         })
         .collect();
     for s in &service {
         println!(
             "policy service @ batch {:>3}: {:>10.0} req/s cold, {:>12.0} req/s warm, \
-             {:>10.0} req/s socket",
+             {:>10.0} req/s socket, {:>10.0} req/s cluster",
             s.batch,
             s.cold_rps,
             s.warm_rps,
-            s.socket_rps.unwrap_or(f64::NAN)
+            s.socket_rps.unwrap_or(f64::NAN),
+            s.cluster_rps.unwrap_or(f64::NAN)
         );
     }
     SuiteReport {
@@ -646,16 +732,18 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
     s.push_str("  ],\n");
     s.push_str("  \"service\": [\n");
     for (i, t) in report.service.iter().enumerate() {
-        let socket = match t.socket_rps {
+        let opt = |v: Option<f64>| match v {
             Some(v) => format!("{v:.3}"),
             None => "null".to_string(),
         };
         s.push_str(&format!(
             "    {{\"batch\": {}, \"cold_rps\": {:.3}, \"warm_rps\": {:.3}, \
-             \"socket_rps\": {socket}}}{}\n",
+             \"socket_rps\": {}, \"cluster_rps\": {}}}{}\n",
             t.batch,
             t.cold_rps,
             t.warm_rps,
+            opt(t.socket_rps),
+            opt(t.cluster_rps),
             if i + 1 < report.service.len() {
                 ","
             } else {
@@ -738,6 +826,7 @@ mod tests {
                 cold_rps: 1234.5,
                 warm_rps: 99999.0,
                 socket_rps: Some(4321.0),
+                cluster_rps: Some(2100.5),
             }],
             threads: 4,
             quick: true,
@@ -751,6 +840,7 @@ mod tests {
         assert!(j.contains("\"batch\": 32"));
         assert!(j.contains("\"cold_rps\": 1234.500"));
         assert!(j.contains("\"socket_rps\": 4321.000"));
+        assert!(j.contains("\"cluster_rps\": 2100.500"));
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

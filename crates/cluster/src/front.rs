@@ -1,0 +1,264 @@
+//! The cluster's TCP front-end: one address, many backend processes.
+//!
+//! [`ClusterFront`] is protocol-compatible with
+//! `econcast_service::PolicyServer` — `PolicyClient` connects to it
+//! unchanged and cannot tell a cluster from a single process. It
+//! speaks the same length-prefixed `ServiceCodec` family:
+//!
+//! * `Hello` → `Welcome` (the advertised shard count is the cluster's
+//!   **slot** count);
+//! * pipelined `Request`s are served as routed batches through the
+//!   [`ClusterRouter`] (remote fan-out, local failover);
+//! * `StatsRequest(shard = i)` answers with slot `i`'s serving
+//!   counters (a remote slot is asked over the wire, via a fresh
+//!   short-timeout dial made *outside* the router lock — the control
+//!   plane never blocks the data plane);
+//!   `shard = 0xFFFF` answers with the cluster-wide fan-in — backend
+//!   aggregates + local slots + the fallback solver;
+//! * `Ping` → `Pong` (liveness, untouched by routing);
+//! * decode errors drop the connection without a reply, exactly like
+//!   the single-process server.
+//!
+//! Protocol compatibility is by construction, not by convention: both
+//! front-ends run the *same* connection loop
+//! (`econcast_service::serve_connection`), differing only in the
+//! [`ServeTarget`] behind it — a `ShardRouter` there, the
+//! mutex-guarded [`ClusterRouter`] here. Connections are handled
+//! thread-per-connection behind a bounded accept gate; batches
+//! serialize through the router's mutex (the router owns the dialer
+//! pool — remote fan-out inside a batch is still concurrent).
+
+use crate::router::{ClusterRouter, StatsSource};
+use econcast_proto::service::STATS_SHARD_AGGREGATE;
+use econcast_service::{
+    serve_connection, PolicyClient, PolicyRequest, PolicyResponse, ServeTarget, ServiceError,
+    ServiceStats,
+};
+
+/// Timeout for the fresh per-request dials a stats fan-in makes.
+/// Deliberately short: stats are advisory, and the fan-in runs with
+/// the router unlocked but a client waiting.
+const STATS_DIAL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The cluster router as a connection-loop target: every protocol
+/// interaction locks the mutex for exactly one router operation.
+/// (A newtype, not `impl ServeTarget for Mutex<ClusterRouter>` — the
+/// orphan rule forbids covering a local type with a foreign one.)
+struct FrontTarget(Arc<Mutex<ClusterRouter>>);
+
+impl FrontTarget {
+    fn router(&self) -> std::sync::MutexGuard<'_, ClusterRouter> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl ServeTarget for FrontTarget {
+    fn shard_count(&self) -> usize {
+        self.router().num_slots()
+    }
+
+    fn serve(&self, reqs: &[PolicyRequest]) -> Vec<Result<PolicyResponse, ServiceError>> {
+        self.router().serve_batch(reqs)
+    }
+
+    /// Stats fan-in without blocking the data plane: the router lock
+    /// is held only for a network-free snapshot; the per-backend
+    /// round-trips (fresh short-timeout dials) happen unlocked, so a
+    /// monitoring poll against a slow or unreachable backend cannot
+    /// freeze request serving behind the mutex.
+    fn stats(&self, shard: u16) -> Option<ServiceStats> {
+        let (sources, fallback) = self.router().stats_sources();
+        let fetch = |source: &StatsSource| match source {
+            StatsSource::Local(stats) => Some(*stats),
+            StatsSource::Remote { addr, attempt } => {
+                if !attempt {
+                    return None;
+                }
+                PolicyClient::connect_with_timeout(*addr, 1, STATS_DIAL_TIMEOUT)
+                    .ok()?
+                    .stats(None)
+                    .ok()
+            }
+        };
+        if shard == STATS_SHARD_AGGREGATE {
+            // The fan-in is what the cluster can *see*: down or
+            // unreachable backends contribute nothing (their counters
+            // died with them anyway).
+            let mut total = fallback;
+            for source in &sources {
+                if let Some(stats) = fetch(source) {
+                    total.merge(&stats);
+                }
+            }
+            Some(total)
+        } else {
+            // `None` (unknown slot or unreachable backend) becomes a
+            // typed refusal in the connection loop.
+            fetch(sources.get(usize::from(shard))?)
+        }
+    }
+}
+
+/// Tuning knobs for a [`ClusterFront`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontConfig {
+    /// Maximum concurrently served connections; excess clients are
+    /// refused (connection closed immediately).
+    pub max_connections: usize,
+    /// Largest request batch served as one routed unit; longer
+    /// pipelines are split. Advertised in the `Welcome` handshake.
+    pub max_batch: usize,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        FrontConfig {
+            max_connections: 64,
+            max_batch: 1024,
+        }
+    }
+}
+
+/// A bound, not-yet-serving cluster front-end.
+#[derive(Debug)]
+pub struct ClusterFront {
+    listener: TcpListener,
+    router: Arc<Mutex<ClusterRouter>>,
+    cfg: FrontConfig,
+}
+
+impl ClusterFront {
+    /// Binds the listener in front of a router. Use port 0 for an
+    /// ephemeral port.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: ClusterRouter,
+        cfg: FrontConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(ClusterFront {
+            listener,
+            router: Arc::new(Mutex::new(router)),
+            cfg,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// The shared router (cluster stats, re-targeting).
+    pub fn router(&self) -> &Arc<Mutex<ClusterRouter>> {
+        &self.router
+    }
+
+    /// Starts the acceptor and returns a handle that stops it on
+    /// [`FrontHandle::shutdown`] or drop. Live connections keep
+    /// serving until their clients disconnect.
+    pub fn spawn(self) -> FrontHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let router = Arc::clone(&self.router);
+        let max_batch = self.cfg.max_batch.max(1);
+        let max_connections = self.cfg.max_connections.max(1);
+
+        let acceptor = {
+            let (stop, router, active) =
+                (Arc::clone(&stop), Arc::clone(&router), Arc::clone(&active));
+            std::thread::spawn(move || loop {
+                let stream = match self.listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Over the pool bound: refuse outright rather than
+                // park — the router mutex serializes batches anyway,
+                // so queueing refused clients buys nothing.
+                if active.fetch_add(1, Ordering::SeqCst) >= max_connections {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let (router, active) = (Arc::clone(&router), Arc::clone(&active));
+                std::thread::spawn(move || {
+                    struct Guard(Arc<AtomicUsize>);
+                    impl Drop for Guard {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    let _guard = Guard(active);
+                    serve_connection(stream, &FrontTarget(router), max_batch);
+                });
+            })
+        };
+
+        FrontHandle {
+            addr,
+            router,
+            stop,
+            acceptor: Some(acceptor),
+        }
+    }
+}
+
+/// Running front-end handle; shuts the acceptor down when dropped.
+#[derive(Debug)]
+pub struct FrontHandle {
+    addr: SocketAddr,
+    router: Arc<Mutex<ClusterRouter>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl FrontHandle {
+    /// The served address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared router (cluster stats, re-targeting).
+    pub fn router(&self) -> &Arc<Mutex<ClusterRouter>> {
+        &self.router
+    }
+
+    /// Stops accepting and joins the acceptor. Live connections keep
+    /// serving until their clients disconnect.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of accept() with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FrontHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}

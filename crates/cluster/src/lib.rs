@@ -1,0 +1,56 @@
+//! # econcast-cluster — multi-process deployment of the policy service
+//!
+//! The serving stack so far scales *within* one process: `PolicyServer`
+//! consistent-hashes canonical instance keys across in-process
+//! `PolicyService` shards. This crate adds the layer the wire
+//! handshake was designed for: the same ring, but the slots are
+//! **backend processes**.
+//!
+//! ```text
+//!                        ┌────────────────────────────┐
+//!   PolicyClient ──TCP──▶│ ClusterFront               │
+//!                        │  └─ ClusterRouter          │
+//!                        │      ├─ RemoteShard ──TCP──┼──▶ policy_backend (proc 1)
+//!                        │      ├─ RemoteShard ──TCP──┼──▶ policy_backend (proc 2)
+//!                        │      ├─ (Local slot)       │      ▲
+//!                        │      └─ fallback solver    │      │ spawn/kill/respawn
+//!                        └────────────────────────────┘   Supervisor
+//! ```
+//!
+//! * [`RemoteShard`] — a pooled, reconnecting dialer over
+//!   `PolicyClient` with bounded retry/backoff and a per-backend
+//!   health machine (down after `unhealthy_after` consecutive
+//!   failures, reprobed after `reprobe_after`).
+//! * [`ClusterRouter`] — routes canonicalized `InstanceKey`s over the
+//!   same 64-vnode FNV-1a ring as `ShardRouter`, fans batches out to
+//!   backends concurrently, reassembles responses in request order,
+//!   and re-serves any failed backend's sub-batch on a **local
+//!   fallback solver** — recorded in [`ClusterStats`], never surfaced
+//!   as a caller error, and bit-identical to what the backend would
+//!   have answered (every solve is deterministic and the fallback runs
+//!   the backends' config).
+//! * [`ClusterFront`] — a `PolicyServer`-compatible TCP front-end:
+//!   clients connect to one address and the cluster is transparent.
+//!   Stats requests fan in cluster-wide over the existing
+//!   `StatsRequest` wire path.
+//! * [`Supervisor`] — spawns and monitors `policy_backend` child
+//!   processes (readiness via their `LISTENING <addr>` line, liveness
+//!   via `try_wait`, replacement via [`Supervisor::respawn`] +
+//!   [`ClusterRouter::retarget_slot`]).
+//!
+//! The load-bearing guarantee is unchanged from every prior layer: a
+//! batch served through a cluster returns **bit-identical policies,
+//! throughputs, and certificates** to the single-process path — only
+//! tier labels may shift to `Exact` across batching boundaries —
+//! including while backends are being killed mid-run (pinned by
+//! `tests/cluster.rs` over supervisor-spawned processes on real TCP).
+
+pub mod front;
+pub mod remote;
+pub mod router;
+pub mod supervisor;
+
+pub use front::{ClusterFront, FrontConfig, FrontHandle};
+pub use remote::{RemoteConfig, RemoteShard, RemoteShardStats};
+pub use router::{ClusterConfig, ClusterRouter, ClusterStats, SlotSpec, StatsSource};
+pub use supervisor::{default_backend_binary, Supervisor, SupervisorConfig};

@@ -1,0 +1,343 @@
+//! The remote-shard dialer: a pooled, reconnecting, health-tracked
+//! wrapper over [`PolicyClient`].
+//!
+//! A [`RemoteShard`] owns one backend address and at most one live
+//! connection to it. Operations dial lazily with **bounded retry and
+//! exponential backoff**, and every operation outcome feeds a small
+//! health machine:
+//!
+//! * a success resets the failure streak and marks the backend
+//!   healthy;
+//! * `unhealthy_after` consecutive failures mark it **down** — from
+//!   then on [`RemoteShard::should_attempt`] answers `false` and the
+//!   cluster router stops burning dial timeouts on it (requests fall
+//!   back to the local solver instead);
+//! * after `reprobe_after` of downtime the next operation is allowed
+//!   through as a probe; if the backend answers, it is healthy again.
+//!
+//! The dialer speaks the ordinary `econcast-proto` service family —
+//! backends are stock `PolicyServer` processes that cannot tell a
+//! dialer from any other client.
+
+use econcast_service::{PolicyClient, PolicyRequest, ServiceStats, WireResult};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one backend connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteConfig {
+    /// Dial attempts per connection establishment (≥ 1).
+    pub dial_retries: u32,
+    /// Backoff before the second dial attempt; doubles per attempt.
+    pub backoff: Duration,
+    /// Timeout applied to the TCP connect, the handshake, and every
+    /// read/write on the pooled connection (`None` = block forever) —
+    /// a backend that is wedged rather than dead (accepts but never
+    /// answers) surfaces as an error, not a hung cluster.
+    pub io_timeout: Option<Duration>,
+    /// Consecutive operation failures before the backend is marked
+    /// down.
+    pub unhealthy_after: u32,
+    /// Downtime before a probe operation is allowed through again.
+    pub reprobe_after: Duration,
+    /// `max_batch` announced in the connection handshake.
+    pub hello_batch: u16,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            dial_retries: 2,
+            backoff: Duration::from_millis(25),
+            io_timeout: Some(Duration::from_secs(10)),
+            unhealthy_after: 1,
+            reprobe_after: Duration::from_millis(250),
+            hello_batch: 1024,
+        }
+    }
+}
+
+/// Cumulative per-backend counters (plain data, cheap to copy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteShardStats {
+    /// Successful connection establishments.
+    pub connects: u64,
+    /// Requests served by the backend through this dialer.
+    pub served: u64,
+    /// Failed operations (dial or I/O), each of which drops the
+    /// pooled connection.
+    pub failures: u64,
+    /// healthy → down transitions.
+    pub down_transitions: u64,
+    /// down → healthy recoveries.
+    pub recoveries: u64,
+}
+
+/// One backend policy server, dialed on demand.
+#[derive(Debug)]
+pub struct RemoteShard {
+    addr: SocketAddr,
+    cfg: RemoteConfig,
+    conn: Option<PolicyClient>,
+    consecutive_failures: u32,
+    /// `Some(since)` while the backend is considered down.
+    down_since: Option<Instant>,
+    stats: RemoteShardStats,
+}
+
+impl RemoteShard {
+    /// Wraps a backend address; nothing is dialed until the first
+    /// operation.
+    pub fn new(addr: SocketAddr, cfg: RemoteConfig) -> Self {
+        RemoteShard {
+            addr,
+            cfg,
+            conn: None,
+            consecutive_failures: 0,
+            down_since: None,
+            stats: RemoteShardStats::default(),
+        }
+    }
+
+    /// The backend address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the backend is currently considered healthy.
+    pub fn healthy(&self) -> bool {
+        self.down_since.is_none()
+    }
+
+    /// Whether an operation should be attempted right now: healthy,
+    /// or down for long enough that a reprobe is due.
+    pub fn should_attempt(&self) -> bool {
+        match self.down_since {
+            None => true,
+            Some(since) => since.elapsed() >= self.cfg.reprobe_after,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn shard_stats(&self) -> RemoteShardStats {
+        self.stats
+    }
+
+    /// Re-targets the dialer at a replacement backend (a respawned
+    /// process listens on a fresh port): drops the pooled connection
+    /// and resets the health machine, so the next operation probes
+    /// the new address immediately.
+    pub fn retarget(&mut self, addr: SocketAddr) {
+        self.addr = addr;
+        self.conn = None;
+        self.consecutive_failures = 0;
+        self.down_since = None;
+    }
+
+    /// Serves one batch on the backend. An `Err` means the *stream*
+    /// failed (dial, I/O, corruption) — the connection is dropped,
+    /// the failure is recorded, and the caller should fall back; the
+    /// cluster router re-serves the whole sub-batch locally.
+    pub fn serve_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Vec<WireResult>> {
+        let result = self.connect().and_then(|conn| conn.serve_batch(reqs));
+        match result {
+            Ok(out) => {
+                self.note_success();
+                self.stats.served += reqs.len() as u64;
+                Ok(out)
+            }
+            Err(e) => {
+                self.note_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// Liveness probe: dial if needed, round-trip a `Ping`. Returns
+    /// the post-probe health.
+    pub fn ping(&mut self) -> bool {
+        let result = self.connect().and_then(PolicyClient::ping);
+        match result {
+            Ok(()) => {
+                self.note_success();
+                true
+            }
+            Err(_) => {
+                self.note_failure();
+                false
+            }
+        }
+    }
+
+    /// Fetches the backend's aggregate serving counters over the
+    /// existing `StatsRequest` path.
+    pub fn backend_stats(&mut self) -> std::io::Result<ServiceStats> {
+        let result = self.connect().and_then(|conn| conn.stats(None));
+        match result {
+            Ok(stats) => {
+                self.note_success();
+                Ok(stats)
+            }
+            Err(e) => {
+                self.note_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns the pooled connection, dialing with bounded
+    /// retry/backoff when none is live.
+    fn connect(&mut self) -> std::io::Result<&mut PolicyClient> {
+        if self.conn.is_none() {
+            let mut last_err = None;
+            for attempt in 0..self.cfg.dial_retries.max(1) {
+                if attempt > 0 {
+                    std::thread::sleep(self.cfg.backoff * 2u32.pow(attempt - 1));
+                }
+                // The timeout must already be armed while dialing and
+                // handshaking: applying it only afterwards would leave
+                // a wedged backend able to hang the dial itself.
+                let dial = match self.cfg.io_timeout {
+                    Some(timeout) => {
+                        PolicyClient::connect_with_timeout(self.addr, self.cfg.hello_batch, timeout)
+                    }
+                    None => PolicyClient::connect(self.addr, self.cfg.hello_batch),
+                };
+                match dial {
+                    Ok(client) => {
+                        self.stats.connects += 1;
+                        self.conn = Some(client);
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+        }
+        Ok(self.conn.as_mut().expect("dialed above"))
+    }
+
+    fn note_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.down_since.take().is_some() {
+            self.stats.recoveries += 1;
+        }
+    }
+
+    fn note_failure(&mut self) {
+        // A failed stream is never reused: the next operation redials.
+        self.conn = None;
+        self.stats.failures += 1;
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.cfg.unhealthy_after.max(1) {
+            // (Re-)stamp the downtime so the reprobe window restarts
+            // after every failed probe, not just the first failure.
+            if self.down_since.replace(Instant::now()).is_none() {
+                self.stats.down_transitions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::{NodeParams, ThroughputMode};
+
+    /// An address with nothing listening (bind, learn, drop).
+    fn dead_addr() -> SocketAddr {
+        std::net::TcpListener::bind("127.0.0.1:0")
+            .expect("bind probe")
+            .local_addr()
+            .expect("addr")
+    }
+
+    fn one_request() -> Vec<PolicyRequest> {
+        vec![PolicyRequest::homogeneous(
+            4,
+            NodeParams::from_microwatts(10.0, 500.0, 450.0),
+            0.5,
+            ThroughputMode::Groupput,
+            1e-2,
+        )]
+    }
+
+    #[test]
+    fn dead_backend_goes_down_and_respects_the_reprobe_window() {
+        let mut shard = RemoteShard::new(
+            dead_addr(),
+            RemoteConfig {
+                dial_retries: 1,
+                reprobe_after: Duration::from_secs(3600),
+                ..RemoteConfig::default()
+            },
+        );
+        assert!(shard.healthy());
+        assert!(shard.should_attempt());
+        assert!(shard.serve_batch(&one_request()).is_err());
+        assert!(!shard.healthy(), "one failure marks it down");
+        assert!(
+            !shard.should_attempt(),
+            "an hour-long reprobe window gates further attempts"
+        );
+        let s = shard.shard_stats();
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.down_transitions, 1);
+        assert_eq!(s.served, 0);
+    }
+
+    #[test]
+    fn live_backend_serves_and_recovers_after_retarget() {
+        use econcast_service::{PolicyServer, RouterConfig, ServerConfig, ServiceConfig};
+        let server = PolicyServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                router: RouterConfig {
+                    shards: 1,
+                    service: ServiceConfig {
+                        workers: Some(1),
+                        ..ServiceConfig::default()
+                    },
+                    ..RouterConfig::default()
+                },
+                background_prewarm: false,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind")
+        .spawn();
+
+        // Start pointed at a dead port: down after one failure.
+        let mut shard = RemoteShard::new(
+            dead_addr(),
+            RemoteConfig {
+                dial_retries: 1,
+                reprobe_after: Duration::from_secs(3600),
+                ..RemoteConfig::default()
+            },
+        );
+        assert!(shard.serve_batch(&one_request()).is_err());
+        assert!(!shard.healthy());
+
+        // Re-target at the live backend (the replace-a-dead-backend
+        // path): health resets, the probe succeeds, requests serve.
+        shard.retarget(server.addr());
+        assert!(shard.should_attempt());
+        assert!(shard.ping(), "live backend answers the probe");
+        let out = shard.serve_batch(&one_request()).expect("remote serve");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_ok());
+        assert!(shard.healthy());
+        let s = shard.shard_stats();
+        assert_eq!(s.served, 1);
+        assert!(s.connects >= 1);
+
+        // Stats fan-in sees the request the backend served.
+        let backend = shard.backend_stats().expect("stats");
+        assert_eq!(backend.requests, 1);
+        server.shutdown();
+    }
+}

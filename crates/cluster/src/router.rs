@@ -1,0 +1,575 @@
+//! Routing canonical instance keys across cluster slots.
+//!
+//! A [`ClusterRouter`] is the multi-process sibling of
+//! `econcast_service::ShardRouter`: requests are canonicalized and
+//! consistent-hashed over the **same 64-vnode FNV-1a ring**
+//! (`fnv1a_64([slot, vnode])` points, `InstanceKey::route_hash` keys),
+//! but a slot is a [`RemoteShard`] dialing a backend `PolicyServer`
+//! process — or an in-process `PolicyService` for mixed local/remote
+//! topologies. With equal slot counts the two routers assign every
+//! canonical key identically, so promoting an in-process shard to a
+//! remote backend moves no keys.
+//!
+//! ## Fan-out and reassembly
+//!
+//! A batch scatters into per-slot sub-batches (request order
+//! preserved within each), remote sub-batches fan out **concurrently**
+//! (one thread per live backend), and responses gather back in
+//! request order, each already in its caller's node order.
+//!
+//! ## Failover
+//!
+//! Backend trouble is never the caller's problem:
+//!
+//! * a backend marked down by its health machine is skipped outright;
+//! * a stream failure mid-batch voids that backend's whole sub-batch;
+//! * both sets of requests are re-served by the router's **local
+//!   fallback solver** in request order, counted in
+//!   [`ClusterStats::local_fallbacks`].
+//!
+//! Every solve is a deterministic, self-contained computation and the
+//! fallback runs the same `ServiceConfig` as the backends, so a
+//! failed-over response is **bit-identical** to the one the backend
+//! would have produced — only the tier label may differ (a replay can
+//! read `Exact`), matching the PR 3 socket-test convention.
+
+use crate::remote::{RemoteConfig, RemoteShard, RemoteShardStats};
+use econcast_service::ServiceStats;
+use econcast_service::{PolicyRequest, PolicyResponse, PolicyService, ServiceConfig, ServiceError};
+use econcast_statespace::{fnv1a_64, CanonicalInstance, InstanceKey};
+use std::net::SocketAddr;
+
+/// What one ring slot is backed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotSpec {
+    /// A backend `PolicyServer` process at this address, reached
+    /// through a [`RemoteShard`] dialer.
+    Remote(SocketAddr),
+    /// An in-process `PolicyService` (mixed local/remote topologies,
+    /// e.g. one warm local slot beside remote capacity).
+    Local,
+}
+
+/// Tuning knobs for a [`ClusterRouter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Virtual nodes per slot on the consistent-hash ring (64 matches
+    /// `ShardRouter`).
+    pub vnodes: usize,
+    /// Service configuration for local slots **and** the fallback
+    /// solver. For the bit-identical failover guarantee this must
+    /// match the backends' per-shard configuration.
+    pub service: ServiceConfig,
+    /// Dialer configuration applied to every remote slot.
+    pub remote: RemoteConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            vnodes: 64,
+            service: ServiceConfig::default(),
+            remote: RemoteConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Remote(RemoteShard),
+    /// Boxed: a `PolicyService` (caches + scratch pools) dwarfs the
+    /// dialer, and slot vectors should stay dense.
+    Local(Box<PolicyService>),
+}
+
+/// Where one slot's serving counters come from — snapshot under the
+/// router lock ([`ClusterRouter::stats_sources`]), fetched outside
+/// it.
+#[derive(Debug, Clone, Copy)]
+pub enum StatsSource {
+    /// An in-process slot's counters, read directly.
+    Local(ServiceStats),
+    /// A backend to ask over the wire; `attempt = false` means the
+    /// health machine says the backend is down and no reprobe is due
+    /// yet — don't burn a dial on it.
+    Remote {
+        /// The backend's address.
+        addr: SocketAddr,
+        /// Whether a dial is currently worth attempting.
+        attempt: bool,
+    },
+}
+
+/// Cluster-level counters (the serving counters live in the backends;
+/// these describe the *distribution* layer).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Requests routed per slot (including ones later failed over).
+    pub routed: Vec<u64>,
+    /// Requests answered by a remote backend.
+    pub remote_served: u64,
+    /// Requests answered by an in-process local slot.
+    pub local_served: u64,
+    /// Requests re-served by the local fallback solver because their
+    /// backend was down, failed mid-batch, or rejected them.
+    pub local_fallbacks: u64,
+    /// Backend stream failures observed (each voids one sub-batch).
+    pub backend_failures: u64,
+    /// Requests that failed validation (answered locally with typed
+    /// errors, never routed).
+    pub invalid_requests: u64,
+    /// Current per-slot health (local slots are always healthy).
+    pub healthy: Vec<bool>,
+}
+
+/// Routes canonicalized requests across remote and local slots.
+#[derive(Debug)]
+pub struct ClusterRouter {
+    /// Sorted consistent-hash ring: `(point, slot)`.
+    ring: Vec<(u64, u16)>,
+    slots: Vec<Slot>,
+    /// The failover solver (and the answerer of invalid requests).
+    fallback: PolicyService,
+    routed: Vec<u64>,
+    remote_served: u64,
+    local_served: u64,
+    local_fallbacks: u64,
+    backend_failures: u64,
+    invalid_requests: u64,
+}
+
+impl ClusterRouter {
+    /// Builds the ring, the dialers, and the local slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` is empty, exceeds `u16::MAX`, or
+    /// `cfg.vnodes == 0`.
+    pub fn new(slots: &[SlotSpec], cfg: ClusterConfig) -> Self {
+        assert!(!slots.is_empty(), "need at least one slot");
+        assert!(slots.len() <= u16::MAX as usize, "slot ids are u16");
+        assert!(cfg.vnodes >= 1, "need at least one vnode per slot");
+        let mut ring: Vec<(u64, u16)> = (0..slots.len() as u16)
+            .flat_map(|s| (0..cfg.vnodes as u64).map(move |v| (fnv1a_64([u64::from(s), v]), s)))
+            .collect();
+        ring.sort_unstable();
+        let slots: Vec<Slot> = slots
+            .iter()
+            .map(|spec| match spec {
+                SlotSpec::Remote(addr) => Slot::Remote(RemoteShard::new(*addr, cfg.remote)),
+                SlotSpec::Local => Slot::Local(Box::new(PolicyService::new(cfg.service))),
+            })
+            .collect();
+        ClusterRouter {
+            ring,
+            routed: vec![0; slots.len()],
+            slots,
+            fallback: PolicyService::new(cfg.service),
+            remote_served: 0,
+            local_served: 0,
+            local_fallbacks: 0,
+            backend_failures: 0,
+            invalid_requests: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The home slot of a canonical instance key — the same
+    /// partition-point walk as `ShardRouter::shard_of_key`, over the
+    /// same ring construction.
+    pub fn slot_of_key(&self, key: &InstanceKey) -> u16 {
+        let h = key.route_hash();
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[if i == self.ring.len() { 0 } else { i }].1
+    }
+
+    /// Whether a slot is currently healthy (local slots always are).
+    pub fn slot_healthy(&self, slot: usize) -> bool {
+        match &self.slots[slot] {
+            Slot::Remote(rs) => rs.healthy(),
+            Slot::Local(_) => true,
+        }
+    }
+
+    /// A remote slot's dialer counters (`None` for local slots).
+    pub fn remote_stats(&self, slot: usize) -> Option<RemoteShardStats> {
+        match &self.slots[slot] {
+            Slot::Remote(rs) => Some(rs.shard_stats()),
+            Slot::Local(_) => None,
+        }
+    }
+
+    /// Distribution-layer counter snapshot.
+    pub fn cluster_stats(&self) -> ClusterStats {
+        ClusterStats {
+            routed: self.routed.clone(),
+            remote_served: self.remote_served,
+            local_served: self.local_served,
+            local_fallbacks: self.local_fallbacks,
+            backend_failures: self.backend_failures,
+            invalid_requests: self.invalid_requests,
+            healthy: (0..self.slots.len())
+                .map(|s| self.slot_healthy(s))
+                .collect(),
+        }
+    }
+
+    /// Pings every remote slot (dialing as needed), returning the
+    /// post-probe health per slot — the supervisor's health sweep.
+    pub fn ping_all(&mut self) -> Vec<bool> {
+        self.slots
+            .iter_mut()
+            .map(|slot| match slot {
+                Slot::Remote(rs) => rs.ping(),
+                Slot::Local(_) => true,
+            })
+            .collect()
+    }
+
+    /// Re-targets a remote slot at a replacement backend (respawned
+    /// process, fresh port). Returns `false` for local slots.
+    pub fn retarget_slot(&mut self, slot: usize, addr: SocketAddr) -> bool {
+        match &mut self.slots[slot] {
+            Slot::Remote(rs) => {
+                rs.retarget(addr);
+                true
+            }
+            Slot::Local(_) => false,
+        }
+    }
+
+    /// Where each slot's serving counters come from, plus the
+    /// fallback solver's own counters — a cheap, network-free
+    /// snapshot. The cluster front takes this under its router lock
+    /// and performs the actual backend round-trips *outside* it, so a
+    /// slow or unreachable backend stalls one stats request, never
+    /// the data plane.
+    pub fn stats_sources(&self) -> (Vec<StatsSource>, ServiceStats) {
+        let sources = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Local(svc) => StatsSource::Local(svc.stats()),
+                Slot::Remote(rs) => StatsSource::Remote {
+                    addr: rs.addr(),
+                    attempt: rs.should_attempt(),
+                },
+            })
+            .collect();
+        (sources, self.fallback.stats())
+    }
+
+    /// The fallback solver's own counters (how much failover work the
+    /// router absorbed).
+    ///
+    /// There is deliberately **no** "fan everything in over the
+    /// network" method on the router itself: dialing backends while
+    /// someone holds the router (the front keeps it behind a mutex)
+    /// would stall the data plane behind a control-plane round-trip.
+    /// Aggregation lives in the cluster front, built on the
+    /// network-free [`stats_sources`](Self::stats_sources) snapshot
+    /// plus out-of-lock dials.
+    pub fn fallback_stats(&self) -> ServiceStats {
+        self.fallback.stats()
+    }
+
+    /// Serves a batch: scatter to home slots, concurrent remote
+    /// fan-out, deterministic local fallback for anything a backend
+    /// could not answer, gather in request order. Backend failures are
+    /// **never** surfaced as caller errors — the fallback solver
+    /// produces the identical bits a healthy backend would have.
+    pub fn serve_batch(
+        &mut self,
+        reqs: &[PolicyRequest],
+    ) -> Vec<Result<PolicyResponse, ServiceError>> {
+        let nslots = self.slots.len();
+        let mut sub_idx: Vec<Vec<usize>> = vec![Vec::new(); nslots];
+        for (i, req) in reqs.iter().enumerate() {
+            match req.validate() {
+                // Invalid requests are answered locally with their
+                // typed errors; they never touch a backend.
+                Err(_) => self.invalid_requests += 1,
+                Ok(()) => {
+                    let canon = CanonicalInstance::new(
+                        &req.budgets_w,
+                        req.listen_w,
+                        req.transmit_w,
+                        req.sigma,
+                        req.objective,
+                        req.tolerance,
+                    );
+                    let s = self.slot_of_key(&canon.key) as usize;
+                    self.routed[s] += 1;
+                    sub_idx[s].push(i);
+                }
+            }
+        }
+
+        // Remote fan-out: one thread per live backend with work. Down
+        // backends (health machine says skip) go straight to fallback.
+        let sub_batches: Vec<Option<Vec<PolicyRequest>>> = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(s, slot)| match slot {
+                Slot::Remote(rs) if !sub_idx[s].is_empty() && rs.should_attempt() => {
+                    Some(sub_idx[s].iter().map(|&i| reqs[i].clone()).collect())
+                }
+                _ => None,
+            })
+            .collect();
+        let slots = &mut self.slots;
+        let remote_results: Vec<Option<std::io::Result<Vec<econcast_service::WireResult>>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = slots
+                    .iter_mut()
+                    .zip(&sub_batches)
+                    .map(|(slot, batch)| match (slot, batch) {
+                        (Slot::Remote(rs), Some(batch)) => {
+                            Some(scope.spawn(move || rs.serve_batch(batch)))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("remote fan-out thread")))
+                    .collect()
+            });
+
+        let mut out: Vec<Option<Result<PolicyResponse, ServiceError>>> = vec![None; reqs.len()];
+        for (s, result) in remote_results.into_iter().enumerate() {
+            let Some(result) = result else { continue };
+            match result {
+                Ok(wire_results) => {
+                    for (&i, wire) in sub_idx[s].iter().zip(wire_results) {
+                        // A per-request backend rejection (the `Err`
+                        // arm) is left unresolved here and re-judged
+                        // locally: the fallback runs the same config,
+                        // so the caller gets the identical typed
+                        // error (or response) a local deployment
+                        // would produce.
+                        if let Ok(resp) = wire {
+                            self.remote_served += 1;
+                            out[i] = Some(Ok(PolicyResponse::from_wire(&resp, reqs[i].sigma)));
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Stream failure: the whole sub-batch falls back.
+                    // (Any responses decoded before the failure are
+                    // discarded — recomputing locally yields identical
+                    // bits, and a partial trust boundary is not worth
+                    // the bookkeeping.)
+                    self.backend_failures += 1;
+                }
+            }
+        }
+
+        // Local slots serve serially, in slot order — deterministic.
+        for (s, slot) in self.slots.iter_mut().enumerate() {
+            if let Slot::Local(svc) = slot {
+                if sub_idx[s].is_empty() {
+                    continue;
+                }
+                let batch: Vec<PolicyRequest> =
+                    sub_idx[s].iter().map(|&i| reqs[i].clone()).collect();
+                self.local_served += batch.len() as u64;
+                for (&i, r) in sub_idx[s].iter().zip(svc.serve_batch(&batch)) {
+                    out[i] = Some(r);
+                }
+            }
+        }
+
+        // Fallback: everything still unresolved (invalid requests,
+        // down/failed backends' sub-batches, per-request rejections),
+        // as one local batch in request order.
+        let pending: Vec<usize> = (0..reqs.len()).filter(|&i| out[i].is_none()).collect();
+        if !pending.is_empty() {
+            let batch: Vec<PolicyRequest> = pending.iter().map(|&i| reqs[i].clone()).collect();
+            let results = self.fallback.serve_batch(&batch);
+            for (&i, r) in pending.iter().zip(results) {
+                // Only *routed* requests count as failovers; invalid
+                // ones were always the router's to answer.
+                if reqs[i].validate().is_ok() {
+                    self.local_fallbacks += 1;
+                }
+                out[i] = Some(r);
+            }
+        }
+
+        out.into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use econcast_core::{NodeParams, ThroughputMode};
+    use econcast_service::{RouterConfig, ShardRouter};
+
+    fn request(n: usize, rho_uw: f64) -> PolicyRequest {
+        PolicyRequest::homogeneous(
+            n,
+            NodeParams::from_microwatts(rho_uw, 500.0, 450.0),
+            0.5,
+            ThroughputMode::Groupput,
+            1e-2,
+        )
+    }
+
+    #[test]
+    fn ring_matches_shard_router_assignment() {
+        // Equal slot counts ⇒ identical key→slot assignment: promoting
+        // an in-process shard to a remote backend moves no keys.
+        let cluster = ClusterRouter::new(
+            &[SlotSpec::Local, SlotSpec::Local, SlotSpec::Local],
+            ClusterConfig::default(),
+        );
+        let sharded = ShardRouter::new(RouterConfig {
+            shards: 3,
+            ..RouterConfig::default()
+        });
+        for n in 2..40 {
+            for rho in [3.0, 10.0, 31.0] {
+                let req = request(n, rho);
+                let canon = CanonicalInstance::new(
+                    &req.budgets_w,
+                    req.listen_w,
+                    req.transmit_w,
+                    req.sigma,
+                    req.objective,
+                    req.tolerance,
+                );
+                assert_eq!(
+                    cluster.slot_of_key(&canon.key),
+                    sharded.shard_of_key(&canon.key),
+                    "n={n} rho={rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_local_cluster_matches_single_service() {
+        let mut cluster = ClusterRouter::new(
+            &[SlotSpec::Local, SlotSpec::Local],
+            ClusterConfig {
+                service: ServiceConfig {
+                    workers: Some(1),
+                    ..ServiceConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        );
+        let reqs: Vec<PolicyRequest> = (2..18).map(|n| request(n, 10.0)).collect();
+        let mut single = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        });
+        let expected = single.serve_batch(&reqs);
+        let got = cluster.serve_batch(&reqs);
+        for (g, e) in got.iter().zip(&expected) {
+            let (g, e) = (g.as_ref().unwrap(), e.as_ref().unwrap());
+            assert_eq!(g.throughput.to_bits(), e.throughput.to_bits());
+        }
+        let cs = cluster.cluster_stats();
+        assert_eq!(cs.local_served, reqs.len() as u64);
+        assert_eq!(cs.remote_served, 0);
+        assert_eq!(cs.local_fallbacks, 0);
+        assert_eq!(cs.routed.iter().sum::<u64>(), reqs.len() as u64);
+    }
+
+    #[test]
+    fn dead_backend_fails_over_locally_without_errors() {
+        // One remote slot pointing at nothing: every request fails
+        // over to the local solver, bit-identical, zero errors.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut cluster = ClusterRouter::new(
+            &[SlotSpec::Remote(dead)],
+            ClusterConfig {
+                service: ServiceConfig {
+                    workers: Some(1),
+                    ..ServiceConfig::default()
+                },
+                remote: RemoteConfig {
+                    dial_retries: 1,
+                    reprobe_after: std::time::Duration::from_secs(3600),
+                    ..RemoteConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        );
+        let reqs: Vec<PolicyRequest> = (2..10).map(|n| request(n, 10.0)).collect();
+        let mut single = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        });
+        let expected = single.serve_batch(&reqs);
+        let got = cluster.serve_batch(&reqs);
+        for (g, e) in got.iter().zip(&expected) {
+            let (g, e) = (
+                g.as_ref().expect("failover, not error"),
+                e.as_ref().unwrap(),
+            );
+            assert_eq!(g.throughput.to_bits(), e.throughput.to_bits());
+            for (gp, ep) in g.policies.iter().zip(&e.policies) {
+                assert_eq!(gp.listen.to_bits(), ep.listen.to_bits());
+                assert_eq!(gp.transmit.to_bits(), ep.transmit.to_bits());
+            }
+        }
+        let cs = cluster.cluster_stats();
+        assert_eq!(cs.local_fallbacks, reqs.len() as u64);
+        assert_eq!(cs.backend_failures, 1, "one voided sub-batch");
+        assert_eq!(cs.healthy, vec![false]);
+        // The second batch skips the down backend outright (no dial):
+        // still zero errors, still counted.
+        let again = cluster.serve_batch(&reqs);
+        assert!(again.iter().all(Result::is_ok));
+        let cs = cluster.cluster_stats();
+        assert_eq!(cs.local_fallbacks, 2 * reqs.len() as u64);
+        assert_eq!(cs.backend_failures, 1, "down backend not re-dialed");
+
+        // The operator surfaces agree: the dialer counters recorded
+        // the failure, an explicit probe sweep still says down, and
+        // the stats snapshot marks the slot skip-worthy.
+        let dialer = cluster.remote_stats(0).expect("remote slot");
+        assert!(dialer.failures >= 1);
+        assert_eq!(dialer.served, 0);
+        assert_eq!(cluster.ping_all(), vec![false], "probe fails while dead");
+        let (sources, _) = cluster.stats_sources();
+        assert!(matches!(
+            sources[0],
+            StatsSource::Remote { attempt: false, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_requests_get_typed_errors_without_routing() {
+        let mut cluster = ClusterRouter::new(&[SlotSpec::Local], ClusterConfig::default());
+        let bad = PolicyRequest {
+            budgets_w: vec![],
+            listen_w: 500e-6,
+            transmit_w: 450e-6,
+            sigma: 0.5,
+            objective: ThroughputMode::Groupput,
+            tolerance: 1e-2,
+        };
+        let out = cluster.serve_batch(std::slice::from_ref(&bad));
+        assert!(matches!(out[0], Err(ServiceError::BadRequest(_))));
+        let cs = cluster.cluster_stats();
+        assert_eq!(cs.invalid_requests, 1);
+        assert_eq!(cs.local_fallbacks, 0);
+        assert_eq!(cs.routed, vec![0]);
+        assert_eq!(cluster.fallback_stats().errors, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Cluster acceptance tests: supervisor-spawned backend *processes*
+//! on real TCP, pinned bit-for-bit against the single-process
+//! `ShardRouter` path — including while a backend is killed mid-run —
+//! plus stats fan-in and supervisor monitoring.
+
+use econcast_cluster::{
+    ClusterConfig, ClusterFront, ClusterRouter, FrontConfig, RemoteConfig, SlotSpec, Supervisor,
+    SupervisorConfig,
+};
+use econcast_service::workload::mixed_batch;
+use econcast_service::{
+    PolicyClient, PolicyRequest, RouterConfig, ServiceConfig, ServiceStats, ShardRouter,
+};
+use std::path::Path;
+use std::time::Duration;
+
+/// The backend executable Cargo built for this crate's tests.
+fn backend_bin() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_policy_backend"))
+}
+
+/// Per-shard service config shared by backends (their default), the
+/// cluster fallback, and the single-process reference — the
+/// bit-identical guarantee requires all three to match.
+fn service_cfg() -> ServiceConfig {
+    ServiceConfig::default()
+}
+
+fn cluster_cfg() -> ClusterConfig {
+    ClusterConfig {
+        service: service_cfg(),
+        remote: RemoteConfig {
+            dial_retries: 2,
+            // Keep failover snappy in tests: one failure marks the
+            // backend down, and it stays down (no reprobe racing the
+            // assertions).
+            unhealthy_after: 1,
+            reprobe_after: Duration::from_secs(3600),
+            ..RemoteConfig::default()
+        },
+        ..ClusterConfig::default()
+    }
+}
+
+/// Asserts two responses carry identical payload bits (tier labels
+/// may shift to `Exact`, the PR 3 socket-test convention).
+fn assert_payload_identical(
+    i: usize,
+    wire: &econcast_service::WireResult,
+    exp: &Result<econcast_service::PolicyResponse, econcast_service::ServiceError>,
+) {
+    let wire = wire
+        .as_ref()
+        .unwrap_or_else(|e| panic!("request {i}: caller-visible error {e:?}"));
+    let exp = exp.as_ref().expect("reference served");
+    assert_eq!(wire.policies.len(), exp.policies.len(), "request {i}");
+    for (wp, np) in wire.policies.iter().zip(&exp.policies) {
+        assert_eq!(wp.listen.to_bits(), np.listen.to_bits(), "request {i}");
+        assert_eq!(wp.transmit.to_bits(), np.transmit.to_bits(), "request {i}");
+    }
+    assert_eq!(
+        wire.throughput.to_bits(),
+        exp.throughput.to_bits(),
+        "request {i}"
+    );
+    assert_eq!(
+        wire.cert_t_sigma.to_bits(),
+        exp.certificate.t_sigma.to_bits(),
+        "request {i}"
+    );
+    assert_eq!(
+        wire.cert_oracle.to_bits(),
+        exp.certificate.oracle.to_bits(),
+        "request {i}"
+    );
+    assert_eq!(
+        wire.cert_dual_upper.to_bits(),
+        exp.certificate.dual_upper.to_bits(),
+        "request {i}"
+    );
+    assert_eq!(wire.converged, exp.converged, "request {i}");
+    // Tier labels may differ only where the exact tier is involved:
+    // batching boundaries turn fresh serves into `Exact` replays
+    // (the PR 3 socket convention), and failover re-serves turn
+    // `Exact` replays back into fresh serves on the fallback's cold
+    // caches (`Grid`/`ClosedForm`/`Solver`). Either way the LRU entry
+    // *is* the producing tier's policy, so the payload asserts above
+    // already pinned the bits.
+    assert!(
+        wire.tier == exp.tier
+            || wire.tier == econcast_service::ServedTier::Exact
+            || exp.tier == econcast_service::ServedTier::Exact,
+        "request {i}: tier {:?} vs expected {:?}",
+        wire.tier,
+        exp.tier
+    );
+}
+
+#[test]
+fn two_backend_cluster_is_bit_identical_and_survives_a_kill() {
+    // The acceptance batch: the canonical 256-request mix.
+    let batch = mixed_batch(256);
+
+    // Single-process reference: a ShardRouter over the same per-shard
+    // config, serving the whole batch in one call.
+    let reference = ShardRouter::new(RouterConfig {
+        shards: 2,
+        service: service_cfg(),
+        ..RouterConfig::default()
+    });
+    let expected = reference.serve_batch(&batch);
+
+    // The cluster: two supervisor-spawned backend processes behind a
+    // front-end.
+    let mut sup =
+        Supervisor::spawn(backend_bin(), 2, SupervisorConfig::default()).expect("spawn backends");
+    let slots: Vec<SlotSpec> = sup.addrs().into_iter().map(SlotSpec::Remote).collect();
+    let front = ClusterFront::bind(
+        "127.0.0.1:0",
+        ClusterRouter::new(&slots, cluster_cfg()),
+        FrontConfig::default(),
+    )
+    .expect("bind front")
+    .spawn();
+
+    let mut client = PolicyClient::connect(front.addr(), 64).expect("connect");
+    assert_eq!(client.shards(), 2, "welcome advertises the slot count");
+
+    // Serve in four 64-request chunks; kill backend 0 after the first
+    // chunk — mid-run — and keep going. Every response must stay
+    // bit-identical and error-free throughout.
+    for (c, chunk) in batch.chunks(64).enumerate() {
+        let got = client.serve_batch(chunk).expect("front round trip");
+        assert_eq!(got.len(), chunk.len());
+        for (k, wire) in got.iter().enumerate() {
+            let i = c * 64 + k;
+            assert_payload_identical(i, wire, &expected[i]);
+        }
+        if c == 0 {
+            sup.kill(0).expect("kill backend 0");
+            assert!(!sup.is_alive(0));
+        }
+    }
+
+    // The failover really happened and was absorbed: requests landed
+    // on the dead slot, were re-served locally, and none errored.
+    let stats = {
+        let router = front.router();
+        let guard = router.lock().unwrap();
+        guard.cluster_stats()
+    };
+    assert!(
+        stats.local_fallbacks > 0,
+        "the kill must have forced local re-serves: {stats:?}"
+    );
+    assert!(
+        stats.backend_failures >= 1,
+        "the dead backend failed a sub-batch"
+    );
+    assert_eq!(stats.healthy, vec![false, true], "slot 0 marked down");
+    assert!(stats.remote_served > 0, "the live backend kept serving");
+    assert_eq!(
+        stats.routed.iter().sum::<u64>(),
+        batch.len() as u64,
+        "every valid request routed exactly once"
+    );
+
+    // Replace the dead backend (fresh process, fresh port), re-target
+    // the slot, and verify traffic goes remote again — the full
+    // operator loop: observe → respawn → retarget.
+    let fresh_addr = sup.respawn(0).expect("respawn backend 0");
+    {
+        let router = front.router();
+        let mut guard = router.lock().unwrap();
+        assert!(guard.retarget_slot(0, fresh_addr));
+    }
+    let before = {
+        let router = front.router();
+        let guard = router.lock().unwrap();
+        guard.cluster_stats().remote_served
+    };
+    let replay = client
+        .serve_batch(&batch[..64])
+        .expect("post-respawn batch");
+    for (i, wire) in replay.iter().enumerate() {
+        assert_payload_identical(i, wire, &expected[i]);
+    }
+    let stats = {
+        let router = front.router();
+        let guard = router.lock().unwrap();
+        guard.cluster_stats()
+    };
+    assert!(
+        stats.remote_served > before,
+        "re-targeted slot serves remotely again: {stats:?}"
+    );
+    assert_eq!(stats.healthy, vec![true, true]);
+
+    drop(client);
+    front.shutdown();
+}
+
+#[test]
+fn stats_fan_in_equals_the_sum_of_backend_stats() {
+    let sup =
+        Supervisor::spawn(backend_bin(), 2, SupervisorConfig::default()).expect("spawn backends");
+    let slots: Vec<SlotSpec> = sup.addrs().into_iter().map(SlotSpec::Remote).collect();
+    let front = ClusterFront::bind(
+        "127.0.0.1:0",
+        ClusterRouter::new(&slots, cluster_cfg()),
+        FrontConfig::default(),
+    )
+    .expect("bind front")
+    .spawn();
+
+    let batch = mixed_batch(64);
+    let mut client = PolicyClient::connect(front.addr(), 64).expect("connect");
+    let out = client.serve_batch(&batch).expect("serve");
+    assert!(out.iter().all(Result::is_ok));
+
+    // Cluster-wide fan-in over the wire (the front's aggregate)…
+    let aggregate = client.stats(None).expect("aggregate stats");
+
+    // …must equal the sum of what each backend reports when asked
+    // directly, plus the (here idle) fallback solver.
+    let mut summed = ServiceStats::default();
+    for i in 0..sup.len() {
+        let mut direct = PolicyClient::connect(sup.addr(i), 1).expect("connect backend");
+        summed.merge(&direct.stats(None).expect("backend stats"));
+    }
+    assert_eq!(aggregate, summed, "fan-in must equal the backend sum");
+    assert_eq!(aggregate.requests, batch.len() as u64);
+
+    // Per-slot stats ride the same path: shard i = backend i.
+    let mut per_slot = ServiceStats::default();
+    for s in 0..client.shards() {
+        per_slot.merge(&client.stats(Some(s)).expect("slot stats"));
+    }
+    assert_eq!(per_slot, summed);
+
+    // A ping through the front is answered and stat-free.
+    client.ping().expect("front pong");
+    assert_eq!(
+        client.stats(None).expect("stats").requests,
+        batch.len() as u64
+    );
+
+    drop(client);
+    front.shutdown();
+    drop(sup);
+}
+
+#[test]
+fn supervisor_monitors_and_replaces_children() {
+    let mut sup = Supervisor::spawn(
+        backend_bin(),
+        2,
+        SupervisorConfig {
+            backend_shards: 1,
+            workers: Some(1),
+            ..SupervisorConfig::default()
+        },
+    )
+    .expect("spawn backends");
+    assert_eq!(sup.len(), 2);
+    assert_eq!(sup.alive_count(), 2);
+    let old_addr = sup.addr(0);
+
+    sup.kill(0).expect("kill");
+    assert!(!sup.is_alive(0));
+    assert_eq!(sup.alive_count(), 1);
+    sup.kill(0).expect("idempotent kill");
+
+    // The survivor still serves (straight to the backend, no front).
+    let mut direct = PolicyClient::connect(sup.addr(1), 1).expect("connect survivor");
+    direct.ping().expect("survivor pong");
+    let out = direct
+        .serve_batch(&mixed_batch(1))
+        .expect("survivor serves");
+    assert!(out[0].is_ok());
+
+    // Respawn gives a fresh, live process (ephemeral port ⇒ the
+    // address may differ; the important part is that it answers).
+    let fresh = sup.respawn(0).expect("respawn");
+    assert!(sup.is_alive(0));
+    assert_eq!(sup.alive_count(), 2);
+    assert_eq!(sup.addr(0), fresh);
+    let mut revived = PolicyClient::connect(fresh, 1).expect("connect respawned");
+    revived.ping().expect("respawned pong");
+    let _ = old_addr; // the old address is dead; nothing to assert on it
+}
+
+/// A mixed local + remote topology serves the same bits as all-local.
+#[test]
+fn mixed_local_remote_topology_is_bit_identical() {
+    let sup =
+        Supervisor::spawn(backend_bin(), 1, SupervisorConfig::default()).expect("spawn backend");
+    let slots = [SlotSpec::Remote(sup.addr(0)), SlotSpec::Local];
+    let mut cluster = ClusterRouter::new(&slots, cluster_cfg());
+
+    let batch: Vec<PolicyRequest> = mixed_batch(48);
+    let reference = ShardRouter::new(RouterConfig {
+        shards: 2,
+        service: service_cfg(),
+        ..RouterConfig::default()
+    });
+    let expected = reference.serve_batch(&batch);
+
+    let got = cluster.serve_batch(&batch);
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        let (g, e) = (g.as_ref().unwrap(), e.as_ref().unwrap());
+        assert_eq!(
+            g.throughput.to_bits(),
+            e.throughput.to_bits(),
+            "request {i}"
+        );
+        for (gp, ep) in g.policies.iter().zip(&e.policies) {
+            assert_eq!(gp.listen.to_bits(), ep.listen.to_bits(), "request {i}");
+            assert_eq!(gp.transmit.to_bits(), ep.transmit.to_bits(), "request {i}");
+        }
+    }
+    let stats = cluster.cluster_stats();
+    assert!(stats.remote_served > 0, "remote slot took traffic");
+    assert!(stats.local_served > 0, "local slot took traffic");
+    assert_eq!(stats.local_fallbacks, 0);
+}

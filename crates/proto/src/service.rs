@@ -23,7 +23,9 @@
 //! Hello:    [0x13][ver][id u32][max_batch u16][crc u16]
 //! Welcome:  [0x14][ver][id u32][shards u16][max_batch u16][crc u16]
 //! StatsReq: [0x15][ver][id u32][shard u16][crc u16]
-//! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×15 [crc u16]
+//! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×16 [crc u16]
+//! Ping:     [0x17][ver][id u32][crc u16]
+//! Pong:     [0x18][ver][id u32][crc u16]
 //! ```
 //!
 //! Version 2 added the response's `kernel` octet (which solve kernel
@@ -31,6 +33,10 @@
 //! factorized large-N, or grid interpolation) and the two
 //! kernel-resolved exact-hit counters in the stats block, so
 //! cache-behaviour regressions at large N are observable per kernel.
+//! Version 3 added the `Ping`/`Pong` health pair (the liveness probe
+//! of the cluster layer's remote-shard dialers) and the
+//! `byte_evictions` counter in the stats block (the cross-tier cache
+//! byte budget's eviction accounting).
 //!
 //! `Hello`/`Welcome` form the connection handshake of the TCP policy
 //! server: the client announces the largest batch it intends to
@@ -38,7 +44,9 @@
 //! it will honor. `StatsReq` asks for one shard's serving counters
 //! (`shard = 0xFFFF` aggregates across all shards) and is answered by
 //! `Stats` with the counters of [`WireServiceStats`] in declaration
-//! order.
+//! order. `Ping` is answered by `Pong` echoing the id — a pure
+//! liveness/round-trip probe that touches no shard state, cheap enough
+//! for health checkers to send on a tight cadence.
 //!
 //! `ver` is [`WIRE_VERSION`]; decoders reject other versions with
 //! [`DecodeError::UnsupportedVersion`] so old binaries fail loudly
@@ -52,7 +60,7 @@ use crate::error::DecodeError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Current service wire-format version.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 /// Hard cap on per-message node counts so every message fits a u16
 /// stream-length prefix (a 4000-node response is 64 042 bytes).
@@ -65,6 +73,8 @@ const TYPE_HELLO: u8 = 0x13;
 const TYPE_WELCOME: u8 = 0x14;
 const TYPE_STATS_REQUEST: u8 = 0x15;
 const TYPE_STATS_RESPONSE: u8 = 0x16;
+const TYPE_PING: u8 = 0x17;
+const TYPE_PONG: u8 = 0x18;
 
 /// The `shard` value that requests counters aggregated across every
 /// shard instead of one shard's.
@@ -299,8 +309,25 @@ pub struct WireStatsRequest {
     pub shard: u16,
 }
 
+/// Liveness probe: "are you there, and is the request path alive?".
+/// Answered by [`WirePong`] echoing the id. Carries no other state —
+/// the cluster layer's health checkers send these on a tight cadence
+/// and must not perturb shard counters or caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePing {
+    /// Caller-chosen correlation id, echoed in the pong.
+    pub id: u32,
+}
+
+/// Liveness reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePong {
+    /// Echo of the ping id.
+    pub id: u32,
+}
+
 /// The serving counters of one shard (or the aggregate), mirroring
-/// the service crate's `ServiceStats`. Encoded as 15 u64s in
+/// the service crate's `ServiceStats`. Encoded as 16 u64s in
 /// declaration order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireServiceStats {
@@ -336,12 +363,16 @@ pub struct WireServiceStats {
     /// Exact-tier hits whose entry was produced by the factorized
     /// large-N solver (wire v2).
     pub exact_hits_factorized: u64,
+    /// LRU entries evicted to satisfy the cross-tier cache byte
+    /// budget, as opposed to the entry-count capacity (wire v3).
+    pub byte_evictions: u64,
 }
 
 /// Number of u64 counters in [`WireServiceStats`] — pins the wire
 /// layout; adding a counter is a wire-version bump (v2 appended the
-/// two kernel-resolved exact-hit counters, keeping v1's slots stable).
-pub const STATS_COUNTERS: usize = 15;
+/// two kernel-resolved exact-hit counters, v3 the byte-budget
+/// eviction counter, keeping earlier slots stable).
+pub const STATS_COUNTERS: usize = 16;
 
 impl WireServiceStats {
     /// The counters in wire (declaration) order.
@@ -362,6 +393,7 @@ impl WireServiceStats {
             self.lru_len,
             self.exact_hits_closed_form,
             self.exact_hits_factorized,
+            self.byte_evictions,
         ]
     }
 
@@ -383,6 +415,7 @@ impl WireServiceStats {
             lru_len: c[12],
             exact_hits_closed_form: c[13],
             exact_hits_factorized: c[14],
+            byte_evictions: c[15],
         }
     }
 }
@@ -416,6 +449,10 @@ pub enum ServiceMessage {
     StatsRequest(WireStatsRequest),
     /// Server → client: counter snapshot.
     StatsResponse(WireStatsResponse),
+    /// Client → server: liveness probe.
+    Ping(WirePing),
+    /// Server → client: liveness reply.
+    Pong(WirePong),
 }
 
 impl ServiceMessage {
@@ -508,6 +545,16 @@ impl ServiceMessage {
                     buf.put_u64(counter);
                 }
             }
+            ServiceMessage::Ping(p) => {
+                buf.put_u8(TYPE_PING);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(p.id);
+            }
+            ServiceMessage::Pong(p) => {
+                buf.put_u8(TYPE_PONG);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(p.id);
+            }
         }
         let crc = crc16_ccitt(&buf[start..]);
         buf.put_u16(crc);
@@ -523,6 +570,7 @@ impl ServiceMessage {
             ServiceMessage::Welcome(_) => 10 + 2,
             ServiceMessage::StatsRequest(_) => 8 + 2,
             ServiceMessage::StatsResponse(_) => 8 + 8 * STATS_COUNTERS + 2,
+            ServiceMessage::Ping(_) | ServiceMessage::Pong(_) => 6 + 2,
         }
     }
 
@@ -531,7 +579,7 @@ impl ServiceMessage {
     pub fn decode(data: &[u8]) -> Result<(ServiceMessage, usize), DecodeError> {
         if data.is_empty() {
             return Err(DecodeError::Truncated {
-                needed: 9,
+                needed: 8,
                 available: 0,
             });
         }
@@ -563,6 +611,7 @@ impl ServiceMessage {
             TYPE_HELLO | TYPE_STATS_REQUEST => 10,
             TYPE_WELCOME => 12,
             TYPE_STATS_RESPONSE => 10 + 8 * STATS_COUNTERS,
+            TYPE_PING | TYPE_PONG => 8,
             t => return Err(DecodeError::UnknownFrameType(t)),
         };
         if data.len() < total_len {
@@ -681,6 +730,8 @@ impl ServiceMessage {
                     stats: WireServiceStats::from_array(counters),
                 })
             }
+            TYPE_PING => ServiceMessage::Ping(WirePing { id: cur.get_u32() }),
+            TYPE_PONG => ServiceMessage::Pong(WirePong { id: cur.get_u32() }),
             _ => unreachable!("validated above"),
         };
         Ok((msg, total_len))
@@ -838,6 +889,7 @@ mod tests {
             lru_len: 13,
             exact_hits_closed_form: 14,
             exact_hits_factorized: 15,
+            byte_evictions: 16,
         };
         for m in [
             ServiceMessage::Hello(WireHello {
@@ -858,6 +910,8 @@ mod tests {
                 shard: 2,
                 stats,
             }),
+            ServiceMessage::Ping(WirePing { id: 11 }),
+            ServiceMessage::Pong(WirePong { id: 11 }),
         ] {
             let b = m.encode();
             assert_eq!(b.len(), m.encoded_len());
@@ -878,6 +932,30 @@ mod tests {
         assert_eq!(stats.to_array()[9], 10, "grid_prewarms rides slot 9");
         assert_eq!(stats.to_array()[13], 14, "closed-form hits ride slot 13");
         assert_eq!(stats.to_array()[14], 15, "factorized hits ride slot 14");
+        assert_eq!(stats.to_array()[15], 16, "byte evictions ride slot 15");
+    }
+
+    #[test]
+    fn ping_pong_roundtrip_and_size() {
+        // The v3 health pair mirrors the 0x13..0x16 family: fixed
+        // size, CRC-checked, id echo intact.
+        let ping = ServiceMessage::Ping(WirePing { id: 0xDEAD_BEEF });
+        let pong = ServiceMessage::Pong(WirePong { id: 0xDEAD_BEEF });
+        for m in [ping, pong] {
+            let b = m.encode();
+            assert_eq!(b.len(), m.encoded_len());
+            assert_eq!(b.len(), 8);
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            assert_eq!(decoded, m);
+            assert_eq!(used, b.len());
+        }
+        // Ping and pong are distinct types: one never decodes as the
+        // other even with identical ids.
+        let pb = ServiceMessage::Ping(WirePing { id: 5 }).encode();
+        assert!(matches!(
+            ServiceMessage::decode(&pb).unwrap().0,
+            ServiceMessage::Ping(_)
+        ));
     }
 
     #[test]
@@ -1079,6 +1157,52 @@ mod tests {
         #[test]
         fn prop_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
             let _ = ServiceMessage::decode(&bytes);
+        }
+
+        /// Ping/Pong round-trip for arbitrary ids, and every proper
+        /// truncation fails with Truncated — mirroring the
+        /// 0x13..0x16 handshake/stats suite for the v3 health pair.
+        #[test]
+        fn prop_ping_pong_roundtrip_and_truncation(
+            id in any::<u32>(),
+            pong in any::<bool>(),
+        ) {
+            let m = if pong {
+                ServiceMessage::Pong(WirePong { id })
+            } else {
+                ServiceMessage::Ping(WirePing { id })
+            };
+            let b = m.encode();
+            prop_assert_eq!(b.len(), m.encoded_len());
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(used, b.len());
+            for cut in 0..b.len() {
+                prop_assert!(matches!(
+                    ServiceMessage::decode(&b[..cut]),
+                    Err(DecodeError::Truncated { .. })
+                ));
+            }
+        }
+
+        /// Single-byte corruption anywhere in a Ping/Pong frame is a
+        /// clean rejection (CRC, type validation, or version check) —
+        /// never a panic, never a silent success.
+        #[test]
+        fn prop_ping_pong_corruption_detected(
+            id in any::<u32>(),
+            pos_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let m = ServiceMessage::Ping(WirePing { id });
+            let mut b = m.encode().to_vec();
+            let pos = ((b.len() - 1) as f64 * pos_frac) as usize;
+            b[pos] ^= flip;
+            // Flipping the type octet to TYPE_PONG is the one
+            // corruption the CRC cannot see *as* corruption only if
+            // the CRC also matched — it cannot, since the CRC covers
+            // the type octet.
+            prop_assert!(ServiceMessage::decode(&b).is_err());
         }
     }
 }

@@ -8,6 +8,20 @@
 //! `get` and `insert` are O(1), eviction pops the list tail. No
 //! external crates, deterministic behaviour (recency order depends
 //! only on the call sequence, never on hash iteration order).
+//!
+//! ## Byte budget
+//!
+//! Besides the entry-count capacity, the cache can carry an optional
+//! **byte budget**: every entry is charged an approximate resident
+//! size (slot + key copies + policy-vector heap), and inserts evict
+//! from the recency tail until the total fits. The budget is *shared
+//! across cache tiers*: `PolicyService` charges resident
+//! interpolation grids against the same `max_cache_bytes` pool and
+//! narrows the LRU's budget to the remainder
+//! ([`LruCache::set_byte_budget`]), so a service's cache footprint is
+//! bounded by one number no matter how traffic splits between tiers.
+//! Byte-driven evictions are counted separately
+//! ([`LruCache::byte_evictions`]) from capacity-driven ones.
 
 use econcast_oracle::AchievabilityGap;
 use econcast_proto::service::PolicyKernel;
@@ -34,6 +48,48 @@ pub struct CachedPolicy {
     pub certificate: AchievabilityGap,
 }
 
+impl CachedPolicy {
+    /// Approximate heap bytes owned by the policy vectors (the struct
+    /// itself is counted by whoever embeds it).
+    fn heap_bytes(&self) -> usize {
+        8 * (self.alpha.len() + self.beta.len())
+    }
+}
+
+/// Approximate resident bytes of one cache entry: the arena slot, the
+/// two key copies an entry pins (hash-map side and slot side, each
+/// with its sorted-budget heap block), and the policy-vector heap.
+/// "Approximate" means allocator slack and hash-map table overhead
+/// are not modelled — the budget bounds the dominant, per-entry-
+/// linear terms, which is what grows without bound under traffic.
+fn entry_bytes(key: &InstanceKey, value: &CachedPolicy) -> usize {
+    std::mem::size_of::<Slot>()
+        + std::mem::size_of::<InstanceKey>()
+        + 2 * 8 * key.num_nodes()
+        + value.heap_bytes()
+}
+
+/// A minimal placeholder key parked in freed slots (one-node budget
+/// heap, ~8 bytes) so eviction genuinely releases the victim's
+/// allocations. Canonicalized once per process — evictions happen on
+/// the insert hot path and must not pay a canonicalization each.
+fn scrub_key() -> InstanceKey {
+    use econcast_core::ThroughputMode;
+    static KEY: std::sync::OnceLock<InstanceKey> = std::sync::OnceLock::new();
+    KEY.get_or_init(|| {
+        econcast_statespace::CanonicalInstance::new(
+            &[1.0],
+            1.0,
+            1.0,
+            1.0,
+            ThroughputMode::Groupput,
+            1.0,
+        )
+        .key
+    })
+    .clone()
+}
+
 const NIL: usize = usize::MAX;
 
 #[derive(Debug)]
@@ -44,7 +100,8 @@ struct Slot {
     next: usize,
 }
 
-/// Fixed-capacity LRU over canonical instance keys.
+/// Fixed-capacity LRU over canonical instance keys, with an optional
+/// shared byte budget (see the module docs).
 #[derive(Debug)]
 pub struct LruCache {
     map: HashMap<InstanceKey, usize>,
@@ -55,16 +112,35 @@ pub struct LruCache {
     /// Least recently used slot.
     tail: usize,
     capacity: usize,
+    /// Byte ceiling currently granted to this cache (`None` =
+    /// unbounded). `PolicyService` shrinks it as grids claim their
+    /// share of the common pool.
+    max_bytes: Option<usize>,
+    /// Approximate resident bytes of the current entries.
+    bytes: usize,
     evictions: u64,
+    byte_evictions: u64,
 }
 
 impl LruCache {
-    /// Creates a cache holding at most `capacity` entries.
+    /// Creates a cache holding at most `capacity` entries, with no
+    /// byte budget.
     ///
     /// # Panics
     ///
     /// Panics when `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, None)
+    }
+
+    /// Creates a cache bounded by `capacity` entries *and* (when
+    /// `Some`) `max_bytes` approximate resident bytes, whichever bites
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn with_byte_budget(capacity: usize, max_bytes: Option<usize>) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         LruCache {
             map: HashMap::with_capacity(capacity),
@@ -73,7 +149,10 @@ impl LruCache {
             head: NIL,
             tail: NIL,
             capacity,
+            max_bytes,
+            bytes: 0,
             evictions: 0,
+            byte_evictions: 0,
         }
     }
 
@@ -92,9 +171,76 @@ impl LruCache {
         self.capacity
     }
 
-    /// Entries evicted so far.
+    /// Approximate resident bytes of the current entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The current byte budget (`None` = unbounded).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.max_bytes
+    }
+
+    /// Re-grants the byte budget, evicting LRU-first until the
+    /// resident entries fit — how the service narrows the exact tier's
+    /// share of the common pool when a grid build claims bytes.
+    pub fn set_byte_budget(&mut self, max_bytes: Option<usize>) {
+        self.max_bytes = max_bytes;
+        self.enforce_byte_budget();
+    }
+
+    /// Entries evicted so far, for any reason (capacity or byte
+    /// budget).
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// The subset of [`evictions`](Self::evictions) forced by the byte
+    /// budget rather than the entry-count capacity.
+    pub fn byte_evictions(&self) -> u64 {
+        self.byte_evictions
+    }
+
+    /// Evicts the least recently used entry, returning whether one
+    /// existed. The victim slot's heap allocations (policy vectors,
+    /// key budgets) are actually released — a freed slot parked on
+    /// the free list must not keep the evicted entry's memory
+    /// resident, or the byte budget would bound an accounting fiction
+    /// instead of the footprint.
+    fn evict_tail(&mut self) -> bool {
+        let victim = self.tail;
+        if victim == NIL {
+            return false;
+        }
+        self.unlink(victim);
+        self.map.remove(&self.slots[victim].key);
+        self.bytes = self.bytes.saturating_sub(entry_bytes(
+            &self.slots[victim].key,
+            &self.slots[victim].value,
+        ));
+        let slot = &mut self.slots[victim];
+        slot.key = scrub_key();
+        slot.value.alpha = Vec::new();
+        slot.value.beta = Vec::new();
+        self.free.push(victim);
+        self.evictions += 1;
+        true
+    }
+
+    /// Evicts LRU-first until the resident bytes fit the budget. May
+    /// empty the cache entirely when the budget is smaller than a
+    /// single entry — a tiny budget bounds memory, it does not
+    /// guarantee residency.
+    fn enforce_byte_budget(&mut self) {
+        let Some(budget) = self.max_bytes else {
+            return;
+        };
+        while self.bytes > budget {
+            if !self.evict_tail() {
+                break;
+            }
+            self.byte_evictions += 1;
+        }
     }
 
     /// Unlinks slot `i` from the recency list.
@@ -135,27 +281,27 @@ impl LruCache {
         Some(&self.slots[i].value)
     }
 
-    /// Inserts (or refreshes) an entry, evicting the least recently
-    /// used one when full.
+    /// Inserts (or refreshes) an entry, evicting least recently used
+    /// ones when the entry-count capacity or the byte budget demands
+    /// it.
     pub fn insert(&mut self, key: InstanceKey, value: CachedPolicy) {
         if let Some(&i) = self.map.get(&key) {
+            // Refresh: re-account the value's share of the bytes.
+            self.bytes =
+                self.bytes.saturating_sub(self.slots[i].value.heap_bytes()) + value.heap_bytes();
             self.slots[i].value = value;
             if self.head != i {
                 self.unlink(i);
                 self.link_front(i);
             }
+            self.enforce_byte_budget();
             return;
         }
-        let slot = if self.map.len() >= self.capacity {
-            // Recycle the tail.
-            let victim = self.tail;
-            self.unlink(victim);
-            self.map.remove(&self.slots[victim].key);
-            self.evictions += 1;
-            self.slots[victim].key = key.clone();
-            self.slots[victim].value = value;
-            victim
-        } else if let Some(i) = self.free.pop() {
+        if self.map.len() >= self.capacity {
+            self.evict_tail();
+        }
+        self.bytes += entry_bytes(&key, &value);
+        let slot = if let Some(i) = self.free.pop() {
             self.slots[i].key = key.clone();
             self.slots[i].value = value;
             i
@@ -170,6 +316,7 @@ impl LruCache {
         };
         self.map.insert(key, slot);
         self.link_front(slot);
+        self.enforce_byte_budget();
     }
 }
 
@@ -237,6 +384,76 @@ mod tests {
             assert!(lru.get(&key(i as f64)).is_some());
         }
         assert_eq!(lru.evictions(), 4);
+    }
+
+    /// A value whose policy vectors hold `n` nodes (bigger `n`, bigger
+    /// entry).
+    fn sized_value(tag: f64, n: usize) -> CachedPolicy {
+        CachedPolicy {
+            alpha: vec![tag; n],
+            beta: vec![tag; n],
+            ..value(tag)
+        }
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first_and_pins_order() {
+        // Calibrate: how many bytes does one single-node entry cost?
+        let mut probe = LruCache::new(8);
+        probe.insert(key(1.0), value(1.0));
+        let unit = probe.bytes();
+        assert!(unit > 0);
+
+        // Budget for exactly two single-node entries.
+        let mut lru = LruCache::with_byte_budget(1024, Some(2 * unit));
+        lru.insert(key(1.0), value(1.0));
+        lru.insert(key(2.0), value(2.0));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.bytes(), 2 * unit);
+        assert_eq!(lru.byte_evictions(), 0);
+
+        // Touch 1 so 2 is the recency tail; the third insert must
+        // evict 2 (LRU order), never 1 — the pinned eviction order.
+        assert!(lru.get(&key(1.0)).is_some());
+        lru.insert(key(3.0), value(3.0));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.byte_evictions(), 1);
+        assert_eq!(lru.evictions(), 1, "byte evictions count as evictions");
+        assert!(lru.get(&key(2.0)).is_none(), "tail evicted first");
+        assert!(lru.get(&key(1.0)).is_some());
+        assert!(lru.get(&key(3.0)).is_some());
+
+        // A single oversized entry (≈ 3 units of policy heap alone)
+        // sweeps every smaller entry out, oldest first, and then —
+        // still over budget alone — evicts itself: the budget is a
+        // bound, not a residency guarantee.
+        lru.insert(key(4.0), sized_value(4.0, 400));
+        assert_eq!(lru.len(), 0, "oversized entry cannot reside");
+        assert_eq!(lru.bytes(), 0);
+        assert_eq!(lru.byte_evictions(), 4);
+
+        // Narrowing the budget evicts immediately, tail first.
+        let mut lru = LruCache::with_byte_budget(1024, Some(3 * unit));
+        for k in 1..=3 {
+            lru.insert(key(k as f64), value(k as f64));
+        }
+        lru.set_byte_budget(Some(unit));
+        assert_eq!(lru.len(), 1);
+        assert!(lru.get(&key(3.0)).is_some(), "most recent survives");
+        assert_eq!(lru.byte_evictions(), 2);
+    }
+
+    #[test]
+    fn refresh_reaccounts_bytes() {
+        let mut lru = LruCache::new(4);
+        lru.insert(key(1.0), value(1.0));
+        let small = lru.bytes();
+        lru.insert(key(1.0), sized_value(1.0, 64));
+        assert!(lru.bytes() > small, "bigger value re-accounted");
+        lru.insert(key(1.0), value(1.0));
+        assert_eq!(lru.bytes(), small, "shrinking back restores the sum");
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.evictions(), 0);
     }
 
     #[test]

@@ -4,11 +4,12 @@ use crate::request::PolicyRequest;
 use crate::stats::ServiceStats;
 use bytes::BytesMut;
 use econcast_proto::service::{
-    ServiceCodec, ServiceMessage, WireHello, WirePolicyError, WirePolicyResponse, WireStatsRequest,
-    STATS_SHARD_AGGREGATE,
+    ServiceCodec, ServiceMessage, WireHello, WirePing, WirePolicyError, WirePolicyResponse,
+    WireStatsRequest, STATS_SHARD_AGGREGATE,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A handshaken connection to a [`crate::PolicyServer`].
 ///
@@ -17,6 +18,25 @@ use std::net::{TcpStream, ToSocketAddrs};
 /// for every request the server's read loop picks up together.
 /// Responses return in request order regardless of arrival order
 /// (correlation ids pair them up).
+///
+/// ## Failure contract
+///
+/// Failures are surfaced at two separate levels, and they never mix:
+///
+/// * **Per-request** failures (validation, size ceiling) arrive as
+///   [`WirePolicyError`] entries *inside* a successful
+///   [`serve_batch`](PolicyClient::serve_batch) result — the batch's
+///   other entries are real responses and safe to use.
+/// * **Stream** failures (CRC/framing corruption, version mismatch,
+///   disconnect) abort the *call* with an `Err`: no partial result
+///   vector is returned, the connection is poisoned (the codec stops
+///   at the corrupt frame), and the client must be dropped and
+///   re-connected. Results returned by *earlier* completed
+///   `serve_batch` calls are unaffected — corruption cannot
+///   retroactively poison them, because every response was
+///   CRC-checked when it was decoded (pinned by the
+///   `corrupt_mid_stream_reply_fails_the_call_not_prior_results`
+///   regression test).
 #[derive(Debug)]
 pub struct PolicyClient {
     stream: TcpStream,
@@ -87,7 +107,29 @@ impl PolicyClient {
     /// `max_batch` is the largest batch this client intends to
     /// pipeline (informational, rides the hello).
     pub fn connect(addr: impl ToSocketAddrs, max_batch: u16) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::handshake(TcpStream::connect(addr)?, max_batch)
+    }
+
+    /// Like [`PolicyClient::connect`], but with `timeout` applied to
+    /// the TCP connect **and** to the handshake reads/writes — and
+    /// left in force on the connection. Dialers use this: a backend
+    /// that accepts but never answers the `Hello` must surface as a
+    /// timed-out error, not a connect() that hangs before any
+    /// [`set_io_timeout`](PolicyClient::set_io_timeout) call could
+    /// take effect.
+    pub fn connect_with_timeout(
+        addr: std::net::SocketAddr,
+        max_batch: u16,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::handshake(stream, max_batch)
+    }
+
+    /// Performs the `Hello`/`Welcome` handshake on a connected stream.
+    fn handshake(stream: TcpStream, max_batch: u16) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
         let mut client = PolicyClient {
             stream,
@@ -117,6 +159,30 @@ impl PolicyClient {
         self.shards
     }
 
+    /// Applies a read/write timeout to the underlying stream (`None`
+    /// = block forever). Remote-shard dialers set this so a wedged —
+    /// rather than dead — backend surfaces as a timed-out `Err`
+    /// instead of a hung cluster.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Round-trips a `Ping`/`Pong` liveness probe, verifying the id
+    /// echo. The cluster layer's health checks in one call.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        let id = self.take_id();
+        self.send(&ServiceMessage::Ping(WirePing { id }))?;
+        loop {
+            match self.recv()? {
+                ServiceMessage::Pong(p) if p.id == id => return Ok(()),
+                // Stale replies from earlier traffic are skipped, the
+                // same way the handshake tolerates them.
+                _ => {}
+            }
+        }
+    }
+
     /// The server's batch cap from the handshake.
     pub fn server_max_batch(&self) -> u16 {
         self.server_max_batch
@@ -141,9 +207,18 @@ impl PolicyClient {
 
         let mut batch = Collector::new(base, reqs.len());
         // Phase 1: non-blocking writes, absorbing whatever replies
-        // arrive in the meantime.
+        // arrive in the meantime. SO_RCVTIMEO/SO_SNDTIMEO do not
+        // apply to a non-blocking socket (every call just returns
+        // WouldBlock), so the configured read timeout is converted
+        // into an explicit deadline for this phase — a backend that
+        // accepts but never reads must fail this call with TimedOut,
+        // not spin in the retry loop forever.
+        let deadline = self
+            .stream
+            .read_timeout()?
+            .map(|t| std::time::Instant::now() + t);
         self.stream.set_nonblocking(true)?;
-        let pumped = self.pump(&wire, &mut batch);
+        let pumped = self.pump(&wire, &mut batch, deadline);
         let restored = self.stream.set_nonblocking(false);
         pumped?;
         restored?;
@@ -155,8 +230,15 @@ impl PolicyClient {
     }
 
     /// Writes `wire` on the (non-blocking) stream, interleaving reads
-    /// whenever the send buffer is full.
-    fn pump(&mut self, wire: &[u8], batch: &mut Collector) -> std::io::Result<()> {
+    /// whenever the send buffer is full. `deadline` (from the
+    /// stream's configured timeout) bounds the whole write phase:
+    /// blowing it means the peer stopped draining our requests.
+    fn pump(
+        &mut self,
+        wire: &[u8],
+        batch: &mut Collector,
+        deadline: Option<std::time::Instant>,
+    ) -> std::io::Result<()> {
         use std::io::ErrorKind::{Interrupted, WouldBlock};
         let mut buf = [0u8; 16 * 1024];
         let mut written = 0;
@@ -171,6 +253,12 @@ impl PolicyClient {
                 Ok(n) => written += n,
                 Err(e) if e.kind() == Interrupted => {}
                 Err(e) if e.kind() == WouldBlock => {
+                    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "server did not drain the batch within the I/O timeout",
+                        ));
+                    }
                     // Send buffer full: the server must be waiting for
                     // us to drain replies — do that instead.
                     match self.stream.read(&mut buf) {

@@ -215,6 +215,22 @@ impl PolicyGrid {
     pub fn max_interval_err(&self) -> f64 {
         self.interval_err.iter().cloned().fold(0.0, f64::max)
     }
+
+    /// Approximate resident bytes of this grid (struct + knot/interval
+    /// heap) — what a build charges against the service's shared cache
+    /// byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + 8 * (self.ln_rho.len() + self.eta.len() + self.interval_err.len())
+    }
+
+    /// What [`PolicyGrid::approx_bytes`] will report for a grid built
+    /// with `cfg` — known *before* paying the ~2·points solves, so a
+    /// byte-budgeted service can skip builds that could never fit
+    /// instead of build-evict thrashing.
+    pub fn estimate_bytes(cfg: &GridConfig) -> usize {
+        std::mem::size_of::<Self>() + 8 * (3 * cfg.points - 1)
+    }
 }
 
 #[cfg(test)]

@@ -62,11 +62,11 @@ pub mod wire;
 pub mod workload;
 
 pub use cache::{CachedPolicy, LruCache};
-pub use client::PolicyClient;
+pub use client::{PolicyClient, WireResult};
 pub use grid::{FamilyKey, GridConfig, PolicyGrid};
 pub use prewarm::{MixRecorder, PrewarmConfig};
 pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
-pub use server::{PolicyServer, ServerConfig, ServerHandle};
+pub use server::{serve_connection, PolicyServer, ServeTarget, ServerConfig, ServerHandle};
 pub use service::{PolicyService, ServiceConfig};
 pub use shard::{RouterConfig, ShardRouter};
 pub use stats::ServiceStats;

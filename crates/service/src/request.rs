@@ -202,6 +202,37 @@ impl PolicyRequest {
 }
 
 impl PolicyResponse {
+    /// Rebuilds a native response from its wire form — the remote-
+    /// shard dialer's inverse of [`PolicyResponse::to_wire`]. The wire
+    /// response does not carry σ (the requester knows it), so the
+    /// certificate's σ field is restored from the originating
+    /// request; every other field round-trips bit-exactly, which is
+    /// what lets a cluster deployment preserve the bit-identical-
+    /// response guarantee across process boundaries.
+    pub fn from_wire(w: &WirePolicyResponse, sigma: f64) -> Self {
+        PolicyResponse {
+            policies: w
+                .policies
+                .iter()
+                .map(|p| NodePolicy {
+                    listen: p.listen,
+                    transmit: p.transmit,
+                })
+                .collect(),
+            throughput: w.throughput,
+            tier: w.tier,
+            kernel: w.kernel,
+            converged: w.converged,
+            certificate: AchievabilityGap {
+                sigma,
+                t_sigma: w.cert_t_sigma,
+                oracle: w.cert_oracle,
+                dual_upper: w.cert_dual_upper,
+                converged: w.converged,
+            },
+        }
+    }
+
     /// Encodes the native response as a wire response with the given
     /// id.
     pub fn to_wire(&self, id: u32) -> WirePolicyResponse {

@@ -32,11 +32,11 @@
 //! observed request families off the request path (see
 //! [`crate::prewarm`]).
 
-use crate::request::PolicyRequest;
+use crate::request::{PolicyRequest, PolicyResponse, ServiceError};
 use crate::shard::{RouterConfig, ShardRouter};
 use bytes::BytesMut;
 use econcast_proto::service::{
-    ServiceCodec, ServiceErrorCode, ServiceMessage, WirePolicyError, WireStatsResponse,
+    ServiceCodec, ServiceErrorCode, ServiceMessage, WirePolicyError, WirePong, WireStatsResponse,
     WireWelcome, STATS_SHARD_AGGREGATE,
 };
 use std::io::{Read, Write};
@@ -199,7 +199,7 @@ impl PolicyServer {
                             }
                         }
                         let _slot = SlotGuard(gate);
-                        handle_connection(stream, &router, max_batch);
+                        serve_connection(stream, &*router, max_batch);
                     });
                 }
             })
@@ -283,9 +283,52 @@ impl Drop for ServerHandle {
     }
 }
 
+/// What a TCP connection loop serves. One implementation of the
+/// protocol dispatch ([`serve_connection`]) fronts every deployment
+/// shape: [`PolicyServer`] implements this for [`ShardRouter`]
+/// (in-process shards), the cluster crate implements it for its
+/// router-behind-a-mutex (remote backends) — so a new wire message is
+/// wired up exactly once, not per front-end.
+pub trait ServeTarget {
+    /// Shard (or cluster-slot) count advertised in the `Welcome`
+    /// handshake.
+    fn shard_count(&self) -> usize;
+
+    /// Serves one routed batch; results in request order.
+    fn serve(&self, reqs: &[PolicyRequest]) -> Vec<Result<PolicyResponse, ServiceError>>;
+
+    /// One shard's counters, or the deployment aggregate for
+    /// [`STATS_SHARD_AGGREGATE`]; `None` = unknown shard (or a
+    /// backend the target cannot reach), answered with a typed
+    /// refusal.
+    fn stats(&self, shard: u16) -> Option<crate::stats::ServiceStats>;
+}
+
+impl ServeTarget for ShardRouter {
+    fn shard_count(&self) -> usize {
+        self.num_shards()
+    }
+
+    fn serve(&self, reqs: &[PolicyRequest]) -> Vec<Result<PolicyResponse, ServiceError>> {
+        self.serve_batch(reqs)
+    }
+
+    fn stats(&self, shard: u16) -> Option<crate::stats::ServiceStats> {
+        if shard == STATS_SHARD_AGGREGATE {
+            Some(self.aggregate_stats())
+        } else if usize::from(shard) < self.num_shards() {
+            Some(self.shard_stats(usize::from(shard)))
+        } else {
+            None
+        }
+    }
+}
+
 /// Serves one connection until EOF, I/O error, or a (fatal) decode
-/// error.
-fn handle_connection(mut stream: TcpStream, router: &ShardRouter, max_batch: usize) {
+/// error — the single protocol loop shared by every TCP front-end
+/// (see [`ServeTarget`]).
+pub fn serve_connection(mut stream: TcpStream, target: &impl ServeTarget, max_batch: usize) {
+    let max_batch = max_batch.max(1);
     let _ = stream.set_nodelay(true);
     let mut codec = ServiceCodec::new();
     let mut buf = [0u8; 16 * 1024];
@@ -310,28 +353,21 @@ fn handle_connection(mut stream: TcpStream, router: &ShardRouter, max_batch: usi
                     ids.push(w.id);
                     batch.push(PolicyRequest::from_wire(&w));
                     if batch.len() >= max_batch {
-                        serve_into(router, &mut ids, &mut batch, &mut out);
+                        serve_into(target, &mut ids, &mut batch, &mut out);
                     }
                 }
                 ServiceMessage::Hello(h) => {
                     ServiceCodec::encode(
                         &ServiceMessage::Welcome(WireWelcome {
                             id: h.id,
-                            shards: router.num_shards() as u16,
+                            shards: target.shard_count() as u16,
                             max_batch: max_batch.min(usize::from(u16::MAX)) as u16,
                         }),
                         &mut out,
                     );
                 }
                 ServiceMessage::StatsRequest(r) => {
-                    let reply = if r.shard == STATS_SHARD_AGGREGATE {
-                        Some(router.aggregate_stats())
-                    } else if usize::from(r.shard) < router.num_shards() {
-                        Some(router.shard_stats(usize::from(r.shard)))
-                    } else {
-                        None
-                    };
-                    let msg = match reply {
+                    let msg = match target.stats(r.shard) {
                         Some(stats) => ServiceMessage::StatsResponse(WireStatsResponse {
                             id: r.id,
                             shard: r.shard,
@@ -344,15 +380,21 @@ fn handle_connection(mut stream: TcpStream, router: &ShardRouter, max_batch: usi
                     };
                     ServiceCodec::encode(&msg, &mut out);
                 }
+                // Liveness probe: answer immediately, touching no
+                // shard state (health checkers ride a tight cadence).
+                ServiceMessage::Ping(p) => {
+                    ServiceCodec::encode(&ServiceMessage::Pong(WirePong { id: p.id }), &mut out);
+                }
                 // Server-to-client message types arriving here are
                 // protocol misuse; drop them.
                 ServiceMessage::Response(_)
                 | ServiceMessage::Error(_)
                 | ServiceMessage::Welcome(_)
-                | ServiceMessage::StatsResponse(_) => {}
+                | ServiceMessage::StatsResponse(_)
+                | ServiceMessage::Pong(_) => {}
             }
         }
-        serve_into(router, &mut ids, &mut batch, &mut out);
+        serve_into(target, &mut ids, &mut batch, &mut out);
         if !out.is_empty() && stream.write_all(&out).is_err() {
             return;
         }
@@ -362,7 +404,7 @@ fn handle_connection(mut stream: TcpStream, router: &ShardRouter, max_batch: usi
 /// Serves the buffered requests (if any) as one routed batch and
 /// encodes the replies.
 fn serve_into(
-    router: &ShardRouter,
+    target: &impl ServeTarget,
     ids: &mut Vec<u32>,
     batch: &mut Vec<PolicyRequest>,
     out: &mut BytesMut,
@@ -370,7 +412,7 @@ fn serve_into(
     if batch.is_empty() {
         return;
     }
-    let results = router.serve_batch(batch);
+    let results = target.serve(batch);
     for (id, result) in ids.drain(..).zip(&results) {
         let msg = match result {
             Ok(resp) => ServiceMessage::Response(resp.to_wire(id)),

@@ -68,6 +68,31 @@ pub struct ServiceConfig {
     pub max_anyput_nodes: usize,
     /// Grid tier configuration; `None` disables the tier.
     pub grid: Option<GridConfig>,
+    /// Cross-tier cache byte budget (`None` = unbounded): an
+    /// approximate ceiling on resident cache bytes shared by the
+    /// exact LRU **and** the interpolation grids. Grid builds charge
+    /// the pool first (grids are few, hot, and expensive to rebuild);
+    /// the LRU gets the remainder and evicts — size-aware, LRU-first —
+    /// to fit, counting those evictions in
+    /// `ServiceStats::byte_evictions`. A *lazy* (request-path) build
+    /// only runs when its grid fits alongside the resident ones —
+    /// never displacing a grid, so alternating hot families cannot
+    /// build–evict thrash; families that don't fit serve through the
+    /// closed form. The *prewarmer* may rotate the resident set:
+    /// when its installs overflow the pool, oldest-built grids are
+    /// evicted (`PolicyService::grid_evictions`), and a grid that
+    /// could never fit alone is not built at all. The entry-count
+    /// [`lru_capacity`](Self::lru_capacity) still applies; whichever
+    /// bound bites first wins.
+    ///
+    /// One caveat: cache *contents* under a byte budget depend on
+    /// request history, and an absent grid serves through the closed
+    /// form — numerically within tolerance but not bit-identical to a
+    /// grid serve. Deployments relying on the cross-topology
+    /// bit-identical guarantee should size the budget above the
+    /// working grid set (or disable the grid tier); the pinned
+    /// acceptance configurations leave this `None`.
+    pub max_cache_bytes: Option<usize>,
     /// Whether the first homogeneous in-range request of a family
     /// builds its grid inline (`true`, the default) or only
     /// already-resident grids serve (`false`) — the sharded server's
@@ -86,6 +111,7 @@ impl Default for ServiceConfig {
             max_anyput_nodes: 64,
             grid: Some(GridConfig::default()),
             lazy_grid_builds: true,
+            max_cache_bytes: None,
         }
     }
 }
@@ -175,6 +201,12 @@ pub struct PolicyService {
     cfg: ServiceConfig,
     lru: LruCache,
     grids: HashMap<FamilyKey, PolicyGrid>,
+    /// Build order of the resident grids — the FIFO eviction queue
+    /// when the grids alone overflow the shared byte budget.
+    grid_order: std::collections::VecDeque<FamilyKey>,
+    /// Bytes the resident grids have claimed from the shared cache
+    /// budget (0 when unbudgeted or no grids are resident).
+    grid_bytes: usize,
     /// One solver workspace pool per worker slot, reused across
     /// batches.
     scratch: Vec<SolverPool>,
@@ -195,6 +227,7 @@ struct Counters {
     errors: u64,
     grid_builds: u64,
     grid_prewarms: u64,
+    grid_evictions: u64,
     lru_inserts: u64,
 }
 
@@ -208,12 +241,64 @@ impl PolicyService {
     /// Creates a service with the given configuration.
     pub fn new(cfg: ServiceConfig) -> Self {
         PolicyService {
-            lru: LruCache::new(cfg.lru_capacity),
+            lru: LruCache::with_byte_budget(cfg.lru_capacity, cfg.max_cache_bytes),
             grids: HashMap::new(),
+            grid_order: std::collections::VecDeque::new(),
+            grid_bytes: 0,
             scratch: Vec::new(),
             stats: Counters::default(),
             cfg,
         }
+    }
+
+    /// Whether a grid built with `grid_cfg` could ever reside inside
+    /// the byte budget *on its own* — the prewarm gate. The prewarmer
+    /// runs off the request path and installs the currently-hottest
+    /// families, so displacing an older resident grid there is
+    /// intentional rotation, not waste.
+    fn grid_could_fit_alone(&self, grid_cfg: &GridConfig) -> bool {
+        self.cfg
+            .max_cache_bytes
+            .is_none_or(|budget| PolicyGrid::estimate_bytes(grid_cfg) <= budget)
+    }
+
+    /// Whether a grid built with `grid_cfg` fits **alongside** the
+    /// grids already resident — the stricter *request-path* gate.
+    /// Lazy builds never displace a resident grid: with a budget that
+    /// fits one grid but not two, traffic alternating between two hot
+    /// families would otherwise pay a full ~2·points-solve build per
+    /// request, each install evicting the other family (build–evict
+    /// thrash). A family that does not fit simply serves through the
+    /// closed form; rotating the resident set is the prewarmer's job.
+    fn grid_fits_alongside(&self, grid_cfg: &GridConfig) -> bool {
+        self.cfg
+            .max_cache_bytes
+            .is_none_or(|budget| self.grid_bytes + PolicyGrid::estimate_bytes(grid_cfg) <= budget)
+    }
+
+    /// Installs a freshly built grid and rebalances the shared byte
+    /// budget: grids charge the pool first — oldest-built grids are
+    /// evicted when the grids alone overflow it — and the LRU's share
+    /// shrinks to the remainder, evicting size-aware, LRU-first, to
+    /// fit.
+    fn install_grid(&mut self, family: FamilyKey, grid: PolicyGrid) {
+        self.grid_bytes += grid.approx_bytes();
+        self.grids.insert(family, grid);
+        self.grid_order.push_back(family);
+        let Some(budget) = self.cfg.max_cache_bytes else {
+            return;
+        };
+        while self.grid_bytes > budget {
+            let Some(oldest) = self.grid_order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = self.grids.remove(&oldest) {
+                self.grid_bytes -= evicted.approx_bytes();
+                self.stats.grid_evictions += 1;
+            }
+        }
+        self.lru
+            .set_byte_budget(Some(budget.saturating_sub(self.grid_bytes)));
     }
 
     /// A snapshot of the per-tier counters.
@@ -234,7 +319,22 @@ impl PolicyService {
             lru_inserts: self.stats.lru_inserts,
             lru_evictions: self.lru.evictions(),
             lru_len: self.lru.len() as u64,
+            byte_evictions: self.lru.byte_evictions(),
         }
+    }
+
+    /// Approximate resident cache bytes (exact LRU + grids) — the
+    /// quantity [`ServiceConfig::max_cache_bytes`] bounds.
+    pub fn cache_bytes(&self) -> usize {
+        self.lru.bytes() + self.grid_bytes
+    }
+
+    /// Grids evicted (oldest-built first) because the resident grids
+    /// alone overflowed the byte budget. Not a wire counter — the
+    /// wire's `byte_evictions` counts the LRU side, where budget
+    /// pressure normally lands.
+    pub fn grid_evictions(&self) -> u64 {
+        self.stats.grid_evictions
     }
 
     /// The configuration the service was built with.
@@ -250,15 +350,15 @@ impl PolicyService {
     /// Eagerly builds the interpolation grid for one homogeneous
     /// family, ahead of the lazy build a request would trigger.
     /// Returns `true` when a build actually ran; `false` when the grid
-    /// tier is disabled or the family is already resident. The
-    /// prewarmed grid is *identical* to the lazily built one (the
-    /// build is deterministic), so prewarming changes latency, never
-    /// responses.
+    /// tier is disabled, the family is already resident, or one grid
+    /// cannot fit the byte budget. The prewarmed grid is *identical*
+    /// to the lazily built one (the build is deterministic), so
+    /// prewarming changes latency, never responses.
     pub fn prewarm_grid(&mut self, family: &FamilyKey) -> bool {
         let Some(grid_cfg) = self.cfg.grid else {
             return false;
         };
-        if self.grids.contains_key(family) {
+        if self.grids.contains_key(family) || !self.grid_could_fit_alone(&grid_cfg) {
             return false;
         }
         let grid = PolicyGrid::build(
@@ -273,7 +373,7 @@ impl PolicyService {
             },
             &grid_cfg,
         );
-        self.grids.insert(*family, grid);
+        self.install_grid(*family, grid);
         self.stats.grid_prewarms += 1;
         true
     }
@@ -452,7 +552,6 @@ impl PolicyService {
             if let Some(grid_cfg) = self
                 .cfg
                 .grid
-                .as_ref()
                 .filter(|g| (g.rho_min_w..=g.rho_max_w).contains(&canon.sorted_budgets[0]))
             {
                 let family = FamilyKey::new(
@@ -462,27 +561,31 @@ impl PolicyService {
                     req.sigma,
                     req.objective,
                 );
-                let (grids, stats) = (&mut self.grids, &mut self.stats);
-                let grid: Option<&PolicyGrid> = if self.cfg.lazy_grid_builds {
-                    Some(grids.entry(family).or_insert_with(|| {
-                        stats.grid_builds += 1;
-                        PolicyGrid::build(
-                            canon.sorted_budgets.len(),
-                            req.listen_w,
-                            req.transmit_w,
-                            req.sigma,
-                            req.objective,
-                            grid_cfg,
-                        )
-                    }))
-                } else {
-                    // Prewarmed-only mode: never build on the request
-                    // path; cold families fall through to the closed
-                    // form until the prewarmer installs their grid.
-                    grids.get(&family)
-                };
-                let served =
-                    grid.and_then(|g| g.serve(canon.sorted_budgets[0], canon.tolerance_tier));
+                if self.cfg.lazy_grid_builds
+                    && !self.grids.contains_key(&family)
+                    && self.grid_fits_alongside(&grid_cfg)
+                {
+                    let grid = PolicyGrid::build(
+                        canon.sorted_budgets.len(),
+                        req.listen_w,
+                        req.transmit_w,
+                        req.sigma,
+                        req.objective,
+                        &grid_cfg,
+                    );
+                    self.stats.grid_builds += 1;
+                    // Grids share the cache byte budget with the
+                    // exact tier: charge the pool, shrink the LRU.
+                    self.install_grid(family, grid);
+                }
+                // Prewarmed-only mode (`lazy_grid_builds = false`)
+                // never builds on the request path; cold families
+                // fall through to the closed form until the prewarmer
+                // installs their grid.
+                let served = self
+                    .grids
+                    .get(&family)
+                    .and_then(|g| g.serve(canon.sorted_budgets[0], canon.tolerance_tier));
                 if let Some(policy) = served {
                     self.stats.grid_hits += 1;
                     // Publish into the exact tier so a repeat of this
@@ -787,6 +890,105 @@ mod tests {
         assert_eq!(svc.stats().exact_hits, 0, "different objectives, no hit");
         assert!(ra.throughput <= 1.0 + 1e-9);
         assert!(rg.throughput != ra.throughput);
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_cache_across_tiers() {
+        // Calibrate one entry's cost on an unbudgeted twin.
+        let mut probe = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            grid: None,
+            ..ServiceConfig::default()
+        });
+        probe.serve(&het_request(&[5e-6, 10e-6], 1e-2)).unwrap();
+        let unit = probe.cache_bytes();
+        assert!(unit > 0);
+
+        // Room for two entries (grid tier off: only the LRU charges).
+        let mut svc = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            grid: None,
+            max_cache_bytes: Some(2 * unit + unit / 2),
+            ..ServiceConfig::default()
+        });
+        let reqs: Vec<PolicyRequest> = (0..3)
+            .map(|k| het_request(&[(5 + k) as f64 * 1e-6, (10 + k) as f64 * 1e-6], 1e-2))
+            .collect();
+        for req in &reqs {
+            svc.serve(req).unwrap();
+        }
+        let s = svc.stats();
+        assert_eq!(s.lru_len, 2, "budget holds two entries");
+        assert_eq!(s.byte_evictions, 1, "third insert evicted the oldest");
+        assert_eq!(s.lru_evictions, 1);
+        assert!(svc.cache_bytes() <= 2 * unit + unit / 2);
+        // The oldest entry is the one that went: re-serving it solves
+        // again, the newer two replay from the exact tier.
+        assert_eq!(svc.serve(&reqs[2]).unwrap().tier, ServedTier::Exact);
+        assert_eq!(svc.serve(&reqs[0]).unwrap().tier, ServedTier::Solver);
+
+        // A grid build charges the same pool: with a budget that fits
+        // one grid but not grid + entry, installing the grid squeezes
+        // every LRU entry out.
+        let grid_bytes = PolicyGrid::estimate_bytes(&GridConfig::default());
+        let mut svc = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            max_cache_bytes: Some(grid_bytes + unit / 2),
+            ..ServiceConfig::default()
+        });
+        svc.serve(&het_request(&[5e-6, 10e-6], 1e-2)).unwrap();
+        assert_eq!(svc.stats().lru_len, 1);
+        let family = FamilyKey::new(10, 500e-6, 450e-6, 0.5, Groupput);
+        assert!(svc.prewarm_grid(&family), "one grid fits the budget");
+        let s = svc.stats();
+        assert_eq!(s.lru_len, 0, "grid claimed the whole pool");
+        assert!(s.byte_evictions >= 1);
+        assert!(svc.cache_bytes() <= grid_bytes + unit / 2);
+
+        // A second family overflows the grid share: the oldest-built
+        // grid is evicted (FIFO), keeping the total bounded.
+        let family2 = FamilyKey::new(12, 500e-6, 450e-6, 0.5, Groupput);
+        assert!(svc.prewarm_grid(&family2));
+        assert_eq!(svc.grid_evictions(), 1, "oldest grid evicted");
+        assert!(!svc.has_grid(&family), "FIFO victim is the first family");
+        assert!(svc.has_grid(&family2));
+        assert!(svc.cache_bytes() <= grid_bytes + unit / 2);
+
+        // The request path never displaces a resident grid: a lazy
+        // build for a *third* family (in grid range, budget already
+        // full) is skipped — closed form serves, no thrash.
+        let in_range = PolicyRequest::homogeneous(
+            11,
+            econcast_core::NodeParams::from_microwatts(10.0, 500.0, 450.0),
+            0.5,
+            Groupput,
+            1e-1,
+        );
+        let resp = svc.serve(&in_range).unwrap();
+        assert_eq!(resp.tier, ServedTier::ClosedForm);
+        assert_eq!(svc.stats().grid_builds, 0, "no lazy build-evict thrash");
+        assert_eq!(svc.grid_evictions(), 1, "resident grid undisturbed");
+        assert!(svc.has_grid(&family2));
+
+        // A budget too small for any grid skips builds outright — no
+        // build-evict thrash, the closed form serves instead.
+        let mut tiny = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            max_cache_bytes: Some(grid_bytes / 2),
+            ..ServiceConfig::default()
+        });
+        assert!(!tiny.prewarm_grid(&family), "oversize grid never builds");
+        let resp = tiny
+            .serve(&PolicyRequest::homogeneous(
+                10,
+                econcast_core::NodeParams::from_microwatts(10.0, 500.0, 450.0),
+                0.5,
+                Groupput,
+                1e-1,
+            ))
+            .unwrap();
+        assert_eq!(resp.tier, ServedTier::ClosedForm);
+        assert_eq!(tiny.stats().grid_builds, 0, "no lazy build either");
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub struct ServiceStats {
     /// Exact-tier hits whose entry was produced by the factorized
     /// large-N solver.
     pub exact_hits_factorized: u64,
+    /// LRU entries evicted to satisfy the cross-tier cache **byte
+    /// budget** (`ServiceConfig::max_cache_bytes`), as opposed to
+    /// [`lru_evictions`](Self::lru_evictions) which counts evictions
+    /// for any reason (entry-count capacity included). Grid builds
+    /// charge the shared budget too, so a burst of grid residency
+    /// shows up here as exact-tier pressure.
+    pub byte_evictions: u64,
 }
 
 impl ServiceStats {
@@ -85,6 +92,7 @@ impl ServiceStats {
         self.lru_len += other.lru_len;
         self.exact_hits_closed_form += other.exact_hits_closed_form;
         self.exact_hits_factorized += other.exact_hits_factorized;
+        self.byte_evictions += other.byte_evictions;
     }
 
     /// The wire form of this snapshot (for `StatsResponse` messages).
@@ -105,6 +113,7 @@ impl ServiceStats {
             lru_len: self.lru_len,
             exact_hits_closed_form: self.exact_hits_closed_form,
             exact_hits_factorized: self.exact_hits_factorized,
+            byte_evictions: self.byte_evictions,
         }
     }
 
@@ -126,6 +135,7 @@ impl ServiceStats {
             lru_len: w.lru_len,
             exact_hits_closed_form: w.exact_hits_closed_form,
             exact_hits_factorized: w.exact_hits_factorized,
+            byte_evictions: w.byte_evictions,
         }
     }
 }
@@ -150,6 +160,7 @@ mod tests {
         assert_eq!(s.lru_len, 13);
         assert_eq!(s.exact_hits_closed_form, 14);
         assert_eq!(s.exact_hits_factorized, 15);
+        assert_eq!(s.byte_evictions, 16);
     }
 
     #[test]

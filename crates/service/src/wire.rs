@@ -6,7 +6,7 @@ use crate::request::{error_to_wire, PolicyRequest};
 use crate::service::PolicyService;
 use bytes::BytesMut;
 use econcast_proto::service::{
-    ServiceCodec, ServiceErrorCode, ServiceMessage, WirePolicyError, WireStatsResponse,
+    ServiceCodec, ServiceErrorCode, ServiceMessage, WirePolicyError, WirePong, WireStatsResponse,
     WireWelcome, STATS_SHARD_AGGREGATE,
 };
 use econcast_proto::DecodeError;
@@ -93,10 +93,14 @@ impl WireServer {
                     };
                     ServiceCodec::encode(&msg, &mut out);
                 }
+                ServiceMessage::Ping(p) => {
+                    ServiceCodec::encode(&ServiceMessage::Pong(WirePong { id: p.id }), &mut out);
+                }
                 ServiceMessage::Response(_)
                 | ServiceMessage::Error(_)
                 | ServiceMessage::Welcome(_)
-                | ServiceMessage::StatsResponse(_) => self.ignored += 1,
+                | ServiceMessage::StatsResponse(_)
+                | ServiceMessage::Pong(_) => self.ignored += 1,
             }
         }
         if requests.is_empty() {

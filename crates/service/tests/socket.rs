@@ -256,6 +256,123 @@ fn garbage_length_prefix_is_fatal_not_a_hang() {
 }
 
 #[test]
+fn ping_round_trips_without_touching_shard_state() {
+    let handle = PolicyServer::bind("127.0.0.1:0", server(2))
+        .expect("bind")
+        .spawn();
+    let mut client = PolicyClient::connect(handle.addr(), 1).expect("connect");
+    for _ in 0..3 {
+        client.ping().expect("pong");
+    }
+    // Pings are pure liveness: no request/batch counters move.
+    let stats = client.stats(None).expect("stats");
+    assert_eq!(stats.requests, 0);
+    assert_eq!(stats.batches, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_mid_stream_reply_fails_the_call_not_prior_results() {
+    // Satellite regression for the PolicyClient failure contract: a
+    // server whose reply stream goes corrupt *mid-batch* must surface
+    // as an `Err` from that `serve_batch` call — no partial result
+    // vector, no panic — while results from earlier completed calls
+    // stay intact and usable. A hand-rolled misbehaving server plays
+    // the corruption.
+    use econcast_proto::service::{WirePolicy, WirePolicyResponse, WireWelcome, WIRE_VERSION};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut codec = ServiceCodec::new();
+        let mut buf = [0u8; 4096];
+        let mut answered = 0u32;
+        loop {
+            let n = match stream.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => n,
+            };
+            codec.feed(&buf[..n]);
+            let Ok(messages) = codec.drain() else { return };
+            let mut out = bytes::BytesMut::new();
+            for msg in messages {
+                match msg {
+                    ServiceMessage::Hello(h) => ServiceCodec::encode(
+                        &ServiceMessage::Welcome(WireWelcome {
+                            id: h.id,
+                            shards: 1,
+                            max_batch: 64,
+                        }),
+                        &mut out,
+                    ),
+                    ServiceMessage::Request(r) => {
+                        answered += 1;
+                        let reply = ServiceMessage::Response(WirePolicyResponse {
+                            id: r.id,
+                            tier: econcast_service::ServedTier::Exact,
+                            kernel: econcast_service::PolicyKernel::ClosedForm,
+                            converged: true,
+                            throughput: f64::from(answered),
+                            cert_t_sigma: 1.0,
+                            cert_oracle: 2.0,
+                            cert_dual_upper: 3.0,
+                            policies: r
+                                .budgets_w
+                                .iter()
+                                .map(|_| WirePolicy {
+                                    listen: 0.1,
+                                    transmit: 0.01,
+                                })
+                                .collect(),
+                        });
+                        if answered == 4 {
+                            // The 4th reply overall (2nd of batch 2):
+                            // a correctly length-prefixed frame whose
+                            // body fails its CRC.
+                            let mut corrupt = bytes::BytesMut::new();
+                            ServiceCodec::encode(&reply, &mut corrupt);
+                            let last = corrupt.len() - 1;
+                            corrupt[last] ^= 0xFF;
+                            out.extend_from_slice(&corrupt);
+                        } else {
+                            ServiceCodec::encode(&reply, &mut out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !out.is_empty() && stream.write_all(&out).is_err() {
+                return;
+            }
+        }
+    });
+
+    let batch = mixed_batch(2);
+    let mut client = PolicyClient::connect(addr, 2).expect("connect");
+    assert_eq!(WIRE_VERSION, 3, "test written against wire v3");
+
+    // Batch 1: clean round trip; keep the results.
+    let first = client.serve_batch(&batch).expect("clean batch");
+    assert_eq!(first.len(), 2);
+    let t0 = first[0].as_ref().expect("served").throughput;
+    assert_eq!(t0, 1.0, "fake server tags replies in answer order");
+
+    // Batch 2: the stream goes corrupt after one good reply. The call
+    // fails as a unit — InvalidData, not a partial vector, not a hang.
+    let err = client.serve_batch(&batch).expect_err("corrupt stream");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Prior results are untouched by the later corruption: every
+    // response was CRC-checked when decoded.
+    assert_eq!(first[0].as_ref().unwrap().throughput, 1.0);
+    assert_eq!(first[1].as_ref().unwrap().throughput, 2.0);
+
+    drop(client);
+    fake.join().expect("fake server");
+}
+
+#[test]
 fn large_n_requests_round_trip_the_sharded_tcp_path() {
     // The lifted ceiling reaches the wire: heterogeneous N ∈ {32, 64}
     // requests — beyond any enumeration table — round-trip the sharded

@@ -18,12 +18,16 @@
 //! * [`econcast_proto`] (as [`proto`]) — wire formats;
 //! * [`econcast_service`] (as [`service`]) — the batched
 //!   policy-serving subsystem: multi-tier policy cache + wire API;
+//! * [`econcast_cluster`] (as [`cluster`]) — multi-process deployment:
+//!   remote-shard dialers, health-checked failover, supervised
+//!   backends;
 //! * [`econcast_hw`] (as [`hw`]) — the eZ430-RF2500-SEH testbed
 //!   emulation;
 //! * [`econcast_lp`] (as [`lp`]) — the simplex solver substrate.
 
 pub use econcast_analysis as analysis;
 pub use econcast_baselines as baselines;
+pub use econcast_cluster as cluster;
 pub use econcast_core as core;
 pub use econcast_hw as hw;
 pub use econcast_lp as lp;
