@@ -16,7 +16,9 @@
 //! `p4_n12_speedup_vs_naive` figure.
 
 use crate::timing::{format_seconds, measure, Measurement};
-use econcast_cluster::{ClusterConfig, ClusterFront, ClusterRouter, FrontConfig, SlotSpec};
+use econcast_cluster::{
+    ClusterConfig, ClusterFront, ClusterHealer, ClusterRouter, FrontConfig, HealerConfig, SlotSpec,
+};
 use econcast_core::{NodeParams, ProtocolConfig, ThroughputMode};
 use econcast_service::{
     GridConfig, PolicyClient, PolicyRequest, PolicyServer, PolicyService, RouterConfig,
@@ -448,6 +450,15 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
             )?;
             let handle = front.spawn();
             let addr = handle.addr();
+            // The health sweep runs while the benchmark measures, so
+            // `cluster_rps` is the throughput of a *supervised*
+            // deployment — periodic ping probes and all — not an
+            // unwatched one.
+            let healer = ClusterHealer::spawn(
+                std::sync::Arc::clone(handle.router()),
+                HealerConfig::default(),
+            );
+            std::mem::forget(healer);
             std::mem::forget(handle);
             Ok(addr)
         })()

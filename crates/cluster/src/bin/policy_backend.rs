@@ -4,8 +4,13 @@
 //!
 //! ```text
 //! policy_backend [--addr 127.0.0.1:0] [--shards N] [--workers W]
-//!                [--max-batch B] [--prewarm]
+//!                [--max-batch B] [--prewarm] [--crash-after-ms T]
 //! ```
+//!
+//! `--crash-after-ms T` makes the process abort (exit code 1) `T`
+//! milliseconds after readiness — a deliberately crash-looping
+//! backend for exercising the supervisor policy loop's damping and
+//! quarantine paths. Never set it in a real deployment.
 //!
 //! Prints `LISTENING <addr>` on stdout once bound (the supervisor's
 //! readiness signal), then serves until killed **or until stdin hits
@@ -20,7 +25,7 @@ fn usage(err: &str) -> ! {
     eprintln!("policy_backend: {err}");
     eprintln!(
         "usage: policy_backend [--addr HOST:PORT] [--shards N] [--workers W] \
-         [--max-batch B] [--prewarm]"
+         [--max-batch B] [--prewarm] [--crash-after-ms T]"
     );
     std::process::exit(2);
 }
@@ -31,6 +36,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut max_batch = 1024usize;
     let mut prewarm = false;
+    let mut crash_after_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -58,6 +64,13 @@ fn main() {
                     .unwrap_or_else(|_| usage("--max-batch must be a positive integer"));
             }
             "--prewarm" => prewarm = true,
+            "--crash-after-ms" => {
+                crash_after_ms = Some(
+                    value("--crash-after-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--crash-after-ms must be an integer")),
+                );
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
@@ -83,6 +96,15 @@ fn main() {
     // Readiness signal: the supervisor parses this line.
     println!("LISTENING {}", server.local_addr());
     std::io::stdout().flush().expect("flush readiness line");
+
+    // Fault-harness crash timer: die hard (no shutdown, no drain) so
+    // the policy loop sees a genuine process death.
+    if let Some(ms) = crash_after_ms {
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            std::process::exit(1);
+        });
+    }
 
     let handle = server.spawn();
 

@@ -21,24 +21,29 @@
 //!
 //! Protocol compatibility is by construction, not by convention: both
 //! front-ends run the *same* connection loop
-//! (`econcast_service::serve_connection`), differing only in the
+//! (`econcast_service::serve_connection_gated`), differing only in the
 //! [`ServeTarget`] behind it — a `ShardRouter` there, the
 //! mutex-guarded [`ClusterRouter`] here. Connections are handled
 //! thread-per-connection behind a bounded accept gate; batches
 //! serialize through the router's mutex (the router owns the dialer
-//! pool — remote fan-out inside a batch is still concurrent).
+//! pool — remote fan-out inside a batch is still concurrent). A
+//! shutdown drains: handlers finish everything their clients already
+//! sent before closing, so a planned drain is never a client-visible
+//! stream error.
 
 use crate::router::{ClusterRouter, StatsSource};
 use econcast_proto::service::STATS_SHARD_AGGREGATE;
 use econcast_service::{
-    serve_connection, PolicyClient, PolicyRequest, PolicyResponse, ServeTarget, ServiceError,
-    ServiceStats,
+    serve_connection_gated, FamilyKey, PolicyClient, PolicyRequest, PolicyResponse, ServeTarget,
+    ServiceError, ServiceStats,
 };
 
-/// Timeout for the fresh per-request dials a stats fan-in makes.
-/// Deliberately short: stats are advisory, and the fan-in runs with
-/// the router unlocked but a client waiting.
+/// Timeout for the fresh per-request dials a stats fan-in (or a
+/// `MixSeed` forward) makes. Deliberately short: these are advisory,
+/// and they run with the router unlocked but a client waiting.
 const STATS_DIAL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+/// How long a shutdown waits for in-flight connections to drain.
+const DRAIN_WAIT: std::time::Duration = std::time::Duration::from_secs(5);
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -96,12 +101,44 @@ impl ServeTarget for FrontTarget {
                     total.merge(&stats);
                 }
             }
+            // The robustness counters are distribution-layer facts
+            // only the router knows; overlay them onto the aggregate
+            // (backends report them as zero).
+            let cs = self.router().cluster_stats();
+            total.auto_respawns = cs.auto_respawns;
+            total.quarantines = cs.quarantines;
+            total.reshard_handoffs = cs.reshard_handoffs;
+            total.injected_faults = cs.injected_faults;
             Some(total)
         } else {
             // `None` (unknown slot or unreachable backend) becomes a
             // typed refusal in the connection loop.
             fetch(sources.get(usize::from(shard))?)
         }
+    }
+
+    /// A `MixSeed` received by the front fans out to every
+    /// attemptable remote backend (fresh short-timeout dials, router
+    /// unlocked) — seeding a cluster warms the backends that actually
+    /// own grids. Local slots have no prewarmer and absorb nothing.
+    fn seed_mix(&self, mix: &[(FamilyKey, u64)]) -> (usize, usize) {
+        let targets: Vec<SocketAddr> = self
+            .router()
+            .remote_slot_addrs()
+            .into_iter()
+            .filter(|&(_, _, attempt)| attempt)
+            .map(|(_, addr, _)| addr)
+            .collect();
+        let (mut absorbed, mut built) = (0usize, 0usize);
+        for addr in targets {
+            let seeded = PolicyClient::connect_with_timeout(addr, 1, STATS_DIAL_TIMEOUT)
+                .and_then(|mut client| client.seed_mix(mix));
+            if let Ok((a, b)) = seeded {
+                absorbed = absorbed.max(usize::from(a));
+                built += usize::from(b);
+            }
+        }
+        (absorbed, built)
     }
 }
 
@@ -162,8 +199,7 @@ impl ClusterFront {
     }
 
     /// Starts the acceptor and returns a handle that stops it on
-    /// [`FrontHandle::shutdown`] or drop. Live connections keep
-    /// serving until their clients disconnect.
+    /// [`FrontHandle::shutdown`] or drop, draining live connections.
     pub fn spawn(self) -> FrontHandle {
         let addr = self.local_addr();
         let stop = Arc::new(AtomicBool::new(false));
@@ -196,7 +232,8 @@ impl ClusterFront {
                     active.fetch_sub(1, Ordering::SeqCst);
                     continue;
                 }
-                let (router, active) = (Arc::clone(&router), Arc::clone(&active));
+                let (router, active, stop) =
+                    (Arc::clone(&router), Arc::clone(&active), Arc::clone(&stop));
                 std::thread::spawn(move || {
                     struct Guard(Arc<AtomicUsize>);
                     impl Drop for Guard {
@@ -205,7 +242,11 @@ impl ClusterFront {
                         }
                     }
                     let _guard = Guard(active);
-                    serve_connection(stream, &FrontTarget(router), max_batch);
+                    // Gated: on shutdown the handler drains what the
+                    // client already sent (including a grace period
+                    // for partially received frames), then closes —
+                    // no client-visible mid-stream error.
+                    serve_connection_gated(stream, &FrontTarget(router), max_batch, &stop);
                 });
             })
         };
@@ -214,6 +255,7 @@ impl ClusterFront {
             addr,
             router,
             stop,
+            active,
             acceptor: Some(acceptor),
         }
     }
@@ -225,6 +267,7 @@ pub struct FrontHandle {
     addr: SocketAddr,
     router: Arc<Mutex<ClusterRouter>>,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -239,8 +282,11 @@ impl FrontHandle {
         &self.router
     }
 
-    /// Stops accepting and joins the acceptor. Live connections keep
-    /// serving until their clients disconnect.
+    /// Stops accepting, then drains: live connections serve every
+    /// request their clients already sent (plus a short grace for
+    /// partially received frames) before closing, and the shutdown
+    /// waits for them — bounded by an internal deadline so a wedged
+    /// handler cannot hang it forever.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
@@ -253,6 +299,12 @@ impl FrontHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
+        }
+        // Drain: handlers notice the stop flag on their next idle
+        // tick and finish what is already buffered.
+        let deadline = std::time::Instant::now() + DRAIN_WAIT;
+        while self.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
         }
     }
 }

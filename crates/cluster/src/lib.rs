@@ -37,6 +37,20 @@
 //!   processes (readiness via their `LISTENING <addr>` line, liveness
 //!   via `try_wait`, replacement via [`Supervisor::respawn`] +
 //!   [`ClusterRouter::retarget_slot`]).
+//! * [`ClusterHealer`] — the supervisor *policy* loop: a sweep thread
+//!   that probes backend health, respawns dead processes with
+//!   crash-loop damping (exponential backoff, quarantine onto a local
+//!   solver after too many respawns per window), and retargets ring
+//!   slots after a readiness probe — no operator in the loop. The
+//!   same module rebalances the ring live
+//!   ([`add_backend_with_warmup`], [`remove_backend_with_handoff`])
+//!   with warm `MixSeed` handoffs of the router's shadow request-mix
+//!   recorders.
+//! * [`FaultProxy`] / [`FaultPlan`] — a deterministic fault-injection
+//!   harness (connect refusals, frame corruption, stalls, partial
+//!   writes, scripted process kills) that drives the chaos acceptance
+//!   test in `tests/chaos.rs`, counting every fired fault in
+//!   [`ClusterStats::injected_faults`].
 //!
 //! The load-bearing guarantee is unchanged from every prior layer: a
 //! batch served through a cluster returns **bit-identical policies,
@@ -45,12 +59,18 @@
 //! including while backends are being killed mid-run (pinned by
 //! `tests/cluster.rs` over supervisor-spawned processes on real TCP).
 
+pub mod fault;
 pub mod front;
+pub mod policy;
 pub mod remote;
 pub mod router;
 pub mod supervisor;
 
+pub use fault::{Fault, FaultEvent, FaultPlan, FaultProxy};
 pub use front::{ClusterFront, FrontConfig, FrontHandle};
+pub use policy::{
+    add_backend_with_warmup, remove_backend_with_handoff, ClusterHealer, HealerConfig, RetargetFn,
+};
 pub use remote::{RemoteConfig, RemoteShard, RemoteShardStats};
 pub use router::{ClusterConfig, ClusterRouter, ClusterStats, SlotSpec, StatsSource};
 pub use supervisor::{default_backend_binary, Supervisor, SupervisorConfig};

@@ -20,6 +20,8 @@
 //! dialer from any other client.
 
 use econcast_service::{PolicyClient, PolicyRequest, ServiceStats, WireResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -82,21 +84,51 @@ pub struct RemoteShard {
     consecutive_failures: u32,
     /// `Some(since)` while the backend is considered down.
     down_since: Option<Instant>,
+    /// Deterministic per-shard multiplier in `[1.0, 1.5)` applied to
+    /// every reconnect backoff sleep.
+    jitter: f64,
     stats: RemoteShardStats,
+}
+
+/// The per-shard backoff jitter factor: seeded from the shard's slot
+/// index, so a cluster of dialers reconnecting after one backend
+/// restart spreads its dial storm deterministically instead of
+/// stampeding in lockstep — and two runs of the same topology jitter
+/// identically (reproducible tests and benchmarks).
+fn jitter_factor(index: u64) -> f64 {
+    // Golden-ratio XOR decorrelates small consecutive indices before
+    // they seed the generator.
+    let mut rng = StdRng::seed_from_u64(index ^ 0x9E37_79B9_7F4A_7C15);
+    rng.gen_range(1.0, 1.5)
 }
 
 impl RemoteShard {
     /// Wraps a backend address; nothing is dialed until the first
-    /// operation.
+    /// operation. Backoff jitter is seeded as slot index 0 — cluster
+    /// routers use [`RemoteShard::with_index`] so each slot jitters
+    /// differently.
     pub fn new(addr: SocketAddr, cfg: RemoteConfig) -> Self {
+        Self::with_index(addr, cfg, 0)
+    }
+
+    /// Wraps a backend address with an explicit slot index seeding the
+    /// deterministic backoff jitter.
+    pub fn with_index(addr: SocketAddr, cfg: RemoteConfig, index: u64) -> Self {
         RemoteShard {
             addr,
             cfg,
             conn: None,
             consecutive_failures: 0,
             down_since: None,
+            jitter: jitter_factor(index),
             stats: RemoteShardStats::default(),
         }
+    }
+
+    /// The deterministic backoff multiplier this shard was seeded
+    /// with (in `[1.0, 1.5)`).
+    pub fn backoff_jitter(&self) -> f64 {
+        self.jitter
     }
 
     /// The backend address.
@@ -192,7 +224,8 @@ impl RemoteShard {
             let mut last_err = None;
             for attempt in 0..self.cfg.dial_retries.max(1) {
                 if attempt > 0 {
-                    std::thread::sleep(self.cfg.backoff * 2u32.pow(attempt - 1));
+                    let base = self.cfg.backoff * 2u32.pow(attempt - 1);
+                    std::thread::sleep(base.mul_f64(self.jitter));
                 }
                 // The timeout must already be armed while dialing and
                 // handshaking: applying it only afterwards would leave
@@ -338,6 +371,121 @@ mod tests {
         // Stats fan-in sees the request the backend served.
         let backend = shard.backend_stats().expect("stats");
         assert_eq!(backend.requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_spreads_across_indices() {
+        let addr = dead_addr();
+        let cfg = RemoteConfig::default();
+        let factors: Vec<f64> = (0..8)
+            .map(|i| RemoteShard::with_index(addr, cfg, i).backoff_jitter())
+            .collect();
+        for (i, &f) in factors.iter().enumerate() {
+            assert!((1.0..1.5).contains(&f), "index {i} jitter {f} out of range");
+            // Same index ⇒ same factor, every time: reconnect pacing is
+            // reproducible run to run.
+            let again = RemoteShard::with_index(addr, cfg, i as u64).backoff_jitter();
+            assert_eq!(f.to_bits(), again.to_bits());
+        }
+        // Neighbouring slots must not share a factor, or a fleet of
+        // dialers stampedes in lockstep after one backend restart.
+        let distinct: std::collections::HashSet<u64> =
+            factors.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(
+            distinct.len(),
+            factors.len(),
+            "jitter collapsed: {factors:?}"
+        );
+        assert_eq!(
+            RemoteShard::new(addr, cfg).backoff_jitter().to_bits(),
+            factors[0].to_bits(),
+            "plain constructor is index 0"
+        );
+    }
+
+    #[test]
+    fn failed_reprobe_restamps_the_window_without_a_fresh_down_transition() {
+        // Down backend, short reprobe window: after the cooldown a
+        // probe is allowed through; when the backend is *still* dead
+        // the window re-stamps (no hammering) and the down transition
+        // is not double-counted as a fresh failure burst.
+        let mut shard = RemoteShard::new(
+            dead_addr(),
+            RemoteConfig {
+                dial_retries: 1,
+                reprobe_after: Duration::from_millis(80),
+                ..RemoteConfig::default()
+            },
+        );
+        assert!(shard.serve_batch(&one_request()).is_err());
+        assert!(!shard.healthy());
+        assert!(!shard.should_attempt(), "inside the cooldown window");
+
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(shard.should_attempt(), "cooldown elapsed: reprobe is due");
+        assert!(!shard.ping(), "backend is still dead");
+        assert!(
+            !shard.should_attempt(),
+            "failed reprobe re-stamps the window"
+        );
+        let s = shard.shard_stats();
+        assert_eq!(s.failures, 2, "initial failure plus one probe");
+        assert_eq!(s.down_transitions, 1, "still the same outage");
+        assert_eq!(s.recoveries, 0);
+    }
+
+    #[test]
+    fn recovery_is_adopted_at_the_next_probe_not_mid_window() {
+        use econcast_service::{PolicyServer, RouterConfig, ServerConfig, ServiceConfig};
+        // Mark the shard down while nothing listens, with a long
+        // reprobe window.
+        let addr = dead_addr();
+        let mut shard = RemoteShard::new(
+            addr,
+            RemoteConfig {
+                dial_retries: 1,
+                reprobe_after: Duration::from_secs(3600),
+                ..RemoteConfig::default()
+            },
+        );
+        assert!(shard.serve_batch(&one_request()).is_err());
+        assert!(!shard.healthy());
+
+        // The backend comes back on the same port mid-window. The
+        // health machine must NOT silently re-adopt it: serve-path
+        // attempts stay gated until a sweep probes explicitly.
+        let server = PolicyServer::bind(
+            addr,
+            ServerConfig {
+                router: RouterConfig {
+                    shards: 1,
+                    service: ServiceConfig {
+                        workers: Some(1),
+                        ..ServiceConfig::default()
+                    },
+                    ..RouterConfig::default()
+                },
+                background_prewarm: false,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("rebind released port")
+        .spawn();
+        assert!(
+            !shard.should_attempt(),
+            "recovery is invisible until the next health sweep"
+        );
+
+        // The sweep's explicit probe dials regardless of the window
+        // and re-adopts the recovered backend.
+        assert!(shard.ping(), "sweep probe re-adopts the backend");
+        assert!(shard.healthy());
+        assert!(shard.should_attempt());
+        let s = shard.shard_stats();
+        assert_eq!(s.recoveries, 1);
+        let out = shard.serve_batch(&one_request()).expect("serves again");
+        assert!(out[0].is_ok());
         server.shutdown();
     }
 }

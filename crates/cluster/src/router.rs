@@ -34,10 +34,12 @@
 //! read `Exact`), matching the PR 3 socket-test convention.
 
 use crate::remote::{RemoteConfig, RemoteShard, RemoteShardStats};
-use econcast_service::ServiceStats;
+use econcast_service::{FamilyKey, MixRecorder, ServiceStats};
 use econcast_service::{PolicyRequest, PolicyResponse, PolicyService, ServiceConfig, ServiceError};
 use econcast_statespace::{fnv1a_64, CanonicalInstance, InstanceKey};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What one ring slot is backed by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,10 +78,18 @@ impl Default for ClusterConfig {
 
 #[derive(Debug)]
 enum Slot {
-    Remote(RemoteShard),
+    /// Boxed (like `Local`): the dialer's pooled-connection and
+    /// health-machine state is hundreds of bytes, and slot vectors
+    /// should stay dense — `Retired` tombstones cost one word.
+    Remote(Box<RemoteShard>),
     /// Boxed: a `PolicyService` (caches + scratch pools) dwarfs the
     /// dialer, and slot vectors should stay dense.
     Local(Box<PolicyService>),
+    /// A backend removed by a live rebalance. The tombstone keeps
+    /// slot indices stable (stats, retargeting, healer bookkeeping
+    /// all key on them); it owns no vnodes, reports unhealthy, and
+    /// never serves.
+    Retired,
 }
 
 /// Where one slot's serving counters come from — snapshot under the
@@ -118,16 +128,39 @@ pub struct ClusterStats {
     /// Requests that failed validation (answered locally with typed
     /// errors, never routed).
     pub invalid_requests: u64,
-    /// Current per-slot health (local slots are always healthy).
+    /// Dead backends replaced by the supervisor policy loop without
+    /// an operator in the loop.
+    pub auto_respawns: u64,
+    /// Crash-looping backends the policy loop gave up on and pinned
+    /// onto a local in-process slot.
+    pub quarantines: u64,
+    /// Warm mix handoffs shipped during live ring rebalances.
+    pub reshard_handoffs: u64,
+    /// Faults fired by an attached fault-injection harness (zero in
+    /// production deployments).
+    pub injected_faults: u64,
+    /// Current per-slot health (local slots are always healthy,
+    /// retired slots never are).
     pub healthy: Vec<bool>,
 }
 
 /// Routes canonicalized requests across remote and local slots.
 #[derive(Debug)]
 pub struct ClusterRouter {
-    /// Sorted consistent-hash ring: `(point, slot)`.
+    /// Sorted consistent-hash ring: `(point, slot)`; retired slots
+    /// own no points.
     ring: Vec<(u64, u16)>,
     slots: Vec<Slot>,
+    /// Shadow per-slot request-mix recorders, fed at routing time:
+    /// the router's own copy of each backend's observed heat, so a
+    /// warm handoff never depends on being able to reach the (dead,
+    /// departing) backend it describes.
+    mixes: Vec<MixRecorder>,
+    cfg: ClusterConfig,
+    /// Grid-coverable budget range gating shadow mix recording
+    /// (`None` when the grid tier is disabled), mirroring
+    /// `ShardRouter`.
+    grid_range: Option<(f64, f64)>,
     /// The failover solver (and the answerer of invalid requests).
     fallback: PolicyService,
     routed: Vec<u64>,
@@ -136,6 +169,12 @@ pub struct ClusterRouter {
     local_fallbacks: u64,
     backend_failures: u64,
     invalid_requests: u64,
+    auto_respawns: u64,
+    quarantines: u64,
+    reshard_handoffs: u64,
+    /// Shared with fault injectors (which fire from proxy threads);
+    /// everything else on the router mutates under its owner's lock.
+    injected_faults: Arc<AtomicU64>,
 }
 
 impl ClusterRouter {
@@ -149,28 +188,54 @@ impl ClusterRouter {
         assert!(!slots.is_empty(), "need at least one slot");
         assert!(slots.len() <= u16::MAX as usize, "slot ids are u16");
         assert!(cfg.vnodes >= 1, "need at least one vnode per slot");
-        let mut ring: Vec<(u64, u16)> = (0..slots.len() as u16)
-            .flat_map(|s| (0..cfg.vnodes as u64).map(move |v| (fnv1a_64([u64::from(s), v]), s)))
-            .collect();
-        ring.sort_unstable();
         let slots: Vec<Slot> = slots
             .iter()
-            .map(|spec| match spec {
-                SlotSpec::Remote(addr) => Slot::Remote(RemoteShard::new(*addr, cfg.remote)),
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                SlotSpec::Remote(addr) => Slot::Remote(Box::new(RemoteShard::with_index(
+                    *addr, cfg.remote, i as u64,
+                ))),
                 SlotSpec::Local => Slot::Local(Box::new(PolicyService::new(cfg.service))),
             })
             .collect();
-        ClusterRouter {
-            ring,
+        let mut router = ClusterRouter {
+            ring: Vec::new(),
             routed: vec![0; slots.len()],
+            mixes: slots.iter().map(|_| MixRecorder::new()).collect(),
             slots,
+            grid_range: cfg.service.grid.map(|g| (g.rho_min_w, g.rho_max_w)),
             fallback: PolicyService::new(cfg.service),
+            cfg,
             remote_served: 0,
             local_served: 0,
             local_fallbacks: 0,
             backend_failures: 0,
             invalid_requests: 0,
-        }
+            auto_respawns: 0,
+            quarantines: 0,
+            reshard_handoffs: 0,
+            injected_faults: Arc::new(AtomicU64::new(0)),
+        };
+        router.rebuild_ring();
+        router
+    }
+
+    /// Recomputes the consistent-hash ring over every non-retired
+    /// slot. With no retired slots this reproduces the construction
+    /// `ShardRouter` uses bit for bit, so equal slot counts keep
+    /// assigning every canonical key identically.
+    fn rebuild_ring(&mut self) {
+        let vnodes = self.cfg.vnodes as u64;
+        let mut ring: Vec<(u64, u16)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| !matches!(slot, Slot::Retired))
+            .flat_map(|(s, _)| (0..vnodes).map(move |v| (fnv1a_64([s as u64, v]), s as u16)))
+            .collect();
+        ring.sort_unstable();
+        assert!(!ring.is_empty(), "every slot retired");
+        self.ring = ring;
     }
 
     /// Number of slots.
@@ -187,19 +252,52 @@ impl ClusterRouter {
         self.ring[if i == self.ring.len() { 0 } else { i }].1
     }
 
-    /// Whether a slot is currently healthy (local slots always are).
+    /// Whether a slot is currently healthy (local slots always are,
+    /// retired slots never are).
     pub fn slot_healthy(&self, slot: usize) -> bool {
         match &self.slots[slot] {
             Slot::Remote(rs) => rs.healthy(),
             Slot::Local(_) => true,
+            Slot::Retired => false,
         }
     }
 
-    /// A remote slot's dialer counters (`None` for local slots).
+    /// Whether a slot is a remote backend (the only kind a supervisor
+    /// policy loop manages).
+    pub fn slot_is_remote(&self, slot: usize) -> bool {
+        matches!(self.slots.get(slot), Some(Slot::Remote(_)))
+    }
+
+    /// A remote slot's backend address (`None` for local or retired
+    /// slots).
+    pub fn slot_addr(&self, slot: usize) -> Option<SocketAddr> {
+        match self.slots.get(slot)? {
+            Slot::Remote(rs) => Some(rs.addr()),
+            _ => None,
+        }
+    }
+
+    /// Every live remote slot: `(slot, backend address, whether the
+    /// health machine would attempt an operation right now)`. The
+    /// warm-handoff helpers snapshot this under the lock and dial
+    /// outside it.
+    pub fn remote_slot_addrs(&self) -> Vec<(usize, SocketAddr, bool)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, slot)| match slot {
+                Slot::Remote(rs) => Some((s, rs.addr(), rs.should_attempt())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A remote slot's dialer counters (`None` for local or retired
+    /// slots).
     pub fn remote_stats(&self, slot: usize) -> Option<RemoteShardStats> {
         match &self.slots[slot] {
             Slot::Remote(rs) => Some(rs.shard_stats()),
-            Slot::Local(_) => None,
+            _ => None,
         }
     }
 
@@ -212,6 +310,10 @@ impl ClusterRouter {
             local_fallbacks: self.local_fallbacks,
             backend_failures: self.backend_failures,
             invalid_requests: self.invalid_requests,
+            auto_respawns: self.auto_respawns,
+            quarantines: self.quarantines,
+            reshard_handoffs: self.reshard_handoffs,
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
             healthy: (0..self.slots.len())
                 .map(|s| self.slot_healthy(s))
                 .collect(),
@@ -219,27 +321,129 @@ impl ClusterRouter {
     }
 
     /// Pings every remote slot (dialing as needed), returning the
-    /// post-probe health per slot — the supervisor's health sweep.
+    /// post-probe health per slot — the healer's health sweep. Local
+    /// slots are trivially healthy, retired slots trivially not.
     pub fn ping_all(&mut self) -> Vec<bool> {
         self.slots
             .iter_mut()
             .map(|slot| match slot {
                 Slot::Remote(rs) => rs.ping(),
                 Slot::Local(_) => true,
+                Slot::Retired => false,
             })
             .collect()
     }
 
     /// Re-targets a remote slot at a replacement backend (respawned
-    /// process, fresh port). Returns `false` for local slots.
+    /// process, fresh port). Returns `false` for local or retired
+    /// slots.
     pub fn retarget_slot(&mut self, slot: usize, addr: SocketAddr) -> bool {
         match &mut self.slots[slot] {
             Slot::Remote(rs) => {
                 rs.retarget(addr);
                 true
             }
-            Slot::Local(_) => false,
+            _ => false,
         }
+    }
+
+    /// Records that the policy loop replaced a dead backend.
+    pub fn note_auto_respawn(&mut self) {
+        self.auto_respawns += 1;
+    }
+
+    /// Records one shipped warm-handoff mix.
+    pub fn note_reshard_handoff(&mut self) {
+        self.reshard_handoffs += 1;
+    }
+
+    /// The shared injected-fault counter. A fault-injection harness
+    /// clones this handle and increments it every time a scripted
+    /// fault actually fires, so chaos runs are auditable through the
+    /// ordinary stats plane.
+    pub fn injected_fault_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.injected_faults)
+    }
+
+    /// Replaces a crash-looping remote slot with a fresh in-process
+    /// local slot — the policy loop's quarantine action. The ring is
+    /// untouched (the slot keeps its vnodes; its keys are simply
+    /// served locally from now on). Returns `false` for slots that
+    /// are not remote.
+    pub fn quarantine_slot(&mut self, slot: usize) -> bool {
+        match &self.slots[slot] {
+            Slot::Remote(_) => {
+                self.slots[slot] = Slot::Local(Box::new(PolicyService::new(self.cfg.service)));
+                self.quarantines += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends a remote slot for a new backend and rebalances the
+    /// ring live: the new slot takes its vnodes immediately, moving
+    /// ~1/(n+1) of the key space onto the new backend. Returns the
+    /// new slot id. Warm the new backend with
+    /// [`export_mix`](Self::export_mix) (see
+    /// `policy::add_backend_with_warmup`) so inherited families
+    /// grid-serve from the first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot count would exceed `u16::MAX`.
+    pub fn add_backend(&mut self, addr: SocketAddr) -> u16 {
+        assert!(self.slots.len() < u16::MAX as usize, "slot ids are u16");
+        let slot = self.slots.len() as u16;
+        self.slots
+            .push(Slot::Remote(Box::new(RemoteShard::with_index(
+                addr,
+                self.cfg.remote,
+                u64::from(slot),
+            ))));
+        self.routed.push(0);
+        self.mixes.push(MixRecorder::new());
+        self.rebuild_ring();
+        slot
+    }
+
+    /// Retires a remote slot and rebalances the ring live: the slot's
+    /// vnodes vanish and its key ranges fall to the ring successors.
+    /// Returns the departing slot's shadow mix — the payload a warm
+    /// handoff ships to the inheriting backends (see
+    /// `policy::remove_backend_with_handoff`) — or `None` when the
+    /// slot is not remote or is the last slot on the ring.
+    pub fn remove_backend(&mut self, slot: usize) -> Option<Vec<(FamilyKey, u64)>> {
+        if !self.slot_is_remote(slot) {
+            return None;
+        }
+        let live = self
+            .slots
+            .iter()
+            .filter(|s| !matches!(s, Slot::Retired))
+            .count();
+        if live <= 1 {
+            return None;
+        }
+        self.slots[slot] = Slot::Retired;
+        self.rebuild_ring();
+        Some(std::mem::take(&mut self.mixes[slot]).export())
+    }
+
+    /// One slot's shadow request mix, hottest families first.
+    pub fn export_slot_mix(&self, slot: usize) -> Vec<(FamilyKey, u64)> {
+        self.mixes[slot].export()
+    }
+
+    /// The shadow request mix merged across every slot — what a
+    /// freshly added backend is seeded with (its inherited key ranges
+    /// come from every existing slot).
+    pub fn export_mix(&self) -> Vec<(FamilyKey, u64)> {
+        let mut merged = MixRecorder::new();
+        for mix in &self.mixes {
+            merged.absorb(&mix.export());
+        }
+        merged.export()
     }
 
     /// Where each slot's serving counters come from, plus the
@@ -258,6 +462,9 @@ impl ClusterRouter {
                     addr: rs.addr(),
                     attempt: rs.should_attempt(),
                 },
+                // A retired slot's counters died with its backend;
+                // it contributes zeros to any fan-in.
+                Slot::Retired => StatsSource::Local(ServiceStats::default()),
             })
             .collect();
         (sources, self.fallback.stats())
@@ -304,6 +511,23 @@ impl ClusterRouter {
                     );
                     let s = self.slot_of_key(&canon.key) as usize;
                     self.routed[s] += 1;
+                    // Shadow the backend's view of its request mix
+                    // (same gate as `ShardRouter`): this is the heat a
+                    // warm handoff ships when the slot's key range
+                    // moves — available even after the backend dies.
+                    if canon.homogeneous
+                        && self
+                            .grid_range
+                            .is_some_and(|(lo, hi)| (lo..=hi).contains(&canon.sorted_budgets[0]))
+                    {
+                        self.mixes[s].record(FamilyKey::new(
+                            canon.sorted_budgets.len(),
+                            req.listen_w,
+                            req.transmit_w,
+                            req.sigma,
+                            req.objective,
+                        ));
+                    }
                     sub_idx[s].push(i);
                 }
             }

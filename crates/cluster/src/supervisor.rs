@@ -21,7 +21,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
 /// Options applied to every spawned backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SupervisorConfig {
     /// `--shards` per backend process.
     pub backend_shards: usize,
@@ -33,6 +33,10 @@ pub struct SupervisorConfig {
     /// child killed — a wedged replacement must not hang the
     /// supervisor (and whoever drives `respawn`) forever.
     pub startup_timeout: Duration,
+    /// Extra flags appended to every backend's command line (applied
+    /// to respawns too) — how the fault-injection tests spawn
+    /// deliberately crash-looping backends (`--crash-after-ms`).
+    pub extra_args: Vec<String>,
 }
 
 impl Default for SupervisorConfig {
@@ -41,6 +45,7 @@ impl Default for SupervisorConfig {
             backend_shards: 2,
             workers: None,
             startup_timeout: Duration::from_secs(10),
+            extra_args: Vec::new(),
         }
     }
 }
@@ -89,6 +94,7 @@ impl Supervisor {
         if let Some(workers) = self.cfg.workers {
             cmd.arg("--workers").arg(workers.to_string());
         }
+        cmd.args(&self.cfg.extra_args);
         let mut child = cmd.spawn()?;
         let stdout = child.stdout.take().expect("stdout piped");
 

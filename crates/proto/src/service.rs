@@ -26,6 +26,10 @@
 //! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×16 [crc u16]
 //! Ping:     [0x17][ver][id u32][crc u16]
 //! Pong:     [0x18][ver][id u32][crc u16]
+//! MixSeed:  [0x19][ver][id u32][count u16]
+//!           { [n u16][listen f64][transmit f64][sigma f64][mode u8]
+//!             [hits u64] }×count [crc u16]
+//! MixAck:   [0x1A][ver][id u32][absorbed u16][grids_built u16][crc u16]
 //! ```
 //!
 //! Version 2 added the response's `kernel` octet (which solve kernel
@@ -37,6 +41,13 @@
 //! of the cluster layer's remote-shard dialers) and the
 //! `byte_evictions` counter in the stats block (the cross-tier cache
 //! byte budget's eviction accounting).
+//! Version 4 added the `MixSeed`/`MixAck` warm-handoff pair — a
+//! snapshot of one shard's observed homogeneous request mix, shipped
+//! to the shard inheriting its key range during a reshard so grid
+//! prewarming starts from the departing owner's heat instead of cold —
+//! and the four cluster self-healing counters in the stats block
+//! (`auto_respawns`, `quarantines`, `reshard_handoffs`,
+//! `injected_faults`).
 //!
 //! `Hello`/`Welcome` form the connection handshake of the TCP policy
 //! server: the client announces the largest batch it intends to
@@ -60,11 +71,16 @@ use crate::error::DecodeError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Current service wire-format version.
-pub const WIRE_VERSION: u8 = 3;
+pub const WIRE_VERSION: u8 = 4;
 
 /// Hard cap on per-message node counts so every message fits a u16
 /// stream-length prefix (a 4000-node response is 64 042 bytes).
 pub const MAX_WIRE_NODES: usize = 4000;
+
+/// Hard cap on families per [`MixSeed`](ServiceMessage::MixSeed)
+/// message so it fits the u16 stream-length prefix (1000 families are
+/// 35 010 bytes); senders truncate to the hottest families.
+pub const MAX_WIRE_FAMILIES: usize = 1000;
 
 const TYPE_REQUEST: u8 = 0x10;
 const TYPE_RESPONSE: u8 = 0x11;
@@ -75,6 +91,8 @@ const TYPE_STATS_REQUEST: u8 = 0x15;
 const TYPE_STATS_RESPONSE: u8 = 0x16;
 const TYPE_PING: u8 = 0x17;
 const TYPE_PONG: u8 = 0x18;
+const TYPE_MIX_SEED: u8 = 0x19;
+const TYPE_MIX_ACK: u8 = 0x1A;
 
 /// The `shard` value that requests counters aggregated across every
 /// shard instead of one shard's.
@@ -326,6 +344,52 @@ pub struct WirePong {
     pub id: u32,
 }
 
+/// One observed homogeneous request family and its heat, the unit of
+/// a [`WireMixSeed`]. Mirrors the service crate's `FamilyKey` plus its
+/// observation count; floats ride as IEEE-754 bit patterns, so family
+/// identity survives the wire exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireMixFamily {
+    /// Node count of the family.
+    pub n: u16,
+    /// Listen power `L` (W).
+    pub listen_w: f64,
+    /// Transmit power `X` (W).
+    pub transmit_w: f64,
+    /// Entropy temperature σ.
+    pub sigma: f64,
+    /// Objective: 0 = groupput, 1 = anyput.
+    pub mode: u8,
+    /// Observations of this family at the sender.
+    pub hits: u64,
+}
+
+/// Warm-handoff seed (wire v4): a snapshot of the sender's observed
+/// homogeneous request mix, hottest families first. Sent to the shard
+/// inheriting a departing owner's key range during a reshard so its
+/// prewarmer starts from real heat instead of cold; answered by
+/// [`WireMixAck`]. Absorbing a seed is a pure latency optimization —
+/// a prewarmed grid is bit-identical to the lazily built one, so
+/// responses never depend on whether a seed arrived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMixSeed {
+    /// Caller-chosen correlation id, echoed in the ack.
+    pub id: u32,
+    /// Observed families, hottest first (≤ [`MAX_WIRE_FAMILIES`]).
+    pub families: Vec<WireMixFamily>,
+}
+
+/// Warm-handoff acknowledgement: what the receiver did with the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMixAck {
+    /// Echo of the seed id.
+    pub id: u32,
+    /// Families recorded into the receiver's mix.
+    pub absorbed: u16,
+    /// Grid families built eagerly while absorbing.
+    pub grids_built: u16,
+}
+
 /// The serving counters of one shard (or the aggregate), mirroring
 /// the service crate's `ServiceStats`. Encoded as 16 u64s in
 /// declaration order.
@@ -366,13 +430,26 @@ pub struct WireServiceStats {
     /// LRU entries evicted to satisfy the cross-tier cache byte
     /// budget, as opposed to the entry-count capacity (wire v3).
     pub byte_evictions: u64,
+    /// Dead backends automatically respawned and retargeted by the
+    /// cluster's supervisor policy loop (wire v4; zero for plain
+    /// services — the cluster front overlays it on the aggregate).
+    pub auto_respawns: u64,
+    /// Backend slots quarantined onto the local fallback solver after
+    /// exhausting their respawn budget (wire v4).
+    pub quarantines: u64,
+    /// Warm mix handoffs shipped during live reshards (wire v4).
+    pub reshard_handoffs: u64,
+    /// Faults injected by a scripted fault plan — nonzero only under
+    /// the chaos harness (wire v4).
+    pub injected_faults: u64,
 }
 
 /// Number of u64 counters in [`WireServiceStats`] — pins the wire
 /// layout; adding a counter is a wire-version bump (v2 appended the
 /// two kernel-resolved exact-hit counters, v3 the byte-budget
-/// eviction counter, keeping earlier slots stable).
-pub const STATS_COUNTERS: usize = 16;
+/// eviction counter, v4 the four cluster self-healing counters,
+/// keeping earlier slots stable).
+pub const STATS_COUNTERS: usize = 20;
 
 impl WireServiceStats {
     /// The counters in wire (declaration) order.
@@ -394,6 +471,10 @@ impl WireServiceStats {
             self.exact_hits_closed_form,
             self.exact_hits_factorized,
             self.byte_evictions,
+            self.auto_respawns,
+            self.quarantines,
+            self.reshard_handoffs,
+            self.injected_faults,
         ]
     }
 
@@ -416,6 +497,10 @@ impl WireServiceStats {
             exact_hits_closed_form: c[13],
             exact_hits_factorized: c[14],
             byte_evictions: c[15],
+            auto_respawns: c[16],
+            quarantines: c[17],
+            reshard_handoffs: c[18],
+            injected_faults: c[19],
         }
     }
 }
@@ -453,6 +538,10 @@ pub enum ServiceMessage {
     Ping(WirePing),
     /// Server → client: liveness reply.
     Pong(WirePong),
+    /// Peer → peer: warm-handoff request-mix seed (wire v4).
+    MixSeed(WireMixSeed),
+    /// Reply: what the receiver did with the seed (wire v4).
+    MixAck(WireMixAck),
 }
 
 impl ServiceMessage {
@@ -555,6 +644,31 @@ impl ServiceMessage {
                 buf.put_u8(WIRE_VERSION);
                 buf.put_u32(p.id);
             }
+            ServiceMessage::MixSeed(s) => {
+                assert!(
+                    s.families.len() <= MAX_WIRE_FAMILIES,
+                    "mix seed exceeds MAX_WIRE_FAMILIES"
+                );
+                buf.put_u8(TYPE_MIX_SEED);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(s.id);
+                buf.put_u16(s.families.len() as u16);
+                for f in &s.families {
+                    buf.put_u16(f.n);
+                    buf.put_f64(f.listen_w);
+                    buf.put_f64(f.transmit_w);
+                    buf.put_f64(f.sigma);
+                    buf.put_u8(f.mode);
+                    buf.put_u64(f.hits);
+                }
+            }
+            ServiceMessage::MixAck(a) => {
+                buf.put_u8(TYPE_MIX_ACK);
+                buf.put_u8(WIRE_VERSION);
+                buf.put_u32(a.id);
+                buf.put_u16(a.absorbed);
+                buf.put_u16(a.grids_built);
+            }
         }
         let crc = crc16_ccitt(&buf[start..]);
         buf.put_u16(crc);
@@ -571,6 +685,8 @@ impl ServiceMessage {
             ServiceMessage::StatsRequest(_) => 8 + 2,
             ServiceMessage::StatsResponse(_) => 8 + 8 * STATS_COUNTERS + 2,
             ServiceMessage::Ping(_) | ServiceMessage::Pong(_) => 6 + 2,
+            ServiceMessage::MixSeed(s) => 8 + 35 * s.families.len() + 2,
+            ServiceMessage::MixAck(_) => 10 + 2,
         }
     }
 
@@ -612,6 +728,17 @@ impl ServiceMessage {
             TYPE_WELCOME => 12,
             TYPE_STATS_RESPONSE => 10 + 8 * STATS_COUNTERS,
             TYPE_PING | TYPE_PONG => 8,
+            TYPE_MIX_SEED => {
+                if data.len() < 8 {
+                    return Err(DecodeError::Truncated {
+                        needed: 10,
+                        available: data.len(),
+                    });
+                }
+                let count = u16::from_be_bytes([data[6], data[7]]) as usize;
+                8 + 35 * count + 2
+            }
+            TYPE_MIX_ACK => 12,
             t => return Err(DecodeError::UnknownFrameType(t)),
         };
         if data.len() < total_len {
@@ -732,6 +859,44 @@ impl ServiceMessage {
             }
             TYPE_PING => ServiceMessage::Ping(WirePing { id: cur.get_u32() }),
             TYPE_PONG => ServiceMessage::Pong(WirePong { id: cur.get_u32() }),
+            TYPE_MIX_SEED => {
+                let id = cur.get_u32();
+                let count = cur.get_u16() as usize;
+                if count > MAX_WIRE_FAMILIES {
+                    return Err(DecodeError::MalformedLength);
+                }
+                let mut families = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let n = cur.get_u16();
+                    let listen_w = cur.get_f64();
+                    let transmit_w = cur.get_f64();
+                    let sigma = cur.get_f64();
+                    let mode = cur.get_u8();
+                    if mode > 1 {
+                        return Err(DecodeError::InvalidField("mix mode"));
+                    }
+                    let hits = cur.get_u64();
+                    families.push(WireMixFamily {
+                        n,
+                        listen_w,
+                        transmit_w,
+                        sigma,
+                        mode,
+                        hits,
+                    });
+                }
+                ServiceMessage::MixSeed(WireMixSeed { id, families })
+            }
+            TYPE_MIX_ACK => {
+                let id = cur.get_u32();
+                let absorbed = cur.get_u16();
+                let grids_built = cur.get_u16();
+                ServiceMessage::MixAck(WireMixAck {
+                    id,
+                    absorbed,
+                    grids_built,
+                })
+            }
             _ => unreachable!("validated above"),
         };
         Ok((msg, total_len))
@@ -890,6 +1055,10 @@ mod tests {
             exact_hits_closed_form: 14,
             exact_hits_factorized: 15,
             byte_evictions: 16,
+            auto_respawns: 17,
+            quarantines: 18,
+            reshard_handoffs: 19,
+            injected_faults: 20,
         };
         for m in [
             ServiceMessage::Hello(WireHello {
@@ -933,6 +1102,10 @@ mod tests {
         assert_eq!(stats.to_array()[13], 14, "closed-form hits ride slot 13");
         assert_eq!(stats.to_array()[14], 15, "factorized hits ride slot 14");
         assert_eq!(stats.to_array()[15], 16, "byte evictions ride slot 15");
+        assert_eq!(stats.to_array()[16], 17, "auto respawns ride slot 16");
+        assert_eq!(stats.to_array()[17], 18, "quarantines ride slot 17");
+        assert_eq!(stats.to_array()[18], 19, "reshard handoffs ride slot 18");
+        assert_eq!(stats.to_array()[19], 20, "injected faults ride slot 19");
     }
 
     #[test]
@@ -956,6 +1129,87 @@ mod tests {
             ServiceMessage::decode(&pb).unwrap().0,
             ServiceMessage::Ping(_)
         ));
+    }
+
+    fn sample_mix_seed() -> ServiceMessage {
+        ServiceMessage::MixSeed(WireMixSeed {
+            id: 21,
+            families: vec![
+                WireMixFamily {
+                    n: 12,
+                    listen_w: 500e-6,
+                    transmit_w: 450e-6,
+                    sigma: 0.5,
+                    mode: 0,
+                    hits: 9,
+                },
+                WireMixFamily {
+                    n: 96,
+                    listen_w: 500e-6,
+                    transmit_w: 450e-6,
+                    sigma: 0.25,
+                    mode: 1,
+                    hits: 4,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn mix_seed_roundtrip_and_size() {
+        let m = sample_mix_seed();
+        let b = m.encode();
+        assert_eq!(b.len(), m.encoded_len());
+        assert_eq!(b.len(), 8 + 35 * 2 + 2);
+        let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(used, b.len());
+        // Empty seeds are legal (a shard with no recorded mix).
+        let empty = ServiceMessage::MixSeed(WireMixSeed {
+            id: 1,
+            families: vec![],
+        });
+        let be = empty.encode();
+        assert_eq!(be.len(), 10);
+        assert_eq!(ServiceMessage::decode(&be).unwrap().0, empty);
+    }
+
+    #[test]
+    fn mix_ack_roundtrip_and_size() {
+        let m = ServiceMessage::MixAck(WireMixAck {
+            id: 21,
+            absorbed: 2,
+            grids_built: 1,
+        });
+        let b = m.encode();
+        assert_eq!(b.len(), m.encoded_len());
+        assert_eq!(b.len(), 12);
+        let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(used, b.len());
+        for cut in 0..b.len() {
+            assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn mix_seed_invalid_mode_rejected() {
+        // A mode octet ≥ 2 with a *valid* CRC must fail as a field
+        // error, not slip through as a bogus objective.
+        let mut b = sample_mix_seed().encode().to_vec();
+        let mode_off = 8 + 2 + 24; // first family's mode octet
+        assert_eq!(b[mode_off], 0);
+        b[mode_off] = 2;
+        let body_len = b.len() - 2;
+        let crc = crate::crc::crc16_ccitt(&b[..body_len]);
+        b[body_len..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ServiceMessage::decode(&b),
+            Err(DecodeError::InvalidField("mix mode"))
+        );
     }
 
     #[test]
@@ -1183,6 +1437,59 @@ mod tests {
                     Err(DecodeError::Truncated { .. })
                 ));
             }
+        }
+
+        /// MixSeed round-trips for arbitrary family lists, and every
+        /// proper truncation fails with Truncated — the v4 warm-handoff
+        /// message inherits the framing discipline of the rest of the
+        /// family.
+        #[test]
+        fn prop_mix_seed_roundtrip_and_truncation(
+            id in any::<u32>(),
+            fams in proptest::collection::vec(
+                (1u16..4000, 1e-9f64..1.0, 0.01f64..10.0, any::<u64>()),
+                0..20,
+            ),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let m = ServiceMessage::MixSeed(WireMixSeed {
+                id,
+                families: fams
+                    .into_iter()
+                    .map(|(n, listen_w, sigma, hits)| WireMixFamily {
+                        n,
+                        listen_w,
+                        transmit_w: listen_w * 0.9,
+                        sigma,
+                        mode: (n % 2) as u8,
+                        hits,
+                    })
+                    .collect(),
+            });
+            let b = m.encode();
+            prop_assert_eq!(b.len(), m.encoded_len());
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(used, b.len());
+            let cut = ((b.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+
+        /// Single-byte corruption anywhere in a MixSeed frame is a
+        /// clean rejection — CRC, type validation, version check, or
+        /// (for a count-field flip) a length mismatch.
+        #[test]
+        fn prop_mix_seed_corruption_detected(
+            pos_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let mut b = sample_mix_seed().encode().to_vec();
+            let pos = ((b.len() - 1) as f64 * pos_frac) as usize;
+            b[pos] ^= flip;
+            prop_assert!(ServiceMessage::decode(&b).is_err());
         }
 
         /// Single-byte corruption anywhere in a Ping/Pong frame is a

@@ -1,11 +1,12 @@
 //! A blocking TCP client for the policy server.
 
+use crate::grid::FamilyKey;
 use crate::request::PolicyRequest;
 use crate::stats::ServiceStats;
 use bytes::BytesMut;
 use econcast_proto::service::{
-    ServiceCodec, ServiceMessage, WireHello, WirePing, WirePolicyError, WirePolicyResponse,
-    WireStatsRequest, STATS_SHARD_AGGREGATE,
+    ServiceCodec, ServiceMessage, WireHello, WireMixSeed, WirePing, WirePolicyError,
+    WirePolicyResponse, WireStatsRequest, STATS_SHARD_AGGREGATE,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -186,6 +187,29 @@ impl PolicyClient {
     /// The server's batch cap from the handshake.
     pub fn server_max_batch(&self) -> u16 {
         self.server_max_batch
+    }
+
+    /// Ships a warm-handoff request mix (`MixSeed`, wire v4) and
+    /// waits for the ack; returns `(families_absorbed, grids_built)`
+    /// as reported by the server. The reshard path uses this to seed
+    /// the inheriting shard's prewarmer from the departing owner's
+    /// observed heat.
+    pub fn seed_mix(&mut self, mix: &[(FamilyKey, u64)]) -> std::io::Result<(u16, u16)> {
+        let id = self.take_id();
+        self.send(&ServiceMessage::MixSeed(WireMixSeed {
+            id,
+            families: crate::prewarm::mix_to_wire(mix),
+        }))?;
+        loop {
+            match self.recv()? {
+                ServiceMessage::MixAck(a) if a.id == id => {
+                    return Ok((a.absorbed, a.grids_built));
+                }
+                // Stale replies from earlier traffic are skipped, the
+                // same way the handshake tolerates them.
+                _ => {}
+            }
+        }
     }
 
     /// Pipelines every request, draining responses *while* writing —

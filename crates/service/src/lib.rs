@@ -64,9 +64,11 @@ pub mod workload;
 pub use cache::{CachedPolicy, LruCache};
 pub use client::{PolicyClient, WireResult};
 pub use grid::{FamilyKey, GridConfig, PolicyGrid};
-pub use prewarm::{MixRecorder, PrewarmConfig};
+pub use prewarm::{mix_from_wire, mix_to_wire, MixRecorder, PrewarmConfig};
 pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
-pub use server::{serve_connection, PolicyServer, ServeTarget, ServerConfig, ServerHandle};
+pub use server::{
+    serve_connection, serve_connection_gated, PolicyServer, ServeTarget, ServerConfig, ServerHandle,
+};
 pub use service::{PolicyService, ServiceConfig};
 pub use shard::{RouterConfig, ShardRouter};
 pub use stats::ServiceStats;

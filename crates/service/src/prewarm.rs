@@ -13,6 +13,7 @@
 //! so responses never depend on whether, or when, the prewarmer ran.
 
 use crate::grid::FamilyKey;
+use econcast_proto::service::{WireMixFamily, MAX_WIRE_FAMILIES, MAX_WIRE_NODES};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -68,6 +69,28 @@ impl MixRecorder {
         self.counts.len()
     }
 
+    /// Records `hits` observations of `family` at once — how a warm
+    /// handoff folds a departing shard's heat into this recorder.
+    pub fn record_many(&mut self, family: FamilyKey, hits: u64) {
+        *self.counts.entry(family).or_insert(0) += hits;
+        self.observations += hits;
+    }
+
+    /// Snapshot of the recorded mix for shipping to another shard:
+    /// every family with its hit count, hottest first with
+    /// deterministic tie-breaks (the [`candidates`](Self::candidates)
+    /// order with no heat floor).
+    pub fn export(&self) -> Vec<(FamilyKey, u64)> {
+        self.candidates(1)
+    }
+
+    /// Folds an exported mix into this recorder (counter-wise sum).
+    pub fn absorb(&mut self, mix: &[(FamilyKey, u64)]) {
+        for &(family, hits) in mix {
+            self.record_many(family, hits);
+        }
+    }
+
     /// Families with at least `min_hits` observations, hottest first.
     /// Ties break on the family fields so the order never depends on
     /// hash-map iteration order.
@@ -88,6 +111,44 @@ impl MixRecorder {
         });
         out
     }
+}
+
+/// The wire form of an exported mix, for a `MixSeed` handoff message:
+/// truncated to the hottest [`MAX_WIRE_FAMILIES`] families (the export
+/// order is hottest-first, so truncation drops the coldest tail).
+pub fn mix_to_wire(mix: &[(FamilyKey, u64)]) -> Vec<WireMixFamily> {
+    mix.iter()
+        .filter(|(f, _)| f.n <= MAX_WIRE_NODES)
+        .take(MAX_WIRE_FAMILIES)
+        .map(|&(f, hits)| WireMixFamily {
+            n: f.n as u16,
+            listen_w: f64::from_bits(f.listen),
+            transmit_w: f64::from_bits(f.transmit),
+            sigma: f64::from_bits(f.sigma),
+            mode: f.mode,
+            hits,
+        })
+        .collect()
+}
+
+/// Rebuilds an exported mix from its wire form. Family identity is
+/// exact: the floats ride as bit patterns.
+pub fn mix_from_wire(families: &[WireMixFamily]) -> Vec<(FamilyKey, u64)> {
+    families
+        .iter()
+        .map(|f| {
+            (
+                FamilyKey {
+                    n: f.n as usize,
+                    listen: f.listen_w.to_bits(),
+                    transmit: f.transmit_w.to_bits(),
+                    sigma: f.sigma.to_bits(),
+                    mode: f.mode,
+                },
+                f.hits,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -121,5 +182,43 @@ mod tests {
         assert_eq!((hot[0].0.n, hot[0].1), (8, 5));
         assert_eq!((hot[1].0.n, hot[1].1), (12, 5));
         assert_eq!((hot[2].0.n, hot[2].1), (50, 2));
+    }
+
+    #[test]
+    fn export_absorb_roundtrip_preserves_heat() {
+        let mut src = MixRecorder::new();
+        for _ in 0..5 {
+            src.record(family(12));
+        }
+        src.record(family(50));
+
+        let mix = src.export();
+        assert_eq!(mix.len(), 2);
+        assert_eq!((mix[0].0.n, mix[0].1), (12, 5), "hottest first");
+
+        // Absorbing into a recorder with prior heat sums counts.
+        let mut dst = MixRecorder::new();
+        dst.record(family(50));
+        dst.absorb(&mix);
+        assert_eq!(dst.observations(), 7);
+        assert_eq!(dst.families(), 2);
+        let hot = dst.candidates(2);
+        assert_eq!((hot[0].0.n, hot[0].1), (12, 5));
+        assert_eq!((hot[1].0.n, hot[1].1), (50, 2));
+    }
+
+    #[test]
+    fn wire_mix_roundtrip_is_exact() {
+        let mut rec = MixRecorder::new();
+        for _ in 0..4 {
+            rec.record(family(12));
+        }
+        rec.record(FamilyKey::new(96, 500e-6, 450e-6, 0.25, Anyput));
+        let mix = rec.export();
+        let wire = mix_to_wire(&mix);
+        assert_eq!(mix_from_wire(&wire), mix);
+        assert_eq!(wire[0].n, 12);
+        assert_eq!(wire[0].hits, 4);
+        assert_eq!(wire[1].mode, 1);
     }
 }

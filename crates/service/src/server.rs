@@ -32,18 +32,20 @@
 //! observed request families off the request path (see
 //! [`crate::prewarm`]).
 
+use crate::grid::FamilyKey;
 use crate::request::{PolicyRequest, PolicyResponse, ServiceError};
 use crate::shard::{RouterConfig, ShardRouter};
 use bytes::BytesMut;
 use econcast_proto::service::{
-    ServiceCodec, ServiceErrorCode, ServiceMessage, WirePolicyError, WirePong, WireStatsResponse,
-    WireWelcome, STATS_SHARD_AGGREGATE,
+    ServiceCodec, ServiceErrorCode, ServiceMessage, WireMixAck, WirePolicyError, WirePong,
+    WireStatsResponse, WireWelcome, STATS_SHARD_AGGREGATE,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`PolicyServer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,13 +110,35 @@ impl ConnGate {
 
     fn release(&self) {
         *self.active.lock().expect("gate poisoned") -= 1;
-        self.freed.notify_one();
+        // notify_all: waiters are both the acceptor (acquire) and a
+        // draining shutdown (wait_idle); one freed slot must wake both
+        // classes or the drain can miss the last release.
+        self.freed.notify_all();
     }
 
     /// Wakes every waiter so a raised stop flag is observed.
     fn interrupt(&self) {
         let _guard = self.active.lock().expect("gate poisoned");
         self.freed.notify_all();
+    }
+
+    /// Blocks until every handler slot is free or `timeout` elapses —
+    /// the shutdown drain barrier. Returns whether the pool emptied.
+    fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut active = self.active.lock().expect("gate poisoned");
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(active, deadline - now)
+                .expect("gate poisoned");
+            active = guard;
+        }
+        true
     }
 }
 
@@ -188,6 +212,7 @@ impl PolicyServer {
                         break;
                     }
                     let (gate, router) = (Arc::clone(&gate), Arc::clone(&router));
+                    let stop = Arc::clone(&stop);
                     std::thread::spawn(move || {
                         // Return the slot on unwind too: a panicking
                         // handler (bad request tripping a solver
@@ -199,7 +224,7 @@ impl PolicyServer {
                             }
                         }
                         let _slot = SlotGuard(gate);
-                        serve_connection(stream, &*router, max_batch);
+                        serve_connection_gated(stream, &*router, max_batch, &stop);
                     });
                 }
             })
@@ -252,8 +277,14 @@ impl ServerHandle {
         &self.router
     }
 
-    /// Stops accepting and joins the acceptor and prewarmer threads.
-    /// Live connections keep serving until their clients disconnect.
+    /// Stops accepting, joins the acceptor and prewarmer threads, and
+    /// **drains** live connections: handlers observe the stop flag at
+    /// their next idle tick, finish serving everything their clients
+    /// already sent (complete batches, full replies on the wire), and
+    /// close cleanly — an in-flight `serve_batch` sees its whole
+    /// result, never a mid-frame disconnect. The drain wait is bounded
+    /// ([`DRAIN_WAIT`]) so a wedged client cannot hold shutdown
+    /// hostage.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
@@ -274,6 +305,7 @@ impl ServerHandle {
             h.thread().unpark();
             let _ = h.join();
         }
+        self.gate.wait_idle(DRAIN_WAIT);
     }
 }
 
@@ -302,6 +334,15 @@ pub trait ServeTarget {
     /// backend the target cannot reach), answered with a typed
     /// refusal.
     fn stats(&self, shard: u16) -> Option<crate::stats::ServiceStats>;
+
+    /// Absorbs a warm-handoff request mix (a `MixSeed` message, wire
+    /// v4) into the target's prewarmer; returns `(families_absorbed,
+    /// grids_built)`. The default ignores the seed — only targets
+    /// with a grid prewarmer override this.
+    fn seed_mix(&self, mix: &[(FamilyKey, u64)]) -> (usize, usize) {
+        let _ = mix;
+        (0, 0)
+    }
 }
 
 impl ServeTarget for ShardRouter {
@@ -322,20 +363,74 @@ impl ServeTarget for ShardRouter {
             None
         }
     }
+
+    fn seed_mix(&self, mix: &[(FamilyKey, u64)]) -> (usize, usize) {
+        self.absorb_mix(mix)
+    }
 }
+
+/// Idle-tick period of the gated connection loop: how often a handler
+/// parked in `read()` re-checks the drain/stop flag.
+const GATE_TICK: Duration = Duration::from_millis(100);
+
+/// After the stop flag is observed, how long a handler waits for the
+/// tail of a partially received frame before force-closing — a client
+/// that stalls mid-frame cannot hold the drain open forever.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// How long shutdown waits for live handlers to drain.
+const DRAIN_WAIT: Duration = Duration::from_secs(5);
 
 /// Serves one connection until EOF, I/O error, or a (fatal) decode
 /// error — the single protocol loop shared by every TCP front-end
-/// (see [`ServeTarget`]).
-pub fn serve_connection(mut stream: TcpStream, target: &impl ServeTarget, max_batch: usize) {
+/// (see [`ServeTarget`]). Equivalent to [`serve_connection_gated`]
+/// with a stop flag that is never raised.
+pub fn serve_connection(stream: TcpStream, target: &impl ServeTarget, max_batch: usize) {
+    serve_connection_gated(stream, target, max_batch, &AtomicBool::new(false));
+}
+
+/// [`serve_connection`] with a cooperative drain: reads tick every
+/// [`GATE_TICK`] so a raised `stop` flag is observed even on an idle
+/// connection. On stop, the handler finishes what the client already
+/// sent — complete batches served, full replies written — and closes
+/// only once the stream is quiet (no partially received frame, or the
+/// [`DRAIN_GRACE`] ran out), so a draining shutdown is never a
+/// mid-frame disconnect from the client's point of view.
+pub fn serve_connection_gated(
+    mut stream: TcpStream,
+    target: &impl ServeTarget,
+    max_batch: usize,
+    stop: &AtomicBool,
+) {
+    use std::io::ErrorKind::{Interrupted, TimedOut, WouldBlock};
     let max_batch = max_batch.max(1);
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(GATE_TICK));
     let mut codec = ServiceCodec::new();
     let mut buf = [0u8; 16 * 1024];
+    let mut draining_since: Option<Instant> = None;
     loop {
         let n = match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return,
+            Ok(0) => return,
             Ok(n) => n,
+            Err(e) if matches!(e.kind(), WouldBlock | TimedOut) => {
+                // Idle tick. Every fully received request was served
+                // on the cycle it arrived, so the only state a close
+                // could strand is a partially received frame —
+                // grant those a bounded grace.
+                if stop.load(Ordering::SeqCst) {
+                    if codec.pending() == 0 {
+                        return;
+                    }
+                    let since = *draining_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= DRAIN_GRACE {
+                        return;
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == Interrupted => continue,
+            Err(_) => return,
         };
         codec.feed(&buf[..n]);
         let Ok(messages) = codec.drain() else {
@@ -385,13 +480,28 @@ pub fn serve_connection(mut stream: TcpStream, target: &impl ServeTarget, max_ba
                 ServiceMessage::Ping(p) => {
                     ServiceCodec::encode(&ServiceMessage::Pong(WirePong { id: p.id }), &mut out);
                 }
+                // Warm handoff: fold the shipped mix into the
+                // prewarmer and report what happened.
+                ServiceMessage::MixSeed(s) => {
+                    let mix = crate::prewarm::mix_from_wire(&s.families);
+                    let (absorbed, grids_built) = target.seed_mix(&mix);
+                    ServiceCodec::encode(
+                        &ServiceMessage::MixAck(WireMixAck {
+                            id: s.id,
+                            absorbed: absorbed.min(usize::from(u16::MAX)) as u16,
+                            grids_built: grids_built.min(usize::from(u16::MAX)) as u16,
+                        }),
+                        &mut out,
+                    );
+                }
                 // Server-to-client message types arriving here are
                 // protocol misuse; drop them.
                 ServiceMessage::Response(_)
                 | ServiceMessage::Error(_)
                 | ServiceMessage::Welcome(_)
                 | ServiceMessage::StatsResponse(_)
-                | ServiceMessage::Pong(_) => {}
+                | ServiceMessage::Pong(_)
+                | ServiceMessage::MixAck(_) => {}
             }
         }
         serve_into(target, &mut ids, &mut batch, &mut out);

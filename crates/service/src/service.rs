@@ -320,6 +320,12 @@ impl PolicyService {
             lru_evictions: self.lru.evictions(),
             lru_len: self.lru.len() as u64,
             byte_evictions: self.lru.byte_evictions(),
+            // The cluster self-healing counters are overlays owned by
+            // the cluster front; a plain service never counts them.
+            auto_respawns: 0,
+            quarantines: 0,
+            reshard_handoffs: 0,
+            injected_faults: 0,
         }
     }
 

@@ -266,6 +266,52 @@ impl ShardRouter {
     pub fn prewarm_config(&self) -> PrewarmConfig {
         self.prewarm
     }
+
+    /// Snapshot of the observed homogeneous request mix merged across
+    /// every shard, hottest families first — the payload of a warm
+    /// handoff when this deployment's key range moves elsewhere.
+    pub fn export_mix(&self) -> Vec<(FamilyKey, u64)> {
+        let mut merged = MixRecorder::new();
+        for shard in &self.shards {
+            let st = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            merged.absorb(&st.mixes.export());
+        }
+        merged.export()
+    }
+
+    /// Absorbs a warm-handoff mix shipped from a departing key-range
+    /// owner: every shard's recorder learns the heat (a family's
+    /// future budgets hash shard-independently, so any shard may end
+    /// up serving it), then bounded prewarm cycles install the hottest
+    /// qualifying grids ahead of demand. Returns `(families_absorbed,
+    /// grids_built)`. Purely a latency optimization — a prewarmed grid
+    /// is bit-identical to the lazily built one.
+    pub fn absorb_mix(&self, mix: &[(FamilyKey, u64)]) -> (usize, usize) {
+        if mix.is_empty() {
+            return (0, 0);
+        }
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .mixes
+                .absorb(mix);
+        }
+        // Each cycle builds at most `max_per_cycle` grids per shard;
+        // iterate until a cycle builds nothing, capped by the family
+        // count so absorption stays bounded under any recorder state.
+        let mut built = 0;
+        for _ in 0..mix.len() {
+            let cycle = self.prewarm_once();
+            if cycle == 0 {
+                break;
+            }
+            built += cycle;
+        }
+        (mix.len(), built)
+    }
 }
 
 /// Canonicalizes a (validated) request.
@@ -452,5 +498,63 @@ mod tests {
             .count();
         assert!(grid_hits > 0, "prewarmed grid never served");
         assert_eq!(r.shard_stats(shard).grid_builds, 0);
+    }
+
+    #[test]
+    fn absorbed_mix_prewarms_like_local_heat() {
+        let r = ShardRouter::new(RouterConfig {
+            shards: 2,
+            service: ServiceConfig {
+                workers: Some(1),
+                lazy_grid_builds: false,
+                ..ServiceConfig::default()
+            },
+            ..RouterConfig::default()
+        });
+        // The departing owner's recorder: one family hot enough to
+        // qualify (min_hits), one below the floor.
+        let mut src = MixRecorder::new();
+        for _ in 0..5 {
+            src.record(FamilyKey::new(
+                10,
+                500e-6,
+                450e-6,
+                0.5,
+                ThroughputMode::Groupput,
+            ));
+        }
+        src.record(FamilyKey::new(
+            50,
+            500e-6,
+            450e-6,
+            0.5,
+            ThroughputMode::Groupput,
+        ));
+        let (absorbed, built) = r.absorb_mix(&src.export());
+        assert_eq!(absorbed, 2);
+        assert_eq!(built, 2, "the hot family builds once per shard");
+        assert_eq!(r.aggregate_stats().grid_prewarms, 2);
+
+        // A cold deployment now grid-serves the family without any
+        // inline build — the handoff's entire point. The grid may
+        // decline an interval whose certified error exceeds the tier,
+        // so scan a few budgets and require at least one hit.
+        let probes: Vec<PolicyRequest> = (1..40)
+            .map(|k| PolicyRequest {
+                tolerance: 1e-1,
+                ..homogeneous(10, 10.0 + 0.5 * f64::from(k))
+            })
+            .collect();
+        let out = r.serve_batch(&probes);
+        let grid_hits = out
+            .iter()
+            .filter(|r| r.as_ref().unwrap().tier == econcast_proto::service::ServedTier::Grid)
+            .count();
+        assert!(grid_hits > 0, "absorbed mix never produced a grid serve");
+        assert_eq!(r.aggregate_stats().grid_builds, 0);
+
+        // Absorbing the same mix again is idempotent for residency.
+        let (_, rebuilt) = r.absorb_mix(&src.export());
+        assert_eq!(rebuilt, 0, "grids already resident");
     }
 }

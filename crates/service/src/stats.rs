@@ -54,6 +54,21 @@ pub struct ServiceStats {
     /// charge the shared budget too, so a burst of grid residency
     /// shows up here as exact-tier pressure.
     pub byte_evictions: u64,
+    /// Dead backends automatically respawned and retargeted by the
+    /// cluster's supervisor policy loop. Always zero for a plain
+    /// service — the cluster front overlays the four self-healing
+    /// counters on the aggregate it reports, so they ride the same
+    /// wire block as the per-tier counters (wire v4).
+    pub auto_respawns: u64,
+    /// Backend slots quarantined onto the local fallback solver after
+    /// exhausting their respawn budget (cluster overlay, wire v4).
+    pub quarantines: u64,
+    /// Warm mix handoffs shipped during live reshards (cluster
+    /// overlay, wire v4).
+    pub reshard_handoffs: u64,
+    /// Faults injected by a scripted fault plan — nonzero only under
+    /// the chaos harness (cluster overlay, wire v4).
+    pub injected_faults: u64,
 }
 
 impl ServiceStats {
@@ -93,6 +108,10 @@ impl ServiceStats {
         self.exact_hits_closed_form += other.exact_hits_closed_form;
         self.exact_hits_factorized += other.exact_hits_factorized;
         self.byte_evictions += other.byte_evictions;
+        self.auto_respawns += other.auto_respawns;
+        self.quarantines += other.quarantines;
+        self.reshard_handoffs += other.reshard_handoffs;
+        self.injected_faults += other.injected_faults;
     }
 
     /// The wire form of this snapshot (for `StatsResponse` messages).
@@ -114,6 +133,10 @@ impl ServiceStats {
             exact_hits_closed_form: self.exact_hits_closed_form,
             exact_hits_factorized: self.exact_hits_factorized,
             byte_evictions: self.byte_evictions,
+            auto_respawns: self.auto_respawns,
+            quarantines: self.quarantines,
+            reshard_handoffs: self.reshard_handoffs,
+            injected_faults: self.injected_faults,
         }
     }
 
@@ -136,6 +159,10 @@ impl ServiceStats {
             exact_hits_closed_form: w.exact_hits_closed_form,
             exact_hits_factorized: w.exact_hits_factorized,
             byte_evictions: w.byte_evictions,
+            auto_respawns: w.auto_respawns,
+            quarantines: w.quarantines,
+            reshard_handoffs: w.reshard_handoffs,
+            injected_faults: w.injected_faults,
         }
     }
 }
@@ -161,6 +188,10 @@ mod tests {
         assert_eq!(s.exact_hits_closed_form, 14);
         assert_eq!(s.exact_hits_factorized, 15);
         assert_eq!(s.byte_evictions, 16);
+        assert_eq!(s.auto_respawns, 17);
+        assert_eq!(s.quarantines, 18);
+        assert_eq!(s.reshard_handoffs, 19);
+        assert_eq!(s.injected_faults, 20);
     }
 
     #[test]

@@ -96,11 +96,24 @@ impl WireServer {
                 ServiceMessage::Ping(p) => {
                     ServiceCodec::encode(&ServiceMessage::Pong(WirePong { id: p.id }), &mut out);
                 }
+                // The in-process server has no prewarmer to seed;
+                // ack a mix handoff as fully ignored.
+                ServiceMessage::MixSeed(s) => {
+                    ServiceCodec::encode(
+                        &ServiceMessage::MixAck(econcast_proto::service::WireMixAck {
+                            id: s.id,
+                            absorbed: 0,
+                            grids_built: 0,
+                        }),
+                        &mut out,
+                    );
+                }
                 ServiceMessage::Response(_)
                 | ServiceMessage::Error(_)
                 | ServiceMessage::Welcome(_)
                 | ServiceMessage::StatsResponse(_)
-                | ServiceMessage::Pong(_) => self.ignored += 1,
+                | ServiceMessage::Pong(_)
+                | ServiceMessage::MixAck(_) => self.ignored += 1,
             }
         }
         if requests.is_empty() {
