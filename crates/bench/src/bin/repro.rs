@@ -9,6 +9,10 @@
 //!                    [--filter SUBSTRING]
 //!                                       run the kernel suite and write
 //!                                       BENCH_<git-sha>.json
+//! repro --trace-demo [--out DIR]        trace a 2-backend cluster batch
+//!                                       (with a forced failover) and
+//!                                       write a Perfetto-loadable
+//!                                       econcast_demo.trace.json
 //! ```
 //!
 //! Output goes to stdout; pipe it into `EXPERIMENTS.md` blocks or a
@@ -37,6 +41,28 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if args.iter().any(|a| a == "--trace-demo") {
+        let dir = flag_value(&args, "--out").unwrap_or_else(|| ".".to_string());
+        let t0 = Instant::now();
+        match econcast_bench::trace_demo::run(std::path::Path::new(&dir)) {
+            Ok(report) => {
+                eprintln!(
+                    "[trace demo done in {:.1}s: {} events ({} dropped), wrote {}]",
+                    t0.elapsed().as_secs_f64(),
+                    report.events,
+                    report.dropped,
+                    report.path.display()
+                );
+                eprintln!("open https://ui.perfetto.dev and load the file to explore it");
+            }
+            Err(e) => {
+                eprintln!("trace demo failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     if args.iter().any(|a| a == "--bench-json") {
@@ -79,6 +105,7 @@ fn main() {
                 "       repro --bench-json [--quick] [--threads N] [--out DIR] \
                  [--filter SUBSTRING]"
             );
+            eprintln!("       repro --trace-demo [--out DIR]");
             eprintln!("experiments:");
             for (id, desc, _) in &reg {
                 eprintln!("  {id:<8} {desc}");

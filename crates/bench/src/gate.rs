@@ -221,6 +221,11 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     b'n' => out.push('\n'),
                     b't' => out.push('\t'),
                     b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    // `\uXXXX`, including surrogate pairs — the trace
+                    // writer escapes every non-ASCII char this way.
+                    b'u' => out.push(parse_unicode_escape(b, pos)?),
                     other => return Err(format!("unsupported escape `\\{}`", other as char)),
                 }
             }
@@ -228,6 +233,40 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
         }
     }
     Err("unterminated string".into())
+}
+
+/// Four hex digits after a `\u` (the `\u` itself already consumed).
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let end = pos.checked_add(4).filter(|&e| e <= b.len());
+    let hex = end
+        .and_then(|e| std::str::from_utf8(&b[*pos..e]).ok())
+        .ok_or_else(|| format!("truncated \\u escape at offset {pos}"))?;
+    let v = u32::from_str_radix(hex, 16)
+        .map_err(|_| format!("bad \\u escape `{hex}` at offset {pos}"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+/// One `\uXXXX` escape (cursor just past the `u`), consuming the low
+/// half of a surrogate pair when the first unit is a high surrogate.
+fn parse_unicode_escape(b: &[u8], pos: &mut usize) -> Result<char, String> {
+    let hi = parse_hex4(b, pos)?;
+    let code = match hi {
+        0xD800..=0xDBFF => {
+            if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                return Err(format!("unpaired high surrogate at offset {pos}"));
+            }
+            *pos += 2;
+            let lo = parse_hex4(b, pos)?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(format!("bad low surrogate at offset {pos}"));
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        }
+        0xDC00..=0xDFFF => return Err(format!("unpaired low surrogate at offset {pos}")),
+        other => other,
+    };
+    char::from_u32(code).ok_or_else(|| format!("invalid \\u code point at offset {pos}"))
 }
 
 /// The gate's view of one bench record.
@@ -245,6 +284,12 @@ pub struct BenchDoc {
     pub entries: BTreeMap<String, f64>,
     /// `(batch, rate-field) → requests/sec` over the service section.
     pub service: BTreeMap<(u64, String), f64>,
+    /// `(batch, latency-field) → µs` over the service section's `_us`
+    /// tail-latency fields. **Informational only**: shown in the ratio
+    /// table, never gated by [`compare`] — latency percentiles are
+    /// noisier than throughput means, and no regression policy for
+    /// them has been earned yet.
+    pub service_info: BTreeMap<(u64, String), f64>,
     /// The record's own `quick_sensitive` entry list, when the writer
     /// was new enough to emit one (`None` on pre-gate baselines).
     pub quick_sensitive: Option<Vec<String>>,
@@ -265,6 +310,7 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
         })
         .collect();
     let mut service = BTreeMap::new();
+    let mut service_info = BTreeMap::new();
     for row in json
         .get("service")
         .and_then(Json::as_arr)
@@ -278,6 +324,10 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
                 if key.ends_with("_rps") {
                     if let Some(rate) = value.as_num() {
                         service.insert((batch as u64, key.clone()), rate);
+                    }
+                } else if key.ends_with("_us") {
+                    if let Some(us) = value.as_num() {
+                        service_info.insert((batch as u64, key.clone()), us);
                     }
                 }
             }
@@ -300,6 +350,7 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
         quick: matches!(json.get("quick"), Some(Json::Bool(true))),
         entries,
         service,
+        service_info,
         quick_sensitive: json.get("quick_sensitive").and_then(Json::as_arr).map(|a| {
             a.iter()
                 .filter_map(|v| v.as_str().map(str::to_string))
@@ -395,6 +446,28 @@ pub fn ratio_rows(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<RatioRow> {
             });
         }
     }
+    // Tail-latency (`_us`) fields: informational rows only. They pair
+    // like the rates when both sides have them, but compare() never
+    // gates them — a baseline-only latency field is a display hole,
+    // not a regression.
+    for ((batch, field), &base_us) in &baseline.service_info {
+        out.push(RatioRow {
+            what: format!("service batch={batch} {field}"),
+            baseline: Some(base_us),
+            fresh: fresh.service_info.get(&(*batch, field.clone())).copied(),
+            skipped: false,
+        });
+    }
+    for ((batch, field), &us) in &fresh.service_info {
+        if !baseline.service_info.contains_key(&(*batch, field.clone())) {
+            out.push(RatioRow {
+                what: format!("service batch={batch} {field}"),
+                baseline: None,
+                fresh: Some(us),
+                skipped: false,
+            });
+        }
+    }
     out
 }
 
@@ -486,6 +559,7 @@ mod tests {
                 .iter()
                 .map(|(b, f, v)| ((*b, f.to_string()), *v))
                 .collect(),
+            service_info: BTreeMap::new(),
             // Legacy-shaped records: compare() falls back to the
             // hardcoded QUICK_SENSITIVE list.
             quick_sensitive: None,
@@ -542,6 +616,9 @@ mod tests {
                 warm_rps: 50.0,
                 socket_rps: Some(25.0),
                 cluster_rps: Some(12.5),
+                warm_p50_us: Some(2.5),
+                warm_p99_us: Some(7.5),
+                warm_p999_us: Some(30.0),
             }],
             threads: 3,
             quick: true,
@@ -554,7 +631,27 @@ mod tests {
         assert_eq!(doc.entries["k"], 10.0);
         assert_eq!(doc.service[&(1, "socket_rps".into())], 25.0);
         assert_eq!(doc.service[&(1, "cluster_rps".into())], 12.5);
+        // Latency percentiles land in the informational map, not the
+        // gated one.
+        assert_eq!(doc.service_info[&(1, "warm_p50_us".into())], 2.5);
+        assert_eq!(doc.service_info[&(1, "warm_p999_us".into())], 30.0);
+        assert!(!doc.service.contains_key(&(1, "warm_p50_us".into())));
         assert_eq!(doc.quick_sensitive.as_deref(), Some(&["k".to_string()][..]));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let v = parse_json("\"\\u0041\\u00e9\\ud83d\\ude00\\b\\f\"").unwrap();
+        match v {
+            Json::Str(s) => assert_eq!(s, "A\u{e9}\u{1f600}\u{8}\u{c}"),
+            _ => panic!("expected string"),
+        }
+        // Unpaired or malformed surrogates must be rejected, not
+        // silently mangled.
+        assert!(parse_json(r#""\ud83d""#).is_err());
+        assert!(parse_json(r#""\ud83dxxxx""#).is_err());
+        assert!(parse_json(r#""\udc00""#).is_err());
+        assert!(parse_json(r#""\uzzzz""#).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod gate;
 pub mod perf;
 pub mod timing;
+pub mod trace_demo;
 
 /// Experiment fidelity scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

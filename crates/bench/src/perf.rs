@@ -134,7 +134,7 @@ pub const SERVICE_BATCH_SIZES: [usize; 3] = [1, 32, 256];
 /// so large batches contain mostly *distinct* instances — cold
 /// numbers measure solving, warm numbers measure lookups, both
 /// through the full canonicalize/probe/batch pipeline.
-fn service_batch(size: usize) -> Vec<PolicyRequest> {
+pub(crate) fn service_batch(size: usize) -> Vec<PolicyRequest> {
     // Keyed on the variation index, not the request index: i % 4
     // fixes the parity of i, so a request-index parity would pin each
     // template to a single objective.
@@ -585,6 +585,16 @@ pub struct ServiceThroughput {
     /// dialer TCP + backend serving — two network hops per request);
     /// `None` when the loopback cluster could not bind.
     pub cluster_rps: Option<f64>,
+    /// Warm `serve_batch` latency percentiles (µs per call, not per
+    /// request), from the trace layer's fixed-bucket histograms in a
+    /// separate post-rps pass — the rps numbers above measure the
+    /// tracing-off path. Each value is its bucket's upper edge
+    /// (≤ 12.5% above the true sample). `None` on filtered runs.
+    pub warm_p50_us: Option<f64>,
+    /// Warm `serve_batch` p99 latency (µs per call).
+    pub warm_p99_us: Option<f64>,
+    /// Warm `serve_batch` p99.9 latency (µs per call).
+    pub warm_p999_us: Option<f64>,
 }
 
 /// Result of one full suite run.
@@ -652,12 +662,19 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
             let warm = mean_of(&service_entry_name("warm", batch))?;
             let socket = mean_of(&service_entry_name("socket", batch));
             let cluster = mean_of(&service_entry_name("cluster", batch));
+            // Tail-latency pass, separate from the throughput loops
+            // above so the rps entries keep measuring the tracing-off
+            // path (the overhead contract bench_gate holds them to).
+            let tail = warm_latency_percentiles(batch, quick);
             Some(ServiceThroughput {
                 batch,
                 cold_rps: batch as f64 / cold,
                 warm_rps: batch as f64 / warm,
                 socket_rps: socket.map(|s| batch as f64 / s),
                 cluster_rps: cluster.map(|s| batch as f64 / s),
+                warm_p50_us: tail.map(|t| t.0),
+                warm_p99_us: tail.map(|t| t.1),
+                warm_p999_us: tail.map(|t| t.2),
             })
         })
         .collect();
@@ -671,6 +688,13 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
             s.socket_rps.unwrap_or(f64::NAN),
             s.cluster_rps.unwrap_or(f64::NAN)
         );
+        if let (Some(p50), Some(p99), Some(p999)) = (s.warm_p50_us, s.warm_p99_us, s.warm_p999_us) {
+            println!(
+                "             batch {:>3} warm:  p50 {:>9.1} us, p99 {:>12.1} us, \
+                 p99.9 {:>8.1} us per call",
+                s.batch, p50, p99, p999
+            );
+        }
     }
     SuiteReport {
         measurements,
@@ -680,6 +704,29 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
         quick,
         quick_sensitive,
     }
+}
+
+/// Warm `serve_batch` tail latency at one batch size: arm the trace
+/// layer's latency histograms (spans stay off — no event collection),
+/// drive a warmed service for a fixed call count, and read the
+/// `service/serve_batch` percentiles. Returns `(p50, p99, p99.9)` in
+/// µs per call, or `None` when no samples landed.
+fn warm_latency_percentiles(size: usize, quick: bool) -> Option<(f64, f64, f64)> {
+    let calls = if quick { 120 } else { 400 };
+    let batch = service_batch(size);
+    let mut svc = warm_service();
+    svc.serve_batch(&batch); // warm the tiers before arming
+    econcast_trace::set_histograms(true);
+    econcast_trace::clear_histograms();
+    for _ in 0..calls {
+        black_box(svc.serve_batch(&batch));
+    }
+    econcast_trace::set_histograms(false);
+    let p = econcast_trace::percentiles("service", "serve_batch");
+    econcast_trace::clear_histograms();
+    let p = p?;
+    let us = |ns: u64| ns as f64 / 1000.0;
+    Some((us(p.p50_ns), us(p.p99_ns), us(p.p999_ns)))
 }
 
 /// `git rev-parse --short HEAD`, or `ECONCAST_GIT_SHA`, or "unknown".
@@ -749,12 +796,16 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
         };
         s.push_str(&format!(
             "    {{\"batch\": {}, \"cold_rps\": {:.3}, \"warm_rps\": {:.3}, \
-             \"socket_rps\": {}, \"cluster_rps\": {}}}{}\n",
+             \"socket_rps\": {}, \"cluster_rps\": {}, \
+             \"warm_p50_us\": {}, \"warm_p99_us\": {}, \"warm_p999_us\": {}}}{}\n",
             t.batch,
             t.cold_rps,
             t.warm_rps,
             opt(t.socket_rps),
             opt(t.cluster_rps),
+            opt(t.warm_p50_us),
+            opt(t.warm_p99_us),
+            opt(t.warm_p999_us),
             if i + 1 < report.service.len() {
                 ","
             } else {
@@ -838,6 +889,9 @@ mod tests {
                 warm_rps: 99999.0,
                 socket_rps: Some(4321.0),
                 cluster_rps: Some(2100.5),
+                warm_p50_us: Some(12.25),
+                warm_p99_us: Some(99.5),
+                warm_p999_us: None,
             }],
             threads: 4,
             quick: true,
@@ -852,6 +906,9 @@ mod tests {
         assert!(j.contains("\"cold_rps\": 1234.500"));
         assert!(j.contains("\"socket_rps\": 4321.000"));
         assert!(j.contains("\"cluster_rps\": 2100.500"));
+        assert!(j.contains("\"warm_p50_us\": 12.250"));
+        assert!(j.contains("\"warm_p99_us\": 99.500"));
+        assert!(j.contains("\"warm_p999_us\": null"));
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

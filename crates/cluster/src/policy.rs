@@ -172,16 +172,23 @@ impl ClusterHealer {
                 .collect();
             std::thread::spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
-                    // Health sweep: the probe dials are cheap on the
-                    // deployments this loop serves (localhost refusals
-                    // fail in microseconds), and holding the lock keeps
-                    // the health machine's state transitions atomic
-                    // with respect to batch routing.
-                    lock(&router).ping_all();
-                    if let Some(sup) = &supervisor {
-                        for m in managed.iter_mut().filter(|m| !m.quarantined) {
-                            heal_backend(&router, sup, &retarget, &cfg, m);
+                    {
+                        // Sweeps are X events (the sweep thread outlives
+                        // any one drain), sized by the probe + repair
+                        // work, excluding the idle sleep.
+                        let t0 = econcast_trace::armed_now();
+                        // Health sweep: the probe dials are cheap on the
+                        // deployments this loop serves (localhost refusals
+                        // fail in microseconds), and holding the lock keeps
+                        // the health machine's state transitions atomic
+                        // with respect to batch routing.
+                        lock(&router).ping_all();
+                        if let Some(sup) = &supervisor {
+                            for m in managed.iter_mut().filter(|m| !m.quarantined) {
+                                heal_backend(&router, sup, &retarget, &cfg, m);
+                            }
                         }
+                        econcast_trace::complete_from("cluster", "healer_sweep", t0, &[]);
                     }
                     sleep_ticks(cfg.sweep_interval, &stop);
                 }
@@ -242,6 +249,7 @@ fn heal_backend(
         .respawn_backoff
         .saturating_mul(2u32.saturating_pow(m.consecutive_failures.min(16)));
     m.not_before = Some(now + backoff);
+    let t0 = econcast_trace::armed_now();
     let spawned = lock(sup).respawn(m.backend);
     match spawned {
         Ok(addr) if probe_ready(addr, cfg) => {
@@ -250,11 +258,25 @@ fn heal_backend(
             r.retarget_slot(m.slot, target);
             r.note_auto_respawn();
             m.consecutive_failures = 0;
+            econcast_trace::complete_from(
+                "cluster",
+                "respawn",
+                t0,
+                &[("slot", m.slot as u64), ("ok", 1)],
+            );
         }
         // Spawn failed or the replacement never answered: the slot
         // stays down (fallback keeps serving), the attempt counts
         // toward the window, and the next try backs off further.
-        _ => m.consecutive_failures += 1,
+        _ => {
+            m.consecutive_failures += 1;
+            econcast_trace::complete_from(
+                "cluster",
+                "respawn",
+                t0,
+                &[("slot", m.slot as u64), ("ok", 0)],
+            );
+        }
     }
 }
 
@@ -294,6 +316,7 @@ const HANDOFF_DIAL_TIMEOUT: Duration = Duration::from_secs(2);
 /// keys it inherits grid-serve from the first request. Returns the
 /// new slot id.
 pub fn add_backend_with_warmup(router: &Arc<Mutex<ClusterRouter>>, addr: SocketAddr) -> u16 {
+    let _handoff = econcast_trace::trace_span!("cluster", "reshard_handoff");
     let (slot, mix) = {
         let mut r = lock(router);
         let slot = r.add_backend(addr);
@@ -313,6 +336,7 @@ pub fn add_backend_with_warmup(router: &Arc<Mutex<ClusterRouter>>, addr: SocketA
 /// last one. The handoff needs nothing from the departing backend, so
 /// removing an already-dead backend still warms its inheritors.
 pub fn remove_backend_with_handoff(router: &Arc<Mutex<ClusterRouter>>, slot: usize) -> bool {
+    let _handoff = econcast_trace::trace_span!("cluster", "reshard_handoff");
     let (mix, targets) = {
         let mut r = lock(router);
         let Some(mix) = r.remove_backend(slot) else {

@@ -171,6 +171,11 @@ impl RemoteShard {
     /// the failure is recorded, and the caller should fall back; the
     /// cluster router re-serves the whole sub-batch locally.
     pub fn serve_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Vec<WireResult>> {
+        let _remote = econcast_trace::trace_span!(
+            "cluster",
+            "remote_serve",
+            "requests" => reqs.len() as u64
+        );
         let result = self.connect().and_then(|conn| conn.serve_batch(reqs));
         match result {
             Ok(out) => {
@@ -221,8 +226,11 @@ impl RemoteShard {
     /// retry/backoff when none is live.
     fn connect(&mut self) -> std::io::Result<&mut PolicyClient> {
         if self.conn.is_none() {
+            let t0 = econcast_trace::armed_now();
+            let mut attempts = 0u64;
             let mut last_err = None;
             for attempt in 0..self.cfg.dial_retries.max(1) {
+                attempts += 1;
                 if attempt > 0 {
                     let base = self.cfg.backoff * 2u32.pow(attempt - 1);
                     std::thread::sleep(base.mul_f64(self.jitter));
@@ -246,6 +254,12 @@ impl RemoteShard {
                     Err(e) => last_err = Some(e),
                 }
             }
+            econcast_trace::complete_from(
+                "cluster",
+                "dial",
+                t0,
+                &[("attempts", attempts), ("ok", last_err.is_none() as u64)],
+            );
             if let Some(e) = last_err {
                 return Err(e);
             }

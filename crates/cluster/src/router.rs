@@ -375,6 +375,7 @@ impl ClusterRouter {
             Slot::Remote(_) => {
                 self.slots[slot] = Slot::Local(Box::new(PolicyService::new(self.cfg.service)));
                 self.quarantines += 1;
+                econcast_trace::trace_instant!("cluster", "quarantine", "slot" => slot as u64);
                 true
             }
             _ => false,
@@ -493,6 +494,11 @@ impl ClusterRouter {
         &mut self,
         reqs: &[PolicyRequest],
     ) -> Vec<Result<PolicyResponse, ServiceError>> {
+        let _serve = econcast_trace::trace_span!(
+            "cluster",
+            "cluster_serve",
+            "requests" => reqs.len() as u64
+        );
         let nslots = self.slots.len();
         let mut sub_idx: Vec<Vec<usize>> = vec![Vec::new(); nslots];
         for (i, req) in reqs.iter().enumerate() {
@@ -590,6 +596,7 @@ impl ClusterRouter {
                     // bits, and a partial trust boundary is not worth
                     // the bookkeeping.)
                     self.backend_failures += 1;
+                    econcast_trace::trace_instant!("cluster", "backend_failure");
                 }
             }
         }
@@ -614,6 +621,11 @@ impl ClusterRouter {
         // as one local batch in request order.
         let pending: Vec<usize> = (0..reqs.len()).filter(|&i| out[i].is_none()).collect();
         if !pending.is_empty() {
+            let _failover = econcast_trace::trace_span!(
+                "cluster",
+                "failover_reserve",
+                "requests" => pending.len() as u64
+            );
             let batch: Vec<PolicyRequest> = pending.iter().map(|&i| reqs[i].clone()).collect();
             let results = self.fallback.serve_batch(&batch);
             for (&i, r) in pending.iter().zip(results) {

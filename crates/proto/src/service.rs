@@ -956,9 +956,19 @@ impl ServiceCodec {
 
     /// Drains all currently decodable messages.
     pub fn drain(&mut self) -> Result<Vec<ServiceMessage>, DecodeError> {
+        let t0 = econcast_trace::armed_now();
         let mut out = Vec::new();
         while let Some(m) = self.next_message()? {
             out.push(m);
+        }
+        // Idle read ticks drain nothing — don't trace those.
+        if !out.is_empty() {
+            econcast_trace::complete_from(
+                "proto",
+                "frame_decode",
+                t0,
+                &[("msgs", out.len() as u64)],
+            );
         }
         Ok(out)
     }

@@ -63,6 +63,7 @@ pub mod workload;
 
 pub use cache::{CachedPolicy, LruCache};
 pub use client::{PolicyClient, WireResult};
+pub use econcast_trace::TraceConfig;
 pub use grid::{FamilyKey, GridConfig, PolicyGrid};
 pub use prewarm::{mix_from_wire, mix_to_wire, MixRecorder, PrewarmConfig};
 pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};

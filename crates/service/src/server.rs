@@ -523,6 +523,7 @@ fn serve_into(
         return;
     }
     let results = target.serve(batch);
+    let t0 = econcast_trace::armed_now();
     for (id, result) in ids.drain(..).zip(&results) {
         let msg = match result {
             Ok(resp) => ServiceMessage::Response(resp.to_wire(id)),
@@ -530,5 +531,11 @@ fn serve_into(
         };
         ServiceCodec::encode(&msg, out);
     }
+    econcast_trace::complete_from(
+        "proto",
+        "frame_encode",
+        t0,
+        &[("msgs", results.len() as u64)],
+    );
     batch.clear();
 }

@@ -61,10 +61,10 @@ pub struct ServiceConfig {
     /// Largest heterogeneous *anyput* instance the exact solver
     /// accepts (the effective anyput ceiling is the `min` with
     /// [`max_exact_nodes`](Self::max_exact_nodes)). Anyput's
-    /// factorized evaluation is O(N²) per dual iteration, so a
-    /// worst-case cold solve at the groupput ceiling could pin a
-    /// worker for tens of seconds; the default stays at the largest
-    /// size the end-to-end tests pin.
+    /// factorized evaluation is now O(N) per dual iteration like
+    /// groupput, but its marginal pass runs more exponentials per
+    /// node, so the ceiling stays separately tunable; the default
+    /// stays at the largest size the end-to-end tests pin.
     pub max_anyput_nodes: usize,
     /// Grid tier configuration; `None` disables the tier.
     pub grid: Option<GridConfig>,
@@ -100,6 +100,11 @@ pub struct ServiceConfig {
     /// request path and cold requests fall through to the exact
     /// closed form instead of paying a ~2·points-solve build.
     pub lazy_grid_builds: bool,
+    /// Tracing knob: arms span collection and/or latency histograms
+    /// process-wide when this service is constructed (see
+    /// [`econcast_trace::TraceConfig`]). Default off — every trace
+    /// macro then costs one relaxed atomic load and a branch.
+    pub trace: econcast_trace::TraceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -112,6 +117,7 @@ impl Default for ServiceConfig {
             grid: Some(GridConfig::default()),
             lazy_grid_builds: true,
             max_cache_bytes: None,
+            trace: econcast_trace::TraceConfig::default(),
         }
     }
 }
@@ -240,6 +246,7 @@ impl Default for PolicyService {
 impl PolicyService {
     /// Creates a service with the given configuration.
     pub fn new(cfg: ServiceConfig) -> Self {
+        cfg.trace.apply();
         PolicyService {
             lru: LruCache::with_byte_budget(cfg.lru_capacity, cfg.max_cache_bytes),
             grids: HashMap::new(),
@@ -398,6 +405,11 @@ impl PolicyService {
         &mut self,
         reqs: &[PolicyRequest],
     ) -> Vec<Result<PolicyResponse, ServiceError>> {
+        let _serve = econcast_trace::trace_span!(
+            "service",
+            "serve_batch",
+            "requests" => reqs.len() as u64
+        );
         self.stats.batches += 1;
         self.stats.requests += reqs.len() as u64;
 
@@ -405,8 +417,11 @@ impl PolicyService {
         let mut plans: Vec<Plan> = Vec::with_capacity(reqs.len());
         let mut jobs: Vec<SolveJob> = Vec::new();
         let mut pending: HashMap<econcast_statespace::InstanceKey, usize> = HashMap::new();
-        for req in reqs {
-            plans.push(self.probe(req, &mut jobs, &mut pending));
+        {
+            let _probe = econcast_trace::trace_span!("service", "probe");
+            for req in reqs {
+                plans.push(self.probe(req, &mut jobs, &mut pending));
+            }
         }
         self.solve_and_publish(plans, jobs)
     }
@@ -419,22 +434,30 @@ impl PolicyService {
         &mut self,
         reqs: Vec<(&PolicyRequest, Option<CanonicalInstance>)>,
     ) -> Vec<Result<PolicyResponse, ServiceError>> {
+        let _serve = econcast_trace::trace_span!(
+            "service",
+            "serve_batch",
+            "requests" => reqs.len() as u64
+        );
         self.stats.batches += 1;
         self.stats.requests += reqs.len() as u64;
 
         let mut plans: Vec<Plan> = Vec::with_capacity(reqs.len());
         let mut jobs: Vec<SolveJob> = Vec::new();
         let mut pending: HashMap<econcast_statespace::InstanceKey, usize> = HashMap::new();
-        for (req, canon) in reqs {
-            plans.push(match canon {
-                Some(canon) => self.probe_canonical(req, canon, &mut jobs, &mut pending),
-                None => {
-                    self.stats.errors += 1;
-                    Plan::Done(Err(req
-                        .validate()
-                        .expect_err("router routes canon-less requests only on failure")))
-                }
-            });
+        {
+            let _probe = econcast_trace::trace_span!("service", "probe");
+            for (req, canon) in reqs {
+                plans.push(match canon {
+                    Some(canon) => self.probe_canonical(req, canon, &mut jobs, &mut pending),
+                    None => {
+                        self.stats.errors += 1;
+                        Plan::Done(Err(req
+                            .validate()
+                            .expect_err("router routes canon-less requests only on failure")))
+                    }
+                });
+            }
         }
         self.solve_and_publish(plans, jobs)
     }
@@ -462,7 +485,19 @@ impl PolicyService {
                 let mut acc = Vec::new();
                 let mut j = w;
                 while j < jobs_ref.len() {
-                    acc.push((j, jobs_ref[j].run(pool)));
+                    // Complete ("X") events, not begin/end: solve
+                    // workers are fresh scoped threads, so B/E pairs
+                    // here would make the trace's nesting structure
+                    // depend on the worker count.
+                    let t0 = econcast_trace::armed_now();
+                    let policy = jobs_ref[j].run(pool);
+                    econcast_trace::complete_from(
+                        "service",
+                        kernel_span_name(policy.kernel),
+                        t0,
+                        &[("job", j as u64), ("n", jobs_ref[j].nodes.len() as u64)],
+                    );
+                    acc.push((j, policy));
                     j += workers;
                 }
                 acc
@@ -475,6 +510,11 @@ impl PolicyService {
         // Phase 3: publish — count tiers, fill the LRU (once per
         // unique key, in job order == first-request order), and rotate
         // every response back into caller order.
+        let _publish = econcast_trace::trace_span!(
+            "service",
+            "publish",
+            "jobs" => jobs.len() as u64
+        );
         let mut inserted: Vec<bool> = vec![false; jobs.len()];
         let mut out = Vec::with_capacity(plans.len());
         for plan in plans {
@@ -546,6 +586,7 @@ impl PolicyService {
                 PolicyKernel::GrayCode | PolicyKernel::Grid => {}
             }
             let resp = respond(&canon, hit, ServedTier::Exact);
+            econcast_trace::trace_instant!("service", "tier_exact");
             return Plan::Done(Ok(resp));
         }
 
@@ -598,14 +639,15 @@ impl PolicyService {
                     // instance is an O(1) LRU hit.
                     self.lru.insert(canon.key.clone(), policy.clone());
                     self.stats.lru_inserts += 1;
+                    econcast_trace::trace_instant!("service", "tier_grid");
                     return Plan::Done(Ok(respond(&canon, &policy, ServedTier::Grid)));
                 }
             }
         }
 
         // Heterogeneous instances beyond the solver's latency ceiling
-        // have no tier left. The ceiling is mode-aware: anyput's
-        // per-iteration cost is O(N²), so it caps lower than groupput.
+        // have no tier left. The ceiling is mode-aware: anyput runs
+        // more exponentials per node, so it caps lower than groupput.
         let ceiling = match req.objective {
             econcast_core::ThroughputMode::Groupput => self.cfg.max_exact_nodes,
             econcast_core::ThroughputMode::Anyput => {
@@ -623,11 +665,14 @@ impl PolicyService {
         // Tier 3 (homogeneous closed form) or the exact solver —
         // queued, deduplicated by canonical key.
         if let Some(&j) = pending.get(&canon.key) {
+            econcast_trace::trace_instant!("service", "tier_dedup");
             return Plan::Alias(j, canon);
         }
         let kind = if canon.homogeneous {
+            econcast_trace::trace_instant!("service", "tier_closed_form");
             JobKind::ClosedForm
         } else {
+            econcast_trace::trace_instant!("service", "tier_solver");
             JobKind::Exact(P4Options {
                 max_iters: 30_000,
                 tol: canon.tolerance_tier,
@@ -653,6 +698,19 @@ impl PolicyService {
         pending.insert(canon.key.clone(), j);
         jobs.push(job);
         Plan::Job(j, canon)
+    }
+}
+
+/// The trace span name for a solve that ran on `kernel` — the solve
+/// phase's "X" events are labelled by the kernel that actually
+/// executed, so a Perfetto timeline separates Gray-code, factorized,
+/// and closed-form time at a glance.
+fn kernel_span_name(kernel: PolicyKernel) -> &'static str {
+    match kernel {
+        PolicyKernel::GrayCode => "solve_graycode",
+        PolicyKernel::Factorized => "solve_factorized",
+        PolicyKernel::ClosedForm => "solve_closed_form",
+        PolicyKernel::Grid => "solve_grid",
     }
 }
 
@@ -850,8 +908,8 @@ mod tests {
         let err = svc.serve(&het_request(&budgets, 1e-2)).unwrap_err();
         assert_eq!(err, ServiceError::TooLarge { n: 300, max: 256 });
         assert_eq!(svc.stats().errors, 1);
-        // Anyput caps lower: its factorized evaluation is O(N²) per
-        // dual iteration, so the mode-aware ceiling rejects sizes the
+        // Anyput's ceiling is separately tunable (and defaults
+        // lower), so the mode-aware ceiling rejects sizes the
         // groupput path would accept.
         let anyput_100 = PolicyRequest {
             objective: Anyput,

@@ -149,6 +149,7 @@ impl ShardRouter {
         // the canonicalization is handed to the home shard's probe
         // phase below, so nothing is sorted or cloned twice. Also note
         // grid-coverable homogeneous families for the prewarmer.
+        let route_t0 = econcast_trace::armed_now();
         let mut canons: Vec<Option<CanonicalInstance>> = Vec::with_capacity(reqs.len());
         let mut sub_idx: Vec<Vec<usize>> = vec![Vec::new(); nshards];
         let mut observed: Vec<Vec<FamilyKey>> = vec![Vec::new(); nshards];
@@ -181,6 +182,12 @@ impl ShardRouter {
             };
             sub_idx[shard as usize].push(i);
         }
+        econcast_trace::complete_from(
+            "service",
+            "route",
+            route_t0,
+            &[("requests", reqs.len() as u64)],
+        );
 
         let mut out: Vec<Option<Result<PolicyResponse, ServiceError>>> = vec![None; reqs.len()];
         for (s, idxs) in sub_idx.iter().enumerate() {

@@ -120,6 +120,7 @@ impl WireServer {
             return Ok(out);
         }
         let results = self.service.serve_batch(&requests);
+        let t0 = econcast_trace::armed_now();
         for (id, result) in ids.iter().zip(&results) {
             let msg = match result {
                 Ok(resp) => ServiceMessage::Response(resp.to_wire(*id)),
@@ -127,6 +128,7 @@ impl WireServer {
             };
             ServiceCodec::encode(&msg, &mut out);
         }
+        econcast_trace::complete_from("proto", "frame_encode", t0, &[("msgs", ids.len() as u64)]);
         Ok(out)
     }
 }

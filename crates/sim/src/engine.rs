@@ -200,7 +200,14 @@ impl Simulator {
                 self.cross_warmup(warmup);
             }
             self.now = t;
+            // Dispatch as "X" events named by variant, with a queue
+            // depth counter track beside them — off, this is one
+            // relaxed load per event.
+            let t0 = econcast_trace::armed_now();
+            let name = event_span_name(&event);
             self.handle(event);
+            econcast_trace::complete_from("sim", name, t0, &[]);
+            econcast_trace::trace_counter!("sim", "queue_depth", self.queue.len() as u64);
             // Long runs with frequent rate changes strand invalidated
             // timers in the heap; compact once they dominate.
             if self.queue.wants_compaction(self.live_event_bound) {
@@ -710,6 +717,18 @@ impl Simulator {
                 decoded as f64
             }
         }
+    }
+}
+
+/// The trace span name for one dispatched event — a static label per
+/// variant so the sim's event track groups by kind in Perfetto.
+fn event_span_name(event: &Event) -> &'static str {
+    match event {
+        Event::Transition { .. } => "transition",
+        Event::PacketEnd { .. } => "packet_end",
+        Event::PingIntervalEnd { .. } => "ping_interval_end",
+        Event::EtaUpdate { .. } => "eta_update",
+        Event::HarvestSwitch { .. } => "harvest_switch",
     }
 }
 

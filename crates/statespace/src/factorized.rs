@@ -29,8 +29,10 @@
 //!   `e^{1/σ}`-tilted product measure over non-empty subsets, both in
 //!   closed form: `Z_t = e^{base_t}[1 + e^{1/σ}(P_t − 1)]` with
 //!   `P_t = Π_{i∈F}(1 + s_i)`, `s_i = e^{−η_i L_i/σ} ≤ 1` (so the
-//!   products cannot overflow). Marginals need the leave-one-out
-//!   products `P_t / (1 + s_i)`, making the evaluation **O(N²)**.
+//!   products cannot overflow). The conditional marginals separate as
+//!   `q_i · e_t` (the `i`- and `t`-dependence factor apart through
+//!   `σ(−d_i)`), so one leave-one-out sum over the block weights
+//!   makes the whole evaluation **O(N)** — see `merge`.
 //!   Per-state quantities that decompose neither linearly nor through
 //!   the emptiness event (none of the summary's fields — but e.g. an
 //!   arbitrary nonlinear `f(c_w)` would) have no such closed form and
@@ -64,6 +66,11 @@ use econcast_core::ThroughputMode;
 /// the wire accepts (`MAX_WIRE_NODES = 4000`), present only so a
 /// corrupted length cannot request a terabyte of scratch.
 pub const MAX_FACTORIZED_NODES: usize = 1 << 16;
+
+/// Above this `1/σ`, `e^{1/σ}` overflows f64 and the anyput marginal
+/// pass falls back to per-pair log-domain exponentiation (O(N²));
+/// below it, the O(N) leave-one-out path is exact and safe.
+const ANYPUT_LINEAR_MAX_INV_SIGMA: f64 = 700.0;
 
 /// `log(1 + e^x)`, stable for any `x`.
 #[inline]
@@ -249,7 +256,8 @@ impl FactorizedWorkspace {
     /// Per-block aggregates for anyput: the throughput indicator is a
     /// function of the non-empty-listener event alone, so each block
     /// is the empty state plus an `e^{1/σ}`-tilted product measure —
-    /// exact, at O(N) per block for the leave-one-out marginals.
+    /// exact, O(1) per block here; the marginals follow in `merge`
+    /// from one leave-one-out sum (O(N) total).
     fn compute_anyput(&mut self, params: &GibbsParams<'_>, inv_sigma: f64) {
         let n = self.n;
         let mut sum_sp_s = 0.0;
@@ -257,7 +265,6 @@ impl FactorizedWorkspace {
         for i in 0..n {
             sum_sp_s += self.sp_s[i];
             sum_dq += self.d[i] * self.q[i];
-            self.alpha[i] = 0.0; // α accumulates per block below
         }
 
         // Block 0: no transmitter — identical to groupput's block 0.
@@ -321,27 +328,66 @@ impl FactorizedWorkspace {
                 }
             }
             ThroughputMode::Anyput => {
-                for t in 0..n {
-                    let zb = self.zt[t + 1];
-                    let base = self.mbar[t + 1] - inv_sigma * self.tbar[t + 1];
-                    // log P_t, stashed by `compute_anyput`.
-                    let a = self.x[t];
-                    // log(Z_t / e^{base_t}) for the conditional.
-                    let lse = self.ell[t + 1] - base;
-                    let mut mean_cost = 0.0;
-                    for i in 0..n {
-                        if i == t {
-                            continue;
-                        }
-                        // P(i ∈ S | block t) = e^{1/σ} s_i Π_{j≠i}(1+s_j) / (Z_t/e^{base}).
-                        let cond = (inv_sigma - self.d[i] + (a - self.sp_s[i]) - lse).exp();
-                        self.alpha[i] += zb * cond;
-                        mean_cost += self.d[i] * cond;
-                    }
-                    self.mbar[t + 1] -= mean_cost;
-                }
+                let mut sum_dq = 0.0;
                 for i in 0..n {
-                    self.alpha[i] = (self.alpha[i] + self.q[i] * self.zt[0]) * inv_z;
+                    sum_dq += self.d[i] * self.q[i];
+                }
+                if inv_sigma < ANYPUT_LINEAR_MAX_INV_SIGMA {
+                    // The conditional marginal
+                    //   P(i ∈ S | block t)
+                    //     = e^{1/σ} s_i Π_{j≠i,t}(1+s_j) / (Z_t/e^{base})
+                    // separates: e^{−d_i − softplus(−d_i)} = σ(−d_i)
+                    // = q_i, so it equals `q_i · e_t` with
+                    // e_t = e^{1/σ} P_t / (1 + e^{1/σ}(P_t − 1)) — the
+                    // t- and i-dependence factor apart, and one
+                    // leave-one-out sum over the block weights
+                    // w_t = z_t e_t replaces the per-(t, i)
+                    // re-exponentiation: O(N) total, not O(N²).
+                    let mut w_total = 0.0;
+                    for t in 0..n {
+                        let base = self.mbar[t + 1] - inv_sigma * self.tbar[t + 1];
+                        // log(Z_t / e^{base_t}); `x[t]` is log P_t,
+                        // stashed by `compute_anyput`.
+                        let lse = self.ell[t + 1] - base;
+                        // e_t ≤ e^{1/σ} (P ↦ e^{1/σ}P/(1+e^{1/σ}(P−1))
+                        // decreases in P ≥ 1), so the linear-domain
+                        // value is finite whenever e^{1/σ} is.
+                        let e_t = (inv_sigma + self.x[t] - lse).exp();
+                        let w = self.zt[t + 1] * e_t;
+                        // `p` is groupput scratch, unused on the
+                        // anyput path: borrow it for w_t.
+                        self.p[t] = w;
+                        w_total += w;
+                        self.mbar[t + 1] -= e_t * (sum_dq - self.d[t] * self.q[t]);
+                    }
+                    for i in 0..n {
+                        self.alpha[i] = self.q[i] * (w_total - self.p[i] + self.zt[0]) * inv_z;
+                    }
+                } else {
+                    // σ ≲ 1/700: e^{1/σ} overflows f64, so fold every
+                    // exponent into a single exp per (t, i) pair. The
+                    // quadratic cost is irrelevant in this degenerate
+                    // near-deterministic regime.
+                    self.alpha.fill(0.0);
+                    for t in 0..n {
+                        let zb = self.zt[t + 1];
+                        let base = self.mbar[t + 1] - inv_sigma * self.tbar[t + 1];
+                        let a = self.x[t];
+                        let lse = self.ell[t + 1] - base;
+                        let mut mean_cost = 0.0;
+                        for i in 0..n {
+                            if i == t {
+                                continue;
+                            }
+                            let cond = (inv_sigma - self.d[i] + (a - self.sp_s[i]) - lse).exp();
+                            self.alpha[i] += zb * cond;
+                            mean_cost += self.d[i] * cond;
+                        }
+                        self.mbar[t + 1] -= mean_cost;
+                    }
+                    for i in 0..n {
+                        self.alpha[i] = (self.alpha[i] + self.q[i] * self.zt[0]) * inv_z;
+                    }
                 }
             }
         }
@@ -628,6 +674,70 @@ mod tests {
         assert!(s.log_partition.is_finite());
         let total_beta: f64 = s.beta.iter().sum();
         assert!(total_beta <= 1.0 + 1e-9);
+    }
+
+    /// Self-contained quadratic reference for the anyput α marginals:
+    /// the pre-leave-one-out formulation, one log-domain exp per
+    /// (t, i) pair. Lets the O(N) production path be pinned at sizes
+    /// the Gray-code streaming kernel cannot reach.
+    fn quadratic_anyput_alpha(nodes: &[NodeParams], eta: &[f64], sigma: f64) -> Vec<f64> {
+        let n = nodes.len();
+        let inv_sigma = 1.0 / sigma;
+        let softplus = |x: f64| x.max(0.0) + (-x.abs()).exp().ln_1p();
+        let d: Vec<f64> = (0..n)
+            .map(|i| eta[i] * nodes[i].listen_w * inv_sigma)
+            .collect();
+        let sp_s: Vec<f64> = d.iter().map(|&d| softplus(-d)).collect();
+        let q: Vec<f64> = d.iter().map(|&d| 1.0 / (1.0 + d.exp())).collect();
+        let sum_sp_s: f64 = sp_s.iter().sum();
+        let mut ell = vec![sum_sp_s];
+        let mut log_p = Vec::with_capacity(n);
+        let mut lses = Vec::with_capacity(n);
+        for t in 0..n {
+            let base = -eta[t] * nodes[t].transmit_w * inv_sigma;
+            let a = sum_sp_s - sp_s[t];
+            log_p.push(a);
+            let lse = softplus(inv_sigma + a.exp_m1().ln());
+            lses.push(lse);
+            ell.push(base + lse);
+        }
+        let ell_max = ell.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let zt: Vec<f64> = ell.iter().map(|&l| (l - ell_max).exp()).collect();
+        let z: f64 = zt.iter().sum();
+        let mut alpha: Vec<f64> = (0..n).map(|i| q[i] * zt[0]).collect();
+        for t in 0..n {
+            for i in 0..n {
+                if i == t {
+                    continue;
+                }
+                let cond = (inv_sigma - d[i] + (log_p[t] - sp_s[i]) - lses[t]).exp();
+                alpha[i] += zt[t + 1] * cond;
+            }
+        }
+        alpha.iter().map(|a| a / z).collect()
+    }
+
+    proptest! {
+        /// The O(N) leave-one-out anyput marginal pass against the
+        /// quadratic per-pair reference, at N beyond enumeration's
+        /// reach — the satellite's 1e-9 pin.
+        #[test]
+        fn prop_linear_anyput_marginals_match_quadratic_reference(
+            n in 17usize..=96,
+            seed in 0u64..100_000,
+            sigma in 0.05f64..1.5,
+        ) {
+            let (nodes, eta) = heterogeneous(n, seed);
+            let p = GibbsParams { nodes: &nodes, eta: &eta, sigma, mode: Anyput };
+            let fast = summarize_factorized(&p);
+            let reference = quadratic_anyput_alpha(&nodes, &eta, sigma);
+            for i in 0..n {
+                prop_assert!(
+                    (fast.alpha[i] - reference[i]).abs() <= 1e-9,
+                    "alpha[{}]: {} vs {}", i, fast.alpha[i], reference[i]
+                );
+            }
+        }
     }
 
     proptest! {

@@ -630,7 +630,7 @@ pub fn summarize_naive(params: &GibbsParams<'_>) -> GibbsSummary {
 /// The full probability vector aligned with [`StateSpace::iter`] order.
 /// Only sensible for small `n`; used by tests and the detailed-balance
 /// checks. The normalizer comes from the factorized kernel's exact
-/// `log Z_η` (O(N) for groupput, O(N²) for anyput), so each state's
+/// `log Z_η` (O(N) for both throughput modes), so each state's
 /// probability is emitted fully normalized in a single enumeration
 /// pass — no accumulate-then-divide second sweep.
 pub fn distribution(params: &GibbsParams<'_>) -> Vec<(NetworkState, f64)> {

@@ -19,8 +19,8 @@
 //! * [`factorized`] — the polynomial-time summarization kernel
 //!   ([`FactorizedWorkspace`]): per-block weights are products over
 //!   listeners, so every summary aggregate collapses to per-node
-//!   sigmoid/softplus sums — O(N) per groupput evaluation, O(N²) for
-//!   anyput — serving `N ≫ 16` where enumeration is hopeless;
+//!   sigmoid/softplus sums — O(N) per evaluation in both throughput
+//!   modes — serving `N ≫ 16` where enumeration is hopeless;
 //! * [`p4`] — the achievable-throughput solver: Algorithm 1's dual
 //!   gradient descent on the Lagrange multipliers `η`, yielding the
 //!   `T^σ` that every figure in Section VII normalizes against, with a

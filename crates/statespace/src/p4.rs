@@ -43,7 +43,7 @@ use econcast_core::{NodeParams, ThroughputMode};
 pub enum SummaryKernel {
     /// The Gray-code streaming enumeration (`(N+2)·2^{N−1}` states).
     GrayCode,
-    /// The factorized polynomial kernel (O(N) groupput, O(N²) anyput).
+    /// The factorized polynomial kernel (O(N) per evaluation).
     Factorized,
     /// The homogeneous aggregation + scalar-dual bisection.
     Homogeneous,
@@ -67,8 +67,8 @@ pub enum KernelSelect {
     /// * groupput → [`SummaryKernel::Factorized`] (O(N) beats the
     ///   Gray-code sweep at every size);
     /// * anyput, `n ≤ ANYPUT_GRAY_MAX` → [`SummaryKernel::GrayCode`]
-    ///   (the O(N²)-with-exp factorized path only wins once the
-    ///   hypercube outgrows it), else factorized.
+    ///   (the exp-heavy factorized path only wins once the hypercube
+    ///   outgrows it), else factorized.
     #[default]
     Auto,
     /// Force the Gray-code enumeration kernel (requires
@@ -81,7 +81,7 @@ pub enum KernelSelect {
 
 /// Below/at this anyput node count `Auto` keeps the Gray-code sweep:
 /// the `(N+2)·2^{N−1}` walk of tight O(1) steps still undercuts the
-/// factorized path's O(N²) `exp` calls.
+/// factorized path's per-node `exp` calls.
 pub const ANYPUT_GRAY_MAX: usize = 10;
 
 impl KernelSelect {
