@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_gate --fresh FILE [--baseline-dir DIR] [--max-regression PCT]
+//!            [--max-latency-regression PCT]
 //! ```
 //!
 //! Compares the fresh `BENCH_*.json` against the newest committed
@@ -9,8 +10,10 @@
 //! matches the fresh run's — numbers are machine- and thread-specific,
 //! so only like compares with like. Exits 1 when any shared kernel or
 //! service throughput regressed by more than `PCT` percent (default
-//! 30). Exits 0 with a notice when no comparable baseline exists (a
-//! fresh machine or thread count is not a regression).
+//! 30), or any shared service p99 latency *grew* by more than the
+//! latency threshold (default 50). Exits 0 with a notice when no
+//! comparable baseline exists (a fresh machine or thread count is not
+//! a regression).
 
 use econcast_bench::gate::{bench_doc, compare, parse_json, ratio_rows, BenchDoc};
 use std::path::{Path, PathBuf};
@@ -30,7 +33,10 @@ fn main() {
             .cloned()
     };
     let Some(fresh_path) = flag("--fresh").map(PathBuf::from) else {
-        eprintln!("usage: bench_gate --fresh FILE [--baseline-dir DIR] [--max-regression PCT]");
+        eprintln!(
+            "usage: bench_gate --fresh FILE [--baseline-dir DIR] [--max-regression PCT] \
+             [--max-latency-regression PCT]"
+        );
         std::process::exit(2);
     };
     let baseline_dir = PathBuf::from(flag("--baseline-dir").unwrap_or_else(|| ".".into()));
@@ -40,6 +46,17 @@ fn main() {
             Ok(pct) if pct > 0.0 && pct < 100.0 => pct / 100.0,
             _ => {
                 eprintln!("--max-regression expects a percentage in (0, 100), got `{v}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    // Latency regressions have no 100% ceiling — a p99 can triple.
+    let max_lat_gain = match flag("--max-latency-regression").as_deref() {
+        None => 0.50,
+        Some(v) => match v.parse::<f64>() {
+            Ok(pct) if pct > 0.0 => pct / 100.0,
+            _ => {
+                eprintln!("--max-latency-regression expects a positive percentage, got `{v}`");
                 std::process::exit(2);
             }
         },
@@ -96,14 +113,15 @@ fn main() {
 
     println!(
         "bench_gate: {} (sha {}, quick {}) vs baseline {} (sha {}, quick {}), \
-         max regression {:.0}%",
+         max regression {:.0}% (throughput), {:.0}% (p99 latency)",
         fresh_path.display(),
         fresh.git_sha,
         fresh.quick,
         base_path.display(),
         baseline.git_sha,
         baseline.quick,
-        max_loss * 100.0
+        max_loss * 100.0,
+        max_lat_gain * 100.0
     );
     // The per-entry table prints on every run — a passing gate still
     // shows where each throughput moved. Fresh-only rows are
@@ -135,22 +153,34 @@ fn main() {
             ratio
         );
     }
-    let regressions = compare(&fresh, &baseline, max_loss);
+    let regressions = compare(&fresh, &baseline, max_loss, max_lat_gain);
     if regressions.is_empty() {
         println!(
-            "bench_gate: OK — no throughput regressed by more than {:.0}%",
-            max_loss * 100.0
+            "bench_gate: OK — no throughput regressed by more than {:.0}%, \
+             no p99 latency grew by more than {:.0}%",
+            max_loss * 100.0,
+            max_lat_gain * 100.0
         );
         return;
     }
     for r in &regressions {
-        eprintln!(
-            "bench_gate: REGRESSION {}: {:.3}/s -> {:.3}/s ({:.0}% loss)",
-            r.what,
-            r.baseline,
-            r.fresh,
-            r.loss() * 100.0
-        );
+        if r.latency {
+            eprintln!(
+                "bench_gate: REGRESSION {}: {:.1}us -> {:.1}us p99 ({:.0}% increase)",
+                r.what,
+                r.baseline,
+                r.fresh,
+                r.loss() * 100.0
+            );
+        } else {
+            eprintln!(
+                "bench_gate: REGRESSION {}: {:.3}/s -> {:.3}/s ({:.0}% loss)",
+                r.what,
+                r.baseline,
+                r.fresh,
+                r.loss() * 100.0
+            );
+        }
     }
     std::process::exit(1);
 }

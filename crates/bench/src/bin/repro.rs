@@ -55,6 +55,16 @@ fn main() {
                     report.dropped,
                     report.path.display()
                 );
+                eprintln!(
+                    "[socket profile: warm batch-256 round trip {:.0} us]",
+                    report.socket_batch_us
+                );
+                for span in &report.socket_profile {
+                    eprintln!(
+                        "  {:>12}  p50 {:>8.1} us  ({} samples)",
+                        span.name, span.p50_us, span.count
+                    );
+                }
                 eprintln!("open https://ui.perfetto.dev and load the file to explore it");
             }
             Err(e) => {

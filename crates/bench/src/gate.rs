@@ -284,11 +284,18 @@ pub struct BenchDoc {
     pub entries: BTreeMap<String, f64>,
     /// `(batch, rate-field) → requests/sec` over the service section.
     pub service: BTreeMap<(u64, String), f64>,
-    /// `(batch, latency-field) → µs` over the service section's `_us`
-    /// tail-latency fields. **Informational only**: shown in the ratio
-    /// table, never gated by [`compare`] — latency percentiles are
-    /// noisier than throughput means, and no regression policy for
-    /// them has been earned yet.
+    /// `(batch, latency-field) → µs` over the service section's
+    /// `*_p99_us` tail-latency fields. **Gated** by [`compare`] with
+    /// the inverted direction: a fresh p99 *above* the baseline's by
+    /// more than the allowed fraction fails. p99 earns teeth because
+    /// the tail passes sample enough calls (120 quick / 400 full) for
+    /// it to be stable; p50 adds nothing over the rps gate and p99.9
+    /// is a 1-sample order statistic at these counts.
+    pub service_p99: BTreeMap<(u64, String), f64>,
+    /// `(batch, latency-field) → µs` over the service section's other
+    /// `_us` tail-latency fields (p50, p99.9). **Informational only**:
+    /// shown in the ratio table, never gated by [`compare`] — too few
+    /// effective samples at the extreme tail for a regression policy.
     pub service_info: BTreeMap<(u64, String), f64>,
     /// The record's own `quick_sensitive` entry list, when the writer
     /// was new enough to emit one (`None` on pre-gate baselines).
@@ -310,6 +317,7 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
         })
         .collect();
     let mut service = BTreeMap::new();
+    let mut service_p99 = BTreeMap::new();
     let mut service_info = BTreeMap::new();
     for row in json
         .get("service")
@@ -324,6 +332,10 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
                 if key.ends_with("_rps") {
                     if let Some(rate) = value.as_num() {
                         service.insert((batch as u64, key.clone()), rate);
+                    }
+                } else if key.ends_with("_p99_us") {
+                    if let Some(us) = value.as_num() {
+                        service_p99.insert((batch as u64, key.clone()), us);
                     }
                 } else if key.ends_with("_us") {
                     if let Some(us) = value.as_num() {
@@ -350,6 +362,7 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
         quick: matches!(json.get("quick"), Some(Json::Bool(true))),
         entries,
         service,
+        service_p99,
         service_info,
         quick_sensitive: json.get("quick_sensitive").and_then(Json::as_arr).map(|a| {
             a.iter()
@@ -446,6 +459,27 @@ pub fn ratio_rows(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<RatioRow> {
             });
         }
     }
+    // Gated p99 latency fields. A ratio above 1 is the regression
+    // direction here (compare() inverts), but the table prints the
+    // plain fresh/baseline ratio for both kinds.
+    for ((batch, field), &base_us) in &baseline.service_p99 {
+        out.push(RatioRow {
+            what: format!("service batch={batch} {field}"),
+            baseline: Some(base_us),
+            fresh: fresh.service_p99.get(&(*batch, field.clone())).copied(),
+            skipped: false,
+        });
+    }
+    for ((batch, field), &us) in &fresh.service_p99 {
+        if !baseline.service_p99.contains_key(&(*batch, field.clone())) {
+            out.push(RatioRow {
+                what: format!("service batch={batch} {field}"),
+                baseline: None,
+                fresh: Some(us),
+                skipped: false,
+            });
+        }
+    }
     // Tail-latency (`_us`) fields: informational rows only. They pair
     // like the rates when both sides have them, but compare() never
     // gates them — a baseline-only latency field is a display hole,
@@ -476,33 +510,49 @@ pub fn ratio_rows(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<RatioRow> {
 pub struct Regression {
     /// Entry name or `service batch=N field`.
     pub what: String,
-    /// Baseline throughput (per second).
+    /// Baseline value (per second, or µs for latency rows).
     pub baseline: f64,
-    /// Fresh throughput (per second).
+    /// Fresh value (per second, or µs for latency rows; infinite when
+    /// a baseline latency vanished from the fresh run).
     pub fresh: f64,
+    /// Whether this is a latency row — the direction inverts: for
+    /// throughput, lower fresh is the regression; for latency, higher.
+    pub latency: bool,
 }
 
 impl Regression {
-    /// The fractional loss, e.g. 0.42 for a 42% regression.
+    /// The fractional regression, e.g. 0.42 for a 42% throughput loss
+    /// or a 42% p99 increase.
     pub fn loss(&self) -> f64 {
-        1.0 - self.fresh / self.baseline
+        if self.latency {
+            self.fresh / self.baseline - 1.0
+        } else {
+            1.0 - self.fresh / self.baseline
+        }
     }
 }
 
 /// Compares `fresh` against `baseline`, returning every baseline
 /// throughput that lost more than `max_loss` (e.g. 0.30 = fail on a
-/// regression above 30%). Quick-sensitive entries are skipped when the
-/// two records disagree on `quick`.
+/// regression above 30%) and every baseline p99 latency that *grew*
+/// by more than `max_lat_gain` (e.g. 0.50 = fail when the fresh p99
+/// is over 1.5× the baseline's). Quick-sensitive entries are skipped
+/// when the two records disagree on `quick`.
 ///
 /// A baseline throughput *absent* from the fresh run counts as a total
 /// regression (rate 0): a silently vanished measurement — e.g. the
 /// socket bench failing to bind and emitting `socket_rps: null` —
-/// must not pass the gate it exists to feed. Retiring a suite entry
-/// on purpose is done by committing the new baseline in the same PR;
-/// the gate always compares against the newest one. Entries that only
-/// exist in the fresh run are ignored (new measurements have no
-/// baseline yet).
-pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc, max_loss: f64) -> Vec<Regression> {
+/// must not pass the gate it exists to feed. A vanished p99 fails the
+/// same way (fresh = ∞). Retiring a suite entry on purpose is done by
+/// committing the new baseline in the same PR; the gate always
+/// compares against the newest one. Entries that only exist in the
+/// fresh run are ignored (new measurements have no baseline yet).
+pub fn compare(
+    fresh: &BenchDoc,
+    baseline: &BenchDoc,
+    max_loss: f64,
+    max_lat_gain: f64,
+) -> Vec<Regression> {
     let mut out = Vec::new();
     let modes_differ = fresh.quick != baseline.quick;
     let quick_sensitive = |name: &str| is_quick_sensitive(name, fresh, baseline);
@@ -520,6 +570,7 @@ pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc, max_loss: f64) -> Vec<Regr
                 },
                 baseline: base_rate,
                 fresh: fresh_rate,
+                latency: false,
             });
         }
     }
@@ -538,6 +589,30 @@ pub fn compare(fresh: &BenchDoc, baseline: &BenchDoc, max_loss: f64) -> Vec<Regr
                 },
                 baseline: base_rate,
                 fresh: fresh_rate,
+                latency: false,
+            });
+        }
+    }
+    for ((batch, field), &base_us) in &baseline.service_p99 {
+        if base_us <= 0.0 {
+            continue;
+        }
+        let key = (*batch, field.clone());
+        let fresh_us = fresh
+            .service_p99
+            .get(&key)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        if fresh_us > (1.0 + max_lat_gain) * base_us {
+            out.push(Regression {
+                what: if fresh.service_p99.contains_key(&key) {
+                    format!("service batch={batch} {field}")
+                } else {
+                    format!("service batch={batch} {field} (missing from fresh run)")
+                },
+                baseline: base_us,
+                fresh: fresh_us,
+                latency: true,
             });
         }
     }
@@ -559,6 +634,7 @@ mod tests {
                 .iter()
                 .map(|(b, f, v)| ((*b, f.to_string()), *v))
                 .collect(),
+            service_p99: BTreeMap::new(),
             service_info: BTreeMap::new(),
             // Legacy-shaped records: compare() falls back to the
             // hardcoded QUICK_SENSITIVE list.
@@ -619,10 +695,23 @@ mod tests {
                 warm_p50_us: Some(2.5),
                 warm_p99_us: Some(7.5),
                 warm_p999_us: Some(30.0),
+                socket_p50_us: Some(100.0),
+                socket_p99_us: Some(250.0),
+                socket_p999_us: Some(400.0),
+                cluster_p50_us: None,
+                cluster_p99_us: Some(800.0),
+                cluster_p999_us: None,
             }],
             threads: 3,
             quick: true,
             quick_sensitive: vec!["k".into()],
+            cluster_spans: vec![crate::perf::SpanStats {
+                name: "dial",
+                count: 2,
+                p50_us: Some(55.0),
+                p99_us: Some(60.0),
+                p999_us: Some(60.0),
+            }],
         };
         let text = crate::perf::to_json(&report, "deadbee");
         let doc = bench_doc(&parse_json(&text).unwrap()).unwrap();
@@ -631,11 +720,16 @@ mod tests {
         assert_eq!(doc.entries["k"], 10.0);
         assert_eq!(doc.service[&(1, "socket_rps".into())], 25.0);
         assert_eq!(doc.service[&(1, "cluster_rps".into())], 12.5);
-        // Latency percentiles land in the informational map, not the
-        // gated one.
+        // p50/p99.9 percentiles land in the informational map; the
+        // p99s land in the gated latency map; neither pollutes the
+        // throughput map.
         assert_eq!(doc.service_info[&(1, "warm_p50_us".into())], 2.5);
         assert_eq!(doc.service_info[&(1, "warm_p999_us".into())], 30.0);
+        assert_eq!(doc.service_p99[&(1, "warm_p99_us".into())], 7.5);
+        assert_eq!(doc.service_p99[&(1, "socket_p99_us".into())], 250.0);
+        assert_eq!(doc.service_p99[&(1, "cluster_p99_us".into())], 800.0);
         assert!(!doc.service.contains_key(&(1, "warm_p50_us".into())));
+        assert!(!doc.service_info.contains_key(&(1, "socket_p99_us".into())));
         assert_eq!(doc.quick_sensitive.as_deref(), Some(&["k".to_string()][..]));
     }
 
@@ -675,12 +769,62 @@ mod tests {
             &[("kernel", 65.0), ("other", 9.0), ("brand_new", 1.0)],
             &[(32, "warm_rps", 720.0), (256, "warm_rps", 5.0)],
         );
-        let regs = compare(&fresh, &base, 0.30);
+        let regs = compare(&fresh, &base, 0.30, 0.50);
         // kernel lost 35% (> 30%) → flagged; other lost 10% → fine;
         // warm_rps lost 28% → fine; unmatched names/batches ignored.
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].what, "kernel");
         assert!((regs[0].loss() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_latency_gates_in_the_inverted_direction() {
+        let with_p99 = |lat: &[(u64, &str, f64)]| {
+            let mut d = doc(false, &[], &[]);
+            d.service_p99 = lat
+                .iter()
+                .map(|(b, f, v)| ((*b, f.to_string()), *v))
+                .collect();
+            d
+        };
+        let base = with_p99(&[
+            (256, "socket_p99_us", 100.0),
+            (256, "cluster_p99_us", 500.0),
+        ]);
+        // 40% slower p99 passes a 50% gate; 60% slower fails; faster
+        // p99 is never a regression.
+        let fresh = with_p99(&[
+            (256, "socket_p99_us", 140.0),
+            (256, "cluster_p99_us", 400.0),
+        ]);
+        assert!(compare(&fresh, &base, 0.30, 0.50).is_empty());
+        let slow = with_p99(&[
+            (256, "socket_p99_us", 160.0),
+            (256, "cluster_p99_us", 400.0),
+        ]);
+        let regs = compare(&slow, &base, 0.30, 0.50);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].what, "service batch=256 socket_p99_us");
+        assert!(regs[0].latency);
+        assert!((regs[0].loss() - 0.60).abs() < 1e-12);
+        // A vanished p99 is a total regression, like a vanished rate.
+        let gone = with_p99(&[(256, "socket_p99_us", 90.0)]);
+        let regs = compare(&gone, &base, 0.30, 0.50);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(
+            regs[0].what,
+            "service batch=256 cluster_p99_us (missing from fresh run)"
+        );
+        assert_eq!(regs[0].fresh, f64::INFINITY);
+        // And the ratio table shows p99 rows from both sides.
+        let rows = ratio_rows(&gone, &base);
+        assert!(rows
+            .iter()
+            .any(|r| r.what == "service batch=256 socket_p99_us"
+                && r.ratio().is_some_and(|x| (x - 0.9).abs() < 1e-12)));
+        assert!(rows
+            .iter()
+            .any(|r| r.what == "service batch=256 cluster_p99_us" && r.fresh.is_none()));
     }
 
     #[test]
@@ -695,14 +839,14 @@ mod tests {
             &[("p4_solve_n12", 300.0), ("gibbs_summarize_n12", 1000.0)],
             &[],
         );
-        let regs = compare(&fresh, &base, 0.30);
+        let regs = compare(&fresh, &base, 0.30, 0.50);
         // Only the quick-invariant summarize kernel is gated.
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].what, "gibbs_summarize_n12");
         // Same quick flag ⇒ everything is gated again: the p4 entry
         // regressed and the summarize entry is missing entirely.
         let fresh_full = doc(false, &[("p4_solve_n12", 3.0)], &[]);
-        assert_eq!(compare(&fresh_full, &base, 0.30).len(), 2);
+        assert_eq!(compare(&fresh_full, &base, 0.30, 0.50).len(), 2);
     }
 
     #[test]
@@ -713,21 +857,21 @@ mod tests {
         let mut fresh = doc(true, &[("new_fixed_iter_kernel", 500.0)], &[]);
         // Unstamped on both sides + unknown to the fallback ⇒ gated
         // (and passing, since the quick run is faster).
-        assert!(compare(&fresh, &base, 0.30).is_empty());
+        assert!(compare(&fresh, &base, 0.30, 0.50).is_empty());
         let mut slow = fresh.clone();
         slow.entries.insert("new_fixed_iter_kernel".into(), 10.0);
-        assert_eq!(compare(&slow, &base, 0.30).len(), 1);
+        assert_eq!(compare(&slow, &base, 0.30, 0.50).len(), 1);
         // Stamped by the fresh record ⇒ skipped across quick/full.
         slow.quick_sensitive = Some(vec!["new_fixed_iter_kernel".into()]);
-        assert!(compare(&slow, &base, 0.30).is_empty());
+        assert!(compare(&slow, &base, 0.30, 0.50).is_empty());
         // Stamps only matter when the quick flags differ.
         slow.quick = false;
-        assert_eq!(compare(&slow, &base, 0.30).len(), 1);
+        assert_eq!(compare(&slow, &base, 0.30, 0.50).len(), 1);
         // The baseline's stamp protects too.
         fresh.entries.insert("new_fixed_iter_kernel".into(), 10.0);
         let mut stamped_base = base.clone();
         stamped_base.quick_sensitive = Some(vec!["new_fixed_iter_kernel".into()]);
-        assert!(compare(&fresh, &stamped_base, 0.30).is_empty());
+        assert!(compare(&fresh, &stamped_base, 0.30, 0.50).is_empty());
     }
 
     #[test]
@@ -798,7 +942,7 @@ mod tests {
             &[(32, "socket_rps", 50_000.0)],
         );
         let fresh = doc(false, &[("homogeneous_p4_n1000", 290.0)], &[]);
-        let regs = compare(&fresh, &base, 0.30);
+        let regs = compare(&fresh, &base, 0.30, 0.50);
         assert_eq!(regs.len(), 1);
         assert_eq!(
             regs[0].what,
@@ -812,6 +956,6 @@ mod tests {
             &[("homogeneous_p4_n1000", 290.0), ("brand_new", 1.0)],
             &[(32, "socket_rps", 49_000.0), (256, "socket_rps", 1.0)],
         );
-        assert!(compare(&fresh_extra, &base, 0.30).is_empty());
+        assert!(compare(&fresh_extra, &base, 0.30, 0.50).is_empty());
     }
 }

@@ -379,27 +379,7 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
     let socket_addr = if !socket_needed {
         Err(std::io::Error::other("no socket entries requested"))
     } else {
-        PolicyServer::bind(
-            "127.0.0.1:0",
-            ServerConfig {
-                router: RouterConfig {
-                    shards: 2,
-                    service: ServiceConfig {
-                        lru_capacity: 4096,
-                        ..ServiceConfig::default()
-                    },
-                    ..RouterConfig::default()
-                },
-                background_prewarm: false,
-                ..ServerConfig::default()
-            },
-        )
-        .map(|srv| {
-            let handle = srv.spawn();
-            let addr = handle.addr();
-            std::mem::forget(handle); // keep accepting until process exit
-            addr
-        })
+        bind_socket_server()
     };
     // Same story for the in-process cluster: two single-shard backend
     // `PolicyServer`s on loopback behind a `ClusterFront`, so the
@@ -412,56 +392,7 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
     let cluster_addr = if !cluster_needed {
         Err(std::io::Error::other("no cluster entries requested"))
     } else {
-        (|| {
-            let mut slots = Vec::new();
-            for _ in 0..2 {
-                let srv = PolicyServer::bind(
-                    "127.0.0.1:0",
-                    ServerConfig {
-                        router: RouterConfig {
-                            shards: 1,
-                            service: ServiceConfig {
-                                lru_capacity: 4096,
-                                ..ServiceConfig::default()
-                            },
-                            ..RouterConfig::default()
-                        },
-                        background_prewarm: false,
-                        ..ServerConfig::default()
-                    },
-                )?;
-                let handle = srv.spawn();
-                slots.push(SlotSpec::Remote(handle.addr()));
-                std::mem::forget(handle); // keep serving until process exit
-            }
-            let front = ClusterFront::bind(
-                "127.0.0.1:0",
-                ClusterRouter::new(
-                    &slots,
-                    ClusterConfig {
-                        service: ServiceConfig {
-                            lru_capacity: 4096,
-                            ..ServiceConfig::default()
-                        },
-                        ..ClusterConfig::default()
-                    },
-                ),
-                FrontConfig::default(),
-            )?;
-            let handle = front.spawn();
-            let addr = handle.addr();
-            // The health sweep runs while the benchmark measures, so
-            // `cluster_rps` is the throughput of a *supervised*
-            // deployment — periodic ping probes and all — not an
-            // unwatched one.
-            let healer = ClusterHealer::spawn(
-                std::sync::Arc::clone(handle.router()),
-                HealerConfig::default(),
-            );
-            std::mem::forget(healer);
-            std::mem::forget(handle);
-            Ok(addr)
-        })()
+        bind_cluster_front()
     };
     for size in SERVICE_BATCH_SIZES {
         if !keep(&service_entry_name("cold", size))
@@ -567,6 +498,87 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
     entries
 }
 
+/// Binds the loopback 2-shard `PolicyServer` the socket entries and
+/// the socket tail-latency pass measure against. The server lives for
+/// the rest of the process: the suite runs once per process and the
+/// connection handlers die with it, so there is nothing to tear down.
+fn bind_socket_server() -> std::io::Result<std::net::SocketAddr> {
+    PolicyServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            router: RouterConfig {
+                shards: 2,
+                service: ServiceConfig {
+                    lru_capacity: 4096,
+                    ..ServiceConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+            background_prewarm: false,
+            ..ServerConfig::default()
+        },
+    )
+    .map(|srv| {
+        let handle = srv.spawn();
+        let addr = handle.addr();
+        std::mem::forget(handle); // keep accepting until process exit
+        addr
+    })
+}
+
+/// Binds the in-process cluster the cluster entries and the cluster
+/// tail-latency pass measure against: two single-shard backend
+/// `PolicyServer`s on loopback behind a `ClusterFront`, plus a
+/// `ClusterHealer` sweep — so the numbers describe a *supervised*
+/// deployment, periodic ping probes and all. Same process-lifetime
+/// story as [`bind_socket_server`].
+fn bind_cluster_front() -> std::io::Result<std::net::SocketAddr> {
+    let mut slots = Vec::new();
+    for _ in 0..2 {
+        let srv = PolicyServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                router: RouterConfig {
+                    shards: 1,
+                    service: ServiceConfig {
+                        lru_capacity: 4096,
+                        ..ServiceConfig::default()
+                    },
+                    ..RouterConfig::default()
+                },
+                background_prewarm: false,
+                ..ServerConfig::default()
+            },
+        )?;
+        let handle = srv.spawn();
+        slots.push(SlotSpec::Remote(handle.addr()));
+        std::mem::forget(handle); // keep serving until process exit
+    }
+    let front = ClusterFront::bind(
+        "127.0.0.1:0",
+        ClusterRouter::new(
+            &slots,
+            ClusterConfig {
+                service: ServiceConfig {
+                    lru_capacity: 4096,
+                    ..ServiceConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        ),
+        FrontConfig::default(),
+    )?;
+    let handle = front.spawn();
+    let addr = handle.addr();
+    let healer = ClusterHealer::spawn(
+        std::sync::Arc::clone(handle.router()),
+        HealerConfig::default(),
+    );
+    std::mem::forget(healer);
+    std::mem::forget(handle);
+    Ok(addr)
+}
+
 /// Requests/sec of the policy service at one batch size.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceThroughput {
@@ -595,7 +607,50 @@ pub struct ServiceThroughput {
     pub warm_p99_us: Option<f64>,
     /// Warm `serve_batch` p99.9 latency (µs per call).
     pub warm_p999_us: Option<f64>,
+    /// Socket round-trip latency percentiles (µs per `serve_batch`
+    /// call over the pipelined TCP client), from a separate post-rps
+    /// pass timing each call directly. `None` when the loopback
+    /// server could not bind or the pass was filtered out.
+    pub socket_p50_us: Option<f64>,
+    /// Socket round-trip p99 latency (µs per call) — **gated** by
+    /// `bench_gate`: a fresh p99 more than 50% above the baseline's
+    /// fails CI.
+    pub socket_p99_us: Option<f64>,
+    /// Socket round-trip p99.9 latency (µs per call).
+    pub socket_p999_us: Option<f64>,
+    /// Cluster round-trip latency percentiles (µs per call through
+    /// the 2-backend front — two network hops per request).
+    pub cluster_p50_us: Option<f64>,
+    /// Cluster round-trip p99 latency (µs per call) — gated like
+    /// `socket_p99_us`.
+    pub cluster_p99_us: Option<f64>,
+    /// Cluster round-trip p99.9 latency (µs per call).
+    pub cluster_p999_us: Option<f64>,
 }
+
+/// One traced span's latency distribution, harvested from the trace
+/// layer's fixed-bucket histograms during the cluster tail-latency
+/// pass (each value is its bucket's upper edge, ≤ 12.5% above the
+/// true sample).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStats {
+    /// Span name within the `cluster` trace category.
+    pub name: &'static str,
+    /// Completed spans observed during the pass.
+    pub count: u64,
+    /// p50 latency (µs), `None` when no spans fired.
+    pub p50_us: Option<f64>,
+    /// p99 latency (µs).
+    pub p99_us: Option<f64>,
+    /// p99.9 latency (µs).
+    pub p999_us: Option<f64>,
+}
+
+/// The cluster spans the bench JSON reports percentiles for.
+/// `failover_reserve` legitimately never fires in a healthy run — its
+/// row then records `count: 0` rather than vanishing, so a reader can
+/// tell "no failovers" from "not measured".
+const CLUSTER_SPAN_NAMES: [&str; 3] = ["dial", "remote_serve", "failover_reserve"];
 
 /// Result of one full suite run.
 pub struct SuiteReport {
@@ -613,6 +668,11 @@ pub struct SuiteReport {
     /// recorded in the JSON so the regression gate learns
     /// quick-sensitivity from the record itself.
     pub quick_sensitive: Vec<String>,
+    /// Per-span latency percentiles for the cluster data plane
+    /// (`dial` / `remote_serve` / `failover_reserve`), harvested from
+    /// the trace histograms during the largest batch's cluster
+    /// tail-latency pass. Empty when no cluster pass ran.
+    pub cluster_spans: Vec<SpanStats>,
 }
 
 /// Runs the kernel suite, printing one line per entry. A non-empty
@@ -655,6 +715,13 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
     if let Some(s) = p4_n12_speedup {
         println!("p4_solve at N=12: {s:.1}x faster than the naive seed kernel");
     }
+    // Lazily bound stacks for the network tail-latency passes: fresh
+    // servers (the suite's own live for the process but their
+    // addresses are private to `suite()`), bound once and reused
+    // across batch sizes.
+    let mut socket_tail_addr: Option<Option<std::net::SocketAddr>> = None;
+    let mut cluster_tail_addr: Option<Option<std::net::SocketAddr>> = None;
+    let mut cluster_spans: Vec<SpanStats> = Vec::new();
     let service: Vec<ServiceThroughput> = SERVICE_BATCH_SIZES
         .iter()
         .filter_map(|&batch| {
@@ -662,10 +729,39 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
             let warm = mean_of(&service_entry_name("warm", batch))?;
             let socket = mean_of(&service_entry_name("socket", batch));
             let cluster = mean_of(&service_entry_name("cluster", batch));
-            // Tail-latency pass, separate from the throughput loops
+            // Tail-latency passes, separate from the throughput loops
             // above so the rps entries keep measuring the tracing-off
             // path (the overhead contract bench_gate holds them to).
             let tail = warm_latency_percentiles(batch, quick);
+            let socket_tail = socket.and_then(|_| {
+                net_latency_percentiles(
+                    || *socket_tail_addr.get_or_insert_with(|| bind_socket_server().ok()),
+                    batch,
+                    quick,
+                )
+                .map(|(t, _)| t)
+            });
+            let cluster_tail = cluster.and_then(|_| {
+                let (t, spans) = net_latency_percentiles(
+                    || *cluster_tail_addr.get_or_insert_with(|| bind_cluster_front().ok()),
+                    batch,
+                    quick,
+                )?;
+                // Merge harvests across batch passes, keeping the
+                // best-sampled row per span: `dial` fires only while
+                // the stack first binds (the smallest batch's pass),
+                // `remote_serve` is richest — and ties resolve to —
+                // the largest batch's pass, and `failover_reserve`
+                // stays a zero-sample row in a healthy run.
+                for s in spans {
+                    match cluster_spans.iter_mut().find(|c| c.name == s.name) {
+                        Some(c) if s.count >= c.count => *c = s,
+                        Some(_) => {}
+                        None => cluster_spans.push(s),
+                    }
+                }
+                Some(t)
+            });
             Some(ServiceThroughput {
                 batch,
                 cold_rps: batch as f64 / cold,
@@ -675,6 +771,12 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
                 warm_p50_us: tail.map(|t| t.0),
                 warm_p99_us: tail.map(|t| t.1),
                 warm_p999_us: tail.map(|t| t.2),
+                socket_p50_us: socket_tail.map(|t| t.0),
+                socket_p99_us: socket_tail.map(|t| t.1),
+                socket_p999_us: socket_tail.map(|t| t.2),
+                cluster_p50_us: cluster_tail.map(|t| t.0),
+                cluster_p99_us: cluster_tail.map(|t| t.1),
+                cluster_p999_us: cluster_tail.map(|t| t.2),
             })
         })
         .collect();
@@ -688,13 +790,30 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
             s.socket_rps.unwrap_or(f64::NAN),
             s.cluster_rps.unwrap_or(f64::NAN)
         );
-        if let (Some(p50), Some(p99), Some(p999)) = (s.warm_p50_us, s.warm_p99_us, s.warm_p999_us) {
-            println!(
-                "             batch {:>3} warm:  p50 {:>9.1} us, p99 {:>12.1} us, \
-                 p99.9 {:>8.1} us per call",
-                s.batch, p50, p99, p999
-            );
-        }
+        let tail_line = |phase: &str, p: (Option<f64>, Option<f64>, Option<f64>)| {
+            if let (Some(p50), Some(p99), Some(p999)) = p {
+                println!(
+                    "             batch {:>3} {phase}:  p50 {:>9.1} us, p99 {:>12.1} us, \
+                     p99.9 {:>8.1} us per call",
+                    s.batch, p50, p99, p999
+                );
+            }
+        };
+        tail_line("warm", (s.warm_p50_us, s.warm_p99_us, s.warm_p999_us));
+        tail_line("sock", (s.socket_p50_us, s.socket_p99_us, s.socket_p999_us));
+        tail_line(
+            "clus",
+            (s.cluster_p50_us, s.cluster_p99_us, s.cluster_p999_us),
+        );
+    }
+    for sp in &cluster_spans {
+        println!(
+            "cluster span {:>16}: {:>6} samples, p50 {:>9.1} us, p99 {:>9.1} us",
+            sp.name,
+            sp.count,
+            sp.p50_us.unwrap_or(f64::NAN),
+            sp.p99_us.unwrap_or(f64::NAN)
+        );
     }
     SuiteReport {
         measurements,
@@ -703,6 +822,7 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
         threads: econcast_parallel::effective_threads(usize::MAX),
         quick,
         quick_sensitive,
+        cluster_spans,
     }
 }
 
@@ -727,6 +847,59 @@ fn warm_latency_percentiles(size: usize, quick: bool) -> Option<(f64, f64, f64)>
     let p = p?;
     let us = |ns: u64| ns as f64 / 1000.0;
     Some((us(p.p50_ns), us(p.p99_ns), us(p.p999_ns)))
+}
+
+/// Round-trip tail latency through a live TCP endpoint at one batch
+/// size: resolve (possibly lazily bind) the endpoint, dial, warm
+/// once, then time `calls` pipelined `serve_batch` round trips with
+/// the monotonic clock (client percentiles are exact order statistics
+/// over the samples, not histogram buckets). The trace layer's
+/// histograms are armed *before* `bind` runs so backend `dial` spans
+/// from a first-time cluster bind land in the harvest; the second
+/// return value carries whatever `cluster`-category spans fired
+/// ([`CLUSTER_SPAN_NAMES`]) — all `count: 0` rows when the endpoint
+/// is the plain socket server.
+fn net_latency_percentiles(
+    bind: impl FnOnce() -> Option<std::net::SocketAddr>,
+    size: usize,
+    quick: bool,
+) -> Option<((f64, f64, f64), Vec<SpanStats>)> {
+    let calls = if quick { 120 } else { 400 };
+    let batch = service_batch(size);
+    econcast_trace::set_histograms(true);
+    econcast_trace::clear_histograms();
+    let sampled = (|| {
+        let addr = bind()?;
+        let mut client = PolicyClient::connect(addr, size.min(u16::MAX as usize) as u16).ok()?;
+        client.serve_batch(&batch).ok()?; // warm (the dial span lands inside the armed window)
+        let mut samples_us = Vec::with_capacity(calls);
+        for _ in 0..calls {
+            let t = std::time::Instant::now();
+            black_box(client.serve_batch(&batch).ok()?);
+            samples_us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        Some(samples_us)
+    })();
+    econcast_trace::set_histograms(false);
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let spans = CLUSTER_SPAN_NAMES
+        .iter()
+        .map(|&name| {
+            let p = econcast_trace::percentiles("cluster", name);
+            SpanStats {
+                name,
+                count: p.as_ref().map_or(0, |p| p.count),
+                p50_us: p.as_ref().map(|p| us(p.p50_ns)),
+                p99_us: p.as_ref().map(|p| us(p.p99_ns)),
+                p999_us: p.as_ref().map(|p| us(p.p999_ns)),
+            }
+        })
+        .collect();
+    econcast_trace::clear_histograms();
+    let mut samples_us = sampled?;
+    samples_us.sort_by(f64::total_cmp);
+    let q = |f: f64| samples_us[((samples_us.len() - 1) as f64 * f).round() as usize];
+    Some(((q(0.50), q(0.99), q(0.999)), spans))
 }
 
 /// `git rev-parse --short HEAD`, or `ECONCAST_GIT_SHA`, or "unknown".
@@ -797,7 +970,9 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
         s.push_str(&format!(
             "    {{\"batch\": {}, \"cold_rps\": {:.3}, \"warm_rps\": {:.3}, \
              \"socket_rps\": {}, \"cluster_rps\": {}, \
-             \"warm_p50_us\": {}, \"warm_p99_us\": {}, \"warm_p999_us\": {}}}{}\n",
+             \"warm_p50_us\": {}, \"warm_p99_us\": {}, \"warm_p999_us\": {}, \
+             \"socket_p50_us\": {}, \"socket_p99_us\": {}, \"socket_p999_us\": {}, \
+             \"cluster_p50_us\": {}, \"cluster_p99_us\": {}, \"cluster_p999_us\": {}}}{}\n",
             t.batch,
             t.cold_rps,
             t.warm_rps,
@@ -806,7 +981,35 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
             opt(t.warm_p50_us),
             opt(t.warm_p99_us),
             opt(t.warm_p999_us),
+            opt(t.socket_p50_us),
+            opt(t.socket_p99_us),
+            opt(t.socket_p999_us),
+            opt(t.cluster_p50_us),
+            opt(t.cluster_p99_us),
+            opt(t.cluster_p999_us),
             if i + 1 < report.service.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"cluster_spans\": [\n");
+    for (i, sp) in report.cluster_spans.iter().enumerate() {
+        let opt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.3}"),
+            None => "null".to_string(),
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"count\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"p999_us\": {}}}{}\n",
+            sp.name,
+            sp.count,
+            opt(sp.p50_us),
+            opt(sp.p99_us),
+            opt(sp.p999_us),
+            if i + 1 < report.cluster_spans.len() {
                 ","
             } else {
                 ""
@@ -892,10 +1095,23 @@ mod tests {
                 warm_p50_us: Some(12.25),
                 warm_p99_us: Some(99.5),
                 warm_p999_us: None,
+                socket_p50_us: Some(150.0),
+                socket_p99_us: Some(420.5),
+                socket_p999_us: None,
+                cluster_p50_us: None,
+                cluster_p99_us: Some(910.25),
+                cluster_p999_us: None,
             }],
             threads: 4,
             quick: true,
             quick_sensitive: vec!["x".into(), "y".into()],
+            cluster_spans: vec![SpanStats {
+                name: "remote_serve",
+                count: 240,
+                p50_us: Some(801.5),
+                p99_us: Some(1900.0),
+                p999_us: None,
+            }],
         };
         let j = to_json(&report, "abc123");
         assert!(j.contains("\"git_sha\": \"abc123\""));
@@ -909,6 +1125,11 @@ mod tests {
         assert!(j.contains("\"warm_p50_us\": 12.250"));
         assert!(j.contains("\"warm_p99_us\": 99.500"));
         assert!(j.contains("\"warm_p999_us\": null"));
+        assert!(j.contains("\"socket_p99_us\": 420.500"));
+        assert!(j.contains("\"cluster_p50_us\": null"));
+        assert!(j.contains("\"cluster_p99_us\": 910.250"));
+        assert!(j.contains("\"name\": \"remote_serve\", \"count\": 240"));
+        assert!(j.contains("\"p99_us\": 1900.000"));
         assert!(j.starts_with("{\n") && j.ends_with("}\n"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -33,6 +33,23 @@ pub struct TraceDemoReport {
     /// Events lost to ring overflow (0 unless the demo outgrows the
     /// per-thread rings).
     pub dropped: u64,
+    /// Mean wall time of one warm batch-256 round trip on the plain
+    /// socket path, µs.
+    pub socket_batch_us: f64,
+    /// Where that wall time goes: per-span histogram percentiles for
+    /// the socket-path lifecycle, harvested before the cluster phase.
+    pub socket_profile: Vec<SocketSpan>,
+}
+
+/// One socket-path lifecycle span's share of a round trip.
+pub struct SocketSpan {
+    /// Span name (`frame_encode`, `frame_decode`, `route`,
+    /// `serve_batch`).
+    pub name: &'static str,
+    /// Samples recorded during the profile phase.
+    pub count: u64,
+    /// Median span duration, µs.
+    pub p50_us: f64,
 }
 
 /// Runs the demo cluster under full tracing and writes
@@ -44,6 +61,29 @@ pub fn run(out_dir: &Path) -> std::io::Result<TraceDemoReport> {
     econcast_trace::reset();
     econcast_trace::set_spans(true);
     econcast_trace::set_histograms(true);
+    // Phase 1 — plain socket path, profiled: where does a warm
+    // batch-256 round trip spend its time once the solver is out of
+    // the picture? The histograms are harvested (and cleared) before
+    // the cluster phase so its spans can't muddy the answer.
+    let socket = drive_socket();
+    let mut socket_profile = Vec::new();
+    for name in ["frame_encode", "frame_decode", "route", "serve_batch"] {
+        let cat = if name.starts_with("frame") {
+            "proto"
+        } else {
+            "service"
+        };
+        if let Some(p) = econcast_trace::percentiles(cat, name) {
+            socket_profile.push(SocketSpan {
+                name,
+                count: p.count,
+                p50_us: p.p50_ns as f64 / 1e3,
+            });
+        }
+    }
+    econcast_trace::clear_histograms();
+    econcast_trace::set_histograms(true);
+    // Phase 2 — the cluster fault lifecycle.
     let driven = drive();
     econcast_trace::set_spans(false);
     econcast_trace::set_histograms(false);
@@ -51,6 +91,7 @@ pub fn run(out_dir: &Path) -> std::io::Result<TraceDemoReport> {
     // into the next tracer user in this process.
     let snap = econcast_trace::drain();
     econcast_trace::clear_histograms();
+    let socket_batch_us = socket?;
     driven?;
     let json = econcast_trace::to_chrome_json(&snap);
     let path = out_dir.join("econcast_demo.trace.json");
@@ -60,7 +101,44 @@ pub fn run(out_dir: &Path) -> std::io::Result<TraceDemoReport> {
         json,
         events: snap.events.len(),
         dropped: snap.dropped,
+        socket_batch_us,
+        socket_profile,
     })
+}
+
+/// The socket-path profile workload: one warm-up plus a few timed
+/// warm batch-256 round trips against a 2-shard TCP server, returning
+/// the mean round-trip wall time in µs. Runs with the tracer armed so
+/// the lifecycle spans land in both the trace and the histograms.
+fn drive_socket() -> std::io::Result<f64> {
+    let srv = PolicyServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            router: RouterConfig {
+                shards: 2,
+                service: ServiceConfig {
+                    lru_capacity: 4096,
+                    ..ServiceConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+            background_prewarm: false,
+            ..ServerConfig::default()
+        },
+    )?
+    .spawn();
+    let batch = crate::perf::service_batch(256);
+    let mut client = PolicyClient::connect(srv.addr(), 256)?;
+    client.serve_batch(&batch)?; // warm the LRUs
+    const ITERS: u32 = 3;
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        client.serve_batch(&batch)?;
+    }
+    let us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS);
+    drop(client);
+    srv.shutdown();
+    Ok(us)
 }
 
 /// The traced workload: healthy batch, backend kill, failover batch,

@@ -59,6 +59,7 @@
 //! including while backends are being killed mid-run (pinned by
 //! `tests/cluster.rs` over supervisor-spawned processes on real TCP).
 
+pub mod driver;
 pub mod fault;
 pub mod front;
 pub mod policy;
@@ -71,6 +72,6 @@ pub use front::{ClusterFront, FrontConfig, FrontHandle};
 pub use policy::{
     add_backend_with_warmup, remove_backend_with_handoff, ClusterHealer, HealerConfig, RetargetFn,
 };
-pub use remote::{RemoteConfig, RemoteShard, RemoteShardStats};
+pub use remote::{RemoteConfig, RemoteShard, RemoteShardStats, RemoteTicket};
 pub use router::{ClusterConfig, ClusterRouter, ClusterStats, SlotSpec, StatsSource};
 pub use supervisor::{default_backend_binary, Supervisor, SupervisorConfig};

@@ -19,7 +19,7 @@
 //! backends are stock `PolicyServer` processes that cannot tell a
 //! dialer from any other client.
 
-use econcast_service::{PolicyClient, PolicyRequest, ServiceStats, WireResult};
+use econcast_service::{ready, PolicyClient, PolicyRequest, ServiceStats, Ticket, WireResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::net::SocketAddr;
@@ -73,6 +73,21 @@ pub struct RemoteShardStats {
     pub down_transitions: u64,
     /// down → healthy recoveries.
     pub recoveries: u64,
+}
+
+/// An in-flight remote sub-batch: the connection-level [`Ticket`]
+/// plus the accounting ([`RemoteShardStats::served`], trace span,
+/// deadline) applied when it completes.
+#[derive(Debug)]
+pub struct RemoteTicket {
+    ticket: Ticket,
+    /// `remote_serve` span start (armed only while tracing).
+    t0: Option<u64>,
+    /// Absolute completion deadline derived from
+    /// [`RemoteConfig::io_timeout`] at submit time.
+    deadline: Option<Instant>,
+    /// Requests in the sub-batch.
+    n: usize,
 }
 
 /// One backend policy server, dialed on demand.
@@ -166,28 +181,122 @@ impl RemoteShard {
         self.down_since = None;
     }
 
-    /// Serves one batch on the backend. An `Err` means the *stream*
-    /// failed (dial, I/O, corruption) — the connection is dropped,
-    /// the failure is recorded, and the caller should fall back; the
-    /// cluster router re-serves the whole sub-batch locally.
+    /// Serves one batch on the backend, blocking until it completes.
+    /// An `Err` means the *stream* failed (dial, I/O, corruption) —
+    /// the connection is dropped, the failure is recorded, and the
+    /// caller should fall back; the cluster router re-serves the
+    /// whole sub-batch locally. Exactly
+    /// [`begin_batch`](RemoteShard::begin_batch) followed by the
+    /// blocking finish.
     pub fn serve_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Vec<WireResult>> {
-        let _remote = econcast_trace::trace_span!(
-            "cluster",
-            "remote_serve",
-            "requests" => reqs.len() as u64
-        );
-        let result = self.connect().and_then(|conn| conn.serve_batch(reqs));
-        match result {
-            Ok(out) => {
-                self.note_success();
-                self.stats.served += reqs.len() as u64;
-                Ok(out)
-            }
+        let t = self.begin_batch(reqs)?;
+        self.finish(&t)
+    }
+
+    /// Submits one batch on the backend without waiting for replies
+    /// (dialing first if needed): the cluster router's scatter step.
+    /// Poll the returned ticket with
+    /// [`try_finish`](RemoteShard::try_finish) — several backends'
+    /// tickets can be in flight at once, multiplexed on one thread
+    /// via [`RemoteShard::poll_fd`]. A submit-side failure is
+    /// recorded like any stream failure.
+    pub fn begin_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<RemoteTicket> {
+        let t0 = econcast_trace::armed_now();
+        let deadline = self.cfg.io_timeout.map(|t| Instant::now() + t);
+        let n = reqs.len();
+        match self.connect().and_then(|conn| conn.submit_batch(reqs)) {
+            Ok(ticket) => Ok(RemoteTicket {
+                ticket,
+                t0,
+                deadline,
+                n,
+            }),
             Err(e) => {
+                econcast_trace::complete_from(
+                    "cluster",
+                    "remote_serve",
+                    t0,
+                    &[("requests", n as u64)],
+                );
                 self.note_failure();
                 Err(e)
             }
         }
+    }
+
+    /// Non-blocking progress check on an in-flight batch: absorbs
+    /// whatever replies are readable and reports completion.
+    /// `Ok(None)` means "not done yet — wait for readability and
+    /// retry". Completion (either way) closes the `remote_serve`
+    /// trace span and feeds the health machine; blowing the
+    /// [`RemoteConfig::io_timeout`] deadline counts as a stream
+    /// failure.
+    pub fn try_finish(&mut self, t: &RemoteTicket) -> std::io::Result<Option<Vec<WireResult>>> {
+        let polled = match self.conn.as_mut() {
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection was dropped mid-batch",
+            )),
+            Some(conn) => conn.try_collect(&t.ticket),
+        };
+        match polled {
+            Ok(Some(out)) => {
+                self.settle(t, true);
+                Ok(Some(out))
+            }
+            Ok(None) => {
+                if t.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.settle(t, false);
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "backend did not complete the batch within the I/O timeout",
+                    ));
+                }
+                Ok(None)
+            }
+            Err(e) => {
+                self.settle(t, false);
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks until an in-flight batch completes (the single-backend
+    /// path behind [`RemoteShard::serve_batch`]).
+    fn finish(&mut self, t: &RemoteTicket) -> std::io::Result<Vec<WireResult>> {
+        let collected = match self.conn.as_mut() {
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection was dropped mid-batch",
+            )),
+            Some(conn) => conn.collect(t.ticket),
+        };
+        let ok = collected.is_ok();
+        self.settle(t, ok);
+        collected
+    }
+
+    /// Completion bookkeeping shared by the blocking and polled
+    /// finish paths: health machine, served counter, trace span.
+    fn settle(&mut self, t: &RemoteTicket, ok: bool) {
+        if ok {
+            self.note_success();
+            self.stats.served += t.n as u64;
+        } else {
+            self.note_failure();
+        }
+        econcast_trace::complete_from("cluster", "remote_serve", t.t0, &[("requests", t.n as u64)]);
+    }
+
+    /// The pooled connection's descriptor for readiness multiplexing
+    /// (`None` while undialed or after a failure dropped the stream).
+    pub fn poll_fd(&self) -> Option<ready::RawFdAlias> {
+        self.conn.as_ref().map(PolicyClient::poll_fd)
+    }
+
+    /// The per-operation I/O timeout this dialer was configured with.
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.cfg.io_timeout
     }
 
     /// Liveness probe: dial if needed, round-trip a `Ping`. Returns

@@ -539,8 +539,13 @@ impl ClusterRouter {
             }
         }
 
-        // Remote fan-out: one thread per live backend with work. Down
-        // backends (health machine says skip) go straight to fallback.
+        // Remote fan-out, pipelined: submit every live backend's
+        // sub-batch back to back, then drive all the in-flight
+        // tickets on this thread — the readiness driver absorbs
+        // whichever backend answers first, so gathering one
+        // sub-batch starts while the others are still solving. Down
+        // backends (health machine says skip) go straight to
+        // fallback.
         let sub_batches: Vec<Option<Vec<PolicyRequest>>> = self
             .slots
             .iter()
@@ -552,24 +557,26 @@ impl ClusterRouter {
                 _ => None,
             })
             .collect();
-        let slots = &mut self.slots;
-        let remote_results: Vec<Option<std::io::Result<Vec<econcast_service::WireResult>>>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = slots
-                    .iter_mut()
-                    .zip(&sub_batches)
-                    .map(|(slot, batch)| match (slot, batch) {
-                        (Slot::Remote(rs), Some(batch)) => {
-                            Some(scope.spawn(move || rs.serve_batch(batch)))
-                        }
-                        _ => None,
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.map(|h| h.join().expect("remote fan-out thread")))
-                    .collect()
-            });
+        let mut remote_results: Vec<Option<std::io::Result<Vec<econcast_service::WireResult>>>> =
+            (0..self.slots.len()).map(|_| None).collect();
+        let mut jobs = Vec::new();
+        for (s, (slot, batch)) in self.slots.iter_mut().zip(&sub_batches).enumerate() {
+            if let (Slot::Remote(rs), Some(batch)) = (slot, batch) {
+                match rs.begin_batch(batch) {
+                    Ok(ticket) => jobs.push(crate::driver::Job {
+                        slot: s,
+                        shard: rs,
+                        ticket,
+                    }),
+                    // A submit-side failure (dial, write) voids the
+                    // sub-batch exactly like a mid-stream one.
+                    Err(e) => remote_results[s] = Some(Err(e)),
+                }
+            }
+        }
+        for (s, result) in crate::driver::drive(jobs) {
+            remote_results[s] = Some(result);
+        }
 
         let mut out: Vec<Option<Result<PolicyResponse, ServiceError>>> = vec![None; reqs.len()];
         for (s, result) in remote_results.into_iter().enumerate() {

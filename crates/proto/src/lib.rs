@@ -34,6 +34,7 @@ pub use codec::StreamCodec;
 pub use error::DecodeError;
 pub use frame::{DataFrame, Frame, PingFrame, ReceptionReport};
 pub use service::{
-    ServedTier, ServiceCodec, ServiceErrorCode, ServiceMessage, WireObjective, WirePolicy,
-    WirePolicyError, WirePolicyRequest, WirePolicyResponse, WIRE_VERSION,
+    ScatterEncoder, ServedTier, ServiceCodec, ServiceErrorCode, ServiceMessage, WireObjective,
+    WirePolicy, WirePolicyError, WirePolicyRequest, WirePolicyResponse, MIN_WIRE_VERSION,
+    WIRE_VERSION,
 };

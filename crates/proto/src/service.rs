@@ -14,12 +14,12 @@
 //! exact):
 //!
 //! ```text
-//! Request:  [0x10][ver][id u32][obj u8][sigma f64][tol f64]
+//! Request:  [0x10][ver][corr u32][id u32][obj u8][sigma f64][tol f64]
 //!           [listen f64][transmit f64][n u16]{ [rho f64] }×n [crc u16]
-//! Response: [0x11][ver][id u32][tier u8][kernel u8][converged u8]
+//! Response: [0x11][ver][corr u32][id u32][tier u8][kernel u8][converged u8]
 //!           [throughput f64][t_sigma f64][oracle f64][dual_upper f64]
 //!           [n u16]{ [listen f64][transmit f64] }×n [crc u16]
-//! Error:    [0x12][ver][id u32][code u8][crc u16]
+//! Error:    [0x12][ver][corr u32][id u32][code u8][crc u16]
 //! Hello:    [0x13][ver][id u32][max_batch u16][crc u16]
 //! Welcome:  [0x14][ver][id u32][shards u16][max_batch u16][crc u16]
 //! StatsReq: [0x15][ver][id u32][shard u16][crc u16]
@@ -48,6 +48,18 @@
 //! and the four cluster self-healing counters in the stats block
 //! (`auto_respawns`, `quarantines`, `reshard_handoffs`,
 //! `injected_faults`).
+//! Version 5 added the `corr u32` correlation-id field to the three
+//! data-plane messages (`Request`/`Response`/`Error`, shown above) so
+//! several batches can be in flight on one connection and replies can
+//! complete out of order — the client stamps every request of a
+//! submitted batch with one fresh `corr`, the server echoes it, and
+//! the client demultiplexes replies to the right in-flight batch by
+//! `corr` alone. All other message types are byte-identical to v4
+//! except for the version octet. Decoders accept both v4 and v5
+//! ([`MIN_WIRE_VERSION`]); a v4 frame decodes with `corr = 0`, and
+//! encoders can stamp either version
+//! ([`ServiceMessage::encode_into_versioned`]) so a v5 binary can
+//! interoperate with a v4 peer in both directions.
 //!
 //! `Hello`/`Welcome` form the connection handshake of the TCP policy
 //! server: the client announces the largest batch it intends to
@@ -59,9 +71,10 @@
 //! liveness/round-trip probe that touches no shard state, cheap enough
 //! for health checkers to send on a tight cadence.
 //!
-//! `ver` is [`WIRE_VERSION`]; decoders reject other versions with
-//! [`DecodeError::UnsupportedVersion`] so old binaries fail loudly
-//! instead of misparsing. Budgets are listed in the *caller's* node
+//! `ver` is [`WIRE_VERSION`] (or any accepted version down to
+//! [`MIN_WIRE_VERSION`]); decoders reject versions outside that window
+//! with [`DecodeError::UnsupportedVersion`] so old binaries fail
+//! loudly instead of misparsing. Budgets are listed in the *caller's* node
 //! order and the response's policies come back in that same order —
 //! canonicalization for caching is entirely the server's business and
 //! never leaks onto the wire.
@@ -71,7 +84,12 @@ use crate::error::DecodeError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Current service wire-format version.
-pub const WIRE_VERSION: u8 = 4;
+pub const WIRE_VERSION: u8 = 5;
+
+/// Oldest wire version this build still decodes (and can encode, via
+/// [`ServiceMessage::encode_into_versioned`]). A v4 data-plane frame
+/// carries no correlation id; it decodes with `corr = 0`.
+pub const MIN_WIRE_VERSION: u8 = 4;
 
 /// Hard cap on per-message node counts so every message fits a u16
 /// stream-length prefix (a 4000-node response is 64 042 bytes).
@@ -233,7 +251,11 @@ impl ServiceErrorCode {
 /// while `budgets_w[i]` carries each node's `ρ_i` in caller order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WirePolicyRequest {
-    /// Caller-chosen correlation id, echoed in the response.
+    /// Batch correlation id (wire v5), echoed in the reply. All
+    /// requests of one pipelined submit share a `corr`; `0` means
+    /// "unknown" (every v4 frame, or a caller that does not pipeline).
+    pub corr: u32,
+    /// Caller-chosen per-request id, echoed in the response.
     pub id: u32,
     /// Throughput objective.
     pub objective: WireObjective,
@@ -263,6 +285,8 @@ pub struct WirePolicy {
 /// A served policy plus its achievability certificate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WirePolicyResponse {
+    /// Echo of the request's batch correlation id (wire v5; 0 = v4).
+    pub corr: u32,
     /// Echo of the request id.
     pub id: u32,
     /// Which cache tier answered.
@@ -287,6 +311,8 @@ pub struct WirePolicyResponse {
 /// A per-request error reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WirePolicyError {
+    /// Echo of the request's batch correlation id (wire v5; 0 = v4).
+    pub corr: u32,
     /// Echo of the request id.
     pub id: u32,
     /// What went wrong.
@@ -552,13 +578,32 @@ impl ServiceMessage {
         buf.freeze()
     }
 
-    /// Encodes into an existing buffer (appends).
+    /// Encodes into an existing buffer (appends) at the current
+    /// [`WIRE_VERSION`].
     ///
     /// # Panics
     ///
     /// Panics when a node list exceeds [`MAX_WIRE_NODES`] — requests
     /// that large cannot be framed and indicate a caller bug.
     pub fn encode_into(&self, buf: &mut BytesMut) {
+        self.encode_into_versioned(buf, WIRE_VERSION);
+    }
+
+    /// Encodes into an existing buffer (appends) at an explicit wire
+    /// version — the interop path for talking to an older peer. A v4
+    /// encoding drops the correlation id (the field did not exist);
+    /// everything else is byte-identical apart from the version octet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a version outside
+    /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`], or when a node list
+    /// exceeds [`MAX_WIRE_NODES`].
+    pub fn encode_into_versioned(&self, buf: &mut BytesMut, version: u8) {
+        assert!(
+            (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version),
+            "unsupported encode version {version}"
+        );
         let start = buf.len();
         match self {
             ServiceMessage::Request(r) => {
@@ -567,7 +612,10 @@ impl ServiceMessage {
                     "request exceeds MAX_WIRE_NODES"
                 );
                 buf.put_u8(TYPE_REQUEST);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
+                if version >= 5 {
+                    buf.put_u32(r.corr);
+                }
                 buf.put_u32(r.id);
                 buf.put_u8(r.objective.to_u8());
                 buf.put_f64(r.sigma);
@@ -585,7 +633,10 @@ impl ServiceMessage {
                     "response exceeds MAX_WIRE_NODES"
                 );
                 buf.put_u8(TYPE_RESPONSE);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
+                if version >= 5 {
+                    buf.put_u32(r.corr);
+                }
                 buf.put_u32(r.id);
                 buf.put_u8(r.tier.to_u8());
                 buf.put_u8(r.kernel.to_u8());
@@ -602,32 +653,35 @@ impl ServiceMessage {
             }
             ServiceMessage::Error(e) => {
                 buf.put_u8(TYPE_ERROR);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
+                if version >= 5 {
+                    buf.put_u32(e.corr);
+                }
                 buf.put_u32(e.id);
                 buf.put_u8(e.code.to_u8());
             }
             ServiceMessage::Hello(h) => {
                 buf.put_u8(TYPE_HELLO);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(h.id);
                 buf.put_u16(h.max_batch);
             }
             ServiceMessage::Welcome(w) => {
                 buf.put_u8(TYPE_WELCOME);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(w.id);
                 buf.put_u16(w.shards);
                 buf.put_u16(w.max_batch);
             }
             ServiceMessage::StatsRequest(r) => {
                 buf.put_u8(TYPE_STATS_REQUEST);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(r.id);
                 buf.put_u16(r.shard);
             }
             ServiceMessage::StatsResponse(r) => {
                 buf.put_u8(TYPE_STATS_RESPONSE);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(r.id);
                 buf.put_u16(r.shard);
                 for counter in r.stats.to_array() {
@@ -636,12 +690,12 @@ impl ServiceMessage {
             }
             ServiceMessage::Ping(p) => {
                 buf.put_u8(TYPE_PING);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(p.id);
             }
             ServiceMessage::Pong(p) => {
                 buf.put_u8(TYPE_PONG);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(p.id);
             }
             ServiceMessage::MixSeed(s) => {
@@ -650,7 +704,7 @@ impl ServiceMessage {
                     "mix seed exceeds MAX_WIRE_FAMILIES"
                 );
                 buf.put_u8(TYPE_MIX_SEED);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(s.id);
                 buf.put_u16(s.families.len() as u16);
                 for f in &s.families {
@@ -664,7 +718,7 @@ impl ServiceMessage {
             }
             ServiceMessage::MixAck(a) => {
                 buf.put_u8(TYPE_MIX_ACK);
-                buf.put_u8(WIRE_VERSION);
+                buf.put_u8(version);
                 buf.put_u32(a.id);
                 buf.put_u16(a.absorbed);
                 buf.put_u16(a.grids_built);
@@ -674,12 +728,21 @@ impl ServiceMessage {
         buf.put_u16(crc);
     }
 
-    /// The exact encoded size in bytes, CRC included.
+    /// The exact encoded size in bytes at [`WIRE_VERSION`], CRC
+    /// included.
     pub fn encoded_len(&self) -> usize {
+        self.encoded_len_versioned(WIRE_VERSION)
+    }
+
+    /// The exact encoded size in bytes at an explicit wire version,
+    /// CRC included (a v4 data-plane frame is 4 bytes shorter — no
+    /// correlation id).
+    pub fn encoded_len_versioned(&self, version: u8) -> usize {
+        let corr = if version >= 5 { 4 } else { 0 };
         match self {
-            ServiceMessage::Request(r) => 41 + 8 * r.budgets_w.len() + 2,
-            ServiceMessage::Response(r) => 43 + 16 * r.policies.len() + 2,
-            ServiceMessage::Error(_) => 7 + 2,
+            ServiceMessage::Request(r) => 41 + corr + 8 * r.budgets_w.len() + 2,
+            ServiceMessage::Response(r) => 43 + corr + 16 * r.policies.len() + 2,
+            ServiceMessage::Error(_) => 7 + corr + 2,
             ServiceMessage::Hello(_) => 8 + 2,
             ServiceMessage::Welcome(_) => 10 + 2,
             ServiceMessage::StatsRequest(_) => 8 + 2,
@@ -693,37 +756,45 @@ impl ServiceMessage {
     /// Decodes one message from the start of `data`, returning the
     /// message and the number of bytes consumed.
     pub fn decode(data: &[u8]) -> Result<(ServiceMessage, usize), DecodeError> {
-        if data.is_empty() {
+        if data.len() < 2 {
             return Err(DecodeError::Truncated {
                 needed: 8,
-                available: 0,
+                available: data.len(),
             });
         }
         // Total length first (needs the count field for the two
         // variable-size messages), then CRC, then version, then fields
         // — so corrupt bytes surface as BadChecksum, not field errors.
+        // The three data-plane layouts depend on the version octet
+        // (v5 inserts a 4-byte correlation id); an out-of-window
+        // version assumes the current layout and is rejected after the
+        // CRC check, so a corrupt version byte still surfaces as
+        // BadChecksum.
+        let corr_len: usize = if data[1] >= 5 { 4 } else { 0 };
         let total_len = match data[0] {
             TYPE_REQUEST => {
-                if data.len() < 41 {
+                let fixed = 41 + corr_len;
+                if data.len() < fixed {
                     return Err(DecodeError::Truncated {
-                        needed: 43,
+                        needed: fixed + 2,
                         available: data.len(),
                     });
                 }
-                let n = u16::from_be_bytes([data[39], data[40]]) as usize;
-                41 + 8 * n + 2
+                let n = u16::from_be_bytes([data[fixed - 2], data[fixed - 1]]) as usize;
+                fixed + 8 * n + 2
             }
             TYPE_RESPONSE => {
-                if data.len() < 43 {
+                let fixed = 43 + corr_len;
+                if data.len() < fixed {
                     return Err(DecodeError::Truncated {
-                        needed: 45,
+                        needed: fixed + 2,
                         available: data.len(),
                     });
                 }
-                let n = u16::from_be_bytes([data[41], data[42]]) as usize;
-                43 + 16 * n + 2
+                let n = u16::from_be_bytes([data[fixed - 2], data[fixed - 1]]) as usize;
+                fixed + 16 * n + 2
             }
-            TYPE_ERROR => 9,
+            TYPE_ERROR => 9 + corr_len,
             TYPE_HELLO | TYPE_STATS_REQUEST => 10,
             TYPE_WELCOME => 12,
             TYPE_STATS_RESPONSE => 10 + 8 * STATS_COUNTERS,
@@ -753,13 +824,15 @@ impl ServiceMessage {
         if crc16_ccitt(payload) != expected {
             return Err(DecodeError::BadChecksum);
         }
-        if payload[1] != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&payload[1]) {
             return Err(DecodeError::UnsupportedVersion(payload[1]));
         }
+        let version = payload[1];
 
         let mut cur = &payload[2..]; // skip type + version octets
         let msg = match data[0] {
             TYPE_REQUEST => {
+                let corr = if version >= 5 { cur.get_u32() } else { 0 };
                 let id = cur.get_u32();
                 let objective = WireObjective::from_u8(cur.get_u8())?;
                 let sigma = cur.get_f64();
@@ -775,6 +848,7 @@ impl ServiceMessage {
                     budgets_w.push(cur.get_f64());
                 }
                 ServiceMessage::Request(WirePolicyRequest {
+                    corr,
                     id,
                     objective,
                     sigma,
@@ -785,6 +859,7 @@ impl ServiceMessage {
                 })
             }
             TYPE_RESPONSE => {
+                let corr = if version >= 5 { cur.get_u32() } else { 0 };
                 let id = cur.get_u32();
                 let tier = ServedTier::from_u8(cur.get_u8())?;
                 let kernel = PolicyKernel::from_u8(cur.get_u8())?;
@@ -808,6 +883,7 @@ impl ServiceMessage {
                     policies.push(WirePolicy { listen, transmit });
                 }
                 ServiceMessage::Response(WirePolicyResponse {
+                    corr,
                     id,
                     tier,
                     kernel,
@@ -820,9 +896,10 @@ impl ServiceMessage {
                 })
             }
             TYPE_ERROR => {
+                let corr = if version >= 5 { cur.get_u32() } else { 0 };
                 let id = cur.get_u32();
                 let code = ServiceErrorCode::from_u8(cur.get_u8())?;
-                ServiceMessage::Error(WirePolicyError { id, code })
+                ServiceMessage::Error(WirePolicyError { corr, id, code })
             }
             TYPE_HELLO => {
                 let id = cur.get_u32();
@@ -906,9 +983,28 @@ impl ServiceMessage {
 /// Incremental encoder/decoder for a stream of length-prefixed service
 /// messages — the service-side twin of [`crate::StreamCodec`], with
 /// the same `u16` length prefix and fatal-error semantics.
-#[derive(Debug, Default)]
+///
+/// The codec also carries the per-connection version state of the v4/v5
+/// interop story: it remembers the version octet of the last frame it
+/// decoded ([`ServiceCodec::peer_version`], what the peer speaks) and
+/// can be clamped to an older ceiling ([`ServiceCodec::set_max_version`],
+/// emulating a pre-v5 binary that drops newer frames as
+/// [`DecodeError::UnsupportedVersion`]).
+#[derive(Debug)]
 pub struct ServiceCodec {
     buffer: BytesMut,
+    peer_version: Option<u8>,
+    max_version: u8,
+}
+
+impl Default for ServiceCodec {
+    fn default() -> Self {
+        ServiceCodec {
+            buffer: BytesMut::new(),
+            peer_version: None,
+            max_version: WIRE_VERSION,
+        }
+    }
 }
 
 impl ServiceCodec {
@@ -919,10 +1015,17 @@ impl ServiceCodec {
 
     /// Encodes one message with its length prefix into `out`.
     pub fn encode(msg: &ServiceMessage, out: &mut BytesMut) {
-        let len = msg.encoded_len();
+        Self::encode_versioned(msg, out, WIRE_VERSION);
+    }
+
+    /// Encodes one message with its length prefix into `out` at an
+    /// explicit wire version (the reply path of a server talking to a
+    /// v4 client, or a v4-emulating test peer).
+    pub fn encode_versioned(msg: &ServiceMessage, out: &mut BytesMut, version: u8) {
+        let len = msg.encoded_len_versioned(version);
         assert!(len <= u16::MAX as usize, "message too large for u16 prefix");
         out.put_u16(len as u16);
-        msg.encode_into(out);
+        msg.encode_into_versioned(out, version);
     }
 
     /// Appends received bytes to the internal reassembly buffer.
@@ -935,6 +1038,21 @@ impl ServiceCodec {
         self.buffer.len()
     }
 
+    /// The version octet of the last successfully decoded frame — what
+    /// the peer actually speaks. `None` until the first frame arrives.
+    pub fn peer_version(&self) -> Option<u8> {
+        self.peer_version
+    }
+
+    /// Clamps the newest frame version this codec accepts. Frames above
+    /// the ceiling fail with [`DecodeError::UnsupportedVersion`] even
+    /// though this build could parse them — exactly how a binary built
+    /// at that older version behaves, which is what the cross-version
+    /// interop tests need to emulate.
+    pub fn set_max_version(&mut self, version: u8) {
+        self.max_version = version;
+    }
+
     /// Attempts to decode the next complete message. `Ok(None)` means
     /// more bytes are needed; errors are fatal for the stream.
     pub fn next_message(&mut self) -> Result<Option<ServiceMessage>, DecodeError> {
@@ -945,12 +1063,19 @@ impl ServiceCodec {
         if self.buffer.len() < 2 + len {
             return Ok(None);
         }
-        self.buffer.advance(2);
-        let msg_bytes = self.buffer.split_to(len);
-        let (msg, used) = ServiceMessage::decode(&msg_bytes)?;
+        // Decode in place from the reassembly buffer — no per-message
+        // allocation; the cursor only advances once the frame parsed.
+        let frame = &self.buffer[2..2 + len];
+        let (msg, used) = ServiceMessage::decode(frame)?;
         if used != len {
             return Err(DecodeError::MalformedLength);
         }
+        let version = frame[1]; // validated by decode
+        if version > self.max_version {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        self.peer_version = Some(version);
+        self.buffer.advance(2 + len);
         Ok(Some(msg))
     }
 
@@ -974,6 +1099,105 @@ impl ServiceCodec {
     }
 }
 
+/// Reusable scatter buffer for the pipelined write path: frames are
+/// encoded back to back into one backing buffer that survives across
+/// batches, so a steady-state submit allocates nothing — the buffer is
+/// cleared (capacity kept) once the kernel has taken every byte. One
+/// large contiguous write per batch replaces the per-message
+/// `BytesMut` churn of the old path.
+///
+/// The writer loop is: [`push_all`](ScatterEncoder::push_all) (or
+/// [`push`](ScatterEncoder::push)) to frame messages, then alternate
+/// [`pending`](ScatterEncoder::pending) →
+/// `write` → [`advance`](ScatterEncoder::advance) until
+/// [`is_drained`](ScatterEncoder::is_drained).
+#[derive(Debug, Default)]
+pub struct ScatterEncoder {
+    buf: BytesMut,
+    written: usize,
+    frames: usize,
+}
+
+impl ScatterEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all buffered frames and resets the write cursor, keeping
+    /// the backing allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.written = 0;
+        self.frames = 0;
+    }
+
+    /// Appends one length-prefixed frame at the given wire version.
+    pub fn push(&mut self, msg: &ServiceMessage, version: u8) {
+        ServiceCodec::encode_versioned(msg, &mut self.buf, version);
+        self.frames += 1;
+    }
+
+    /// Appends a batch of length-prefixed frames, traced as one
+    /// `proto/frame_encode` span — the scatter-path twin of the span
+    /// the server's reply encoder emits, so the traced frame lifecycle
+    /// stays complete on the pipelined path.
+    pub fn push_all<'a>(
+        &mut self,
+        msgs: impl IntoIterator<Item = &'a ServiceMessage>,
+        version: u8,
+    ) {
+        let t0 = econcast_trace::armed_now();
+        let before = self.frames;
+        for m in msgs {
+            self.push(m, version);
+        }
+        if self.frames > before {
+            econcast_trace::complete_from(
+                "proto",
+                "frame_encode",
+                t0,
+                &[("msgs", (self.frames - before) as u64)],
+            );
+        }
+    }
+
+    /// The encoded bytes not yet handed to the kernel.
+    pub fn pending(&self) -> &[u8] {
+        &self.buf[self.written..]
+    }
+
+    /// Whether every buffered byte has been written out.
+    pub fn is_drained(&self) -> bool {
+        self.written == self.buf.len()
+    }
+
+    /// Marks `n` bytes as written. Once the buffer fully drains it is
+    /// cleared in place, so the capacity is reused by the next batch.
+    pub fn advance(&mut self, n: usize) {
+        self.written += n;
+        debug_assert!(self.written <= self.buf.len(), "advanced past the buffer");
+        if self.written >= self.buf.len() {
+            self.clear();
+        }
+    }
+
+    /// Frames pushed since the last full drain.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Total buffered bytes (written or not).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds no frames at all.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -981,6 +1205,7 @@ mod tests {
 
     fn sample_request() -> ServiceMessage {
         ServiceMessage::Request(WirePolicyRequest {
+            corr: 0xAB0BA,
             id: 7,
             objective: WireObjective::Groupput,
             sigma: 0.5,
@@ -993,6 +1218,7 @@ mod tests {
 
     fn sample_response() -> ServiceMessage {
         ServiceMessage::Response(WirePolicyResponse {
+            corr: 0xAB0BA,
             id: 7,
             tier: ServedTier::Grid,
             kernel: PolicyKernel::Grid,
@@ -1019,7 +1245,7 @@ mod tests {
         let m = sample_request();
         let b = m.encode();
         assert_eq!(b.len(), m.encoded_len());
-        assert_eq!(b.len(), 41 + 24 + 2);
+        assert_eq!(b.len(), 45 + 24 + 2);
         let (decoded, used) = ServiceMessage::decode(&b).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(used, b.len());
@@ -1030,7 +1256,7 @@ mod tests {
         let m = sample_response();
         let b = m.encode();
         assert_eq!(b.len(), m.encoded_len());
-        assert_eq!(b.len(), 43 + 32 + 2);
+        assert_eq!(b.len(), 47 + 32 + 2);
         let (decoded, used) = ServiceMessage::decode(&b).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(used, b.len());
@@ -1039,9 +1265,13 @@ mod tests {
     #[test]
     fn error_roundtrip() {
         for code in [ServiceErrorCode::BadRequest, ServiceErrorCode::TooLarge] {
-            let m = ServiceMessage::Error(WirePolicyError { id: 9, code });
+            let m = ServiceMessage::Error(WirePolicyError {
+                corr: 3,
+                id: 9,
+                code,
+            });
             let b = m.encode();
-            assert_eq!(b.len(), 9);
+            assert_eq!(b.len(), 13);
             assert_eq!(ServiceMessage::decode(&b).unwrap().0, m);
         }
     }
@@ -1255,7 +1485,7 @@ mod tests {
         // Corrupting the objective byte must surface as BadChecksum
         // (integrity first), not InvalidField.
         let mut b = sample_request().encode().to_vec();
-        b[6] = 0x7F; // objective octet
+        b[10] = 0x7F; // objective octet (after type+ver+corr+id)
         assert_eq!(ServiceMessage::decode(&b), Err(DecodeError::BadChecksum));
     }
 
@@ -1317,10 +1547,145 @@ mod tests {
         assert!(codec.next_message().is_err());
     }
 
+    /// A v4 encoding of the three data-plane messages keeps the v4
+    /// byte layout exactly (4 bytes shorter — no correlation id) and
+    /// decodes on a v5 binary with `corr = 0`.
+    #[test]
+    fn v4_frames_roundtrip_with_zero_corr() {
+        let strip_corr = |m: &ServiceMessage| match m.clone() {
+            ServiceMessage::Request(mut r) => {
+                r.corr = 0;
+                ServiceMessage::Request(r)
+            }
+            ServiceMessage::Response(mut r) => {
+                r.corr = 0;
+                ServiceMessage::Response(r)
+            }
+            ServiceMessage::Error(mut e) => {
+                e.corr = 0;
+                ServiceMessage::Error(e)
+            }
+            other => other,
+        };
+        let error = ServiceMessage::Error(WirePolicyError {
+            corr: 55,
+            id: 9,
+            code: ServiceErrorCode::TooLarge,
+        });
+        for (m, v4_len) in [
+            (sample_request(), 41 + 24 + 2),
+            (sample_response(), 43 + 32 + 2),
+            (error, 9),
+        ] {
+            let mut b = BytesMut::new();
+            m.encode_into_versioned(&mut b, 4);
+            assert_eq!(b.len(), m.encoded_len_versioned(4));
+            assert_eq!(b.len(), v4_len);
+            assert_eq!(b[1], 4, "version octet rides at offset 1");
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            assert_eq!(used, b.len());
+            assert_eq!(decoded, strip_corr(&m));
+        }
+        // Non-data-plane messages only differ in the version octet.
+        let ping = ServiceMessage::Ping(WirePing { id: 3 });
+        let mut b4 = BytesMut::new();
+        ping.encode_into_versioned(&mut b4, 4);
+        let b5 = ping.encode();
+        assert_eq!(b4.len(), b5.len());
+        assert_eq!(ServiceMessage::decode(&b4).unwrap().0, ping);
+    }
+
+    #[test]
+    fn versions_below_min_rejected() {
+        // A v3-stamped frame (v4 layout, valid CRC) must be refused —
+        // the compat window opens at MIN_WIRE_VERSION, not at zero.
+        let mut b = BytesMut::new();
+        sample_request().encode_into_versioned(&mut b, 4);
+        let mut b = b.to_vec();
+        b[1] = MIN_WIRE_VERSION - 1;
+        let body_len = b.len() - 2;
+        let crc = crate::crc::crc16_ccitt(&b[..body_len]);
+        b[body_len..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ServiceMessage::decode(&b),
+            Err(DecodeError::UnsupportedVersion(MIN_WIRE_VERSION - 1))
+        );
+    }
+
+    /// The codec remembers what the peer speaks and can emulate an
+    /// older binary via the max-version clamp.
+    #[test]
+    fn codec_tracks_peer_version_and_clamps() {
+        let mut codec = ServiceCodec::new();
+        assert_eq!(codec.peer_version(), None);
+
+        let mut v5 = BytesMut::new();
+        ServiceCodec::encode(&sample_request(), &mut v5);
+        codec.feed(&v5);
+        assert!(codec.next_message().unwrap().is_some());
+        assert_eq!(codec.peer_version(), Some(WIRE_VERSION));
+
+        let mut v4 = BytesMut::new();
+        ServiceCodec::encode_versioned(&sample_request(), &mut v4, 4);
+        codec.feed(&v4);
+        assert!(codec.next_message().unwrap().is_some());
+        assert_eq!(codec.peer_version(), Some(4));
+
+        // A v4-clamped codec refuses v5 frames the way a real v4
+        // binary would — UnsupportedVersion, fatal for the stream.
+        let mut old = ServiceCodec::new();
+        old.set_max_version(4);
+        old.feed(&v4);
+        assert!(old.next_message().unwrap().is_some());
+        old.feed(&v5);
+        assert_eq!(
+            old.next_message(),
+            Err(DecodeError::UnsupportedVersion(WIRE_VERSION))
+        );
+    }
+
+    /// The scatter encoder frames batches into one reusable buffer:
+    /// the bytes are exactly the per-message codec's, and a drained
+    /// buffer resets for the next batch without dropping frames.
+    #[test]
+    fn scatter_encoder_matches_codec_bytes_and_reuses_buffer() {
+        let msgs = vec![sample_request(), sample_response()];
+        let mut reference = BytesMut::new();
+        for m in &msgs {
+            ServiceCodec::encode(m, &mut reference);
+        }
+        let mut enc = ScatterEncoder::new();
+        enc.push_all(&msgs, WIRE_VERSION);
+        assert_eq!(enc.frames(), 2);
+        assert_eq!(enc.pending(), &reference[..]);
+
+        // Partial writes advance the cursor without re-encoding.
+        let half = enc.pending().len() / 2;
+        let tail = enc.pending()[half..].to_vec();
+        enc.advance(half);
+        assert_eq!(enc.pending(), &tail[..]);
+        assert!(!enc.is_drained());
+        enc.advance(tail.len());
+        assert!(enc.is_drained());
+        assert!(enc.is_empty());
+        assert_eq!(enc.frames(), 0);
+
+        // The next batch reuses the cleared buffer and still decodes.
+        enc.push_all(&msgs, WIRE_VERSION);
+        let mut codec = ServiceCodec::new();
+        codec.feed(enc.pending());
+        let mut decoded = Vec::new();
+        while let Some(m) = codec.next_message().unwrap() {
+            decoded.push(m);
+        }
+        assert_eq!(decoded, msgs);
+    }
+
     proptest! {
         /// Arbitrary (finite-float) requests round-trip exactly.
         #[test]
         fn prop_request_roundtrip(
+            corr in any::<u32>(),
             id in any::<u32>(),
             obj in 0u8..2,
             sigma in 0.01f64..10.0,
@@ -1330,6 +1695,7 @@ mod tests {
             budgets in proptest::collection::vec(1e-9f64..1.0, 0..40),
         ) {
             let m = ServiceMessage::Request(WirePolicyRequest {
+                corr,
                 id,
                 objective: WireObjective::from_u8(obj).unwrap(),
                 sigma,
@@ -1348,6 +1714,7 @@ mod tests {
         /// Arbitrary responses round-trip exactly.
         #[test]
         fn prop_response_roundtrip(
+            corr in any::<u32>(),
             id in any::<u32>(),
             tier in 0u8..4,
             kernel in 0u8..4,
@@ -1356,6 +1723,7 @@ mod tests {
             policies in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..40),
         ) {
             let m = ServiceMessage::Response(WirePolicyResponse {
+                corr,
                 id,
                 tier: ServedTier::from_u8(tier).unwrap(),
                 kernel: PolicyKernel::from_u8(kernel).unwrap(),
@@ -1380,10 +1748,12 @@ mod tests {
         /// never a panic, never a bogus success.
         #[test]
         fn prop_truncations_fail_cleanly(
+            corr in any::<u32>(),
             budgets in proptest::collection::vec(1e-9f64..1.0, 1..20),
             cut_frac in 0.0f64..1.0,
         ) {
             let m = ServiceMessage::Request(WirePolicyRequest {
+                corr,
                 id: 1,
                 objective: WireObjective::Anyput,
                 sigma: 0.5,
@@ -1520,6 +1890,153 @@ mod tests {
             // the CRC also matched — it cannot, since the CRC covers
             // the type octet.
             prop_assert!(ServiceMessage::decode(&b).is_err());
+        }
+
+        /// Cross-version interop: any request encoded at v4 decodes on
+        /// this build as the same message with `corr = 0`, and every
+        /// truncation/single-byte corruption of the v4 frame is still
+        /// a clean rejection.
+        #[test]
+        fn prop_v4_request_interop(
+            corr in any::<u32>(),
+            id in any::<u32>(),
+            budgets in proptest::collection::vec(1e-9f64..1.0, 0..20),
+            cut_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let mut m = WirePolicyRequest {
+                corr,
+                id,
+                objective: WireObjective::Groupput,
+                sigma: 0.5,
+                tolerance: 1e-3,
+                listen_w: 1e-3,
+                transmit_w: 1e-3,
+                budgets_w: budgets,
+            };
+            let mut b = BytesMut::new();
+            ServiceMessage::Request(m.clone()).encode_into_versioned(&mut b, 4);
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(used, b.len());
+            m.corr = 0;
+            prop_assert_eq!(decoded, ServiceMessage::Request(m));
+
+            let cut = ((b.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+            let mut corrupt = b.to_vec();
+            let pos = ((b.len() - 1) as f64 * cut_frac) as usize;
+            corrupt[pos] ^= flip;
+            prop_assert!(ServiceMessage::decode(&corrupt).is_err());
+        }
+
+        /// Cross-version interop for the other correlated data-plane
+        /// frames: responses and errors encoded at v4 decode as the
+        /// same message with `corr = 0`, and truncation/single-byte
+        /// corruption of the v4 frame is still a clean rejection.
+        #[test]
+        fn prop_v4_response_and_error_interop(
+            corr in any::<u32>(),
+            id in any::<u32>(),
+            is_error in any::<bool>(),
+            cut_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let m = if is_error {
+                ServiceMessage::Error(WirePolicyError {
+                    corr,
+                    id,
+                    code: ServiceErrorCode::BadRequest,
+                })
+            } else {
+                let ServiceMessage::Response(mut r) = sample_response() else {
+                    unreachable!()
+                };
+                r.corr = corr;
+                r.id = id;
+                ServiceMessage::Response(r)
+            };
+            let mut b = BytesMut::new();
+            m.encode_into_versioned(&mut b, 4);
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(used, b.len());
+            let expected = match m {
+                ServiceMessage::Error(mut e) => {
+                    e.corr = 0;
+                    ServiceMessage::Error(e)
+                }
+                ServiceMessage::Response(mut r) => {
+                    r.corr = 0;
+                    ServiceMessage::Response(r)
+                }
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(decoded, expected);
+
+            let cut = ((b.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+            let mut corrupt = b.to_vec();
+            let pos = ((corrupt.len() - 1) as f64 * cut_frac) as usize;
+            corrupt[pos] ^= flip;
+            prop_assert!(ServiceMessage::decode(&corrupt).is_err());
+        }
+
+        /// A concatenated stream interleaving v4 and v5 frames decodes
+        /// through the codec with every correlation id preserved (v5)
+        /// or zeroed (v4), in stream order — and cutting the stream at
+        /// any byte boundary still yields exactly the complete frames
+        /// before the cut (the codec never mis-frames across a
+        /// version change mid-stream).
+        #[test]
+        fn prop_mixed_version_stream_decode(
+            frames in proptest::collection::vec(
+                (any::<u32>(), any::<u32>(), any::<bool>(), 0usize..6),
+                1..12,
+            ),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let mut stream = BytesMut::new();
+            let mut boundaries = vec![0usize];
+            let mut expected = Vec::new();
+            for &(corr, id, v5, n) in &frames {
+                let m = ServiceMessage::Request(WirePolicyRequest {
+                    corr,
+                    id,
+                    objective: WireObjective::Anyput,
+                    sigma: 0.5,
+                    tolerance: 1e-3,
+                    listen_w: 1e-3,
+                    transmit_w: 1e-3,
+                    budgets_w: vec![1e-3; n],
+                });
+                ServiceCodec::encode_versioned(&m, &mut stream, if v5 { 5 } else { 4 });
+                boundaries.push(stream.len());
+                expected.push((if v5 { corr } else { 0 }, id));
+            }
+            let mut codec = ServiceCodec::new();
+            codec.feed(&stream);
+            let mut got = Vec::new();
+            while let Ok(Some(ServiceMessage::Request(r))) = codec.next_message() {
+                got.push((r.corr, r.id));
+            }
+            prop_assert_eq!(&got, &expected);
+
+            // Any cut point: every frame wholly before the cut decodes,
+            // nothing after it does.
+            let cut = (stream.len() as f64 * cut_frac) as usize;
+            let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            let mut codec = ServiceCodec::new();
+            codec.feed(&stream[..cut]);
+            let mut got = 0usize;
+            while let Ok(Some(_)) = codec.next_message() {
+                got += 1;
+            }
+            prop_assert_eq!(got, whole);
         }
     }
 }

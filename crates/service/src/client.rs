@@ -1,12 +1,14 @@
-//! A blocking TCP client for the policy server.
+//! A blocking TCP client for the policy server, with a pipelined
+//! submit/collect data plane.
 
 use crate::grid::FamilyKey;
+use crate::ready;
 use crate::request::PolicyRequest;
 use crate::stats::ServiceStats;
-use bytes::BytesMut;
 use econcast_proto::service::{
-    ServiceCodec, ServiceMessage, WireHello, WireMixSeed, WirePing, WirePolicyError,
-    WirePolicyResponse, WireStatsRequest, STATS_SHARD_AGGREGATE,
+    ScatterEncoder, ServiceCodec, ServiceMessage, WireHello, WireMixSeed, WirePing,
+    WirePolicyError, WirePolicyResponse, WireStatsRequest, MIN_WIRE_VERSION, STATS_SHARD_AGGREGATE,
+    WIRE_VERSION,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -14,11 +16,25 @@ use std::time::Duration;
 
 /// A handshaken connection to a [`crate::PolicyServer`].
 ///
-/// Batches pipeline all requests before reading any response, so a
-/// `serve_batch` call gets server-side batching (and in-batch dedup)
-/// for every request the server's read loop picks up together.
-/// Responses return in request order regardless of arrival order
-/// (correlation ids pair them up).
+/// The data plane is pipelined:
+/// [`submit_batch`](PolicyClient::submit_batch) frames a batch into
+/// the connection's reusable scatter buffer, stamps every request
+/// with one fresh wire-v5 correlation id, flushes it (absorbing any
+/// replies that arrive meanwhile), and returns a [`Ticket`];
+/// [`collect`](PolicyClient::collect) blocks until that ticket's
+/// batch completed. Several tickets may be in flight on one
+/// connection, their replies interleaved arbitrarily — the
+/// correlation id routes each reply to its batch, and per-request ids
+/// restore request order within the batch.
+/// [`serve_batch`](PolicyClient::serve_batch) is the classic
+/// submit-then-collect convenience and behaves exactly like the
+/// pre-pipeline call.
+///
+/// On connect the client offers [`WIRE_VERSION`] and falls back to a
+/// v4 redial when the server hangs up on the unknown version — so a
+/// new client talks to an old server (corr rides as 0 and replies
+/// demultiplex by id range), and an old client's v4 frames still
+/// decode on a new server, which answers in kind.
 ///
 /// ## Failure contract
 ///
@@ -33,7 +49,7 @@ use std::time::Duration;
 ///   vector is returned, the connection is poisoned (the codec stops
 ///   at the corrupt frame), and the client must be dropped and
 ///   re-connected. Results returned by *earlier* completed
-///   `serve_batch` calls are unaffected — corruption cannot
+///   `serve_batch`/`collect` calls are unaffected — corruption cannot
 ///   retroactively poison them, because every response was
 ///   CRC-checked when it was decoded (pinned by the
 ///   `corrupt_mid_stream_reply_fails_the_call_not_prior_results`
@@ -42,16 +58,37 @@ use std::time::Duration;
 pub struct PolicyClient {
     stream: TcpStream,
     codec: ServiceCodec,
+    enc: ScatterEncoder,
+    pending: Vec<PendingBatch>,
     shards: u16,
     server_max_batch: u16,
     next_id: u32,
+    next_corr: u32,
+    wire_version: u8,
 }
 
 /// One batch entry's outcome: the served wire response, or the
 /// server's per-request error.
 pub type WireResult = Result<WirePolicyResponse, WirePolicyError>;
 
-/// Accumulates one batch's replies by correlation id.
+/// Handle to one submitted, not-yet-collected batch. Redeem with
+/// [`PolicyClient::collect`] (blocking) or poll with
+/// [`PolicyClient::try_collect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    corr: u32,
+}
+
+/// One in-flight batch: its correlation id plus the collector filing
+/// its replies.
+#[derive(Debug)]
+struct PendingBatch {
+    corr: u32,
+    collector: Collector,
+}
+
+/// Accumulates one batch's replies in request order.
+#[derive(Debug)]
 struct Collector {
     base: u32,
     out: Vec<Option<WireResult>>,
@@ -73,19 +110,16 @@ impl Collector {
         (k < self.out.len()).then_some(k)
     }
 
-    /// Files a reply; messages outside the batch are ignored.
-    fn absorb(&mut self, msg: ServiceMessage) {
-        let filed = match msg {
-            ServiceMessage::Response(r) => self
-                .slot(r.id)
-                .map(|k| (k, self.out[k].replace(Ok(r)).is_none())),
-            ServiceMessage::Error(e) => self
-                .slot(e.id)
-                .map(|k| (k, self.out[k].replace(Err(e)).is_none())),
-            _ => None,
-        };
-        if let Some((_, fresh)) = filed {
-            if fresh {
+    /// Whether a reply id falls inside this batch's id range — the
+    /// v4 demultiplexer (no correlation id on the wire).
+    fn owns(&self, id: u32) -> bool {
+        self.slot(id).is_some()
+    }
+
+    /// Files a reply; ids outside the batch are ignored.
+    fn file(&mut self, id: u32, result: WireResult) {
+        if let Some(k) = self.slot(id) {
+            if self.out[k].replace(result).is_none() {
                 self.pending -= 1;
             }
         }
@@ -104,11 +138,29 @@ impl Collector {
 }
 
 impl PolicyClient {
-    /// Connects and performs the `Hello`/`Welcome` handshake.
-    /// `max_batch` is the largest batch this client intends to
-    /// pipeline (informational, rides the hello).
+    /// Connects and performs the `Hello`/`Welcome` handshake, offering
+    /// the current wire version and redialing at v4 when the server
+    /// turns out to be an older binary (which drops the unknown-version
+    /// hello without a reply). `max_batch` is the largest batch this
+    /// client intends to pipeline (informational, rides the hello).
     pub fn connect(addr: impl ToSocketAddrs, max_batch: u16) -> std::io::Result<Self> {
-        Self::handshake(TcpStream::connect(addr)?, max_batch)
+        match Self::handshake(TcpStream::connect(&addr)?, max_batch, WIRE_VERSION) {
+            Err(e) if handshake_version_rejected(&e) => {
+                Self::handshake(TcpStream::connect(&addr)?, max_batch, MIN_WIRE_VERSION)
+            }
+            other => other,
+        }
+    }
+
+    /// Connects offering an explicit wire version, with no fallback —
+    /// the cross-version interop knob: `connect_versioned(addr, b, 4)`
+    /// behaves on the wire exactly like a v4-era client binary.
+    pub fn connect_versioned(
+        addr: impl ToSocketAddrs,
+        max_batch: u16,
+        version: u8,
+    ) -> std::io::Result<Self> {
+        Self::handshake(TcpStream::connect(&addr)?, max_batch, version)
     }
 
     /// Like [`PolicyClient::connect`], but with `timeout` applied to
@@ -123,22 +175,39 @@ impl PolicyClient {
         max_batch: u16,
         timeout: Duration,
     ) -> std::io::Result<Self> {
-        let stream = TcpStream::connect_timeout(&addr, timeout)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        Self::handshake(stream, max_batch)
+        let dial = |version: u8| -> std::io::Result<Self> {
+            let stream = TcpStream::connect_timeout(&addr, timeout)?;
+            stream.set_read_timeout(Some(timeout))?;
+            stream.set_write_timeout(Some(timeout))?;
+            Self::handshake(stream, max_batch, version)
+        };
+        match dial(WIRE_VERSION) {
+            Err(e) if handshake_version_rejected(&e) => dial(MIN_WIRE_VERSION),
+            other => other,
+        }
     }
 
-    /// Performs the `Hello`/`Welcome` handshake on a connected stream.
-    fn handshake(stream: TcpStream, max_batch: u16) -> std::io::Result<Self> {
+    /// Performs the `Hello`/`Welcome` handshake on a connected stream,
+    /// offering `version`. The negotiated connection version is the
+    /// minimum of the offer and what the welcome came stamped with.
+    fn handshake(stream: TcpStream, max_batch: u16, version: u8) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
         let mut client = PolicyClient {
             stream,
             codec: ServiceCodec::new(),
+            enc: ScatterEncoder::new(),
+            pending: Vec::new(),
             shards: 0,
             server_max_batch: 0,
             next_id: 0,
+            next_corr: 1,
+            wire_version: version,
         };
+        if version < WIRE_VERSION {
+            // A client pinned to an old version must also *reject*
+            // newer frames, like the real old binary would.
+            client.codec.set_max_version(version);
+        }
         let id = client.take_id();
         client.send(&ServiceMessage::Hello(WireHello { id, max_batch }))?;
         loop {
@@ -146,6 +215,11 @@ impl PolicyClient {
                 ServiceMessage::Welcome(w) if w.id == id => {
                     client.shards = w.shards;
                     client.server_max_batch = w.max_batch;
+                    // The server echoes the version it will speak; a
+                    // v4 welcome downgrades the connection.
+                    if let Some(peer) = client.codec.peer_version() {
+                        client.wire_version = client.wire_version.min(peer);
+                    }
                     return Ok(client);
                 }
                 // Anything else before the welcome is protocol misuse;
@@ -160,6 +234,11 @@ impl PolicyClient {
         self.shards
     }
 
+    /// The wire version this connection negotiated.
+    pub fn wire_version(&self) -> u8 {
+        self.wire_version
+    }
+
     /// Applies a read/write timeout to the underlying stream (`None`
     /// = block forever). Remote-shard dialers set this so a wedged —
     /// rather than dead — backend surfaces as a timed-out `Err`
@@ -167,6 +246,20 @@ impl PolicyClient {
     pub fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.stream.set_read_timeout(timeout)?;
         self.stream.set_write_timeout(timeout)
+    }
+
+    /// The raw socket descriptor, for readiness multiplexing across
+    /// connections ([`crate::ready::wait`]).
+    pub fn poll_fd(&self) -> ready::RawFdAlias {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            self.stream.as_raw_fd()
+        }
+        #[cfg(not(unix))]
+        {
+            0
+        }
     }
 
     /// Round-trips a `Ping`/`Pong` liveness probe, verifying the id
@@ -177,9 +270,10 @@ impl PolicyClient {
         loop {
             match self.recv()? {
                 ServiceMessage::Pong(p) if p.id == id => return Ok(()),
-                // Stale replies from earlier traffic are skipped, the
-                // same way the handshake tolerates them.
-                _ => {}
+                // Data-plane replies for in-flight tickets are filed,
+                // not dropped; other strays are skipped like the
+                // handshake does.
+                other => self.dispatch(other),
             }
         }
     }
@@ -205,76 +299,130 @@ impl PolicyClient {
                 ServiceMessage::MixAck(a) if a.id == id => {
                     return Ok((a.absorbed, a.grids_built));
                 }
-                // Stale replies from earlier traffic are skipped, the
-                // same way the handshake tolerates them.
-                _ => {}
+                other => self.dispatch(other),
             }
         }
     }
 
-    /// Pipelines every request, draining responses *while* writing —
-    /// a client that only wrote first could deadlock against the
-    /// server once both directions' socket buffers fill (the server
-    /// blocks writing replies the client is not yet reading, the
-    /// client blocks writing requests the server is not yet reading).
-    /// Replies return in request order.
-    pub fn serve_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Vec<WireResult>> {
+    /// Submits one batch without waiting for its replies: frames every
+    /// request (stamped with a fresh correlation id) into the
+    /// connection's reusable scatter buffer and flushes it, absorbing
+    /// any replies — for *any* in-flight ticket — that arrive while
+    /// the send buffer drains. Returns the ticket to redeem with
+    /// [`collect`](PolicyClient::collect) or
+    /// [`try_collect`](PolicyClient::try_collect).
+    pub fn submit_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Ticket> {
         let base = self.next_id;
         self.next_id = self.next_id.wrapping_add(reqs.len() as u32);
-        let mut wire = BytesMut::new();
-        for (k, req) in reqs.iter().enumerate() {
-            ServiceCodec::encode(
-                &ServiceMessage::Request(req.to_wire(base.wrapping_add(k as u32))),
-                &mut wire,
-            );
-        }
+        let corr = self.take_corr();
+        let msgs: Vec<ServiceMessage> = reqs
+            .iter()
+            .enumerate()
+            .map(|(k, req)| {
+                let mut w = req.to_wire(base.wrapping_add(k as u32));
+                w.corr = corr;
+                ServiceMessage::Request(w)
+            })
+            .collect();
+        self.enc.push_all(&msgs, self.wire_version);
+        self.pending.push(PendingBatch {
+            corr,
+            collector: Collector::new(base, reqs.len()),
+        });
+        self.flush()?;
+        Ok(Ticket { corr })
+    }
 
-        let mut batch = Collector::new(base, reqs.len());
-        // Phase 1: non-blocking writes, absorbing whatever replies
-        // arrive in the meantime. SO_RCVTIMEO/SO_SNDTIMEO do not
-        // apply to a non-blocking socket (every call just returns
-        // WouldBlock), so the configured read timeout is converted
-        // into an explicit deadline for this phase — a backend that
-        // accepts but never reads must fail this call with TimedOut,
-        // not spin in the retry loop forever.
+    /// Blocks until the ticket's batch fully completed, filing replies
+    /// for every in-flight ticket along the way. Replies return in
+    /// the batch's request order regardless of arrival order.
+    pub fn collect(&mut self, ticket: Ticket) -> std::io::Result<Vec<WireResult>> {
+        loop {
+            let Some(k) = self.pending.iter().position(|b| b.corr == ticket.corr) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "unknown or already collected ticket",
+                ));
+            };
+            if self.pending[k].collector.done() {
+                return Ok(self.pending.remove(k).collector.finish());
+            }
+            let msg = self.recv()?;
+            self.dispatch(msg);
+        }
+    }
+
+    /// Non-blocking collect: drains whatever replies are currently
+    /// readable, then reports whether the ticket's batch completed.
+    /// `Ok(None)` means "not yet — poll the socket and retry"; the
+    /// cluster's connection driver multiplexes every backend this way
+    /// on one thread.
+    pub fn try_collect(&mut self, ticket: &Ticket) -> std::io::Result<Option<Vec<WireResult>>> {
+        self.stream.set_nonblocking(true)?;
+        let drained = self.drain_ready();
+        let restored = self.stream.set_nonblocking(false);
+        drained?;
+        restored?;
+        let Some(k) = self.pending.iter().position(|b| b.corr == ticket.corr) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "unknown or already collected ticket",
+            ));
+        };
+        if self.pending[k].collector.done() {
+            return Ok(Some(self.pending.remove(k).collector.finish()));
+        }
+        Ok(None)
+    }
+
+    /// Pipelines every request and waits for the full batch: exactly
+    /// [`submit_batch`](PolicyClient::submit_batch) followed by
+    /// [`collect`](PolicyClient::collect). Replies return in request
+    /// order.
+    pub fn serve_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Vec<WireResult>> {
+        let ticket = self.submit_batch(reqs)?;
+        self.collect(ticket)
+    }
+
+    /// Flushes the scatter buffer, interleaving reads whenever the
+    /// send buffer is full — a client that only wrote first could
+    /// deadlock against the server once both directions' socket
+    /// buffers fill. The stream's configured read timeout bounds the
+    /// whole write phase (SO_SNDTIMEO does not apply to a
+    /// non-blocking socket, so the deadline is explicit): blowing it
+    /// means the peer stopped draining our requests.
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.enc.is_drained() {
+            return Ok(());
+        }
         let deadline = self
             .stream
             .read_timeout()?
             .map(|t| std::time::Instant::now() + t);
         self.stream.set_nonblocking(true)?;
-        let pumped = self.pump(&wire, &mut batch, deadline);
+        let pumped = self.pump(deadline);
         let restored = self.stream.set_nonblocking(false);
         pumped?;
         restored?;
-        // Phase 2: everything is written; block for the rest.
-        while !batch.done() {
-            batch.absorb(self.recv()?);
-        }
-        Ok(batch.finish())
+        Ok(())
     }
 
-    /// Writes `wire` on the (non-blocking) stream, interleaving reads
-    /// whenever the send buffer is full. `deadline` (from the
-    /// stream's configured timeout) bounds the whole write phase:
-    /// blowing it means the peer stopped draining our requests.
-    fn pump(
-        &mut self,
-        wire: &[u8],
-        batch: &mut Collector,
-        deadline: Option<std::time::Instant>,
-    ) -> std::io::Result<()> {
+    /// The non-blocking write/absorb loop behind
+    /// [`flush`](PolicyClient::flush): writes park in `poll(2)` until
+    /// the socket turns writable (or readable — replies get absorbed
+    /// first), instead of the fixed short sleeps of the pre-pipeline
+    /// pump.
+    fn pump(&mut self, deadline: Option<std::time::Instant>) -> std::io::Result<()> {
         use std::io::ErrorKind::{Interrupted, WouldBlock};
-        let mut buf = [0u8; 16 * 1024];
-        let mut written = 0;
-        while written < wire.len() {
-            match self.stream.write(&wire[written..]) {
+        while !self.enc.is_drained() {
+            match (&self.stream).write(self.enc.pending()) {
                 Ok(0) => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::WriteZero,
                         "server stopped reading mid-batch",
                     ))
                 }
-                Ok(n) => written += n,
+                Ok(n) => self.enc.advance(n),
                 Err(e) if e.kind() == Interrupted => {}
                 Err(e) if e.kind() == WouldBlock => {
                     if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
@@ -283,42 +431,104 @@ impl PolicyClient {
                             "server did not drain the batch within the I/O timeout",
                         ));
                     }
-                    // Send buffer full: the server must be waiting for
-                    // us to drain replies — do that instead.
-                    match self.stream.read(&mut buf) {
-                        Ok(0) => {
-                            return Err(std::io::Error::new(
-                                std::io::ErrorKind::UnexpectedEof,
-                                "server closed the connection mid-batch",
-                            ))
-                        }
-                        Ok(n) => {
-                            self.codec.feed(&buf[..n]);
-                            loop {
-                                match self.codec.next_message() {
-                                    Ok(Some(msg)) => batch.absorb(msg),
-                                    Ok(None) => break,
-                                    Err(e) => {
-                                        return Err(std::io::Error::new(
-                                            std::io::ErrorKind::InvalidData,
-                                            format!("undecodable server reply: {e:?}"),
-                                        ))
-                                    }
-                                }
-                            }
-                        }
-                        Err(e) if e.kind() == WouldBlock => {
-                            // Neither direction ready; yield briefly.
-                            std::thread::sleep(std::time::Duration::from_micros(200));
-                        }
-                        Err(e) if e.kind() == Interrupted => {}
-                        Err(e) => return Err(e),
+                    // Send buffer full: the server is probably waiting
+                    // for us to drain replies — absorb whatever is
+                    // readable, then park until either direction moves.
+                    if !self.drain_ready()? {
+                        let remaining = deadline
+                            .map(|d| d.saturating_duration_since(std::time::Instant::now()));
+                        ready::wait_one(
+                            self.poll_fd(),
+                            ready::READABLE | ready::WRITABLE,
+                            remaining,
+                        )?;
                     }
                 }
                 Err(e) => return Err(e),
             }
         }
         Ok(())
+    }
+
+    /// Reads everything currently available (stream must be in
+    /// non-blocking mode), filing data-plane replies to their
+    /// in-flight batches. Returns whether any bytes arrived.
+    fn drain_ready(&mut self) -> std::io::Result<bool> {
+        use std::io::ErrorKind::{Interrupted, WouldBlock};
+        let mut buf = [0u8; 64 * 1024];
+        let mut got = false;
+        loop {
+            match (&self.stream).read(&mut buf) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-batch",
+                    ))
+                }
+                Ok(n) => {
+                    got = true;
+                    self.ingest(n, &buf)?;
+                }
+                Err(e) if e.kind() == WouldBlock => break,
+                Err(e) if e.kind() == Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(got)
+    }
+
+    /// Feeds `buf[..n]` to the codec and files every decoded message,
+    /// traced as one `proto/frame_decode` span per readable burst —
+    /// the pipelined read path's twin of the server's drain span.
+    fn ingest(&mut self, n: usize, buf: &[u8]) -> std::io::Result<()> {
+        let t0 = econcast_trace::armed_now();
+        let mut decoded = 0u64;
+        self.codec.feed(&buf[..n]);
+        loop {
+            match self.codec.next_message() {
+                Ok(Some(msg)) => {
+                    decoded += 1;
+                    self.dispatch(msg);
+                }
+                Ok(None) => {
+                    if decoded > 0 {
+                        econcast_trace::complete_from(
+                            "proto",
+                            "frame_decode",
+                            t0,
+                            &[("msgs", decoded)],
+                        );
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("undecodable server reply: {e:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Routes one decoded message to its in-flight batch: by
+    /// correlation id when the peer stamped one (v5), by id range
+    /// otherwise (v4). Control-plane messages and replies for no
+    /// live ticket are dropped.
+    fn dispatch(&mut self, msg: ServiceMessage) {
+        let (corr, id, result) = match msg {
+            ServiceMessage::Response(r) => (r.corr, r.id, Ok(r)),
+            ServiceMessage::Error(e) => (e.corr, e.id, Err(e)),
+            _ => return,
+        };
+        let batch = if corr != 0 {
+            self.pending.iter_mut().find(|b| b.corr == corr)
+        } else {
+            self.pending.iter_mut().find(|b| b.collector.owns(id))
+        };
+        if let Some(b) = batch {
+            b.collector.file(id, result);
+        }
     }
 
     /// Fetches one shard's counters (`None` = the aggregate).
@@ -340,7 +550,7 @@ impl PolicyClient {
                         format!("server rejected stats request for shard {shard}"),
                     ));
                 }
-                _ => {}
+                other => self.dispatch(other),
             }
         }
     }
@@ -351,17 +561,37 @@ impl PolicyClient {
         id
     }
 
+    /// A fresh non-zero correlation id (0 is the wire's "unknown").
+    fn take_corr(&mut self) -> u32 {
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1);
+        if self.next_corr == 0 {
+            self.next_corr = 1;
+        }
+        corr
+    }
+
     fn send(&mut self, msg: &ServiceMessage) -> std::io::Result<()> {
-        let mut wire = BytesMut::new();
-        ServiceCodec::encode(msg, &mut wire);
-        self.stream.write_all(&wire)
+        debug_assert!(self.enc.is_drained(), "send during an unflushed submit");
+        self.enc.push(msg, self.wire_version);
+        while !self.enc.is_drained() {
+            let n = (&self.stream).write(self.enc.pending())?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "server stopped reading",
+                ));
+            }
+            self.enc.advance(n);
+        }
+        Ok(())
     }
 
     /// Blocks until the next complete message arrives. Decode errors
     /// surface as `InvalidData`; a server-side disconnect as
     /// `UnexpectedEof`.
     fn recv(&mut self) -> std::io::Result<ServiceMessage> {
-        let mut buf = [0u8; 16 * 1024];
+        let mut buf = [0u8; 64 * 1024];
         loop {
             match self.codec.next_message() {
                 Ok(Some(msg)) => return Ok(msg),
@@ -373,7 +603,7 @@ impl PolicyClient {
                     ))
                 }
             }
-            let n = self.stream.read(&mut buf)?;
+            let n = (&self.stream).read(&mut buf)?;
             if n == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
@@ -383,4 +613,17 @@ impl PolicyClient {
             self.codec.feed(&buf[..n]);
         }
     }
+}
+
+/// Whether a handshake failure looks like "old server dropped our
+/// v5 hello" — the silent-close behaviour of a pre-v5 binary whose
+/// codec hit `UnsupportedVersion` — rather than a dead endpoint.
+fn handshake_version_rejected(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+    )
 }

@@ -53,6 +53,7 @@ pub mod cache;
 pub mod client;
 pub mod grid;
 pub mod prewarm;
+pub mod ready;
 pub mod request;
 pub mod server;
 pub mod service;
@@ -62,13 +63,14 @@ pub mod wire;
 pub mod workload;
 
 pub use cache::{CachedPolicy, LruCache};
-pub use client::{PolicyClient, WireResult};
+pub use client::{PolicyClient, Ticket, WireResult};
 pub use econcast_trace::TraceConfig;
 pub use grid::{FamilyKey, GridConfig, PolicyGrid};
 pub use prewarm::{mix_from_wire, mix_to_wire, MixRecorder, PrewarmConfig};
 pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
 pub use server::{
-    serve_connection, serve_connection_gated, PolicyServer, ServeTarget, ServerConfig, ServerHandle,
+    serve_connection, serve_connection_gated, serve_connection_opts, ConnOptions, PolicyServer,
+    ServeTarget, ServerConfig, ServerHandle,
 };
 pub use service::{PolicyService, ServiceConfig};
 pub use shard::{RouterConfig, ShardRouter};

@@ -188,8 +188,11 @@ impl PolicyRequest {
     }
 
     /// Encodes the native request as a wire request with the given id.
+    /// The batch correlation id starts at 0 ("not pipelined"); the
+    /// pipelined client stamps its own before framing.
     pub fn to_wire(&self, id: u32) -> WirePolicyRequest {
         WirePolicyRequest {
+            corr: 0,
             id,
             objective: mode_to_wire(self.objective),
             sigma: self.sigma,
@@ -237,6 +240,7 @@ impl PolicyResponse {
     /// id.
     pub fn to_wire(&self, id: u32) -> WirePolicyResponse {
         WirePolicyResponse {
+            corr: 0,
             id,
             tier: self.tier,
             kernel: self.kernel,
@@ -260,6 +264,7 @@ impl PolicyResponse {
 /// Encodes a service error as a wire error with the given id.
 pub fn error_to_wire(err: &ServiceError, id: u32) -> WirePolicyError {
     WirePolicyError {
+        corr: 0,
         id,
         code: err.wire_code(),
     }

@@ -38,7 +38,7 @@ use crate::shard::{RouterConfig, ShardRouter};
 use bytes::BytesMut;
 use econcast_proto::service::{
     ServiceCodec, ServiceErrorCode, ServiceMessage, WireMixAck, WirePolicyError, WirePong,
-    WireStatsResponse, WireWelcome, STATS_SHARD_AGGREGATE,
+    WireStatsResponse, WireWelcome, STATS_SHARD_AGGREGATE, WIRE_VERSION,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -60,6 +60,12 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Whether to run the background prewarm thread.
     pub background_prewarm: bool,
+    /// Highest wire version this server speaks. Frames above it are a
+    /// fatal decode error (the connection drops without a reply),
+    /// which is exactly how a binary predating that version behaves —
+    /// pin to 4 to stand in for a pre-pipelining server in
+    /// cross-version tests.
+    pub max_wire_version: u8,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +75,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_batch: 1024,
             background_prewarm: true,
+            max_wire_version: WIRE_VERSION,
         }
     }
 }
@@ -183,7 +190,10 @@ impl PolicyServer {
         let stop = Arc::new(AtomicBool::new(false));
         let gate = Arc::new(ConnGate::new(self.cfg.max_connections));
         let router = Arc::clone(&self.router);
-        let max_batch = self.cfg.max_batch.max(1);
+        let opts = ConnOptions {
+            max_batch: self.cfg.max_batch.max(1),
+            max_wire_version: self.cfg.max_wire_version,
+        };
 
         let acceptor = {
             let (stop, router) = (Arc::clone(&stop), Arc::clone(&router));
@@ -224,7 +234,7 @@ impl PolicyServer {
                             }
                         }
                         let _slot = SlotGuard(gate);
-                        serve_connection_gated(stream, &*router, max_batch, &stop);
+                        serve_connection_opts(stream, &*router, opts, &stop);
                     });
                 }
             })
@@ -381,6 +391,26 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 /// How long shutdown waits for live handlers to drain.
 const DRAIN_WAIT: Duration = Duration::from_secs(5);
 
+/// Per-connection protocol options; what [`serve_connection_opts`]
+/// needs beyond the stream and the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnOptions {
+    /// Largest request batch served as one unit.
+    pub max_batch: usize,
+    /// Highest wire version spoken (see
+    /// [`ServerConfig::max_wire_version`]).
+    pub max_wire_version: u8,
+}
+
+impl Default for ConnOptions {
+    fn default() -> Self {
+        ConnOptions {
+            max_batch: 1024,
+            max_wire_version: WIRE_VERSION,
+        }
+    }
+}
+
 /// Serves one connection until EOF, I/O error, or a (fatal) decode
 /// error — the single protocol loop shared by every TCP front-end
 /// (see [`ServeTarget`]). Equivalent to [`serve_connection_gated`]
@@ -397,17 +427,53 @@ pub fn serve_connection(stream: TcpStream, target: &impl ServeTarget, max_batch:
 /// [`DRAIN_GRACE`] ran out), so a draining shutdown is never a
 /// mid-frame disconnect from the client's point of view.
 pub fn serve_connection_gated(
-    mut stream: TcpStream,
+    stream: TcpStream,
     target: &impl ServeTarget,
     max_batch: usize,
     stop: &AtomicBool,
 ) {
+    serve_connection_opts(
+        stream,
+        target,
+        ConnOptions {
+            max_batch,
+            ..ConnOptions::default()
+        },
+        stop,
+    );
+}
+
+/// The full-option connection loop behind [`serve_connection`] and
+/// [`serve_connection_gated`].
+///
+/// The read path is greedy: after each blocking read it drains
+/// whatever else the client already queued (non-blocking), so a
+/// pipelined client's second and third batches ride the same serve
+/// cycle instead of waiting out another wakeup. The write path
+/// streams: each batch's replies are flushed as soon as that batch is
+/// served, so the first submitted batch's responses are on the wire
+/// while later batches are still being solved. Replies echo the
+/// request's correlation id and are encoded at the version the peer
+/// spoke, clamped to [`ConnOptions::max_wire_version`].
+pub fn serve_connection_opts(
+    mut stream: TcpStream,
+    target: &impl ServeTarget,
+    opts: ConnOptions,
+    stop: &AtomicBool,
+) {
     use std::io::ErrorKind::{Interrupted, TimedOut, WouldBlock};
-    let max_batch = max_batch.max(1);
+    let max_batch = opts.max_batch.max(1);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(GATE_TICK));
     let mut codec = ServiceCodec::new();
-    let mut buf = [0u8; 16 * 1024];
+    codec.set_max_version(opts.max_wire_version);
+    // Reused across cycles: the read buffer, the encoded-reply buffer
+    // and the batch scratch — steady-state serving allocates nothing
+    // but the responses themselves.
+    let mut buf = vec![0u8; 256 * 1024];
+    let mut out = BytesMut::new();
+    let mut ids: Vec<(u32, u32)> = Vec::new();
+    let mut batch: Vec<PolicyRequest> = Vec::new();
     let mut draining_since: Option<Instant> = None;
     loop {
         let n = match stream.read(&mut buf) {
@@ -433,32 +499,76 @@ pub fn serve_connection_gated(
             Err(_) => return,
         };
         codec.feed(&buf[..n]);
+        // Greedy drain: a pipelining client may have more batches
+        // already queued in the socket buffer; absorb them into this
+        // cycle without blocking. EOF and errors are deferred — what
+        // was received still gets served and answered first.
+        let mut closing = false;
+        if stream.set_nonblocking(true).is_ok() {
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) => {
+                        closing = true;
+                        break;
+                    }
+                    Ok(n) => codec.feed(&buf[..n]),
+                    Err(e) if e.kind() == WouldBlock => break,
+                    Err(e) if e.kind() == Interrupted => {}
+                    Err(_) => {
+                        closing = true;
+                        break;
+                    }
+                }
+            }
+            if stream.set_nonblocking(false).is_err() {
+                closing = true;
+            }
+        }
         let Ok(messages) = codec.drain() else {
             // Corrupt or misframed stream: integrity-fail hard, like
             // the codec contract says — no best-effort resync.
             return;
         };
+        // Replies speak the version the client does (a v4 client
+        // must not receive v5 frames), clamped to what this server
+        // is allowed to speak.
+        let version = codec
+            .peer_version()
+            .unwrap_or(opts.max_wire_version)
+            .min(opts.max_wire_version);
 
-        let mut out = BytesMut::new();
-        let mut ids: Vec<u32> = Vec::new();
-        let mut batch: Vec<PolicyRequest> = Vec::new();
         for msg in messages {
             match msg {
                 ServiceMessage::Request(w) => {
-                    ids.push(w.id);
+                    // A new correlation id closes the previous batch:
+                    // serve and flush it so its submitter's replies
+                    // stream out before the next batch is solved.
+                    if let Some(&(corr, _)) = ids.first() {
+                        if corr != w.corr {
+                            serve_into(target, &mut ids, &mut batch, &mut out, version);
+                            if flush(&mut stream, &mut out).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    ids.push((w.corr, w.id));
                     batch.push(PolicyRequest::from_wire(&w));
                     if batch.len() >= max_batch {
-                        serve_into(target, &mut ids, &mut batch, &mut out);
+                        serve_into(target, &mut ids, &mut batch, &mut out, version);
+                        if flush(&mut stream, &mut out).is_err() {
+                            return;
+                        }
                     }
                 }
                 ServiceMessage::Hello(h) => {
-                    ServiceCodec::encode(
+                    ServiceCodec::encode_versioned(
                         &ServiceMessage::Welcome(WireWelcome {
                             id: h.id,
                             shards: target.shard_count() as u16,
                             max_batch: max_batch.min(usize::from(u16::MAX)) as u16,
                         }),
                         &mut out,
+                        version,
                     );
                 }
                 ServiceMessage::StatsRequest(r) => {
@@ -469,29 +579,35 @@ pub fn serve_connection_gated(
                             stats: stats.to_wire(),
                         }),
                         None => ServiceMessage::Error(WirePolicyError {
+                            corr: 0,
                             id: r.id,
                             code: ServiceErrorCode::BadRequest,
                         }),
                     };
-                    ServiceCodec::encode(&msg, &mut out);
+                    ServiceCodec::encode_versioned(&msg, &mut out, version);
                 }
                 // Liveness probe: answer immediately, touching no
                 // shard state (health checkers ride a tight cadence).
                 ServiceMessage::Ping(p) => {
-                    ServiceCodec::encode(&ServiceMessage::Pong(WirePong { id: p.id }), &mut out);
+                    ServiceCodec::encode_versioned(
+                        &ServiceMessage::Pong(WirePong { id: p.id }),
+                        &mut out,
+                        version,
+                    );
                 }
                 // Warm handoff: fold the shipped mix into the
                 // prewarmer and report what happened.
                 ServiceMessage::MixSeed(s) => {
                     let mix = crate::prewarm::mix_from_wire(&s.families);
                     let (absorbed, grids_built) = target.seed_mix(&mix);
-                    ServiceCodec::encode(
+                    ServiceCodec::encode_versioned(
                         &ServiceMessage::MixAck(WireMixAck {
                             id: s.id,
                             absorbed: absorbed.min(usize::from(u16::MAX)) as u16,
                             grids_built: grids_built.min(usize::from(u16::MAX)) as u16,
                         }),
                         &mut out,
+                        version,
                     );
                 }
                 // Server-to-client message types arriving here are
@@ -504,32 +620,52 @@ pub fn serve_connection_gated(
                 | ServiceMessage::MixAck(_) => {}
             }
         }
-        serve_into(target, &mut ids, &mut batch, &mut out);
-        if !out.is_empty() && stream.write_all(&out).is_err() {
+        serve_into(target, &mut ids, &mut batch, &mut out, version);
+        if flush(&mut stream, &mut out).is_err() {
+            return;
+        }
+        if closing {
             return;
         }
     }
 }
 
+/// Writes and clears the encoded-reply buffer, keeping its capacity
+/// for the next cycle.
+fn flush(stream: &mut TcpStream, out: &mut BytesMut) -> std::io::Result<()> {
+    if out.is_empty() {
+        return Ok(());
+    }
+    let res = stream.write_all(out);
+    out.clear();
+    res
+}
+
 /// Serves the buffered requests (if any) as one routed batch and
-/// encodes the replies.
+/// encodes the replies, echoing each request's correlation id.
 fn serve_into(
     target: &impl ServeTarget,
-    ids: &mut Vec<u32>,
+    ids: &mut Vec<(u32, u32)>,
     batch: &mut Vec<PolicyRequest>,
     out: &mut BytesMut,
+    version: u8,
 ) {
     if batch.is_empty() {
         return;
     }
     let results = target.serve(batch);
     let t0 = econcast_trace::armed_now();
-    for (id, result) in ids.drain(..).zip(&results) {
-        let msg = match result {
+    for ((corr, id), result) in ids.drain(..).zip(&results) {
+        let mut msg = match result {
             Ok(resp) => ServiceMessage::Response(resp.to_wire(id)),
             Err(e) => ServiceMessage::Error(crate::request::error_to_wire(e, id)),
         };
-        ServiceCodec::encode(&msg, out);
+        match &mut msg {
+            ServiceMessage::Response(r) => r.corr = corr,
+            ServiceMessage::Error(e) => e.corr = corr,
+            _ => unreachable!(),
+        }
+        ServiceCodec::encode_versioned(&msg, out, version);
     }
     econcast_trace::complete_from(
         "proto",

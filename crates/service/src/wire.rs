@@ -62,7 +62,7 @@ impl WireServer {
         for msg in self.codec.drain()? {
             match msg {
                 ServiceMessage::Request(w) => {
-                    ids.push(w.id);
+                    ids.push((w.corr, w.id));
                     requests.push(PolicyRequest::from_wire(&w));
                 }
                 // The in-process server is the single-shard special
@@ -87,6 +87,7 @@ impl WireServer {
                         })
                     } else {
                         ServiceMessage::Error(WirePolicyError {
+                            corr: 0,
                             id: r.id,
                             code: ServiceErrorCode::BadRequest,
                         })
@@ -121,11 +122,16 @@ impl WireServer {
         }
         let results = self.service.serve_batch(&requests);
         let t0 = econcast_trace::armed_now();
-        for (id, result) in ids.iter().zip(&results) {
-            let msg = match result {
-                Ok(resp) => ServiceMessage::Response(resp.to_wire(*id)),
-                Err(e) => ServiceMessage::Error(error_to_wire(e, *id)),
+        for (&(corr, id), result) in ids.iter().zip(&results) {
+            let mut msg = match result {
+                Ok(resp) => ServiceMessage::Response(resp.to_wire(id)),
+                Err(e) => ServiceMessage::Error(error_to_wire(e, id)),
             };
+            match &mut msg {
+                ServiceMessage::Response(r) => r.corr = corr,
+                ServiceMessage::Error(e) => e.corr = corr,
+                _ => unreachable!(),
+            }
             ServiceCodec::encode(&msg, &mut out);
         }
         econcast_trace::complete_from("proto", "frame_encode", t0, &[("msgs", ids.len() as u64)]);

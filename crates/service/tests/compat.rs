@@ -1,0 +1,131 @@
+//! Cross-version wire interop: a v4-era client against today's v5
+//! server, and today's client against a v4-pinned server, must both
+//! negotiate down to wire v4 and round-trip a mixed batch
+//! bit-identical to the in-process service.
+
+use econcast_proto::service::WIRE_VERSION;
+use econcast_service::workload::mixed_batch;
+use econcast_service::{
+    PolicyClient, PolicyResponse, PolicyServer, PolicyService, RouterConfig, ServerConfig,
+    ServiceConfig, ServiceError,
+};
+
+fn server(max_wire_version: u8) -> ServerConfig {
+    ServerConfig {
+        router: RouterConfig {
+            shards: 2,
+            service: ServiceConfig {
+                workers: Some(1),
+                ..ServiceConfig::default()
+            },
+            ..RouterConfig::default()
+        },
+        background_prewarm: false,
+        max_wire_version,
+        ..ServerConfig::default()
+    }
+}
+
+fn reference(
+    batch: &[econcast_service::PolicyRequest],
+) -> Vec<Result<PolicyResponse, ServiceError>> {
+    PolicyService::new(ServiceConfig {
+        workers: Some(1),
+        ..ServiceConfig::default()
+    })
+    .serve_batch(batch)
+}
+
+fn assert_payload_bits(
+    got: &[econcast_service::WireResult],
+    expected: &[Result<PolicyResponse, ServiceError>],
+) {
+    assert_eq!(got.len(), expected.len());
+    for (i, (wire, exp)) in got.iter().zip(expected).enumerate() {
+        let (wire, exp) = (wire.as_ref().unwrap(), exp.as_ref().unwrap());
+        assert_eq!(wire.policies.len(), exp.policies.len(), "request {i}");
+        for (wp, np) in wire.policies.iter().zip(&exp.policies) {
+            assert_eq!(wp.listen.to_bits(), np.listen.to_bits(), "request {i}");
+            assert_eq!(wp.transmit.to_bits(), np.transmit.to_bits(), "request {i}");
+        }
+        assert_eq!(
+            wire.throughput.to_bits(),
+            exp.throughput.to_bits(),
+            "request {i}"
+        );
+        assert_eq!(
+            wire.cert_t_sigma.to_bits(),
+            exp.certificate.t_sigma.to_bits(),
+            "request {i}"
+        );
+        assert_eq!(
+            wire.cert_oracle.to_bits(),
+            exp.certificate.oracle.to_bits(),
+            "request {i}"
+        );
+        assert_eq!(
+            wire.cert_dual_upper.to_bits(),
+            exp.certificate.dual_upper.to_bits(),
+            "request {i}"
+        );
+        assert_eq!(wire.converged, exp.converged, "request {i}");
+    }
+}
+
+#[test]
+fn v4_client_against_v5_server() {
+    // A client pinned to wire v4 — on-the-wire identical to the
+    // pre-pipelining binary — gets served by today's server: the
+    // welcome downgrades the connection and the batch round-trips
+    // bit-identical, with no correlation ids anywhere on the stream.
+    assert_eq!(WIRE_VERSION, 5, "test written against wire v5");
+    let batch = mixed_batch(24);
+    let expected = reference(&batch);
+
+    let handle = PolicyServer::bind("127.0.0.1:0", server(WIRE_VERSION))
+        .expect("bind")
+        .spawn();
+    let mut client =
+        PolicyClient::connect_versioned(handle.addr(), batch.len() as u16, 4).expect("connect v4");
+    assert_eq!(client.wire_version(), 4, "server honors the v4 hello");
+
+    let got = client.serve_batch(&batch).expect("round trip at v4");
+    assert_payload_bits(&got, &expected);
+
+    // Control plane still works on the downgraded connection.
+    client.ping().expect("ping at v4");
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn v5_client_against_v4_server() {
+    // Today's client dials a server pinned to wire v4 (emulating an
+    // older binary: it rejects the v5 hello outright). The client's
+    // fallback redial lands the connection at v4 and the batch still
+    // round-trips bit-identical.
+    let batch = mixed_batch(24);
+    let expected = reference(&batch);
+
+    let handle = PolicyServer::bind("127.0.0.1:0", server(4))
+        .expect("bind")
+        .spawn();
+    let mut client = PolicyClient::connect(handle.addr(), batch.len() as u16).expect("connect");
+    assert_eq!(client.wire_version(), 4, "fallback redial negotiated v4");
+
+    let got = client.serve_batch(&batch).expect("round trip at v4");
+    assert_payload_bits(&got, &expected);
+
+    // Pipelined tickets still work at v4 — replies are routed by id
+    // range when the peer stamps no correlation ids.
+    let (a, b) = batch.split_at(12);
+    let ta = client.submit_batch(a).expect("submit a");
+    let tb = client.submit_batch(b).expect("submit b");
+    let got_b = client.collect(tb).expect("collect b");
+    let got_a = client.collect(ta).expect("collect a");
+    assert_payload_bits(&got_a, &expected[..12]);
+    assert_payload_bits(&got_b, &expected[12..]);
+
+    drop(client);
+    handle.shutdown();
+}

@@ -322,6 +322,7 @@ fn corrupt_mid_stream_reply_fails_the_call_not_prior_results() {
                     ServiceMessage::Request(r) => {
                         answered += 1;
                         let reply = ServiceMessage::Response(WirePolicyResponse {
+                            corr: r.corr,
                             id: r.id,
                             tier: econcast_service::ServedTier::Exact,
                             kernel: econcast_service::PolicyKernel::ClosedForm,
@@ -363,7 +364,7 @@ fn corrupt_mid_stream_reply_fails_the_call_not_prior_results() {
 
     let batch = mixed_batch(2);
     let mut client = PolicyClient::connect(addr, 2).expect("connect");
-    assert_eq!(WIRE_VERSION, 4, "test written against wire v4");
+    assert_eq!(WIRE_VERSION, 5, "test written against wire v5");
 
     // Batch 1: clean round trip; keep the results.
     let first = client.serve_batch(&batch).expect("clean batch");

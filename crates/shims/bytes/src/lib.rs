@@ -15,11 +15,13 @@ pub struct Bytes {
 
 impl Bytes {
     /// An empty buffer.
+    #[inline]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Copies a slice into a new buffer.
+    #[inline]
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
             data: data.to_vec(),
@@ -29,18 +31,21 @@ impl Bytes {
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         &self.data
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         &self.data
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    #[inline]
     fn from(data: Vec<u8>) -> Self {
         Bytes { data }
     }
@@ -57,11 +62,13 @@ pub struct BytesMut {
 
 impl BytesMut {
     /// An empty buffer.
+    #[inline]
     pub fn new() -> Self {
         Self::default()
     }
 
     /// An empty buffer with reserved capacity.
+    #[inline]
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
             data: Vec::with_capacity(cap),
@@ -70,21 +77,33 @@ impl BytesMut {
     }
 
     /// Unconsumed length.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len() - self.head
     }
 
     /// Whether no unconsumed bytes remain.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Appends bytes.
+    #[inline]
     pub fn extend_from_slice(&mut self, bytes: &[u8]) {
         self.data.extend_from_slice(bytes);
     }
 
+    /// Drops every buffered byte but keeps the allocation — the reuse
+    /// primitive of scatter-buffer encoders.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.head = 0;
+    }
+
     /// Reclaims consumed front space when it dominates the allocation.
+    #[inline]
     fn compact(&mut self) {
         if self.head > 64 && self.head * 2 >= self.data.len() {
             self.data.drain(..self.head);
@@ -97,6 +116,7 @@ impl BytesMut {
     /// # Panics
     ///
     /// Panics when fewer than `n` bytes are buffered.
+    #[inline]
     pub fn split_to(&mut self, n: usize) -> BytesMut {
         assert!(n <= self.len(), "split_to out of bounds");
         let out = BytesMut {
@@ -109,12 +129,14 @@ impl BytesMut {
     }
 
     /// Freezes into an immutable [`Bytes`].
+    #[inline]
     pub fn freeze(mut self) -> Bytes {
         self.data.drain(..self.head);
         Bytes { data: self.data }
     }
 
     /// Copies the unconsumed bytes into a `Vec`.
+    #[inline]
     pub fn to_vec(&self) -> Vec<u8> {
         self.data[self.head..].to_vec()
     }
@@ -122,18 +144,21 @@ impl BytesMut {
 
 impl Deref for BytesMut {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         &self.data[self.head..]
     }
 }
 
 impl DerefMut for BytesMut {
+    #[inline]
     fn deref_mut(&mut self) -> &mut [u8] {
         &mut self.data[self.head..]
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self
     }
@@ -149,6 +174,7 @@ pub trait Buf {
     fn get_u8(&mut self) -> u8;
 
     /// Reads a big-endian `u16`.
+    #[inline]
     fn get_u16(&mut self) -> u16 {
         let hi = self.get_u8() as u16;
         let lo = self.get_u8() as u16;
@@ -156,6 +182,7 @@ pub trait Buf {
     }
 
     /// Reads a big-endian `u32`.
+    #[inline]
     fn get_u32(&mut self) -> u32 {
         let hi = self.get_u16() as u32;
         let lo = self.get_u16() as u32;
@@ -163,6 +190,7 @@ pub trait Buf {
     }
 
     /// Reads a big-endian `u64`.
+    #[inline]
     fn get_u64(&mut self) -> u64 {
         let hi = self.get_u32() as u64;
         let lo = self.get_u32() as u64;
@@ -170,43 +198,103 @@ pub trait Buf {
     }
 
     /// Reads a big-endian IEEE-754 `f64`.
+    #[inline]
     fn get_f64(&mut self) -> f64 {
         f64::from_bits(self.get_u64())
     }
 }
 
 impl Buf for &[u8] {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
 
+    #[inline]
     fn advance(&mut self, n: usize) {
         assert!(n <= self.len(), "advance past end of slice");
         *self = &self[n..];
     }
 
+    #[inline]
     fn get_u8(&mut self) -> u8 {
         let b = self[0];
         *self = &self[1..];
         b
     }
+
+    // Width-sized overrides: one bounds check and one unaligned load per
+    // field instead of the default's chain of per-byte reads. The policy
+    // data plane decodes hundreds of kilobytes of f64s per pipelined
+    // batch, and the byte-at-a-time defaults were the single largest
+    // cost on the wire path.
+    #[inline]
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        let v = u16::from_be_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+
+    #[inline]
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_be_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
+
+    #[inline]
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let v = u64::from_be_bytes(head.try_into().unwrap());
+        *self = rest;
+        v
+    }
 }
 
 impl Buf for BytesMut {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
 
+    #[inline]
     fn advance(&mut self, n: usize) {
         assert!(n <= self.len(), "advance past end of buffer");
         self.head += n;
         self.compact();
     }
 
+    #[inline]
     fn get_u8(&mut self) -> u8 {
         let b = self[0];
         self.advance(1);
         b
+    }
+
+    #[inline]
+    fn get_u16(&mut self) -> u16 {
+        let mut cur: &[u8] = self;
+        let v = cur.get_u16();
+        self.advance(2);
+        v
+    }
+
+    #[inline]
+    fn get_u32(&mut self) -> u32 {
+        let mut cur: &[u8] = self;
+        let v = cur.get_u32();
+        self.advance(4);
+        v
+    }
+
+    #[inline]
+    fn get_u64(&mut self) -> u64 {
+        let mut cur: &[u8] = self;
+        let v = cur.get_u64();
+        self.advance(8);
+        v
     }
 }
 
@@ -218,41 +306,49 @@ pub trait BufMut {
     fn put_slice(&mut self, v: &[u8]);
 
     /// Appends a big-endian `u16`.
+    #[inline]
     fn put_u16(&mut self, v: u16) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u32`.
+    #[inline]
     fn put_u32(&mut self, v: u32) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u64`.
+    #[inline]
     fn put_u64(&mut self, v: u64) {
         self.put_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian IEEE-754 `f64`.
+    #[inline]
     fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
     }
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_u8(&mut self, v: u8) {
         self.data.push(v);
     }
 
+    #[inline]
     fn put_slice(&mut self, v: &[u8]) {
         self.data.extend_from_slice(v);
     }
 }
 
 impl BufMut for Vec<u8> {
+    #[inline]
     fn put_u8(&mut self, v: u8) {
         self.push(v);
     }
 
+    #[inline]
     fn put_slice(&mut self, v: &[u8]) {
         self.extend_from_slice(v);
     }

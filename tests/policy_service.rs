@@ -175,6 +175,7 @@ fn wire_server_answers_bad_requests_with_error_messages() {
     // the factorized kernel replaced enumeration, but still enforced).
     ServiceCodec::encode(
         &ServiceMessage::Request(WirePolicyRequest {
+            corr: 0,
             id: 1,
             objective: WireObjective::Groupput,
             sigma: -1.0,
@@ -187,6 +188,7 @@ fn wire_server_answers_bad_requests_with_error_messages() {
     );
     ServiceCodec::encode(
         &ServiceMessage::Request(WirePolicyRequest {
+            corr: 0,
             id: 2,
             objective: WireObjective::Groupput,
             sigma: 0.5,
