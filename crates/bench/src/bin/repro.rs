@@ -13,6 +13,12 @@
 //!                                       (with a forced failover) and
 //!                                       write a Perfetto-loadable
 //!                                       econcast_demo.trace.json
+//! repro --overload-smoke [--quick]      open-loop 2×-capacity run
+//!                                       against a small-queue cluster
+//!                                       front; exits nonzero if the
+//!                                       overload-control promises
+//!                                       (no errors, bounded queue,
+//!                                       accepted-p99 budget) break
 //! ```
 //!
 //! Output goes to stdout; pipe it into `EXPERIMENTS.md` blocks or a
@@ -75,6 +81,46 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--overload-smoke") {
+        let t0 = Instant::now();
+        match econcast_bench::openloop::run_overload_smoke(quick) {
+            Ok(report) => {
+                let row = &report.row;
+                eprintln!(
+                    "[overload smoke: capacity {:.0} req/s, 2x offered {:.0} req/s, \
+                     goodput {:.0} req/s, shed {:.1}%, degraded {:.1}%, \
+                     accepted p99 {:.0} us (budget {:.0} us), queue peak {}/{}]",
+                    report.capacity_rps,
+                    row.offered_rps,
+                    row.goodput_rps,
+                    row.shed_rate * 100.0,
+                    row.degraded_rate * 100.0,
+                    row.accepted_p99_us.unwrap_or(f64::NAN),
+                    report.p99_budget_us,
+                    report.queue_depth_peak,
+                    report.queue_capacity,
+                );
+                let mut failed = false;
+                for (label, ok) in report.checks() {
+                    eprintln!("  [{}] {label}", if ok { "PASS" } else { "FAIL" });
+                    failed |= !ok;
+                }
+                eprintln!(
+                    "[overload smoke done in {:.1}s]",
+                    t0.elapsed().as_secs_f64()
+                );
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("overload smoke failed to run: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if args.iter().any(|a| a == "--bench-json") {
         let dir = flag_value(&args, "--out").unwrap_or_else(|| ".".to_string());
         let filter = flag_value(&args, "--filter");
@@ -116,6 +162,7 @@ fn main() {
                  [--filter SUBSTRING]"
             );
             eprintln!("       repro --trace-demo [--out DIR]");
+            eprintln!("       repro --overload-smoke [--quick]");
             eprintln!("experiments:");
             for (id, desc, _) in &reg {
                 eprintln!("  {id:<8} {desc}");

@@ -297,6 +297,22 @@ pub struct BenchDoc {
     /// shown in the ratio table, never gated by [`compare`] — too few
     /// effective samples at the extreme tail for a regression policy.
     pub service_info: BTreeMap<(u64, String), f64>,
+    /// `(multiplier-label, rate-field) → requests/sec` over the
+    /// openloop section (`goodput_rps`, `offered_rps`, plus the
+    /// calibration `capacity_rps`). Same teeth as [`BenchDoc::service`]:
+    /// gated against any baseline that carries the row — which makes
+    /// the rows informational `[new]` on the first run after the
+    /// harness lands and load-bearing from the next committed baseline
+    /// on.
+    pub openloop: BTreeMap<(String, String), f64>,
+    /// `(multiplier-label, latency-field) → µs` over the openloop
+    /// section's `*_p99_us` fields. Gated inverted, like
+    /// [`BenchDoc::service_p99`].
+    pub openloop_p99: BTreeMap<(String, String), f64>,
+    /// Other openloop fields (`shed_rate`, `degraded_rate`, non-p99
+    /// `_us` tails). **Informational only** — a shed rate is a policy
+    /// outcome, not a performance promise.
+    pub openloop_info: BTreeMap<(String, String), f64>,
     /// The record's own `quick_sensitive` entry list, when the writer
     /// was new enough to emit one (`None` on pre-gate baselines).
     pub quick_sensitive: Option<Vec<String>>,
@@ -345,6 +361,32 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
             }
         }
     }
+    let mut openloop = BTreeMap::new();
+    let mut openloop_p99 = BTreeMap::new();
+    let mut openloop_info = BTreeMap::new();
+    if let Some(ol) = json.get("openloop") {
+        if let Some(cap) = ol.get("capacity_rps").and_then(Json::as_num) {
+            openloop.insert(("calibration".to_string(), "capacity_rps".to_string()), cap);
+        }
+        for row in ol.get("rows").and_then(Json::as_arr).unwrap_or_default() {
+            let Some(mult) = row.get("multiplier").and_then(Json::as_num) else {
+                continue;
+            };
+            let label = format!("x{mult}");
+            if let Json::Obj(fields) = row {
+                for (key, value) in fields {
+                    let Some(v) = value.as_num() else { continue };
+                    if key.ends_with("_rps") {
+                        openloop.insert((label.clone(), key.clone()), v);
+                    } else if key.ends_with("_p99_us") {
+                        openloop_p99.insert((label.clone(), key.clone()), v);
+                    } else if key.ends_with("_us") || key.ends_with("_rate") {
+                        openloop_info.insert((label.clone(), key.clone()), v);
+                    }
+                }
+            }
+        }
+    }
     Ok(BenchDoc {
         git_sha: json
             .get("git_sha")
@@ -364,6 +406,9 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
         service,
         service_p99,
         service_info,
+        openloop,
+        openloop_p99,
+        openloop_info,
         quick_sensitive: json.get("quick_sensitive").and_then(Json::as_arr).map(|a| {
             a.iter()
                 .filter_map(|v| v.as_str().map(str::to_string))
@@ -502,6 +547,35 @@ pub fn ratio_rows(fresh: &BenchDoc, baseline: &BenchDoc) -> Vec<RatioRow> {
             });
         }
     }
+    // Open-loop rows: rates pair-and-gate like service rates, p99s
+    // like service p99s, the rest informational. A baseline without
+    // the section (pre-overload-control records) simply pairs nothing,
+    // so every fresh row shows as `[new]`.
+    let openloop_maps = [
+        (&baseline.openloop, &fresh.openloop),
+        (&baseline.openloop_p99, &fresh.openloop_p99),
+        (&baseline.openloop_info, &fresh.openloop_info),
+    ];
+    for (base_map, fresh_map) in openloop_maps {
+        for ((label, field), &base_v) in base_map.iter() {
+            out.push(RatioRow {
+                what: format!("openloop {label} {field}"),
+                baseline: Some(base_v),
+                fresh: fresh_map.get(&(label.clone(), field.clone())).copied(),
+                skipped: false,
+            });
+        }
+        for ((label, field), &v) in fresh_map.iter() {
+            if !base_map.contains_key(&(label.clone(), field.clone())) {
+                out.push(RatioRow {
+                    what: format!("openloop {label} {field}"),
+                    baseline: None,
+                    fresh: Some(v),
+                    skipped: false,
+                });
+            }
+        }
+    }
     out
 }
 
@@ -616,6 +690,53 @@ pub fn compare(
             });
         }
     }
+    // Open-loop rows earn the same teeth the moment a committed
+    // baseline carries them: goodput/capacity are throughput promises,
+    // accepted p99 is a latency promise. (`openloop_info` — shed and
+    // degraded rates — stays informational: those are policy outcomes
+    // of the offered load, not performance contracts.)
+    for ((label, field), &base_rate) in &baseline.openloop {
+        if base_rate <= 0.0 {
+            continue;
+        }
+        let key = (label.clone(), field.clone());
+        let fresh_rate = fresh.openloop.get(&key).copied().unwrap_or(0.0);
+        if fresh_rate < (1.0 - max_loss) * base_rate {
+            out.push(Regression {
+                what: if fresh.openloop.contains_key(&key) {
+                    format!("openloop {label} {field}")
+                } else {
+                    format!("openloop {label} {field} (missing from fresh run)")
+                },
+                baseline: base_rate,
+                fresh: fresh_rate,
+                latency: false,
+            });
+        }
+    }
+    for ((label, field), &base_us) in &baseline.openloop_p99 {
+        if base_us <= 0.0 {
+            continue;
+        }
+        let key = (label.clone(), field.clone());
+        let fresh_us = fresh
+            .openloop_p99
+            .get(&key)
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        if fresh_us > (1.0 + max_lat_gain) * base_us {
+            out.push(Regression {
+                what: if fresh.openloop_p99.contains_key(&key) {
+                    format!("openloop {label} {field}")
+                } else {
+                    format!("openloop {label} {field} (missing from fresh run)")
+                },
+                baseline: base_us,
+                fresh: fresh_us,
+                latency: true,
+            });
+        }
+    }
     out
 }
 
@@ -636,6 +757,9 @@ mod tests {
                 .collect(),
             service_p99: BTreeMap::new(),
             service_info: BTreeMap::new(),
+            openloop: BTreeMap::new(),
+            openloop_p99: BTreeMap::new(),
+            openloop_info: BTreeMap::new(),
             // Legacy-shaped records: compare() falls back to the
             // hardcoded QUICK_SENSITIVE list.
             quick_sensitive: None,
@@ -712,6 +836,24 @@ mod tests {
                 p99_us: Some(60.0),
                 p999_us: Some(60.0),
             }],
+            openloop: Some(crate::openloop::OpenLoopReport {
+                capacity_rps: 4000.0,
+                rows: vec![crate::openloop::OpenLoopRow {
+                    multiplier: 2.0,
+                    offered: 100,
+                    accepted: 80,
+                    shed: 20,
+                    offered_rps: 8000.0,
+                    goodput_rps: 6400.0,
+                    shed_rate: 0.2,
+                    degraded_rate: 0.1,
+                    deadline_expired: 0,
+                    error_count: 0,
+                    accepted_p50_us: Some(900.0),
+                    accepted_p99_us: Some(9500.0),
+                    accepted_p999_us: None,
+                }],
+            }),
         };
         let text = crate::perf::to_json(&report, "deadbee");
         let doc = bench_doc(&parse_json(&text).unwrap()).unwrap();
@@ -731,6 +873,22 @@ mod tests {
         assert!(!doc.service.contains_key(&(1, "warm_p50_us".into())));
         assert!(!doc.service_info.contains_key(&(1, "socket_p99_us".into())));
         assert_eq!(doc.quick_sensitive.as_deref(), Some(&["k".to_string()][..]));
+        // Open-loop rows land in their suffix-matched maps: rates
+        // gated, p99 gated inverted, policy rates informational.
+        let key = |f: &str| ("x2".to_string(), f.to_string());
+        assert_eq!(
+            doc.openloop[&("calibration".to_string(), "capacity_rps".to_string())],
+            4000.0
+        );
+        assert_eq!(doc.openloop[&key("goodput_rps")], 6400.0);
+        assert_eq!(doc.openloop[&key("offered_rps")], 8000.0);
+        assert_eq!(doc.openloop_p99[&key("accepted_p99_us")], 9500.0);
+        assert_eq!(doc.openloop_info[&key("shed_rate")], 0.2);
+        assert_eq!(doc.openloop_info[&key("degraded_rate")], 0.1);
+        assert_eq!(doc.openloop_info[&key("accepted_p50_us")], 900.0);
+        // `null` p999 and the raw counts don't become rows.
+        assert!(!doc.openloop_info.contains_key(&key("accepted_p999_us")));
+        assert!(!doc.openloop.contains_key(&key("accepted")));
     }
 
     #[test]

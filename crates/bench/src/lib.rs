@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod gate;
+pub mod openloop;
 pub mod perf;
 pub mod timing;
 pub mod trace_demo;

@@ -1,0 +1,89 @@
+//! The cluster front executable: topology discovery → `ClusterFront`
+//! over the discovered backends, with the `ClusterHealer` sweep
+//! supervising them.
+//!
+//! ```text
+//! cluster_front [--config PATH] [--backends A:P,B:P] [--listen H:P]
+//!               [--queue-capacity N] [--max-queue-delay-ms T]
+//!               [--max-connections N] [--max-batch B]
+//! ```
+//!
+//! Configuration is layered — built-in defaults, then `--config` file,
+//! then `ECONCAST_CLUSTER_*` environment variables, then the flags
+//! above — and the resolved topology is printed *with provenance*
+//! (which layer set each field) before anything binds, so a
+//! misdeployed front tells on itself in its first lines of output.
+//!
+//! Prints `LISTENING <addr>` once bound (same readiness contract as
+//! `policy_backend`), then serves until stdin EOF or kill.
+
+use econcast_cluster::{
+    ClusterConfig, ClusterFront, ClusterHealer, ClusterRouter, HealerConfig, Topology,
+};
+use std::io::{Read, Write};
+
+fn main() {
+    let mut config_path: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--config" {
+            match args.next() {
+                Some(path) => config_path = Some(path),
+                None => fail("cli `--config`: flag needs a value"),
+            }
+        } else {
+            rest.push(flag);
+        }
+    }
+
+    let file_text = config_path.as_ref().map(|path| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read config `{path}`: {e}")))
+    });
+    let file = match (&config_path, &file_text) {
+        (Some(path), Some(text)) => Some((path.as_str(), text.as_str())),
+        _ => None,
+    };
+
+    let topo = Topology::discover(file, |var| std::env::var(var).ok(), &rest)
+        .unwrap_or_else(|e| fail(&format!("topology discovery failed: {e}")));
+    eprint!("{}", topo.provenance_report());
+
+    let slots = topo
+        .slot_specs()
+        .unwrap_or_else(|e| fail(&format!("backend resolution failed: {e}")));
+    let router = ClusterRouter::new(&slots, ClusterConfig::default());
+    let front = ClusterFront::bind(topo.listen.value.as_str(), router, topo.front_config())
+        .unwrap_or_else(|e| fail(&format!("cannot bind {}: {e}", topo.listen.value)));
+    let handle = front.spawn();
+    let healer = ClusterHealer::spawn(
+        std::sync::Arc::clone(handle.router()),
+        HealerConfig::default(),
+    );
+
+    // Readiness signal, same contract as policy_backend.
+    println!("LISTENING {}", handle.addr());
+    std::io::stdout().flush().expect("flush readiness line");
+
+    // Serve until the parent goes away (stdin EOF) or we are killed.
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    healer.shutdown();
+    handle.shutdown();
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("cluster_front: {msg}");
+    eprintln!(
+        "usage: cluster_front [--config PATH] [--backends A:P,B:P] [--listen H:P] \
+         [--queue-capacity N] [--max-queue-delay-ms T] [--max-connections N] [--max-batch B]"
+    );
+    std::process::exit(2);
+}

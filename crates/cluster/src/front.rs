@@ -34,8 +34,8 @@
 use crate::router::{ClusterRouter, StatsSource};
 use econcast_proto::service::STATS_SHARD_AGGREGATE;
 use econcast_service::{
-    serve_connection_gated, FamilyKey, PolicyClient, PolicyRequest, PolicyResponse, ServeTarget,
-    ServiceError, ServiceStats,
+    serve_connection_admitted, AdmissionController, ConnOptions, FamilyKey, PolicyClient,
+    PolicyRequest, PolicyResponse, ServeTarget, ServiceError, ServiceStats,
 };
 
 /// Timeout for the fresh per-request dials a stats fan-in (or a
@@ -51,13 +51,21 @@ use std::thread::JoinHandle;
 
 /// The cluster router as a connection-loop target: every protocol
 /// interaction locks the mutex for exactly one router operation.
-/// (A newtype, not `impl ServeTarget for Mutex<ClusterRouter>` — the
-/// orphan rule forbids covering a local type with a foreign one.)
-struct FrontTarget(Arc<Mutex<ClusterRouter>>);
+/// (A newtype over the mutex, not `impl ServeTarget for
+/// Mutex<ClusterRouter>` — the orphan rule forbids covering a local
+/// type with a foreign one.)
+struct FrontTarget {
+    router: Arc<Mutex<ClusterRouter>>,
+    /// The front's shared admission controller: each serve republishes
+    /// the router's current backend-saturation hint into it, so a shed
+    /// at the front advertises a `retry_after_us` no shorter than what
+    /// the saturated backends themselves asked for.
+    admission: Arc<AdmissionController>,
+}
 
 impl FrontTarget {
     fn router(&self) -> std::sync::MutexGuard<'_, ClusterRouter> {
-        self.0
+        self.router
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -69,7 +77,14 @@ impl ServeTarget for FrontTarget {
     }
 
     fn serve(&self, reqs: &[PolicyRequest]) -> Vec<Result<PolicyResponse, ServiceError>> {
-        self.router().serve_batch(reqs)
+        let router = &mut *self.router();
+        let out = router.serve_batch(reqs);
+        // Backpressure propagation upstream: whatever the backends are
+        // currently advertising becomes the floor of the front's own
+        // retry hints (cleared automatically once the windows lapse).
+        self.admission
+            .set_external_hint_us(router.saturation_hint_us());
+        out
     }
 
     /// Stats fan-in without blocking the data plane: the router lock
@@ -151,6 +166,15 @@ pub struct FrontConfig {
     /// Largest request batch served as one routed unit; longer
     /// pipelines are split. Advertised in the `Welcome` handshake.
     pub max_batch: usize,
+    /// Admission-queue bound shared across every front connection
+    /// (the front's own shed ladder, in front of the router). Same
+    /// semantics as `ServiceConfig::queue_capacity` on a single
+    /// server.
+    pub queue_capacity: usize,
+    /// Floor on the front's `retry_after_us` hints; same semantics as
+    /// `ServiceConfig::max_queue_delay`. Backend saturation hints can
+    /// raise the advertised backoff past this, never below.
+    pub max_queue_delay: std::time::Duration,
 }
 
 impl Default for FrontConfig {
@@ -158,6 +182,8 @@ impl Default for FrontConfig {
         FrontConfig {
             max_connections: 64,
             max_batch: 1024,
+            queue_capacity: 256,
+            max_queue_delay: std::time::Duration::from_millis(50),
         }
     }
 }
@@ -207,10 +233,18 @@ impl ClusterFront {
         let router = Arc::clone(&self.router);
         let max_batch = self.cfg.max_batch.max(1);
         let max_connections = self.cfg.max_connections.max(1);
+        // One admission controller for the whole front: every
+        // connection's requests share the bounded queue, exactly as
+        // on a single-process server.
+        let admission = Arc::new(AdmissionController::new(
+            self.cfg.queue_capacity,
+            self.cfg.max_queue_delay,
+        ));
 
         let acceptor = {
             let (stop, router, active) =
                 (Arc::clone(&stop), Arc::clone(&router), Arc::clone(&active));
+            let admission = Arc::clone(&admission);
             std::thread::spawn(move || loop {
                 let stream = match self.listener.accept() {
                     Ok((stream, _)) => stream,
@@ -234,6 +268,7 @@ impl ClusterFront {
                 }
                 let (router, active, stop) =
                     (Arc::clone(&router), Arc::clone(&active), Arc::clone(&stop));
+                let admission = Arc::clone(&admission);
                 std::thread::spawn(move || {
                     struct Guard(Arc<AtomicUsize>);
                     impl Drop for Guard {
@@ -242,11 +277,26 @@ impl ClusterFront {
                         }
                     }
                     let _guard = Guard(active);
-                    // Gated: on shutdown the handler drains what the
-                    // client already sent (including a grace period
-                    // for partially received frames), then closes —
-                    // no client-visible mid-stream error.
-                    serve_connection_gated(stream, &FrontTarget(router), max_batch, &stop);
+                    // Admitted + gated: every request walks the
+                    // front's shed ladder before routing, and on
+                    // shutdown the handler drains what the client
+                    // already sent (including a grace period for
+                    // partially received frames), then closes — no
+                    // client-visible mid-stream error.
+                    let target = FrontTarget {
+                        router,
+                        admission: Arc::clone(&admission),
+                    };
+                    serve_connection_admitted(
+                        stream,
+                        &target,
+                        ConnOptions {
+                            max_batch,
+                            ..ConnOptions::default()
+                        },
+                        &admission,
+                        &stop,
+                    );
                 });
             })
         };
@@ -254,6 +304,7 @@ impl ClusterFront {
         FrontHandle {
             addr,
             router,
+            admission,
             stop,
             active,
             acceptor: Some(acceptor),
@@ -266,6 +317,7 @@ impl ClusterFront {
 pub struct FrontHandle {
     addr: SocketAddr,
     router: Arc<Mutex<ClusterRouter>>,
+    admission: Arc<AdmissionController>,
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     acceptor: Option<JoinHandle<()>>,
@@ -280,6 +332,12 @@ impl FrontHandle {
     /// The shared router (cluster stats, re-targeting).
     pub fn router(&self) -> &Arc<Mutex<ClusterRouter>> {
         &self.router
+    }
+
+    /// The front's shared admission controller (queue depth, overload
+    /// counters) — one per front, shared by every connection.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
     }
 
     /// Stops accepting, then drains: live connections serve every

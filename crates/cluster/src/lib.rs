@@ -66,6 +66,7 @@ pub mod policy;
 pub mod remote;
 pub mod router;
 pub mod supervisor;
+pub mod topology;
 
 pub use fault::{Fault, FaultEvent, FaultPlan, FaultProxy};
 pub use front::{ClusterFront, FrontConfig, FrontHandle};
@@ -75,3 +76,4 @@ pub use policy::{
 pub use remote::{RemoteConfig, RemoteShard, RemoteShardStats, RemoteTicket};
 pub use router::{ClusterConfig, ClusterRouter, ClusterStats, SlotSpec, StatsSource};
 pub use supervisor::{default_backend_binary, Supervisor, SupervisorConfig};
+pub use topology::{Resolved, Source, Topology, TopologyError};

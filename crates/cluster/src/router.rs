@@ -34,12 +34,14 @@
 //! read `Exact`), matching the PR 3 socket-test convention.
 
 use crate::remote::{RemoteConfig, RemoteShard, RemoteShardStats};
+use econcast_proto::service::ServiceErrorCode;
 use econcast_service::{FamilyKey, MixRecorder, ServiceStats};
 use econcast_service::{PolicyRequest, PolicyResponse, PolicyService, ServiceConfig, ServiceError};
 use econcast_statespace::{fnv1a_64, CanonicalInstance, InstanceKey};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What one ring slot is backed by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,9 +141,23 @@ pub struct ClusterStats {
     /// Faults fired by an attached fault-injection harness (zero in
     /// production deployments).
     pub injected_faults: u64,
+    /// Per-request `Overloaded` rejections received from backends —
+    /// each marked its slot saturated and was re-served by the local
+    /// fallback (the caller never saw the rejection).
+    pub overload_rejects: u64,
+    /// Requests routed *around* a saturated backend: its slot was
+    /// inside a `retry_after_us` window from an earlier `Overloaded`,
+    /// so the router went straight to the fallback without burning a
+    /// dial — backpressure acted before the healer would notice
+    /// anything (the backend still answers pings).
+    pub saturated_routes: u64,
     /// Current per-slot health (local slots are always healthy,
     /// retired slots never are).
     pub healthy: Vec<bool>,
+    /// Current per-slot saturation (inside a backend-advertised
+    /// `retry_after_us` backoff window). Orthogonal to `healthy`: a
+    /// saturated backend is alive, just shedding.
+    pub saturated: Vec<bool>,
 }
 
 /// Routes canonicalized requests across remote and local slots.
@@ -172,6 +188,11 @@ pub struct ClusterRouter {
     auto_respawns: u64,
     quarantines: u64,
     reshard_handoffs: u64,
+    overload_rejects: u64,
+    saturated_routes: u64,
+    /// Per-slot saturation window from the last backend `Overloaded`:
+    /// `(backoff end, the backend's retry_after_us hint)`.
+    saturation: Vec<Option<(Instant, u32)>>,
     /// Shared with fault injectors (which fire from proxy threads);
     /// everything else on the router mutates under its owner's lock.
     injected_faults: Arc<AtomicU64>,
@@ -202,6 +223,7 @@ impl ClusterRouter {
             ring: Vec::new(),
             routed: vec![0; slots.len()],
             mixes: slots.iter().map(|_| MixRecorder::new()).collect(),
+            saturation: vec![None; slots.len()],
             slots,
             grid_range: cfg.service.grid.map(|g| (g.rho_min_w, g.rho_max_w)),
             fallback: PolicyService::new(cfg.service),
@@ -214,6 +236,8 @@ impl ClusterRouter {
             auto_respawns: 0,
             quarantines: 0,
             reshard_handoffs: 0,
+            overload_rejects: 0,
+            saturated_routes: 0,
             injected_faults: Arc::new(AtomicU64::new(0)),
         };
         router.rebuild_ring();
@@ -314,10 +338,53 @@ impl ClusterRouter {
             quarantines: self.quarantines,
             reshard_handoffs: self.reshard_handoffs,
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            overload_rejects: self.overload_rejects,
+            saturated_routes: self.saturated_routes,
             healthy: (0..self.slots.len())
                 .map(|s| self.slot_healthy(s))
                 .collect(),
+            saturated: (0..self.slots.len())
+                .map(|s| self.slot_saturated(s))
+                .collect(),
         }
+    }
+
+    /// Whether a slot is inside a backend-advertised saturation
+    /// window: its backend shed a request less than `retry_after_us`
+    /// ago, so routing to it now would only earn another rejection.
+    pub fn slot_saturated(&self, slot: usize) -> bool {
+        matches!(
+            self.saturation.get(slot),
+            Some(Some((until, _))) if Instant::now() < *until
+        )
+    }
+
+    /// The largest `retry_after_us` hint among currently saturated
+    /// slots — what a cluster front folds into its own admission
+    /// retry estimates, so upstream callers back off as far as the
+    /// most-loaded backend asked for. Zero when nothing is saturated.
+    pub fn saturation_hint_us(&self) -> u32 {
+        let now = Instant::now();
+        self.saturation
+            .iter()
+            .flatten()
+            .filter(|(until, _)| now < *until)
+            .map(|&(_, hint)| hint)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Records a backend `Overloaded` rejection: the slot enters a
+    /// saturation window for the backend's advertised
+    /// `retry_after_us`, during which the router goes straight to the
+    /// local fallback instead of dialing.
+    fn note_backend_overload(&mut self, slot: usize, retry_after_us: u32) {
+        self.overload_rejects += 1;
+        self.saturation[slot] = Some((
+            Instant::now() + Duration::from_micros(u64::from(retry_after_us)),
+            retry_after_us,
+        ));
+        econcast_trace::trace_instant!("cluster", "backend_overloaded", "slot" => slot as u64);
     }
 
     /// Pings every remote slot (dialing as needed), returning the
@@ -404,6 +471,7 @@ impl ClusterRouter {
             ))));
         self.routed.push(0);
         self.mixes.push(MixRecorder::new());
+        self.saturation.push(None);
         self.rebuild_ring();
         slot
     }
@@ -544,14 +612,34 @@ impl ClusterRouter {
         // tickets on this thread — the readiness driver absorbs
         // whichever backend answers first, so gathering one
         // sub-batch starts while the others are still solving. Down
-        // backends (health machine says skip) go straight to
-        // fallback.
+        // backends (health machine says skip) and saturated backends
+        // (inside a `retry_after_us` backoff window from an earlier
+        // `Overloaded`) go straight to fallback — the latter without
+        // burning a dial, so backpressure routes around a loaded
+        // backend before its health machine would notice anything.
+        let saturated: Vec<bool> = (0..nslots).map(|s| self.slot_saturated(s)).collect();
+        let skipped_saturated: u64 = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, slot)| match slot {
+                Slot::Remote(rs)
+                    if saturated[s] && !sub_idx[s].is_empty() && rs.should_attempt() =>
+                {
+                    Some(sub_idx[s].len() as u64)
+                }
+                _ => None,
+            })
+            .sum();
+        self.saturated_routes += skipped_saturated;
         let sub_batches: Vec<Option<Vec<PolicyRequest>>> = self
             .slots
             .iter()
             .enumerate()
             .map(|(s, slot)| match slot {
-                Slot::Remote(rs) if !sub_idx[s].is_empty() && rs.should_attempt() => {
+                Slot::Remote(rs)
+                    if !sub_idx[s].is_empty() && rs.should_attempt() && !saturated[s] =>
+                {
                     Some(sub_idx[s].iter().map(|&i| reqs[i].clone()).collect())
                 }
                 _ => None,
@@ -590,9 +678,20 @@ impl ClusterRouter {
                         // so the caller gets the identical typed
                         // error (or response) a local deployment
                         // would produce.
-                        if let Ok(resp) = wire {
-                            self.remote_served += 1;
-                            out[i] = Some(Ok(PolicyResponse::from_wire(&resp, reqs[i].sigma)));
+                        match wire {
+                            Ok(resp) => {
+                                self.remote_served += 1;
+                                out[i] = Some(Ok(PolicyResponse::from_wire(&resp, reqs[i].sigma)));
+                            }
+                            // The backend shed this request: open a
+                            // saturation window for its advertised
+                            // backoff and leave the request to the
+                            // fallback — the caller never sees the
+                            // rejection.
+                            Err(e) if e.code == ServiceErrorCode::Overloaded => {
+                                self.note_backend_overload(s, e.retry_after_us);
+                            }
+                            Err(_) => {}
                         }
                     }
                 }
@@ -794,6 +893,69 @@ mod tests {
             sources[0],
             StatsSource::Remote { attempt: false, .. }
         ));
+    }
+
+    #[test]
+    fn saturated_slot_routes_around_without_dialing() {
+        // A slot inside a saturation window is skipped outright — no
+        // dial, no backend_failure, no healer involvement — and every
+        // request is served by the fallback, bit-identical. The
+        // "backend" here is a listener that never accepts: if the
+        // router dialed it the dial would fail and count, so a zero
+        // failure count proves the dial never happened.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let mut cluster = ClusterRouter::new(
+            &[SlotSpec::Remote(dead)],
+            ClusterConfig {
+                service: ServiceConfig {
+                    workers: Some(1),
+                    ..ServiceConfig::default()
+                },
+                remote: RemoteConfig {
+                    dial_retries: 1,
+                    ..RemoteConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        );
+        // As if the backend had just answered `Overloaded`.
+        cluster.note_backend_overload(0, 60_000_000); // 60s window
+        assert!(cluster.slot_saturated(0));
+        assert_eq!(cluster.saturation_hint_us(), 60_000_000);
+
+        let reqs: Vec<PolicyRequest> = (2..10).map(|n| request(n, 10.0)).collect();
+        let mut single = PolicyService::new(ServiceConfig {
+            workers: Some(1),
+            ..ServiceConfig::default()
+        });
+        let expected = single.serve_batch(&reqs);
+        let got = cluster.serve_batch(&reqs);
+        for (g, e) in got.iter().zip(&expected) {
+            let (g, e) = (
+                g.as_ref().expect("served, not rejected"),
+                e.as_ref().unwrap(),
+            );
+            assert_eq!(g.throughput.to_bits(), e.throughput.to_bits());
+        }
+
+        let cs = cluster.cluster_stats();
+        assert_eq!(cs.overload_rejects, 1);
+        assert_eq!(cs.saturated_routes, reqs.len() as u64);
+        assert_eq!(cs.local_fallbacks, reqs.len() as u64);
+        assert_eq!(cs.backend_failures, 0, "no dial burned on a saturated slot");
+        assert_eq!(cs.saturated, vec![true]);
+        // Saturation is orthogonal to health: the healer never saw a
+        // thing, so the slot still reads healthy.
+        assert_eq!(cs.healthy, vec![true]);
+
+        // An expired window clears without any explicit reset.
+        cluster.note_backend_overload(0, 1); // 1µs — expires immediately
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(!cluster.slot_saturated(0));
+        assert_eq!(cluster.saturation_hint_us(), 0);
     }
 
     #[test]

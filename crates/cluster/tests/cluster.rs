@@ -228,7 +228,23 @@ fn stats_fan_in_equals_the_sum_of_backend_stats() {
         let mut direct = PolicyClient::connect(sup.addr(i), 1).expect("connect backend");
         summed.merge(&direct.stats(None).expect("backend stats"));
     }
-    assert_eq!(aggregate, summed, "fan-in must equal the backend sum");
+    // The front's admission overlay rides the aggregate: closed-loop
+    // traffic well under the queue bound sheds and degrades nothing,
+    // but the front's queue peak (the whole pipelined batch) joins
+    // the backends' peaks via max.
+    assert_eq!(aggregate.shed_rejects, summed.shed_rejects);
+    assert_eq!(aggregate.degraded_serves, summed.degraded_serves);
+    assert_eq!(aggregate.deadline_expired, summed.deadline_expired);
+    assert!(
+        aggregate.queue_depth_peak >= summed.queue_depth_peak
+            && aggregate.queue_depth_peak <= batch.len() as u64,
+        "front peak {} vs backend peak {}",
+        aggregate.queue_depth_peak,
+        summed.queue_depth_peak
+    );
+    let mut tiers_only = aggregate;
+    tiers_only.queue_depth_peak = summed.queue_depth_peak;
+    assert_eq!(tiers_only, summed, "fan-in must equal the backend sum");
     assert_eq!(aggregate.requests, batch.len() as u64);
 
     // Per-slot stats ride the same path: shard i = backend i.
@@ -352,4 +368,65 @@ fn mixed_local_remote_topology_is_bit_identical() {
     assert!(stats.remote_served > 0, "remote slot took traffic");
     assert!(stats.local_served > 0, "local slot took traffic");
     assert_eq!(stats.local_fallbacks, 0);
+}
+
+/// Topology discovery feeds a real front: addresses from the layered
+/// config (CLI beating env) dial supervisor-spawned backends, the
+/// discovered `FrontConfig` carries the overload knobs, and the served
+/// bits match the single-process reference.
+#[test]
+fn discovered_topology_serves_through_a_real_front() {
+    use econcast_cluster::{Source, Topology};
+
+    let sup =
+        Supervisor::spawn(backend_bin(), 2, SupervisorConfig::default()).expect("spawn backends");
+    let addrs = sup.addrs();
+    let cli = vec![
+        "--backends".to_string(),
+        format!("{},{}", addrs[0], addrs[1]),
+        "--queue-capacity".to_string(),
+        "64".to_string(),
+    ];
+    // The env layer offers a bogus backend list; the CLI layer must
+    // win, and provenance must say so.
+    let env = |var: &str| (var == "ECONCAST_CLUSTER_BACKENDS").then(|| "127.0.0.1:1".to_string());
+    let topo = Topology::discover(None, env, &cli).expect("discover");
+    assert_eq!(topo.backends.source, Source::Cli("--backends".into()));
+    assert_eq!(topo.queue_capacity.value, 64);
+
+    let slots = topo.slot_specs().expect("resolve backends");
+    assert_eq!(slots.len(), 2);
+    let front = ClusterFront::bind(
+        topo.listen.value.as_str(),
+        ClusterRouter::new(&slots, cluster_cfg()),
+        topo.front_config(),
+    )
+    .expect("bind front")
+    .spawn();
+
+    let batch = mixed_batch(48);
+    let reference = ShardRouter::new(RouterConfig {
+        shards: 2,
+        service: service_cfg(),
+        ..RouterConfig::default()
+    });
+    let expected = reference.serve_batch(&batch);
+
+    let mut client = PolicyClient::connect(front.addr(), 64).expect("connect");
+    let got = client.serve_batch(&batch).expect("serve");
+    for (i, wire) in got.iter().enumerate() {
+        assert_payload_identical(i, wire, &expected[i]);
+    }
+
+    // The discovered backends really served it — no silent fallback.
+    let stats = {
+        let router = front.router();
+        let guard = router.lock().unwrap();
+        guard.cluster_stats()
+    };
+    assert_eq!(stats.local_fallbacks, 0, "{stats:?}");
+    assert!(stats.remote_served >= batch.len() as u64, "{stats:?}");
+
+    drop(client);
+    front.shutdown();
 }

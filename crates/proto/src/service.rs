@@ -14,7 +14,8 @@
 //! exact):
 //!
 //! ```text
-//! Request:  [0x10][ver][corr u32][id u32][obj u8][sigma f64][tol f64]
+//! Request:  [0x10][ver][corr u32][id u32][deadline_us u32 (v6+)]
+//!           [obj u8][sigma f64][tol f64]
 //!           [listen f64][transmit f64][n u16]{ [rho f64] }×n [crc u16]
 //! Response: [0x11][ver][corr u32][id u32][tier u8][kernel u8][converged u8]
 //!           [throughput f64][t_sigma f64][oracle f64][dual_upper f64]
@@ -23,13 +24,16 @@
 //! Hello:    [0x13][ver][id u32][max_batch u16][crc u16]
 //! Welcome:  [0x14][ver][id u32][shards u16][max_batch u16][crc u16]
 //! StatsReq: [0x15][ver][id u32][shard u16][crc u16]
-//! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×16 [crc u16]
+//! Stats:    [0x16][ver][id u32][shard u16]{ [counter u64] }×k [crc u16]
+//!           (k = 20 through v5, 24 at v6)
 //! Ping:     [0x17][ver][id u32][crc u16]
 //! Pong:     [0x18][ver][id u32][crc u16]
 //! MixSeed:  [0x19][ver][id u32][count u16]
 //!           { [n u16][listen f64][transmit f64][sigma f64][mode u8]
 //!             [hits u64] }×count [crc u16]
 //! MixAck:   [0x1A][ver][id u32][absorbed u16][grids_built u16][crc u16]
+//! Overload: [0x1B][ver][corr u32][id u32][retry_after_us u32][crc u16]
+//!           (v6+ only)
 //! ```
 //!
 //! Version 2 added the response's `kernel` octet (which solve kernel
@@ -60,6 +64,20 @@
 //! encoders can stamp either version
 //! ([`ServiceMessage::encode_into_versioned`]) so a v5 binary can
 //! interoperate with a v4 peer in both directions.
+//! Version 6 is the overload-control revision: requests gained the
+//! optional `deadline_us` budget (0 = none — the caller's end-to-end
+//! latency tolerance; a server drops work it cannot finish in time
+//! and answers `Overloaded` instead of returning a late result), the
+//! `Overloaded` frame (`0x1B`, an explicit admission rejection
+//! carrying a `retry_after_us` pacing hint) joined the data plane,
+//! and four overload counters (`shed_rejects`, `degraded_serves`,
+//! `deadline_expired`, `queue_depth_peak`) appended to the stats
+//! block. All three additions are negotiated: frames stamped v4/v5
+//! keep their exact prior layouts (no deadline field, 20 stats
+//! counters), a pre-v6 frame decodes with `deadline_us = 0`, and the
+//! `Overloaded` frame is never sent to a pre-v6 peer — servers shed
+//! those connections through the degraded-serve ladder instead, so an
+//! old client sees only frames it can parse.
 //!
 //! `Hello`/`Welcome` form the connection handshake of the TCP policy
 //! server: the client announces the largest batch it intends to
@@ -84,7 +102,7 @@ use crate::error::DecodeError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Current service wire-format version.
-pub const WIRE_VERSION: u8 = 5;
+pub const WIRE_VERSION: u8 = 6;
 
 /// Oldest wire version this build still decodes (and can encode, via
 /// [`ServiceMessage::encode_into_versioned`]). A v4 data-plane frame
@@ -111,6 +129,12 @@ const TYPE_PING: u8 = 0x17;
 const TYPE_PONG: u8 = 0x18;
 const TYPE_MIX_SEED: u8 = 0x19;
 const TYPE_MIX_ACK: u8 = 0x1A;
+const TYPE_OVERLOADED: u8 = 0x1B;
+
+/// First wire version that carries the overload-control surface: the
+/// request `deadline_us` field, the `Overloaded` frame, and the four
+/// appended overload stats counters.
+pub const OVERLOAD_WIRE_VERSION: u8 = 6;
 
 /// The `shard` value that requests counters aggregated across every
 /// shard instead of one shard's.
@@ -225,6 +249,12 @@ pub enum ServiceErrorCode {
     /// The instance is heterogeneous and too large for exact
     /// enumeration, and no fallback tier covers it.
     TooLarge,
+    /// The server's admission ladder rejected the request under
+    /// overload (wire v6). Rides the dedicated `0x1B` frame — which
+    /// carries the `retry_after_us` pacing hint — never the `0x12`
+    /// code octet, so pre-v6 decoders are never shown a code they
+    /// don't know.
+    Overloaded,
 }
 
 impl ServiceErrorCode {
@@ -232,6 +262,9 @@ impl ServiceErrorCode {
         match self {
             ServiceErrorCode::BadRequest => 0,
             ServiceErrorCode::TooLarge => 1,
+            // Never rides the 0x12 code octet; encode picks the 0x1B
+            // frame for it. The value exists only for completeness.
+            ServiceErrorCode::Overloaded => 2,
         }
     }
 
@@ -257,6 +290,12 @@ pub struct WirePolicyRequest {
     pub corr: u32,
     /// Caller-chosen per-request id, echoed in the response.
     pub id: u32,
+    /// Deadline budget in microseconds (wire v6): how long the caller
+    /// is willing to wait for this answer, measured from the server's
+    /// receipt. `0` means "no deadline" (and is what every pre-v6
+    /// frame decodes to). A server that cannot finish inside the
+    /// budget answers `Overloaded` instead of a late result.
+    pub deadline_us: u32,
     /// Throughput objective.
     pub objective: WireObjective,
     /// Entropy temperature σ.
@@ -317,6 +356,11 @@ pub struct WirePolicyError {
     pub id: u32,
     /// What went wrong.
     pub code: ServiceErrorCode,
+    /// Pacing hint for [`ServiceErrorCode::Overloaded`] (wire v6):
+    /// how long the caller should back off before retrying, in
+    /// microseconds (0 = "retry whenever"). Always 0 for the other
+    /// codes — the `0x12` frame does not carry it.
+    pub retry_after_us: u32,
 }
 
 /// Connection opener: the client introduces itself before the first
@@ -468,14 +512,42 @@ pub struct WireServiceStats {
     /// Faults injected by a scripted fault plan — nonzero only under
     /// the chaos harness (wire v4).
     pub injected_faults: u64,
+    /// Requests rejected with `Overloaded` by the admission ladder
+    /// (wire v6; zero for peers answering at v4/v5 — the counter is
+    /// simply not shipped to them).
+    pub shed_rejects: u64,
+    /// Requests served from the certified degraded (grid) tier at
+    /// relaxed tolerance because the admission ladder was under
+    /// pressure (wire v6).
+    pub degraded_serves: u64,
+    /// Requests whose `deadline_us` budget expired before a result
+    /// could be produced — answered `Overloaded`, never late (wire
+    /// v6).
+    pub deadline_expired: u64,
+    /// High-water mark of the admission queue depth, in requests — a
+    /// gauge, not a counter: aggregation takes the max (wire v6).
+    pub queue_depth_peak: u64,
 }
 
 /// Number of u64 counters in [`WireServiceStats`] — pins the wire
 /// layout; adding a counter is a wire-version bump (v2 appended the
 /// two kernel-resolved exact-hit counters, v3 the byte-budget
-/// eviction counter, v4 the four cluster self-healing counters,
-/// keeping earlier slots stable).
-pub const STATS_COUNTERS: usize = 20;
+/// eviction counter, v4 the four cluster self-healing counters, v6
+/// the four overload counters, keeping earlier slots stable).
+pub const STATS_COUNTERS: usize = 24;
+
+/// Counter count of the pre-v6 stats block — what a v4/v5 frame
+/// carries; decoders fill the missing overload slots with zero.
+pub const STATS_COUNTERS_PRE_V6: usize = 20;
+
+/// How many stats counters a frame stamped `version` carries.
+fn stats_counters_for(version: u8) -> usize {
+    if version >= OVERLOAD_WIRE_VERSION {
+        STATS_COUNTERS
+    } else {
+        STATS_COUNTERS_PRE_V6
+    }
+}
 
 impl WireServiceStats {
     /// The counters in wire (declaration) order.
@@ -501,6 +573,10 @@ impl WireServiceStats {
             self.quarantines,
             self.reshard_handoffs,
             self.injected_faults,
+            self.shed_rejects,
+            self.degraded_serves,
+            self.deadline_expired,
+            self.queue_depth_peak,
         ]
     }
 
@@ -527,6 +603,10 @@ impl WireServiceStats {
             quarantines: c[17],
             reshard_handoffs: c[18],
             injected_faults: c[19],
+            shed_rejects: c[20],
+            degraded_serves: c[21],
+            deadline_expired: c[22],
+            queue_depth_peak: c[23],
         }
     }
 }
@@ -617,6 +697,9 @@ impl ServiceMessage {
                     buf.put_u32(r.corr);
                 }
                 buf.put_u32(r.id);
+                if version >= OVERLOAD_WIRE_VERSION {
+                    buf.put_u32(r.deadline_us);
+                }
                 buf.put_u8(r.objective.to_u8());
                 buf.put_f64(r.sigma);
                 buf.put_f64(r.tolerance);
@@ -652,13 +735,28 @@ impl ServiceMessage {
                 }
             }
             ServiceMessage::Error(e) => {
-                buf.put_u8(TYPE_ERROR);
-                buf.put_u8(version);
-                if version >= 5 {
+                if e.code == ServiceErrorCode::Overloaded {
+                    // Overload rejections ride their own v6 frame so
+                    // the retry hint has a place to live and pre-v6
+                    // decoders never meet an unknown code octet.
+                    assert!(
+                        version >= OVERLOAD_WIRE_VERSION,
+                        "Overloaded cannot be encoded at wire v{version}"
+                    );
+                    buf.put_u8(TYPE_OVERLOADED);
+                    buf.put_u8(version);
                     buf.put_u32(e.corr);
+                    buf.put_u32(e.id);
+                    buf.put_u32(e.retry_after_us);
+                } else {
+                    buf.put_u8(TYPE_ERROR);
+                    buf.put_u8(version);
+                    if version >= 5 {
+                        buf.put_u32(e.corr);
+                    }
+                    buf.put_u32(e.id);
+                    buf.put_u8(e.code.to_u8());
                 }
-                buf.put_u32(e.id);
-                buf.put_u8(e.code.to_u8());
             }
             ServiceMessage::Hello(h) => {
                 buf.put_u8(TYPE_HELLO);
@@ -684,8 +782,8 @@ impl ServiceMessage {
                 buf.put_u8(version);
                 buf.put_u32(r.id);
                 buf.put_u16(r.shard);
-                for counter in r.stats.to_array() {
-                    buf.put_u64(counter);
+                for counter in &r.stats.to_array()[..stats_counters_for(version)] {
+                    buf.put_u64(*counter);
                 }
             }
             ServiceMessage::Ping(p) => {
@@ -739,14 +837,20 @@ impl ServiceMessage {
     /// correlation id).
     pub fn encoded_len_versioned(&self, version: u8) -> usize {
         let corr = if version >= 5 { 4 } else { 0 };
+        let dl = if version >= OVERLOAD_WIRE_VERSION {
+            4
+        } else {
+            0
+        };
         match self {
-            ServiceMessage::Request(r) => 41 + corr + 8 * r.budgets_w.len() + 2,
+            ServiceMessage::Request(r) => 41 + corr + dl + 8 * r.budgets_w.len() + 2,
             ServiceMessage::Response(r) => 43 + corr + 16 * r.policies.len() + 2,
+            ServiceMessage::Error(e) if e.code == ServiceErrorCode::Overloaded => 14 + 2,
             ServiceMessage::Error(_) => 7 + corr + 2,
             ServiceMessage::Hello(_) => 8 + 2,
             ServiceMessage::Welcome(_) => 10 + 2,
             ServiceMessage::StatsRequest(_) => 8 + 2,
-            ServiceMessage::StatsResponse(_) => 8 + 8 * STATS_COUNTERS + 2,
+            ServiceMessage::StatsResponse(_) => 8 + 8 * stats_counters_for(version) + 2,
             ServiceMessage::Ping(_) | ServiceMessage::Pong(_) => 6 + 2,
             ServiceMessage::MixSeed(s) => 8 + 35 * s.families.len() + 2,
             ServiceMessage::MixAck(_) => 10 + 2,
@@ -771,9 +875,14 @@ impl ServiceMessage {
         // CRC check, so a corrupt version byte still surfaces as
         // BadChecksum.
         let corr_len: usize = if data[1] >= 5 { 4 } else { 0 };
+        let dl_len: usize = if data[1] >= OVERLOAD_WIRE_VERSION {
+            4
+        } else {
+            0
+        };
         let total_len = match data[0] {
             TYPE_REQUEST => {
-                let fixed = 41 + corr_len;
+                let fixed = 41 + corr_len + dl_len;
                 if data.len() < fixed {
                     return Err(DecodeError::Truncated {
                         needed: fixed + 2,
@@ -795,9 +904,10 @@ impl ServiceMessage {
                 fixed + 16 * n + 2
             }
             TYPE_ERROR => 9 + corr_len,
+            TYPE_OVERLOADED => 16,
             TYPE_HELLO | TYPE_STATS_REQUEST => 10,
             TYPE_WELCOME => 12,
-            TYPE_STATS_RESPONSE => 10 + 8 * STATS_COUNTERS,
+            TYPE_STATS_RESPONSE => 10 + 8 * stats_counters_for(data[1]),
             TYPE_PING | TYPE_PONG => 8,
             TYPE_MIX_SEED => {
                 if data.len() < 8 {
@@ -834,6 +944,11 @@ impl ServiceMessage {
             TYPE_REQUEST => {
                 let corr = if version >= 5 { cur.get_u32() } else { 0 };
                 let id = cur.get_u32();
+                let deadline_us = if version >= OVERLOAD_WIRE_VERSION {
+                    cur.get_u32()
+                } else {
+                    0
+                };
                 let objective = WireObjective::from_u8(cur.get_u8())?;
                 let sigma = cur.get_f64();
                 let tolerance = cur.get_f64();
@@ -850,6 +965,7 @@ impl ServiceMessage {
                 ServiceMessage::Request(WirePolicyRequest {
                     corr,
                     id,
+                    deadline_us,
                     objective,
                     sigma,
                     tolerance,
@@ -899,7 +1015,29 @@ impl ServiceMessage {
                 let corr = if version >= 5 { cur.get_u32() } else { 0 };
                 let id = cur.get_u32();
                 let code = ServiceErrorCode::from_u8(cur.get_u8())?;
-                ServiceMessage::Error(WirePolicyError { corr, id, code })
+                ServiceMessage::Error(WirePolicyError {
+                    corr,
+                    id,
+                    code,
+                    retry_after_us: 0,
+                })
+            }
+            TYPE_OVERLOADED => {
+                // The frame itself is v6-born: a pre-v6 stamp is a
+                // peer bug (no such binary can produce it), refused
+                // like any other version violation.
+                if version < OVERLOAD_WIRE_VERSION {
+                    return Err(DecodeError::UnsupportedVersion(version));
+                }
+                let corr = cur.get_u32();
+                let id = cur.get_u32();
+                let retry_after_us = cur.get_u32();
+                ServiceMessage::Error(WirePolicyError {
+                    corr,
+                    id,
+                    code: ServiceErrorCode::Overloaded,
+                    retry_after_us,
+                })
             }
             TYPE_HELLO => {
                 let id = cur.get_u32();
@@ -925,7 +1063,7 @@ impl ServiceMessage {
                 let id = cur.get_u32();
                 let shard = cur.get_u16();
                 let mut counters = [0u64; STATS_COUNTERS];
-                for c in &mut counters {
+                for c in counters.iter_mut().take(stats_counters_for(version)) {
                     *c = cur.get_u64();
                 }
                 ServiceMessage::StatsResponse(WireStatsResponse {
@@ -1207,6 +1345,7 @@ mod tests {
         ServiceMessage::Request(WirePolicyRequest {
             corr: 0xAB0BA,
             id: 7,
+            deadline_us: 250_000,
             objective: WireObjective::Groupput,
             sigma: 0.5,
             tolerance: 1e-3,
@@ -1245,10 +1384,28 @@ mod tests {
         let m = sample_request();
         let b = m.encode();
         assert_eq!(b.len(), m.encoded_len());
-        assert_eq!(b.len(), 45 + 24 + 2);
+        assert_eq!(b.len(), 49 + 24 + 2, "v6 request: 41 + corr + deadline");
         let (decoded, used) = ServiceMessage::decode(&b).unwrap();
         assert_eq!(decoded, m);
         assert_eq!(used, b.len());
+    }
+
+    /// A v5 encoding of a deadline-carrying request keeps the v5 byte
+    /// layout exactly (no deadline field) and decodes back with
+    /// `deadline_us = 0` — the deadline is a v6 privilege.
+    #[test]
+    fn v5_request_drops_deadline() {
+        let m = sample_request();
+        let mut b = BytesMut::new();
+        m.encode_into_versioned(&mut b, 5);
+        assert_eq!(b.len(), m.encoded_len_versioned(5));
+        assert_eq!(b.len(), 45 + 24 + 2, "v5 layout unchanged");
+        let (decoded, _) = ServiceMessage::decode(&b).unwrap();
+        let ServiceMessage::Request(mut expect) = m else {
+            unreachable!()
+        };
+        expect.deadline_us = 0;
+        assert_eq!(decoded, ServiceMessage::Request(expect));
     }
 
     #[test]
@@ -1269,11 +1426,59 @@ mod tests {
                 corr: 3,
                 id: 9,
                 code,
+                retry_after_us: 0,
             });
             let b = m.encode();
             assert_eq!(b.len(), 13);
             assert_eq!(ServiceMessage::decode(&b).unwrap().0, m);
         }
+    }
+
+    #[test]
+    fn overloaded_roundtrip_and_size() {
+        let m = ServiceMessage::Error(WirePolicyError {
+            corr: 0xC0FFEE,
+            id: 42,
+            code: ServiceErrorCode::Overloaded,
+            retry_after_us: 1_500,
+        });
+        let b = m.encode();
+        assert_eq!(b.len(), m.encoded_len());
+        assert_eq!(b.len(), 16, "0x1B frame: hdr + corr + id + retry + crc");
+        assert_eq!(b[0], 0x1B);
+        let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(used, b.len());
+        for cut in 0..b.len() {
+            assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+        // A pre-v6 stamp on the v6-born frame (valid CRC) is refused:
+        // no v5 binary can have produced it.
+        let mut forged = b.to_vec();
+        forged[1] = 5;
+        let body_len = forged.len() - 2;
+        let crc = crate::crc::crc16_ccitt(&forged[..body_len]);
+        forged[body_len..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ServiceMessage::decode(&forged),
+            Err(DecodeError::UnsupportedVersion(5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Overloaded cannot be encoded at wire v5")]
+    fn overloaded_refuses_pre_v6_encode() {
+        let m = ServiceMessage::Error(WirePolicyError {
+            corr: 1,
+            id: 2,
+            code: ServiceErrorCode::Overloaded,
+            retry_after_us: 3,
+        });
+        let mut b = BytesMut::new();
+        m.encode_into_versioned(&mut b, 5);
     }
 
     #[test]
@@ -1299,6 +1504,10 @@ mod tests {
             quarantines: 18,
             reshard_handoffs: 19,
             injected_faults: 20,
+            shed_rejects: 21,
+            degraded_serves: 22,
+            deadline_expired: 23,
+            queue_depth_peak: 24,
         };
         for m in [
             ServiceMessage::Hello(WireHello {
@@ -1346,6 +1555,28 @@ mod tests {
         assert_eq!(stats.to_array()[17], 18, "quarantines ride slot 17");
         assert_eq!(stats.to_array()[18], 19, "reshard handoffs ride slot 18");
         assert_eq!(stats.to_array()[19], 20, "injected faults ride slot 19");
+        assert_eq!(stats.to_array()[20], 21, "shed rejects ride slot 20");
+        assert_eq!(stats.to_array()[21], 22, "degraded serves ride slot 21");
+        assert_eq!(stats.to_array()[22], 23, "deadline expiries ride slot 22");
+        assert_eq!(stats.to_array()[23], 24, "queue depth peak rides slot 23");
+
+        // A v5 stats frame ships only the 20 pre-v6 counters; the
+        // overload slots come back zero, everything else intact.
+        let v6_frame = ServiceMessage::StatsResponse(WireStatsResponse {
+            id: 9,
+            shard: 2,
+            stats,
+        });
+        let mut v5_frame = BytesMut::new();
+        v6_frame.encode_into_versioned(&mut v5_frame, 5);
+        assert_eq!(v5_frame.len(), 8 + 8 * STATS_COUNTERS_PRE_V6 + 2);
+        let (decoded, _) = ServiceMessage::decode(&v5_frame).unwrap();
+        let ServiceMessage::StatsResponse(r) = decoded else {
+            panic!("stats frame decoded as something else");
+        };
+        assert_eq!(r.stats.injected_faults, 20);
+        assert_eq!(r.stats.shed_rejects, 0);
+        assert_eq!(r.stats.queue_depth_peak, 0);
     }
 
     #[test]
@@ -1555,6 +1786,7 @@ mod tests {
         let strip_corr = |m: &ServiceMessage| match m.clone() {
             ServiceMessage::Request(mut r) => {
                 r.corr = 0;
+                r.deadline_us = 0;
                 ServiceMessage::Request(r)
             }
             ServiceMessage::Response(mut r) => {
@@ -1571,6 +1803,7 @@ mod tests {
             corr: 55,
             id: 9,
             code: ServiceErrorCode::TooLarge,
+            retry_after_us: 0,
         });
         for (m, v4_len) in [
             (sample_request(), 41 + 24 + 2),
@@ -1687,6 +1920,7 @@ mod tests {
         fn prop_request_roundtrip(
             corr in any::<u32>(),
             id in any::<u32>(),
+            deadline_us in any::<u32>(),
             obj in 0u8..2,
             sigma in 0.01f64..10.0,
             tol in 1e-9f64..1.0,
@@ -1697,6 +1931,7 @@ mod tests {
             let m = ServiceMessage::Request(WirePolicyRequest {
                 corr,
                 id,
+                deadline_us,
                 objective: WireObjective::from_u8(obj).unwrap(),
                 sigma,
                 tolerance: tol,
@@ -1755,6 +1990,7 @@ mod tests {
             let m = ServiceMessage::Request(WirePolicyRequest {
                 corr,
                 id: 1,
+                deadline_us: 0,
                 objective: WireObjective::Anyput,
                 sigma: 0.5,
                 tolerance: 1e-3,
@@ -1907,6 +2143,7 @@ mod tests {
             let mut m = WirePolicyRequest {
                 corr,
                 id,
+                deadline_us: id ^ corr,
                 objective: WireObjective::Groupput,
                 sigma: 0.5,
                 tolerance: 1e-3,
@@ -1919,6 +2156,7 @@ mod tests {
             let (decoded, used) = ServiceMessage::decode(&b).unwrap();
             prop_assert_eq!(used, b.len());
             m.corr = 0;
+            m.deadline_us = 0;
             prop_assert_eq!(decoded, ServiceMessage::Request(m));
 
             let cut = ((b.len() - 1) as f64 * cut_frac) as usize;
@@ -1949,6 +2187,7 @@ mod tests {
                     corr,
                     id,
                     code: ServiceErrorCode::BadRequest,
+                    retry_after_us: 0,
                 })
             } else {
                 let ServiceMessage::Response(mut r) = sample_response() else {
@@ -2007,6 +2246,7 @@ mod tests {
                 let m = ServiceMessage::Request(WirePolicyRequest {
                     corr,
                     id,
+                    deadline_us: 0,
                     objective: WireObjective::Anyput,
                     sigma: 0.5,
                     tolerance: 1e-3,
@@ -2037,6 +2277,85 @@ mod tests {
                 got += 1;
             }
             prop_assert_eq!(got, whole);
+        }
+
+        /// Every Overloaded reply is well-formed v6 wire: exactly 16
+        /// bytes on the 0x1B type, round-trips bit-exactly for any
+        /// (corr, id, retry) triple, and every truncation or
+        /// single-byte corruption is a clean typed rejection.
+        #[test]
+        fn prop_overloaded_well_formed(
+            corr in any::<u32>(),
+            id in any::<u32>(),
+            retry_after_us in any::<u32>(),
+            cut_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let m = ServiceMessage::Error(WirePolicyError {
+                corr,
+                id,
+                code: ServiceErrorCode::Overloaded,
+                retry_after_us,
+            });
+            let b = m.encode();
+            prop_assert_eq!(b.len(), m.encoded_len());
+            prop_assert_eq!(b.len(), 16);
+            prop_assert_eq!(b[0], 0x1B);
+            prop_assert_eq!(b[1], WIRE_VERSION);
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(used, b.len());
+            for cut in 0..b.len() {
+                prop_assert!(matches!(
+                    ServiceMessage::decode(&b[..cut]),
+                    Err(DecodeError::Truncated { .. })
+                ));
+            }
+            let mut corrupt = b.to_vec();
+            let pos = ((b.len() - 1) as f64 * cut_frac) as usize;
+            corrupt[pos] ^= flip;
+            prop_assert!(ServiceMessage::decode(&corrupt).is_err());
+        }
+
+        /// Deadline interop: a v6 request round-trips its deadline
+        /// bit-exactly, while v4/v5 encodings of the same request keep
+        /// their historical layouts (no deadline octets anywhere) and
+        /// decode with `deadline_us = 0`.
+        #[test]
+        fn prop_deadline_version_interop(
+            corr in any::<u32>(),
+            id in any::<u32>(),
+            deadline_us in 1u32..u32::MAX,
+            n in 0usize..12,
+        ) {
+            let m = WirePolicyRequest {
+                corr,
+                id,
+                deadline_us,
+                objective: WireObjective::Groupput,
+                sigma: 0.5,
+                tolerance: 1e-3,
+                listen_w: 1e-3,
+                transmit_w: 1e-3,
+                budgets_w: vec![1e-3; n],
+            };
+            let b6 = ServiceMessage::Request(m.clone()).encode();
+            prop_assert_eq!(b6.len(), 49 + 8 * n + 2);
+            let (d6, _) = ServiceMessage::decode(&b6).unwrap();
+            prop_assert_eq!(d6, ServiceMessage::Request(m.clone()));
+
+            for (version, fixed) in [(5u8, 45usize), (4u8, 41usize)] {
+                let mut b = BytesMut::new();
+                ServiceMessage::Request(m.clone()).encode_into_versioned(&mut b, version);
+                prop_assert_eq!(b.len(), fixed + 8 * n + 2);
+                let (decoded, _) = ServiceMessage::decode(&b).unwrap();
+                let mut expect = m.clone();
+                expect.deadline_us = 0;
+                if version < 5 {
+                    expect.corr = 0;
+                }
+                prop_assert_eq!(decoded, ServiceMessage::Request(expect));
+            }
         }
     }
 }

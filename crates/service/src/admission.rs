@@ -1,0 +1,311 @@
+//! Admission control: the bounded queue and shed ladder in front of
+//! the socket server's `serve_batch`.
+//!
+//! ## The shed ladder
+//!
+//! Every request arriving on a TCP connection walks the ladder
+//! *before* it may join a batch:
+//!
+//! 1. **Admit** — queue depth at or below the degrade threshold
+//!    (half of [`ServiceConfig::queue_capacity`]): served normally,
+//!    at the caller's stated tolerance.
+//! 2. **Admit degraded** — depth above the degrade threshold but
+//!    within capacity: served with the tolerance relaxed by one
+//!    decade (capped at [`DEGRADED_TOLERANCE_CAP`]), which steers the
+//!    request onto the interpolation-grid tier — one Gibbs evaluation
+//!    instead of a solve. The response's weak-duality certificate
+//!    reports the *achieved* gap, so a caller can always see exactly
+//!    what accuracy it got.
+//! 3. **Shed** — depth past capacity: rejected with an explicit
+//!    `Overloaded { retry_after_us }` frame (wire v6). Never a silent
+//!    drop, never a reset.
+//!
+//! Peers that negotiated a pre-v6 wire version cannot decode the
+//! `Overloaded` frame, so rung 3 does not apply to them: they are
+//! served (degraded past the threshold) no matter the depth — exactly
+//! what the pre-overload-control server did, which is what keeps v5
+//! interop bit-identical.
+//!
+//! ## Deadlines
+//!
+//! A v6 request may carry a `deadline_us` budget, measured from
+//! server receipt. The ladder enforces it on the way *out*: a result
+//! whose request ran past its budget is replaced by `Overloaded` —
+//! the caller never receives a result it has already given up on
+//! (pinned by the `deadline_expired_request_gets_overloaded_not_a_
+//! late_result` test). Deadline-carrying requests are also served
+//! earliest-deadline-first within a batch.
+//!
+//! [`ServiceConfig::queue_capacity`]: crate::ServiceConfig::queue_capacity
+
+use crate::stats::ServiceStats;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Coarsest tolerance the degrade rung may relax a request to; also
+/// the bound on how far a degraded serve can drift from the stated
+/// tolerance (one decade, then this cap).
+pub const DEGRADED_TOLERANCE_CAP: f64 = 1e-2;
+
+/// One rung of the shed ladder, decided per request at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Serve normally at the stated tolerance.
+    Admit,
+    /// Serve at the relaxed tolerance ([`degraded_tolerance`]).
+    AdmitDegraded,
+    /// Reject with `Overloaded`; the caller should retry no sooner
+    /// than `retry_after_us`.
+    Shed {
+        /// Estimated queue-drain time in microseconds.
+        retry_after_us: u32,
+    },
+}
+
+/// The tolerance a degraded serve runs at: one decade looser than
+/// stated, capped at [`DEGRADED_TOLERANCE_CAP`], never tighter than
+/// stated.
+pub fn degraded_tolerance(stated: f64) -> f64 {
+    (stated * 10.0).min(DEGRADED_TOLERANCE_CAP).max(stated)
+}
+
+/// Shared admission state for one server front: a depth-bounded
+/// virtual queue (the requests admitted but not yet served, across
+/// every connection handler) plus the overload counters it overlays
+/// onto stats responses. All atomics — admission never takes a lock
+/// on the request path.
+#[derive(Debug)]
+pub struct AdmissionController {
+    capacity: usize,
+    degrade_at: usize,
+    max_queue_delay: Duration,
+    in_flight: AtomicUsize,
+    depth_peak: AtomicUsize,
+    shed_rejects: AtomicU64,
+    degraded_serves: AtomicU64,
+    deadline_expired: AtomicU64,
+    /// EWMA of per-request service time, nanoseconds (α = 1/8);
+    /// zero until the first observation.
+    service_ns: AtomicU64,
+    /// External backpressure hint, microseconds (e.g. the largest
+    /// `retry_after_us` a cluster front's backends are currently
+    /// advertising). Folded into [`retry_after_us`](Self::retry_after_us)
+    /// via max so shed callers back off at least as far as the
+    /// slowest layer below asked for. Zero when nothing downstream is
+    /// saturated.
+    external_hint_us: AtomicU32,
+}
+
+impl AdmissionController {
+    /// Builds a controller for a queue of `queue_capacity` requests
+    /// whose drain estimates floor at `max_queue_delay`.
+    pub fn new(queue_capacity: usize, max_queue_delay: Duration) -> Self {
+        let capacity = queue_capacity.max(1);
+        AdmissionController {
+            capacity,
+            degrade_at: (capacity / 2).max(1),
+            max_queue_delay,
+            in_flight: AtomicUsize::new(0),
+            depth_peak: AtomicUsize::new(0),
+            shed_rejects: AtomicU64::new(0),
+            degraded_serves: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            service_ns: AtomicU64::new(0),
+            external_hint_us: AtomicU32::new(0),
+        }
+    }
+
+    /// Walks one request up the ladder. `can_shed` is whether the
+    /// peer negotiated wire v6 (and can therefore decode an
+    /// `Overloaded` frame); without it the ladder tops out at the
+    /// degraded rung. An admitted request holds one queue slot until
+    /// [`release`](Self::release).
+    pub fn admit(&self, can_shed: bool) -> Admission {
+        let depth = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        if depth > self.capacity && can_shed {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shed_rejects.fetch_add(1, Ordering::Relaxed);
+            return Admission::Shed {
+                retry_after_us: self.retry_after_us(),
+            };
+        }
+        self.depth_peak.fetch_max(depth, Ordering::AcqRel);
+        if depth > self.degrade_at {
+            self.degraded_serves.fetch_add(1, Ordering::Relaxed);
+            Admission::AdmitDegraded
+        } else {
+            Admission::Admit
+        }
+    }
+
+    /// Returns `n` queue slots after their batch was served, folding
+    /// the batch's wall time into the per-request service-time EWMA
+    /// that prices [`retry_after_us`](Self::retry_after_us).
+    pub fn release(&self, n: usize, elapsed: Duration) {
+        if n == 0 {
+            return;
+        }
+        self.in_flight.fetch_sub(n, Ordering::AcqRel);
+        let per_req = (elapsed.as_nanos() / n as u128).min(u64::MAX as u128) as u64;
+        let old = self.service_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            per_req
+        } else {
+            old - old / 8 + per_req / 8
+        };
+        self.service_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// Marks one admitted request as having outlived its
+    /// `deadline_us` budget: its result was replaced by `Overloaded`,
+    /// so it counts as both expired and shed.
+    pub fn note_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        self.shed_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth (admitted, not yet served).
+    pub fn depth(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of the queue depth. The shed rung never holds
+    /// a slot, so with all-v6 traffic this never exceeds the
+    /// configured capacity (the CI overload-smoke bounded-memory
+    /// assertion); pre-v6 peers — who cannot be shed — may push it
+    /// past, exactly as far as their unsheddable requests go.
+    pub fn depth_peak(&self) -> usize {
+        self.depth_peak.load(Ordering::Acquire)
+    }
+
+    /// Publishes the current downstream backpressure hint
+    /// (microseconds): the largest `retry_after_us` any layer below
+    /// this controller is advertising, or zero when nothing is.
+    /// Overwrites the previous hint — the caller is expected to
+    /// republish its current view, not accumulate.
+    pub fn set_external_hint_us(&self, hint_us: u32) {
+        self.external_hint_us.store(hint_us, Ordering::Relaxed);
+    }
+
+    /// Estimated time until the current queue drains, floored at the
+    /// configured `max_queue_delay` (so shed callers never retry into
+    /// the same saturated window they were just rejected from) and at
+    /// the published external hint (so a front never invites a retry
+    /// sooner than its saturated backends asked for).
+    pub fn retry_after_us(&self) -> u32 {
+        let depth = self.in_flight.load(Ordering::Acquire) as u64;
+        let per_req_us = self.service_ns.load(Ordering::Relaxed) / 1_000;
+        let drain = depth.saturating_mul(per_req_us);
+        let floor = self
+            .max_queue_delay
+            .as_micros()
+            .min(u64::from(u32::MAX) as u128) as u64;
+        let hint = u64::from(self.external_hint_us.load(Ordering::Relaxed));
+        drain.max(floor).max(hint).min(u64::from(u32::MAX)) as u32
+    }
+
+    /// Overlays the overload counters onto a stats snapshot — the
+    /// admission twin of the cluster front's robustness-counter
+    /// overlay, so `shed_rejects`/`degraded_serves`/
+    /// `deadline_expired`/`queue_depth_peak` ride the same wire v6
+    /// stats block as the per-tier counters. Counters *fold in*
+    /// (sums, peak via max) rather than overwrite: a cluster front's
+    /// aggregate already carries its backends' own admission
+    /// counters, and the front's must join them, not erase them.
+    pub fn overlay(&self, stats: &mut ServiceStats) {
+        stats.shed_rejects += self.shed_rejects.load(Ordering::Relaxed);
+        stats.degraded_serves += self.degraded_serves.load(Ordering::Relaxed);
+        stats.deadline_expired += self.deadline_expired.load(Ordering::Relaxed);
+        stats.queue_depth_peak = stats.queue_depth_peak.max(self.depth_peak() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_rungs_follow_depth() {
+        let a = AdmissionController::new(4, Duration::from_millis(50));
+        // degrade_at = 2: slots 1–2 admit, 3–4 degrade, 5 sheds.
+        assert_eq!(a.admit(true), Admission::Admit);
+        assert_eq!(a.admit(true), Admission::Admit);
+        assert_eq!(a.admit(true), Admission::AdmitDegraded);
+        assert_eq!(a.admit(true), Admission::AdmitDegraded);
+        assert!(matches!(a.admit(true), Admission::Shed { .. }));
+        // The shed attempt held no slot: depth and peak stay bounded.
+        assert_eq!(a.depth(), 4);
+        assert_eq!(a.depth_peak(), 4);
+        // A pre-v6 peer cannot be shed — the ladder tops out degraded.
+        assert_eq!(a.admit(false), Admission::AdmitDegraded);
+        a.release(5, Duration::from_millis(1));
+        assert_eq!(a.depth(), 0);
+        assert_eq!(a.admit(true), Admission::Admit);
+    }
+
+    #[test]
+    fn retry_hint_floors_at_max_queue_delay_and_scales_with_depth() {
+        let a = AdmissionController::new(2, Duration::from_millis(50));
+        assert_eq!(a.admit(true), Admission::Admit);
+        assert_eq!(a.admit(true), Admission::AdmitDegraded);
+        // No service-time observation yet: the floor answers.
+        match a.admit(true) {
+            Admission::Shed { retry_after_us } => assert_eq!(retry_after_us, 50_000),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Teach it 100ms/request; two queued => ~200ms drain.
+        a.release(2, Duration::from_millis(200));
+        assert_eq!(a.admit(true), Admission::Admit);
+        assert_eq!(a.admit(true), Admission::AdmitDegraded);
+        match a.admit(true) {
+            Admission::Shed { retry_after_us } => {
+                assert!(retry_after_us >= 150_000, "got {retry_after_us}");
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_hint_raises_the_retry_floor() {
+        let a = AdmissionController::new(1, Duration::from_millis(10));
+        let _ = a.admit(true);
+        match a.admit(true) {
+            Admission::Shed { retry_after_us } => assert_eq!(retry_after_us, 10_000),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // A saturated backend advertising 250ms dominates the local
+        // floor; clearing it restores the local estimate.
+        a.set_external_hint_us(250_000);
+        match a.admit(true) {
+            Admission::Shed { retry_after_us } => assert_eq!(retry_after_us, 250_000),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        a.set_external_hint_us(0);
+        match a.admit(true) {
+            Admission::Shed { retry_after_us } => assert_eq!(retry_after_us, 10_000),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_tolerance_relaxes_one_decade_capped() {
+        assert_eq!(degraded_tolerance(1e-4), 1e-3);
+        assert_eq!(degraded_tolerance(1e-3), 1e-2);
+        assert_eq!(degraded_tolerance(5e-3), 1e-2);
+        // Already past the cap: never tightened.
+        assert_eq!(degraded_tolerance(5e-2), 5e-2);
+    }
+
+    #[test]
+    fn overlay_reports_counters_and_peak() {
+        let a = AdmissionController::new(1, Duration::from_millis(10));
+        let _ = a.admit(true);
+        assert!(matches!(a.admit(true), Admission::Shed { .. }));
+        a.note_deadline_expired();
+        let mut s = ServiceStats::default();
+        a.overlay(&mut s);
+        assert_eq!(s.shed_rejects, 2); // one shed + one expiry
+        assert_eq!(s.deadline_expired, 1);
+        assert_eq!(s.queue_depth_peak, 1);
+    }
+}

@@ -312,6 +312,23 @@ impl PolicyClient {
     /// [`collect`](PolicyClient::collect) or
     /// [`try_collect`](PolicyClient::try_collect).
     pub fn submit_batch(&mut self, reqs: &[PolicyRequest]) -> std::io::Result<Ticket> {
+        self.submit_batch_deadline(reqs, None)
+    }
+
+    /// [`submit_batch`](PolicyClient::submit_batch) with a deadline
+    /// budget stamped on every request (wire v6): the server sheds —
+    /// with an explicit `Overloaded` — any request it cannot answer
+    /// within `deadline` of receiving it, rather than serving it
+    /// late. On a pre-v6 connection the stamp has no wire slot and is
+    /// silently dropped, like a v6 server talking to a v5 one.
+    pub fn submit_batch_deadline(
+        &mut self,
+        reqs: &[PolicyRequest],
+        deadline: Option<Duration>,
+    ) -> std::io::Result<Ticket> {
+        let deadline_us = deadline
+            .map(|d| d.as_micros().min(u128::from(u32::MAX)) as u32)
+            .unwrap_or(0);
         let base = self.next_id;
         self.next_id = self.next_id.wrapping_add(reqs.len() as u32);
         let corr = self.take_corr();
@@ -321,6 +338,7 @@ impl PolicyClient {
             .map(|(k, req)| {
                 let mut w = req.to_wire(base.wrapping_add(k as u32));
                 w.corr = corr;
+                w.deadline_us = deadline_us;
                 ServiceMessage::Request(w)
             })
             .collect();

@@ -49,6 +49,7 @@
 //! matching blocking client, and [`prewarm`] builds interpolation
 //! grids in the background from each shard's observed request mix.
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod grid;
@@ -62,6 +63,7 @@ pub mod stats;
 pub mod wire;
 pub mod workload;
 
+pub use admission::{degraded_tolerance, Admission, AdmissionController};
 pub use cache::{CachedPolicy, LruCache};
 pub use client::{PolicyClient, Ticket, WireResult};
 pub use econcast_trace::TraceConfig;
@@ -69,8 +71,8 @@ pub use grid::{FamilyKey, GridConfig, PolicyGrid};
 pub use prewarm::{mix_from_wire, mix_to_wire, MixRecorder, PrewarmConfig};
 pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
 pub use server::{
-    serve_connection, serve_connection_gated, serve_connection_opts, ConnOptions, PolicyServer,
-    ServeTarget, ServerConfig, ServerHandle,
+    serve_connection, serve_connection_admitted, serve_connection_gated, serve_connection_opts,
+    ConnOptions, PolicyServer, ServeTarget, ServerConfig, ServerHandle,
 };
 pub use service::{PolicyService, ServiceConfig};
 pub use shard::{RouterConfig, ShardRouter};
@@ -79,4 +81,4 @@ pub use wire::WireServer;
 
 // The tier and kernel discriminants live in the proto crate (they
 // are part of the wire format); re-export them as native API too.
-pub use econcast_proto::service::{PolicyKernel, ServedTier};
+pub use econcast_proto::service::{PolicyKernel, ServedTier, ServiceErrorCode};

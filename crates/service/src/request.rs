@@ -72,6 +72,13 @@ pub enum ServiceError {
         /// The service's exact-enumeration ceiling.
         max: usize,
     },
+    /// The admission queue is past its shed ladder: the request was
+    /// rejected (or its deadline expired) rather than served late.
+    /// Rides the dedicated v6 `Overloaded` frame, never `0x12`.
+    Overloaded {
+        /// Server's drain-time estimate: retry no sooner than this.
+        retry_after_us: u32,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -82,6 +89,9 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "heterogeneous instance with {n} nodes exceeds the exact solver ceiling ({max})"
             ),
+            ServiceError::Overloaded { retry_after_us } => {
+                write!(f, "server overloaded; retry after {retry_after_us}µs")
+            }
         }
     }
 }
@@ -94,6 +104,7 @@ impl ServiceError {
         match self {
             ServiceError::BadRequest(_) => ServiceErrorCode::BadRequest,
             ServiceError::TooLarge { .. } => ServiceErrorCode::TooLarge,
+            ServiceError::Overloaded { .. } => ServiceErrorCode::Overloaded,
         }
     }
 }
@@ -194,6 +205,7 @@ impl PolicyRequest {
         WirePolicyRequest {
             corr: 0,
             id,
+            deadline_us: 0,
             objective: mode_to_wire(self.objective),
             sigma: self.sigma,
             tolerance: self.tolerance,
@@ -267,5 +279,9 @@ pub fn error_to_wire(err: &ServiceError, id: u32) -> WirePolicyError {
         corr: 0,
         id,
         code: err.wire_code(),
+        retry_after_us: match err {
+            ServiceError::Overloaded { retry_after_us } => *retry_after_us,
+            _ => 0,
+        },
     }
 }

@@ -32,13 +32,14 @@
 //! observed request families off the request path (see
 //! [`crate::prewarm`]).
 
+use crate::admission::{degraded_tolerance, Admission, AdmissionController};
 use crate::grid::FamilyKey;
 use crate::request::{PolicyRequest, PolicyResponse, ServiceError};
 use crate::shard::{RouterConfig, ShardRouter};
 use bytes::BytesMut;
 use econcast_proto::service::{
     ServiceCodec, ServiceErrorCode, ServiceMessage, WireMixAck, WirePolicyError, WirePong,
-    WireStatsResponse, WireWelcome, STATS_SHARD_AGGREGATE, WIRE_VERSION,
+    WireStatsResponse, WireWelcome, OVERLOAD_WIRE_VERSION, STATS_SHARD_AGGREGATE, WIRE_VERSION,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -190,6 +191,11 @@ impl PolicyServer {
         let stop = Arc::new(AtomicBool::new(false));
         let gate = Arc::new(ConnGate::new(self.cfg.max_connections));
         let router = Arc::clone(&self.router);
+        let svc = self.cfg.router.service;
+        let admission = Arc::new(AdmissionController::new(
+            svc.queue_capacity,
+            svc.max_queue_delay,
+        ));
         let opts = ConnOptions {
             max_batch: self.cfg.max_batch.max(1),
             max_wire_version: self.cfg.max_wire_version,
@@ -197,7 +203,7 @@ impl PolicyServer {
 
         let acceptor = {
             let (stop, router) = (Arc::clone(&stop), Arc::clone(&router));
-            let gate = Arc::clone(&gate);
+            let (gate, admission) = (Arc::clone(&gate), Arc::clone(&admission));
             std::thread::spawn(move || {
                 // Claim a handler slot *before* accepting, so when the
                 // pool is full excess clients really do wait in the
@@ -222,7 +228,7 @@ impl PolicyServer {
                         break;
                     }
                     let (gate, router) = (Arc::clone(&gate), Arc::clone(&router));
-                    let stop = Arc::clone(&stop);
+                    let (stop, admission) = (Arc::clone(&stop), Arc::clone(&admission));
                     std::thread::spawn(move || {
                         // Return the slot on unwind too: a panicking
                         // handler (bad request tripping a solver
@@ -234,7 +240,7 @@ impl PolicyServer {
                             }
                         }
                         let _slot = SlotGuard(gate);
-                        serve_connection_opts(stream, &*router, opts, &stop);
+                        serve_connection_admitted(stream, &*router, opts, &admission, &stop);
                     });
                 }
             })
@@ -257,6 +263,7 @@ impl PolicyServer {
         ServerHandle {
             addr,
             router,
+            admission,
             stop,
             gate,
             acceptor: Some(acceptor),
@@ -270,6 +277,7 @@ impl PolicyServer {
 pub struct ServerHandle {
     addr: SocketAddr,
     router: Arc<ShardRouter>,
+    admission: Arc<AdmissionController>,
     stop: Arc<AtomicBool>,
     gate: Arc<ConnGate>,
     acceptor: Option<JoinHandle<()>>,
@@ -285,6 +293,12 @@ impl ServerHandle {
     /// The shard router (stats, manual prewarming).
     pub fn router(&self) -> &Arc<ShardRouter> {
         &self.router
+    }
+
+    /// The admission controller shared by every connection handler
+    /// (queue depth, overload counters).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
     }
 
     /// Stops accepting, joins the acceptor and prewarmer threads, and
@@ -443,6 +457,24 @@ pub fn serve_connection_gated(
     );
 }
 
+/// [`serve_connection_opts`] with the overload-control plane armed:
+/// every request walks `admission`'s shed ladder before joining a
+/// batch (see [`crate::admission`]), deadline-carrying batches are
+/// served earliest-deadline-first, results that outlived their
+/// `deadline_us` budget are replaced by `Overloaded`, and aggregate
+/// stats responses carry the overload counters. [`PolicyServer`]
+/// handlers run this; the plain entry points serve unadmitted (the
+/// closed-loop in-process paths, where the caller is the queue).
+pub fn serve_connection_admitted(
+    stream: TcpStream,
+    target: &impl ServeTarget,
+    opts: ConnOptions,
+    admission: &AdmissionController,
+    stop: &AtomicBool,
+) {
+    serve_connection_inner(stream, target, opts, Some(admission), stop);
+}
+
 /// The full-option connection loop behind [`serve_connection`] and
 /// [`serve_connection_gated`].
 ///
@@ -456,9 +488,30 @@ pub fn serve_connection_gated(
 /// request's correlation id and are encoded at the version the peer
 /// spoke, clamped to [`ConnOptions::max_wire_version`].
 pub fn serve_connection_opts(
+    stream: TcpStream,
+    target: &impl ServeTarget,
+    opts: ConnOptions,
+    stop: &AtomicBool,
+) {
+    serve_connection_inner(stream, target, opts, None, stop);
+}
+
+/// One admitted request's batch bookkeeping: reply routing (`corr`,
+/// `id`) plus what the deadline ladder needs on the way out.
+#[derive(Debug, Clone, Copy)]
+struct ReqMeta {
+    corr: u32,
+    id: u32,
+    /// Deadline budget in µs from `arrival`; 0 = none.
+    deadline_us: u32,
+    arrival: Instant,
+}
+
+fn serve_connection_inner(
     mut stream: TcpStream,
     target: &impl ServeTarget,
     opts: ConnOptions,
+    admission: Option<&AdmissionController>,
     stop: &AtomicBool,
 ) {
     use std::io::ErrorKind::{Interrupted, TimedOut, WouldBlock};
@@ -472,7 +525,7 @@ pub fn serve_connection_opts(
     // but the responses themselves.
     let mut buf = vec![0u8; 256 * 1024];
     let mut out = BytesMut::new();
-    let mut ids: Vec<(u32, u32)> = Vec::new();
+    let mut ids: Vec<ReqMeta> = Vec::new();
     let mut batch: Vec<PolicyRequest> = Vec::new();
     let mut draining_since: Option<Instant> = None;
     loop {
@@ -543,20 +596,54 @@ pub fn serve_connection_opts(
                     // A new correlation id closes the previous batch:
                     // serve and flush it so its submitter's replies
                     // stream out before the next batch is solved.
-                    if let Some(&(corr, _)) = ids.first() {
-                        if corr != w.corr {
-                            serve_into(target, &mut ids, &mut batch, &mut out, version);
+                    if let Some(m) = ids.first() {
+                        if m.corr != w.corr {
+                            serve_into(target, &mut ids, &mut batch, &mut out, version, admission);
                             if flush(&mut stream, &mut out).is_err() {
                                 return;
                             }
                         }
                     }
-                    ids.push((w.corr, w.id));
-                    batch.push(PolicyRequest::from_wire(&w));
-                    if batch.len() >= max_batch {
-                        serve_into(target, &mut ids, &mut batch, &mut out, version);
-                        if flush(&mut stream, &mut out).is_err() {
-                            return;
+                    // The shed ladder: only peers that negotiated v6
+                    // can decode an `Overloaded` frame; older peers
+                    // top out at the degraded rung, never a drop.
+                    let can_shed = version >= OVERLOAD_WIRE_VERSION;
+                    let decision = admission
+                        .map(|a| a.admit(can_shed))
+                        .unwrap_or(Admission::Admit);
+                    match decision {
+                        Admission::Shed { retry_after_us } => {
+                            ServiceCodec::encode_versioned(
+                                &ServiceMessage::Error(WirePolicyError {
+                                    corr: w.corr,
+                                    id: w.id,
+                                    code: ServiceErrorCode::Overloaded,
+                                    retry_after_us,
+                                }),
+                                &mut out,
+                                version,
+                            );
+                        }
+                        rung => {
+                            let mut req = PolicyRequest::from_wire(&w);
+                            if rung == Admission::AdmitDegraded {
+                                req.tolerance = degraded_tolerance(req.tolerance);
+                            }
+                            ids.push(ReqMeta {
+                                corr: w.corr,
+                                id: w.id,
+                                deadline_us: w.deadline_us,
+                                arrival: Instant::now(),
+                            });
+                            batch.push(req);
+                            if batch.len() >= max_batch {
+                                serve_into(
+                                    target, &mut ids, &mut batch, &mut out, version, admission,
+                                );
+                                if flush(&mut stream, &mut out).is_err() {
+                                    return;
+                                }
+                            }
                         }
                     }
                 }
@@ -573,15 +660,28 @@ pub fn serve_connection_opts(
                 }
                 ServiceMessage::StatsRequest(r) => {
                     let msg = match target.stats(r.shard) {
-                        Some(stats) => ServiceMessage::StatsResponse(WireStatsResponse {
-                            id: r.id,
-                            shard: r.shard,
-                            stats: stats.to_wire(),
-                        }),
+                        Some(mut stats) => {
+                            // The aggregate carries the overload
+                            // counters: admission is front-wide, not
+                            // per shard, so only the aggregate view
+                            // overlays it (like the cluster front's
+                            // robustness counters).
+                            if r.shard == STATS_SHARD_AGGREGATE {
+                                if let Some(a) = admission {
+                                    a.overlay(&mut stats);
+                                }
+                            }
+                            ServiceMessage::StatsResponse(WireStatsResponse {
+                                id: r.id,
+                                shard: r.shard,
+                                stats: stats.to_wire(),
+                            })
+                        }
                         None => ServiceMessage::Error(WirePolicyError {
                             corr: 0,
                             id: r.id,
                             code: ServiceErrorCode::BadRequest,
+                            retry_after_us: 0,
                         }),
                     };
                     ServiceCodec::encode_versioned(&msg, &mut out, version);
@@ -620,7 +720,7 @@ pub fn serve_connection_opts(
                 | ServiceMessage::MixAck(_) => {}
             }
         }
-        serve_into(target, &mut ids, &mut batch, &mut out, version);
+        serve_into(target, &mut ids, &mut batch, &mut out, version, admission);
         if flush(&mut stream, &mut out).is_err() {
             return;
         }
@@ -643,26 +743,58 @@ fn flush(stream: &mut TcpStream, out: &mut BytesMut) -> std::io::Result<()> {
 
 /// Serves the buffered requests (if any) as one routed batch and
 /// encodes the replies, echoing each request's correlation id.
+///
+/// With `admission` armed this is also where the deadline ladder
+/// lands: deadline-carrying batches are reordered earliest-deadline-
+/// first before serving, and a result whose request ran past its
+/// `deadline_us` budget is replaced by an `Overloaded` frame — the
+/// caller gave up on it, so a late (stale) result must never reach
+/// the wire. Served batches return their queue slots and feed the
+/// controller's service-time estimate.
 fn serve_into(
     target: &impl ServeTarget,
-    ids: &mut Vec<(u32, u32)>,
+    ids: &mut Vec<ReqMeta>,
     batch: &mut Vec<PolicyRequest>,
     out: &mut BytesMut,
     version: u8,
+    admission: Option<&AdmissionController>,
 ) {
     if batch.is_empty() {
         return;
     }
+    if ids.iter().any(|m| m.deadline_us != 0) {
+        sort_by_deadline(ids, batch);
+    }
+    let t_serve = Instant::now();
     let results = target.serve(batch);
+    if let Some(a) = admission {
+        a.release(results.len(), t_serve.elapsed());
+    }
     let t0 = econcast_trace::armed_now();
-    for ((corr, id), result) in ids.drain(..).zip(&results) {
-        let mut msg = match result {
-            Ok(resp) => ServiceMessage::Response(resp.to_wire(id)),
-            Err(e) => ServiceMessage::Error(crate::request::error_to_wire(e, id)),
+    for (m, result) in ids.drain(..).zip(&results) {
+        let expired = m.deadline_us != 0
+            && m.arrival.elapsed() > Duration::from_micros(u64::from(m.deadline_us));
+        let mut msg = if expired {
+            // `deadline_us` only decodes on a v6 frame, so `version`
+            // is ≥ 6 here and the peer can decode the reply.
+            if let Some(a) = admission {
+                a.note_deadline_expired();
+            }
+            ServiceMessage::Error(WirePolicyError {
+                corr: m.corr,
+                id: m.id,
+                code: ServiceErrorCode::Overloaded,
+                retry_after_us: admission.map(|a| a.retry_after_us()).unwrap_or(0),
+            })
+        } else {
+            match result {
+                Ok(resp) => ServiceMessage::Response(resp.to_wire(m.id)),
+                Err(e) => ServiceMessage::Error(crate::request::error_to_wire(e, m.id)),
+            }
         };
         match &mut msg {
-            ServiceMessage::Response(r) => r.corr = corr,
-            ServiceMessage::Error(e) => e.corr = corr,
+            ServiceMessage::Response(r) => r.corr = m.corr,
+            ServiceMessage::Error(e) => e.corr = m.corr,
             _ => unreachable!(),
         }
         ServiceCodec::encode_versioned(&msg, out, version);
@@ -674,4 +806,26 @@ fn serve_into(
         &[("msgs", results.len() as u64)],
     );
     batch.clear();
+}
+
+/// Reorders one batch (metadata and requests in lockstep) earliest-
+/// deadline-first; requests without a deadline keep their relative
+/// order at the back. Replies demultiplex by id on the client, so
+/// serving order is free to differ from submission order.
+fn sort_by_deadline(ids: &mut Vec<ReqMeta>, batch: &mut Vec<PolicyRequest>) {
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by_key(|&i| {
+        let m = &ids[i];
+        (
+            m.deadline_us == 0,
+            m.arrival + Duration::from_micros(u64::from(m.deadline_us)),
+        )
+    });
+    let old_ids = std::mem::take(ids);
+    let mut old_batch: Vec<Option<PolicyRequest>> =
+        std::mem::take(batch).into_iter().map(Some).collect();
+    for &i in &order {
+        ids.push(old_ids[i]);
+        batch.push(old_batch[i].take().expect("permutation visits once"));
+    }
 }

@@ -105,6 +105,19 @@ pub struct ServiceConfig {
     /// [`econcast_trace::TraceConfig`]). Default off — every trace
     /// macro then costs one relaxed atomic load and a branch.
     pub trace: econcast_trace::TraceConfig,
+    /// Admission-queue capacity (requests) in front of `serve_batch`
+    /// on the socket server. Past it, wire-v6 callers get an explicit
+    /// `Overloaded { retry_after_us }`; pre-v6 callers (which cannot
+    /// decode that frame) are served through the full degrade ladder
+    /// instead — never a silent drop or reset either way. The
+    /// in-process `serve_batch` path is unaffected (closed-loop, the
+    /// caller *is* the queue).
+    pub queue_capacity: usize,
+    /// Longest a request may wait in the admission queue before the
+    /// shed ladder treats the queue as saturated; also the implied
+    /// deadline for requests that carry none. Feeds the
+    /// `retry_after_us` drain estimate on rejects.
+    pub max_queue_delay: std::time::Duration,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +131,8 @@ impl Default for ServiceConfig {
             lazy_grid_builds: true,
             max_cache_bytes: None,
             trace: econcast_trace::TraceConfig::default(),
+            queue_capacity: 256,
+            max_queue_delay: std::time::Duration::from_millis(50),
         }
     }
 }
@@ -328,11 +343,17 @@ impl PolicyService {
             lru_len: self.lru.len() as u64,
             byte_evictions: self.lru.byte_evictions(),
             // The cluster self-healing counters are overlays owned by
-            // the cluster front; a plain service never counts them.
+            // the cluster front, and the overload counters by the
+            // socket server's admission controller; a plain service
+            // never counts either.
             auto_respawns: 0,
             quarantines: 0,
             reshard_handoffs: 0,
             injected_faults: 0,
+            shed_rejects: 0,
+            degraded_serves: 0,
+            deadline_expired: 0,
+            queue_depth_peak: 0,
         }
     }
 

@@ -69,6 +69,23 @@ pub struct ServiceStats {
     /// Faults injected by a scripted fault plan — nonzero only under
     /// the chaos harness (cluster overlay, wire v4).
     pub injected_faults: u64,
+    /// Requests rejected with `Overloaded` past the shed ladder
+    /// (admission overlay, wire v6).
+    pub shed_rejects: u64,
+    /// Requests served from the interpolation-grid tier at a relaxed —
+    /// still certificate-reported — tolerance because the admission
+    /// queue was past its degrade threshold (admission overlay, v6).
+    pub degraded_serves: u64,
+    /// Requests whose `deadline_us` budget expired before (or during)
+    /// service; each also counts in
+    /// [`shed_rejects`](Self::shed_rejects) — the caller saw an
+    /// `Overloaded`, never a late result (admission overlay, v6).
+    pub deadline_expired: u64,
+    /// High-water mark of the admission queue depth — a gauge, not a
+    /// counter: [`merge`](Self::merge) takes the max, and the CI
+    /// overload-smoke job asserts it stays within `queue_capacity`
+    /// (bounded queue memory). Wire v6.
+    pub queue_depth_peak: u64,
 }
 
 impl ServiceStats {
@@ -90,7 +107,9 @@ impl ServiceStats {
     /// Accumulates another snapshot into this one (counter-wise sum) —
     /// how per-shard snapshots aggregate into a deployment total.
     /// `lru_len` sums too: shards hold disjoint key ranges, so the sum
-    /// is the total resident entries.
+    /// is the total resident entries. `queue_depth_peak` is the one
+    /// non-sum: shards share a single admission queue, so the
+    /// deployment peak is the max of the snapshots, not their sum.
     pub fn merge(&mut self, other: &ServiceStats) {
         self.requests += other.requests;
         self.batches += other.batches;
@@ -112,6 +131,10 @@ impl ServiceStats {
         self.quarantines += other.quarantines;
         self.reshard_handoffs += other.reshard_handoffs;
         self.injected_faults += other.injected_faults;
+        self.shed_rejects += other.shed_rejects;
+        self.degraded_serves += other.degraded_serves;
+        self.deadline_expired += other.deadline_expired;
+        self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
     }
 
     /// The wire form of this snapshot (for `StatsResponse` messages).
@@ -137,6 +160,10 @@ impl ServiceStats {
             quarantines: self.quarantines,
             reshard_handoffs: self.reshard_handoffs,
             injected_faults: self.injected_faults,
+            shed_rejects: self.shed_rejects,
+            degraded_serves: self.degraded_serves,
+            deadline_expired: self.deadline_expired,
+            queue_depth_peak: self.queue_depth_peak,
         }
     }
 
@@ -163,6 +190,10 @@ impl ServiceStats {
             quarantines: w.quarantines,
             reshard_handoffs: w.reshard_handoffs,
             injected_faults: w.injected_faults,
+            shed_rejects: w.shed_rejects,
+            degraded_serves: w.degraded_serves,
+            deadline_expired: w.deadline_expired,
+            queue_depth_peak: w.queue_depth_peak,
         }
     }
 }
@@ -192,18 +223,23 @@ mod tests {
         assert_eq!(s.quarantines, 18);
         assert_eq!(s.reshard_handoffs, 19);
         assert_eq!(s.injected_faults, 20);
+        assert_eq!(s.shed_rejects, 21);
+        assert_eq!(s.degraded_serves, 22);
+        assert_eq!(s.deadline_expired, 23);
+        assert_eq!(s.queue_depth_peak, 24);
     }
 
     #[test]
-    fn merge_sums_every_counter() {
+    fn merge_sums_every_counter_except_the_peak_gauge() {
         let s = counting();
         let mut total = ServiceStats::default();
         total.merge(&s);
         total.merge(&s);
-        assert_eq!(
-            total.to_wire().to_array(),
-            s.to_wire().to_array().map(|c| 2 * c)
-        );
+        let mut expect = s.to_wire().to_array().map(|c| 2 * c);
+        // queue_depth_peak is a gauge: merging identical snapshots
+        // keeps the max, not the sum.
+        *expect.last_mut().unwrap() = s.queue_depth_peak;
+        assert_eq!(total.to_wire().to_array(), expect);
         assert_eq!(total.served(), 2 * s.served());
     }
 }

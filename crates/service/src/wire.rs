@@ -90,6 +90,7 @@ impl WireServer {
                             corr: 0,
                             id: r.id,
                             code: ServiceErrorCode::BadRequest,
+                            retry_after_us: 0,
                         })
                     };
                     ServiceCodec::encode(&msg, &mut out);

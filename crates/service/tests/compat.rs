@@ -1,7 +1,8 @@
-//! Cross-version wire interop: a v4-era client against today's v5
-//! server, and today's client against a v4-pinned server, must both
-//! negotiate down to wire v4 and round-trip a mixed batch
-//! bit-identical to the in-process service.
+//! Cross-version wire interop: v4- and v5-era clients against
+//! today's v6 server, and today's client against a v4-pinned server,
+//! must all negotiate down and round-trip a mixed batch bit-identical
+//! to the in-process service — overload control (wire v6) must be
+//! invisible to a closed-loop legacy peer.
 
 use econcast_proto::service::WIRE_VERSION;
 use econcast_service::workload::mixed_batch;
@@ -73,12 +74,12 @@ fn assert_payload_bits(
 }
 
 #[test]
-fn v4_client_against_v5_server() {
+fn v4_client_against_current_server() {
     // A client pinned to wire v4 — on-the-wire identical to the
     // pre-pipelining binary — gets served by today's server: the
     // welcome downgrades the connection and the batch round-trips
     // bit-identical, with no correlation ids anywhere on the stream.
-    assert_eq!(WIRE_VERSION, 5, "test written against wire v5");
+    assert_eq!(WIRE_VERSION, 6, "test written against wire v6");
     let batch = mixed_batch(24);
     let expected = reference(&batch);
 
@@ -99,7 +100,42 @@ fn v4_client_against_v5_server() {
 }
 
 #[test]
-fn v5_client_against_v4_server() {
+fn v5_client_against_v6_server() {
+    // A v5-pinned client (the PR-8 pipelined binary: correlation ids,
+    // no deadline slot) against today's v6 server. Closed-loop — the
+    // admission ladder never fires — so every reply must be
+    // bit-identical to the in-process service, and the pipelined
+    // ticket path must behave exactly as it did at v5.
+    let batch = mixed_batch(24);
+    let expected = reference(&batch);
+
+    let handle = PolicyServer::bind("127.0.0.1:0", server(WIRE_VERSION))
+        .expect("bind")
+        .spawn();
+    let mut client =
+        PolicyClient::connect_versioned(handle.addr(), batch.len() as u16, 5).expect("connect v5");
+    assert_eq!(client.wire_version(), 5, "server honors the v5 hello");
+
+    let got = client.serve_batch(&batch).expect("round trip at v5");
+    assert_payload_bits(&got, &expected);
+
+    // Pipelined tickets interleave exactly like they did against a
+    // v5 server.
+    let (a, b) = batch.split_at(12);
+    let ta = client.submit_batch(a).expect("submit a");
+    let tb = client.submit_batch(b).expect("submit b");
+    let got_b = client.collect(tb).expect("collect b");
+    let got_a = client.collect(ta).expect("collect a");
+    assert_payload_bits(&got_a, &expected[..12]);
+    assert_payload_bits(&got_b, &expected[12..]);
+
+    client.ping().expect("ping at v5");
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn v6_client_against_v4_server() {
     // Today's client dials a server pinned to wire v4 (emulating an
     // older binary: it rejects the v5 hello outright). The client's
     // fallback redial lands the connection at v4 and the batch still

@@ -80,7 +80,9 @@ fn tcp_sharded_responses_bit_identical_to_in_process() {
     }
 
     // Stats over the wire: every request is accounted for, across all
-    // shards, and per-shard snapshots sum to the aggregate.
+    // shards, and per-shard snapshots sum to the aggregate — modulo
+    // the admission overlay, which is front-wide (like the cluster's
+    // robustness counters) and rides the aggregate only.
     let aggregate = client.stats(None).expect("aggregate stats");
     assert_eq!(aggregate.requests, batch.len() as u64);
     let mut summed = econcast_service::ServiceStats::default();
@@ -90,7 +92,19 @@ fn tcp_sharded_responses_bit_identical_to_in_process() {
         live_shards += u32::from(shard.requests > 0);
         summed.merge(&shard);
     }
-    assert_eq!(summed, aggregate);
+    // Closed-loop run well under capacity: nothing shed or degraded,
+    // but the queue saw the batch pass through.
+    assert_eq!(aggregate.shed_rejects, 0);
+    assert_eq!(aggregate.degraded_serves, 0);
+    assert_eq!(aggregate.deadline_expired, 0);
+    assert!(
+        aggregate.queue_depth_peak >= 1 && aggregate.queue_depth_peak <= batch.len() as u64,
+        "queue peak {} out of range",
+        aggregate.queue_depth_peak
+    );
+    let mut tiers_only = aggregate;
+    tiers_only.queue_depth_peak = 0;
+    assert_eq!(summed, tiers_only);
     assert!(live_shards >= 2, "the mix should span shards");
 
     drop(client);
@@ -364,7 +378,7 @@ fn corrupt_mid_stream_reply_fails_the_call_not_prior_results() {
 
     let batch = mixed_batch(2);
     let mut client = PolicyClient::connect(addr, 2).expect("connect");
-    assert_eq!(WIRE_VERSION, 5, "test written against wire v5");
+    assert_eq!(WIRE_VERSION, 6, "test written against wire v6");
 
     // Batch 1: clean round trip; keep the results.
     let first = client.serve_batch(&batch).expect("clean batch");

@@ -177,6 +177,7 @@ fn wire_server_answers_bad_requests_with_error_messages() {
         &ServiceMessage::Request(WirePolicyRequest {
             corr: 0,
             id: 1,
+            deadline_us: 0,
             objective: WireObjective::Groupput,
             sigma: -1.0,
             tolerance: 1e-2,
@@ -190,6 +191,7 @@ fn wire_server_answers_bad_requests_with_error_messages() {
         &ServiceMessage::Request(WirePolicyRequest {
             corr: 0,
             id: 2,
+            deadline_us: 0,
             objective: WireObjective::Groupput,
             sigma: 0.5,
             tolerance: 1e-2,
