@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_gate --fresh FILE [--baseline-dir DIR] [--max-regression PCT]
-//!            [--max-latency-regression PCT]
+//!            [--max-latency-regression PCT] [--max-metrics-overhead PCT]
 //! ```
 //!
 //! Compares the fresh `BENCH_*.json` against the newest committed
@@ -14,8 +14,18 @@
 //! latency threshold (default 50). Exits 0 with a notice when no
 //! comparable baseline exists (a fresh machine or thread count is not
 //! a regression).
+//!
+//! One check binds even without a baseline: `warm_rps_metrics_on`, the
+//! always-on metrics-plane overhead. The fresh record's warm batch-256
+//! row with recording on must hold within `--max-metrics-overhead`
+//! percent (default 5) of its recording-off twin from the *same* run —
+//! paired within one record, so machine speed divides out and the
+//! contract holds from the first run on any machine.
 
-use econcast_bench::gate::{bench_doc, compare, parse_json, ratio_rows, BenchDoc};
+use econcast_bench::gate::{
+    bench_doc, compare, metrics_overhead_check, parse_json, ratio_rows, BenchDoc,
+    METRICS_OVERHEAD_BATCH,
+};
 use std::path::{Path, PathBuf};
 
 fn load(path: &Path) -> Result<BenchDoc, String> {
@@ -35,7 +45,7 @@ fn main() {
     let Some(fresh_path) = flag("--fresh").map(PathBuf::from) else {
         eprintln!(
             "usage: bench_gate --fresh FILE [--baseline-dir DIR] [--max-regression PCT] \
-             [--max-latency-regression PCT]"
+             [--max-latency-regression PCT] [--max-metrics-overhead PCT]"
         );
         std::process::exit(2);
     };
@@ -62,6 +72,17 @@ fn main() {
         },
     };
 
+    let max_metrics_loss = match flag("--max-metrics-overhead").as_deref() {
+        None => 0.05,
+        Some(v) => match v.parse::<f64>() {
+            Ok(pct) if pct > 0.0 && pct < 100.0 => pct / 100.0,
+            _ => {
+                eprintln!("--max-metrics-overhead expects a percentage in (0, 100), got `{v}`");
+                std::process::exit(2);
+            }
+        },
+    };
+
     let fresh = match load(&fresh_path) {
         Ok(d) => d,
         Err(e) => {
@@ -69,6 +90,26 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // The always-on-overhead contract is paired within the fresh record
+    // itself, so it runs before baseline discovery — it binds on a
+    // brand-new machine with nothing committed yet.
+    match metrics_overhead_check(&fresh, max_metrics_loss) {
+        Ok(Some((warm, on))) => println!(
+            "bench_gate: warm_rps_metrics_on OK — {on:.0} req/s recording vs {warm:.0} req/s \
+             off at batch {METRICS_OVERHEAD_BATCH} ({:+.2}% , budget {:.0}%)",
+            (on / warm - 1.0) * 100.0,
+            max_metrics_loss * 100.0
+        ),
+        Ok(None) => println!(
+            "bench_gate: warm_rps_metrics_on skipped — no warm batch-{METRICS_OVERHEAD_BATCH} \
+             row in this (filtered) record"
+        ),
+        Err(e) => {
+            eprintln!("bench_gate: REGRESSION {e}");
+            std::process::exit(1);
+        }
+    }
 
     // Newest committed baseline at the same thread count, skipping the
     // fresh file itself if it happens to live in the baseline dir.

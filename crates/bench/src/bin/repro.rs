@@ -19,6 +19,20 @@
 //!                                       overload-control promises
 //!                                       (no errors, bounded queue,
 //!                                       accepted-p99 budget) break
+//! repro --metrics-smoke [--out DIR]     scrape a live 2-backend
+//!                                       cluster front over wire v7,
+//!                                       check the fan-in against per-
+//!                                       backend ground truth across a
+//!                                       mid-run kill, and dump the
+//!                                       flight recorder as Perfetto
+//!                                       JSON; exits nonzero on any
+//!                                       failed check
+//! repro --top --addr HOST:PORT [--interval-ms N] [--frames N]
+//!                                       live terminal ops view: one
+//!                                       v7 scrape per frame rendered
+//!                                       as windowed rates, ladder
+//!                                       occupancy, latency
+//!                                       percentiles, and gauges
 //! ```
 //!
 //! Output goes to stdout; pipe it into `EXPERIMENTS.md` blocks or a
@@ -121,6 +135,80 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--metrics-smoke") {
+        let dir = flag_value(&args, "--out").unwrap_or_else(|| ".".to_string());
+        let t0 = Instant::now();
+        match econcast_bench::metrics_smoke::run(std::path::Path::new(&dir)) {
+            Ok(outcome) => {
+                let mut failed = false;
+                for (label, ok) in &outcome.checks {
+                    eprintln!("  [{}] {label}", if *ok { "PASS" } else { "FAIL" });
+                    failed |= !ok;
+                }
+                eprintln!(
+                    "[metrics smoke done in {:.1}s, flight recorder at {}]",
+                    t0.elapsed().as_secs_f64(),
+                    outcome.artifact.display()
+                );
+                if failed {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("metrics smoke failed to run: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--top") {
+        let Some(addr) = flag_value(&args, "--addr") else {
+            eprintln!("--top requires --addr HOST:PORT (a live policy service or cluster front)");
+            std::process::exit(2);
+        };
+        let addr: std::net::SocketAddr = match addr.parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("--addr expects HOST:PORT, got `{addr}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        let interval_ms = match flag_value(&args, "--interval-ms") {
+            None => 1000,
+            Some(v) => match v.parse::<u64>() {
+                Ok(ms) if ms > 0 => ms,
+                _ => {
+                    eprintln!("--interval-ms expects a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let frames = match flag_value(&args, "--frames") {
+            None => 0,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--frames expects an integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let cfg = econcast_bench::top::TopConfig {
+            addr,
+            interval: std::time::Duration::from_millis(interval_ms),
+            frames,
+            // Clear between frames only on a real terminal; piped
+            // output stays an appendable log.
+            clear: std::io::IsTerminal::is_terminal(&std::io::stdout()),
+        };
+        if let Err(e) = econcast_bench::top::run(&cfg, &mut std::io::stdout()) {
+            eprintln!("top failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if args.iter().any(|a| a == "--bench-json") {
         let dir = flag_value(&args, "--out").unwrap_or_else(|| ".".to_string());
         let filter = flag_value(&args, "--filter");
@@ -163,6 +251,8 @@ fn main() {
             );
             eprintln!("       repro --trace-demo [--out DIR]");
             eprintln!("       repro --overload-smoke [--quick]");
+            eprintln!("       repro --metrics-smoke [--out DIR]");
+            eprintln!("       repro --top --addr HOST:PORT [--interval-ms N] [--frames N]");
             eprintln!("experiments:");
             for (id, desc, _) in &reg {
                 eprintln!("  {id:<8} {desc}");
@@ -209,7 +299,12 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 /// is not mistaken for the experiment id).
 fn is_flag_argument(args: &[String], arg: &str) -> bool {
     args.iter().enumerate().any(|(i, a)| {
-        (a == "--threads" || a == "--out" || a == "--filter")
+        (a == "--threads"
+            || a == "--out"
+            || a == "--filter"
+            || a == "--addr"
+            || a == "--interval-ms"
+            || a == "--frames")
             && args.get(i + 1).map(String::as_str) == Some(arg)
     })
 }

@@ -376,7 +376,15 @@ pub fn bench_doc(json: &Json) -> Result<BenchDoc, String> {
             if let Json::Obj(fields) = row {
                 for (key, value) in fields {
                     let Some(v) = value.as_num() else { continue };
-                    if key.ends_with("_rps") {
+                    // `offered_rps` is input-side accounting — how much
+                    // load the *generator* managed to put on the wire
+                    // (behind-schedule arrivals skip the sweep), which
+                    // tracks machine load, not the system under test.
+                    // Goodput and calibration stay gated; offered is
+                    // informational.
+                    if key == "offered_rps" {
+                        openloop_info.insert((label.clone(), key.clone()), v);
+                    } else if key.ends_with("_rps") {
                         openloop.insert((label.clone(), key.clone()), v);
                     } else if key.ends_with("_p99_us") {
                         openloop_p99.insert((label.clone(), key.clone()), v);
@@ -606,6 +614,48 @@ impl Regression {
     }
 }
 
+/// The batch size the always-on-overhead contract binds at: large
+/// enough that per-batch fixed costs vanish and the per-request
+/// metrics cost is what's measured.
+pub const METRICS_OVERHEAD_BATCH: u64 = 256;
+
+/// The `warm_rps_metrics_on` check: the warm batch-256 row with the
+/// always-on metrics plane recording (`warm_metrics_rps`) must hold
+/// within `max_loss` of the recording-off `warm_rps` from the **same**
+/// record. Paired within one run — no baseline involved — so the
+/// contract binds from the first run on any machine, and machine
+/// speed divides out.
+///
+/// Returns `Ok(Some((warm, warm_metrics)))` when the pair was present
+/// and held, `Ok(None)` when the record has no warm batch-256 row at
+/// all (a filtered run), and `Err` when the metrics row is missing or
+/// out of budget — a vanished overhead row must not pass the gate
+/// that exists to watch it.
+pub fn metrics_overhead_check(
+    fresh: &BenchDoc,
+    max_loss: f64,
+) -> Result<Option<(f64, f64)>, String> {
+    let batch = METRICS_OVERHEAD_BATCH;
+    let warm = fresh.service.get(&(batch, "warm_rps".to_string())).copied();
+    let on = fresh
+        .service
+        .get(&(batch, "warm_metrics_rps".to_string()))
+        .copied();
+    match (warm, on) {
+        (None, _) => Ok(None),
+        (Some(_), None) => Err(format!(
+            "warm_rps_metrics_on: batch {batch} has warm_rps but no warm_metrics_rps row"
+        )),
+        (Some(w), Some(m)) if m < (1.0 - max_loss) * w => Err(format!(
+            "warm_rps_metrics_on: {m:.0} req/s with the metrics plane vs {w:.0} req/s \
+             without ({:.1}% loss > {:.0}% budget)",
+            (1.0 - m / w) * 100.0,
+            max_loss * 100.0
+        )),
+        (Some(w), Some(m)) => Ok(Some((w, m))),
+    }
+}
+
 /// Compares `fresh` against `baseline`, returning every baseline
 /// throughput that lost more than `max_loss` (e.g. 0.30 = fail on a
 /// regression above 30%) and every baseline p99 latency that *grew*
@@ -693,7 +743,8 @@ pub fn compare(
     // Open-loop rows earn the same teeth the moment a committed
     // baseline carries them: goodput/capacity are throughput promises,
     // accepted p99 is a latency promise. (`openloop_info` — shed and
-    // degraded rates — stays informational: those are policy outcomes
+    // degraded rates plus the generator-side offered rate — stays
+    // informational: those are policy outcomes and input accounting
     // of the offered load, not performance contracts.)
     for ((label, field), &base_rate) in &baseline.openloop {
         if base_rate <= 0.0 {
@@ -814,6 +865,7 @@ mod tests {
                 batch: 1,
                 cold_rps: 5.0,
                 warm_rps: 50.0,
+                warm_metrics_rps: Some(48.5),
                 socket_rps: Some(25.0),
                 cluster_rps: Some(12.5),
                 warm_p50_us: Some(2.5),
@@ -862,6 +914,7 @@ mod tests {
         assert_eq!(doc.entries["k"], 10.0);
         assert_eq!(doc.service[&(1, "socket_rps".into())], 25.0);
         assert_eq!(doc.service[&(1, "cluster_rps".into())], 12.5);
+        assert_eq!(doc.service[&(1, "warm_metrics_rps".into())], 48.5);
         // p50/p99.9 percentiles land in the informational map; the
         // p99s land in the gated latency map; neither pollutes the
         // throughput map.
@@ -873,15 +926,17 @@ mod tests {
         assert!(!doc.service.contains_key(&(1, "warm_p50_us".into())));
         assert!(!doc.service_info.contains_key(&(1, "socket_p99_us".into())));
         assert_eq!(doc.quick_sensitive.as_deref(), Some(&["k".to_string()][..]));
-        // Open-loop rows land in their suffix-matched maps: rates
-        // gated, p99 gated inverted, policy rates informational.
+        // Open-loop rows land in their suffix-matched maps: goodput and
+        // calibration gated, p99 gated inverted, policy rates and the
+        // generator-side offered rate informational.
         let key = |f: &str| ("x2".to_string(), f.to_string());
         assert_eq!(
             doc.openloop[&("calibration".to_string(), "capacity_rps".to_string())],
             4000.0
         );
         assert_eq!(doc.openloop[&key("goodput_rps")], 6400.0);
-        assert_eq!(doc.openloop[&key("offered_rps")], 8000.0);
+        assert_eq!(doc.openloop_info[&key("offered_rps")], 8000.0);
+        assert!(!doc.openloop.contains_key(&key("offered_rps")));
         assert_eq!(doc.openloop_p99[&key("accepted_p99_us")], 9500.0);
         assert_eq!(doc.openloop_info[&key("shed_rate")], 0.2);
         assert_eq!(doc.openloop_info[&key("degraded_rate")], 0.1);
@@ -1087,6 +1142,39 @@ mod tests {
         // Same quick flag ⇒ nothing is skipped.
         let fresh_full = doc(false, &[("p4_solve_n12", 28.0)], &[]);
         assert!(ratio_rows(&fresh_full, &base).iter().all(|r| !r.skipped));
+    }
+
+    #[test]
+    fn metrics_overhead_check_is_paired_within_one_record() {
+        let mut fresh = doc(
+            false,
+            &[],
+            &[
+                (256, "warm_rps", 1000.0),
+                (256, "warm_metrics_rps", 960.0),
+                (32, "warm_rps", 500.0),
+            ],
+        );
+        // 4% loss passes a 5% budget.
+        assert_eq!(
+            metrics_overhead_check(&fresh, 0.05),
+            Ok(Some((1000.0, 960.0)))
+        );
+        // 6% loss fails it.
+        fresh
+            .service
+            .insert((256, "warm_metrics_rps".into()), 940.0);
+        assert!(metrics_overhead_check(&fresh, 0.05).is_err());
+        // A vanished overhead row fails — the row the gate exists to
+        // watch must not pass by disappearing.
+        fresh.service.remove(&(256, "warm_metrics_rps".into()));
+        assert!(metrics_overhead_check(&fresh, 0.05).is_err());
+        // A filtered run without the warm batch-256 row has nothing
+        // to hold.
+        assert_eq!(
+            metrics_overhead_check(&doc(false, &[], &[]), 0.05),
+            Ok(None)
+        );
     }
 
     #[test]

@@ -21,9 +21,11 @@
 
 pub mod experiments;
 pub mod gate;
+pub mod metrics_smoke;
 pub mod openloop;
 pub mod perf;
 pub mod timing;
+pub mod top;
 pub mod trace_demo;
 
 /// Experiment fidelity scale.

@@ -552,6 +552,57 @@ mod tests {
     }
 
     #[test]
+    fn queue_peak_via_the_shared_gauge_matches_the_bespoke_reference() {
+        // The bespoke queue-peak accounting the admission controller
+        // used before the shared `econcast-metrics` gauge replaced it:
+        // depth is a plain counter, and only a *held* slot advances
+        // the peak (a shed held no slot). This pin holds the swapped
+        // implementation to the old rule step by step, on the same
+        // seeded admit/release schedule the open-loop harness draws
+        // its arrivals from — so the peak the harness reports
+        // (`StackRun::queue_depth_peak`) is identical before and
+        // after the swap.
+        use econcast_service::{Admission, AdmissionController};
+        let ctl = AdmissionController::new(STACK_QUEUE_CAPACITY, STACK_MAX_QUEUE_DELAY);
+        let mut rng = Xorshift64Star::new(0xEC0_CA57_0AD);
+        let (mut ref_depth, mut ref_peak) = (0usize, 0usize);
+        for step in 0..4000 {
+            // Arrivals outnumber drains 3:1, so the queue genuinely
+            // fills, saturates, and presses past capacity — every rung
+            // of the ladder gets traffic.
+            if rng.next_unit() < 0.75 {
+                // Mostly v6 peers (sheddable); a pre-v6 straggler now
+                // and then exercises the cannot-shed rung, which may
+                // legitimately push the peak past capacity.
+                let can_shed = rng.next_unit() < 0.9;
+                let got = ctl.admit(can_shed);
+                ref_depth += 1;
+                if ref_depth > STACK_QUEUE_CAPACITY && can_shed {
+                    ref_depth -= 1; // a shed holds no slot, no peak
+                    assert!(matches!(got, Admission::Shed { .. }), "step {step}");
+                } else {
+                    ref_peak = ref_peak.max(ref_depth);
+                    assert!(!matches!(got, Admission::Shed { .. }), "step {step}");
+                }
+            } else if ref_depth > 0 {
+                let n = 1 + (rng.next_u64() as usize) % ref_depth.min(3);
+                ctl.release(n, Duration::from_micros(50 * n as u64));
+                ref_depth -= n;
+            }
+            assert_eq!(ctl.depth(), ref_depth, "depth diverged at step {step}");
+            assert_eq!(ctl.depth_peak(), ref_peak, "peak diverged at step {step}");
+        }
+        assert!(
+            ref_peak > STACK_QUEUE_CAPACITY,
+            "schedule never pressed past capacity"
+        );
+        // And the harness-visible number *is* the gauge's high-water
+        // mark — one object feeds the ladder, the stats overlay, and
+        // a v7 scrape.
+        assert_eq!(ctl.queue_gauge().peak() as usize, ctl.depth_peak());
+    }
+
+    #[test]
     fn open_loop_against_a_single_server_accounts_for_every_request() {
         // The harness itself, end to end, against a plain (non-cluster)
         // server: every submitted request must come back accepted or

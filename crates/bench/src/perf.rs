@@ -398,6 +398,7 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
     for size in SERVICE_BATCH_SIZES {
         if !keep(&service_entry_name("cold", size))
             && !keep(&service_entry_name("warm", size))
+            && !keep(&service_entry_name("warm_metrics", size))
             && !keep(&service_entry_name("socket", size))
             && !keep(&service_entry_name("cluster", size))
         {
@@ -426,6 +427,29 @@ fn suite(quick: bool, filter: Option<&str>) -> Vec<Entry> {
                     svc.serve_batch(&batch); // warm the tiers once
                     move || {
                         black_box(svc.serve_batch(&batch));
+                    }
+                }),
+                quick_sensitive: false,
+            });
+        }
+        if keep(&service_entry_name("warm_metrics", size)) {
+            entries.push(Entry {
+                name: service_entry_name("warm_metrics", size),
+                workload: Box::new({
+                    let batch = batch.clone();
+                    let mut svc = warm_service();
+                    svc.serve_batch(&batch); // warm the tiers once
+                    move || {
+                        // Identical work to the warm entry, but with
+                        // the always-on metrics plane recording — the
+                        // paired `warm_rps_metrics_on` gate row holds
+                        // the difference within noise. The suite loop
+                        // runs recording-off, so the toggle pair
+                        // brackets each call (two relaxed stores,
+                        // nothing next to a serve_batch).
+                        econcast_metrics::set_recording(true);
+                        black_box(svc.serve_batch(&batch));
+                        econcast_metrics::set_recording(false);
                     }
                 }),
                 quick_sensitive: false,
@@ -589,6 +613,13 @@ pub struct ServiceThroughput {
     pub cold_rps: f64,
     /// Requests/sec at cache steady state (lookup-dominated).
     pub warm_rps: f64,
+    /// Requests/sec at cache steady state with the always-on metrics
+    /// plane recording (counters + latency histograms on the serve
+    /// path). The `warm_rps` entries measure the recording-off path,
+    /// so this row is the plane's measured overhead — `bench_gate`
+    /// holds it within 5% of `warm_rps` at batch 256 in the *same*
+    /// run. `None` on filtered runs.
+    pub warm_metrics_rps: Option<f64>,
     /// Requests/sec through the sharded TCP front-end at cache steady
     /// state (framing + loopback + routing on top of warm serving);
     /// `None` when the loopback server could not bind.
@@ -697,6 +728,13 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
     }
     let mut measurements = Vec::new();
     let mut quick_sensitive = Vec::new();
+    // The throughput loop measures the recording-off path — the same
+    // overhead contract the tracing rows keep — so the baseline-named
+    // entries stay comparable across the plane's introduction. The
+    // warm_metrics entries re-arm recording from inside their own
+    // workloads; everything after the loop runs at the production
+    // default (on).
+    econcast_metrics::set_recording(false);
     for mut e in entries {
         let m = measure(&e.name, &mut *e.workload);
         println!(
@@ -710,6 +748,7 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
         }
         measurements.push(m);
     }
+    econcast_metrics::set_recording(true);
     let mean_of = |name: &str| {
         measurements
             .iter()
@@ -735,6 +774,7 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
         .filter_map(|&batch| {
             let cold = mean_of(&service_entry_name("cold", batch))?;
             let warm = mean_of(&service_entry_name("warm", batch))?;
+            let warm_metrics = mean_of(&service_entry_name("warm_metrics", batch));
             let socket = mean_of(&service_entry_name("socket", batch));
             let cluster = mean_of(&service_entry_name("cluster", batch));
             // Tail-latency passes, separate from the throughput loops
@@ -775,6 +815,7 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
                 batch,
                 cold_rps: batch as f64 / cold,
                 warm_rps: batch as f64 / warm,
+                warm_metrics_rps: warm_metrics.map(|s| batch as f64 / s),
                 socket_rps: socket.map(|s| batch as f64 / s),
                 cluster_rps: cluster.map(|s| batch as f64 / s),
                 warm_p50_us: tail.map(|t| t.0),
@@ -809,10 +850,11 @@ pub fn run_suite(quick: bool, filter: Option<&str>) -> SuiteReport {
     for s in &service {
         println!(
             "policy service @ batch {:>3}: {:>10.0} req/s cold, {:>12.0} req/s warm, \
-             {:>10.0} req/s socket, {:>10.0} req/s cluster",
+             {:>12.0} req/s warm+metrics, {:>10.0} req/s socket, {:>10.0} req/s cluster",
             s.batch,
             s.cold_rps,
             s.warm_rps,
+            s.warm_metrics_rps.unwrap_or(f64::NAN),
             s.socket_rps.unwrap_or(f64::NAN),
             s.cluster_rps.unwrap_or(f64::NAN)
         );
@@ -1092,6 +1134,7 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
         };
         s.push_str(&format!(
             "    {{\"batch\": {}, \"cold_rps\": {:.3}, \"warm_rps\": {:.3}, \
+             \"warm_metrics_rps\": {}, \
              \"socket_rps\": {}, \"cluster_rps\": {}, \
              \"warm_p50_us\": {}, \"warm_p99_us\": {}, \"warm_p999_us\": {}, \
              \"socket_p50_us\": {}, \"socket_p99_us\": {}, \"socket_p999_us\": {}, \
@@ -1099,6 +1142,7 @@ pub fn to_json(report: &SuiteReport, sha: &str) -> String {
             t.batch,
             t.cold_rps,
             t.warm_rps,
+            opt(t.warm_metrics_rps),
             opt(t.socket_rps),
             opt(t.cluster_rps),
             opt(t.warm_p50_us),
@@ -1252,6 +1296,7 @@ mod tests {
                 batch: 32,
                 cold_rps: 1234.5,
                 warm_rps: 99999.0,
+                warm_metrics_rps: Some(97500.25),
                 socket_rps: Some(4321.0),
                 cluster_rps: Some(2100.5),
                 warm_p50_us: Some(12.25),
@@ -1300,6 +1345,7 @@ mod tests {
         assert!(j.contains("\"p4_n12_speedup_vs_naive\": 12.50"));
         assert!(j.contains("\"batch\": 32"));
         assert!(j.contains("\"cold_rps\": 1234.500"));
+        assert!(j.contains("\"warm_metrics_rps\": 97500.250"));
         assert!(j.contains("\"socket_rps\": 4321.000"));
         assert!(j.contains("\"cluster_rps\": 2100.500"));
         assert!(j.contains("\"warm_p50_us\": 12.250"));

@@ -32,7 +32,9 @@
 //! stream error.
 
 use crate::router::{ClusterRouter, StatsSource};
-use econcast_proto::service::STATS_SHARD_AGGREGATE;
+use econcast_metrics::{MetricsSnapshot, GAUGE_LIVE_BACKENDS, GAUGE_SATURATION_OPEN};
+use econcast_proto::service::{WireServiceStats, STATS_COUNTERS, STATS_SHARD_AGGREGATE};
+use econcast_service::stats::{StatKind, STAT_KINDS};
 use econcast_service::{
     serve_connection_admitted, AdmissionController, ConnOptions, FamilyKey, PolicyClient,
     PolicyRequest, PolicyResponse, ServeTarget, ServiceError, ServiceStats,
@@ -49,6 +51,95 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+/// Per-slot re-basing state for cluster fan-ins. A respawned (or
+/// quarantined) backend restarts its counters at zero; summed naively
+/// that reads as every rate going sharply negative right when the
+/// cluster healed. The front instead remembers, per slot, the last
+/// raw scrape and a `base` accumulated from dead incarnations: a
+/// per-slot monotonicity break (any counter below its last observed
+/// value) folds the previous incarnation's final totals into the
+/// base, and every contribution is reported as `base + raw` — so the
+/// front's aggregates stay monotone across respawns.
+///
+/// Only counters (and, for metrics, histograms — which reset with
+/// their process) are re-based. Gauges are instantaneous readings: a
+/// decrease is ordinary (an LRU evicted, a queue drained), never a
+/// restart signal, and re-basing one would double-count live state.
+#[derive(Debug, Default)]
+struct ScrapeRebase {
+    slots: Vec<SlotRebase>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct SlotRebase {
+    /// Stats-plane counters: accumulated totals of dead incarnations
+    /// (empty until the slot is first scraped), and the last raw
+    /// fetch.
+    stats_base: Vec<u64>,
+    stats_last: Vec<u64>,
+    /// Metrics-plane siblings. The base's gauges are always zero (a
+    /// dead process holds no live state).
+    metrics_base: MetricsSnapshot,
+    metrics_last: MetricsSnapshot,
+}
+
+impl ScrapeRebase {
+    fn slot(&mut self, slot: usize) -> &mut SlotRebase {
+        if self.slots.len() <= slot {
+            self.slots.resize(slot + 1, SlotRebase::default());
+        }
+        &mut self.slots[slot]
+    }
+
+    /// Folds one slot's fresh stats fetch into its monotone view.
+    fn stats(&mut self, slot: usize, fresh: &ServiceStats) -> ServiceStats {
+        let state = self.slot(slot);
+        if state.stats_base.is_empty() {
+            state.stats_base = vec![0; STATS_COUNTERS];
+            state.stats_last = vec![0; STATS_COUNTERS];
+        }
+        let raw = fresh.to_wire().to_array();
+        let reset = raw
+            .iter()
+            .zip(&state.stats_last)
+            .enumerate()
+            .any(|(i, (&cur, &last))| STAT_KINDS[i] == StatKind::Counter && cur < last);
+        let mut adjusted = raw;
+        for i in 0..STATS_COUNTERS {
+            if STAT_KINDS[i] == StatKind::Counter {
+                if reset {
+                    state.stats_base[i] += state.stats_last[i];
+                }
+                adjusted[i] += state.stats_base[i];
+            }
+            state.stats_last[i] = raw[i];
+        }
+        ServiceStats::from_wire(&WireServiceStats::from_array(adjusted))
+    }
+
+    /// Folds one slot's fresh metrics scrape into its monotone view.
+    fn metrics(&mut self, slot: usize, fresh: &MetricsSnapshot) -> MetricsSnapshot {
+        let state = self.slot(slot);
+        let reset = state
+            .metrics_last
+            .counters
+            .iter()
+            .zip(&fresh.counters)
+            .any(|(&last, &cur)| cur < last);
+        if reset {
+            let mut dead = state.metrics_last.clone();
+            for gauge in &mut dead.gauges {
+                gauge.1 = 0;
+            }
+            state.metrics_base.merge(&dead);
+        }
+        state.metrics_last = fresh.clone();
+        let mut adjusted = fresh.clone();
+        adjusted.merge(&state.metrics_base);
+        adjusted
+    }
+}
+
 /// The cluster router as a connection-loop target: every protocol
 /// interaction locks the mutex for exactly one router operation.
 /// (A newtype over the mutex, not `impl ServeTarget for
@@ -61,11 +152,20 @@ struct FrontTarget {
     /// at the front advertises a `retry_after_us` no shorter than what
     /// the saturated backends themselves asked for.
     admission: Arc<AdmissionController>,
+    /// Shared across every connection: per-slot counter re-basing so
+    /// fan-ins stay monotone across backend respawns.
+    rebase: Arc<Mutex<ScrapeRebase>>,
 }
 
 impl FrontTarget {
     fn router(&self) -> std::sync::MutexGuard<'_, ClusterRouter> {
         self.router
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn rebase(&self) -> std::sync::MutexGuard<'_, ScrapeRebase> {
+        self.rebase
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -108,14 +208,18 @@ impl ServeTarget for FrontTarget {
         };
         if shard == STATS_SHARD_AGGREGATE {
             // The fan-in is what the cluster can *see*: down or
-            // unreachable backends contribute nothing (their counters
-            // died with them anyway).
+            // unreachable backends contribute nothing while absent.
+            // Each slot's fetch passes through the per-slot re-base,
+            // so a respawned backend restarting at zero never drags
+            // the aggregate's counters backwards.
             let mut total = fallback;
-            for source in &sources {
+            let mut rebase = self.rebase();
+            for (slot, source) in sources.iter().enumerate() {
                 if let Some(stats) = fetch(source) {
-                    total.merge(&stats);
+                    total.merge(&rebase.stats(slot, &stats));
                 }
             }
+            drop(rebase);
             // The robustness counters are distribution-layer facts
             // only the router knows; overlay them onto the aggregate
             // (backends report them as zero).
@@ -130,6 +234,61 @@ impl ServeTarget for FrontTarget {
             // typed refusal in the connection loop.
             fetch(sources.get(usize::from(shard))?)
         }
+    }
+
+    /// Cluster-wide metrics fan-in, same locking discipline as
+    /// [`stats`](Self::stats): a network-free snapshot under the
+    /// router lock, per-backend scrapes on fresh short-timeout dials
+    /// outside it. The front's own process-global hub already covers
+    /// local slots, the fallback solver, and the front's serve path —
+    /// remote backends are the only scrapes to fan in. Each remote
+    /// scrape passes through the per-slot re-base so a respawned
+    /// backend's counter reset never makes the aggregate dip; the
+    /// router-owned cluster gauges (live slots, open saturation
+    /// windows) are injected last. The connection loop adds the
+    /// front's admission-queue gauge on top.
+    fn metrics(&self) -> MetricsSnapshot {
+        let (sources, live, windows, (lru_entries, lru_bytes)) = {
+            let router = self.router();
+            let (sources, _) = router.stats_sources();
+            (
+                sources,
+                router.live_slots(),
+                router.saturation_windows_open(),
+                router.local_cache_residency(),
+            )
+        };
+        let scrapes: Vec<(usize, MetricsSnapshot)> = sources
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, source)| match source {
+                StatsSource::Remote {
+                    addr,
+                    attempt: true,
+                } => {
+                    let snap = PolicyClient::connect_with_timeout(*addr, 1, STATS_DIAL_TIMEOUT)
+                        .ok()?
+                        .metrics()
+                        .ok()?;
+                    Some((slot, snap))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut total = econcast_metrics::snapshot();
+        let mut rebase = self.rebase();
+        for (slot, snap) in &scrapes {
+            total.merge(&rebase.metrics(*slot, snap));
+        }
+        drop(rebase);
+        // Backends report these as zero; the router owns them. The
+        // LRU gauges add the in-process residency (local slots + the
+        // fallback solver) on top of what the backend scrapes carried.
+        total.gauges[GAUGE_LIVE_BACKENDS].1 += live;
+        total.gauges[GAUGE_SATURATION_OPEN].1 += windows;
+        total.gauges[econcast_metrics::GAUGE_LRU_ENTRIES].1 += lru_entries;
+        total.gauges[econcast_metrics::GAUGE_LRU_BYTES].1 += lru_bytes;
+        total
     }
 
     /// A `MixSeed` received by the front fans out to every
@@ -240,11 +399,15 @@ impl ClusterFront {
             self.cfg.queue_capacity,
             self.cfg.max_queue_delay,
         ));
+        // One re-base table for the whole front: monotone fan-ins
+        // must survive the scraping connection coming and going too.
+        let rebase = Arc::new(Mutex::new(ScrapeRebase::default()));
 
         let acceptor = {
             let (stop, router, active) =
                 (Arc::clone(&stop), Arc::clone(&router), Arc::clone(&active));
             let admission = Arc::clone(&admission);
+            let rebase = Arc::clone(&rebase);
             std::thread::spawn(move || loop {
                 let stream = match self.listener.accept() {
                     Ok((stream, _)) => stream,
@@ -269,6 +432,7 @@ impl ClusterFront {
                 let (router, active, stop) =
                     (Arc::clone(&router), Arc::clone(&active), Arc::clone(&stop));
                 let admission = Arc::clone(&admission);
+                let rebase = Arc::clone(&rebase);
                 std::thread::spawn(move || {
                     struct Guard(Arc<AtomicUsize>);
                     impl Drop for Guard {
@@ -286,6 +450,7 @@ impl ClusterFront {
                     let target = FrontTarget {
                         router,
                         admission: Arc::clone(&admission),
+                        rebase,
                     };
                     serve_connection_admitted(
                         stream,

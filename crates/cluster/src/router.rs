@@ -34,6 +34,7 @@
 //! read `Exact`), matching the PR 3 socket-test convention.
 
 use crate::remote::{RemoteConfig, RemoteShard, RemoteShardStats};
+use econcast_metrics::OpsKind;
 use econcast_proto::service::ServiceErrorCode;
 use econcast_service::{FamilyKey, MixRecorder, ServiceStats};
 use econcast_service::{PolicyRequest, PolicyResponse, PolicyService, ServiceConfig, ServiceError};
@@ -380,11 +381,74 @@ impl ClusterRouter {
     /// local fallback instead of dialing.
     fn note_backend_overload(&mut self, slot: usize, retry_after_us: u32) {
         self.overload_rejects += 1;
+        econcast_metrics::ops_event(
+            OpsKind::OverloadedReceived,
+            slot as u64,
+            u64::from(retry_after_us),
+        );
+        // A window *opening* is the rare, recorder-worthy transition;
+        // an `Overloaded` landing inside an already-open window only
+        // extends it.
+        if !self.slot_saturated(slot) {
+            econcast_metrics::ops_event(
+                OpsKind::SaturationOpen,
+                slot as u64,
+                u64::from(retry_after_us),
+            );
+        }
         self.saturation[slot] = Some((
             Instant::now() + Duration::from_micros(u64::from(retry_after_us)),
             retry_after_us,
         ));
         econcast_trace::trace_instant!("cluster", "backend_overloaded", "slot" => slot as u64);
+    }
+
+    /// Clears lapsed saturation windows, recording each close in the
+    /// flight recorder. Called at the top of every batch; windows that
+    /// lapse between batches close on the next one (the recorder is an
+    /// ops log, not a real-time signal, and `slot_saturated` already
+    /// treats a lapsed window as closed).
+    fn sweep_saturation(&mut self) {
+        let now = Instant::now();
+        for (slot, window) in self.saturation.iter_mut().enumerate() {
+            if matches!(window, Some((until, _)) if now >= *until) {
+                *window = None;
+                econcast_metrics::ops_event(OpsKind::SaturationClose, slot as u64, 0);
+            }
+        }
+    }
+
+    /// Slots currently able to serve — healthy remotes plus local
+    /// slots — injected by the cluster front as its `live_backends`
+    /// gauge.
+    pub fn live_slots(&self) -> u64 {
+        (0..self.slots.len())
+            .filter(|&s| self.slot_healthy(s))
+            .count() as u64
+    }
+
+    /// Currently open backend-saturation windows — the front's
+    /// `saturation_windows_open` gauge.
+    pub fn saturation_windows_open(&self) -> u64 {
+        (0..self.slots.len())
+            .filter(|&s| self.slot_saturated(s))
+            .count() as u64
+    }
+
+    /// LRU residency `(entries, bytes)` of everything in-process —
+    /// local slots plus the fallback solver — for the front's gauge
+    /// injection (remote backends report their own residency in their
+    /// scrapes).
+    pub fn local_cache_residency(&self) -> (u64, u64) {
+        let mut entries = self.fallback.stats().lru_len;
+        let mut bytes = self.fallback.cache_bytes() as u64;
+        for slot in &self.slots {
+            if let Slot::Local(svc) = slot {
+                entries += svc.stats().lru_len;
+                bytes += svc.cache_bytes() as u64;
+            }
+        }
+        (entries, bytes)
     }
 
     /// Pings every remote slot (dialing as needed), returning the
@@ -417,11 +481,13 @@ impl ClusterRouter {
     /// Records that the policy loop replaced a dead backend.
     pub fn note_auto_respawn(&mut self) {
         self.auto_respawns += 1;
+        econcast_metrics::ops_event(OpsKind::Respawn, 0, 0);
     }
 
     /// Records one shipped warm-handoff mix.
     pub fn note_reshard_handoff(&mut self) {
         self.reshard_handoffs += 1;
+        econcast_metrics::ops_event(OpsKind::ReshardHandoff, 0, 0);
     }
 
     /// The shared injected-fault counter. A fault-injection harness
@@ -442,6 +508,7 @@ impl ClusterRouter {
             Slot::Remote(_) => {
                 self.slots[slot] = Slot::Local(Box::new(PolicyService::new(self.cfg.service)));
                 self.quarantines += 1;
+                econcast_metrics::ops_event(OpsKind::Quarantine, slot as u64, 0);
                 econcast_trace::trace_instant!("cluster", "quarantine", "slot" => slot as u64);
                 true
             }
@@ -567,6 +634,7 @@ impl ClusterRouter {
             "cluster_serve",
             "requests" => reqs.len() as u64
         );
+        self.sweep_saturation();
         let nslots = self.slots.len();
         let mut sub_idx: Vec<Vec<usize>> = vec![Vec::new(); nslots];
         for (i, req) in reqs.iter().enumerate() {
@@ -734,13 +802,18 @@ impl ClusterRouter {
             );
             let batch: Vec<PolicyRequest> = pending.iter().map(|&i| reqs[i].clone()).collect();
             let results = self.fallback.serve_batch(&batch);
+            let mut reserves = 0u64;
             for (&i, r) in pending.iter().zip(results) {
                 // Only *routed* requests count as failovers; invalid
                 // ones were always the router's to answer.
                 if reqs[i].validate().is_ok() {
                     self.local_fallbacks += 1;
+                    reserves += 1;
                 }
                 out[i] = Some(r);
+            }
+            if reserves > 0 {
+                econcast_metrics::ops_event(OpsKind::FailoverReserve, 0, reserves);
             }
         }
 

@@ -312,6 +312,41 @@ fn chaos_plan_is_absorbed_bit_identically_while_the_policy_loop_heals() {
         after.injected_faults
     );
 
+    // The flight recorder survived the turbulence: the forced
+    // failovers and the policy loop's respawns are in the ring, the
+    // ring is globally ordered (monotone sequence numbers and
+    // timestamps), and the black-box dump is structurally sound
+    // Perfetto JSON naming the events.
+    let events = econcast_metrics::recorder_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == econcast_metrics::OpsKind::FailoverReserve),
+        "failover re-serves must be on the record"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == econcast_metrics::OpsKind::Respawn),
+        "policy-loop respawns must be on the record"
+    );
+    assert!(
+        events
+            .windows(2)
+            .all(|w| w[0].seq < w[1].seq && w[0].ts_ns <= w[1].ts_ns),
+        "recorder events must be in order"
+    );
+    let dump = econcast_metrics::recorder_dump_json();
+    assert!(dump.starts_with("{\"traceEvents\":["));
+    assert!(dump.trim_end().ends_with("]}"));
+    assert_eq!(
+        dump.matches('{').count(),
+        dump.matches('}').count(),
+        "dump braces must balance"
+    );
+    assert!(dump.contains("\"name\":\"failover_reserve\""));
+    assert!(dump.contains("\"name\":\"respawn\""));
+
     drop(client);
     healer.shutdown();
     front.shutdown();

@@ -1,0 +1,1028 @@
+//! # econcast-metrics — the always-on metrics plane
+//!
+//! `econcast-trace` is a *diagnostic* facility: armed on demand, and
+//! its span histograms cost ~20% armed, so they stay off in
+//! production. This crate is the *operational* twin: a fixed, named
+//! set of *counters*, *gauges*, and *latency histograms* recorded
+//! **unconditionally on the serve path** (budget: within noise —
+//! enforced by the bench gate's paired `warm_metrics` row), plus a
+//! **flight recorder** — a bounded ring of timestamped significant
+//! ops events (sheds, failovers, respawns, quarantines, …) dumpable
+//! as Perfetto-compatible JSON so a chaos run leaves a black-box
+//! record.
+//!
+//! ## Cost model
+//!
+//! * [`Counter`] — sharded relaxed `fetch_add`; threads hash onto
+//!   cache-line-padded shards, so concurrent serve threads never
+//!   bounce one hot line.
+//! * [`Histogram`] — one relaxed `fetch_add` into a fixed log-bucket
+//!   array (the bucket scheme is `econcast-trace`'s, re-exported, so
+//!   both layers' histograms merge index-for-index).
+//! * [`Gauge`] — a value + high-water pair of atomics, owned by the
+//!   component whose level it is (admission queue, LRU, router);
+//!   gauges are **not** process-global — they are injected into a
+//!   snapshot at scrape time by whoever owns them.
+//! * Flight recorder — a mutex-guarded ring, touched only on *rare*
+//!   events (a shed, a respawn), never on the per-request path.
+//!
+//! Counters, histograms, and the recorder live in one process-global
+//! [`hub`] (mirroring `econcast-trace`'s process-wide design): a
+//! serve path records into it without plumbing, and a scrape drains
+//! it without locks. [`set_recording`] (default **on**) is the single
+//! kill switch the bench harness uses to measure the plane's own
+//! overhead.
+//!
+//! ## Snapshots, merge, windows
+//!
+//! [`snapshot`] freezes the hub into a [`MetricsSnapshot`]: dense
+//! counters, kind-tagged gauges, sparse histograms. Snapshots
+//! [`merge`](MetricsSnapshot::merge) order-insensitively (Σ for
+//! counters, Σ-or-max per gauge kind, bucket-wise Σ for histograms) —
+//! the cluster front fans per-backend snapshots into one exactly this
+//! way, and the property tests pin associativity. A [`SnapshotRing`]
+//! keeps the last K snapshots so every counter also reads as a
+//! *rate* — the `repro --top` ops view is built on it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+pub use econcast_trace::{bucket_high, bucket_of, NUM_BUCKETS, SUB_BITS};
+
+// ---------------------------------------------------------------------------
+// The fixed metric registry
+// ---------------------------------------------------------------------------
+
+/// Requests received on the serve path (including failed ones).
+pub const CTR_REQUESTS: usize = 0;
+/// Batches served.
+pub const CTR_BATCHES: usize = 1;
+/// Per-request errors returned.
+pub const CTR_ERRORS: usize = 2;
+/// Requests shed by the admission ladder.
+pub const CTR_SHED: usize = 3;
+/// Requests served degraded (tolerance relaxed one decade).
+pub const CTR_DEGRADED: usize = 4;
+/// Requests whose deadline budget expired before service.
+pub const CTR_DEADLINE_MISS: usize = 5;
+/// `Overloaded` frames sent to peers.
+pub const CTR_OVERLOADED_SENT: usize = 6;
+/// `Overloaded` frames received from backends.
+pub const CTR_OVERLOADED_RECEIVED: usize = 7;
+/// Batches re-served locally after a backend failure.
+pub const CTR_FAILOVER_RESERVES: usize = 8;
+/// Dead backends automatically respawned.
+pub const CTR_RESPAWNS: usize = 9;
+/// Backend slots quarantined onto the fallback solver.
+pub const CTR_QUARANTINES: usize = 10;
+/// Warm mix handoffs shipped during live reshards.
+pub const CTR_RESHARD_HANDOFFS: usize = 11;
+/// Backend-saturation windows opened.
+pub const CTR_SATURATION_OPENS: usize = 12;
+/// Number of named counters in the registry.
+pub const NUM_COUNTERS: usize = 13;
+
+/// Display names, indexed by the `CTR_*` constants.
+pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
+    "requests",
+    "batches",
+    "errors",
+    "shed",
+    "degraded",
+    "deadline_miss",
+    "overloaded_sent",
+    "overloaded_received",
+    "failover_reserves",
+    "respawns",
+    "quarantines",
+    "reshard_handoffs",
+    "saturation_opens",
+];
+
+/// Gauge merge kind: values sum across sources (disjoint levels, e.g.
+/// per-shard LRU residency).
+pub const GAUGE_KIND_SUM: u8 = 0;
+/// Gauge merge kind: values max across sources (a shared high-water
+/// mark, e.g. queue-depth peak).
+pub const GAUGE_KIND_MAX: u8 = 1;
+
+/// Current admission-queue depth (Σ across sources).
+pub const GAUGE_QUEUE_DEPTH: usize = 0;
+/// Admission-queue high-water mark (max across sources).
+pub const GAUGE_QUEUE_DEPTH_PEAK: usize = 1;
+/// Entries resident in the exact-match LRU tier (Σ — disjoint shards).
+pub const GAUGE_LRU_ENTRIES: usize = 2;
+/// Bytes charged to the cache budget, LRU + grids (Σ).
+pub const GAUGE_LRU_BYTES: usize = 3;
+/// Live (non-quarantined, non-dead) backends behind a front (Σ).
+pub const GAUGE_LIVE_BACKENDS: usize = 4;
+/// Backend-saturation windows currently open (Σ).
+pub const GAUGE_SATURATION_OPEN: usize = 5;
+/// Number of named gauges in the registry.
+pub const NUM_GAUGES: usize = 6;
+
+/// Display names, indexed by the `GAUGE_*` constants.
+pub const GAUGE_NAMES: [&str; NUM_GAUGES] = [
+    "queue_depth",
+    "queue_depth_peak",
+    "lru_entries",
+    "lru_bytes",
+    "live_backends",
+    "saturation_open",
+];
+
+/// Merge kinds, indexed by the `GAUGE_*` constants.
+pub const GAUGE_KINDS: [u8; NUM_GAUGES] = [
+    GAUGE_KIND_SUM,
+    GAUGE_KIND_MAX,
+    GAUGE_KIND_SUM,
+    GAUGE_KIND_SUM,
+    GAUGE_KIND_SUM,
+    GAUGE_KIND_SUM,
+];
+
+/// Wall time of one served batch, ns.
+pub const HIST_BATCH_NS: usize = 0;
+/// Per-request service time, ns (batch wall time ÷ batch size, one
+/// sample per request so percentiles weight by request, not batch).
+pub const HIST_REQUEST_NS: usize = 1;
+/// Number of named histograms in the registry.
+pub const NUM_HISTS: usize = 2;
+
+/// Display names, indexed by the `HIST_*` constants.
+pub const HIST_NAMES: [&str; NUM_HISTS] = ["batch_ns", "request_ns"];
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+const COUNTER_SHARDS: usize = 8;
+
+#[repr(align(64))]
+#[derive(Debug)]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn new() -> Self {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn thread_shard() -> usize {
+    thread_local! {
+        static SLOT: usize =
+            NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+    }
+    SLOT.try_with(|s| *s).unwrap_or(0)
+}
+
+/// A monotone event counter, sharded across cache-line-padded atomics
+/// so concurrent serve threads never contend on one line. All
+/// operations are relaxed — a read is a snapshot, not a fence.
+#[derive(Debug)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter {
+            shards: [
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+            ],
+        }
+    }
+
+    /// Adds `n` on the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The sum across shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Zeroes every shard (tests and the bench harness only — the
+    /// serve path never resets).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A level with a high-water mark: current value plus the peak it has
+/// ever reached. Owned by the component whose level it measures (the
+/// admission queue, a router); injected into snapshots at scrape
+/// time.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Raises the level by `n`, returning the new value. Does **not**
+    /// advance the peak — callers that admit conditionally (the shed
+    /// ladder) record the peak only for levels that are actually
+    /// held, via [`note_peak`](Self::note_peak).
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        self.value.fetch_add(n, Ordering::AcqRel) + n
+    }
+
+    /// Lowers the level by `n` (saturating semantics are the caller's
+    /// responsibility — levels are balanced add/sub pairs).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.value.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    /// Folds `v` into the high-water mark.
+    #[inline]
+    pub fn note_peak(&self, v: u64) {
+        self.peak.fetch_max(v, Ordering::AcqRel);
+    }
+
+    /// Overwrites the level (for sampled gauges, e.g. LRU residency),
+    /// advancing the peak.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Release);
+        self.note_peak(v);
+    }
+
+    /// The current level.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// The high-water mark.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Acquire)
+    }
+}
+
+/// A permanently-armed latency histogram: fixed log-spaced buckets
+/// (the `econcast-trace` scheme — ≤ 12.5% relative edge error), one
+/// relaxed `fetch_add` per sample.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records `n` occurrences of value `v` (typically nanoseconds).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.counts[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// The sparse frozen form (non-zero buckets, ascending index).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for (idx, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n != 0 {
+                buckets.push((idx as u16, n));
+            }
+        }
+        HistSnapshot { buckets }
+    }
+
+    /// Zeroes every bucket (tests and the bench harness only).
+    pub fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A frozen histogram: `(bucket index, count)` pairs, ascending
+/// index, zero buckets omitted — the form that rides the wire and
+/// merges across shards/backends.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Non-zero `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistSnapshot {
+    /// Total sample count.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Bucket-wise sum — associative and order-insensitive (pinned by
+    /// property test), so a cluster fan-in may merge backends in any
+    /// order and still equal the single-process histogram.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        let mut out = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let a = self.buckets.get(i).copied();
+            let b = other.buckets.get(j).copied();
+            match (a, b) {
+                (Some((ia, na)), Some((ib, _))) if ia < ib => {
+                    out.push((ia, na));
+                    i += 1;
+                }
+                (Some((ia, _)), Some((ib, nb))) if ib < ia => {
+                    out.push((ib, nb));
+                    j += 1;
+                }
+                (Some((ia, na)), Some((_, nb))) => {
+                    out.push((ia, na + nb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some((ia, na)), None) => {
+                    out.push((ia, na));
+                    i += 1;
+                }
+                (None, Some((ib, nb))) => {
+                    out.push((ib, nb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = out;
+    }
+
+    /// The value at quantile `q` (upper bucket edge — tails are never
+    /// under-stated), or 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(usize::from(idx));
+            }
+        }
+        bucket_high(NUM_BUCKETS - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots and merge
+// ---------------------------------------------------------------------------
+
+/// One scrape of a metrics plane: dense counters (indexed by the
+/// `CTR_*` registry), kind-tagged gauges (`GAUGE_*`), and sparse
+/// histograms (`HIST_*`). The gauge merge kind travels **with the
+/// data**, so a fan-in needs no out-of-band schema: Σ counters,
+/// Σ-or-max per gauge kind, bucket-wise Σ histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, indexed by the `CTR_*` constants.
+    pub counters: Vec<u64>,
+    /// `(merge kind, value)` per gauge, indexed by the `GAUGE_*`
+    /// constants. Kind is [`GAUGE_KIND_SUM`] or [`GAUGE_KIND_MAX`].
+    pub gauges: Vec<(u8, u64)>,
+    /// Sparse histograms, indexed by the `HIST_*` constants.
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An all-zero snapshot with the full current registry shape
+    /// (the merge identity).
+    pub fn zeroed() -> Self {
+        MetricsSnapshot {
+            counters: vec![0; NUM_COUNTERS],
+            gauges: GAUGE_KINDS.iter().map(|&k| (k, 0)).collect(),
+            hists: vec![HistSnapshot::default(); NUM_HISTS],
+        }
+    }
+
+    /// Folds `other` in: counters sum, gauges sum or max per their
+    /// kind tag, histograms merge bucket-wise. Tolerates length
+    /// mismatches (an older peer reporting a shorter registry) by
+    /// treating missing entries as absent, so mixed-version fan-ins
+    /// stay lossless for the fields both sides know.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if self.counters.len() < other.counters.len() {
+            self.counters.resize(other.counters.len(), 0);
+        }
+        for (i, &v) in other.counters.iter().enumerate() {
+            self.counters[i] = self.counters[i].wrapping_add(v);
+        }
+        for (i, &(kind, v)) in other.gauges.iter().enumerate() {
+            if i < self.gauges.len() {
+                let (k, cur) = self.gauges[i];
+                self.gauges[i] = match k {
+                    GAUGE_KIND_MAX => (k, cur.max(v)),
+                    _ => (k, cur.wrapping_add(v)),
+                };
+            } else {
+                self.gauges.push((kind, v));
+            }
+        }
+        for (i, h) in other.hists.iter().enumerate() {
+            if i < self.hists.len() {
+                self.hists[i].merge(h);
+            } else {
+                self.hists.push(h.clone());
+            }
+        }
+    }
+
+    /// A named counter, 0 when the snapshot predates it.
+    pub fn counter(&self, idx: usize) -> u64 {
+        self.counters.get(idx).copied().unwrap_or(0)
+    }
+
+    /// A named gauge value, 0 when the snapshot predates it.
+    pub fn gauge(&self, idx: usize) -> u64 {
+        self.gauges.get(idx).map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// A named histogram, empty when the snapshot predates it.
+    pub fn hist(&self, idx: usize) -> HistSnapshot {
+        self.hists.get(idx).cloned().unwrap_or_default()
+    }
+}
+
+/// A ring of the last K counter snapshots, so every counter also
+/// reads as a **rate**: `rate_per_sec` diffs the newest entry against
+/// the oldest over the window's wall time. Negative deltas (a
+/// restarted source whose fan-in was not re-based) clamp to zero
+/// rather than going backwards.
+#[derive(Debug, Clone)]
+pub struct SnapshotRing {
+    cap: usize,
+    entries: VecDeque<(u64, Vec<u64>)>,
+}
+
+impl SnapshotRing {
+    /// A ring keeping the last `cap` (≥ 2) snapshots.
+    pub fn new(cap: usize) -> Self {
+        SnapshotRing {
+            cap: cap.max(2),
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Appends one scrape (`ts_ns` from a monotone clock), dropping
+    /// the oldest past capacity.
+    pub fn push(&mut self, ts_ns: u64, counters: &[u64]) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((ts_ns, counters.to_vec()));
+    }
+
+    /// Wall time spanned by the ring, ns.
+    pub fn window_ns(&self) -> u64 {
+        match (self.entries.front(), self.entries.back()) {
+            (Some(&(t0, _)), Some(&(t1, _))) => t1.saturating_sub(t0),
+            _ => 0,
+        }
+    }
+
+    /// Counter delta over the window (clamped at zero).
+    pub fn delta(&self, idx: usize) -> u64 {
+        match (self.entries.front(), self.entries.back()) {
+            (Some((_, old)), Some((_, new))) => {
+                let a = old.get(idx).copied().unwrap_or(0);
+                let b = new.get(idx).copied().unwrap_or(0);
+                b.saturating_sub(a)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Counter rate over the window, per second (0 with < 2 entries).
+    pub fn rate_per_sec(&self, idx: usize) -> f64 {
+        let window = self.window_ns();
+        if window == 0 {
+            return 0.0;
+        }
+        self.delta(idx) as f64 * 1e9 / window as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Flight-recorder ring capacity (events; overflow drops oldest).
+pub const RECORDER_CAPACITY: usize = 4096;
+
+/// A significant ops event — the flight recorder's vocabulary. Each
+/// maps onto the counter it also bumps (see [`ops_event`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpsKind {
+    /// A request was shed by the admission ladder.
+    Shed,
+    /// An `Overloaded` frame was sent to a peer.
+    OverloadedSent,
+    /// An `Overloaded` frame arrived from a backend.
+    OverloadedReceived,
+    /// A request's deadline budget expired before service.
+    DeadlineMiss,
+    /// A batch was re-served locally after a backend failure.
+    FailoverReserve,
+    /// A dead backend was respawned.
+    Respawn,
+    /// A backend slot was quarantined onto the fallback solver.
+    Quarantine,
+    /// A warm mix handoff shipped during a live reshard.
+    ReshardHandoff,
+    /// A backend-saturation window opened.
+    SaturationOpen,
+    /// A backend-saturation window lapsed.
+    SaturationClose,
+}
+
+impl OpsKind {
+    /// The event's display (and Perfetto) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpsKind::Shed => "shed",
+            OpsKind::OverloadedSent => "overloaded_sent",
+            OpsKind::OverloadedReceived => "overloaded_received",
+            OpsKind::DeadlineMiss => "deadline_miss",
+            OpsKind::FailoverReserve => "failover_reserve",
+            OpsKind::Respawn => "respawn",
+            OpsKind::Quarantine => "quarantine",
+            OpsKind::ReshardHandoff => "reshard_handoff",
+            OpsKind::SaturationOpen => "saturation_open",
+            OpsKind::SaturationClose => "saturation_close",
+        }
+    }
+
+    /// The registry counter this event bumps, if any.
+    fn counter(self) -> Option<usize> {
+        match self {
+            OpsKind::Shed => Some(CTR_SHED),
+            OpsKind::OverloadedSent => Some(CTR_OVERLOADED_SENT),
+            OpsKind::OverloadedReceived => Some(CTR_OVERLOADED_RECEIVED),
+            OpsKind::DeadlineMiss => Some(CTR_DEADLINE_MISS),
+            OpsKind::FailoverReserve => Some(CTR_FAILOVER_RESERVES),
+            OpsKind::Respawn => Some(CTR_RESPAWNS),
+            OpsKind::Quarantine => Some(CTR_QUARANTINES),
+            OpsKind::ReshardHandoff => Some(CTR_RESHARD_HANDOFFS),
+            OpsKind::SaturationOpen => Some(CTR_SATURATION_OPENS),
+            OpsKind::SaturationClose => None,
+        }
+    }
+}
+
+/// One recorded ops event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpsEvent {
+    /// Monotone sequence number (process-wide, never reused) — ring
+    /// overflow is visible as a gap.
+    pub seq: u64,
+    /// Nanoseconds since the trace epoch ([`econcast_trace::now_ns`]).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: OpsKind,
+    /// Primary argument (slot / shard index where meaningful).
+    pub slot: u64,
+    /// Secondary argument (event-specific detail, e.g. retry hint µs).
+    pub detail: u64,
+}
+
+#[derive(Debug, Default)]
+struct Recorder {
+    events: VecDeque<OpsEvent>,
+    dropped: u64,
+    next_seq: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The process-global hub
+// ---------------------------------------------------------------------------
+
+/// The process-global metrics plane: the registry's counters and
+/// histograms plus the flight recorder. Gauges are *not* here — they
+/// are owned by their components and injected at scrape time.
+#[derive(Debug)]
+pub struct Hub {
+    counters: [Counter; NUM_COUNTERS],
+    hists: Vec<Histogram>,
+    recorder: Mutex<Recorder>,
+}
+
+static HUB: OnceLock<Hub> = OnceLock::new();
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The process-global hub.
+pub fn hub() -> &'static Hub {
+    HUB.get_or_init(|| Hub {
+        counters: std::array::from_fn(|_| Counter::new()),
+        hists: (0..NUM_HISTS).map(|_| Histogram::new()).collect(),
+        recorder: Mutex::new(Recorder::default()),
+    })
+}
+
+/// Whether the plane is recording (default **on** — this is the
+/// always-on plane; the bench harness turns it off to measure its own
+/// overhead).
+#[inline(always)]
+pub fn recording_on() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off, process-wide.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+impl Hub {
+    /// Adds `n` to a registry counter.
+    #[inline]
+    pub fn counter_add(&self, idx: usize, n: u64) {
+        self.counters[idx].add(n);
+    }
+
+    /// A registry counter's current value.
+    pub fn counter_get(&self, idx: usize) -> u64 {
+        self.counters[idx].get()
+    }
+
+    /// Records `n` samples of `v` into a registry histogram.
+    #[inline]
+    pub fn record_n(&self, hist: usize, v: u64, n: u64) {
+        self.hists[hist].record_n(v, n);
+    }
+
+    /// Freezes counters and histograms into a snapshot. Gauge slots
+    /// come back zeroed (with their registry kinds) for the owner
+    /// layer to fill in.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::zeroed();
+        for (i, c) in self.counters.iter().enumerate() {
+            snap.counters[i] = c.get();
+        }
+        for (i, h) in self.hists.iter().enumerate() {
+            snap.hists[i] = h.snapshot();
+        }
+        snap
+    }
+}
+
+/// Adds `n` to a registry counter on the global hub, when recording.
+#[inline]
+pub fn counter_add(idx: usize, n: u64) {
+    if recording_on() {
+        hub().counter_add(idx, n);
+    }
+}
+
+/// Records `n` samples of `v` into a global-hub histogram, when
+/// recording.
+#[inline]
+pub fn record_n(hist: usize, v: u64, n: u64) {
+    if recording_on() {
+        hub().record_n(hist, v, n);
+    }
+}
+
+/// Freezes the global hub (counters + histograms; gauge slots zeroed
+/// for the caller to fill).
+pub fn snapshot() -> MetricsSnapshot {
+    hub().snapshot()
+}
+
+/// Records one flight-recorder event (and bumps its registry
+/// counter). Touches a mutex — call on *rare* events only, never on
+/// the per-request fast path.
+pub fn ops_event(kind: OpsKind, slot: u64, detail: u64) {
+    if !recording_on() {
+        return;
+    }
+    let h = hub();
+    if let Some(idx) = kind.counter() {
+        h.counter_add(idx, 1);
+    }
+    let mut rec = lock(&h.recorder);
+    if rec.events.len() == RECORDER_CAPACITY {
+        rec.events.pop_front();
+        rec.dropped += 1;
+    }
+    let seq = rec.next_seq;
+    rec.next_seq += 1;
+    rec.events.push_back(OpsEvent {
+        seq,
+        ts_ns: econcast_trace::now_ns(),
+        kind,
+        slot,
+        detail,
+    });
+}
+
+/// The recorder's current contents, oldest first.
+pub fn recorder_events() -> Vec<OpsEvent> {
+    lock(&hub().recorder).events.iter().copied().collect()
+}
+
+/// Events lost to ring overflow so far.
+pub fn recorder_dropped() -> u64 {
+    lock(&hub().recorder).dropped
+}
+
+/// Empties the recorder ring (keeps the sequence counter running, so
+/// post-clear events are still globally ordered).
+pub fn recorder_clear() {
+    let mut rec = lock(&hub().recorder);
+    rec.events.clear();
+    rec.dropped = 0;
+}
+
+/// Renders the recorder as Chrome/Perfetto JSON instant events
+/// (`{"traceEvents":[...]}`), loadable by `chrome://tracing` and the
+/// Perfetto UI — the black-box dump a chaos run leaves behind.
+pub fn recorder_dump_json() -> String {
+    let events = recorder_events();
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"p\",\"ts\":{}.{:03},\
+             \"cat\":\"ops\",\"name\":\"{}\",\"args\":{{\"seq\":{},\"slot\":{},\"detail\":{}}}}}",
+            ev.ts_ns / 1_000,
+            ev.ts_ns % 1_000,
+            ev.kind.name(),
+            ev.seq,
+            ev.slot,
+            ev.detail,
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Zeroes the global hub's counters and histograms and empties the
+/// recorder — a clean slate for tests and bench runs. Leaves the
+/// recording switch alone.
+pub fn reset() {
+    let h = hub();
+    for c in &h.counters {
+        c.reset();
+    }
+    for hist in &h.hists {
+        hist.reset();
+    }
+    recorder_clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests of the global hub toggle process-wide state; serialize
+    /// them (the trace crate's pattern).
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        let guard = GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_recording(true);
+        reset();
+        guard
+    }
+
+    #[test]
+    fn counter_sums_across_threads_and_shards() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak_independently() {
+        let g = Gauge::new();
+        assert_eq!(g.add(3), 3);
+        g.note_peak(3);
+        assert_eq!(g.add(2), 5);
+        // Conditional admission: the caller may decline to note the
+        // peak (a shed never holds a slot).
+        g.sub(2);
+        assert_eq!(g.value(), 3);
+        assert_eq!(g.peak(), 3);
+        g.set(10);
+        assert_eq!((g.value(), g.peak()), (10, 10));
+        g.set(1);
+        assert_eq!((g.value(), g.peak()), (1, 10));
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles_match_trace_buckets() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 100);
+        assert_eq!(snap.quantile(0.50), bucket_high(bucket_of(1_000)));
+        assert_eq!(snap.quantile(1.0), bucket_high(bucket_of(1_000_000)));
+        // Upper-edge reporting: never under-states.
+        assert!(snap.quantile(0.50) >= 1_000);
+    }
+
+    #[test]
+    fn hist_merge_is_commutative_on_disjoint_and_overlapping_buckets() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 100, 100, 5_000]);
+        let b = mk(&[100, 7, 1 << 40]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn snapshot_merge_respects_gauge_kinds() {
+        let mut a = MetricsSnapshot::zeroed();
+        a.counters[CTR_REQUESTS] = 10;
+        a.gauges[GAUGE_QUEUE_DEPTH] = (GAUGE_KIND_SUM, 4);
+        a.gauges[GAUGE_QUEUE_DEPTH_PEAK] = (GAUGE_KIND_MAX, 9);
+        let mut b = MetricsSnapshot::zeroed();
+        b.counters[CTR_REQUESTS] = 5;
+        b.gauges[GAUGE_QUEUE_DEPTH] = (GAUGE_KIND_SUM, 3);
+        b.gauges[GAUGE_QUEUE_DEPTH_PEAK] = (GAUGE_KIND_MAX, 7);
+        a.merge(&b);
+        assert_eq!(a.counter(CTR_REQUESTS), 15);
+        assert_eq!(a.gauge(GAUGE_QUEUE_DEPTH), 7); // Σ
+        assert_eq!(a.gauge(GAUGE_QUEUE_DEPTH_PEAK), 9); // max
+    }
+
+    #[test]
+    fn snapshot_ring_rates_and_reset_clamp() {
+        let mut ring = SnapshotRing::new(4);
+        ring.push(0, &[0]);
+        ring.push(1_000_000_000, &[100]);
+        assert_eq!(ring.delta(0), 100);
+        assert!((ring.rate_per_sec(0) - 100.0).abs() < 1e-9);
+        // A source restart (counter went backwards) clamps, never
+        // reads as a negative rate.
+        ring.push(2_000_000_000, &[10]);
+        assert_eq!(ring.delta(0), 10);
+        // Capacity: oldest entries fall off.
+        for i in 0..10 {
+            ring.push(3_000_000_000 + i, &[1000]);
+        }
+        assert_eq!(ring.window_ns(), 3);
+    }
+
+    #[test]
+    fn recorder_ring_wraps_keeps_newest_and_counts_drops() {
+        let _g = serial();
+        for i in 0..(RECORDER_CAPACITY as u64 + 7) {
+            ops_event(OpsKind::Shed, i, 0);
+        }
+        let events = recorder_events();
+        assert_eq!(events.len(), RECORDER_CAPACITY);
+        assert_eq!(recorder_dropped(), 7);
+        // Oldest dropped: the ring starts at event 7, stays ordered,
+        // and sequence numbers expose the gap.
+        assert_eq!(events[0].slot, 7);
+        assert!(events
+            .windows(2)
+            .all(|w| { w[0].seq + 1 == w[1].seq && w[0].ts_ns <= w[1].ts_ns }));
+        reset();
+    }
+
+    #[test]
+    fn ops_events_bump_their_registry_counters() {
+        let _g = serial();
+        ops_event(OpsKind::Respawn, 2, 0);
+        ops_event(OpsKind::Quarantine, 2, 0);
+        ops_event(OpsKind::SaturationClose, 1, 0); // no counter
+        let snap = snapshot();
+        assert_eq!(snap.counter(CTR_RESPAWNS), 1);
+        assert_eq!(snap.counter(CTR_QUARANTINES), 1);
+        let names: Vec<_> = recorder_events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, vec!["respawn", "quarantine", "saturation_close"]);
+        reset();
+    }
+
+    #[test]
+    fn recorder_json_is_perfetto_shaped() {
+        let _g = serial();
+        ops_event(OpsKind::FailoverReserve, 1, 42);
+        let json = recorder_dump_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"failover_reserve\""));
+        assert!(json.contains("\"slot\":1"));
+        assert!(json.contains("\"detail\":42"));
+        assert!(json.is_ascii());
+        reset();
+    }
+
+    #[test]
+    fn recording_switch_gates_everything() {
+        let _g = serial();
+        set_recording(false);
+        counter_add(CTR_REQUESTS, 5);
+        record_n(HIST_BATCH_NS, 1_000, 1);
+        ops_event(OpsKind::Shed, 0, 0);
+        let snap = snapshot();
+        assert_eq!(snap.counter(CTR_REQUESTS), 0);
+        assert_eq!(snap.counter(CTR_SHED), 0);
+        assert_eq!(snap.hist(HIST_BATCH_NS).total(), 0);
+        assert!(recorder_events().is_empty());
+        set_recording(true);
+        counter_add(CTR_REQUESTS, 5);
+        assert_eq!(snapshot().counter(CTR_REQUESTS), 5);
+        reset();
+    }
+
+    #[test]
+    fn registry_tables_are_consistent() {
+        assert_eq!(COUNTER_NAMES.len(), NUM_COUNTERS);
+        assert_eq!(GAUGE_NAMES.len(), NUM_GAUGES);
+        assert_eq!(GAUGE_KINDS.len(), NUM_GAUGES);
+        assert_eq!(HIST_NAMES.len(), NUM_HISTS);
+        assert_eq!(GAUGE_KINDS[GAUGE_QUEUE_DEPTH_PEAK], GAUGE_KIND_MAX);
+        let z = MetricsSnapshot::zeroed();
+        assert_eq!(z.counters.len(), NUM_COUNTERS);
+        assert_eq!(z.gauges.len(), NUM_GAUGES);
+        assert_eq!(z.hists.len(), NUM_HISTS);
+    }
+}

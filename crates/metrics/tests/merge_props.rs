@@ -1,0 +1,148 @@
+//! Property tests for the fan-in algebra: a cluster front merges
+//! per-shard and per-backend snapshots in whatever order scrapes
+//! happen to complete, so the merge must be associative and
+//! order-insensitive — otherwise two scrapes of the same quiescent
+//! cluster could disagree. Checked over generated observation sets,
+//! not hand-picked examples: the log-bucketing means two values can
+//! share a bucket, and the sparse representation means bucket *sets*
+//! differ across shards — exactly the structure example-based tests
+//! under-explore.
+
+use econcast_metrics::{
+    HistSnapshot, Histogram, MetricsSnapshot, GAUGE_KINDS, GAUGE_KIND_MAX, NUM_COUNTERS,
+};
+use proptest::prelude::*;
+
+/// A shard's histogram snapshot: every value in `values` recorded
+/// once. Spans sub-bucket-zero to ~18 hours in nanoseconds, so bucket
+/// collisions and distinct sparse bucket sets both occur.
+fn hist_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Observation lists for 2–6 shards/backends.
+fn shards() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..1 << 46, 0..40), 2..6)
+}
+
+/// Raw material for one registry-shaped snapshot: counter values,
+/// gauge values, and per-histogram observation lists — what any one
+/// backend of the current wire version reports.
+type SnapshotParts = (Vec<u64>, Vec<u64>, Vec<Vec<u64>>);
+
+fn snapshot_parts() -> impl Strategy<Value = SnapshotParts> {
+    (
+        proptest::collection::vec(0u64..1 << 40, NUM_COUNTERS),
+        proptest::collection::vec(0u64..1 << 32, GAUGE_KINDS.len()),
+        proptest::collection::vec(proptest::collection::vec(0u64..1 << 46, 0..20), 2),
+    )
+}
+
+fn snap((counters, gauge_vals, hist_values): &SnapshotParts) -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: counters.clone(),
+        gauges: GAUGE_KINDS
+            .iter()
+            .zip(gauge_vals)
+            .map(|(&k, &v)| (k, v))
+            .collect(),
+        hists: hist_values.iter().map(|v| hist_of(v)).collect(),
+    }
+}
+
+/// Fold `parts` left-to-right into one snapshot.
+fn merge_all<'a>(parts: impl Iterator<Item = &'a HistSnapshot>) -> HistSnapshot {
+    let mut acc = HistSnapshot::default();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+proptest! {
+    /// Merging per-shard histograms is order-insensitive: the scrape
+    /// that collects backends in reverse sees the identical histogram.
+    #[test]
+    fn hist_merge_is_order_insensitive(obs in shards()) {
+        let parts: Vec<HistSnapshot> = obs.iter().map(|v| hist_of(v)).collect();
+        let forward = merge_all(parts.iter());
+        let backward = merge_all(parts.iter().rev());
+        prop_assert_eq!(&forward, &backward);
+        // And equal to recording everything into one histogram — the
+        // sharded plane is indistinguishable from a single hot one.
+        let flat: Vec<u64> = obs.concat();
+        prop_assert_eq!(&forward, &hist_of(&flat));
+        prop_assert_eq!(forward.total(), flat.len() as u64);
+    }
+
+    /// Associativity: any grouping of the same shards merges to the
+    /// same histogram — a front may pre-merge its local shards before
+    /// folding in remote backends, or not, identically.
+    #[test]
+    fn hist_merge_is_associative(obs in shards(), split in 1usize..5) {
+        let parts: Vec<HistSnapshot> = obs.iter().map(|v| hist_of(v)).collect();
+        let k = split.min(parts.len() - 1);
+        // (a1·…·ak)·(ak+1·…·an) vs the flat left fold.
+        let mut grouped = merge_all(parts[..k].iter());
+        grouped.merge(&merge_all(parts[k..].iter()));
+        prop_assert_eq!(grouped, merge_all(parts.iter()));
+    }
+
+    /// The empty histogram is the merge identity on both sides.
+    #[test]
+    fn hist_merge_identity(obs in proptest::collection::vec(0u64..1 << 46, 0..40)) {
+        let h = hist_of(&obs);
+        let mut left = HistSnapshot::default();
+        left.merge(&h);
+        prop_assert_eq!(&left, &h);
+        let mut right = h.clone();
+        right.merge(&HistSnapshot::default());
+        prop_assert_eq!(&right, &h);
+    }
+
+    /// Full-snapshot merge is commutative and associative across
+    /// same-registry backends: counters sum, max-kind gauges max,
+    /// sum-kind gauges sum, histograms merge — none of it depends on
+    /// fan-in order.
+    #[test]
+    fn snapshot_merge_is_commutative_and_associative(
+        pa in snapshot_parts(),
+        pb in snapshot_parts(),
+        pc in snapshot_parts(),
+    ) {
+        let (a, b, c) = (snap(&pa), snap(&pb), snap(&pc));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // The zeroed snapshot is the identity.
+        let mut z = MetricsSnapshot::zeroed();
+        z.merge(&a);
+        prop_assert_eq!(&z, &a);
+
+        // Spot-check the gauge semantics the equality relies on: each
+        // slot either summed or maxed per its kind tag.
+        for (i, &(kind, v)) in ab.gauges.iter().enumerate() {
+            let (x, y) = (a.gauges[i].1, b.gauges[i].1);
+            if kind == GAUGE_KIND_MAX {
+                prop_assert_eq!(v, x.max(y));
+            } else {
+                prop_assert_eq!(v, x.wrapping_add(y));
+            }
+        }
+    }
+}

@@ -34,6 +34,12 @@
 //! MixAck:   [0x1A][ver][id u32][absorbed u16][grids_built u16][crc u16]
 //! Overload: [0x1B][ver][corr u32][id u32][retry_after_us u32][crc u16]
 //!           (v6+ only)
+//! MetricsReq: [0x1C][ver][id u32][crc u16]  (v7+ only)
+//! Metrics:  [0x1D][ver][id u32]
+//!           [nc u16]{ [counter u64] }×nc
+//!           [ng u16]{ [kind u8][value u64] }×ng
+//!           [nh u16]{ [nb u16]{ [bucket u16][count u64] }×nb }×nh
+//!           [crc u16]  (v7+ only)
 //! ```
 //!
 //! Version 2 added the response's `kernel` octet (which solve kernel
@@ -78,6 +84,17 @@
 //! `Overloaded` frame is never sent to a pre-v6 peer — servers shed
 //! those connections through the degraded-serve ladder instead, so an
 //! old client sees only frames it can parse.
+//! Version 7 added the always-on metrics plane's scrape pair:
+//! `MetricsRequest` (`0x1C`) asks for a point-in-time snapshot of the
+//! serving process's metrics registry, answered by `MetricsResponse`
+//! (`0x1D`) — counters, merge-kind-tagged gauges, and sparse
+//! log-bucket latency histograms, all self-describing so a fan-in
+//! needs no out-of-band schema. Like the `Overloaded` frame, the pair
+//! is negotiated: neither frame is ever sent to a pre-v7 peer
+//! (clients refuse to scrape an old connection, servers only answer
+//! frames received), and a `0x1C`/`0x1D` frame stamped pre-v7 is
+//! refused as [`DecodeError::UnsupportedVersion`]. Every other
+//! message is byte-identical between v6 and v7.
 //!
 //! `Hello`/`Welcome` form the connection handshake of the TCP policy
 //! server: the client announces the largest batch it intends to
@@ -102,7 +119,7 @@ use crate::error::DecodeError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Current service wire-format version.
-pub const WIRE_VERSION: u8 = 6;
+pub const WIRE_VERSION: u8 = 7;
 
 /// Oldest wire version this build still decodes (and can encode, via
 /// [`ServiceMessage::encode_into_versioned`]). A v4 data-plane frame
@@ -130,11 +147,33 @@ const TYPE_PONG: u8 = 0x18;
 const TYPE_MIX_SEED: u8 = 0x19;
 const TYPE_MIX_ACK: u8 = 0x1A;
 const TYPE_OVERLOADED: u8 = 0x1B;
+const TYPE_METRICS_REQUEST: u8 = 0x1C;
+const TYPE_METRICS_RESPONSE: u8 = 0x1D;
 
 /// First wire version that carries the overload-control surface: the
 /// request `deadline_us` field, the `Overloaded` frame, and the four
 /// appended overload stats counters.
 pub const OVERLOAD_WIRE_VERSION: u8 = 6;
+
+/// First wire version that carries the metrics-plane scrape pair
+/// (`MetricsRequest`/`MetricsResponse`). Neither frame is ever sent
+/// to a pre-v7 peer.
+pub const METRICS_WIRE_VERSION: u8 = 7;
+
+/// Cap on counters per [`WireMetricsSnapshot`] (frame must fit the
+/// u16 stream-length prefix; the registry currently uses 13).
+pub const MAX_WIRE_METRICS_COUNTERS: usize = 256;
+
+/// Cap on gauges per [`WireMetricsSnapshot`].
+pub const MAX_WIRE_METRICS_GAUGES: usize = 256;
+
+/// Cap on histograms per [`WireMetricsSnapshot`].
+pub const MAX_WIRE_METRICS_HISTS: usize = 8;
+
+/// Cap on non-zero buckets per histogram (the shared log-bucket
+/// scheme has 496 buckets; 512 leaves headroom without threatening
+/// the u16 length prefix).
+pub const MAX_WIRE_METRICS_BUCKETS: usize = 512;
 
 /// The `shard` value that requests counters aggregated across every
 /// shard instead of one shard's.
@@ -623,6 +662,40 @@ pub struct WireStatsResponse {
     pub stats: WireServiceStats,
 }
 
+/// Asks for a point-in-time snapshot of the serving process's
+/// always-on metrics registry (wire v7). A cluster front answers with
+/// its cluster-wide fan-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMetricsRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u32,
+}
+
+/// The wire form of one metrics scrape: dense counters, merge-kind-
+/// tagged gauges (`0` = sum across sources, `1` = max), and sparse
+/// log-bucket histograms — self-describing, so a fan-in merges
+/// without an out-of-band schema, and a newer peer's extra registry
+/// slots ride through an older relay unharmed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireMetricsSnapshot {
+    /// Counter values, in the metrics registry's index order.
+    pub counters: Vec<u64>,
+    /// `(merge kind, value)` per gauge, registry index order.
+    pub gauges: Vec<(u8, u64)>,
+    /// Sparse histograms: non-zero `(bucket index, count)` pairs,
+    /// ascending bucket index, registry index order.
+    pub hists: Vec<Vec<(u16, u64)>>,
+}
+
+/// Metrics scrape reply (wire v7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMetricsResponse {
+    /// Echo of the request id.
+    pub id: u32,
+    /// The snapshot.
+    pub snapshot: WireMetricsSnapshot,
+}
+
 /// Any service-family message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceMessage {
@@ -648,6 +721,10 @@ pub enum ServiceMessage {
     MixSeed(WireMixSeed),
     /// Reply: what the receiver did with the seed (wire v4).
     MixAck(WireMixAck),
+    /// Client → server: metrics scrape request (wire v7).
+    MetricsRequest(WireMetricsRequest),
+    /// Server → client: metrics snapshot (wire v7).
+    MetricsResponse(WireMetricsResponse),
 }
 
 impl ServiceMessage {
@@ -821,6 +898,51 @@ impl ServiceMessage {
                 buf.put_u16(a.absorbed);
                 buf.put_u16(a.grids_built);
             }
+            ServiceMessage::MetricsRequest(r) => {
+                // v7-born, like the Overloaded frame at v6: never
+                // encoded toward an older peer.
+                assert!(
+                    version >= METRICS_WIRE_VERSION,
+                    "MetricsRequest cannot be encoded at wire v{version}"
+                );
+                buf.put_u8(TYPE_METRICS_REQUEST);
+                buf.put_u8(version);
+                buf.put_u32(r.id);
+            }
+            ServiceMessage::MetricsResponse(r) => {
+                assert!(
+                    version >= METRICS_WIRE_VERSION,
+                    "MetricsResponse cannot be encoded at wire v{version}"
+                );
+                let s = &r.snapshot;
+                assert!(
+                    s.counters.len() <= MAX_WIRE_METRICS_COUNTERS
+                        && s.gauges.len() <= MAX_WIRE_METRICS_GAUGES
+                        && s.hists.len() <= MAX_WIRE_METRICS_HISTS
+                        && s.hists.iter().all(|h| h.len() <= MAX_WIRE_METRICS_BUCKETS),
+                    "metrics snapshot exceeds wire caps"
+                );
+                buf.put_u8(TYPE_METRICS_RESPONSE);
+                buf.put_u8(version);
+                buf.put_u32(r.id);
+                buf.put_u16(s.counters.len() as u16);
+                for &c in &s.counters {
+                    buf.put_u64(c);
+                }
+                buf.put_u16(s.gauges.len() as u16);
+                for &(kind, v) in &s.gauges {
+                    buf.put_u8(kind);
+                    buf.put_u64(v);
+                }
+                buf.put_u16(s.hists.len() as u16);
+                for h in &s.hists {
+                    buf.put_u16(h.len() as u16);
+                    for &(idx, n) in h {
+                        buf.put_u16(idx);
+                        buf.put_u64(n);
+                    }
+                }
+            }
         }
         let crc = crc16_ccitt(&buf[start..]);
         buf.put_u16(crc);
@@ -854,6 +976,12 @@ impl ServiceMessage {
             ServiceMessage::Ping(_) | ServiceMessage::Pong(_) => 6 + 2,
             ServiceMessage::MixSeed(s) => 8 + 35 * s.families.len() + 2,
             ServiceMessage::MixAck(_) => 10 + 2,
+            ServiceMessage::MetricsRequest(_) => 6 + 2,
+            ServiceMessage::MetricsResponse(r) => {
+                let s = &r.snapshot;
+                let hists: usize = s.hists.iter().map(|h| 2 + 10 * h.len()).sum();
+                6 + 2 + 8 * s.counters.len() + 2 + 9 * s.gauges.len() + 2 + hists + 2
+            }
         }
     }
 
@@ -920,6 +1048,32 @@ impl ServiceMessage {
                 8 + 35 * count + 2
             }
             TYPE_MIX_ACK => 12,
+            TYPE_METRICS_REQUEST => 8,
+            TYPE_METRICS_RESPONSE => {
+                // Three counted sections, one nested — walk them to
+                // find the frame length, guarding every count read.
+                let read_u16 = |off: usize| -> Result<usize, DecodeError> {
+                    if data.len() < off + 2 {
+                        return Err(DecodeError::Truncated {
+                            needed: off + 2,
+                            available: data.len(),
+                        });
+                    }
+                    Ok(u16::from_be_bytes([data[off], data[off + 1]]) as usize)
+                };
+                let mut off = 6; // type + ver + id
+                let nc = read_u16(off)?;
+                off += 2 + 8 * nc;
+                let ng = read_u16(off)?;
+                off += 2 + 9 * ng;
+                let nh = read_u16(off)?;
+                off += 2;
+                for _ in 0..nh {
+                    let nb = read_u16(off)?;
+                    off += 2 + 10 * nb;
+                }
+                off + 2
+            }
             t => return Err(DecodeError::UnknownFrameType(t)),
         };
         if data.len() < total_len {
@@ -1111,6 +1265,70 @@ impl ServiceMessage {
                     absorbed,
                     grids_built,
                 })
+            }
+            TYPE_METRICS_REQUEST | TYPE_METRICS_RESPONSE => {
+                // The pair is v7-born: a pre-v7 stamp is a peer bug
+                // (no such binary can produce it) — refused like a
+                // pre-v6 Overloaded frame.
+                if version < METRICS_WIRE_VERSION {
+                    return Err(DecodeError::UnsupportedVersion(version));
+                }
+                if data[0] == TYPE_METRICS_REQUEST {
+                    ServiceMessage::MetricsRequest(WireMetricsRequest { id: cur.get_u32() })
+                } else {
+                    let id = cur.get_u32();
+                    let nc = cur.get_u16() as usize;
+                    if nc > MAX_WIRE_METRICS_COUNTERS {
+                        return Err(DecodeError::MalformedLength);
+                    }
+                    let mut counters = Vec::with_capacity(nc);
+                    for _ in 0..nc {
+                        counters.push(cur.get_u64());
+                    }
+                    let ng = cur.get_u16() as usize;
+                    if ng > MAX_WIRE_METRICS_GAUGES {
+                        return Err(DecodeError::MalformedLength);
+                    }
+                    let mut gauges = Vec::with_capacity(ng);
+                    for _ in 0..ng {
+                        let kind = cur.get_u8();
+                        if kind > 1 {
+                            return Err(DecodeError::InvalidField("gauge kind"));
+                        }
+                        gauges.push((kind, cur.get_u64()));
+                    }
+                    let nh = cur.get_u16() as usize;
+                    if nh > MAX_WIRE_METRICS_HISTS {
+                        return Err(DecodeError::MalformedLength);
+                    }
+                    let mut hists = Vec::with_capacity(nh);
+                    for _ in 0..nh {
+                        let nb = cur.get_u16() as usize;
+                        if nb > MAX_WIRE_METRICS_BUCKETS {
+                            return Err(DecodeError::MalformedLength);
+                        }
+                        let mut buckets = Vec::with_capacity(nb);
+                        for _ in 0..nb {
+                            let idx = cur.get_u16();
+                            buckets.push((idx, cur.get_u64()));
+                        }
+                        // Ascending-index discipline is part of the
+                        // format: it makes merge linear and equality
+                        // canonical.
+                        if buckets.windows(2).any(|w| w[0].0 >= w[1].0) {
+                            return Err(DecodeError::InvalidField("hist bucket order"));
+                        }
+                        hists.push(buckets);
+                    }
+                    ServiceMessage::MetricsResponse(WireMetricsResponse {
+                        id,
+                        snapshot: WireMetricsSnapshot {
+                            counters,
+                            gauges,
+                            hists,
+                        },
+                    })
+                }
             }
             _ => unreachable!("validated above"),
         };
@@ -1479,6 +1697,157 @@ mod tests {
         });
         let mut b = BytesMut::new();
         m.encode_into_versioned(&mut b, 5);
+    }
+
+    fn sample_metrics_response() -> ServiceMessage {
+        ServiceMessage::MetricsResponse(WireMetricsResponse {
+            id: 77,
+            snapshot: WireMetricsSnapshot {
+                counters: vec![1, 0, u64::MAX, 42],
+                gauges: vec![(0, 9), (1, 1_000_000)],
+                hists: vec![vec![(0, 3), (17, 5), (495, 1)], vec![]],
+            },
+        })
+    }
+
+    #[test]
+    fn metrics_request_roundtrip_and_size() {
+        let m = ServiceMessage::MetricsRequest(WireMetricsRequest { id: 0xFEED });
+        let b = m.encode();
+        assert_eq!(b.len(), m.encoded_len());
+        assert_eq!(b.len(), 8, "0x1C frame: hdr + id + crc");
+        assert_eq!(b[0], 0x1C);
+        assert_eq!(b[1], WIRE_VERSION);
+        let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(used, b.len());
+        for cut in 0..b.len() {
+            assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+        // A pre-v7 stamp on the v7-born frame (valid CRC) is refused:
+        // no v6 binary can have produced it.
+        let mut forged = b.to_vec();
+        forged[1] = 6;
+        let body_len = forged.len() - 2;
+        let crc = crate::crc::crc16_ccitt(&forged[..body_len]);
+        forged[body_len..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ServiceMessage::decode(&forged),
+            Err(DecodeError::UnsupportedVersion(6))
+        );
+    }
+
+    #[test]
+    fn metrics_response_roundtrip_and_size() {
+        let m = sample_metrics_response();
+        let b = m.encode();
+        assert_eq!(b.len(), m.encoded_len());
+        // 6 hdr + (2 + 4·8) counters + (2 + 2·9) gauges
+        // + (2 + (2 + 3·10) + (2 + 0)) hists + 2 crc
+        assert_eq!(b.len(), 6 + 34 + 20 + 36 + 2);
+        assert_eq!(b[0], 0x1D);
+        let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(used, b.len());
+        for cut in 0..b.len() {
+            assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+        let mut forged = b.to_vec();
+        forged[1] = 6;
+        let body_len = forged.len() - 2;
+        let crc = crate::crc::crc16_ccitt(&forged[..body_len]);
+        forged[body_len..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ServiceMessage::decode(&forged),
+            Err(DecodeError::UnsupportedVersion(6))
+        );
+
+        // The empty snapshot is the minimal well-formed scrape.
+        let empty = ServiceMessage::MetricsResponse(WireMetricsResponse {
+            id: 0,
+            snapshot: WireMetricsSnapshot::default(),
+        });
+        let be = empty.encode();
+        assert_eq!(be.len(), 14);
+        assert_eq!(ServiceMessage::decode(&be).unwrap().0, empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "MetricsRequest cannot be encoded at wire v6")]
+    fn metrics_request_refuses_pre_v7_encode() {
+        let m = ServiceMessage::MetricsRequest(WireMetricsRequest { id: 1 });
+        let mut b = BytesMut::new();
+        m.encode_into_versioned(&mut b, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "MetricsResponse cannot be encoded at wire v6")]
+    fn metrics_response_refuses_pre_v7_encode() {
+        let m = sample_metrics_response();
+        let mut b = BytesMut::new();
+        m.encode_into_versioned(&mut b, 6);
+    }
+
+    #[test]
+    fn metrics_hist_bucket_order_enforced() {
+        // Out-of-order (and duplicate) bucket indices encode fine —
+        // the discipline is enforced where it matters, at decode.
+        for buckets in [vec![(5u16, 1u64), (3, 2)], vec![(5, 1), (5, 2)]] {
+            let m = ServiceMessage::MetricsResponse(WireMetricsResponse {
+                id: 1,
+                snapshot: WireMetricsSnapshot {
+                    counters: vec![],
+                    gauges: vec![],
+                    hists: vec![buckets],
+                },
+            });
+            assert_eq!(
+                ServiceMessage::decode(&m.encode()),
+                Err(DecodeError::InvalidField("hist bucket order"))
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_gauge_kind_rejected() {
+        let m = ServiceMessage::MetricsResponse(WireMetricsResponse {
+            id: 1,
+            snapshot: WireMetricsSnapshot {
+                counters: vec![],
+                gauges: vec![(2, 7)],
+                hists: vec![],
+            },
+        });
+        assert_eq!(
+            ServiceMessage::decode(&m.encode()),
+            Err(DecodeError::InvalidField("gauge kind"))
+        );
+    }
+
+    #[test]
+    fn metrics_counter_cap_enforced() {
+        // Hand-assemble a frame whose counter count exceeds the cap
+        // (the encoder refuses to produce one) with a valid CRC, so
+        // the cap check itself is exercised rather than the CRC.
+        let over = MAX_WIRE_METRICS_COUNTERS + 1;
+        let mut raw = vec![TYPE_METRICS_RESPONSE, WIRE_VERSION];
+        raw.extend_from_slice(&7u32.to_be_bytes());
+        raw.extend_from_slice(&(over as u16).to_be_bytes());
+        raw.resize(raw.len() + 8 * over, 0);
+        raw.extend_from_slice(&0u16.to_be_bytes()); // ng
+        raw.extend_from_slice(&0u16.to_be_bytes()); // nh
+        let crc = crate::crc::crc16_ccitt(&raw);
+        raw.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            ServiceMessage::decode(&raw),
+            Err(DecodeError::MalformedLength)
+        );
     }
 
     #[test]
@@ -2356,6 +2725,65 @@ mod tests {
                 }
                 prop_assert_eq!(decoded, ServiceMessage::Request(expect));
             }
+        }
+
+        /// Metrics-snapshot wire round-trip is lossless: arbitrary
+        /// counters, kind-tagged gauges, and strictly-ascending sparse
+        /// histograms come back bit-exact, and every proper truncation
+        /// fails with Truncated — the v7 scrape pair inherits the
+        /// framing discipline of the rest of the family.
+        #[test]
+        fn prop_metrics_snapshot_roundtrip(
+            id in any::<u32>(),
+            counters in proptest::collection::vec(any::<u64>(), 0..48),
+            gauges in proptest::collection::vec((0u8..=1, any::<u64>()), 0..16),
+            gaps in proptest::collection::vec((1u16..400, any::<u64>()), 0..50),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            // Strictly-positive gaps prefix-sum into strictly-
+            // ascending bucket indices.
+            let mut idx = 0u32;
+            let mut buckets: Vec<(u16, u64)> = Vec::new();
+            for (gap, count) in gaps {
+                idx += u32::from(gap);
+                if idx > u32::from(u16::MAX) {
+                    break;
+                }
+                buckets.push((idx as u16, count));
+            }
+            let m = ServiceMessage::MetricsResponse(WireMetricsResponse {
+                id,
+                snapshot: WireMetricsSnapshot {
+                    counters,
+                    gauges,
+                    hists: vec![buckets, vec![]],
+                },
+            });
+            let b = m.encode();
+            prop_assert_eq!(b.len(), m.encoded_len());
+            let (decoded, used) = ServiceMessage::decode(&b).unwrap();
+            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(used, b.len());
+            let cut = ((b.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(matches!(
+                ServiceMessage::decode(&b[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+
+        /// Single-byte corruption anywhere in a metrics frame is a
+        /// clean typed rejection — CRC, version window, cap check, or
+        /// bucket-order discipline; never a panic, never a silent
+        /// success.
+        #[test]
+        fn prop_metrics_corruption_detected(
+            pos_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let mut b = sample_metrics_response().encode().to_vec();
+            let pos = ((b.len() - 1) as f64 * pos_frac) as usize;
+            b[pos] ^= flip;
+            prop_assert!(ServiceMessage::decode(&b).is_err());
         }
     }
 }

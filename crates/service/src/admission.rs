@@ -39,7 +39,8 @@
 //! [`ServiceConfig::queue_capacity`]: crate::ServiceConfig::queue_capacity
 
 use crate::stats::ServiceStats;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use econcast_metrics::Gauge;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Coarsest tolerance the degrade rung may relax a request to; also
@@ -79,8 +80,10 @@ pub struct AdmissionController {
     capacity: usize,
     degrade_at: usize,
     max_queue_delay: Duration,
-    in_flight: AtomicUsize,
-    depth_peak: AtomicUsize,
+    /// The queue-depth gauge (level + high-water mark) — the shared
+    /// `econcast-metrics` primitive, so the same object feeds the
+    /// ladder, the stats overlay, and a v7 metrics scrape.
+    queue: Gauge,
     shed_rejects: AtomicU64,
     degraded_serves: AtomicU64,
     deadline_expired: AtomicU64,
@@ -105,8 +108,7 @@ impl AdmissionController {
             capacity,
             degrade_at: (capacity / 2).max(1),
             max_queue_delay,
-            in_flight: AtomicUsize::new(0),
-            depth_peak: AtomicUsize::new(0),
+            queue: Gauge::new(),
             shed_rejects: AtomicU64::new(0),
             degraded_serves: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
@@ -121,15 +123,18 @@ impl AdmissionController {
     /// degraded rung. An admitted request holds one queue slot until
     /// [`release`](Self::release).
     pub fn admit(&self, can_shed: bool) -> Admission {
-        let depth = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        let depth = self.queue.add(1) as usize;
         if depth > self.capacity && can_shed {
-            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.queue.sub(1);
             self.shed_rejects.fetch_add(1, Ordering::Relaxed);
             return Admission::Shed {
                 retry_after_us: self.retry_after_us(),
             };
         }
-        self.depth_peak.fetch_max(depth, Ordering::AcqRel);
+        // Only a *held* slot advances the peak — the shed rung above
+        // released its slot, so all-v6 traffic keeps the peak within
+        // capacity (the CI bounded-memory assertion).
+        self.queue.note_peak(depth as u64);
         if depth > self.degrade_at {
             self.degraded_serves.fetch_add(1, Ordering::Relaxed);
             Admission::AdmitDegraded
@@ -145,7 +150,7 @@ impl AdmissionController {
         if n == 0 {
             return;
         }
-        self.in_flight.fetch_sub(n, Ordering::AcqRel);
+        self.queue.sub(n as u64);
         let per_req = (elapsed.as_nanos() / n as u128).min(u64::MAX as u128) as u64;
         let old = self.service_ns.load(Ordering::Relaxed);
         let new = if old == 0 {
@@ -166,7 +171,17 @@ impl AdmissionController {
 
     /// Current queue depth (admitted, not yet served).
     pub fn depth(&self) -> usize {
-        self.in_flight.load(Ordering::Acquire)
+        self.queue.value() as usize
+    }
+
+    /// The queue-depth gauge itself, for injection into a v7 metrics
+    /// scrape (level under [`GAUGE_QUEUE_DEPTH`], peak under
+    /// [`GAUGE_QUEUE_DEPTH_PEAK`]).
+    ///
+    /// [`GAUGE_QUEUE_DEPTH`]: econcast_metrics::GAUGE_QUEUE_DEPTH
+    /// [`GAUGE_QUEUE_DEPTH_PEAK`]: econcast_metrics::GAUGE_QUEUE_DEPTH_PEAK
+    pub fn queue_gauge(&self) -> &Gauge {
+        &self.queue
     }
 
     /// High-water mark of the queue depth. The shed rung never holds
@@ -175,7 +190,7 @@ impl AdmissionController {
     /// assertion); pre-v6 peers — who cannot be shed — may push it
     /// past, exactly as far as their unsheddable requests go.
     pub fn depth_peak(&self) -> usize {
-        self.depth_peak.load(Ordering::Acquire)
+        self.queue.peak() as usize
     }
 
     /// Publishes the current downstream backpressure hint
@@ -193,7 +208,7 @@ impl AdmissionController {
     /// the published external hint (so a front never invites a retry
     /// sooner than its saturated backends asked for).
     pub fn retry_after_us(&self) -> u32 {
-        let depth = self.in_flight.load(Ordering::Acquire) as u64;
+        let depth = self.queue.value();
         let per_req_us = self.service_ns.load(Ordering::Relaxed) / 1_000;
         let drain = depth.saturating_mul(per_req_us);
         let floor = self

@@ -6,9 +6,9 @@ use crate::ready;
 use crate::request::PolicyRequest;
 use crate::stats::ServiceStats;
 use econcast_proto::service::{
-    ScatterEncoder, ServiceCodec, ServiceMessage, WireHello, WireMixSeed, WirePing,
-    WirePolicyError, WirePolicyResponse, WireStatsRequest, MIN_WIRE_VERSION, STATS_SHARD_AGGREGATE,
-    WIRE_VERSION,
+    ScatterEncoder, ServiceCodec, ServiceMessage, WireHello, WireMetricsRequest, WireMixSeed,
+    WirePing, WirePolicyError, WirePolicyResponse, WireStatsRequest, METRICS_WIRE_VERSION,
+    MIN_WIRE_VERSION, STATS_SHARD_AGGREGATE, WIRE_VERSION,
 };
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -566,6 +566,39 @@ impl PolicyClient {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidInput,
                         format!("server rejected stats request for shard {shard}"),
+                    ));
+                }
+                other => self.dispatch(other),
+            }
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (wire v7): hub counters,
+    /// injected gauges, and the always-on latency histograms. Errors
+    /// without sending anything when the connection negotiated a
+    /// pre-v7 version — the scrape pair must never reach an older
+    /// peer.
+    pub fn metrics(&mut self) -> std::io::Result<econcast_metrics::MetricsSnapshot> {
+        if self.wire_version < METRICS_WIRE_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!(
+                    "metrics scrape needs wire v{METRICS_WIRE_VERSION}, peer speaks v{}",
+                    self.wire_version
+                ),
+            ));
+        }
+        let id = self.take_id();
+        self.send(&ServiceMessage::MetricsRequest(WireMetricsRequest { id }))?;
+        loop {
+            match self.recv()? {
+                ServiceMessage::MetricsResponse(r) if r.id == id => {
+                    return Ok(crate::metrics::snapshot_from_wire(&r.snapshot));
+                }
+                ServiceMessage::Error(e) if e.id == id => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "server rejected metrics request",
                     ));
                 }
                 other => self.dispatch(other),

@@ -53,6 +53,7 @@ pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod grid;
+pub mod metrics;
 pub mod prewarm;
 pub mod ready;
 pub mod request;
@@ -68,6 +69,7 @@ pub use cache::{CachedPolicy, LruCache};
 pub use client::{PolicyClient, Ticket, WireResult};
 pub use econcast_trace::TraceConfig;
 pub use grid::{FamilyKey, GridConfig, PolicyGrid};
+pub use metrics::{snapshot_from_wire, snapshot_to_wire};
 pub use prewarm::{mix_from_wire, mix_to_wire, MixRecorder, PrewarmConfig};
 pub use request::{NodePolicy, PolicyRequest, PolicyResponse, ServiceError};
 pub use server::{

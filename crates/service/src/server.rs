@@ -37,9 +37,14 @@ use crate::grid::FamilyKey;
 use crate::request::{PolicyRequest, PolicyResponse, ServiceError};
 use crate::shard::{RouterConfig, ShardRouter};
 use bytes::BytesMut;
+use econcast_metrics::{
+    MetricsSnapshot, OpsKind, CTR_DEGRADED, CTR_OVERLOADED_SENT, GAUGE_QUEUE_DEPTH,
+    GAUGE_QUEUE_DEPTH_PEAK,
+};
 use econcast_proto::service::{
-    ServiceCodec, ServiceErrorCode, ServiceMessage, WireMixAck, WirePolicyError, WirePong,
-    WireStatsResponse, WireWelcome, OVERLOAD_WIRE_VERSION, STATS_SHARD_AGGREGATE, WIRE_VERSION,
+    ServiceCodec, ServiceErrorCode, ServiceMessage, WireMetricsResponse, WireMixAck,
+    WirePolicyError, WirePong, WireStatsResponse, WireWelcome, METRICS_WIRE_VERSION,
+    OVERLOAD_WIRE_VERSION, STATS_SHARD_AGGREGATE, WIRE_VERSION,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -367,6 +372,16 @@ pub trait ServeTarget {
         let _ = mix;
         (0, 0)
     }
+
+    /// A point-in-time metrics scrape (wire v7): the process-global
+    /// counter/histogram hub plus whatever gauges this target owns.
+    /// The default serves the bare hub snapshot; targets that own
+    /// gauge sources (LRU residency, cluster slot health) override
+    /// and inject them. The connection loop injects the admission
+    /// queue gauge on top — admission is per front, not per target.
+    fn metrics(&self) -> MetricsSnapshot {
+        econcast_metrics::snapshot()
+    }
 }
 
 impl ServeTarget for ShardRouter {
@@ -390,6 +405,14 @@ impl ServeTarget for ShardRouter {
 
     fn seed_mix(&self, mix: &[(FamilyKey, u64)]) -> (usize, usize) {
         self.absorb_mix(mix)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = econcast_metrics::snapshot();
+        let (entries, bytes) = self.cache_residency();
+        snap.gauges[econcast_metrics::GAUGE_LRU_ENTRIES].1 = entries;
+        snap.gauges[econcast_metrics::GAUGE_LRU_BYTES].1 = bytes;
+        snap
     }
 }
 
@@ -613,6 +636,14 @@ fn serve_connection_inner(
                         .unwrap_or(Admission::Admit);
                     match decision {
                         Admission::Shed { retry_after_us } => {
+                            // Flight-recorder: the shed and the
+                            // Overloaded frame it turned into.
+                            econcast_metrics::ops_event(
+                                OpsKind::Shed,
+                                0,
+                                u64::from(retry_after_us),
+                            );
+                            econcast_metrics::counter_add(CTR_OVERLOADED_SENT, 1);
                             ServiceCodec::encode_versioned(
                                 &ServiceMessage::Error(WirePolicyError {
                                     corr: w.corr,
@@ -627,6 +658,7 @@ fn serve_connection_inner(
                         rung => {
                             let mut req = PolicyRequest::from_wire(&w);
                             if rung == Admission::AdmitDegraded {
+                                econcast_metrics::counter_add(CTR_DEGRADED, 1);
                                 req.tolerance = degraded_tolerance(req.tolerance);
                             }
                             ids.push(ReqMeta {
@@ -710,6 +742,32 @@ fn serve_connection_inner(
                         version,
                     );
                 }
+                // Metrics scrape (wire v7): the target's snapshot
+                // (hub counters + histograms + target-owned gauges)
+                // with the front's admission queue gauge injected on
+                // top. The frame only ever rides a v7 reply stream —
+                // the request itself is v7-stamped, so `version` is
+                // only below 7 if this server is pinned older, and a
+                // pinned server's codec already dropped the stream.
+                ServiceMessage::MetricsRequest(r) => {
+                    if version >= METRICS_WIRE_VERSION {
+                        let mut snap = target.metrics();
+                        if let Some(a) = admission {
+                            let g = a.queue_gauge();
+                            snap.gauges[GAUGE_QUEUE_DEPTH].1 += g.value();
+                            let peak = &mut snap.gauges[GAUGE_QUEUE_DEPTH_PEAK].1;
+                            *peak = (*peak).max(g.peak());
+                        }
+                        ServiceCodec::encode_versioned(
+                            &ServiceMessage::MetricsResponse(WireMetricsResponse {
+                                id: r.id,
+                                snapshot: crate::metrics::snapshot_to_wire(&snap),
+                            }),
+                            &mut out,
+                            version,
+                        );
+                    }
+                }
                 // Server-to-client message types arriving here are
                 // protocol misuse; drop them.
                 ServiceMessage::Response(_)
@@ -717,7 +775,8 @@ fn serve_connection_inner(
                 | ServiceMessage::Welcome(_)
                 | ServiceMessage::StatsResponse(_)
                 | ServiceMessage::Pong(_)
-                | ServiceMessage::MixAck(_) => {}
+                | ServiceMessage::MixAck(_)
+                | ServiceMessage::MetricsResponse(_) => {}
             }
         }
         serve_into(target, &mut ids, &mut batch, &mut out, version, admission);
@@ -780,6 +839,8 @@ fn serve_into(
             if let Some(a) = admission {
                 a.note_deadline_expired();
             }
+            econcast_metrics::ops_event(OpsKind::DeadlineMiss, 0, u64::from(m.deadline_us));
+            econcast_metrics::counter_add(CTR_OVERLOADED_SENT, 1);
             ServiceMessage::Error(WirePolicyError {
                 corr: m.corr,
                 id: m.id,

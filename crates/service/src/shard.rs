@@ -234,6 +234,22 @@ impl ShardRouter {
             .routed
     }
 
+    /// Cache residency summed across shards: `(entries, bytes)` —
+    /// the LRU gauge pair a v7 metrics scrape reports. Shards hold
+    /// disjoint key ranges, so the sums are deployment totals.
+    pub fn cache_residency(&self) -> (u64, u64) {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let st = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            entries += st.service.stats().lru_len;
+            bytes += st.service.cache_bytes() as u64;
+        }
+        (entries, bytes)
+    }
+
     /// Counter snapshot summed across every shard.
     pub fn aggregate_stats(&self) -> ServiceStats {
         let mut total = ServiceStats::default();

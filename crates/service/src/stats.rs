@@ -1,6 +1,45 @@
 //! Per-tier serving counters.
+//!
+//! ## Counters vs gauges
+//!
+//! The stats block is *almost* all counters — monotone totals since
+//! construction, merged across shards and backends by summing. Two
+//! fields are gauges (instantaneous levels) riding the same wire
+//! block for history's sake, and each carries its merge rule in
+//! [`STAT_KINDS`]:
+//!
+//! - `lru_len` is a [`StatKind::GaugeSum`]: shards hold disjoint key
+//!   ranges, so total residency is the sum of the levels.
+//! - `queue_depth_peak` is a [`StatKind::GaugeMax`]: shards share one
+//!   admission queue, so the deployment peak is the max.
+//!
+//! [`merge`](ServiceStats::merge) is driven by the table, not by
+//! hand-maintained per-field code — a new field merges wrong only if
+//! its kind is declared wrong. The richer v7 metrics plane
+//! (`econcast-metrics`) makes the same distinction self-describing on
+//! the wire by tagging every gauge with its merge kind.
 
-use econcast_proto::service::WireServiceStats;
+use econcast_proto::service::{WireServiceStats, STATS_COUNTERS};
+
+/// Merge semantics of one [`ServiceStats`] field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatKind {
+    /// Monotone total; aggregates by sum.
+    Counter,
+    /// Instantaneous level over disjoint domains; aggregates by sum.
+    GaugeSum,
+    /// Instantaneous level over a shared domain; aggregates by max.
+    GaugeMax,
+}
+
+/// Merge kind of every stats field, in wire order (the order of
+/// [`WireServiceStats::to_array`]).
+pub const STAT_KINDS: [StatKind; STATS_COUNTERS] = {
+    let mut kinds = [StatKind::Counter; STATS_COUNTERS];
+    kinds[12] = StatKind::GaugeSum; // lru_len
+    kinds[23] = StatKind::GaugeMax; // queue_depth_peak
+    kinds
+};
 
 /// A snapshot of one service's (or one shard's) counters since
 /// construction. Obtained from `PolicyService::stats` or per shard
@@ -104,37 +143,21 @@ impl ServiceStats {
             + self.batch_dedup_hits
     }
 
-    /// Accumulates another snapshot into this one (counter-wise sum) —
-    /// how per-shard snapshots aggregate into a deployment total.
-    /// `lru_len` sums too: shards hold disjoint key ranges, so the sum
-    /// is the total resident entries. `queue_depth_peak` is the one
-    /// non-sum: shards share a single admission queue, so the
-    /// deployment peak is the max of the snapshots, not their sum.
+    /// Accumulates another snapshot into this one — how per-shard
+    /// snapshots aggregate into a deployment total. Each field merges
+    /// by its declared [`STAT_KINDS`] entry: counters and
+    /// disjoint-domain gauges (`lru_len`) sum, shared-domain gauges
+    /// (`queue_depth_peak`) take the max.
     pub fn merge(&mut self, other: &ServiceStats) {
-        self.requests += other.requests;
-        self.batches += other.batches;
-        self.exact_hits += other.exact_hits;
-        self.grid_hits += other.grid_hits;
-        self.closed_form_hits += other.closed_form_hits;
-        self.solver_solves += other.solver_solves;
-        self.batch_dedup_hits += other.batch_dedup_hits;
-        self.errors += other.errors;
-        self.grid_builds += other.grid_builds;
-        self.grid_prewarms += other.grid_prewarms;
-        self.lru_inserts += other.lru_inserts;
-        self.lru_evictions += other.lru_evictions;
-        self.lru_len += other.lru_len;
-        self.exact_hits_closed_form += other.exact_hits_closed_form;
-        self.exact_hits_factorized += other.exact_hits_factorized;
-        self.byte_evictions += other.byte_evictions;
-        self.auto_respawns += other.auto_respawns;
-        self.quarantines += other.quarantines;
-        self.reshard_handoffs += other.reshard_handoffs;
-        self.injected_faults += other.injected_faults;
-        self.shed_rejects += other.shed_rejects;
-        self.degraded_serves += other.degraded_serves;
-        self.deadline_expired += other.deadline_expired;
-        self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
+        let mut a = self.to_wire().to_array();
+        let b = other.to_wire().to_array();
+        for (i, (x, y)) in a.iter_mut().zip(b).enumerate() {
+            match STAT_KINDS[i] {
+                StatKind::Counter | StatKind::GaugeSum => *x += y,
+                StatKind::GaugeMax => *x = (*x).max(y),
+            }
+        }
+        *self = ServiceStats::from_wire(&WireServiceStats::from_array(a));
     }
 
     /// The wire form of this snapshot (for `StatsResponse` messages).
@@ -241,5 +264,39 @@ mod tests {
         *expect.last_mut().unwrap() = s.queue_depth_peak;
         assert_eq!(total.to_wire().to_array(), expect);
         assert_eq!(total.served(), 2 * s.served());
+    }
+
+    #[test]
+    fn stat_kinds_flag_exactly_the_two_gauges() {
+        // lru_len (slot 12) sums across disjoint shards; the queue
+        // peak (slot 23) maxes across a shared queue; everything else
+        // is a plain counter. A gauge smuggled into the counter list
+        // without a kind declaration fails here.
+        for (i, kind) in STAT_KINDS.iter().enumerate() {
+            let expect = match i {
+                12 => StatKind::GaugeSum,
+                23 => StatKind::GaugeMax,
+                _ => StatKind::Counter,
+            };
+            assert_eq!(*kind, expect, "slot {i}");
+        }
+        // And the table drives merge: the two gauges behave
+        // differently from each other and from the counters.
+        let mut a = ServiceStats {
+            lru_len: 5,
+            queue_depth_peak: 7,
+            requests: 1,
+            ..ServiceStats::default()
+        };
+        let b = ServiceStats {
+            lru_len: 3,
+            queue_depth_peak: 4,
+            requests: 1,
+            ..ServiceStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lru_len, 8);
+        assert_eq!(a.queue_depth_peak, 7);
+        assert_eq!(a.requests, 2);
     }
 }

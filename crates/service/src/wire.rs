@@ -110,12 +110,33 @@ impl WireServer {
                         &mut out,
                     );
                 }
+                // Metrics scrape (wire v7): the hub snapshot with
+                // this service's LRU gauges injected — the
+                // single-shard special case of the TCP front-end's
+                // scrape path.
+                ServiceMessage::MetricsRequest(r) => {
+                    let mut snap = econcast_metrics::snapshot();
+                    snap.gauges[econcast_metrics::GAUGE_LRU_ENTRIES].1 =
+                        self.service.stats().lru_len;
+                    snap.gauges[econcast_metrics::GAUGE_LRU_BYTES].1 =
+                        self.service.cache_bytes() as u64;
+                    ServiceCodec::encode(
+                        &ServiceMessage::MetricsResponse(
+                            econcast_proto::service::WireMetricsResponse {
+                                id: r.id,
+                                snapshot: crate::metrics::snapshot_to_wire(&snap),
+                            },
+                        ),
+                        &mut out,
+                    );
+                }
                 ServiceMessage::Response(_)
                 | ServiceMessage::Error(_)
                 | ServiceMessage::Welcome(_)
                 | ServiceMessage::StatsResponse(_)
                 | ServiceMessage::Pong(_)
-                | ServiceMessage::MixAck(_) => self.ignored += 1,
+                | ServiceMessage::MixAck(_)
+                | ServiceMessage::MetricsResponse(_) => self.ignored += 1,
             }
         }
         if requests.is_empty() {

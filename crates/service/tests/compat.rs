@@ -1,8 +1,9 @@
-//! Cross-version wire interop: v4- and v5-era clients against
-//! today's v6 server, and today's client against a v4-pinned server,
+//! Cross-version wire interop: v4-, v5- and v6-era clients against
+//! today's v7 server, and today's client against a v4-pinned server,
 //! must all negotiate down and round-trip a mixed batch bit-identical
-//! to the in-process service — overload control (wire v6) must be
-//! invisible to a closed-loop legacy peer.
+//! to the in-process service — overload control (wire v6) and the
+//! metrics plane (wire v7) must be invisible to a closed-loop legacy
+//! peer, and v7 frames must never reach a pre-v7 connection.
 
 use econcast_proto::service::WIRE_VERSION;
 use econcast_service::workload::mixed_batch;
@@ -79,7 +80,7 @@ fn v4_client_against_current_server() {
     // pre-pipelining binary — gets served by today's server: the
     // welcome downgrades the connection and the batch round-trips
     // bit-identical, with no correlation ids anywhere on the stream.
-    assert_eq!(WIRE_VERSION, 6, "test written against wire v6");
+    assert_eq!(WIRE_VERSION, 7, "test written against wire v7");
     let batch = mixed_batch(24);
     let expected = reference(&batch);
 
@@ -130,6 +131,39 @@ fn v5_client_against_v6_server() {
     assert_payload_bits(&got_b, &expected[12..]);
 
     client.ping().expect("ping at v5");
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn v6_client_against_v7_server_sees_no_v7_frames() {
+    // A v6-pinned client (the PR-9 overload-control binary) against
+    // today's v7 server: the batch round-trips bit-identical, and the
+    // metrics plane stays invisible — the client refuses to send the
+    // v7 scrape pair on a v6 connection, so no v7 frame ever rides
+    // the stream in either direction.
+    let batch = mixed_batch(24);
+    let expected = reference(&batch);
+
+    let handle = PolicyServer::bind("127.0.0.1:0", server(WIRE_VERSION))
+        .expect("bind")
+        .spawn();
+    let mut client =
+        PolicyClient::connect_versioned(handle.addr(), batch.len() as u16, 6).expect("connect v6");
+    assert_eq!(client.wire_version(), 6, "server honors the v6 hello");
+
+    let got = client.serve_batch(&batch).expect("round trip at v6");
+    assert_payload_bits(&got, &expected);
+
+    let err = client
+        .metrics()
+        .expect_err("metrics scrape must refuse a v6 connection");
+    assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+
+    // The refusal sent nothing: the connection is still healthy.
+    client.ping().expect("ping at v6");
+    let got = client.serve_batch(&batch).expect("still serving at v6");
+    assert_payload_bits(&got, &expected);
     drop(client);
     handle.shutdown();
 }

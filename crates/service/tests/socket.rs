@@ -378,7 +378,7 @@ fn corrupt_mid_stream_reply_fails_the_call_not_prior_results() {
 
     let batch = mixed_batch(2);
     let mut client = PolicyClient::connect(addr, 2).expect("connect");
-    assert_eq!(WIRE_VERSION, 6, "test written against wire v6");
+    assert_eq!(WIRE_VERSION, 7, "test written against wire v7");
 
     // Batch 1: clean round trip; keep the results.
     let first = client.serve_batch(&batch).expect("clean batch");

@@ -447,13 +447,18 @@ macro_rules! trace_counter {
 // Latency histograms
 // ---------------------------------------------------------------------------
 
-const SUB_BITS: u32 = 3;
-const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + (1 << SUB_BITS);
+/// Sub-bucket resolution of the shared log-bucket scheme: 2^3 = 8
+/// sub-buckets per octave. Public so the always-on metrics plane
+/// (`econcast-metrics`) records into bit-identical buckets — merged
+/// histograms from both layers line up index-for-index.
+pub const SUB_BITS: u32 = 3;
+/// Bucket count of the shared log-bucket scheme (covers all of u64).
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + (1 << SUB_BITS);
 
 /// Log-spaced fixed buckets over u64 nanoseconds: 2^[`SUB_BITS`]
 /// sub-buckets per octave (≤ 12.5% relative width), exact below
 /// 2^[`SUB_BITS`]. The HdrHistogram bucketing scheme, sized down.
-fn bucket_of(v: u64) -> usize {
+pub fn bucket_of(v: u64) -> usize {
     if v < (1 << SUB_BITS) {
         return v as usize;
     }
@@ -464,7 +469,7 @@ fn bucket_of(v: u64) -> usize {
 
 /// Upper edge (inclusive) of a bucket — what percentile extraction
 /// reports, so tails are never under-stated.
-fn bucket_high(idx: usize) -> u64 {
+pub fn bucket_high(idx: usize) -> u64 {
     if idx < (1 << SUB_BITS) {
         return idx as u64;
     }
